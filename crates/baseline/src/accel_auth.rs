@@ -1,0 +1,222 @@
+//! Accelerometer-based authentication (paper §V-E, Fig. 12): the same
+//! MiniRocket + ridge pipeline, fed the prototype's LIS2DH12
+//! accelerometer instead of PPG. The paper finds it weaker — the wrist
+//! barely moves during keystrokes — and less attack-resistant, since
+//! wrist micro-motion lacks the physiological anatomy component.
+
+use p2auth_core::error::AuthError;
+use p2auth_core::types::Recording;
+use p2auth_dsp::normalize::zscore;
+use p2auth_dsp::resample::resample_linear;
+use p2auth_ml::ridge::{RidgeClassifier, RidgeCvConfig};
+use p2auth_rocket::{MiniRocket, MiniRocketConfig, MultiSeries};
+
+/// Configuration of the accelerometer pipeline.
+#[derive(Debug, Clone)]
+pub struct AccelAuthConfig {
+    /// MiniRocket settings.
+    pub rocket: MiniRocketConfig,
+    /// Ridge CV settings.
+    pub ridge: RidgeCvConfig,
+    /// Length the accel entry waveform is resampled to.
+    pub waveform_len: usize,
+    /// Margin (seconds) kept around the keystroke span.
+    pub margin_s: f64,
+}
+
+impl Default for AccelAuthConfig {
+    fn default() -> Self {
+        Self {
+            rocket: MiniRocketConfig::default(),
+            ridge: RidgeCvConfig::default(),
+            waveform_len: 384,
+            margin_s: 0.5,
+        }
+    }
+}
+
+/// An enrolled accelerometer profile.
+#[derive(Debug, Clone)]
+pub struct AccelProfile {
+    rocket: MiniRocket,
+    clf: RidgeClassifier,
+}
+
+/// Extracts the 3-axis accel waveform spanning the PIN entry,
+/// resampled to a fixed length and z-normalized per axis.
+///
+/// # Errors
+///
+/// Returns [`AuthError::InvalidRecording`] when the recording has no
+/// accelerometer track or no keystroke timestamps.
+pub fn accel_waveform(config: &AccelAuthConfig, rec: &Recording) -> Result<MultiSeries, AuthError> {
+    let track = rec
+        .accel
+        .as_ref()
+        .ok_or_else(|| AuthError::InvalidRecording {
+            detail: "recording has no accelerometer track".into(),
+        })?;
+    if rec.reported_key_times.is_empty() {
+        return Err(AuthError::InvalidRecording {
+            detail: "no keystroke timestamps".into(),
+        });
+    }
+    let n = track.axes[0].len();
+    if n < 8 {
+        return Err(AuthError::InvalidRecording {
+            detail: "accel track too short".into(),
+        });
+    }
+    // Map PPG-domain keystroke indices to the accel time axis.
+    let to_accel = |idx: usize| -> f64 { idx as f64 / rec.sample_rate * track.sample_rate };
+    let first = rec.reported_key_times.iter().min().copied().unwrap_or(0);
+    let last = rec.reported_key_times.iter().max().copied().unwrap_or(0);
+    let margin = config.margin_s * track.sample_rate;
+    let start = (to_accel(first) - margin).max(0.0) as usize;
+    let end = ((to_accel(last) + margin) as usize).min(n).max(start + 2);
+    let channels: Vec<Vec<f64>> = track
+        .axes
+        .iter()
+        .map(|axis| {
+            let crop = &axis[start..end];
+            let resampled = resample_linear(crop, (end - start) as f64, config.waveform_len as f64);
+            zscore(&resampled)
+        })
+        .collect();
+    MultiSeries::new(channels).map_err(|e| AuthError::InvalidRecording {
+        detail: e.to_string(),
+    })
+}
+
+/// Enrolls the accelerometer pipeline (positives = user recordings,
+/// negatives = third-party recordings, as in the main system).
+///
+/// # Errors
+///
+/// Returns [`AuthError`] on missing accel data, too few recordings, or
+/// training failure.
+pub fn enroll_accel(
+    config: &AccelAuthConfig,
+    recordings: &[Recording],
+    third_party: &[Recording],
+) -> Result<AccelProfile, AuthError> {
+    if recordings.len() < 2 {
+        return Err(AuthError::NotEnoughRecordings {
+            needed: 2,
+            got: recordings.len(),
+        });
+    }
+    if third_party.is_empty() {
+        return Err(AuthError::NoThirdPartyData);
+    }
+    let mut train = Vec::with_capacity(recordings.len() + third_party.len());
+    for rec in recordings.iter().chain(third_party) {
+        train.push(accel_waveform(config, rec)?);
+    }
+    let rocket =
+        MiniRocket::fit(&config.rocket, &train).map_err(|e| AuthError::FeatureExtraction {
+            detail: e.to_string(),
+        })?;
+    let x: Vec<Vec<f64>> = train.iter().map(|s| rocket.transform_one(s)).collect();
+    let mut y = vec![1_i8; recordings.len()];
+    y.extend(std::iter::repeat_n(-1, third_party.len()));
+    let clf = RidgeClassifier::fit(&config.ridge, &x, &y).map_err(|e| AuthError::Training {
+        detail: e.to_string(),
+    })?;
+    Ok(AccelProfile { rocket, clf })
+}
+
+/// Authenticates one attempt; returns `(accepted, decision score)`.
+///
+/// # Errors
+///
+/// Returns [`AuthError`] when the attempt lacks accel data.
+pub fn authenticate_accel(
+    config: &AccelAuthConfig,
+    profile: &AccelProfile,
+    attempt: &Recording,
+) -> Result<(bool, f64), AuthError> {
+    let w = accel_waveform(config, attempt)?;
+    let f = profile.rocket.transform_one(&w);
+    let score = profile.clf.decision(&f);
+    Ok((score > 0.0, score))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2auth_core::types::{HandMode, Pin};
+    use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+    fn setup() -> (Population, Pin, SessionConfig) {
+        let pop = Population::generate(&PopulationConfig {
+            num_users: 5,
+            seed: 2718,
+            ..Default::default()
+        });
+        (pop, Pin::new("5094").unwrap(), SessionConfig::default())
+    }
+
+    #[test]
+    fn enrolls_and_scores() {
+        let (pop, pin, session) = setup();
+        let cfg = AccelAuthConfig {
+            rocket: MiniRocketConfig {
+                num_features: 168,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let enroll: Vec<_> = (0..6)
+            .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+            .collect();
+        let third: Vec<_> = (0..8)
+            .map(|i| {
+                pop.record_entry(
+                    1 + (i as usize % 3),
+                    &pin,
+                    HandMode::OneHanded,
+                    &session,
+                    40 + i,
+                )
+            })
+            .collect();
+        let profile = enroll_accel(&cfg, &enroll, &third).unwrap();
+        let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 99);
+        let (_, score) = authenticate_accel(&cfg, &profile, &attempt).unwrap();
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    fn missing_accel_is_error() {
+        let (pop, pin, _) = setup();
+        let session = SessionConfig {
+            include_accel: false,
+            ..Default::default()
+        };
+        let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 0);
+        assert!(matches!(
+            accel_waveform(&AccelAuthConfig::default(), &rec),
+            Err(AuthError::InvalidRecording { .. })
+        ));
+    }
+
+    #[test]
+    fn waveform_shape() {
+        let (pop, pin, session) = setup();
+        let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 0);
+        let w = accel_waveform(&AccelAuthConfig::default(), &rec).unwrap();
+        assert_eq!(w.num_channels(), 3);
+        assert_eq!(w.len(), 384);
+    }
+
+    #[test]
+    fn too_few_recordings_rejected() {
+        let (pop, pin, session) = setup();
+        let one = vec![pop.record_entry(0, &pin, HandMode::OneHanded, &session, 0)];
+        assert!(matches!(
+            enroll_accel(&AccelAuthConfig::default(), &one, &one),
+            Err(AuthError::NotEnoughRecordings { .. })
+        ));
+    }
+}

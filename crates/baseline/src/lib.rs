@@ -1,0 +1,19 @@
+//! Baselines the P²Auth paper compares against.
+//!
+//! * [`manual`] — a reproduction of the manual-feature method of Shang
+//!   & Wu ("A usable authentication system using wrist-worn
+//!   photoplethysmography sensors on smartwatches", CNS'19) as the
+//!   paper describes and re-tunes it (§V-D): handcrafted per-channel
+//!   features plus DTW template distances, channel averaging, and a
+//!   global threshold τ = 1.7. Template-based — it needs no attacker or
+//!   third-party data — but "sensitive to the setting of thresholds"
+//!   and expensive because of the DTW computations.
+//! * [`accel_auth`] — the same MiniRocket + ridge pipeline run on the
+//!   prototype's accelerometer instead of PPG (§V-E, Fig. 12), which
+//!   underperforms because the wrist barely moves while typing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel_auth;
+pub mod manual;

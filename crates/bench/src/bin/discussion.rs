@@ -1,0 +1,113 @@
+//! The paper's §VI discussion points, quantified on the simulator:
+//!
+//! * **Wearing position** — the paper requires the watch on the inner
+//!   wrist; back-of-hand (dorsal) placement "was less stable". We
+//!   compare a standard inner-wrist layout against a dorsal layout.
+//! * **Moving hands** — spurious wrist motions degrade the signal; we
+//!   sweep the subjects' extra-motion rate to show graceful
+//!   degradation (authentication is expected to happen while
+//!   relatively static, e.g. during payments).
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin discussion [users]`.
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, users_arg,
+    ProtocolConfig,
+};
+use p2auth_core::{ChannelInfo, P2Auth, P2AuthConfig, Placement, Wavelength};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig, Subject};
+
+fn eval_population(pop: &Population, users: usize, pin: &p2auth_core::Pin) -> (f64, f64) {
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let cfg = P2AuthConfig::default();
+    let mut accs = Vec::new();
+    let mut trrs = Vec::new();
+    for user in 0..users.min(pop.num_users()) {
+        let data = build_dataset(pop, user, pin, &session, &proto);
+        let system = P2Auth::new(cfg.clone());
+        let Ok(profile) = system.enroll(pin, &data.enroll, &data.third_party) else {
+            continue;
+        };
+        let s = evaluate_case(
+            &system,
+            &profile,
+            pin,
+            &data.legit_one,
+            &data.ra_one,
+            &data.ea_one,
+        );
+        accs.push(s.accuracy);
+        trrs.push(0.5 * (s.trr_random + s.trr_emulating));
+    }
+    (mean(&accs), mean(&trrs))
+}
+
+fn main() {
+    let users = users_arg(10);
+    let pin = &paper_pins()[0];
+
+    // ---- wearing position -------------------------------------------
+    let inner = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let dorsal_layout = vec![
+        ChannelInfo {
+            wavelength: Wavelength::Infrared,
+            placement: Placement::Dorsal,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Red,
+            placement: Placement::Dorsal,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Infrared,
+            placement: Placement::Dorsal,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Red,
+            placement: Placement::Dorsal,
+        },
+    ];
+    let dorsal = Population::generate(&PopulationConfig {
+        num_users: users,
+        channels: dorsal_layout,
+        ..Default::default()
+    });
+    println!("# Discussion — wearing position (paper §VI)");
+    print_header(&["placement", "accuracy", "trr"]);
+    let (acc, trr) = eval_population(&inner, users, pin);
+    print_row(&[
+        "inner wrist (radial+ulnar)".into(),
+        format!("{acc:.3}"),
+        format!("{trr:.3}"),
+    ]);
+    let (acc, trr) = eval_population(&dorsal, users, pin);
+    print_row(&[
+        "back of hand (dorsal)".into(),
+        format!("{acc:.3}"),
+        format!("{trr:.3}"),
+    ]);
+
+    // ---- moving hands -------------------------------------------------
+    // Rebuild cohorts whose subjects all share a given extra-motion
+    // rate, keeping everything else identical.
+    println!();
+    println!("# Discussion — spurious wrist motion (paper §VI)");
+    print_header(&["extra_motion_rate_hz", "accuracy", "trr"]);
+    for rate in [0.0, 0.2, 0.5, 1.0] {
+        let mut pop = Population::generate(&PopulationConfig {
+            num_users: users,
+            ..Default::default()
+        });
+        pop = pop.map_subjects(|s| Subject {
+            extra_motion_rate_hz: rate,
+            ..s
+        });
+        let (acc, trr) = eval_population(&pop, users, pin);
+        print_row(&[format!("{rate}"), format!("{acc:.3}"), format!("{trr:.3}")]);
+    }
+    println!();
+    println!("expected shapes: dorsal below inner wrist; graceful degradation with motion");
+}

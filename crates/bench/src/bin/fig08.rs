@@ -1,0 +1,71 @@
+//! Fig. 8 — overall performance of the privacy boost: per-volunteer
+//! authentication accuracy and true rejection rate with waveform
+//! fusion (paper §V-C: average accuracy ≈ 0.83, TRR close to or above
+//! 0.90; stable volunteers like no. 8 do better than restless ones like
+//! no. 11).
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fig08 [users]`
+//! (the paper's figure shows 12 volunteers).
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, try_enroll, users_arg,
+    ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn main() {
+    let users = users_arg(12);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users.max(3),
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let cfg = P2AuthConfig {
+        privacy_boost: true,
+        ..P2AuthConfig::default()
+    };
+    let pin = &paper_pins()[0];
+
+    println!("# Fig. 8 — privacy boost (waveform fusion), per volunteer");
+    print_header(&[
+        "volunteer",
+        "accuracy",
+        "trr_random",
+        "trr_emulating",
+        "stability_sigma",
+    ]);
+    let mut accs = Vec::new();
+    let mut trrs = Vec::new();
+    for user in 0..pop.num_users() {
+        let data = build_dataset(&pop, user, pin, &session, &proto);
+        let Some(profile) = try_enroll(&cfg, pin, &data) else {
+            continue;
+        };
+        let system = P2Auth::new(cfg.clone());
+        let s = evaluate_case(
+            &system,
+            &profile,
+            pin,
+            &data.legit_one,
+            &data.ra_one,
+            &data.ea_one,
+        );
+        accs.push(s.accuracy);
+        trrs.push(0.5 * (s.trr_random + s.trr_emulating));
+        print_row(&[
+            format!("{}", user + 1),
+            format!("{:.3}", s.accuracy),
+            format!("{:.3}", s.trr_random),
+            format!("{:.3}", s.trr_emulating),
+            format!("{:.3}", pop.subject(user).stability_sigma),
+        ]);
+    }
+    println!();
+    println!(
+        "mean accuracy {:.3} (paper ≈ 0.83), mean TRR {:.3} (paper ≳ 0.90)",
+        mean(&accs),
+        mean(&trrs)
+    );
+}

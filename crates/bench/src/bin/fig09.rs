@@ -1,0 +1,45 @@
+//! Fig. 9 — PPG samples for PIN "1628" typed by four different users
+//! (infrared channel, mean removed), showing the inter-user variation
+//! the classifier exploits.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fig09 > fig09.csv`.
+
+use p2auth_dsp::normalize::remove_mean;
+use p2auth_sim::{HandMode, Pin, Population, PopulationConfig, SessionConfig};
+
+fn main() {
+    let pop = Population::generate(&PopulationConfig::default());
+    let pin = Pin::new("1628").expect("valid PIN");
+    let session = SessionConfig::default();
+
+    let mut columns = Vec::new();
+    for user in 0..4 {
+        let rec = pop.record_entry(user, &pin, HandMode::OneHanded, &session, 3);
+        let mut x = rec.ppg[0].clone(); // infrared, radial
+        remove_mean(&mut x);
+        columns.push((format!("user{user}"), x, rec.true_key_times.clone()));
+    }
+    let n = columns
+        .iter()
+        .map(|(_, x, _)| x.len())
+        .min()
+        .expect("non-empty");
+    println!(
+        "i,{}",
+        columns
+            .iter()
+            .map(|(u, _, _)| u.clone())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    for i in 0..n {
+        let row: Vec<String> = columns
+            .iter()
+            .map(|(_, x, _)| format!("{:.5}", x[i]))
+            .collect();
+        println!("{i},{}", row.join(","));
+    }
+    for (u, _, keys) in &columns {
+        eprintln!("fig09: {u} keystroke samples at {keys:?}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Fig. 10 — authentication accuracy for the five cases plus true
+//! rejection rates under random and emulating attacks (paper §V-C).
+//!
+//! Paper reference values: single ≈ 0.98, single-boost ≈ 0.83,
+//! double-3 ≈ 0.88, double-2 ≈ 0.70, five-case average ≈ 0.84;
+//! TRR ≈ 0.98 for both attack types.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fig10 [users]`
+//! (default 15; pass a smaller count for a quick pass). All five paper
+//! PINs are evaluated and averaged.
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, try_enroll, users_arg,
+    CaseSummary, ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig, PinPolicy};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let users = users_arg(15);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let cfg = P2AuthConfig::default();
+    let cfg_boost = P2AuthConfig {
+        privacy_boost: true,
+        ..cfg.clone()
+    };
+
+    let mut single = Vec::new();
+    let mut boost = Vec::new();
+    let mut d3 = Vec::new();
+    let mut d2 = Vec::new();
+    let mut nopin = Vec::new();
+
+    for pin in &paper_pins() {
+        for user in 0..pop.num_users() {
+            let data = build_dataset(&pop, user, pin, &session, &proto);
+            let system = P2Auth::new(cfg.clone());
+            if let Some(profile) = try_enroll(&cfg, pin, &data) {
+                single.push(evaluate_case(
+                    &system,
+                    &profile,
+                    pin,
+                    &data.legit_one,
+                    &data.ra_one,
+                    &data.ea_one,
+                ));
+                d3.push(evaluate_case(
+                    &system,
+                    &profile,
+                    pin,
+                    &data.legit_double3,
+                    &data.ra_one,
+                    &data.ea_double3,
+                ));
+                d2.push(evaluate_case(
+                    &system,
+                    &profile,
+                    pin,
+                    &data.legit_double2,
+                    &data.ra_one,
+                    &data.ea_double2,
+                ));
+                // No-PIN flow: keystroke-pattern-only models.
+                let sys_np = P2Auth::new(P2AuthConfig {
+                    pin_policy: PinPolicy::NoPinAllowed,
+                    ..cfg.clone()
+                });
+                if let Ok(np) = sys_np.enroll_no_pin(&data.enroll, &data.third_party) {
+                    let mut acc = 0.0;
+                    for rec in &data.legit_one {
+                        if sys_np
+                            .authenticate_no_pin(&np, rec)
+                            .expect("valid")
+                            .accepted
+                        {
+                            acc += 1.0;
+                        }
+                    }
+                    let mut rej_ra = 0.0;
+                    for rec in &data.ra_one {
+                        if !sys_np
+                            .authenticate_no_pin(&np, rec)
+                            .expect("valid")
+                            .accepted
+                        {
+                            rej_ra += 1.0;
+                        }
+                    }
+                    let mut rej_ea = 0.0;
+                    for rec in &data.ea_one {
+                        if !sys_np
+                            .authenticate_no_pin(&np, rec)
+                            .expect("valid")
+                            .accepted
+                        {
+                            rej_ea += 1.0;
+                        }
+                    }
+                    nopin.push(CaseSummary {
+                        accuracy: acc / data.legit_one.len() as f64,
+                        trr_random: rej_ra / data.ra_one.len() as f64,
+                        trr_emulating: rej_ea / data.ea_one.len() as f64,
+                    });
+                }
+            }
+            if let Some(profile) = try_enroll(&cfg_boost, pin, &data) {
+                let system_b = P2Auth::new(cfg_boost.clone());
+                boost.push(evaluate_case(
+                    &system_b,
+                    &profile,
+                    pin,
+                    &data.legit_one,
+                    &data.ra_one,
+                    &data.ea_one,
+                ));
+            }
+        }
+        eprintln!(
+            "fig10: PIN {pin} done at {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    println!("# Fig. 10 — authentication accuracy and TRR for the 5 cases");
+    println!(
+        "# ({} users x {} PINs, {} legit / {} attack trials per cell)",
+        users, 5, proto.n_legit, proto.n_attacks
+    );
+    print_header(&[
+        "case",
+        "accuracy",
+        "trr_random",
+        "trr_emulating",
+        "paper_accuracy",
+    ]);
+    let rows: [(&str, &[CaseSummary], &str); 5] = [
+        ("single (one-handed)", &single, "0.98"),
+        ("single + privacy boost", &boost, "0.83"),
+        ("double-3", &d3, "0.88"),
+        ("double-2", &d2, "0.70"),
+        ("no-PIN", &nopin, "~0.8"),
+    ];
+    let mut all_acc = Vec::new();
+    for (name, v, paper) in rows {
+        let acc = mean(&v.iter().map(|c| c.accuracy).collect::<Vec<_>>());
+        let ra = mean(&v.iter().map(|c| c.trr_random).collect::<Vec<_>>());
+        let ea = mean(&v.iter().map(|c| c.trr_emulating).collect::<Vec<_>>());
+        all_acc.push(acc);
+        print_row(&[
+            name.to_string(),
+            format!("{acc:.3}"),
+            format!("{ra:.3}"),
+            format!("{ea:.3}"),
+            paper.to_string(),
+        ]);
+    }
+    println!();
+    println!(
+        "five-case average accuracy: {:.3} (paper: ~0.84)",
+        all_acc.iter().sum::<f64>() / all_acc.len() as f64
+    );
+    println!("elapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

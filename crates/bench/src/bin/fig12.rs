@@ -1,0 +1,85 @@
+//! Fig. 12 — PPG-based vs accelerometer-based authentication, both
+//! through the same MiniRocket + ridge pipeline (paper §V-E). PPG wins
+//! on accuracy and is markedly more attack-resistant: "the volunteer
+//! stays relatively stable during key presses with little wrist
+//! movement, so the accelerometer data does not change significantly".
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fig12 [users]`.
+
+use p2auth_baseline::accel_auth::{authenticate_accel, enroll_accel, AccelAuthConfig};
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, try_enroll, users_arg,
+    ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn main() {
+    let users = users_arg(15);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let cfg = P2AuthConfig::default();
+    let accel_cfg = AccelAuthConfig::default();
+    let pin = &paper_pins()[0];
+
+    let mut ppg_acc = Vec::new();
+    let mut ppg_trr = Vec::new();
+    let mut acc_acc = Vec::new();
+    let mut acc_trr = Vec::new();
+
+    for user in 0..pop.num_users() {
+        let data = build_dataset(&pop, user, pin, &session, &proto);
+        if let Some(profile) = try_enroll(&cfg, pin, &data) {
+            let system = P2Auth::new(cfg.clone());
+            let s = evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_one,
+                &data.ra_one,
+                &data.ea_one,
+            );
+            ppg_acc.push(s.accuracy);
+            ppg_trr.push(0.5 * (s.trr_random + s.trr_emulating));
+        }
+        match enroll_accel(&accel_cfg, &data.enroll, &data.third_party) {
+            Ok(ap) => {
+                let mut acc = 0.0;
+                for rec in &data.legit_one {
+                    if authenticate_accel(&accel_cfg, &ap, rec).expect("valid").0 {
+                        acc += 1.0;
+                    }
+                }
+                let mut rej = 0.0;
+                let attacks: Vec<_> = data.ra_one.iter().chain(&data.ea_one).collect();
+                for rec in &attacks {
+                    if !authenticate_accel(&accel_cfg, &ap, rec).expect("valid").0 {
+                        rej += 1.0;
+                    }
+                }
+                acc_acc.push(acc / data.legit_one.len() as f64);
+                acc_trr.push(rej / attacks.len() as f64);
+            }
+            Err(e) => eprintln!("warning: accel enrollment failed for user {user}: {e}"),
+        }
+    }
+
+    println!("# Fig. 12 — PPG vs accelerometer (same ROCKET pipeline)");
+    print_header(&["sensor", "accuracy", "trr"]);
+    print_row(&[
+        "PPG (4 channels)".into(),
+        format!("{:.3}", mean(&ppg_acc)),
+        format!("{:.3}", mean(&ppg_trr)),
+    ]);
+    print_row(&[
+        "accelerometer (3 axes)".into(),
+        format!("{:.3}", mean(&acc_acc)),
+        format!("{:.3}", mean(&acc_trr)),
+    ]);
+    println!();
+    println!("expected shape: PPG above accelerometer on both columns (paper Fig. 12)");
+}

@@ -1,0 +1,95 @@
+//! Fig. 13 — impact of the PPG channel count (a) and of individual
+//! channels (b), using one-handed data with the privacy boost as in the
+//! paper (§V-F). Expected shape: accuracy rises with channel count
+//! while the rejection rate stays roughly flat; infrared channels give
+//! better accuracy, red channels better rejection.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fig13 [users]`.
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, users_arg, Dataset,
+    ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::channel::standard_layout;
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn select(data: &Dataset, idxs: &[usize]) -> Dataset {
+    let sel = |v: &Vec<p2auth_core::Recording>| v.iter().map(|r| r.select_channels(idxs)).collect();
+    Dataset {
+        enroll: sel(&data.enroll),
+        third_party: sel(&data.third_party),
+        legit_one: sel(&data.legit_one),
+        legit_double3: sel(&data.legit_double3),
+        legit_double2: sel(&data.legit_double2),
+        ra_one: sel(&data.ra_one),
+        ea_one: sel(&data.ea_one),
+        ea_double3: sel(&data.ea_double3),
+        ea_double2: sel(&data.ea_double2),
+    }
+}
+
+fn run_variant(
+    cfg: &P2AuthConfig,
+    pin: &p2auth_core::Pin,
+    datasets: &[Dataset],
+    idxs: &[usize],
+) -> (f64, f64) {
+    let mut accs = Vec::new();
+    let mut trrs = Vec::new();
+    for data in datasets {
+        let d = select(data, idxs);
+        let system = P2Auth::new(cfg.clone());
+        let Ok(profile) = system.enroll(pin, &d.enroll, &d.third_party) else {
+            continue;
+        };
+        let s = evaluate_case(&system, &profile, pin, &d.legit_one, &d.ra_one, &d.ea_one);
+        accs.push(s.accuracy);
+        trrs.push(0.5 * (s.trr_random + s.trr_emulating));
+    }
+    (mean(&accs), mean(&trrs))
+}
+
+fn main() {
+    let users = users_arg(15);
+    // Six-channel layout: 2x (IR+red) modules + a dorsal module.
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        channels: standard_layout(6),
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let cfg = P2AuthConfig {
+        privacy_boost: true,
+        ..P2AuthConfig::default()
+    };
+    let pin = &paper_pins()[0];
+
+    let datasets: Vec<Dataset> = (0..pop.num_users())
+        .map(|u| build_dataset(&pop, u, pin, &session, &proto))
+        .collect();
+
+    println!("# Fig. 13a — accuracy / TRR vs number of channels (privacy boost)");
+    print_header(&["channels", "accuracy", "trr"]);
+    for n in 1..=6 {
+        let idxs: Vec<usize> = (0..n).collect();
+        let (acc, trr) = run_variant(&cfg, pin, &datasets, &idxs);
+        print_row(&[format!("{n}"), format!("{acc:.3}"), format!("{trr:.3}")]);
+    }
+
+    println!();
+    println!("# Fig. 13b — individual channels");
+    print_header(&["channel", "accuracy", "trr"]);
+    for (i, info) in pop.channels().iter().enumerate() {
+        let (acc, trr) = run_variant(&cfg, pin, &datasets, &[i]);
+        print_row(&[format!("{info}"), format!("{acc:.3}"), format!("{trr:.3}")]);
+    }
+    println!();
+    println!("paper's shape: accuracy rises with channel count, TRR ~flat (13a);");
+    println!("infrared best accuracy, red trades accuracy for rejection (13b).");
+    println!("our simulator reproduces the per-channel ordering (13b) but the");
+    println!("channel-count curve saturates after 1-2 channels: simulated channels");
+    println!("share the behavioural variance, so extra channels are largely");
+    println!("redundant — see EXPERIMENTS.md for the analysis.");
+}

@@ -1,0 +1,117 @@
+//! Fig. 14 — impact of the third-party training-set size (paper §V-F):
+//! as the pool grows from 20 to 300, the rejection rate rises while the
+//! authentication accuracy falls (the ~9 enrollment samples get drowned
+//! out and the classifier overfits toward "reject"). The paper settles
+//! on 100 as the trade-off.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fig14 [users]`.
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, users_arg,
+    ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn main() {
+    let users = users_arg(15);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    // Build the maximum pool once; sweep by slicing.
+    let proto = ProtocolConfig {
+        n_third_party: 300,
+        ..ProtocolConfig::default()
+    };
+    let cfg = P2AuthConfig::default();
+    let pin = &paper_pins()[0];
+
+    let datasets: Vec<_> = (0..pop.num_users())
+        .map(|u| build_dataset(&pop, u, pin, &session, &proto))
+        .collect();
+
+    println!("# Fig. 14 — accuracy / TRR vs third-party dataset size");
+    print_header(&[
+        "third_party_size",
+        "accuracy",
+        "trr_random",
+        "trr_emulating",
+    ]);
+    for size in [20, 60, 100, 140, 180, 220, 260, 300] {
+        let mut accs = Vec::new();
+        let mut ras = Vec::new();
+        let mut eas = Vec::new();
+        for data in &datasets {
+            let third = &data.third_party[..size];
+            let system = P2Auth::new(cfg.clone());
+            let Ok(profile) = system.enroll(pin, &data.enroll, third) else {
+                continue;
+            };
+            let s = evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_one,
+                &data.ra_one,
+                &data.ea_one,
+            );
+            accs.push(s.accuracy);
+            ras.push(s.trr_random);
+            eas.push(s.trr_emulating);
+        }
+        print_row(&[
+            format!("{size}"),
+            format!("{:.3}", mean(&accs)),
+            format!("{:.3}", mean(&ras)),
+            format!("{:.3}", mean(&eas)),
+        ]);
+    }
+    // The paper attributes its falling accuracy to "severe overfitting
+    // under the influence of much larger third-party data" given "the
+    // very small number of training samples" from the user. Our default
+    // pipeline does not reproduce that drop (the LOOCV-regularized
+    // ridge keeps generalizing), so the second table stresses the
+    // mechanism the paper names: only 4 enrollment entries against the
+    // growing pool.
+    println!();
+    println!("# Fig. 14 (mechanism) — same sweep with only 4 enrollment entries");
+    print_header(&[
+        "third_party_size",
+        "accuracy",
+        "trr_random",
+        "trr_emulating",
+    ]);
+    for size in [20, 60, 100, 140, 180, 220, 260, 300] {
+        let mut accs = Vec::new();
+        let mut ras = Vec::new();
+        let mut eas = Vec::new();
+        for data in &datasets {
+            let third = &data.third_party[..size];
+            let system = P2Auth::new(P2AuthConfig::default());
+            let Ok(profile) = system.enroll(pin, &data.enroll[..4], third) else {
+                continue;
+            };
+            let s = evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_one,
+                &data.ra_one,
+                &data.ea_one,
+            );
+            accs.push(s.accuracy);
+            ras.push(s.trr_random);
+            eas.push(s.trr_emulating);
+        }
+        print_row(&[
+            format!("{size}"),
+            format!("{:.3}", mean(&accs)),
+            format!("{:.3}", mean(&ras)),
+            format!("{:.3}", mean(&eas)),
+        ]);
+    }
+    println!();
+    println!("expected shape: TRR rises and accuracy falls as the pool grows (paper Fig. 14)");
+}

@@ -1,0 +1,112 @@
+//! Table I — computational and memory overheads of the ROCKET-based
+//! pipeline vs the manual-feature method, for the enrollment and
+//! authentication phases.
+//!
+//! Paper values (python implementation on an i7-10750H):
+//! ROCKET 1.06 s / 378.4 MiB enrollment, 0.302 s / 379.3 MiB auth;
+//! manual 104.89 s / 367.5 MiB enrollment, 10.57 s / 367.5 MiB auth.
+//! Absolute numbers are not comparable across languages — the paper's
+//! point is the ~100× / ~35× time ratio, which this harness verifies.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin table1`.
+
+use p2auth_baseline::manual::{authenticate_manual, enroll_manual, ManualConfig};
+use p2auth_bench::alloc::CountingAllocator;
+use p2auth_bench::harness::{build_dataset, paper_pins, print_header, print_row, ProtocolConfig};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn main() {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 15,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let pin = &paper_pins()[0];
+    let cfg = P2AuthConfig::default();
+    let data = build_dataset(&pop, 0, pin, &session, &proto);
+    let attempt = &data.legit_one[0];
+
+    // --- ROCKET-based pipeline ---------------------------------------
+    ALLOC.reset_peak();
+    let base = ALLOC.live_bytes();
+    let t = Instant::now();
+    let system = P2Auth::new(cfg.clone());
+    let profile = system
+        .enroll(pin, &data.enroll, &data.third_party)
+        .expect("enrollment");
+    let rocket_enroll_s = t.elapsed().as_secs_f64();
+    let rocket_enroll_mib = (ALLOC.peak_bytes() - base) as f64 / MIB;
+
+    ALLOC.reset_peak();
+    let base = ALLOC.live_bytes();
+    let t = Instant::now();
+    let reps = 20;
+    for _ in 0..reps {
+        let d = system
+            .authenticate(&profile, pin, attempt)
+            .expect("attempt");
+        std::hint::black_box(d.accepted);
+    }
+    let rocket_auth_s = t.elapsed().as_secs_f64() / reps as f64;
+    let rocket_auth_mib = ALLOC.peak_bytes().saturating_sub(base) as f64 / MIB;
+
+    // --- manual-feature method -----------------------------------------
+    let manual_cfg = ManualConfig::default();
+    ALLOC.reset_peak();
+    let base = ALLOC.live_bytes();
+    let t = Instant::now();
+    let mp = enroll_manual(&manual_cfg, &data.enroll).expect("manual enrollment");
+    let manual_enroll_s = t.elapsed().as_secs_f64();
+    let manual_enroll_mib = ALLOC.peak_bytes().saturating_sub(base) as f64 / MIB;
+
+    ALLOC.reset_peak();
+    let base = ALLOC.live_bytes();
+    let t = Instant::now();
+    for _ in 0..reps {
+        let d = authenticate_manual(&manual_cfg, &mp, attempt).expect("attempt");
+        std::hint::black_box(d.accepted);
+    }
+    let manual_auth_s = t.elapsed().as_secs_f64() / reps as f64;
+    let manual_auth_mib = ALLOC.peak_bytes().saturating_sub(base) as f64 / MIB;
+
+    println!("# Table I — computational and memory overheads");
+    print_header(&[
+        "model",
+        "enroll_time_s",
+        "enroll_peak_MiB",
+        "auth_time_s",
+        "auth_peak_MiB",
+    ]);
+    print_row(&[
+        "ROCKET-based".into(),
+        format!("{rocket_enroll_s:.3}"),
+        format!("{rocket_enroll_mib:.1}"),
+        format!("{rocket_auth_s:.4}"),
+        format!("{rocket_auth_mib:.1}"),
+    ]);
+    print_row(&[
+        "manual-feature".into(),
+        format!("{manual_enroll_s:.3}"),
+        format!("{manual_enroll_mib:.1}"),
+        format!("{manual_auth_s:.4}"),
+        format!("{manual_auth_mib:.1}"),
+    ]);
+    println!();
+    println!(
+        "time ratios manual/ROCKET — enrollment: {:.1}x (paper ~99x), authentication: {:.1}x (paper ~35x)",
+        manual_enroll_s / rocket_enroll_s,
+        manual_auth_s / rocket_auth_s
+    );
+    println!(
+        "total heap traffic this run: {:.1} MiB",
+        ALLOC.total_allocated() as f64 / MIB
+    );
+}

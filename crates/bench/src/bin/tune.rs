@@ -1,0 +1,140 @@
+//! Development aid: quick pass over the fig10 protocol on a reduced
+//! cohort to check metric shapes while tuning the simulator. Not part
+//! of the paper reproduction (see `fig10` for the full run).
+
+use p2auth_bench::harness::{
+    build_dataset, evaluate_case, mean, paper_pins, try_enroll, CaseSummary, ProtocolConfig,
+};
+use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let users: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let pin = &paper_pins()[0];
+    let cfg = P2AuthConfig::default();
+    let cfg_boost = P2AuthConfig {
+        privacy_boost: true,
+        ..cfg.clone()
+    };
+
+    let mut single = Vec::new();
+    let mut boost = Vec::new();
+    let mut d3 = Vec::new();
+    let mut d2 = Vec::new();
+    let mut nopin = Vec::new();
+
+    for user in 0..pop.num_users() {
+        let data = build_dataset(&pop, user, pin, &session, &proto);
+        let system = P2Auth::new(cfg.clone());
+        if let Some(profile) = try_enroll(&cfg, pin, &data) {
+            single.push(evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_one,
+                &data.ra_one,
+                &data.ea_one,
+            ));
+            d3.push(evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_double3,
+                &data.ra_one,
+                &data.ea_double3,
+            ));
+            d2.push(evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_double2,
+                &data.ra_one,
+                &data.ea_double2,
+            ));
+            // No-PIN: same per-key models, PIN factor skipped.
+            let sys_np = P2Auth::new(P2AuthConfig {
+                pin_policy: p2auth_core::PinPolicy::NoPinAllowed,
+                ..cfg.clone()
+            });
+            let np_profile = sys_np
+                .enroll_no_pin(&data.enroll, &data.third_party)
+                .unwrap();
+            let mut acc = 0.0;
+            for rec in &data.legit_one {
+                if sys_np
+                    .authenticate_no_pin(&np_profile, rec)
+                    .unwrap()
+                    .accepted
+                {
+                    acc += 1.0;
+                }
+            }
+            let mut rej = 0.0;
+            for rec in &data.ea_one {
+                if !sys_np
+                    .authenticate_no_pin(&np_profile, rec)
+                    .unwrap()
+                    .accepted
+                {
+                    rej += 1.0;
+                }
+            }
+            nopin.push(CaseSummary {
+                accuracy: acc / data.legit_one.len() as f64,
+                trr_random: 1.0,
+                trr_emulating: rej / data.ea_one.len() as f64,
+            });
+        }
+        if let Some(profile) = try_enroll(&cfg_boost, pin, &data) {
+            let system_b = P2Auth::new(cfg_boost.clone());
+            boost.push(evaluate_case(
+                &system_b,
+                &profile,
+                pin,
+                &data.legit_one,
+                &data.ra_one,
+                &data.ea_one,
+            ));
+        }
+        if let Some(s) = single.last() {
+            eprintln!(
+                "user {user} single: acc {:.2} trr_ra {:.2} trr_ea {:.2}  ({:.1}s)",
+                s.accuracy,
+                s.trr_random,
+                s.trr_emulating,
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    }
+
+    let show = |name: &str, v: &[CaseSummary]| {
+        println!(
+            "{name:12} acc {:.3}  trr_ra {:.3}  trr_ea {:.3}   (n={})",
+            mean(&v.iter().map(|c| c.accuracy).collect::<Vec<_>>()),
+            mean(&v.iter().map(|c| c.trr_random).collect::<Vec<_>>()),
+            mean(&v.iter().map(|c| c.trr_emulating).collect::<Vec<_>>()),
+            v.len()
+        );
+    };
+    println!(
+        "--- tune results ({} users, PIN {pin}) ---",
+        pop.num_users()
+    );
+    show("single", &single);
+    show("single-boost", &boost);
+    show("double-3", &d3);
+    show("double-2", &d2);
+    show("no-pin", &nopin);
+    println!("total {:.1}s", t0.elapsed().as_secs_f64());
+}

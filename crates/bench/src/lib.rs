@@ -1,0 +1,16 @@
+//! Experiment harness regenerating the tables and figures of the
+//! P²Auth evaluation (§V).
+//!
+//! Each figure/table has a binary under `src/bin` (run with
+//! `cargo run -p p2auth-bench --release --bin figXX`); shared dataset
+//! builders and row printers live in [`harness`], and [`alloc`]
+//! provides the counting global allocator used by the Table I
+//! memory-overhead measurements.
+
+// `deny` rather than `forbid`: the counting allocator must implement
+// the unsafe `GlobalAlloc` trait and opts out locally.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod harness;

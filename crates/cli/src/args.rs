@@ -1,0 +1,167 @@
+//! Minimal flag parser (the approved dependency set has no argument
+//! parser, and a demo CLI does not justify one).
+//!
+//! Grammar: `p2auth <command> [--flag value]... [--switch]...`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line: the subcommand plus `--key value` / `--switch`
+/// options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Error parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` that expected a value hit the end of the arguments.
+    MissingValue {
+        /// The flag name.
+        flag: String,
+    },
+    /// A positional argument appeared after the subcommand.
+    UnexpectedPositional {
+        /// The offending token.
+        token: String,
+    },
+    /// An option's value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "--{flag} expects a value"),
+            ArgError::UnexpectedPositional { token } => {
+                write!(f, "unexpected argument {token:?}")
+            }
+            ArgError::BadValue { flag, detail } => write!(f, "bad value for --{flag}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["boost", "two-handed", "no-pin", "stream", "help"];
+
+impl ParsedArgs {
+    /// Parses tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for a flag missing its value or a stray
+    /// positional argument.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = ParsedArgs::default();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(flag) = tok.strip_prefix("--") {
+                if SWITCHES.contains(&flag) {
+                    out.switches.push(flag.to_string());
+                } else {
+                    let value = iter.next().ok_or_else(|| ArgError::MissingValue {
+                        flag: flag.to_string(),
+                    })?;
+                    out.options.insert(flag.to_string(), value);
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgError::UnexpectedPositional { token: tok });
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// Parsed option value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if present but unparseable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e: T::Err| ArgError::BadValue {
+                flag: flag.to_string(),
+                detail: e.to_string(),
+            }),
+        }
+    }
+
+    /// Whether a switch was present.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_switches() {
+        let a = ParsedArgs::parse(["enroll", "--user", "3", "--pin", "1628", "--boost"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("enroll"));
+        assert_eq!(a.get("user"), Some("3"));
+        assert_eq!(a.get("pin"), Some("1628"));
+        assert!(a.has("boost"));
+        assert!(!a.has("no-pin"));
+    }
+
+    #[test]
+    fn get_parsed_defaults_and_errors() {
+        let a = ParsedArgs::parse(["verify", "--users", "12"]).unwrap();
+        assert_eq!(a.get_parsed("users", 15_usize).unwrap(), 12);
+        assert_eq!(a.get_parsed("seed", 7_u64).unwrap(), 7);
+        let b = ParsedArgs::parse(["verify", "--users", "many"]).unwrap();
+        assert!(matches!(
+            b.get_parsed("users", 15_usize),
+            Err(ArgError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_value_detected() {
+        assert!(matches!(
+            ParsedArgs::parse(["enroll", "--user"]),
+            Err(ArgError::MissingValue { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(matches!(
+            ParsedArgs::parse(["enroll", "extra"]),
+            Err(ArgError::UnexpectedPositional { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        let a = ParsedArgs::parse(Vec::<String>::new()).unwrap();
+        assert!(a.command.is_none());
+    }
+}

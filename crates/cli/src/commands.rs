@@ -1,0 +1,306 @@
+//! The CLI commands: each returns its report as a `String` so the
+//! binary stays a thin shell and the logic is testable.
+
+use crate::args::{ArgError, ParsedArgs};
+use p2auth_core::preprocess::wear::{detect_wear, WearConfig};
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, PinPolicy, UserProfile};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+use std::fmt;
+use std::path::Path;
+
+/// Error running a CLI command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad arguments.
+    Args(ArgError),
+    /// Bad PIN.
+    Pin(p2auth_core::PinError),
+    /// Pipeline failure.
+    Auth(p2auth_core::AuthError),
+    /// Profile file I/O or (de)serialization failure.
+    Io(String),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "argument error: {e}"),
+            CliError::Pin(e) => write!(f, "PIN error: {e}"),
+            CliError::Auth(e) => write!(f, "pipeline error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `p2auth help`"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<p2auth_core::PinError> for CliError {
+    fn from(e: p2auth_core::PinError) -> Self {
+        CliError::Pin(e)
+    }
+}
+
+impl From<p2auth_core::AuthError> for CliError {
+    fn from(e: p2auth_core::AuthError) -> Self {
+        CliError::Auth(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+p2auth — PIN + keystroke-induced PPG two-factor authentication (ICDCS'23 reproduction)
+
+USAGE:
+    p2auth <command> [options]
+
+COMMANDS:
+    enroll    Enroll a simulated user and write the profile to a file
+                --user N (0)  --pin DDDD (1628)  --out FILE (profile.json)
+                --users N (8) --seed S (42)      [--boost] [--no-pin]
+    verify    Authenticate an attempt against a stored profile
+                --profile FILE (profile.json)  --pin DDDD (1628)
+                --user N (0) | --attacker N --victim N (emulating attack)
+                --nonce K (0) [--two-handed] [--no-pin]
+    wear      Check watch-wear detection on a simulated signal
+                --user N (0)  --seed S (42)
+    help      Show this message
+
+All data comes from the seeded simulator; the same seed always produces
+the same cohort, so profiles and attempts are reproducible.";
+
+fn population(args: &ParsedArgs) -> Result<(Population, SessionConfig), CliError> {
+    let users = args.get_parsed("users", 8_usize)?;
+    let seed = args.get_parsed("seed", 42_u64)?;
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        seed,
+        ..Default::default()
+    });
+    Ok((pop, SessionConfig::default()))
+}
+
+fn pin_arg(args: &ParsedArgs) -> Result<Pin, CliError> {
+    Ok(Pin::new(args.get("pin").unwrap_or("1628"))?)
+}
+
+fn system(args: &ParsedArgs) -> P2Auth {
+    let mut cfg = P2AuthConfig::default();
+    if args.has("boost") {
+        cfg.privacy_boost = true;
+    }
+    if args.has("no-pin") {
+        cfg.pin_policy = PinPolicy::NoPinAllowed;
+    }
+    P2Auth::new(cfg)
+}
+
+/// `p2auth enroll`.
+pub fn enroll(args: &ParsedArgs) -> Result<String, CliError> {
+    let (pop, session) = population(args)?;
+    let user = args.get_parsed("user", 0_usize)?;
+    let pin = pin_arg(args)?;
+    let out = args.get("out").unwrap_or("profile.json").to_string();
+    let sys = system(args);
+
+    let enroll_recs: Vec<_> = (0..9)
+        .map(|i| pop.record_entry(user, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..60)
+        .map(|i| {
+            let other = (user + 1 + (i as usize % (pop.num_users() - 1))) % pop.num_users();
+            pop.record_entry(other, &pin, HandMode::OneHanded, &session, 5000 + i as u64)
+        })
+        .collect();
+    let profile = if args.has("no-pin") {
+        sys.enroll_no_pin(&enroll_recs, &third)?
+    } else {
+        sys.enroll(&pin, &enroll_recs, &third)?
+    };
+    write_profile(&profile, Path::new(&out))?;
+    Ok(format!(
+        "enrolled user {user} (PIN {pin}{}) -> {out}\nmodels: full={} boost={} per-key digits {:?}",
+        if args.has("no-pin") {
+            ", no-PIN mode"
+        } else {
+            ""
+        },
+        profile.has_full_model(),
+        profile.has_boost_model(),
+        profile.enrolled_keys(),
+    ))
+}
+
+/// `p2auth verify`.
+pub fn verify(args: &ParsedArgs) -> Result<String, CliError> {
+    let (pop, session) = population(args)?;
+    let pin = pin_arg(args)?;
+    let path = args.get("profile").unwrap_or("profile.json").to_string();
+    let profile = read_profile(Path::new(&path))?;
+    let sys = system(args);
+    let nonce = args.get_parsed("nonce", 0_u64)?;
+    let mode = if args.has("two-handed") {
+        HandMode::TwoHanded
+    } else {
+        HandMode::OneHanded
+    };
+
+    let (attempt, who) = match (args.get("attacker"), args.get("victim")) {
+        (Some(_), Some(_)) => {
+            let attacker = args.get_parsed("attacker", 1_usize)?;
+            let victim = args.get_parsed("victim", 0_usize)?;
+            (
+                pop.record_emulating_attack(attacker, victim, &pin, mode, &session, nonce),
+                format!("emulating attack: user {attacker} imitating user {victim}"),
+            )
+        }
+        _ => {
+            let user = args.get_parsed("user", 0_usize)?;
+            (
+                pop.record_entry(user, &pin, mode, &session, 9000 + nonce),
+                format!("legitimate attempt by user {user}"),
+            )
+        }
+    };
+    let decision = if args.has("no-pin") {
+        sys.authenticate_no_pin(&profile, &attempt)?
+    } else {
+        sys.authenticate(&profile, &pin, &attempt)?
+    };
+    Ok(format!(
+        "{who}\ncase: {:?}\nresult: {} (score {:+.3}{})",
+        decision.case,
+        if decision.accepted {
+            "ACCEPTED"
+        } else {
+            "REJECTED"
+        },
+        decision.score,
+        decision
+            .reason
+            .map(|r| format!(", reason {r:?}"))
+            .unwrap_or_default(),
+    ))
+}
+
+/// `p2auth wear`.
+pub fn wear(args: &ParsedArgs) -> Result<String, CliError> {
+    let (pop, session) = population(args)?;
+    let user = args.get_parsed("user", 0_usize)?;
+    // Wear detection monitors idle signal between authentications
+    // (paper §VI), not PIN entries.
+    let idle = pop.record_idle(user, 8.0, &session, 0);
+    let status = detect_wear(&idle[0], session.sample_rate, &WearConfig::default());
+    let mut out = format!(
+        "worn: {} (periodicity {:.2})",
+        status.worn, status.periodicity
+    );
+    if let Some(hr) = status.heart_rate_hz {
+        out.push_str(&format!(", estimated heart rate {:.0} bpm", hr * 60.0));
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands or failures inside one.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_deref() {
+        None | Some("help") => Ok(USAGE.to_string()),
+        Some("enroll") => enroll(args),
+        Some("verify") => verify(args),
+        Some("wear") => wear(args),
+        Some(other) => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn write_profile(profile: &UserProfile, path: &Path) -> Result<(), CliError> {
+    let json = serde_json::to_vec(profile).map_err(|e| CliError::Io(e.to_string()))?;
+    std::fs::write(path, json).map_err(|e| CliError::Io(e.to_string()))
+}
+
+fn read_profile(path: &Path) -> Result<UserProfile, CliError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+    serde_json::from_slice(&bytes).map_err(|e| CliError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        let help = dispatch(&ParsedArgs::parse(["help"]).unwrap()).unwrap();
+        assert!(help.contains("USAGE"));
+        assert!(matches!(
+            dispatch(&ParsedArgs::parse(["frobnicate"]).unwrap()),
+            Err(CliError::UnknownCommand(_))
+        ));
+    }
+
+    #[test]
+    fn enroll_verify_round_trip() {
+        let out = tmp("p2auth_cli_test_profile.json");
+        let msg = dispatch(
+            &ParsedArgs::parse(["enroll", "--user", "0", "--out", &out, "--users", "6"]).unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("enrolled user 0"), "{msg}");
+
+        let msg = dispatch(
+            &ParsedArgs::parse(["verify", "--profile", &out, "--user", "0", "--users", "6"])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("ACCEPTED"), "{msg}");
+
+        let msg = dispatch(
+            &ParsedArgs::parse([
+                "verify",
+                "--profile",
+                &out,
+                "--attacker",
+                "2",
+                "--victim",
+                "0",
+                "--users",
+                "6",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("REJECTED"), "{msg}");
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn wear_reports_pulse() {
+        let msg = dispatch(&ParsedArgs::parse(["wear", "--users", "4"]).unwrap()).unwrap();
+        assert!(msg.contains("worn: true"), "{msg}");
+    }
+
+    #[test]
+    fn missing_profile_is_io_error() {
+        let r =
+            dispatch(&ParsedArgs::parse(["verify", "--profile", "/nonexistent/p.json"]).unwrap());
+        assert!(matches!(r, Err(CliError::Io(_))));
+    }
+}

@@ -1,0 +1,8 @@
+//! Library side of the `p2auth` CLI: argument parsing and the command
+//! implementations, kept in a lib so they are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,26 @@
+//! `p2auth` — command-line demo of the reproduction. See `p2auth help`.
+
+use p2auth_cli::args::ParsedArgs;
+use p2auth_cli::commands::dispatch;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(tokens) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Authentication phase (paper §IV-B 3): PIN verification, input-case
+//! dispatch, per-keystroke classification and results integration.
+
+use crate::config::{P2AuthConfig, PinPolicy};
+use crate::enroll::{extract_for_auth, UserProfile};
+use crate::error::AuthError;
+use crate::preprocess::{self, InputCase};
+use crate::types::{Pin, Recording};
+
+/// Why an attempt was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The entered PIN does not match the enrolled PIN.
+    WrongPin,
+    /// No PIN supplied but the policy requires one.
+    PinRequired,
+    /// One or zero keystroke events detected — rejected outright
+    /// "for the sake of system security" (paper §IV-B 2.6).
+    InsufficientKeystrokes,
+    /// The PPG biometric check failed.
+    BiometricMismatch,
+    /// No trained model exists for the attempted case/keys.
+    MissingModel,
+}
+
+/// Outcome of classifying one keystroke waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeystrokeVote {
+    /// Index of the keystroke within the entry.
+    pub index: usize,
+    /// The digit typed.
+    pub digit: u8,
+    /// Whether the single-waveform model accepted it.
+    pub passed: bool,
+    /// Raw decision value (positive = legitimate).
+    pub score: f64,
+}
+
+/// The full decision for one authentication attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthDecision {
+    /// Final verdict.
+    pub accepted: bool,
+    /// Input case resolved by preprocessing.
+    pub case: InputCase,
+    /// Reason for rejection (`None` when accepted).
+    pub reason: Option<RejectReason>,
+    /// Per-keystroke votes (empty on the full-waveform path).
+    pub keystroke_votes: Vec<KeystrokeVote>,
+    /// Aggregate decision score (mean of the scores that were computed).
+    pub score: f64,
+}
+
+impl AuthDecision {
+    fn reject(case: InputCase, reason: RejectReason) -> Self {
+        Self {
+            accepted: false,
+            case,
+            reason: Some(reason),
+            keystroke_votes: Vec::new(),
+            score: 0.0,
+        }
+    }
+}
+
+/// Authenticates one attempt. `claimed_pin` of `None` selects the
+/// no-PIN flow (allowed only under [`PinPolicy::NoPinAllowed`]).
+///
+/// # Errors
+///
+/// Returns [`AuthError`] for malformed recordings or a channel-count
+/// mismatch with the profile. A failed factor is expressed in the
+/// returned [`AuthDecision`], not as an error.
+pub fn authenticate(
+    config: &P2AuthConfig,
+    profile: &UserProfile,
+    claimed_pin: Option<&Pin>,
+    attempt: &Recording,
+) -> Result<AuthDecision, AuthError> {
+    attempt
+        .validate()
+        .map_err(|detail| AuthError::InvalidRecording { detail })?;
+    if attempt.num_channels() != profile.num_channels {
+        return Err(AuthError::ProfileMismatch {
+            detail: format!(
+                "attempt has {} channels, profile trained with {}",
+                attempt.num_channels(),
+                profile.num_channels
+            ),
+        });
+    }
+    // Bring the attempt to the profile's rate if needed (the models are
+    // rate-specific).
+    let resampled;
+    let attempt = if (attempt.sample_rate - profile.sample_rate).abs() > 1e-9 {
+        resampled = attempt.resample(profile.sample_rate);
+        &resampled
+    } else {
+        attempt
+    };
+
+    // ---- Factor 1: PIN verification --------------------------------
+    let no_pin_flow = match (claimed_pin, profile.pin.as_ref()) {
+        (Some(claimed), Some(stored)) => {
+            if claimed != stored || &attempt.pin_entered != stored {
+                return Ok(AuthDecision::reject(
+                    InputCase::Insufficient,
+                    RejectReason::WrongPin,
+                ));
+            }
+            false
+        }
+        (Some(_), None) => {
+            // Profile enrolled without a PIN: fall back to pattern-only.
+            true
+        }
+        (None, _) => {
+            if config.pin_policy != PinPolicy::NoPinAllowed {
+                return Ok(AuthDecision::reject(
+                    InputCase::Insufficient,
+                    RejectReason::PinRequired,
+                ));
+            }
+            true
+        }
+    };
+
+    // ---- Factor 2: keystroke-induced PPG ----------------------------
+    let pre = preprocess::preprocess(config, attempt)?;
+    let case = pre.case.case;
+    let extracted = extract_for_auth(config, attempt, &pre);
+
+    if no_pin_flow {
+        // No-PIN: keystroke pattern only, on whatever keys were typed.
+        return Ok(per_keystroke_decision(
+            profile,
+            case,
+            &pre.case.present,
+            attempt,
+            &extracted,
+        ));
+    }
+
+    match case {
+        InputCase::OneHanded => {
+            // Privacy boost replaces the full waveform when enabled.
+            if profile.privacy_boost {
+                if let (Some(model), Some(fused)) = (&profile.boost, &extracted.fused) {
+                    let score = model.decision(fused);
+                    return Ok(full_decision(case, score));
+                }
+            }
+            if let (Some(model), Some(full)) = (&profile.full, &extracted.full) {
+                let score = model.decision(full);
+                return Ok(full_decision(case, score));
+            }
+            // No full model (e.g. user enrolled two-handed only): fall
+            // back to per-keystroke majority.
+            Ok(per_keystroke_decision(
+                profile,
+                case,
+                &pre.case.present,
+                attempt,
+                &extracted,
+            ))
+        }
+        InputCase::TwoHandedThree | InputCase::TwoHandedTwo => Ok(per_keystroke_decision(
+            profile,
+            case,
+            &pre.case.present,
+            attempt,
+            &extracted,
+        )),
+        InputCase::Insufficient => Ok(AuthDecision::reject(
+            case,
+            RejectReason::InsufficientKeystrokes,
+        )),
+    }
+}
+
+fn full_decision(case: InputCase, score: f64) -> AuthDecision {
+    let accepted = score > 0.0;
+    AuthDecision {
+        accepted,
+        case,
+        reason: if accepted {
+            None
+        } else {
+            Some(RejectReason::BiometricMismatch)
+        },
+        keystroke_votes: Vec::new(),
+        score,
+    }
+}
+
+/// Results integration for the per-keystroke (single-waveform) path
+/// (paper §IV-B 3): with three detected keystrokes at least two must
+/// pass; with two, both must; with more (no-PIN, one-handed fallback),
+/// all but one must. A lone keystroke was already rejected upstream.
+fn per_keystroke_decision(
+    profile: &UserProfile,
+    case: InputCase,
+    present: &[bool],
+    attempt: &Recording,
+    extracted: &crate::enroll::ExtractedWaveforms,
+) -> AuthDecision {
+    let digits = attempt.pin_entered.digits();
+    let mut votes = Vec::new();
+    let mut seg_iter = extracted.segments.iter();
+    for (i, &p) in present.iter().enumerate() {
+        if !p {
+            continue;
+        }
+        let (digit, series) = seg_iter.next().expect("segment per present keystroke");
+        debug_assert_eq!(*digit, digits[i]);
+        let (passed, score) = match profile.per_key.get(digit) {
+            Some(model) => {
+                let s = model.decision(series);
+                (s > 0.0, s)
+            }
+            None => (false, f64::NEG_INFINITY),
+        };
+        votes.push(KeystrokeVote {
+            index: i,
+            digit: *digit,
+            passed,
+            score,
+        });
+    }
+    let n = votes.len();
+    if n < 2 {
+        return AuthDecision::reject(case, RejectReason::InsufficientKeystrokes);
+    }
+    let passed = votes.iter().filter(|v| v.passed).count();
+    let required = if n == 2 { 2 } else { n - 1 };
+    let accepted = passed >= required;
+    let finite: Vec<f64> = votes
+        .iter()
+        .map(|v| v.score)
+        .filter(|s| s.is_finite())
+        .collect();
+    let score = if finite.is_empty() {
+        f64::NEG_INFINITY
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+    let any_model = votes.iter().any(|v| v.score.is_finite());
+    AuthDecision {
+        accepted,
+        case,
+        reason: if accepted {
+            None
+        } else if any_model {
+            Some(RejectReason::BiometricMismatch)
+        } else {
+            Some(RejectReason::MissingModel)
+        },
+        keystroke_votes: votes,
+        score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enroll::UserProfile;
+    use crate::types::{ChannelInfo, HandMode, Placement, UserId, Wavelength};
+    use std::collections::BTreeMap;
+
+    /// A profile with a stored PIN but no trained models — enough to
+    /// exercise the decision plumbing without any training.
+    fn stub_profile(pin: Option<Pin>) -> UserProfile {
+        UserProfile {
+            pin,
+            privacy_boost: false,
+            sample_rate: 100.0,
+            num_channels: 1,
+            full: None,
+            boost: None,
+            per_key: BTreeMap::new(),
+        }
+    }
+
+    /// A recording whose signal contains clear bursts at the reported
+    /// keystroke times, so preprocessing detects all four keystrokes.
+    fn burst_recording(pin: &str) -> Recording {
+        let times = [120_usize, 230, 340, 450];
+        let n = 580;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                let mut v = 0.2 * (t * 2.0 * std::f64::consts::PI / 85.0).sin();
+                for &k in &times {
+                    let d = (t - k as f64) / 5.0;
+                    v += 2.0 * (-d * d).exp() * (0.9 * (t - k as f64)).sin();
+                }
+                v
+            })
+            .collect();
+        Recording {
+            user: UserId(0),
+            sample_rate: 100.0,
+            ppg: vec![x],
+            channels: vec![ChannelInfo {
+                wavelength: Wavelength::Infrared,
+                placement: Placement::Radial,
+            }],
+            accel: None,
+            pin_entered: Pin::new(pin).expect("valid"),
+            reported_key_times: times.to_vec(),
+            true_key_times: times.to_vec(),
+            watch_hand: vec![true; 4],
+            hand_mode: HandMode::OneHanded,
+        }
+    }
+
+    #[test]
+    fn wrong_pin_short_circuits_before_any_biometrics() {
+        let cfg = P2AuthConfig::fast();
+        let profile = stub_profile(Some(Pin::new("1628").expect("valid")));
+        let wrong = Pin::new("9999").expect("valid");
+        let attempt = burst_recording("9999");
+        let d = authenticate(&cfg, &profile, Some(&wrong), &attempt).expect("runs");
+        assert!(!d.accepted);
+        assert_eq!(d.reason, Some(RejectReason::WrongPin));
+        assert!(d.keystroke_votes.is_empty());
+    }
+
+    #[test]
+    fn entered_pin_must_match_claimed_pin() {
+        // Claimed PIN matches the stored one, but the typed digits do
+        // not: still a PIN failure.
+        let cfg = P2AuthConfig::fast();
+        let stored = Pin::new("1628").expect("valid");
+        let profile = stub_profile(Some(stored.clone()));
+        let attempt = burst_recording("1629");
+        let d = authenticate(&cfg, &profile, Some(&stored), &attempt).expect("runs");
+        assert_eq!(d.reason, Some(RejectReason::WrongPin));
+    }
+
+    #[test]
+    fn no_pin_attempt_rejected_under_required_policy() {
+        let cfg = P2AuthConfig::fast(); // PinPolicy::Required
+        let profile = stub_profile(Some(Pin::new("1628").expect("valid")));
+        let attempt = burst_recording("1628");
+        let d = authenticate(&cfg, &profile, None, &attempt).expect("runs");
+        assert_eq!(d.reason, Some(RejectReason::PinRequired));
+    }
+
+    #[test]
+    fn missing_models_reject_with_missing_model_reason() {
+        // PIN passes, all keystrokes detected, but the profile has no
+        // models at all: the per-keystroke fallback must reject with
+        // MissingModel, never accept.
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let profile = stub_profile(Some(pin.clone()));
+        let attempt = burst_recording("1628");
+        let d = authenticate(&cfg, &profile, Some(&pin), &attempt).expect("runs");
+        assert!(!d.accepted);
+        assert_eq!(d.reason, Some(RejectReason::MissingModel));
+        assert_eq!(d.keystroke_votes.len(), 4, "one vote per detected keystroke");
+        assert!(d.keystroke_votes.iter().all(|v| !v.passed));
+    }
+
+    #[test]
+    fn channel_mismatch_is_an_error() {
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let mut profile = stub_profile(Some(pin.clone()));
+        profile.num_channels = 4;
+        let attempt = burst_recording("1628"); // 1 channel
+        assert!(matches!(
+            authenticate(&cfg, &profile, Some(&pin), &attempt),
+            Err(AuthError::ProfileMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_decision_sign_convention() {
+        let accept = full_decision(InputCase::OneHanded, 0.7);
+        assert!(accept.accepted && accept.reason.is_none());
+        let reject = full_decision(InputCase::OneHanded, -0.1);
+        assert!(!reject.accepted);
+        assert_eq!(reject.reason, Some(RejectReason::BiometricMismatch));
+        // A zero score is conservative: reject.
+        assert!(!full_decision(InputCase::OneHanded, 0.0).accepted);
+    }
+
+    #[test]
+    fn reject_constructor_shape() {
+        let d = AuthDecision::reject(InputCase::Insufficient, RejectReason::InsufficientKeystrokes);
+        assert!(!d.accepted);
+        assert_eq!(d.score, 0.0);
+        assert!(d.keystroke_votes.is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Pipeline configuration.
+
+use p2auth_ml::ridge::RidgeCvConfig;
+use p2auth_rocket::MiniRocketConfig;
+
+/// Whether authentication without a fixed PIN is permitted
+/// (paper §IV-B 2.6 / §IV-B 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinPolicy {
+    /// A PIN must be enrolled and verified; no-PIN attempts are
+    /// rejected.
+    Required,
+    /// No-PIN authentication by keystroke pattern alone is allowed.
+    NoPinAllowed,
+}
+
+/// Which classifier backs the per-key single-waveform models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SingleModelKind {
+    /// Ridge classifier with LOOCV (same family as the full-waveform
+    /// model).
+    Ridge,
+    /// SGD logistic regression — the paper's "binary gradient
+    /// classifiers" (§IV-B 2.6).
+    Logistic,
+}
+
+/// Full configuration of the P²Auth pipeline.
+///
+/// All window sizes are expressed in samples **at 100 Hz**, the paper's
+/// prototype rate, and are scaled proportionally when a recording has a
+/// different sampling rate (Fig. 16 sweeps 30–100 Hz).
+#[derive(Debug, Clone)]
+pub struct P2AuthConfig {
+    /// Median-filter window for noise removal (odd).
+    pub median_window: usize,
+    /// Savitzky–Golay window before extreme-point search (odd).
+    pub savgol_window: usize,
+    /// Savitzky–Golay polynomial order.
+    pub savgol_order: usize,
+    /// Window `w` of the calibration objective, Eq. (1) (30 in the
+    /// paper).
+    pub calibration_window: usize,
+    /// Search reach (samples at 100 Hz) *before* the reported keystroke
+    /// time — covers the communication jitter.
+    pub calibration_radius_before: usize,
+    /// Search reach (samples at 100 Hz) *after* the reported keystroke
+    /// time — covers the jitter plus the neuromuscular latency of the
+    /// vascular response.
+    pub calibration_radius_after: usize,
+    /// Smoothness-priors regularization λ for detrending (Eq. (2)).
+    pub detrend_lambda: f64,
+    /// Short-time-energy window for input-case identification (20 in
+    /// the paper).
+    pub energy_window: usize,
+    /// Fraction of the mean short-time energy used as the keystroke
+    /// presence threshold (the paper sets ½).
+    pub energy_threshold_factor: f64,
+    /// Single-keystroke segment window (90 samples in the paper, chosen
+    /// to avoid overlapping the ~1.1 s inter-keystroke interval).
+    pub segment_window: usize,
+    /// Length the full PIN-entry waveform is resampled to for the
+    /// full-waveform model.
+    pub full_waveform_len: usize,
+    /// Enable privacy-boost waveform fusion for one-handed attempts
+    /// (paper Eq. (4); optional for users).
+    pub privacy_boost: bool,
+    /// Maximum cross-correlation shift (samples at 100 Hz) when
+    /// aligning single-keystroke waveforms before fusion; 0 disables
+    /// alignment (plain Eq. (4)).
+    pub fusion_max_shift: usize,
+    /// MiniRocket settings for the privacy-boost (fused-waveform)
+    /// model; `None` reuses [`P2AuthConfig::rocket`]. Fusion discards
+    /// information, so the boost model defaults to a larger feature
+    /// count to claw some of it back.
+    pub boost_rocket: Option<MiniRocketConfig>,
+    /// PIN policy.
+    pub pin_policy: PinPolicy,
+    /// Classifier used for per-key models.
+    pub single_model: SingleModelKind,
+    /// MiniRocket settings shared by all feature extractors.
+    pub rocket: MiniRocketConfig,
+    /// Ridge CV settings.
+    pub ridge: RidgeCvConfig,
+    /// Minimum number of enrollment recordings.
+    pub min_enroll_recordings: usize,
+    /// RNG seed for the trainable components.
+    pub seed: u64,
+}
+
+impl Default for P2AuthConfig {
+    fn default() -> Self {
+        Self {
+            median_window: 5,
+            savgol_window: 9,
+            savgol_order: 2,
+            calibration_window: 30,
+            calibration_radius_before: 12,
+            calibration_radius_after: 32,
+            detrend_lambda: 50.0,
+            energy_window: 20,
+            energy_threshold_factor: 0.5,
+            segment_window: 90,
+            full_waveform_len: 512,
+            privacy_boost: false,
+            fusion_max_shift: 10,
+            boost_rocket: Some(MiniRocketConfig {
+                num_features: 2520,
+                ..MiniRocketConfig::default()
+            }),
+            pin_policy: PinPolicy::Required,
+            single_model: SingleModelKind::Ridge,
+            rocket: MiniRocketConfig::default(),
+            ridge: RidgeCvConfig::default(),
+            min_enroll_recordings: 4,
+            seed: 0x000b_100d,
+        }
+    }
+}
+
+impl P2AuthConfig {
+    /// A reduced-cost configuration for tests, examples and doc tests:
+    /// fewer MiniRocket features, everything else as the paper.
+    pub fn fast() -> Self {
+        Self {
+            rocket: MiniRocketConfig {
+                num_features: 336,
+                ..MiniRocketConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Scales a window expressed in samples at 100 Hz to `rate` Hz,
+    /// keeping at least 1 sample and preserving odd windows' oddness.
+    pub fn scale_window(&self, samples_at_100: usize, rate: f64) -> usize {
+        let scaled = ((samples_at_100 as f64) * rate / 100.0).round().max(1.0) as usize;
+        if samples_at_100 % 2 == 1 && scaled.is_multiple_of(2) {
+            scaled + 1
+        } else {
+            scaled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let c = P2AuthConfig::default();
+        assert_eq!(c.calibration_window, 30);
+        assert_eq!(c.energy_window, 20);
+        assert_eq!(c.segment_window, 90);
+        assert_eq!(c.energy_threshold_factor, 0.5);
+    }
+
+    #[test]
+    fn window_scaling() {
+        let c = P2AuthConfig::default();
+        assert_eq!(c.scale_window(20, 100.0), 20);
+        assert_eq!(c.scale_window(20, 50.0), 10);
+        assert_eq!(c.scale_window(90, 30.0), 27);
+        // Odd windows stay odd.
+        assert_eq!(c.scale_window(9, 50.0), 5);
+        assert_eq!(c.scale_window(5, 30.0) % 2, 1);
+        // Never collapses to zero.
+        assert!(c.scale_window(1, 30.0) >= 1);
+    }
+}

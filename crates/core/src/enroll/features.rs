@@ -1,0 +1,46 @@
+//! Feature-extraction helpers shared by enrollment and authentication.
+
+use p2auth_dsp::normalize::zscore;
+use p2auth_rocket::MultiSeries;
+
+/// Z-normalizes every channel of a series (zero mean, unit variance per
+/// channel). MiniRocket's PPV features are offset-invariant but not
+/// scale-invariant; normalizing makes the models robust to per-session
+/// gain differences of the optical front-end.
+pub fn znorm_series(s: &MultiSeries) -> MultiSeries {
+    let channels: Vec<Vec<f64>> = s.channels().iter().map(|c| zscore(c)).collect();
+    MultiSeries::new(channels).expect("znorm preserves shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn znorm_standardizes_each_channel() {
+        let s = MultiSeries::new(vec![
+            vec![10.0, 20.0, 30.0, 40.0],
+            vec![-5.0, 0.0, 5.0, 10.0],
+        ])
+        .unwrap();
+        let z = znorm_series(&s);
+        for ch in 0..2 {
+            let c = z.channel(ch);
+            let mean: f64 = c.iter().sum::<f64>() / c.len() as f64;
+            let var: f64 = c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / c.len() as f64;
+            assert!(mean.abs() < 1e-10);
+            assert!((var - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gain_invariance() {
+        let base = vec![1.0, 4.0, 2.0, 8.0, 3.0];
+        let scaled: Vec<f64> = base.iter().map(|v| 100.0 + 7.0 * v).collect();
+        let z1 = znorm_series(&MultiSeries::univariate(base));
+        let z2 = znorm_series(&MultiSeries::univariate(scaled));
+        for (a, b) in z1.channel(0).iter().zip(z2.channel(0)) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

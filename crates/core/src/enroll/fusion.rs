@@ -1,0 +1,160 @@
+//! Privacy-boost waveform fusion (paper §IV-B 2.2, Eq. (4)).
+//!
+//! To avoid storing or matching raw single-keystroke waveforms — whose
+//! leakage would permanently burn the user's biometric — the one-handed
+//! path can fuse the K single-keystroke waveforms additively:
+//! `S = Σ_h P_h`. The fusion "inevitably loses some useful information
+//! and thus reduces the accuracy", which the paper accepts as a
+//! security/usability trade-off (Fig. 8).
+
+use p2auth_rocket::MultiSeries;
+
+/// Additively fuses equally shaped single-keystroke waveforms.
+///
+/// Returns `None` if `segments` is empty or shapes disagree.
+pub fn fuse(segments: &[MultiSeries]) -> Option<MultiSeries> {
+    let first = segments.first()?;
+    let (ch, len) = (first.num_channels(), first.len());
+    let mut acc: Vec<Vec<f64>> = vec![vec![0.0; len]; ch];
+    for s in segments {
+        if s.num_channels() != ch || s.len() != len {
+            return None;
+        }
+        for (c, out) in acc.iter_mut().enumerate() {
+            for (o, v) in out.iter_mut().zip(s.channel(c)) {
+                *o += v;
+            }
+        }
+    }
+    Some(MultiSeries::new(acc).expect("fusion of valid series is valid"))
+}
+
+/// Like [`fuse`], but cross-correlation-aligns each waveform to the
+/// first before adding (shift search of ±`max_shift` samples,
+/// edge-replicated). Fine alignment absorbs the residual per-keystroke
+/// calibration jitter, which otherwise compounds across the K fused
+/// waveforms; with `max_shift` 0 this is exactly [`fuse`].
+///
+/// Returns `None` if `segments` is empty or shapes disagree.
+pub fn fuse_aligned(segments: &[MultiSeries], max_shift: usize) -> Option<MultiSeries> {
+    let first = segments.first()?;
+    if max_shift == 0 || segments.len() == 1 {
+        return fuse(segments);
+    }
+    let (ch, len) = (first.num_channels(), first.len());
+    let mut acc: Vec<Vec<f64>> = first.channels().to_vec();
+    for s in &segments[1..] {
+        if s.num_channels() != ch || s.len() != len {
+            return None;
+        }
+        // Best shift by summed cross-correlation against the reference.
+        let mut best = (0_i64, f64::NEG_INFINITY);
+        let m = max_shift as i64;
+        #[allow(clippy::needless_range_loop)] // shifted indexing reads clearest
+        for shift in -m..=m {
+            let mut score = 0.0;
+            for c in 0..ch {
+                let r = first.channel(c);
+                let x = s.channel(c);
+                for i in 0..len {
+                    let j = (i as i64 + shift).clamp(0, len as i64 - 1) as usize;
+                    score += r[i] * x[j];
+                }
+            }
+            if score > best.1 {
+                best = (shift, score);
+            }
+        }
+        let shift = best.0;
+        #[allow(clippy::needless_range_loop)] // shifted indexing reads clearest
+        for c in 0..ch {
+            let x = s.channel(c);
+            for i in 0..len {
+                let j = (i as i64 + shift).clamp(0, len as i64 - 1) as usize;
+                acc[c][i] += x[j];
+            }
+        }
+    }
+    Some(MultiSeries::new(acc).expect("aligned fusion of valid series is valid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> MultiSeries {
+        MultiSeries::univariate(vals.to_vec())
+    }
+
+    #[test]
+    fn fusion_is_additive() {
+        let a = series(&[1.0, 2.0, 3.0]);
+        let b = series(&[10.0, 20.0, 30.0]);
+        let f = fuse(&[a, b]).unwrap();
+        assert_eq!(f.channel(0), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn single_segment_identity() {
+        let a = series(&[5.0, -1.0]);
+        assert_eq!(fuse(std::slice::from_ref(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn empty_or_mismatched_is_none() {
+        assert!(fuse(&[]).is_none());
+        let a = series(&[1.0, 2.0]);
+        let b = series(&[1.0, 2.0, 3.0]);
+        assert!(fuse(&[a, b]).is_none());
+    }
+
+    #[test]
+    fn fusion_order_invariant() {
+        let a = series(&[1.0, 0.0, 2.0]);
+        let b = series(&[0.5, 1.5, -1.0]);
+        let c = series(&[2.0, 2.0, 2.0]);
+        let f1 = fuse(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        let f2 = fuse(&[c, a, b]).unwrap();
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn aligned_fusion_absorbs_small_shifts() {
+        // Two copies of the same bump, one shifted by 3 samples: plain
+        // fusion smears it, aligned fusion reconstructs ~2x the bump.
+        let bump = |c: f64| -> MultiSeries {
+            MultiSeries::univariate(
+                (0..60)
+                    .map(|i| {
+                        let d = (i as f64 - c) / 3.0;
+                        (-d * d).exp()
+                    })
+                    .collect(),
+            )
+        };
+        let a = bump(30.0);
+        let b = bump(33.0);
+        let aligned = fuse_aligned(&[a.clone(), b.clone()], 5).unwrap();
+        let plain = fuse(&[a.clone(), b]).unwrap();
+        // Aligned peak approaches 2.0; plain peak is lower (smeared).
+        let peak = |s: &MultiSeries| s.channel(0).iter().cloned().fold(0.0_f64, f64::max);
+        assert!(peak(&aligned) > peak(&plain));
+        assert!(peak(&aligned) > 1.9, "aligned peak {}", peak(&aligned));
+    }
+
+    #[test]
+    fn aligned_fusion_zero_shift_equals_plain() {
+        let a = series(&[1.0, 3.0, 2.0, 0.0]);
+        let b = series(&[0.5, 0.5, 0.5, 0.5]);
+        assert_eq!(fuse_aligned(&[a.clone(), b.clone()], 0), fuse(&[a, b]));
+    }
+
+    #[test]
+    fn fusion_hides_individual_waveforms() {
+        // The fusion of two different pairs can coincide — exactly the
+        // ambiguity that protects the individual keystrokes.
+        let f1 = fuse(&[series(&[1.0, 0.0]), series(&[0.0, 1.0])]).unwrap();
+        let f2 = fuse(&[series(&[0.5, 0.5]), series(&[0.5, 0.5])]).unwrap();
+        assert_eq!(f1, f2);
+    }
+}

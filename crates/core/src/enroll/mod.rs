@@ -1,0 +1,468 @@
+//! Enrollment phase (paper §IV-B 2): waveform segmentation, optional
+//! privacy-boost fusion, MiniRocket feature extraction and per-user
+//! model training.
+
+pub mod features;
+pub mod fusion;
+pub mod segmentation;
+
+use crate::config::{P2AuthConfig, SingleModelKind};
+use crate::error::AuthError;
+use crate::preprocess::{self, Preprocessed};
+use crate::types::{Pin, Recording};
+use p2auth_ml::logistic::{LogisticClassifier, LogisticConfig};
+use p2auth_ml::ridge::RidgeClassifier;
+use p2auth_rocket::{MiniRocket, MultiSeries};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use features::znorm_series;
+use fusion::fuse_aligned;
+use segmentation::{full_waveform, segment};
+
+/// One trained waveform model: a fitted MiniRocket transform plus a
+/// binary classifier over its features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct WaveModel {
+    pub(crate) rocket: MiniRocket,
+    pub(crate) clf: KeyClassifier,
+}
+
+impl WaveModel {
+    /// Decision value for one (already z-normalized) series; positive
+    /// means "legitimate".
+    pub(crate) fn decision(&self, s: &MultiSeries) -> f64 {
+        let f = self.rocket.transform_one(s);
+        self.clf.decision(&f)
+    }
+}
+
+/// The classifier behind a waveform model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum KeyClassifier {
+    /// Ridge classifier (full-waveform default).
+    Ridge(RidgeClassifier),
+    /// SGD logistic — the paper's "binary gradient classifier".
+    Logistic(LogisticClassifier),
+}
+
+impl KeyClassifier {
+    fn decision(&self, x: &[f64]) -> f64 {
+        match self {
+            KeyClassifier::Ridge(c) => c.decision(x),
+            KeyClassifier::Logistic(c) => c.probability(x) - 0.5,
+        }
+    }
+}
+
+/// An enrolled user: the stored PIN (if any) and the trained models.
+///
+/// * `full` — the one-handed full-waveform model,
+/// * `boost` — the privacy-boost (fused-waveform) model, when enabled,
+/// * `per_key` — single-waveform models keyed by digit, used for
+///   two-handed and no-PIN authentication.
+///
+/// Implements Serde `Serialize`/`Deserialize` so an enrollment can be
+/// stored on the watch/phone and reloaded across sessions (bring your
+/// own format, e.g. `serde_json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserProfile {
+    pub(crate) pin: Option<Pin>,
+    pub(crate) privacy_boost: bool,
+    pub(crate) sample_rate: f64,
+    pub(crate) num_channels: usize,
+    pub(crate) full: Option<WaveModel>,
+    pub(crate) boost: Option<WaveModel>,
+    pub(crate) per_key: BTreeMap<u8, WaveModel>,
+}
+
+impl UserProfile {
+    /// The enrolled PIN, if a fixed PIN was registered.
+    pub fn pin(&self) -> Option<&Pin> {
+        self.pin.as_ref()
+    }
+
+    /// Digits for which a single-waveform model exists.
+    pub fn enrolled_keys(&self) -> Vec<u8> {
+        self.per_key.keys().copied().collect()
+    }
+
+    /// Whether the one-handed full-waveform model is available.
+    pub fn has_full_model(&self) -> bool {
+        self.full.is_some()
+    }
+
+    /// Whether the privacy-boost (fused) model is available.
+    pub fn has_boost_model(&self) -> bool {
+        self.boost.is_some()
+    }
+
+    /// Sampling rate the profile was trained at.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Channel count the profile was trained with.
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+}
+
+/// Intermediate per-recording extraction shared by the model builders
+/// and the authentication phase.
+#[derive(Debug, Clone)]
+pub(crate) struct ExtractedWaveforms {
+    /// Full-entry waveform (present only when every keystroke was
+    /// detected).
+    pub(crate) full: Option<MultiSeries>,
+    /// Fused single-keystroke waveform (same availability as `full`).
+    pub(crate) fused: Option<MultiSeries>,
+    /// (digit, segment) for every detected keystroke.
+    pub(crate) segments: Vec<(u8, MultiSeries)>,
+}
+
+/// Extracts the waveforms used by both enrollment and authentication.
+pub(crate) fn extract_for_auth(
+    config: &P2AuthConfig,
+    rec: &Recording,
+    pre: &Preprocessed,
+) -> ExtractedWaveforms {
+    let seg_win = config.scale_window(config.segment_window, rec.sample_rate);
+    let margin = seg_win / 2;
+    let digits = rec.pin_entered.digits();
+    let mut segments = Vec::new();
+    let mut present_segments = Vec::new();
+    for (i, (&t, &present)) in pre
+        .calibrated_times
+        .iter()
+        .zip(&pre.case.present)
+        .enumerate()
+    {
+        if present {
+            let s = znorm_series(&segment(&pre.filtered, t, seg_win));
+            segments.push((digits[i], s.clone()));
+            present_segments.push(s);
+        }
+    }
+    let all_present = !pre.case.present.is_empty() && pre.case.present.iter().all(|&p| p);
+    let (full, fused) = if all_present {
+        let fw = znorm_series(&full_waveform(
+            &pre.filtered,
+            &pre.calibrated_times,
+            margin,
+            config.full_waveform_len,
+        ));
+        let shift = config.scale_window(config.fusion_max_shift.max(1), rec.sample_rate);
+        let shift = if config.fusion_max_shift == 0 {
+            0
+        } else {
+            shift
+        };
+        let fu = fuse_aligned(&present_segments, shift).map(|f| znorm_series(&f));
+        (Some(fw), fu)
+    } else {
+        (None, None)
+    };
+    ExtractedWaveforms {
+        full,
+        fused,
+        segments,
+    }
+}
+
+fn train_wave_model(
+    config: &P2AuthConfig,
+    rocket_config: &p2auth_rocket::MiniRocketConfig,
+    positives: &[MultiSeries],
+    negatives: &[MultiSeries],
+    kind: SingleModelKind,
+) -> Result<WaveModel, AuthError> {
+    let mut train: Vec<MultiSeries> = Vec::with_capacity(positives.len() + negatives.len());
+    train.extend_from_slice(positives);
+    train.extend_from_slice(negatives);
+    let rocket =
+        MiniRocket::fit(rocket_config, &train).map_err(|e| AuthError::FeatureExtraction {
+            detail: e.to_string(),
+        })?;
+    let x: Vec<Vec<f64>> = train.iter().map(|s| rocket.transform_one(s)).collect();
+    let mut y = vec![1_i8; positives.len()];
+    y.extend(std::iter::repeat_n(-1, negatives.len()));
+    let clf = match kind {
+        SingleModelKind::Ridge => {
+            let c =
+                RidgeClassifier::fit(&config.ridge, &x, &y).map_err(|e| AuthError::Training {
+                    detail: e.to_string(),
+                })?;
+            KeyClassifier::Ridge(c)
+        }
+        SingleModelKind::Logistic => {
+            let c = LogisticClassifier::fit(
+                &LogisticConfig {
+                    seed: config.seed,
+                    ..LogisticConfig::default()
+                },
+                &x,
+                &y,
+            )
+            .map_err(|e| AuthError::Training {
+                detail: e.to_string(),
+            })?;
+            KeyClassifier::Logistic(c)
+        }
+    };
+    Ok(WaveModel { rocket, clf })
+}
+
+/// Enrolls a user with a fixed PIN. See [`crate::P2Auth::enroll`].
+///
+/// # Errors
+///
+/// Returns [`AuthError`] on malformed or inconsistent recordings, too
+/// few enrollment recordings, missing third-party data, or failed model
+/// training.
+pub fn enroll(
+    config: &P2AuthConfig,
+    pin: &Pin,
+    recordings: &[Recording],
+    third_party: &[Recording],
+) -> Result<UserProfile, AuthError> {
+    enroll_impl(config, Some(pin.clone()), recordings, third_party)
+}
+
+/// Enrolls a user without a fixed PIN: only single-waveform (per-key)
+/// models are trained and authentication relies on keystroke patterns
+/// alone (paper §IV-B 2.6).
+///
+/// # Errors
+///
+/// Same conditions as [`enroll`].
+pub fn enroll_keystrokes_only(
+    config: &P2AuthConfig,
+    recordings: &[Recording],
+    third_party: &[Recording],
+) -> Result<UserProfile, AuthError> {
+    enroll_impl(config, None, recordings, third_party)
+}
+
+fn enroll_impl(
+    config: &P2AuthConfig,
+    pin: Option<Pin>,
+    recordings: &[Recording],
+    third_party: &[Recording],
+) -> Result<UserProfile, AuthError> {
+    if recordings.len() < config.min_enroll_recordings {
+        return Err(AuthError::NotEnoughRecordings {
+            needed: config.min_enroll_recordings,
+            got: recordings.len(),
+        });
+    }
+    if third_party.is_empty() {
+        return Err(AuthError::NoThirdPartyData);
+    }
+    let rate = recordings[0].sample_rate;
+    let channels = recordings[0].num_channels();
+    for rec in recordings.iter().chain(third_party) {
+        if (rec.sample_rate - rate).abs() > 1e-9 {
+            return Err(AuthError::InconsistentRecordings {
+                detail: format!("sample rate {} != {rate}", rec.sample_rate),
+            });
+        }
+        if rec.num_channels() != channels {
+            return Err(AuthError::InconsistentRecordings {
+                detail: format!("channel count {} != {channels}", rec.num_channels()),
+            });
+        }
+    }
+
+    // Preprocess and extract everything once.
+    let mut pos = Vec::with_capacity(recordings.len());
+    for rec in recordings {
+        let pre = preprocess::preprocess(config, rec)?;
+        pos.push(extract_for_auth(config, rec, &pre));
+    }
+    let mut neg = Vec::with_capacity(third_party.len());
+    for rec in third_party {
+        let pre = preprocess::preprocess(config, rec)?;
+        neg.push(extract_for_auth(config, rec, &pre));
+    }
+
+    // Full-waveform model (one-handed).
+    let full_pos: Vec<MultiSeries> = pos.iter().filter_map(|e| e.full.clone()).collect();
+    let full_neg: Vec<MultiSeries> = neg.iter().filter_map(|e| e.full.clone()).collect();
+    let full = if full_pos.len() >= 2 && !full_neg.is_empty() {
+        Some(train_wave_model(
+            config,
+            &config.rocket,
+            &full_pos,
+            &full_neg,
+            SingleModelKind::Ridge,
+        )?)
+    } else {
+        None
+    };
+
+    // Privacy-boost model (fused waveforms).
+    let boost = if config.privacy_boost {
+        let b_pos: Vec<MultiSeries> = pos.iter().filter_map(|e| e.fused.clone()).collect();
+        let b_neg: Vec<MultiSeries> = neg.iter().filter_map(|e| e.fused.clone()).collect();
+        if b_pos.len() >= 2 && !b_neg.is_empty() {
+            let boost_rocket = config.boost_rocket.as_ref().unwrap_or(&config.rocket);
+            Some(train_wave_model(
+                config,
+                boost_rocket,
+                &b_pos,
+                &b_neg,
+                SingleModelKind::Ridge,
+            )?)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    // Per-key single-waveform models.
+    let mut pos_by_key: BTreeMap<u8, Vec<MultiSeries>> = BTreeMap::new();
+    for e in &pos {
+        for (d, s) in &e.segments {
+            pos_by_key.entry(*d).or_default().push(s.clone());
+        }
+    }
+    let mut neg_by_key: BTreeMap<u8, Vec<MultiSeries>> = BTreeMap::new();
+    let mut neg_any: Vec<MultiSeries> = Vec::new();
+    for e in &neg {
+        for (d, s) in &e.segments {
+            neg_by_key.entry(*d).or_default().push(s.clone());
+            neg_any.push(s.clone());
+        }
+    }
+    let mut per_key = BTreeMap::new();
+    for (digit, positives) in &pos_by_key {
+        if positives.len() < 2 {
+            continue;
+        }
+        // Prefer same-key negatives; fall back to any third-party
+        // segments so a model can still be trained.
+        let negatives: &[MultiSeries] = match neg_by_key.get(digit) {
+            Some(v) if !v.is_empty() => v,
+            _ => &neg_any,
+        };
+        if negatives.is_empty() {
+            continue;
+        }
+        let model = train_wave_model(
+            config,
+            &config.rocket,
+            positives,
+            negatives,
+            config.single_model,
+        )?;
+        per_key.insert(*digit, model);
+    }
+
+    if full.is_none() && boost.is_none() && per_key.is_empty() {
+        return Err(AuthError::Training {
+            detail: "no model could be trained (no usable keystrokes detected)".into(),
+        });
+    }
+
+    Ok(UserProfile {
+        pin,
+        privacy_boost: config.privacy_boost,
+        sample_rate: rate,
+        num_channels: channels,
+        full,
+        boost,
+        per_key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ChannelInfo, HandMode, Placement, UserId, Wavelength};
+
+    fn flatline_recording(pin: &str, rate: f64, channels: usize) -> Recording {
+        let times = [100_usize, 200, 300, 400];
+        Recording {
+            user: UserId(0),
+            sample_rate: rate,
+            ppg: vec![vec![0.5; 520]; channels],
+            channels: vec![
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Radial,
+                };
+                channels
+            ],
+            accel: None,
+            pin_entered: Pin::new(pin).expect("valid"),
+            reported_key_times: times.to_vec(),
+            true_key_times: times.to_vec(),
+            watch_hand: vec![true; 4],
+            hand_mode: HandMode::OneHanded,
+        }
+    }
+
+    #[test]
+    fn too_few_recordings_rejected() {
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let recs = vec![flatline_recording("1628", 100.0, 1); 2];
+        assert!(matches!(
+            enroll(&cfg, &pin, &recs, &recs),
+            Err(AuthError::NotEnoughRecordings { needed: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_third_party_rejected() {
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let recs = vec![flatline_recording("1628", 100.0, 1); 5];
+        assert!(matches!(
+            enroll(&cfg, &pin, &recs, &[]),
+            Err(AuthError::NoThirdPartyData)
+        ));
+    }
+
+    #[test]
+    fn inconsistent_rates_rejected() {
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let mut recs = vec![flatline_recording("1628", 100.0, 1); 4];
+        recs.push(flatline_recording("1628", 50.0, 1));
+        let third = vec![flatline_recording("1628", 100.0, 1)];
+        assert!(matches!(
+            enroll(&cfg, &pin, &recs, &third),
+            Err(AuthError::InconsistentRecordings { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_channel_counts_rejected() {
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let recs = vec![flatline_recording("1628", 100.0, 2); 5];
+        let third = vec![flatline_recording("1628", 100.0, 1)];
+        assert!(matches!(
+            enroll(&cfg, &pin, &recs, &third),
+            Err(AuthError::InconsistentRecordings { .. })
+        ));
+    }
+
+    #[test]
+    fn flatline_signals_cannot_train_any_model() {
+        // No keystroke energy anywhere: no waveform can be extracted,
+        // so enrollment must fail loudly rather than return an empty
+        // profile.
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let recs = vec![flatline_recording("1628", 100.0, 1); 5];
+        let third = vec![flatline_recording("1628", 100.0, 1); 3];
+        assert!(matches!(
+            enroll(&cfg, &pin, &recs, &third),
+            Err(AuthError::Training { .. })
+        ));
+    }
+}

@@ -1,0 +1,164 @@
+//! Waveform segmentation (paper §IV-B 2.5).
+//!
+//! Single-keystroke PPG samples are cut from a fixed window around each
+//! calibrated keystroke time — 90 samples at 100 Hz, "to avoid
+//! overlapping the pulse waveform of adjacent keystrokes" given the
+//! ~1.1 s average inter-keystroke interval. The one-handed full-waveform
+//! model instead uses the whole PIN-entry span, resampled to a fixed
+//! length.
+
+use p2auth_dsp::resample::resample_linear;
+use p2auth_rocket::MultiSeries;
+
+/// Cuts a fixed-length window of `window` samples centred on `center`
+/// from every channel.
+///
+/// Near the signal boundaries the window slides inward so the output
+/// always has exactly `window` samples; if the signal is shorter than
+/// `window`, edge samples are replicated.
+///
+/// # Panics
+///
+/// Panics if `filtered` is empty, any channel is empty, or `window` is
+/// zero.
+pub fn segment(filtered: &[Vec<f64>], center: usize, window: usize) -> MultiSeries {
+    assert!(!filtered.is_empty(), "no channels");
+    assert!(window > 0, "window must be positive");
+    let n = filtered[0].len();
+    assert!(n > 0, "empty channel");
+    let channels: Vec<Vec<f64>> = filtered
+        .iter()
+        .map(|c| {
+            if n >= window {
+                let half = window / 2;
+                let start = center.saturating_sub(half).min(n - window);
+                c[start..start + window].to_vec()
+            } else {
+                // Replicate the last sample to reach the window length.
+                let mut v = c.clone();
+                v.resize(window, *c.last().expect("non-empty"));
+                v
+            }
+        })
+        .collect();
+    MultiSeries::new(channels).expect("segment construction cannot fail")
+}
+
+/// Extracts the full PIN-entry waveform: the span from `margin` samples
+/// before the first keystroke to `margin` after the last, resampled to
+/// `target_len` samples per channel so typing speed does not change the
+/// model input size.
+///
+/// # Panics
+///
+/// Panics if `filtered` or `times` is empty or `target_len` is zero.
+pub fn full_waveform(
+    filtered: &[Vec<f64>],
+    times: &[usize],
+    margin: usize,
+    target_len: usize,
+) -> MultiSeries {
+    assert!(!filtered.is_empty(), "no channels");
+    assert!(!times.is_empty(), "no keystroke times");
+    assert!(target_len > 0, "target length must be positive");
+    let n = filtered[0].len();
+    let first = *times.iter().min().expect("non-empty");
+    let last = *times.iter().max().expect("non-empty");
+    let start = first.saturating_sub(margin);
+    let end = (last + margin + 1).min(n).max(start + 2);
+    let span = end - start;
+    let channels: Vec<Vec<f64>> = filtered
+        .iter()
+        .map(|c| {
+            let crop = &c[start..end.min(c.len())];
+            // Resample the crop to the fixed target length.
+            resample_linear(crop, span as f64, target_len as f64)
+        })
+        .collect();
+    MultiSeries::new(channels).expect("full waveform construction cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_segment_is_centred() {
+        let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let s = segment(&[x], 100, 90);
+        assert_eq!(s.len(), 90);
+        assert_eq!(s.channel(0)[0], 55.0); // 100 - 45
+    }
+
+    #[test]
+    fn edge_segments_slide_inward() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let s = segment(std::slice::from_ref(&x), 2, 90);
+        assert_eq!(s.channel(0)[0], 0.0);
+        let s = segment(&[x], 99, 90);
+        assert_eq!(*s.channel(0).last().unwrap(), 99.0);
+        assert_eq!(s.len(), 90);
+    }
+
+    #[test]
+    fn short_signal_padded() {
+        let s = segment(&[vec![1.0, 2.0, 3.0]], 1, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.channel(0)[9], 3.0);
+    }
+
+    #[test]
+    fn full_waveform_fixed_length_invariant_to_speed() {
+        // Same shape typed slow vs fast should produce similar fixed-size
+        // crops.
+        let make = |scale: usize| -> (Vec<f64>, Vec<usize>) {
+            let times: Vec<usize> = (0..4).map(|k| 50 + k * scale).collect();
+            let n = times[3] + 100;
+            let x = (0..n)
+                .map(|i| {
+                    times
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &t)| {
+                            let d = (i as f64 - t as f64) / 5.0;
+                            // Make the third keystroke unambiguously the
+                            // tallest so argmax is well defined.
+                            let amp = if k == 2 { 2.0 } else { 1.0 };
+                            amp * (-d * d).exp()
+                        })
+                        .sum()
+                })
+                .collect();
+            (x, times)
+        };
+        let (slow, t_slow) = make(140);
+        let (fast, t_fast) = make(80);
+        let a = full_waveform(&[slow], &t_slow, 40, 256);
+        let b = full_waveform(&[fast], &t_fast, 40, 256);
+        assert_eq!(a.len(), 256);
+        assert_eq!(b.len(), 256);
+        // Peaks land near the same normalized positions.
+        let peak_pos = |s: &MultiSeries| -> usize {
+            s.channel(0)
+                .iter()
+                .enumerate()
+                .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let pa = peak_pos(&a) as i64;
+        let pb = peak_pos(&b) as i64;
+        assert!((pa - pb).abs() < 30, "peaks at {pa} vs {pb}");
+    }
+
+    #[test]
+    fn multichannel_segments_aligned() {
+        let a: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| -(i as f64)).collect();
+        let s = segment(&[a, b], 150, 50);
+        assert_eq!(s.num_channels(), 2);
+        for i in 0..50 {
+            assert_eq!(s.channel(0)[i], -s.channel(1)[i]);
+        }
+    }
+}

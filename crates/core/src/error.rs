@@ -1,0 +1,68 @@
+//! Error type of the authentication pipeline.
+
+use std::fmt;
+
+/// Error from enrollment or authentication.
+///
+/// Note that a *rejected attempt* is not an error — rejection is the
+/// `accepted == false` outcome of [`crate::AuthDecision`]. Errors are
+/// malformed inputs or failed model training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuthError {
+    /// A recording failed structural validation.
+    InvalidRecording {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Too few enrollment recordings.
+    NotEnoughRecordings {
+        /// Required minimum.
+        needed: usize,
+        /// Number provided.
+        got: usize,
+    },
+    /// No usable third-party (negative) data.
+    NoThirdPartyData,
+    /// Enrollment recordings disagree on shape (channels/rate).
+    InconsistentRecordings {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Feature-extractor fitting failed.
+    FeatureExtraction {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Classifier training failed.
+    Training {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The attempt's shape does not match the enrolled profile.
+    ProfileMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::InvalidRecording { detail } => write!(f, "invalid recording: {detail}"),
+            AuthError::NotEnoughRecordings { needed, got } => {
+                write!(f, "need at least {needed} enrollment recordings, got {got}")
+            }
+            AuthError::NoThirdPartyData => write!(f, "no third-party training data"),
+            AuthError::InconsistentRecordings { detail } => {
+                write!(f, "inconsistent recordings: {detail}")
+            }
+            AuthError::FeatureExtraction { detail } => {
+                write!(f, "feature extraction failed: {detail}")
+            }
+            AuthError::Training { detail } => write!(f, "training failed: {detail}"),
+            AuthError::ProfileMismatch { detail } => write!(f, "profile mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}

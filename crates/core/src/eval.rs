@@ -1,0 +1,129 @@
+//! Experiment protocol helpers used by the benchmark harness.
+//!
+//! The paper's evaluation (§V) repeatedly runs the same protocol: enroll
+//! a user from part of their data (plus a third-party pool), then count
+//! how often legitimate attempts are accepted (authentication accuracy)
+//! and attack attempts rejected (true rejection rate). This module
+//! packages that protocol so every figure harness shares one
+//! implementation. It is simulation-agnostic: callers supply the
+//! recordings.
+
+use crate::auth;
+use crate::config::P2AuthConfig;
+use crate::enroll::{self, UserProfile};
+use crate::error::AuthError;
+use crate::types::{Pin, Recording};
+use p2auth_ml::metrics::ConfusionCounts;
+
+/// The tallies produced by one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalOutcome {
+    /// Legitimate-attempt decisions (accuracy = TP rate).
+    pub legit: ConfusionCounts,
+    /// Attack-attempt decisions (TRR = TN rate).
+    pub attacks: ConfusionCounts,
+}
+
+impl EvalOutcome {
+    /// Authentication accuracy over legitimate attempts.
+    pub fn accuracy(&self) -> Option<f64> {
+        self.legit.authentication_accuracy()
+    }
+
+    /// True rejection rate over attack attempts.
+    pub fn true_rejection_rate(&self) -> Option<f64> {
+        self.attacks.true_rejection_rate()
+    }
+
+    /// Merges another outcome into this one.
+    pub fn merge(&mut self, other: &EvalOutcome) {
+        self.legit.merge(&other.legit);
+        self.attacks.merge(&other.attacks);
+    }
+}
+
+/// Enrolls a profile and evaluates it against legitimate and attack
+/// attempts using the PIN-checked flow.
+///
+/// # Errors
+///
+/// Propagates [`AuthError`] from enrollment or from malformed attempt
+/// recordings.
+pub fn run_protocol(
+    config: &P2AuthConfig,
+    pin: &Pin,
+    enroll_recs: &[Recording],
+    third_party: &[Recording],
+    legit_attempts: &[Recording],
+    attack_attempts: &[Recording],
+) -> Result<EvalOutcome, AuthError> {
+    let profile = enroll::enroll(config, pin, enroll_recs, third_party)?;
+    evaluate_profile(config, &profile, pin, legit_attempts, attack_attempts)
+}
+
+/// Evaluates an existing profile (PIN-checked flow).
+///
+/// # Errors
+///
+/// Propagates [`AuthError`] from malformed attempt recordings.
+pub fn evaluate_profile(
+    config: &P2AuthConfig,
+    profile: &UserProfile,
+    pin: &Pin,
+    legit_attempts: &[Recording],
+    attack_attempts: &[Recording],
+) -> Result<EvalOutcome, AuthError> {
+    let mut out = EvalOutcome::default();
+    for rec in legit_attempts {
+        let d = auth::authenticate(config, profile, Some(pin), rec)?;
+        out.legit.record(d.accepted, true);
+    }
+    for rec in attack_attempts {
+        // The attacker types whatever PIN the attack scenario dictates;
+        // the claimed PIN is what they entered.
+        let d = auth::authenticate(config, profile, Some(&rec.pin_entered), rec)?;
+        out.attacks.record(d.accepted, false);
+    }
+    Ok(out)
+}
+
+/// Evaluates a profile in the no-PIN flow (keystroke pattern only).
+///
+/// # Errors
+///
+/// Propagates [`AuthError`] from malformed attempt recordings.
+pub fn evaluate_profile_no_pin(
+    config: &P2AuthConfig,
+    profile: &UserProfile,
+    legit_attempts: &[Recording],
+    attack_attempts: &[Recording],
+) -> Result<EvalOutcome, AuthError> {
+    let mut out = EvalOutcome::default();
+    for rec in legit_attempts {
+        let d = auth::authenticate(config, profile, None, rec)?;
+        out.legit.record(d.accepted, true);
+    }
+    for rec in attack_attempts {
+        let d = auth::authenticate(config, profile, None, rec)?;
+        out.attacks.record(d.accepted, false);
+    }
+    Ok(out)
+}
+
+/// Splits a user's recordings into enrollment and test halves:
+/// the first `n_enroll` recordings enroll, the rest test.
+///
+/// # Panics
+///
+/// Panics if `n_enroll` is zero or `>= recordings.len()`.
+pub fn split_enroll_test(
+    recordings: &[Recording],
+    n_enroll: usize,
+) -> (&[Recording], &[Recording]) {
+    assert!(
+        n_enroll > 0 && n_enroll < recordings.len(),
+        "bad split point {n_enroll}/{}",
+        recordings.len()
+    );
+    recordings.split_at(n_enroll)
+}

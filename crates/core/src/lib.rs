@@ -1,0 +1,137 @@
+//! # P²Auth core — the two-factor authentication pipeline
+//!
+//! Reproduction of the primary contribution of *P²Auth: Two-Factor
+//! Authentication Leveraging PIN and Keystroke-Induced PPG Measurements*
+//! (Su et al., ICDCS 2023): verifying a user from (1) the PIN they type
+//! and (2) the keystroke-induced PPG transients their wrist produces
+//! while typing it.
+//!
+//! The pipeline follows the paper's workflow (Fig. 4):
+//!
+//! 1. **Preprocessing** ([`preprocess`]) — median-filter noise removal,
+//!    fine-grained keystroke-time calibration (SG filter + extreme-point
+//!    search, Eq. (1)), and PIN-input-case identification
+//!    (smoothness-priors detrending + short-time-energy threshold).
+//! 2. **Enrollment** ([`enroll`]) — waveform segmentation, optional
+//!    privacy-boost waveform fusion (Eq. (4)), MiniRocket feature
+//!    extraction, and per-user binary classifier training (a
+//!    full-waveform model plus per-key single-waveform models).
+//! 3. **Authentication** ([`auth`]) — PIN verification, case dispatch,
+//!    per-keystroke classification and results integration (2-of-3 /
+//!    2-of-2 rules, lone-keystroke rejection), plus the no-PIN policy.
+//!
+//! [`eval`] provides the experiment protocol used by the benchmark
+//! harness (train/test splits, attack scenarios, metric tallies).
+//!
+//! See the crate-level example in the `p2auth` facade crate and
+//! `examples/quickstart.rs` for end-to-end usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod config;
+pub mod enroll;
+pub mod error;
+pub mod eval;
+pub mod preprocess;
+pub mod types;
+
+pub use auth::{AuthDecision, KeystrokeVote, RejectReason};
+pub use config::{P2AuthConfig, PinPolicy, SingleModelKind};
+pub use enroll::UserProfile;
+pub use error::AuthError;
+pub use preprocess::{CaseReport, InputCase};
+pub use types::{
+    AccelTrack, ChannelInfo, HandMode, Pin, PinError, Placement, Recording, UserId, Wavelength,
+};
+
+use types::{Pin as PinT, Recording as Rec};
+
+/// The P²Auth two-factor authentication system.
+///
+/// Construct once from a [`P2AuthConfig`], then use
+/// [`P2Auth::enroll`] to register users and [`P2Auth::authenticate`] to
+/// verify attempts. The struct is stateless apart from its
+/// configuration; user state lives in [`UserProfile`].
+#[derive(Debug, Clone)]
+pub struct P2Auth {
+    config: P2AuthConfig,
+}
+
+impl P2Auth {
+    /// Creates a system with the given configuration.
+    pub fn new(config: P2AuthConfig) -> Self {
+        Self { config }
+    }
+
+    /// Borrow of the active configuration.
+    pub fn config(&self) -> &P2AuthConfig {
+        &self.config
+    }
+
+    /// Enrolls a user: preprocesses the recordings, trains the
+    /// full-waveform and per-key models and returns the profile.
+    ///
+    /// `third_party` recordings play the paper's "third parties" role —
+    /// negative examples stored on the phone for classifier training
+    /// (§IV-B 2, Fig. 14 studies their number).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if recordings are malformed, too few, or
+    /// classifier training fails.
+    pub fn enroll(
+        &self,
+        pin: &PinT,
+        recordings: &[Rec],
+        third_party: &[Rec],
+    ) -> Result<UserProfile, AuthError> {
+        enroll::enroll(&self.config, pin, recordings, third_party)
+    }
+
+    /// Enrolls a user without a fixed PIN: only per-key single-waveform
+    /// models are trained; authentication uses keystroke patterns alone
+    /// (paper §IV-B 2.6, "unlock phone without having to preset a PIN").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] under the same conditions as
+    /// [`P2Auth::enroll`].
+    pub fn enroll_no_pin(
+        &self,
+        recordings: &[Rec],
+        third_party: &[Rec],
+    ) -> Result<UserProfile, AuthError> {
+        enroll::enroll_keystrokes_only(&self.config, recordings, third_party)
+    }
+
+    /// Authenticates one attempt against a profile with the PIN factor
+    /// checked first (the paper's main flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if the recording is malformed.
+    pub fn authenticate(
+        &self,
+        profile: &UserProfile,
+        claimed_pin: &PinT,
+        attempt: &Rec,
+    ) -> Result<AuthDecision, AuthError> {
+        auth::authenticate(&self.config, profile, Some(claimed_pin), attempt)
+    }
+
+    /// Authenticates without a fixed PIN (paper §IV-B 2.6: "the NO-PIN
+    /// case will not check the legitimacy of the password entered").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if the recording is malformed.
+    pub fn authenticate_no_pin(
+        &self,
+        profile: &UserProfile,
+        attempt: &Rec,
+    ) -> Result<AuthDecision, AuthError> {
+        auth::authenticate(&self.config, profile, None, attempt)
+    }
+}

@@ -1,0 +1,130 @@
+//! Fine-grained keystroke-time calibration (paper §IV-B 1.2, Eq. (1)).
+//!
+//! The smartphone's keystroke timestamps reach the acquisition side
+//! through a link with "dynamically changing communication delay", so
+//! they are only coarse. The calibration smooths the signal with an SG
+//! filter, then searches local extrema within a window around each
+//! reported time for the point that deviates most from the local mean —
+//! keystrokes "always produce larger peaks and troughs than heartbeats
+//! do".
+
+use crate::config::P2AuthConfig;
+use p2auth_dsp::peaks::calibrate_keystroke_asym;
+use p2auth_dsp::savgol::savgol_filter;
+
+/// Calibrates every reported keystroke time against the filtered
+/// multichannel PPG.
+///
+/// For each reported time, every channel proposes its best extremum
+/// (Eq. (1) objective on that channel's SG-smoothed signal); the
+/// proposal with the highest objective wins. If no channel finds an
+/// extremum in range (e.g. flat signal), the reported time is kept.
+pub fn calibrate_times(
+    config: &P2AuthConfig,
+    filtered: &[Vec<f64>],
+    reported: &[usize],
+    sample_rate: f64,
+) -> Vec<usize> {
+    let sg_win = config.scale_window(config.savgol_window, sample_rate);
+    let sg_order = config.savgol_order.min(sg_win.saturating_sub(1));
+    let w = config.scale_window(config.calibration_window, sample_rate);
+    let before = config.scale_window(config.calibration_radius_before, sample_rate);
+    let after = config.scale_window(config.calibration_radius_after, sample_rate);
+    let smoothed: Vec<Vec<f64>> = filtered
+        .iter()
+        .map(|c| savgol_filter(c, sg_win, sg_order))
+        .collect();
+    reported
+        .iter()
+        .map(|&t| {
+            let mut best: Option<(usize, f64)> = None;
+            for ch in &smoothed {
+                if let Some(c) = calibrate_keystroke_asym(ch, t, before, after, w) {
+                    if best.is_none_or(|(_, s)| c.score > s) {
+                        best = Some((c.index, c.score));
+                    }
+                }
+            }
+            best.map_or(t, |(idx, _)| idx)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthesizes a slow "heartbeat" plus a sharp trough at `at`.
+    fn signal_with_keystroke(n: usize, at: usize, depth: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let heart = 0.3 * (i as f64 * 2.0 * std::f64::consts::PI / 90.0).sin();
+                let d = (i as f64 - at as f64) / 4.0;
+                heart - depth * (-d * d).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snaps_reported_time_to_artifact() {
+        let cfg = P2AuthConfig::default();
+        let truth = 200;
+        let x = signal_with_keystroke(500, truth, 2.0);
+        // Reported 12 samples late (120 ms communication delay).
+        let cal = calibrate_times(&cfg, &[x], &[truth + 12], 100.0);
+        assert!(
+            (cal[0] as i64 - truth as i64).abs() <= 4,
+            "calibrated to {} want ~{truth}",
+            cal[0]
+        );
+    }
+
+    #[test]
+    fn multi_channel_picks_strongest() {
+        let cfg = P2AuthConfig::default();
+        let truth = 150;
+        let weak = signal_with_keystroke(400, truth, 0.4);
+        let strong = signal_with_keystroke(400, truth, 3.0);
+        let cal = calibrate_times(&cfg, &[weak, strong], &[truth + 10], 100.0);
+        assert!((cal[0] as i64 - truth as i64).abs() <= 4);
+    }
+
+    #[test]
+    fn falls_back_to_reported_on_flat_signal() {
+        let cfg = P2AuthConfig::default();
+        let x = vec![1.0; 300];
+        let cal = calibrate_times(&cfg, &[x], &[100], 100.0);
+        assert_eq!(cal, vec![100]);
+    }
+
+    #[test]
+    fn handles_multiple_keystrokes() {
+        let cfg = P2AuthConfig::default();
+        let truths = [100_usize, 210, 320, 430];
+        let mut x = vec![0.0; 550];
+        for &t in &truths {
+            let bump = signal_with_keystroke(550, t, 2.0);
+            for (a, b) in x.iter_mut().zip(&bump) {
+                *a += b / truths.len() as f64;
+            }
+        }
+        let reported: Vec<usize> = truths.iter().map(|&t| t + 8).collect();
+        let cal = calibrate_times(&cfg, &[x], &reported, 100.0);
+        for (c, &t) in cal.iter().zip(&truths) {
+            assert!(
+                (*c as i64 - t as i64).abs() <= 5,
+                "calibrated {c} want ~{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn scales_with_sample_rate() {
+        let cfg = P2AuthConfig::default();
+        // Same scenario at 50 Hz: indices halve.
+        let truth = 100;
+        let x = signal_with_keystroke(250, truth, 2.0);
+        let cal = calibrate_times(&cfg, &[x], &[truth + 6], 50.0);
+        assert!((cal[0] as i64 - truth as i64).abs() <= 4);
+    }
+}

@@ -1,0 +1,48 @@
+//! PPG-sample preprocessing (paper §IV-B 1, Fig. 4 "Preprocessing
+//! phase"): noise removal, fine-grained keystroke-time calibration and
+//! PIN-input-case identification.
+
+pub mod calibration;
+pub mod case_id;
+pub mod noise;
+pub mod wear;
+
+use crate::config::P2AuthConfig;
+use crate::error::AuthError;
+use crate::types::Recording;
+pub use case_id::{CaseReport, InputCase};
+
+/// The output of the preprocessing phase for one recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preprocessed {
+    /// Median-filtered PPG channels.
+    pub filtered: Vec<Vec<f64>>,
+    /// Calibrated keystroke times (sample indices), one per reported
+    /// keystroke.
+    pub calibrated_times: Vec<usize>,
+    /// Input-case identification result.
+    pub case: CaseReport,
+    /// Sampling rate of the signals (copied from the recording).
+    pub sample_rate: f64,
+}
+
+/// Runs the full preprocessing chain on one recording.
+///
+/// # Errors
+///
+/// Returns [`AuthError::InvalidRecording`] if the recording fails
+/// structural validation.
+pub fn preprocess(config: &P2AuthConfig, rec: &Recording) -> Result<Preprocessed, AuthError> {
+    rec.validate()
+        .map_err(|detail| AuthError::InvalidRecording { detail })?;
+    let filtered = noise::remove_noise(config, rec);
+    let calibrated_times =
+        calibration::calibrate_times(config, &filtered, &rec.reported_key_times, rec.sample_rate);
+    let case = case_id::identify_case(config, &filtered, &calibrated_times, rec.sample_rate);
+    Ok(Preprocessed {
+        filtered,
+        calibrated_times,
+        case,
+        sample_rate: rec.sample_rate,
+    })
+}

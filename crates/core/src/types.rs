@@ -1,0 +1,389 @@
+//! Shared data types: PINs, channels, recordings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error validating a [`Pin`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinError {
+    /// PIN length outside the supported 4–6 digits.
+    BadLength {
+        /// Offending length.
+        len: usize,
+    },
+    /// PIN contained a non-digit character.
+    NonDigit {
+        /// Offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for PinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinError::BadLength { len } => write!(f, "PIN must have 4-6 digits, got {len}"),
+            PinError::NonDigit { ch } => write!(f, "PIN must contain only digits, got {ch:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PinError {}
+
+/// A numeric PIN of 4–6 digits.
+///
+/// The paper's experiments use four-digit PINs (1628, 3570, 5094, 6938,
+/// 7412); longer PINs are supported because the pipeline segments per
+/// keystroke.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pin {
+    digits: Vec<u8>,
+}
+
+impl Pin {
+    /// Parses a PIN from its decimal string form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PinError`] for non-digit characters or lengths outside
+    /// 4–6.
+    pub fn new(s: &str) -> Result<Self, PinError> {
+        if !(4..=6).contains(&s.chars().count()) {
+            return Err(PinError::BadLength {
+                len: s.chars().count(),
+            });
+        }
+        let mut digits = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            let d = ch.to_digit(10).ok_or(PinError::NonDigit { ch })?;
+            digits.push(d as u8);
+        }
+        Ok(Self { digits })
+    }
+
+    /// The digits, most significant first.
+    pub fn digits(&self) -> &[u8] {
+        &self.digits
+    }
+
+    /// Number of digits.
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Always false (construction requires ≥ 4 digits).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Pin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.digits {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Pin {
+    type Err = PinError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pin::new(s)
+    }
+}
+
+/// How the user typed the PIN (paper Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HandMode {
+    /// All keystrokes by the thumb of the hand wearing the watch.
+    OneHanded,
+    /// The phone held in one hand and typed with both thumbs; only the
+    /// keystrokes of the watch-wearing hand show in the PPG.
+    TwoHanded,
+}
+
+/// Identifier of a (simulated) user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user{}", self.0)
+    }
+}
+
+/// LED wavelength of a PPG channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Wavelength {
+    /// Infrared LED — deeper penetration, stronger artifact coupling.
+    Infrared,
+    /// Red LED — shallower, noisier, but complementary (paper Fig. 13b).
+    Red,
+    /// Green LED — common on commercial watches (Apple Watch).
+    Green,
+}
+
+/// Physical placement of a PPG sensor module on the wrist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Placement {
+    /// Inner wrist, radial-artery side (thumb side).
+    Radial,
+    /// Inner wrist, ulnar-artery side (little-finger side).
+    Ulnar,
+    /// Back of the wrist (the paper found this less stable, §VI).
+    Dorsal,
+}
+
+/// Description of one PPG channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelInfo {
+    /// LED wavelength.
+    pub wavelength: Wavelength,
+    /// Sensor placement.
+    pub placement: Placement,
+}
+
+impl fmt::Display for ChannelInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}-{:?}", self.wavelength, self.placement)
+    }
+}
+
+/// A 3-axis accelerometer track (the LIS2DH12 of the prototype,
+/// sampled at 75 Hz — used only by the comparison method of Fig. 12).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelTrack {
+    /// Sampling rate in Hz.
+    pub sample_rate: f64,
+    /// The x/y/z axis signals, equal lengths.
+    pub axes: [Vec<f64>; 3],
+}
+
+/// One PIN-entry acquisition: multichannel PPG, optional accelerometer,
+/// the PIN the subject typed, and the keystroke timestamps as reported
+/// by the smartphone (coarse, jittered by communication delay).
+///
+/// `true_key_times` carries the simulation ground truth; the
+/// authentication pipeline never reads it — it exists so experiments
+/// can measure calibration error.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recording {
+    /// Subject identity (ground truth, used only for evaluation).
+    pub user: UserId,
+    /// PPG sampling rate in Hz (100 on the prototype).
+    pub sample_rate: f64,
+    /// PPG channels: `channels × samples`, equal lengths.
+    pub ppg: Vec<Vec<f64>>,
+    /// Per-channel metadata, same order as `ppg`.
+    pub channels: Vec<ChannelInfo>,
+    /// Optional accelerometer track.
+    pub accel: Option<AccelTrack>,
+    /// The PIN the subject typed.
+    pub pin_entered: Pin,
+    /// Keystroke times (sample indices) as reported by the phone.
+    pub reported_key_times: Vec<usize>,
+    /// Ground-truth keystroke times (sample indices); evaluation only.
+    pub true_key_times: Vec<usize>,
+    /// For each keystroke, whether the watch-wearing hand pressed it.
+    pub watch_hand: Vec<bool>,
+    /// Input case used by the subject.
+    pub hand_mode: HandMode,
+}
+
+impl Recording {
+    /// Number of PPG samples per channel.
+    pub fn num_samples(&self) -> usize {
+        self.ppg.first().map_or(0, Vec::len)
+    }
+
+    /// Number of PPG channels.
+    pub fn num_channels(&self) -> usize {
+        self.ppg.len()
+    }
+
+    /// Duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.num_samples() as f64 / self.sample_rate
+    }
+
+    /// Checks structural invariants (equal channel lengths, metadata
+    /// count, timestamp bounds). Returns a human-readable description of
+    /// the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ppg.is_empty() {
+            return Err("no PPG channels".into());
+        }
+        let n = self.ppg[0].len();
+        if n == 0 {
+            return Err("empty PPG channel".into());
+        }
+        for (i, c) in self.ppg.iter().enumerate() {
+            if c.len() != n {
+                return Err(format!("channel {i} length {} != {n}", c.len()));
+            }
+        }
+        if self.channels.len() != self.ppg.len() {
+            return Err(format!(
+                "{} channel descriptors for {} channels",
+                self.channels.len(),
+                self.ppg.len()
+            ));
+        }
+        if self.reported_key_times.len() != self.pin_entered.len() {
+            return Err(format!(
+                "{} reported key times for a {}-digit PIN",
+                self.reported_key_times.len(),
+                self.pin_entered.len()
+            ));
+        }
+        if self.watch_hand.len() != self.reported_key_times.len() {
+            return Err("watch_hand length mismatch".into());
+        }
+        for &t in self.reported_key_times.iter().chain(&self.true_key_times) {
+            if t >= n {
+                return Err(format!("key time {t} beyond signal length {n}"));
+            }
+        }
+        if !(self.sample_rate.is_finite() && self.sample_rate > 0.0) {
+            return Err("non-positive sample rate".into());
+        }
+        Ok(())
+    }
+
+    /// Returns a copy restricted to the given channel indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idxs` is empty or any index is out of range.
+    pub fn select_channels(&self, idxs: &[usize]) -> Recording {
+        assert!(!idxs.is_empty(), "must keep at least one channel");
+        let mut out = self.clone();
+        out.ppg = idxs.iter().map(|&i| self.ppg[i].clone()).collect();
+        out.channels = idxs.iter().map(|&i| self.channels[i]).collect();
+        out
+    }
+
+    /// Returns a copy resampled to `rate` Hz (PPG and keystroke indices;
+    /// the accelerometer track keeps its own rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn resample(&self, rate: f64) -> Recording {
+        use p2auth_dsp::resample::{map_index, resample_linear};
+        assert!(rate > 0.0 && rate.is_finite(), "bad target rate");
+        let mut out = self.clone();
+        out.ppg = self
+            .ppg
+            .iter()
+            .map(|c| resample_linear(c, self.sample_rate, rate))
+            .collect();
+        let n = out.ppg[0].len();
+        let map = |t: usize| map_index(t, self.sample_rate, rate).min(n.saturating_sub(1));
+        out.reported_key_times = self.reported_key_times.iter().map(|&t| map(t)).collect();
+        out.true_key_times = self.true_key_times.iter().map(|&t| map(t)).collect();
+        out.sample_rate = rate;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_recording() -> Recording {
+        Recording {
+            user: UserId(0),
+            sample_rate: 100.0,
+            ppg: vec![vec![0.0; 500], vec![1.0; 500]],
+            channels: vec![
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Radial,
+                },
+                ChannelInfo {
+                    wavelength: Wavelength::Red,
+                    placement: Placement::Ulnar,
+                },
+            ],
+            accel: None,
+            pin_entered: Pin::new("1628").unwrap(),
+            reported_key_times: vec![100, 210, 320, 430],
+            true_key_times: vec![103, 207, 323, 428],
+            watch_hand: vec![true; 4],
+            hand_mode: HandMode::OneHanded,
+        }
+    }
+
+    #[test]
+    fn pin_parsing() {
+        assert!(Pin::new("1628").is_ok());
+        assert!(Pin::new("123456").is_ok());
+        assert!(matches!(
+            Pin::new("123"),
+            Err(PinError::BadLength { len: 3 })
+        ));
+        assert!(matches!(
+            Pin::new("1234567"),
+            Err(PinError::BadLength { .. })
+        ));
+        assert!(matches!(
+            Pin::new("12a4"),
+            Err(PinError::NonDigit { ch: 'a' })
+        ));
+        assert_eq!(Pin::new("5094").unwrap().to_string(), "5094");
+        assert_eq!(Pin::new("1628").unwrap().digits(), &[1, 6, 2, 8]);
+    }
+
+    #[test]
+    fn pin_equality() {
+        assert_eq!(Pin::new("1628").unwrap(), "1628".parse().unwrap());
+        assert_ne!(Pin::new("1628").unwrap(), Pin::new("1629").unwrap());
+    }
+
+    #[test]
+    fn recording_validates() {
+        assert_eq!(tiny_recording().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_ragged_channels() {
+        let mut r = tiny_recording();
+        r.ppg[1].pop();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_time_out_of_range() {
+        let mut r = tiny_recording();
+        r.reported_key_times[0] = 10_000;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_descriptor_mismatch() {
+        let mut r = tiny_recording();
+        r.channels.pop();
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn channel_selection() {
+        let r = tiny_recording();
+        let s = r.select_channels(&[1]);
+        assert_eq!(s.num_channels(), 1);
+        assert_eq!(s.channels[0].wavelength, Wavelength::Red);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn resampling_maps_times() {
+        let r = tiny_recording();
+        let d = r.resample(50.0);
+        assert_eq!(d.num_samples(), 250);
+        assert_eq!(d.reported_key_times, vec![50, 105, 160, 215]);
+        assert_eq!(d.validate(), Ok(()));
+        assert!((d.duration_s() - r.duration_s()).abs() < 0.1);
+    }
+}

@@ -1,0 +1,305 @@
+//! End-to-end pipeline tests on simulated cohorts: enrollment,
+//! legitimate authentication, and both attack models.
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, PinPolicy, RejectReason};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn population(n: usize, seed: u64) -> Population {
+    Population::generate(&PopulationConfig {
+        num_users: n,
+        seed,
+        ..Default::default()
+    })
+}
+
+struct Setup {
+    pop: Population,
+    pin: Pin,
+    session: SessionConfig,
+}
+
+impl Setup {
+    fn new(seed: u64) -> Self {
+        Self {
+            pop: population(10, seed),
+            pin: Pin::new("1628").unwrap(),
+            session: SessionConfig::default(),
+        }
+    }
+
+    fn enroll_recs(&self, user: usize, mode: HandMode, n: usize) -> Vec<p2auth_core::Recording> {
+        (0..n)
+            .map(|i| {
+                self.pop
+                    .record_entry(user, &self.pin, mode, &self.session, i as u64)
+            })
+            .collect()
+    }
+
+    /// Third-party pool: everyone except the victim and the attacker
+    /// identities 1-3 used by the tests — mirroring the paper's split
+    /// into legitimate user / attackers / third parties.
+    fn third_party(&self, exclude: usize, n: usize, mode: HandMode) -> Vec<p2auth_core::Recording> {
+        let mut out = Vec::new();
+        let mut i = 0_u64;
+        while out.len() < n {
+            let u = (i as usize) % self.pop.num_users();
+            i += 1;
+            if u == exclude || (1..=3).contains(&u) {
+                continue;
+            }
+            out.push(
+                self.pop
+                    .record_entry(u, &self.pin, mode, &self.session, 1000 + i),
+            );
+        }
+        out
+    }
+}
+
+#[test]
+fn one_handed_enroll_and_authenticate() {
+    let s = Setup::new(48);
+    // Full default configuration: this test checks the headline
+    // accuracy, so do not trade features for speed here.
+    let sys = P2Auth::new(P2AuthConfig::default());
+    let enroll = s.enroll_recs(0, HandMode::OneHanded, 9);
+    let third = s.third_party(0, 30, HandMode::OneHanded);
+    let profile = sys
+        .enroll(&s.pin, &enroll, &third)
+        .expect("enrollment succeeds");
+    assert!(profile.has_full_model());
+
+    // Legitimate attempts accepted.
+    let mut accepted = 0;
+    let trials = 10;
+    for n in 0..trials {
+        let attempt = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 500 + n);
+        let d = sys.authenticate(&profile, &s.pin, &attempt).unwrap();
+        if d.accepted {
+            accepted += 1;
+        }
+    }
+    assert!(
+        accepted >= 8,
+        "only {accepted}/{trials} legitimate attempts accepted"
+    );
+
+    // Emulating attacks rejected.
+    let mut rejected = 0;
+    for n in 0..trials {
+        let attack = s.pop.record_emulating_attack(
+            1 + (n as usize % 3),
+            0,
+            &s.pin,
+            HandMode::OneHanded,
+            &s.session,
+            n,
+        );
+        let d = sys.authenticate(&profile, &s.pin, &attack).unwrap();
+        if !d.accepted {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected >= 8,
+        "only {rejected}/{trials} emulating attacks rejected"
+    );
+}
+
+#[test]
+fn wrong_pin_rejected_immediately() {
+    let s = Setup::new(42);
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let profile = sys
+        .enroll(
+            &s.pin,
+            &s.enroll_recs(0, HandMode::OneHanded, 8),
+            &s.third_party(0, 30, HandMode::OneHanded),
+        )
+        .unwrap();
+    let wrong = Pin::new("9999").unwrap();
+    let attempt = s
+        .pop
+        .record_entry(0, &wrong, HandMode::OneHanded, &s.session, 7);
+    let d = sys.authenticate(&profile, &wrong, &attempt).unwrap();
+    assert!(!d.accepted);
+    assert_eq!(d.reason, Some(RejectReason::WrongPin));
+}
+
+#[test]
+fn two_handed_flow() {
+    let s = Setup::new(43);
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    // Enroll with a mix of one- and two-handed recordings so per-key
+    // models exist.
+    let mut enroll = s.enroll_recs(0, HandMode::OneHanded, 6);
+    enroll.extend(s.enroll_recs(0, HandMode::TwoHanded, 6));
+    let mut third = s.third_party(0, 30, HandMode::OneHanded);
+    third.extend(s.third_party(0, 12, HandMode::TwoHanded));
+    let profile = sys.enroll(&s.pin, &enroll, &third).unwrap();
+    assert!(!profile.enrolled_keys().is_empty());
+
+    let mut accepted = 0;
+    let trials = 10;
+    for n in 0..trials {
+        let attempt = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::TwoHanded, &s.session, 700 + n);
+        let d = sys.authenticate(&profile, &s.pin, &attempt).unwrap();
+        if d.accepted {
+            accepted += 1;
+        }
+    }
+    assert!(
+        accepted >= 5,
+        "only {accepted}/{trials} two-handed attempts accepted"
+    );
+
+    let mut rejected = 0;
+    for n in 0..trials {
+        let attack =
+            s.pop
+                .record_emulating_attack(2, 0, &s.pin, HandMode::TwoHanded, &s.session, 50 + n);
+        let d = sys.authenticate(&profile, &s.pin, &attack).unwrap();
+        if !d.accepted {
+            rejected += 1;
+        }
+    }
+    assert!(
+        rejected >= 8,
+        "only {rejected}/{trials} two-handed attacks rejected"
+    );
+}
+
+#[test]
+fn no_pin_flow() {
+    let s = Setup::new(44);
+    let mut cfg = P2AuthConfig::fast();
+    cfg.pin_policy = PinPolicy::NoPinAllowed;
+    let sys = P2Auth::new(cfg);
+    let enroll = s.enroll_recs(0, HandMode::OneHanded, 9);
+    let third = s.third_party(0, 30, HandMode::OneHanded);
+    let profile = sys.enroll_no_pin(&enroll, &third).unwrap();
+    assert!(profile.pin().is_none());
+    assert!(!profile.enrolled_keys().is_empty());
+
+    let mut accepted = 0;
+    for n in 0..8_u64 {
+        let attempt = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 300 + n);
+        let d = sys.authenticate_no_pin(&profile, &attempt).unwrap();
+        if d.accepted {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= 4, "only {accepted}/8 no-PIN attempts accepted");
+
+    let mut rejected = 0;
+    for n in 0..8_u64 {
+        let attack =
+            s.pop
+                .record_emulating_attack(3, 0, &s.pin, HandMode::OneHanded, &s.session, 80 + n);
+        let d = sys.authenticate_no_pin(&profile, &attack).unwrap();
+        if !d.accepted {
+            rejected += 1;
+        }
+    }
+    assert!(rejected >= 6, "only {rejected}/8 no-PIN attacks rejected");
+}
+
+#[test]
+fn pin_required_policy_blocks_no_pin_attempts() {
+    let s = Setup::new(45);
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let profile = sys
+        .enroll(
+            &s.pin,
+            &s.enroll_recs(0, HandMode::OneHanded, 8),
+            &s.third_party(0, 30, HandMode::OneHanded),
+        )
+        .unwrap();
+    let attempt = s
+        .pop
+        .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 9);
+    let d = sys.authenticate_no_pin(&profile, &attempt).unwrap();
+    assert!(!d.accepted);
+    assert_eq!(d.reason, Some(RejectReason::PinRequired));
+}
+
+#[test]
+fn case_identification_on_simulated_entries() {
+    use p2auth_core::preprocess::preprocess;
+    let s = Setup::new(46);
+    let cfg = P2AuthConfig::fast();
+    let mut one_ok = 0;
+    let mut two_ok = 0;
+    let trials = 10;
+    for n in 0..trials {
+        let one = s
+            .pop
+            .record_entry(1, &s.pin, HandMode::OneHanded, &s.session, n);
+        let pre = preprocess(&cfg, &one).unwrap();
+        if pre.case.case == p2auth_core::InputCase::OneHanded {
+            one_ok += 1;
+        }
+        let two = s
+            .pop
+            .record_entry(1, &s.pin, HandMode::TwoHanded, &s.session, n);
+        let pre = preprocess(&cfg, &two).unwrap();
+        let expected = two.watch_hand.iter().filter(|&&b| b).count();
+        if pre.case.present_count() == expected {
+            two_ok += 1;
+        }
+    }
+    assert!(one_ok >= 8, "one-handed case identified {one_ok}/{trials}");
+    assert!(
+        two_ok >= 7,
+        "two-handed keystroke count right {two_ok}/{trials}"
+    );
+}
+
+#[test]
+fn calibration_is_more_consistent_than_reported_times() {
+    // The calibrated time locks onto the artifact's dominant extremum.
+    // Its *absolute* offset from the touch follows the subject's
+    // neuromuscular latency; what the pipeline needs is *consistency*:
+    // the same key must calibrate to the same artifact landmark every
+    // repetition, tighter than the ±10-sample communication jitter of
+    // the reported times.
+    use p2auth_core::preprocess::preprocess;
+    let s = Setup::new(47);
+    let cfg = P2AuthConfig::fast();
+    let trials = 12_u64;
+    let mut cal_offsets: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let mut rep_offsets: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for n in 0..trials {
+        let rec = s
+            .pop
+            .record_entry(2, &s.pin, HandMode::OneHanded, &s.session, n);
+        let pre = preprocess(&cfg, &rec).unwrap();
+        for (k, ((&c, &r), &t)) in pre
+            .calibrated_times
+            .iter()
+            .zip(&rec.reported_key_times)
+            .zip(&rec.true_key_times)
+            .enumerate()
+        {
+            cal_offsets[k].push(c as f64 - t as f64);
+            rep_offsets[k].push(r as f64 - t as f64);
+        }
+    }
+    let std = |v: &[f64]| -> f64 {
+        let m = v.iter().sum::<f64>() / v.len() as f64;
+        (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+    };
+    let cal_std: f64 = cal_offsets.iter().map(|v| std(v)).sum::<f64>() / 4.0;
+    let rep_std: f64 = rep_offsets.iter().map(|v| std(v)).sum::<f64>() / 4.0;
+    assert!(
+        cal_std < rep_std,
+        "per-key calibration scatter ({cal_std:.1}) should beat reported scatter ({rep_std:.1})"
+    );
+}

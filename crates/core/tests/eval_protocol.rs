@@ -1,0 +1,133 @@
+//! Tests for the evaluation-protocol helpers (`p2auth_core::eval`).
+
+use p2auth_core::eval::{
+    evaluate_profile, evaluate_profile_no_pin, run_protocol, split_enroll_test, EvalOutcome,
+};
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, PinPolicy};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn cohort() -> (Population, Pin, SessionConfig) {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 8,
+        seed: 61,
+        ..Default::default()
+    });
+    (pop, Pin::new("3570").unwrap(), SessionConfig::default())
+}
+
+#[test]
+fn run_protocol_end_to_end() {
+    let (pop, pin, session) = cohort();
+    let cfg = P2AuthConfig::fast();
+    let all: Vec<_> = (0..14)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let (enroll, legit) = split_enroll_test(&all, 8);
+    let third: Vec<_> = (0..24)
+        .map(|i| {
+            pop.record_entry(
+                4 + (i as usize % 4),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                500 + i,
+            )
+        })
+        .collect();
+    let attacks: Vec<_> = (0..6)
+        .map(|i| pop.record_emulating_attack(1, 0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let outcome = run_protocol(&cfg, &pin, enroll, &third, legit, &attacks).unwrap();
+    assert_eq!(outcome.legit.total(), 6);
+    assert_eq!(outcome.attacks.total(), 6);
+    assert!(outcome.accuracy().unwrap() >= 0.5);
+    assert!(outcome.true_rejection_rate().unwrap() >= 0.5);
+}
+
+#[test]
+fn evaluate_profile_counts_match_inputs() {
+    let (pop, pin, session) = cohort();
+    let cfg = P2AuthConfig::fast();
+    let system = P2Auth::new(cfg.clone());
+    let enroll: Vec<_> = (0..8)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..16)
+        .map(|i| {
+            pop.record_entry(
+                4 + (i as usize % 4),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                700 + i,
+            )
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third).unwrap();
+    let legit: Vec<_> = (0..3)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, 100 + i))
+        .collect();
+    let attacks: Vec<_> = (0..5)
+        .map(|i| pop.record_entry(2, &pin, HandMode::OneHanded, &session, 200 + i))
+        .collect();
+    let outcome = evaluate_profile(&cfg, &profile, &pin, &legit, &attacks).unwrap();
+    assert_eq!(outcome.legit.total(), 3);
+    assert_eq!(outcome.attacks.total(), 5);
+}
+
+#[test]
+fn no_pin_evaluation() {
+    let (pop, pin, session) = cohort();
+    let cfg = P2AuthConfig {
+        pin_policy: PinPolicy::NoPinAllowed,
+        ..P2AuthConfig::fast()
+    };
+    let system = P2Auth::new(cfg.clone());
+    let enroll: Vec<_> = (0..9)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..16)
+        .map(|i| {
+            pop.record_entry(
+                4 + (i as usize % 4),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                800 + i,
+            )
+        })
+        .collect();
+    let profile = system.enroll_no_pin(&enroll, &third).unwrap();
+    let legit: Vec<_> = (0..4)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, 300 + i))
+        .collect();
+    let attacks: Vec<_> = (0..4)
+        .map(|i| pop.record_emulating_attack(5, 0, &pin, HandMode::OneHanded, &session, 20 + i))
+        .collect();
+    let outcome = evaluate_profile_no_pin(&cfg, &profile, &legit, &attacks).unwrap();
+    assert_eq!(outcome.legit.total() + outcome.attacks.total(), 8);
+}
+
+#[test]
+fn outcomes_merge() {
+    let mut a = EvalOutcome::default();
+    a.legit.record(true, true);
+    let mut b = EvalOutcome::default();
+    b.attacks.record(false, false);
+    b.legit.record(false, true);
+    a.merge(&b);
+    assert_eq!(a.legit.total(), 2);
+    assert_eq!(a.attacks.total(), 1);
+    assert_eq!(a.accuracy(), Some(0.5));
+    assert_eq!(a.true_rejection_rate(), Some(1.0));
+}
+
+#[test]
+#[should_panic(expected = "bad split point")]
+fn split_rejects_degenerate_points() {
+    let (pop, pin, session) = cohort();
+    let recs: Vec<_> = (0..3)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let _ = split_enroll_test(&recs, 3);
+}

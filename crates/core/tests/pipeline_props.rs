@@ -1,0 +1,110 @@
+//! Property tests over the pipeline's invariants.
+
+use p2auth_core::enroll::fusion::{fuse, fuse_aligned};
+use p2auth_core::enroll::segmentation::{full_waveform, segment};
+use p2auth_core::preprocess::case_id;
+use p2auth_core::P2AuthConfig;
+use p2auth_rocket::MultiSeries;
+use proptest::prelude::*;
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0_f64..5.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn segments_always_have_requested_length(
+        x in arb_signal(300),
+        center in 0_usize..300,
+        window in 1_usize..150,
+    ) {
+        let s = segment(&[x], center, window);
+        prop_assert_eq!(s.len(), window);
+        prop_assert_eq!(s.num_channels(), 1);
+    }
+
+    #[test]
+    fn segment_values_come_from_the_signal(
+        x in arb_signal(200),
+        center in 0_usize..200,
+    ) {
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s = segment(&[x], center, 90);
+        for &v in s.channel(0) {
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn full_waveform_fixed_length(
+        x in arb_signal(400),
+        t0 in 50_usize..150,
+        gap in 50_usize..90,
+        target in 16_usize..512,
+    ) {
+        let times = vec![t0, t0 + gap, t0 + 2 * gap];
+        let fw = full_waveform(&[x], &times, 20, target);
+        prop_assert_eq!(fw.len(), target);
+    }
+
+    #[test]
+    fn fusion_is_linear(
+        a in arb_signal(60),
+        b in arb_signal(60),
+        scale in -3.0_f64..3.0,
+    ) {
+        let sa = MultiSeries::univariate(a.clone());
+        let sb = MultiSeries::univariate(b.clone());
+        let f = fuse(&[sa, sb]).expect("same shape");
+        for i in 0..60 {
+            prop_assert!((f.channel(0)[i] - (a[i] + b[i])).abs() < 1e-12);
+        }
+        // Scaling both inputs scales the fusion.
+        let sa2 = MultiSeries::univariate(a.iter().map(|v| scale * v).collect());
+        let sb2 = MultiSeries::univariate(b.iter().map(|v| scale * v).collect());
+        let f2 = fuse(&[sa2, sb2]).expect("same shape");
+        for i in 0..60 {
+            prop_assert!((f2.channel(0)[i] - scale * f.channel(0)[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aligned_fusion_never_below_plain_self_correlation(
+        a in arb_signal(80),
+    ) {
+        // Fusing a signal with itself: alignment must pick shift 0 (or
+        // an equivalent), so aligned == plain.
+        let s = MultiSeries::univariate(a);
+        let plain = fuse(&[s.clone(), s.clone()]).expect("shape");
+        let aligned = fuse_aligned(&[s.clone(), s], 8).expect("shape");
+        for i in 0..80 {
+            prop_assert!((plain.channel(0)[i] - aligned.channel(0)[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_scaling_monotone_in_rate(
+        base in 1_usize..200,
+        r1 in 20.0_f64..200.0,
+        r2 in 20.0_f64..200.0,
+    ) {
+        let cfg = P2AuthConfig::default();
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        prop_assert!(cfg.scale_window(base, lo) <= cfg.scale_window(base, hi) + 1);
+        prop_assert!(cfg.scale_window(base, hi) >= 1);
+    }
+
+    #[test]
+    fn case_identification_is_deterministic(
+        x in arb_signal(500),
+        times in prop::collection::vec(0_usize..500, 4),
+    ) {
+        let cfg = P2AuthConfig::default();
+        let a = case_id::identify_case(&cfg, std::slice::from_ref(&x), &times, 100.0);
+        let b = case_id::identify_case(&cfg, std::slice::from_ref(&x), &times, 100.0);
+        prop_assert_eq!(a, b);
+    }
+}

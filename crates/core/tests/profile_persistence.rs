@@ -1,0 +1,83 @@
+//! A deployed system stores enrolled profiles on the device and
+//! reloads them across sessions; these tests check that a serialized
+//! profile round-trips and keeps making identical decisions.
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, UserProfile};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+fn enrolled() -> (P2Auth, UserProfile, Pin, Population, SessionConfig) {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 8,
+        seed: 77,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628").unwrap();
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<_> = (0..8)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..20)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 7),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                100 + i,
+            )
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third).unwrap();
+    (system, profile, pin, pop, session)
+}
+
+#[test]
+fn profile_round_trips_through_json() {
+    let (system, profile, pin, pop, session) = enrolled();
+    let json = serde_json::to_string(&profile).expect("serialize");
+    let restored: UserProfile = serde_json::from_str(&json).expect("deserialize");
+
+    assert_eq!(restored.pin(), profile.pin());
+    assert_eq!(restored.enrolled_keys(), profile.enrolled_keys());
+    assert_eq!(restored.has_full_model(), profile.has_full_model());
+
+    // Decisions must be bit-identical.
+    for n in 0..5_u64 {
+        let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 900 + n);
+        let d1 = system.authenticate(&profile, &pin, &attempt).unwrap();
+        let d2 = system.authenticate(&restored, &pin, &attempt).unwrap();
+        assert_eq!(d1, d2, "restored profile must decide identically");
+    }
+    let attack = pop.record_emulating_attack(2, 0, &pin, HandMode::OneHanded, &session, 3);
+    let d1 = system.authenticate(&profile, &pin, &attack).unwrap();
+    let d2 = system.authenticate(&restored, &pin, &attack).unwrap();
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn serialized_profile_is_reasonably_sized() {
+    let (_, profile, _, _, _) = enrolled();
+    let json = serde_json::to_vec(&profile).expect("serialize");
+    // Sanity bound: a profile (a few linear models + rocket metadata)
+    // must stay small enough for watch-class storage.
+    assert!(
+        json.len() < 4 * 1024 * 1024,
+        "profile unexpectedly large: {} bytes",
+        json.len()
+    );
+}
+
+#[test]
+fn recordings_serialize_too() {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 2,
+        seed: 5,
+        ..Default::default()
+    });
+    let pin = Pin::new("5094").unwrap();
+    let rec = pop.record_entry(0, &pin, HandMode::TwoHanded, &SessionConfig::default(), 1);
+    let json = serde_json::to_string(&rec).expect("serialize");
+    let restored: p2auth_core::Recording = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(restored, rec);
+}

@@ -1,0 +1,243 @@
+//! An authenticating host: the deployed composition of the acquisition
+//! chain and the pipeline. Frames stream in (in arrival order); when a
+//! session completes, the attempt is authenticated against the enrolled
+//! profile and a decision is emitted — what the paper's PC-side
+//! prototype does online.
+
+use crate::frame::Frame;
+use crate::host::{AssembleError, HostAssembler};
+use p2auth_core::{AuthDecision, AuthError, P2Auth, Pin, UserProfile};
+
+/// Error from the authenticating host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamAuthError {
+    /// Frame decoding / session assembly failed.
+    Assemble(AssembleError),
+    /// The assembled attempt could not be evaluated.
+    Auth(AuthError),
+}
+
+impl std::fmt::Display for StreamAuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamAuthError::Assemble(e) => write!(f, "assembly failed: {e}"),
+            StreamAuthError::Auth(e) => write!(f, "authentication failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamAuthError {}
+
+impl From<AssembleError> for StreamAuthError {
+    fn from(e: AssembleError) -> Self {
+        StreamAuthError::Assemble(e)
+    }
+}
+
+impl From<AuthError> for StreamAuthError {
+    fn from(e: AuthError) -> Self {
+        StreamAuthError::Auth(e)
+    }
+}
+
+/// Streams acquisition frames and authenticates each completed session.
+///
+/// Create with an enrolled profile, feed frames with
+/// [`AuthenticatingHost::feed`], and receive an [`AuthDecision`] when a
+/// `SessionEnd` frame closes an entry. The host resets itself after
+/// each session, so one instance serves a whole unlock stream.
+#[derive(Debug)]
+pub struct AuthenticatingHost {
+    system: P2Auth,
+    profile: UserProfile,
+    claimed_pin: Option<Pin>,
+    assembler: HostAssembler,
+    sessions_completed: usize,
+}
+
+impl AuthenticatingHost {
+    /// Creates a host for `profile`. `claimed_pin` of `None` selects
+    /// the no-PIN flow.
+    pub fn new(system: P2Auth, profile: UserProfile, claimed_pin: Option<Pin>) -> Self {
+        Self {
+            system,
+            profile,
+            claimed_pin,
+            assembler: HostAssembler::new(),
+            sessions_completed: 0,
+        }
+    }
+
+    /// Feeds one encoded frame (in arrival order). Returns the decision
+    /// when this frame completed a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamAuthError`] on malformed frames, incomplete
+    /// sessions or evaluation failures; the host resets and can accept
+    /// the next session either way.
+    pub fn feed_bytes(&mut self, bytes: &[u8]) -> Result<Option<AuthDecision>, StreamAuthError> {
+        let result = self.assembler.feed_bytes(bytes);
+        self.handle(result)
+    }
+
+    /// Feeds one decoded frame (in arrival order).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AuthenticatingHost::feed_bytes`].
+    pub fn feed(&mut self, frame: Frame) -> Result<Option<AuthDecision>, StreamAuthError> {
+        let result = self.assembler.feed(frame);
+        self.handle(result)
+    }
+
+    fn handle(
+        &mut self,
+        result: Result<Option<p2auth_core::Recording>, AssembleError>,
+    ) -> Result<Option<AuthDecision>, StreamAuthError> {
+        match result {
+            Ok(None) => Ok(None),
+            Ok(Some(recording)) => {
+                self.assembler = HostAssembler::new();
+                self.sessions_completed += 1;
+                let decision = match &self.claimed_pin {
+                    Some(pin) => self.system.authenticate(&self.profile, pin, &recording)?,
+                    None => self.system.authenticate_no_pin(&self.profile, &recording)?,
+                };
+                Ok(Some(decision))
+            }
+            Err(e) => {
+                self.assembler = HostAssembler::new();
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Number of sessions authenticated so far.
+    pub fn sessions_completed(&self) -> usize {
+        self.sessions_completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::device::WearableDevice;
+    use crate::link::{Link, LinkConfig};
+    use p2auth_core::{HandMode, P2AuthConfig};
+    use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+    fn setup() -> (Population, Pin, SessionConfig, P2Auth, UserProfile) {
+        let pop = Population::generate(&PopulationConfig {
+            num_users: 8,
+            seed: 501,
+            ..Default::default()
+        });
+        let pin = Pin::new("1628").unwrap();
+        let session = SessionConfig::default();
+        let system = P2Auth::new(P2AuthConfig::default());
+        // Enroll from *streamed* recordings — in deployment the host
+        // only ever sees what came over the link.
+        let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+        let mut data = Link::new(LinkConfig::default());
+        let mut keys = Link::new(LinkConfig {
+            seed: 4,
+            ..LinkConfig::default()
+        });
+        let mut stream = |rec: &p2auth_core::Recording| {
+            crate::host::transmit(rec, &device, &mut data, &mut keys).expect("transmit")
+        };
+        let enroll: Vec<_> = (0..9)
+            .map(|i| stream(&pop.record_entry(0, &pin, HandMode::OneHanded, &session, i)))
+            .collect();
+        let third: Vec<_> = (0..32)
+            .map(|i| {
+                stream(&pop.record_entry(
+                    1 + (i as usize % 7),
+                    &pin,
+                    HandMode::OneHanded,
+                    &session,
+                    300 + i,
+                ))
+            })
+            .collect();
+        let profile = system.enroll(&pin, &enroll, &third).unwrap();
+        (pop, pin, session, system, profile)
+    }
+
+    fn stream_frames(
+        host: &mut AuthenticatingHost,
+        rec: &p2auth_core::Recording,
+    ) -> Option<AuthDecision> {
+        let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+        let mut data = Link::new(LinkConfig::default());
+        let mut keys = Link::new(LinkConfig {
+            seed: 3,
+            ..LinkConfig::default()
+        });
+        data.start_session();
+        keys.start_session();
+        let mut inbox: Vec<(f64, Frame)> = device
+            .packetize(rec)
+            .into_iter()
+            .map(|tf| {
+                let arrival = match tf.frame {
+                    Frame::Key { .. } => keys.deliver(tf.send_time_s),
+                    _ => data.deliver(tf.send_time_s),
+                };
+                (arrival, tf.frame)
+            })
+            .collect();
+        inbox.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut decision = None;
+        for (_, frame) in inbox {
+            if let Some(d) = host.feed(frame).expect("stream ok") {
+                decision = Some(d);
+            }
+        }
+        decision
+    }
+
+    #[test]
+    fn streams_sessions_to_decisions() {
+        let (pop, pin, session, system, profile) = setup();
+        let mut host = AuthenticatingHost::new(system, profile, Some(pin.clone()));
+        // Alternating legitimate sessions and attacks on the same host.
+        let mut legit_ok = 0;
+        let mut attacks_rejected = 0;
+        let trials = 4_u64;
+        for n in 0..trials {
+            let legit = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 900 + n);
+            if stream_frames(&mut host, &legit)
+                .expect("decision emitted")
+                .accepted
+            {
+                legit_ok += 1;
+            }
+            let attacker = 2 + (n as usize % 3);
+            let attack =
+                pop.record_emulating_attack(attacker, 0, &pin, HandMode::OneHanded, &session, n);
+            if !stream_frames(&mut host, &attack)
+                .expect("decision emitted")
+                .accepted
+            {
+                attacks_rejected += 1;
+            }
+        }
+        assert!(legit_ok >= 3, "streamed legit accepted {legit_ok}/{trials}");
+        assert!(
+            attacks_rejected >= 3,
+            "streamed attacks rejected {attacks_rejected}/{trials}"
+        );
+        assert_eq!(host.sessions_completed() as u64, 2 * trials);
+    }
+
+    #[test]
+    fn garbage_frame_is_an_error_not_a_decision() {
+        let (_, pin, _, system, profile) = setup();
+        let mut host = AuthenticatingHost::new(system, profile, Some(pin));
+        assert!(host.feed_bytes(&[1, 2, 3]).is_err());
+        assert_eq!(host.sessions_completed(), 0);
+    }
+}

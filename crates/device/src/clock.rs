@@ -1,0 +1,77 @@
+//! Virtual clocks with offset and drift.
+//!
+//! The phone, the wearable and the host each keep their own clock. The
+//! wearable's cheap oscillator drifts; the phone's offset is unknown to
+//! the host. Timestamps crossing device boundaries therefore cannot be
+//! compared exactly — the source of the coarse keystroke times the
+//! calibration module corrects.
+
+/// A virtual clock: maps true (simulation) time to this device's local
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualClock {
+    /// Local time at true time zero (seconds).
+    pub offset_s: f64,
+    /// Rate error in parts per million (positive runs fast).
+    pub drift_ppm: f64,
+}
+
+impl VirtualClock {
+    /// An ideal clock (zero offset, zero drift).
+    pub fn ideal() -> Self {
+        Self {
+            offset_s: 0.0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// Creates a clock with the given offset and drift.
+    pub fn new(offset_s: f64, drift_ppm: f64) -> Self {
+        Self {
+            offset_s,
+            drift_ppm,
+        }
+    }
+
+    /// Local reading at true time `t_true` seconds.
+    pub fn local(&self, t_true: f64) -> f64 {
+        self.offset_s + t_true * (1.0 + self.drift_ppm * 1e-6)
+    }
+
+    /// Inverse mapping: true time for a local reading.
+    pub fn true_time(&self, t_local: f64) -> f64 {
+        (t_local - self.offset_s) / (1.0 + self.drift_ppm * 1e-6)
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_identity() {
+        let c = VirtualClock::ideal();
+        assert_eq!(c.local(12.5), 12.5);
+    }
+
+    #[test]
+    fn offset_and_drift_apply() {
+        let c = VirtualClock::new(3.0, 100.0); // fast by 100 ppm
+        let local = c.local(1000.0);
+        assert!((local - 1003.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = VirtualClock::new(-1.5, -40.0);
+        for t in [0.0, 1.0, 777.7] {
+            assert!((c.true_time(c.local(t)) - t).abs() < 1e-9);
+        }
+    }
+}

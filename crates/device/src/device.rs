@@ -1,0 +1,198 @@
+//! The wearable side: turning an acquired recording into a timestamped
+//! packet stream.
+
+use crate::clock::VirtualClock;
+use crate::frame::Frame;
+use p2auth_core::types::{HandMode, Recording};
+
+/// A frame together with the (true) time the device put it on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedFrame {
+    /// True send time in seconds from session start.
+    pub send_time_s: f64,
+    /// The packet.
+    pub frame: Frame,
+}
+
+/// The virtual wearable: chunks sensor data into frames and timestamps
+/// keystroke events on the phone's (offset) clock.
+#[derive(Debug, Clone)]
+pub struct WearableDevice {
+    /// The phone's clock relative to true time (key events are stamped
+    /// with it, so the host cannot compare them exactly to the sample
+    /// stream).
+    pub phone_clock: VirtualClock,
+    /// Samples per PPG/accel frame.
+    pub chunk: usize,
+}
+
+impl WearableDevice {
+    /// A device with the given phone-clock offset/drift and the default
+    /// 10-sample chunking (100 ms of PPG at 100 Hz). Small blocks keep
+    /// the host's sample-counting key placement within the calibration
+    /// search window of the pipeline.
+    pub fn new(phone_clock: VirtualClock) -> Self {
+        Self {
+            phone_clock,
+            chunk: 10,
+        }
+    }
+
+    /// Serializes a recording into the frame sequence the prototype
+    /// would emit, in send order. Sample blocks are sent when their
+    /// last sample has been acquired; key events are sent at the touch
+    /// time, timestamped on the phone clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recording fails validation.
+    pub fn packetize(&self, rec: &Recording) -> Vec<TimedFrame> {
+        rec.validate().expect("recording must be valid");
+        let rate = rec.sample_rate;
+        let mut frames = Vec::new();
+        frames.push(TimedFrame {
+            send_time_s: 0.0,
+            frame: Frame::SessionStart {
+                user: rec.user.0,
+                sample_rate: rate as f32,
+                channels: rec.channels.clone(),
+                accel_rate: rec.accel.as_ref().map_or(0.0, |a| a.sample_rate as f32),
+            },
+        });
+        // PPG blocks.
+        for (ch, data) in rec.ppg.iter().enumerate() {
+            for (seq, block) in data.chunks(self.chunk).enumerate() {
+                let end_index = seq * self.chunk + block.len();
+                frames.push(TimedFrame {
+                    send_time_s: end_index as f64 / rate,
+                    frame: Frame::Ppg {
+                        channel: ch as u8,
+                        seq: seq as u32,
+                        samples: block.iter().map(|&v| v as f32).collect(),
+                    },
+                });
+            }
+        }
+        // Accelerometer blocks.
+        if let Some(acc) = &rec.accel {
+            for (axis, data) in acc.axes.iter().enumerate() {
+                for (seq, block) in data.chunks(self.chunk).enumerate() {
+                    let end_index = seq * self.chunk + block.len();
+                    frames.push(TimedFrame {
+                        send_time_s: end_index as f64 / acc.sample_rate,
+                        frame: Frame::Accel {
+                            axis: axis as u8,
+                            seq: seq as u32,
+                            samples: block.iter().map(|&v| v as f32).collect(),
+                        },
+                    });
+                }
+            }
+        }
+        // Key events at touch time, stamped on the phone clock.
+        let digits = rec.pin_entered.digits();
+        for (i, &t) in rec.true_key_times.iter().enumerate() {
+            let t_true = t as f64 / rate;
+            frames.push(TimedFrame {
+                send_time_s: t_true,
+                frame: Frame::Key {
+                    index: i as u8,
+                    digit: digits[i],
+                    t_phone_us: (self.phone_clock.local(t_true) * 1e6).max(0.0) as u64,
+                },
+            });
+        }
+        // Session end (after the last sample).
+        let t_end = rec.num_samples() as f64 / rate + 0.01;
+        frames.push(TimedFrame {
+            send_time_s: t_end,
+            frame: Frame::SessionEnd {
+                true_key_times: rec.true_key_times.iter().map(|&t| t as u32).collect(),
+                watch_hand: rec.watch_hand.clone(),
+                one_handed: rec.hand_mode == HandMode::OneHanded,
+            },
+        });
+        frames.sort_by(|a, b| {
+            a.send_time_s
+                .partial_cmp(&b.send_time_s)
+                .expect("finite times")
+        });
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2auth_core::types::{ChannelInfo, Pin, Placement, UserId, Wavelength};
+
+    fn rec() -> Recording {
+        Recording {
+            user: UserId(2),
+            sample_rate: 100.0,
+            ppg: vec![vec![0.25; 230]; 2],
+            channels: vec![
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Radial
+                };
+                2
+            ],
+            accel: None,
+            pin_entered: Pin::new("1628").unwrap(),
+            reported_key_times: vec![30, 80, 130, 180],
+            true_key_times: vec![28, 82, 131, 178],
+            watch_hand: vec![true; 4],
+            hand_mode: HandMode::OneHanded,
+        }
+    }
+
+    #[test]
+    fn packet_stream_structure() {
+        let dev = WearableDevice::new(VirtualClock::ideal());
+        let frames = dev.packetize(&rec());
+        assert!(matches!(
+            frames.first().unwrap().frame,
+            Frame::SessionStart { .. }
+        ));
+        assert!(matches!(
+            frames.last().unwrap().frame,
+            Frame::SessionEnd { .. }
+        ));
+        let ppg_count = frames
+            .iter()
+            .filter(|f| matches!(f.frame, Frame::Ppg { .. }))
+            .count();
+        // 230 samples / 10-chunk = 23 blocks per channel, 2 channels.
+        assert_eq!(ppg_count, 46);
+        let keys = frames
+            .iter()
+            .filter(|f| matches!(f.frame, Frame::Key { .. }))
+            .count();
+        assert_eq!(keys, 4);
+    }
+
+    #[test]
+    fn send_times_monotone() {
+        let dev = WearableDevice::new(VirtualClock::ideal());
+        let frames = dev.packetize(&rec());
+        for w in frames.windows(2) {
+            assert!(w[0].send_time_s <= w[1].send_time_s);
+        }
+    }
+
+    #[test]
+    fn phone_clock_offsets_key_timestamps() {
+        let dev = WearableDevice::new(VirtualClock::new(5.0, 0.0));
+        let frames = dev.packetize(&rec());
+        let key_ts: Vec<u64> = frames
+            .iter()
+            .filter_map(|f| match f.frame {
+                Frame::Key { t_phone_us, .. } => Some(t_phone_us),
+                _ => None,
+            })
+            .collect();
+        // First touch at 0.28 s true -> 5.28 s phone.
+        assert!((key_ts[0] as f64 / 1e6 - 5.28).abs() < 1e-6);
+    }
+}

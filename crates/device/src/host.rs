@@ -1,0 +1,508 @@
+//! The host (PC) side: reassembling the packet stream into a
+//! [`Recording`].
+//!
+//! The host cannot compare the phone's key-event timestamps to the PPG
+//! stream directly (unknown clock offset), so it does what the
+//! prototype does: it pins each key event to **however many PPG samples
+//! have arrived when the event arrives**. The resulting
+//! `reported_key_times` carry the full link-induced error — buffering,
+//! base latency and jitter — which is precisely what the pipeline's
+//! fine-grained calibration module (paper §IV-B 1.2) exists to correct.
+
+use crate::device::{TimedFrame, WearableDevice};
+use crate::frame::{Frame, FrameError};
+use crate::link::Link;
+use p2auth_core::types::{AccelTrack, ChannelInfo, HandMode, Pin, Recording, UserId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Incrementally reassembles one acquisition session.
+#[derive(Debug, Default)]
+pub struct HostAssembler {
+    user: Option<u32>,
+    sample_rate: Option<f64>,
+    accel_rate: Option<f64>,
+    channels: Vec<ChannelInfo>,
+    ppg_blocks: BTreeMap<(u8, u32), Vec<f64>>,
+    accel_blocks: BTreeMap<(u8, u32), Vec<f64>>,
+    keys: Vec<KeyArrival>,
+    end: Option<(Vec<u32>, Vec<bool>, bool)>,
+}
+
+#[derive(Debug, Clone)]
+struct KeyArrival {
+    index: u8,
+    digit: u8,
+    samples_seen: usize,
+}
+
+/// Error assembling a session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssembleError {
+    /// A frame failed to decode.
+    Frame(FrameError),
+    /// The stream ended without the frames needed for a recording.
+    Incomplete {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssembleError::Frame(e) => write!(f, "frame error: {e}"),
+            AssembleError::Incomplete { detail } => write!(f, "incomplete session: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+impl From<FrameError> for AssembleError {
+    fn from(e: FrameError) -> Self {
+        AssembleError::Frame(e)
+    }
+}
+
+impl HostAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one encoded frame (in arrival order). Returns the finished
+    /// recording when the `SessionEnd` frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError`] on decode failures or if the session is
+    /// structurally incomplete at `SessionEnd`.
+    pub fn feed_bytes(&mut self, bytes: &[u8]) -> Result<Option<Recording>, AssembleError> {
+        let (frame, _) = Frame::decode(bytes)?;
+        self.feed(frame)
+    }
+
+    /// Feeds one decoded frame (in arrival order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError::Incomplete`] if `SessionEnd` arrives
+    /// before the session can be assembled.
+    pub fn feed(&mut self, frame: Frame) -> Result<Option<Recording>, AssembleError> {
+        match frame {
+            Frame::SessionStart {
+                user,
+                sample_rate,
+                channels,
+                accel_rate,
+            } => {
+                self.user = Some(user);
+                self.sample_rate = Some(sample_rate as f64);
+                self.accel_rate = if accel_rate > 0.0 {
+                    Some(accel_rate as f64)
+                } else {
+                    None
+                };
+                self.channels = channels;
+                Ok(None)
+            }
+            Frame::Ppg {
+                channel,
+                seq,
+                samples,
+            } => {
+                self.ppg_blocks
+                    .insert((channel, seq), samples.iter().map(|&v| v as f64).collect());
+                Ok(None)
+            }
+            Frame::Accel { axis, seq, samples } => {
+                self.accel_blocks
+                    .insert((axis, seq), samples.iter().map(|&v| v as f64).collect());
+                Ok(None)
+            }
+            Frame::Key { index, digit, .. } => {
+                // Pin the event to the PPG samples received so far on
+                // channel 0 — the host's only way to place it on the
+                // sample axis without a synchronized clock.
+                let samples_seen: usize = self
+                    .ppg_blocks
+                    .iter()
+                    .filter(|((ch, _), _)| *ch == 0)
+                    .map(|(_, b)| b.len())
+                    .sum();
+                self.keys.push(KeyArrival {
+                    index,
+                    digit,
+                    samples_seen,
+                });
+                Ok(None)
+            }
+            Frame::SessionEnd {
+                true_key_times,
+                watch_hand,
+                one_handed,
+            } => {
+                self.end = Some((true_key_times, watch_hand, one_handed));
+                self.assemble().map(Some)
+            }
+        }
+    }
+
+    fn assemble(&mut self) -> Result<Recording, AssembleError> {
+        let user = self.user.ok_or_else(|| AssembleError::Incomplete {
+            detail: "missing SessionStart".into(),
+        })?;
+        let rate = self.sample_rate.expect("set with user");
+        if self.channels.is_empty() {
+            return Err(AssembleError::Incomplete {
+                detail: "no channels declared".into(),
+            });
+        }
+        // Concatenate per-channel blocks in sequence order.
+        let num_channels = self.channels.len();
+        let mut ppg: Vec<Vec<f64>> = vec![Vec::new(); num_channels];
+        for ((ch, _seq), block) in &self.ppg_blocks {
+            let ch = *ch as usize;
+            if ch >= num_channels {
+                return Err(AssembleError::Incomplete {
+                    detail: format!("channel {ch} undeclared"),
+                });
+            }
+            ppg[ch].extend_from_slice(block);
+        }
+        let n = ppg[0].len();
+        if n == 0 || ppg.iter().any(|c| c.len() != n) {
+            return Err(AssembleError::Incomplete {
+                detail: "missing PPG blocks".into(),
+            });
+        }
+        let accel = self.accel_rate.map(|ar| {
+            let mut axes = [Vec::new(), Vec::new(), Vec::new()];
+            for ((axis, _seq), block) in &self.accel_blocks {
+                if (*axis as usize) < 3 {
+                    axes[*axis as usize].extend_from_slice(block);
+                }
+            }
+            AccelTrack {
+                sample_rate: ar,
+                axes,
+            }
+        });
+        // Keys in entry order; reported time = samples seen at arrival.
+        self.keys.sort_by_key(|k| k.index);
+        let digits: String = self
+            .keys
+            .iter()
+            .map(|k| char::from(b'0' + k.digit))
+            .collect();
+        let pin = Pin::new(&digits).map_err(|e| AssembleError::Incomplete {
+            detail: format!("bad PIN from key events: {e}"),
+        })?;
+        let reported_key_times: Vec<usize> = self
+            .keys
+            .iter()
+            .map(|k| k.samples_seen.min(n - 1))
+            .collect();
+        let (true_times, watch_hand, one_handed) =
+            self.end.clone().expect("assemble called after SessionEnd");
+        let rec = Recording {
+            user: UserId(user),
+            sample_rate: rate,
+            ppg,
+            channels: self.channels.clone(),
+            accel,
+            pin_entered: pin,
+            reported_key_times,
+            true_key_times: true_times.iter().map(|&t| t as usize).collect(),
+            watch_hand,
+            hand_mode: if one_handed {
+                HandMode::OneHanded
+            } else {
+                HandMode::TwoHanded
+            },
+        };
+        rec.validate()
+            .map_err(|detail| AssembleError::Incomplete { detail })?;
+        Ok(rec)
+    }
+}
+
+/// Streams a recording through `device` and `link` (virtual time) and
+/// reassembles it on the host. The key events travel over `key_link`,
+/// which models the phone's separate wireless path.
+///
+/// # Errors
+///
+/// Returns [`AssembleError`] if reassembly fails (it cannot for
+/// well-formed simulator recordings).
+pub fn transmit(
+    rec: &Recording,
+    device: &WearableDevice,
+    data_link: &mut Link,
+    key_link: &mut Link,
+) -> Result<Recording, AssembleError> {
+    // Each transmit is one acquisition session: session time restarts
+    // at zero, so the links' FIFO state must too.
+    data_link.start_session();
+    key_link.start_session();
+    let frames = device.packetize(rec);
+    let mut inbox: Vec<(f64, TimedFrame)> = frames
+        .into_iter()
+        .map(|tf| {
+            let arrival = match tf.frame {
+                Frame::Key { .. } => key_link.deliver(tf.send_time_s),
+                _ => data_link.deliver(tf.send_time_s),
+            };
+            (arrival, tf)
+        })
+        .collect();
+    inbox.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arrivals"));
+    let mut host = HostAssembler::new();
+    let mut done = None;
+    for (_, tf) in inbox {
+        if let Some(rec) = host.feed(tf.frame)? {
+            done = Some(rec);
+        }
+    }
+    done.ok_or(AssembleError::Incomplete {
+        detail: "no SessionEnd".into(),
+    })
+}
+
+/// Threaded variant of [`transmit`]: the two sensor modules of the
+/// prototype stream concurrently (channels 0–1 on one thread, the rest
+/// plus accel on the other) into a shared assembler; key events travel
+/// on the calling thread. Demonstrates that assembly tolerates
+/// interleaved arrival from independent producers.
+///
+/// # Errors
+///
+/// Returns [`AssembleError`] if reassembly fails.
+pub fn transmit_threaded(
+    rec: &Recording,
+    device: &WearableDevice,
+) -> Result<Recording, AssembleError> {
+    let frames = device.packetize(rec);
+    let host = Arc::new(Mutex::new(HostAssembler::new()));
+    let (mut module_a, mut rest): (Vec<TimedFrame>, Vec<TimedFrame>) =
+        frames.into_iter().partition(|tf| match tf.frame {
+            Frame::Ppg { channel, .. } => channel < 2,
+            _ => false,
+        });
+    // Keys and session control must respect global order relative to
+    // data for the sample-counting heuristic; feed SessionStart first,
+    // then run the two module streams concurrently, then keys + end.
+    let start_idx = rest
+        .iter()
+        .position(|tf| matches!(tf.frame, Frame::SessionStart { .. }))
+        .expect("packetize always emits SessionStart");
+    let start = rest.remove(start_idx);
+    host.lock().feed(start.frame)?;
+    let end_idx = rest
+        .iter()
+        .position(|tf| matches!(tf.frame, Frame::SessionEnd { .. }))
+        .expect("packetize always emits SessionEnd");
+    let end = rest.remove(end_idx);
+    let (keys, module_b): (Vec<TimedFrame>, Vec<TimedFrame>) = rest
+        .into_iter()
+        .partition(|tf| matches!(tf.frame, Frame::Key { .. }));
+
+    let err = crossbeam::thread::scope(|scope| {
+        let h1 = Arc::clone(&host);
+        let a = scope.spawn(move |_| -> Result<(), AssembleError> {
+            for tf in module_a.drain(..) {
+                h1.lock().feed(tf.frame)?;
+            }
+            Ok(())
+        });
+        let h2 = Arc::clone(&host);
+        let mut module_b = module_b;
+        let b = scope.spawn(move |_| -> Result<(), AssembleError> {
+            for tf in module_b.drain(..) {
+                h2.lock().feed(tf.frame)?;
+            }
+            Ok(())
+        });
+        let ra = a.join().expect("module A thread");
+        let rb = b.join().expect("module B thread");
+        ra.and(rb)
+    })
+    .expect("scope");
+    err?;
+    for tf in keys {
+        host.lock().feed(tf.frame)?;
+    }
+    let out = host.lock().feed(end.frame)?;
+    out.ok_or(AssembleError::Incomplete {
+        detail: "no SessionEnd".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::link::LinkConfig;
+    use p2auth_core::types::{Placement, Wavelength};
+
+    fn rec() -> Recording {
+        // A deterministic synthetic recording (no simulator dependency
+        // at this layer).
+        let n = 600;
+        let mk = |phase: f64| -> Vec<f64> {
+            (0..n).map(|i| ((i as f64) * 0.07 + phase).sin()).collect()
+        };
+        Recording {
+            user: UserId(5),
+            sample_rate: 100.0,
+            ppg: vec![mk(0.0), mk(0.5), mk(1.0), mk(1.5)],
+            channels: vec![
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Radial,
+                },
+                ChannelInfo {
+                    wavelength: Wavelength::Red,
+                    placement: Placement::Radial,
+                },
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Ulnar,
+                },
+                ChannelInfo {
+                    wavelength: Wavelength::Red,
+                    placement: Placement::Ulnar,
+                },
+            ],
+            accel: Some(AccelTrack {
+                sample_rate: 75.0,
+                axes: [vec![0.1; 450], vec![0.2; 450], vec![9.8; 450]],
+            }),
+            pin_entered: Pin::new("1628").unwrap(),
+            reported_key_times: vec![120, 230, 340, 450],
+            true_key_times: vec![118, 232, 338, 452],
+            watch_hand: vec![true; 4],
+            hand_mode: HandMode::OneHanded,
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_signal() {
+        let original = rec();
+        let dev = WearableDevice::new(VirtualClock::new(2.0, 50.0));
+        let mut data = Link::new(LinkConfig::default());
+        let mut keys = Link::new(LinkConfig {
+            seed: 99,
+            ..LinkConfig::default()
+        });
+        let rebuilt = transmit(&original, &dev, &mut data, &mut keys).unwrap();
+        assert_eq!(rebuilt.user, original.user);
+        assert_eq!(rebuilt.pin_entered, original.pin_entered);
+        assert_eq!(rebuilt.num_channels(), 4);
+        assert_eq!(rebuilt.num_samples(), original.num_samples());
+        // f32 transport: samples equal to float precision.
+        for (a, b) in rebuilt.ppg[2].iter().zip(&original.ppg[2]) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(rebuilt.true_key_times, original.true_key_times);
+        assert_eq!(rebuilt.hand_mode, HandMode::OneHanded);
+        assert_eq!(rebuilt.validate(), Ok(()));
+    }
+
+    #[test]
+    fn reported_times_carry_link_jitter() {
+        let original = rec();
+        let dev = WearableDevice::new(VirtualClock::new(-3.0, -80.0));
+        let mut data = Link::new(LinkConfig::default());
+        let mut keys = Link::new(LinkConfig {
+            seed: 7,
+            ..LinkConfig::default()
+        });
+        let rebuilt = transmit(&original, &dev, &mut data, &mut keys).unwrap();
+        // Reported times land near the true times, but not exactly —
+        // this is the coarse-timestamp problem calibration solves.
+        let mut total_err = 0_i64;
+        for (r, t) in rebuilt
+            .reported_key_times
+            .iter()
+            .zip(&rebuilt.true_key_times)
+        {
+            // Error budget: one 10-sample chunk of buffering plus the
+            // delay gap between the data and key links (≤ ~10 samples).
+            let err = (*r as i64 - *t as i64).abs();
+            assert!(err <= 22, "reported {r} too far from true {t}");
+            total_err += err;
+        }
+        assert!(total_err > 0, "link should perturb at least one timestamp");
+    }
+
+    #[test]
+    fn links_can_be_reused_across_sessions() {
+        // Regression: the FIFO high-water mark must reset per session,
+        // otherwise session N+1's key events "arrive" before its data
+        // and all reported times collapse to zero.
+        let original = rec();
+        let dev = WearableDevice::new(VirtualClock::ideal());
+        let mut data = Link::new(LinkConfig::default());
+        let mut keys = Link::new(LinkConfig {
+            seed: 5,
+            ..LinkConfig::default()
+        });
+        for _ in 0..3 {
+            let rebuilt = transmit(&original, &dev, &mut data, &mut keys).unwrap();
+            for (r, t) in rebuilt
+                .reported_key_times
+                .iter()
+                .zip(&rebuilt.true_key_times)
+            {
+                assert!(
+                    (*r as i64 - *t as i64).abs() <= 22,
+                    "reported {r} too far from true {t} on a reused link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_transmission_matches_signal() {
+        let original = rec();
+        let dev = WearableDevice::new(VirtualClock::ideal());
+        let rebuilt = transmit_threaded(&original, &dev).unwrap();
+        assert_eq!(rebuilt.num_samples(), original.num_samples());
+        for ch in 0..4 {
+            for (a, b) in rebuilt.ppg[ch].iter().zip(&original.ppg[ch]) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+        assert_eq!(rebuilt.validate(), Ok(()));
+    }
+
+    #[test]
+    fn missing_session_start_is_error() {
+        let mut host = HostAssembler::new();
+        let r = host.feed(Frame::SessionEnd {
+            true_key_times: vec![],
+            watch_hand: vec![],
+            one_handed: true,
+        });
+        assert!(matches!(r, Err(AssembleError::Incomplete { .. })));
+    }
+
+    #[test]
+    fn feed_bytes_decodes() {
+        let mut host = HostAssembler::new();
+        let f = Frame::SessionStart {
+            user: 1,
+            sample_rate: 100.0,
+            channels: vec![ChannelInfo {
+                wavelength: Wavelength::Infrared,
+                placement: Placement::Radial,
+            }],
+            accel_rate: 0.0,
+        };
+        assert!(host.feed_bytes(&f.encode()).unwrap().is_none());
+        assert!(host.feed_bytes(&[0x00, 0x01]).is_err());
+    }
+}

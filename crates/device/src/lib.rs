@@ -1,0 +1,43 @@
+//! Virtual wearable acquisition link.
+//!
+//! The P²Auth prototype streams PPG data from two MAX30101 modules to a
+//! PC over two paths (an EVK evaluation board and an STM32 + USB-TTL
+//! bridge), while the smartphone reports keystroke timestamps over a
+//! separate link with "dynamically changing communication delay" —
+//! which is exactly why the pipeline needs fine-grained keystroke-time
+//! calibration (paper §IV-B 1.2).
+//!
+//! This crate reproduces that distributed acquisition chain in
+//! software:
+//!
+//! * [`frame`] — the wire format: framed, CRC-protected packets for
+//!   session control, PPG blocks, accelerometer blocks and key events,
+//! * [`clock`] — virtual clocks with offset and drift,
+//! * [`link`] — a virtual-time link model with base latency, jitter and
+//!   FIFO delivery,
+//! * [`device`] — the wearable side: turns a simulated
+//!   [`p2auth_sim::Recording`](p2auth_core::types::Recording) into a
+//!   timestamped packet stream,
+//! * [`host`] — the PC side: reassembles packets into a `Recording`
+//!   whose *reported* keystroke times carry the real link-induced error
+//!   (the key events are pinned to whatever PPG sample happened to
+//!   arrive last).
+//!
+//! The round trip `Recording → packets → link → Recording` is exercised
+//! by the integration tests and the `streaming_acquisition` example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth_host;
+pub mod clock;
+pub mod device;
+pub mod frame;
+pub mod host;
+pub mod link;
+
+pub use auth_host::AuthenticatingHost;
+pub use device::WearableDevice;
+pub use frame::{Frame, FrameError};
+pub use host::HostAssembler;
+pub use link::{Link, LinkConfig};

@@ -1,0 +1,135 @@
+//! Virtual-time link model.
+//!
+//! Packets experience a base latency plus uniform jitter, with FIFO
+//! delivery (a later send never arrives before an earlier one on the
+//! same link, as on a TCP/serial stream). The paper's prototype has two
+//! such paths — the EVK board and the STM32 + USB-TTL bridge — plus the
+//! phone's wireless link for key events, each with its own delay
+//! characteristics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delay characteristics of one link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Fixed propagation/processing latency (seconds).
+    pub base_delay_s: f64,
+    /// Maximum additional uniform jitter (seconds).
+    pub jitter_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self {
+            base_delay_s: 0.015,
+            jitter_s: 0.08,
+            seed: 0xcab1e,
+        }
+    }
+}
+
+/// A FIFO link with random per-packet delay.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: StdRng,
+    last_arrival: f64,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(config: LinkConfig) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(config.seed),
+            last_arrival: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Returns the arrival time of a packet sent at `t_send` seconds.
+    /// Arrivals are monotone (FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_send` is not finite.
+    pub fn deliver(&mut self, t_send: f64) -> f64 {
+        assert!(t_send.is_finite(), "non-finite send time");
+        let jitter = if self.config.jitter_s > 0.0 {
+            self.rng.gen_range(0.0..self.config.jitter_s)
+        } else {
+            0.0
+        };
+        let arrival = (t_send + self.config.base_delay_s + jitter).max(self.last_arrival);
+        self.last_arrival = arrival;
+        arrival
+    }
+
+    /// The configuration of this link.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Starts a new acquisition session: send times restart from zero,
+    /// so the FIFO high-water mark is cleared. The jitter RNG keeps its
+    /// state, so successive sessions see different delays.
+    pub fn start_session(&mut self) {
+        self.last_arrival = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_within_bounds() {
+        let mut l = Link::new(LinkConfig {
+            base_delay_s: 0.01,
+            jitter_s: 0.05,
+            seed: 1,
+        });
+        for i in 0..100 {
+            let t = i as f64 * 0.1;
+            let a = l.deliver(t);
+            assert!(a >= t + 0.01 && a <= t + 0.061, "arrival {a} for send {t}");
+        }
+    }
+
+    #[test]
+    fn fifo_ordering() {
+        let mut l = Link::new(LinkConfig {
+            base_delay_s: 0.0,
+            jitter_s: 0.2,
+            seed: 2,
+        });
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..200 {
+            // Sends in bursts: same nominal time.
+            let a = l.deliver((i / 10) as f64 * 0.01);
+            assert!(a >= prev, "arrival went backwards");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Link::new(LinkConfig::default());
+        let mut b = Link::new(LinkConfig::default());
+        for i in 0..20 {
+            assert_eq!(a.deliver(i as f64), b.deliver(i as f64));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_latency() {
+        let mut l = Link::new(LinkConfig {
+            base_delay_s: 0.03,
+            jitter_s: 0.0,
+            seed: 3,
+        });
+        assert!((l.deliver(1.0) - 1.03).abs() < 1e-12);
+    }
+}

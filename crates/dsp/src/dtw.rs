@@ -1,0 +1,167 @@
+//! Dynamic time warping.
+//!
+//! The manual-feature baseline the paper compares against (Shang & Wu,
+//! CNS'19 — reproduced in `p2auth-baseline`) "needs to calculate the DTW
+//! of the sequence when extracting features, resulting in a long
+//! authentication time" (paper §V-D). We implement classic DTW with an
+//! optional Sakoe–Chiba band.
+
+/// Options controlling a DTW computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DtwOptions {
+    /// Sakoe–Chiba band half-width; `None` means unconstrained.
+    pub band: Option<usize>,
+}
+
+/// DTW distance between `a` and `b` with absolute-difference local cost.
+///
+/// Returns `f64::INFINITY` when the band is too narrow to admit any
+/// warping path, and `0.0` when both inputs are empty. If exactly one
+/// input is empty the distance is `f64::INFINITY`.
+///
+/// # Examples
+///
+/// ```
+/// use p2auth_dsp::dtw::{dtw, DtwOptions};
+/// let a = [0.0, 1.0, 2.0, 1.0, 0.0];
+/// assert_eq!(dtw(&a, &a, DtwOptions::default()), 0.0);
+/// ```
+pub fn dtw(a: &[f64], b: &[f64], opts: DtwOptions) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // Effective band: must at least cover the diagonal slope difference.
+    let band = opts
+        .band
+        .map(|w| w.max(n.abs_diff(m)))
+        .unwrap_or(usize::MAX);
+    let inf = f64::INFINITY;
+    // Rolling two-row DP over the (n+1) x (m+1) cost matrix.
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr[0] = inf;
+        let j_lo = if band == usize::MAX {
+            1
+        } else {
+            i.saturating_sub(band).max(1)
+        };
+        let j_hi = if band == usize::MAX {
+            m
+        } else {
+            (i + band).min(m)
+        };
+        // Cells outside the band stay at infinity.
+        for c in curr.iter_mut().take(j_lo).skip(1) {
+            *c = inf;
+        }
+        for j in j_lo..=j_hi {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = if best.is_finite() { cost + best } else { inf };
+        }
+        for c in curr.iter_mut().take(m + 1).skip(j_hi + 1) {
+            *c = inf;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// DTW distance normalized by the sum of the input lengths.
+///
+/// This keeps the score comparable across segment lengths, which the
+/// threshold-based baseline relies on.
+pub fn dtw_normalized(a: &[f64], b: &[f64], opts: DtwOptions) -> f64 {
+    let d = dtw(a, b, opts);
+    let denom = (a.len() + b.len()) as f64;
+    if denom == 0.0 {
+        0.0
+    } else {
+        d / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts_unbanded() -> DtwOptions {
+        DtwOptions::default()
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let a = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(dtw(&a, &a, opts_unbanded()), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 2.0, 3.0];
+        let d1 = dtw(&a, &b, opts_unbanded());
+        let d2 = dtw(&b, &a, opts_unbanded());
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warps_time_shift_cheaply() {
+        // The same bump shifted in time should be much closer under DTW
+        // than under pointwise L1.
+        let bump = |c: f64| -> Vec<f64> {
+            (0..50)
+                .map(|i| {
+                    let d = (i as f64 - c) / 4.0;
+                    (-d * d).exp()
+                })
+                .collect()
+        };
+        let a = bump(20.0);
+        let b = bump(28.0);
+        let d_dtw = dtw(&a, &b, opts_unbanded());
+        let d_l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(d_dtw < 0.3 * d_l1, "dtw {d_dtw} vs l1 {d_l1}");
+    }
+
+    #[test]
+    fn band_matches_unbanded_when_wide() {
+        let a: Vec<f64> = (0..30).map(|i| (i as f64 * 0.4).sin()).collect();
+        let b: Vec<f64> = (0..25).map(|i| (i as f64 * 0.5).cos()).collect();
+        let full = dtw(&a, &b, opts_unbanded());
+        let banded = dtw(&a, &b, DtwOptions { band: Some(30) });
+        assert!((full - banded).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrow_band_increases_cost() {
+        let a: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = vec![0.0; 8];
+        b.extend_from_slice(&a[..32]);
+        let full = dtw(&a, &b, opts_unbanded());
+        let banded = dtw(&a, &b, DtwOptions { band: Some(2) });
+        assert!(banded >= full);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw(&[], &[], opts_unbanded()), 0.0);
+        assert_eq!(dtw(&[1.0], &[], opts_unbanded()), f64::INFINITY);
+        assert_eq!(dtw_normalized(&[], &[], opts_unbanded()), 0.0);
+    }
+
+    #[test]
+    fn normalized_invariant_to_duplication() {
+        // Repeating every sample should leave the normalized distance to
+        // the original small.
+        let a = [0.0, 1.0, 0.0, -1.0, 0.0];
+        let b: Vec<f64> = a.iter().flat_map(|&v| [v, v]).collect();
+        let d = dtw_normalized(&a, &b, opts_unbanded());
+        assert!(d < 1e-9, "{d}");
+    }
+}

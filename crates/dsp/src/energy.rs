@@ -1,0 +1,135 @@
+//! Short-time energy analysis.
+//!
+//! After detrending, P²Auth decides whether a keystroke happened near each
+//! reported keystroke time by thresholding the short-time energy of the
+//! signal (paper §IV-B 1.3): "if the total energy exceeds the threshold in
+//! the time window near the calibrated time, a keystroke event is
+//! considered to be present", with the threshold set to half the mean of
+//! all short-time energies and a window of 20 samples at 100 Hz.
+
+/// Computes the short-time energy of `x` over frames of `window` samples
+/// advancing by `hop` samples.
+///
+/// Each output value is the sum of squares of one frame. Frames that
+/// would run past the end of the signal are dropped, so the output length
+/// is `floor((len - window) / hop) + 1` (or 0 if `len < window`).
+///
+/// # Panics
+///
+/// Panics if `window` or `hop` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use p2auth_dsp::energy::short_time_energy;
+/// let e = short_time_energy(&[1.0, 1.0, 2.0, 2.0], 2, 2);
+/// assert_eq!(e, vec![2.0, 8.0]);
+/// ```
+pub fn short_time_energy(x: &[f64], window: usize, hop: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    assert!(hop > 0, "hop must be positive");
+    if x.len() < window {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity((x.len() - window) / hop + 1);
+    let mut start = 0;
+    while start + window <= x.len() {
+        out.push(frame_energy(&x[start..start + window]));
+        start += hop;
+    }
+    out
+}
+
+/// Sum of squares of one frame.
+pub fn frame_energy(frame: &[f64]) -> f64 {
+    frame.iter().map(|v| v * v).sum()
+}
+
+/// Energy of the window of `window` samples centred on `center`
+/// (clamped to the signal bounds).
+///
+/// Used for the keystroke-presence test: the decision window straddles
+/// the calibrated keystroke time.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or `x` is empty.
+pub fn energy_around(x: &[f64], center: usize, window: usize) -> f64 {
+    assert!(window > 0, "window must be positive");
+    assert!(!x.is_empty(), "empty signal");
+    let half = window / 2;
+    let start = center.saturating_sub(half);
+    let end = (start + window).min(x.len());
+    let start = end.saturating_sub(window);
+    frame_energy(&x[start..end])
+}
+
+/// The paper's keystroke-presence threshold: half the mean short-time
+/// energy of the whole (detrended) signal.
+///
+/// Returns 0.0 for signals shorter than one window.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn half_mean_energy_threshold(x: &[f64], window: usize) -> f64 {
+    let energies = short_time_energy(x, window, window);
+    if energies.is_empty() {
+        return 0.0;
+    }
+    0.5 * energies.iter().sum::<f64>() / energies.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_frames() {
+        let e = short_time_energy(&[1.0, 2.0, 3.0, 4.0, 5.0], 2, 1);
+        assert_eq!(e, vec![5.0, 13.0, 25.0, 41.0]);
+    }
+
+    #[test]
+    fn too_short_signal() {
+        assert!(short_time_energy(&[1.0], 4, 1).is_empty());
+    }
+
+    #[test]
+    fn energies_nonnegative() {
+        let x: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        assert!(short_time_energy(&x, 7, 3).iter().all(|&e| e >= 0.0));
+    }
+
+    #[test]
+    fn quadratic_scaling() {
+        let x = vec![1.0, -2.0, 0.5, 3.0, 1.0, 1.0];
+        let scaled: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+        let e1 = short_time_energy(&x, 3, 3);
+        let e2 = short_time_energy(&scaled, 3, 3);
+        for (a, b) in e1.iter().zip(&e2) {
+            assert!((b - 9.0 * a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_around_clamps_at_edges() {
+        let x = vec![1.0; 10];
+        assert_eq!(energy_around(&x, 0, 4), 4.0);
+        assert_eq!(energy_around(&x, 9, 4), 4.0);
+        assert_eq!(energy_around(&x, 5, 4), 4.0);
+    }
+
+    #[test]
+    fn threshold_detects_burst() {
+        // Low-amplitude background with one high-energy burst: the burst
+        // window exceeds the half-mean threshold, quiet windows do not.
+        let mut x = vec![0.05; 200];
+        for v in x.iter_mut().skip(100).take(20) {
+            *v = 1.0;
+        }
+        let thr = half_mean_energy_threshold(&x, 20);
+        assert!(energy_around(&x, 110, 20) > thr);
+        assert!(energy_around(&x, 30, 20) < thr);
+    }
+}

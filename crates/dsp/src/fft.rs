@@ -1,0 +1,255 @@
+//! Radix-2 FFT and spectral summaries.
+//!
+//! Used by the manual-feature baseline for spectral features (spectral
+//! centroid, band energies). Implemented from scratch: an iterative
+//! in-place radix-2 Cooley–Tukey transform over a minimal complex type.
+
+/// Minimal complex number for the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Magnitude (absolute value).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    fn mul(self, o: Self) -> Self {
+        Self::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    fn add(self, o: Self) -> Self {
+        Self::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Self) -> Self {
+        Self::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place radix-2 FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (zero-length is allowed).
+pub fn fft_in_place(x: &mut [Complex]) {
+    fft_dir(x, false);
+}
+
+/// In-place inverse FFT (includes the 1/N scaling).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (zero-length is allowed).
+pub fn ifft_in_place(x: &mut [Complex]) {
+    fft_dir(x, true);
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+}
+
+fn fft_dir(x: &mut [Complex], inverse: bool) {
+    let n = x.len();
+    if n == 0 {
+        return;
+    }
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for j in 0..len / 2 {
+                let u = x[i + j];
+                let v = x[i + j + len / 2].mul(w);
+                x[i + j] = u.add(v);
+                x[i + j + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// One-sided power spectrum of a real signal, zero-padded to the next
+/// power of two. Returns `floor(nfft/2) + 1` bins.
+///
+/// Returns an empty vector for empty input.
+pub fn power_spectrum(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let nfft = x.len().next_power_of_two();
+    let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    buf.resize(nfft, Complex::default());
+    fft_in_place(&mut buf);
+    buf[..nfft / 2 + 1]
+        .iter()
+        .map(|c| c.abs() * c.abs() / nfft as f64)
+        .collect()
+}
+
+/// Spectral centroid in Hz of a real signal sampled at `rate` Hz.
+///
+/// Bin 0 (DC) is excluded. Returns 0.0 for empty or zero-energy input.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn spectral_centroid(x: &[f64], rate: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "bad sample rate");
+    let ps = power_spectrum(x);
+    if ps.len() < 2 {
+        return 0.0;
+    }
+    let nfft = (ps.len() - 1) * 2;
+    let df = rate / nfft as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (k, &p) in ps.iter().enumerate().skip(1) {
+        num += k as f64 * df * p;
+        den += p;
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Fraction of (non-DC) spectral power in `[lo_hz, hi_hz]`.
+///
+/// Returns 0.0 for empty or zero-energy input.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite or `lo_hz > hi_hz`.
+pub fn band_power_ratio(x: &[f64], rate: f64, lo_hz: f64, hi_hz: f64) -> f64 {
+    assert!(rate > 0.0 && rate.is_finite(), "bad sample rate");
+    assert!(lo_hz <= hi_hz, "lo_hz must be <= hi_hz");
+    let ps = power_spectrum(x);
+    if ps.len() < 2 {
+        return 0.0;
+    }
+    let nfft = (ps.len() - 1) * 2;
+    let df = rate / nfft as f64;
+    let mut band = 0.0;
+    let mut total = 0.0;
+    for (k, &p) in ps.iter().enumerate().skip(1) {
+        let f = k as f64 * df;
+        total += p;
+        if f >= lo_hz && f <= hi_hz {
+            band += p;
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        band / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::default(); 8];
+        x[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut x);
+        for c in &x {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let orig: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft_in_place(&mut x);
+        ifft_in_place(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sine_concentrates_in_one_bin() {
+        // 8 Hz sine, 64 samples at 64 Hz -> bin 8 exactly.
+        let x: Vec<f64> = (0..64)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / 64.0).sin())
+            .collect();
+        let ps = power_spectrum(&x);
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn centroid_of_pure_tone() {
+        let rate = 100.0;
+        let f0 = 12.5; // exactly on a bin for 128-sample FFT
+        let x: Vec<f64> = (0..128)
+            .map(|i| (2.0 * std::f64::consts::PI * f0 * i as f64 / rate).sin())
+            .collect();
+        let c = spectral_centroid(&x, rate);
+        assert!((c - f0).abs() < 0.5, "centroid {c}");
+    }
+
+    #[test]
+    fn band_power_partitions() {
+        let rate = 100.0;
+        let x: Vec<f64> = (0..256)
+            .map(|i| (2.0 * std::f64::consts::PI * 10.0 * i as f64 / rate).sin())
+            .collect();
+        let in_band = band_power_ratio(&x, rate, 5.0, 15.0);
+        let out_band = band_power_ratio(&x, rate, 20.0, 50.0);
+        assert!(in_band > 0.95, "{in_band}");
+        assert!(out_band < 0.05, "{out_band}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex::default(); 6];
+        fft_in_place(&mut x);
+    }
+}

@@ -1,0 +1,46 @@
+//! Signal-processing substrate for the P²Auth reproduction.
+//!
+//! The P²Auth pipeline (ICDCS'23) preprocesses keystroke-induced PPG
+//! measurements with a small set of classical DSP blocks. This crate
+//! implements each of them from scratch, in the form the paper uses them:
+//!
+//! * [`median`] — sliding median filter (paper §IV-B 1.1, noise removal),
+//! * [`savgol`] — Savitzky–Golay smoothing (§IV-B 1.2, pre-calibration),
+//! * [`peaks`] — local-extremum search and the deviation-from-mean
+//!   objective of the paper's Eq. (1) (fine-grained keystroke calibration),
+//! * [`detrend`] — smoothness-priors detrending (Tarvainen et al. 2002,
+//!   the paper's Eq. (2)–(3)),
+//! * [`energy`] — short-time energy (§IV-B 1.3, input-case identification),
+//! * [`dtw`] — dynamic time warping (used by the manual-feature baseline),
+//! * [`fft`] — radix-2 FFT and spectral summaries (manual features),
+//! * [`resample`], [`normalize`], [`stats`] — general utilities used by the
+//!   simulator, feature extractors and evaluation harness.
+//!
+//! All routines operate on `&[f64]` and return owned `Vec<f64>`, keeping
+//! the crate free of external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use p2auth_dsp::{median::median_filter, energy::short_time_energy};
+//!
+//! let noisy = vec![0.0, 9.0, 0.0, 0.0, 0.0, -7.0, 0.0, 0.0];
+//! let clean = median_filter(&noisy, 3);
+//! assert!(clean.iter().all(|v| v.abs() < 1e-12));
+//! let e = short_time_energy(&noisy, 4, 4);
+//! assert_eq!(e.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detrend;
+pub mod dtw;
+pub mod energy;
+pub mod fft;
+pub mod median;
+pub mod normalize;
+pub mod peaks;
+pub mod resample;
+pub mod savgol;
+pub mod stats;

@@ -1,0 +1,117 @@
+//! Sliding median filter.
+//!
+//! P²Auth removes impulsive sensor noise from raw PPG samples with a
+//! median filter (paper §IV-B 1.1): "median filtering is a non-linear
+//! filtering method that performs well at preserving detailed information
+//! about the signals while filtering out the noise".
+
+/// Applies a sliding median filter of the given (odd) `window` length.
+///
+/// The signal is padded at both ends by replicating the edge samples, so
+/// the output has the same length as the input. A `window` of 1 returns
+/// the input unchanged.
+///
+/// # Panics
+///
+/// Panics if `window` is zero or even.
+///
+/// # Examples
+///
+/// ```
+/// use p2auth_dsp::median::median_filter;
+/// let x = vec![1.0, 100.0, 1.0, 1.0];
+/// assert_eq!(median_filter(&x, 3), vec![1.0, 1.0, 1.0, 1.0]);
+/// ```
+pub fn median_filter(x: &[f64], window: usize) -> Vec<f64> {
+    assert!(
+        window % 2 == 1,
+        "median filter window must be odd, got {window}"
+    );
+    if x.is_empty() || window == 1 {
+        return x.to_vec();
+    }
+    let half = window / 2;
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    let mut buf = Vec::with_capacity(window);
+    for i in 0..n {
+        buf.clear();
+        for j in 0..window {
+            // index into padded signal: clamp to [0, n-1]
+            let idx = (i + j).saturating_sub(half).min(n - 1);
+            buf.push(x[idx]);
+        }
+        out.push(median_of(&mut buf));
+    }
+    out
+}
+
+/// Returns the median of a slice, reordering it in place.
+///
+/// For even lengths the mean of the two central order statistics is
+/// returned.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn median_of(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty slice");
+    let n = values.len();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_window() {
+        let x = vec![3.0, -1.0, 2.5];
+        assert_eq!(median_filter(&x, 1), x);
+    }
+
+    #[test]
+    fn removes_single_impulse() {
+        let mut x = vec![0.0; 21];
+        x[10] = 50.0;
+        let y = median_filter(&x, 5);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn preserves_step_edges() {
+        let x: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let y = median_filter(&x, 3);
+        assert_eq!(y, x, "median filter must not smear a clean step");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(median_filter(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn median_of_even_len() {
+        let mut v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_of(&mut v), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_window_panics() {
+        median_filter(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn output_within_input_range() {
+        let x = vec![1.0, -3.0, 7.0, 0.5, 2.0, -1.0, 4.0];
+        let y = median_filter(&x, 5);
+        let (lo, hi) = (-3.0, 7.0);
+        assert!(y.iter().all(|&v| v >= lo && v <= hi));
+    }
+}

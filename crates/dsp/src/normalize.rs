@@ -1,0 +1,85 @@
+//! Amplitude normalization utilities.
+
+/// Subtracts the mean of `x` in place.
+pub fn remove_mean(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let m = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= m;
+    }
+}
+
+/// Returns a z-normalized copy of `x` (zero mean, unit variance).
+///
+/// A signal with (near-)zero variance is returned mean-removed only, so
+/// the function never divides by ~0.
+pub fn zscore(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < 1e-12 {
+        return x.iter().map(|v| v - mean).collect();
+    }
+    x.iter().map(|v| (v - mean) / sd).collect()
+}
+
+/// Rescales `x` linearly into `[0, 1]`.
+///
+/// A constant signal maps to all zeros.
+pub fn min_max(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let lo = x.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    if span < 1e-12 {
+        return vec![0.0; x.len()];
+    }
+    x.iter().map(|v| (v - lo) / span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remove_mean_centres() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        remove_mean(&mut x);
+        assert!((x.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_moments() {
+        let x = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let z = zscore(&x);
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_signal() {
+        let z = zscore(&[3.0, 3.0, 3.0]);
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        let y = min_max(&[-1.0, 0.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn min_max_constant() {
+        assert_eq!(min_max(&[5.0, 5.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Local-extremum search and fine-grained keystroke-time calibration.
+//!
+//! P²Auth calibrates the coarse keystroke timestamps reported by the
+//! smartphone by searching, within a window around each reported time,
+//! for the extremum that "deviates the most from the mean among all
+//! points in the window" (paper §IV-B 1.2, Eq. (1)):
+//!
+//! ```text
+//! argmax_{s ∈ S} | y_s − (1 / (w+1)) Σ_{i=−w/2}^{w/2} y_{s+i} |
+//! ```
+//!
+//! where `S` is the candidate set of local extrema of the SG-filtered
+//! signal and `w` is the window size (30 at 100 Hz).
+
+/// Indices of strict-or-plateau local maxima of `x`.
+///
+/// A plateau of equal samples bounded by strictly smaller neighbours
+/// yields its first index. Endpoints are never reported.
+pub fn local_maxima(x: &[f64]) -> Vec<usize> {
+    extrema_impl(x, true)
+}
+
+/// Indices of local minima of `x`; see [`local_maxima`] for conventions.
+pub fn local_minima(x: &[f64]) -> Vec<usize> {
+    extrema_impl(x, false)
+}
+
+/// Indices of all local extrema (maxima and minima), sorted ascending.
+pub fn local_extrema(x: &[f64]) -> Vec<usize> {
+    let mut v = local_maxima(x);
+    v.extend(local_minima(x));
+    v.sort_unstable();
+    v
+}
+
+fn extrema_impl(x: &[f64], maxima: bool) -> Vec<usize> {
+    let n = x.len();
+    let mut out = Vec::new();
+    if n < 3 {
+        return out;
+    }
+    let mut i = 1;
+    while i + 1 < n {
+        let rising = if maxima {
+            x[i] > x[i - 1]
+        } else {
+            x[i] < x[i - 1]
+        };
+        if rising {
+            // Walk any plateau.
+            let start = i;
+            while i + 1 < n && x[i + 1] == x[i] {
+                i += 1;
+            }
+            if i + 1 < n {
+                let falling = if maxima {
+                    x[i + 1] < x[i]
+                } else {
+                    x[i + 1] > x[i]
+                };
+                if falling {
+                    out.push(start);
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Deviation of sample `s` from the local mean over a centred window of
+/// `w + 1` samples — the objective of the paper's Eq. (1).
+///
+/// Window samples outside the signal are clamped to the edges.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn deviation_from_local_mean(x: &[f64], s: usize, w: usize) -> f64 {
+    assert!(!x.is_empty(), "empty signal");
+    let n = x.len() as i64;
+    let half = (w / 2) as i64;
+    let s_i = s as i64;
+    let mut sum = 0.0;
+    let count = 2 * half + 1;
+    for i in -half..=half {
+        let idx = (s_i + i).clamp(0, n - 1) as usize;
+        sum += x[idx];
+    }
+    (x[s.min(x.len() - 1)] - sum / count as f64).abs()
+}
+
+/// Result of a fine-grained calibration search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibrated {
+    /// Index of the selected extremum.
+    pub index: usize,
+    /// Value of the Eq. (1) objective at that index.
+    pub score: f64,
+}
+
+/// Fine-grained keystroke-time calibration (paper Eq. (1)).
+///
+/// Searches local extrema of (already SG-filtered) `x` within
+/// `approx ± radius` and returns the one maximizing the
+/// deviation-from-local-mean objective with window size `w`
+/// (30 at 100 Hz in the paper). Returns `None` when no extremum lies in
+/// the search range (e.g. a flat signal).
+pub fn calibrate_keystroke(
+    x: &[f64],
+    approx: usize,
+    radius: usize,
+    w: usize,
+) -> Option<Calibrated> {
+    calibrate_keystroke_asym(x, approx, radius, radius, w)
+}
+
+/// Like [`calibrate_keystroke`] but with an asymmetric search window of
+/// `before` samples before and `after` samples after the reported time.
+///
+/// The asymmetry reflects the acquisition timing: the reported touch
+/// time may be early or late by the communication jitter, but the
+/// vascular response always *follows* the touch by the neuromuscular
+/// latency, so most of the search mass belongs after the reported time.
+pub fn calibrate_keystroke_asym(
+    x: &[f64],
+    approx: usize,
+    before: usize,
+    after: usize,
+    w: usize,
+) -> Option<Calibrated> {
+    if x.is_empty() {
+        return None;
+    }
+    let lo = approx.saturating_sub(before);
+    let hi = (approx + after).min(x.len() - 1);
+    let mut best: Option<Calibrated> = None;
+    for s in local_extrema(x) {
+        if s < lo || s > hi {
+            continue;
+        }
+        let score = deviation_from_local_mean(x, s, w);
+        if best.is_none_or(|b| score > b.score) {
+            best = Some(Calibrated { index: s, score });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_peak() {
+        let x = vec![0.0, 1.0, 3.0, 1.0, 0.0];
+        assert_eq!(local_maxima(&x), vec![2]);
+        assert!(local_minima(&x).is_empty());
+    }
+
+    #[test]
+    fn finds_trough() {
+        let x = vec![0.0, -1.0, -3.0, -1.0, 0.0];
+        assert_eq!(local_minima(&x), vec![2]);
+    }
+
+    #[test]
+    fn plateau_reports_first_index() {
+        let x = vec![0.0, 2.0, 2.0, 2.0, 0.0];
+        assert_eq!(local_maxima(&x), vec![1]);
+    }
+
+    #[test]
+    fn no_extrema_in_monotone() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(local_extrema(&x).is_empty());
+    }
+
+    #[test]
+    fn calibration_snaps_to_largest_transient() {
+        // Small ripple everywhere, one big trough at 40; reported time 35.
+        let mut x: Vec<f64> = (0..100).map(|i| 0.05 * (i as f64 * 0.7).sin()).collect();
+        for (i, v) in x.iter_mut().enumerate().take(45).skip(36) {
+            let d = (i as f64 - 40.0) / 3.0;
+            *v -= 2.0 * (-d * d).exp();
+        }
+        let cal = calibrate_keystroke(&x, 35, 15, 30).expect("found");
+        assert!(
+            (cal.index as i64 - 40).unsigned_abs() <= 2,
+            "index {}",
+            cal.index
+        );
+    }
+
+    #[test]
+    fn calibration_respects_radius() {
+        let mut x = vec![0.0; 100];
+        // Ripple so there are extrema in range.
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = 0.1 * (i as f64 * 0.9).sin();
+        }
+        // Huge spike far outside search radius.
+        x[90] = 10.0;
+        let cal = calibrate_keystroke(&x, 20, 10, 10).expect("found");
+        assert!(cal.index >= 10 && cal.index <= 30);
+    }
+
+    #[test]
+    fn calibration_none_on_flat() {
+        let x = vec![1.0; 50];
+        assert!(calibrate_keystroke(&x, 25, 10, 10).is_none());
+    }
+
+    #[test]
+    fn deviation_of_constant_is_zero() {
+        let x = vec![4.2; 31];
+        assert!(deviation_from_local_mean(&x, 15, 30).abs() < 1e-12);
+    }
+}

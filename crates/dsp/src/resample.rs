@@ -1,0 +1,138 @@
+//! Sampling-rate conversion.
+//!
+//! The paper sweeps the PPG sampling rate from 30 Hz to 100 Hz (Fig. 16,
+//! Fig. 17). The simulator synthesizes at 100 Hz and this module derives
+//! the lower-rate streams.
+
+/// Resamples `x` from `src_rate` Hz to `dst_rate` Hz by linear
+/// interpolation.
+///
+/// The output covers the same time span; its length is
+/// `round(len * dst_rate / src_rate)` (at least 1 for non-empty input).
+///
+/// # Panics
+///
+/// Panics if either rate is not strictly positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use p2auth_dsp::resample::resample_linear;
+/// let x = vec![0.0, 1.0, 2.0, 3.0];
+/// let y = resample_linear(&x, 100.0, 50.0);
+/// assert_eq!(y.len(), 2);
+/// ```
+pub fn resample_linear(x: &[f64], src_rate: f64, dst_rate: f64) -> Vec<f64> {
+    assert!(src_rate > 0.0 && src_rate.is_finite(), "bad src_rate");
+    assert!(dst_rate > 0.0 && dst_rate.is_finite(), "bad dst_rate");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    if (src_rate - dst_rate).abs() < f64::EPSILON {
+        return x.to_vec();
+    }
+    let n = x.len();
+    let out_len = ((n as f64) * dst_rate / src_rate).round().max(1.0) as usize;
+    let mut out = Vec::with_capacity(out_len);
+    let step = src_rate / dst_rate;
+    for i in 0..out_len {
+        let pos = i as f64 * step;
+        let i0 = pos.floor() as usize;
+        if i0 + 1 >= n {
+            out.push(x[n - 1]);
+        } else {
+            let frac = pos - i0 as f64;
+            out.push(x[i0] * (1.0 - frac) + x[i0 + 1] * frac);
+        }
+    }
+    out
+}
+
+/// Keeps every `factor`-th sample (no anti-alias filtering).
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn decimate(x: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be positive");
+    x.iter().step_by(factor).copied().collect()
+}
+
+/// Maps a sample index at `src_rate` to the nearest index at `dst_rate`.
+///
+/// Used to translate keystroke timestamps when a recording is resampled.
+///
+/// # Panics
+///
+/// Panics if either rate is not strictly positive and finite.
+pub fn map_index(idx: usize, src_rate: f64, dst_rate: f64) -> usize {
+    assert!(src_rate > 0.0 && src_rate.is_finite(), "bad src_rate");
+    assert!(dst_rate > 0.0 && dst_rate.is_finite(), "bad dst_rate");
+    ((idx as f64) * dst_rate / src_rate).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_when_rates_equal() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(resample_linear(&x, 100.0, 100.0), x);
+    }
+
+    #[test]
+    fn halving_rate_halves_length() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y = resample_linear(&x, 100.0, 50.0);
+        assert_eq!(y.len(), 50);
+        // Linear ramp stays linear: y[i] ~ 2*i.
+        for (i, v) in y.iter().enumerate() {
+            assert!((v - 2.0 * i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn upsampling_interpolates() {
+        let x = vec![0.0, 1.0];
+        let y = resample_linear(&x, 1.0, 4.0);
+        assert_eq!(y.len(), 8);
+        assert!((y[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preserves_sine_shape_at_downsample() {
+        let x: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.05).sin()).collect();
+        let y = resample_linear(&x, 100.0, 30.0);
+        // Check a few anchor points by evaluating the sine at mapped times.
+        for i in (0..y.len()).step_by(37) {
+            let t = i as f64 * 100.0 / 30.0;
+            let expected = (t * 0.05).sin();
+            assert!(
+                (y[i] - expected).abs() < 0.01,
+                "at {i}: {} vs {expected}",
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn decimation() {
+        let x = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(decimate(&x, 2), vec![0.0, 2.0, 4.0]);
+        assert_eq!(decimate(&x, 1), x);
+    }
+
+    #[test]
+    fn index_mapping_round_trips_approximately() {
+        let idx = 123;
+        let down = map_index(idx, 100.0, 30.0);
+        let back = map_index(down, 30.0, 100.0);
+        assert!((back as i64 - idx as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(resample_linear(&[], 100.0, 50.0).is_empty());
+    }
+}

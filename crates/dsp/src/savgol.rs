@@ -1,0 +1,229 @@
+//! Savitzky–Golay smoothing.
+//!
+//! Before searching for the extreme point that marks the true keystroke
+//! moment, P²Auth applies an SG filter "to remove locally unimportant
+//! details while retaining the wave's shape" (paper §IV-B 1.2). The filter
+//! fits a low-order polynomial to each window by linear least squares and
+//! evaluates it at the window centre.
+
+/// Computes Savitzky–Golay smoothing coefficients for a centred window.
+///
+/// The returned vector `c` has length `window`; convolving the signal
+/// with `c` is equivalent to least-squares-fitting a polynomial of degree
+/// `poly_order` over each window and evaluating it at the centre sample.
+///
+/// # Panics
+///
+/// Panics if `window` is even or zero, or if `poly_order >= window`.
+///
+/// # Examples
+///
+/// ```
+/// use p2auth_dsp::savgol::savgol_coeffs;
+/// let c = savgol_coeffs(5, 2);
+/// // Coefficients of a smoother sum to 1.
+/// let s: f64 = c.iter().sum();
+/// assert!((s - 1.0).abs() < 1e-10);
+/// ```
+pub fn savgol_coeffs(window: usize, poly_order: usize) -> Vec<f64> {
+    assert!(
+        window % 2 == 1 && window > 0,
+        "SG window must be odd, got {window}"
+    );
+    assert!(
+        poly_order < window,
+        "SG polynomial order {poly_order} must be < window {window}"
+    );
+    let half = (window / 2) as i64;
+    let m = poly_order + 1;
+    // Normal equations A^T A b = A^T e_center, where A[i][j] = t_i^j.
+    // The centre coefficient row of the pseudo-inverse gives the filter.
+    // Build gram = A^T A (size m x m) and rhs columns A^T for each sample.
+    let mut gram = vec![vec![0.0_f64; m]; m];
+    for t in -half..=half {
+        let mut pow = vec![1.0_f64; 2 * m - 1];
+        for k in 1..2 * m - 1 {
+            pow[k] = pow[k - 1] * t as f64;
+        }
+        for r in 0..m {
+            for c in 0..m {
+                gram[r][c] += pow[r + c];
+            }
+        }
+    }
+    // Solve gram * beta = e_0 (value at centre is the 0th polynomial coef,
+    // since the window is centred at t = 0).
+    let mut rhs = vec![0.0_f64; m];
+    rhs[0] = 1.0;
+    let beta = solve_dense(&mut gram, &mut rhs);
+    // Coefficient for sample at offset t: sum_j beta[j] * t^j.
+    (-half..=half)
+        .map(|t| {
+            let mut acc = 0.0;
+            let mut pw = 1.0;
+            for &b in &beta {
+                acc += b * pw;
+                pw *= t as f64;
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Smooths `x` with a Savitzky–Golay filter.
+///
+/// Edges are handled by replicating the first/last samples so the output
+/// length equals the input length.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`savgol_coeffs`].
+pub fn savgol_filter(x: &[f64], window: usize, poly_order: usize) -> Vec<f64> {
+    let coeffs = savgol_coeffs(window, poly_order);
+    apply_fir_replicate(x, &coeffs)
+}
+
+/// Convolves `x` with a centred FIR kernel, replicating edge samples.
+///
+/// The kernel length must be odd.
+///
+/// # Panics
+///
+/// Panics if `kernel` has even length or is empty.
+pub fn apply_fir_replicate(x: &[f64], kernel: &[f64]) -> Vec<f64> {
+    assert!(
+        kernel.len() % 2 == 1 && !kernel.is_empty(),
+        "kernel must have odd length"
+    );
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let half = kernel.len() / 2;
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = 0.0;
+        for (j, &k) in kernel.iter().enumerate() {
+            let idx = (i + j).saturating_sub(half).min(n - 1);
+            acc += k * x[idx];
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Solves a small dense symmetric linear system by Gaussian elimination
+/// with partial pivoting. Consumes its inputs as scratch space.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        assert!(d.abs() > 1e-12, "singular SG normal equations");
+        for r in col + 1..n {
+            let f = a[r][col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // parallel-array elimination step
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn known_quadratic_coeffs() {
+        // Classic SG(5, 2) smoothing kernel: (-3, 12, 17, 12, -3) / 35.
+        let c = savgol_coeffs(5, 2);
+        let expected = [
+            -3.0 / 35.0,
+            12.0 / 35.0,
+            17.0 / 35.0,
+            12.0 / 35.0,
+            -3.0 / 35.0,
+        ];
+        assert!(max_abs_diff(&c, &expected) < 1e-10, "got {c:?}");
+    }
+
+    #[test]
+    fn preserves_polynomial_of_fit_order() {
+        // A degree-2 polynomial must pass through an order-2 SG filter
+        // unchanged (away from the replicated edges).
+        let x: Vec<f64> = (0..50)
+            .map(|i| {
+                let t = i as f64;
+                0.3 * t * t - 2.0 * t + 5.0
+            })
+            .collect();
+        let y = savgol_filter(&x, 7, 2);
+        for i in 3..47 {
+            assert!(
+                (y[i] - x[i]).abs() < 1e-8,
+                "mismatch at {i}: {} vs {}",
+                y[i],
+                x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn smooths_noise() {
+        // Alternating noise on a constant should be strongly attenuated.
+        let x: Vec<f64> = (0..100)
+            .map(|i| 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let y = savgol_filter(&x, 9, 2);
+        let resid: f64 = y[4..96].iter().map(|v| (v - 1.0).abs()).sum::<f64>() / 92.0;
+        assert!(resid < 0.2, "mean residual {resid}");
+    }
+
+    #[test]
+    fn coeffs_are_symmetric() {
+        let c = savgol_coeffs(11, 3);
+        for i in 0..c.len() / 2 {
+            assert!((c[i] - c[c.len() - 1 - i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(savgol_filter(&[], 5, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < window")]
+    fn order_too_high_panics() {
+        savgol_coeffs(5, 5);
+    }
+}

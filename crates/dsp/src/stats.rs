@@ -1,0 +1,202 @@
+//! Descriptive statistics used by feature extractors and the evaluation
+//! harness.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0.0 for inputs shorter than 2.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Root mean square; 0.0 for empty input.
+pub fn rms(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// Sample skewness (Fisher); 0.0 for degenerate inputs.
+pub fn skewness(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(x);
+    let sd = std_dev(x);
+    if sd < 1e-12 {
+        return 0.0;
+    }
+    x.iter().map(|v| ((v - m) / sd).powi(3)).sum::<f64>() / n as f64
+}
+
+/// Excess kurtosis; 0.0 for degenerate inputs.
+pub fn kurtosis(x: &[f64]) -> f64 {
+    let n = x.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let m = mean(x);
+    let sd = std_dev(x);
+    if sd < 1e-12 {
+        return 0.0;
+    }
+    x.iter().map(|v| ((v - m) / sd).powi(4)).sum::<f64>() / n as f64 - 3.0
+}
+
+/// Peak-to-peak amplitude; 0.0 for empty input.
+pub fn peak_to_peak(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let lo = x.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+/// Number of sign changes between consecutive samples.
+pub fn zero_crossings(x: &[f64]) -> usize {
+    x.windows(2)
+        .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+        .count()
+}
+
+/// Number of crossings of the signal mean.
+pub fn mean_crossings(x: &[f64]) -> usize {
+    let m = mean(x);
+    x.windows(2).filter(|w| (w[0] >= m) != (w[1] >= m)).count()
+}
+
+/// Linearly interpolated `q`-quantile (`q` in `[0, 1]`).
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(x: &[f64], q: f64) -> f64 {
+    assert!(!x.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut v = x.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    if i + 1 < v.len() {
+        v[i] * (1.0 - frac) + v[i + 1] * frac
+    } else {
+        v[i]
+    }
+}
+
+/// Biased autocorrelation at integer `lag` of the mean-removed signal,
+/// normalized so lag 0 gives 1 (0.0 for degenerate inputs).
+pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
+    let n = x.len();
+    if n == 0 || lag >= n {
+        return 0.0;
+    }
+    let m = mean(x);
+    let denom: f64 = x.iter().map(|v| (v - m) * (v - m)).sum();
+    if denom < 1e-12 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum();
+    num / denom
+}
+
+/// Mean absolute deviation from the mean; 0.0 for empty input.
+pub fn mean_abs_deviation(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m).abs()).sum::<f64>() / x.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&x) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&x) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_distribution_has_zero_skew() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn right_tail_positive_skew() {
+        let x = [0.0, 0.0, 0.0, 0.0, 10.0];
+        assert!(skewness(&x) > 0.5);
+    }
+
+    #[test]
+    fn uniformish_negative_excess_kurtosis() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(kurtosis(&x) < 0.0);
+    }
+
+    #[test]
+    fn crossings() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        assert_eq!(zero_crossings(&x), 3);
+        assert_eq!(mean_crossings(&x), 3);
+    }
+
+    #[test]
+    fn quantiles() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&x, 0.0), 1.0);
+        assert_eq!(quantile(&x, 1.0), 4.0);
+        assert!((quantile(&x, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorr_of_periodic_signal() {
+        let x: Vec<f64> = (0..200)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 20.0).sin())
+            .collect();
+        assert!((autocorrelation(&x, 0) - 1.0).abs() < 1e-12);
+        assert!(autocorrelation(&x, 20) > 0.8, "period lag should correlate");
+        assert!(
+            autocorrelation(&x, 10) < -0.8,
+            "half period anti-correlates"
+        );
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(peak_to_peak(&[]), 0.0);
+        assert_eq!(mean_abs_deviation(&[]), 0.0);
+        assert_eq!(autocorrelation(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn rms_and_ptp() {
+        let x = [3.0, -3.0, 3.0, -3.0];
+        assert!((rms(&x) - 3.0).abs() < 1e-12);
+        assert_eq!(peak_to_peak(&x), 6.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests over the DSP substrate.
+
+use p2auth_dsp::detrend::{detrend, trend};
+use p2auth_dsp::dtw::{dtw, dtw_normalized, DtwOptions};
+use p2auth_dsp::energy::short_time_energy;
+use p2auth_dsp::median::median_filter;
+use p2auth_dsp::normalize::{min_max, zscore};
+use p2auth_dsp::peaks::{deviation_from_local_mean, local_extrema};
+use p2auth_dsp::resample::resample_linear;
+use p2auth_dsp::savgol::savgol_filter;
+use p2auth_dsp::stats;
+use proptest::prelude::*;
+
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0_f64..100.0, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn median_output_within_input_range(x in signal(200), half in 0_usize..5) {
+        let window = 2 * half + 1;
+        let y = median_filter(&x, window);
+        let lo = x.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(y.len(), x.len());
+        for v in y {
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_idempotent_for_window3_on_sorted(mut x in signal(100)) {
+        x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // A monotone signal is a fixed point of the median filter.
+        let y = median_filter(&x, 3);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn savgol_preserves_affine(c0 in -10.0_f64..10.0, c1 in -1.0_f64..1.0) {
+        let x: Vec<f64> = (0..60).map(|i| c0 + c1 * i as f64).collect();
+        let y = savgol_filter(&x, 9, 2);
+        for i in 4..56 {
+            prop_assert!((y[i] - x[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn detrend_sums_back(x in signal(300), lambda in 0.0_f64..100.0) {
+        let t = trend(&x, lambda);
+        let d = detrend(&x, lambda);
+        for i in 0..x.len() {
+            prop_assert!((t[i] + d[i] - x[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn detrend_kills_affine(c0 in -10.0_f64..10.0, c1 in -0.5_f64..0.5) {
+        let x: Vec<f64> = (0..120).map(|i| c0 + c1 * i as f64).collect();
+        let d = detrend(&x, 200.0);
+        let max = d.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        prop_assert!(max < 1e-5, "residual {}", max);
+    }
+
+    #[test]
+    fn energy_nonnegative_and_counts(x in signal(200), w in 1_usize..20, h in 1_usize..20) {
+        let e = short_time_energy(&x, w, h);
+        if x.len() >= w {
+            prop_assert_eq!(e.len(), (x.len() - w) / h + 1);
+        } else {
+            prop_assert!(e.is_empty());
+        }
+        for v in e {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn dtw_nonnegative_and_symmetric(a in signal(40), b in signal(40)) {
+        let d1 = dtw(&a, &b, DtwOptions::default());
+        let d2 = dtw(&b, &a, DtwOptions::default());
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_identity_zero(a in signal(50)) {
+        prop_assert_eq!(dtw(&a, &a, DtwOptions::default()), 0.0);
+        prop_assert_eq!(dtw_normalized(&a, &a, DtwOptions::default()), 0.0);
+    }
+
+    #[test]
+    fn dtw_banded_upper_bounds_full(a in signal(30), b in signal(30), band in 1_usize..10) {
+        let full = dtw(&a, &b, DtwOptions::default());
+        let banded = dtw(&a, &b, DtwOptions { band: Some(band) });
+        prop_assert!(banded + 1e-9 >= full);
+    }
+
+    #[test]
+    fn zscore_is_standardized(x in prop::collection::vec(-50.0_f64..50.0, 3..100)) {
+        let z = zscore(&x);
+        let m = stats::mean(&z);
+        prop_assert!(m.abs() < 1e-8);
+        let v = stats::variance(&z);
+        // Either standardized or the input was (near-)constant.
+        prop_assert!((v - 1.0).abs() < 1e-6 || v < 1e-6);
+    }
+
+    #[test]
+    fn min_max_in_unit_interval(x in signal(100)) {
+        for v in min_max(&x) {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn resample_round_trip_length(x in signal(200)) {
+        let down = resample_linear(&x, 100.0, 50.0);
+        let up = resample_linear(&down, 50.0, 100.0);
+        prop_assert!((up.len() as i64 - x.len() as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn extrema_are_interior(x in signal(100)) {
+        for idx in local_extrema(&x) {
+            prop_assert!(idx > 0 && idx + 1 < x.len());
+        }
+    }
+
+    #[test]
+    fn deviation_nonnegative(x in signal(100), s in 0_usize..100, w in 0_usize..40) {
+        let s = s.min(x.len() - 1);
+        prop_assert!(deviation_from_local_mean(&x, s, w) >= 0.0);
+    }
+
+    #[test]
+    fn quantile_monotone(x in signal(80), q1 in 0.0_f64..1.0, q2 in 0.0_f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(stats::quantile(&x, lo) <= stats::quantile(&x, hi) + 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-checks of the optimized DSP routines against naive reference
+//! implementations on random inputs. These are stronger than the unit
+//! tests: any algebraic shortcut (banded Cholesky, rolling DP, FFT
+//! butterflies) must agree with the textbook formulation bit-for-bit up
+//! to floating-point tolerance.
+
+use p2auth_dsp::detrend::trend;
+use p2auth_dsp::dtw::{dtw, DtwOptions};
+use p2auth_dsp::fft::{fft_in_place, Complex};
+use p2auth_dsp::median::median_filter;
+use proptest::prelude::*;
+
+/// Naive O(n³) smoothness-priors trend: build (I + λ²D₂ᵀD₂) densely and
+/// solve by Gaussian elimination.
+fn trend_reference(y: &[f64], lambda: f64) -> Vec<f64> {
+    let n = y.len();
+    if n < 3 {
+        return y.to_vec();
+    }
+    let l2 = lambda * lambda;
+    let mut a = vec![vec![0.0_f64; n]; n];
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for k in 0..n - 2 {
+        let idx = [k, k + 1, k + 2];
+        let val = [1.0, -2.0, 1.0];
+        for p in 0..3 {
+            for q in 0..3 {
+                a[idx[p]][idx[q]] += l2 * val[p] * val[q];
+            }
+        }
+    }
+    let mut b = y.to_vec();
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let mut piv = col;
+        for r in col + 1..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        for r in col + 1..n {
+            let f = a[r][col] / d;
+            if f != 0.0 {
+                #[allow(clippy::needless_range_loop)] // parallel-array elimination
+                for c in col..n {
+                    a[r][c] -= f * a[col][c];
+                }
+                b[r] -= f * b[col];
+            }
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in col + 1..n {
+            acc -= a[col][c] * x[c];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+/// Naive O(n·m) full-matrix DTW.
+fn dtw_reference(a: &[f64], b: &[f64]) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 && m == 0 {
+        return 0.0;
+    }
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    let mut d = vec![vec![f64::INFINITY; m + 1]; n + 1];
+    d[0][0] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = (a[i - 1] - b[j - 1]).abs();
+            let best = d[i - 1][j].min(d[i][j - 1]).min(d[i - 1][j - 1]);
+            d[i][j] = cost + best;
+        }
+    }
+    d[n][m]
+}
+
+/// Naive O(n²) DFT.
+fn dft_reference(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::new(0.0, 0.0);
+            for (j, v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                let (s, c) = ang.sin_cos();
+                acc = Complex::new(acc.re + v.re * c - v.im * s, acc.im + v.re * s + v.im * c);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Naive median filter with explicit edge replication.
+fn median_reference(x: &[f64], window: usize) -> Vec<f64> {
+    let half = window / 2;
+    let n = x.len();
+    (0..n)
+        .map(|i| {
+            let mut w: Vec<f64> = (0..window)
+                .map(|j| {
+                    let idx = (i + j).saturating_sub(half).min(n - 1);
+                    x[idx]
+                })
+                .collect();
+            w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            if window % 2 == 1 {
+                w[window / 2]
+            } else {
+                0.5 * (w[window / 2 - 1] + w[window / 2])
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn banded_trend_matches_dense_solver(
+        y in prop::collection::vec(-10.0_f64..10.0, 3..60),
+        lambda in 0.1_f64..100.0,
+    ) {
+        let fast = trend(&y, lambda);
+        let slow = trend_reference(&y, lambda);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).abs() < 1e-6, "banded {} vs dense {}", a, b);
+        }
+    }
+
+    #[test]
+    fn rolling_dtw_matches_full_matrix(
+        a in prop::collection::vec(-5.0_f64..5.0, 1..30),
+        b in prop::collection::vec(-5.0_f64..5.0, 1..30),
+    ) {
+        let fast = dtw(&a, &b, DtwOptions::default());
+        let slow = dtw_reference(&a, &b);
+        prop_assert!((fast - slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_matches_dft(signal in prop::collection::vec(-3.0_f64..3.0, 1..5_usize)) {
+        // Lengths 2^k for k in 1..5.
+        let n = 1_usize << signal.len();
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin() + signal[i % signal.len()], 0.1 * i as f64))
+            .collect();
+        let mut fast = x.clone();
+        fft_in_place(&mut fast);
+        let slow = dft_reference(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-7 && (a.im - b.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn median_matches_reference(
+        x in prop::collection::vec(-10.0_f64..10.0, 1..80),
+        half in 0_usize..4,
+    ) {
+        let window = 2 * half + 1;
+        let fast = median_filter(&x, window);
+        let slow = median_reference(&x, window);
+        prop_assert_eq!(fast, slow);
+    }
+}

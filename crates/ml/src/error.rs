@@ -1,0 +1,76 @@
+//! Common error type for classifier training.
+
+use std::fmt;
+
+/// Error training or applying a classifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Feature vectors have inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected feature dimension.
+        expected: usize,
+        /// Conflicting dimension found.
+        found: usize,
+    },
+    /// Labels and samples have different counts.
+    LabelCountMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// All training labels belong to one class.
+    SingleClass,
+    /// A numerical routine failed (e.g. a singular system).
+    Numerical {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "empty training set"),
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "feature dimension mismatch: {found} != {expected}")
+            }
+            MlError::LabelCountMismatch { samples, labels } => {
+                write!(f, "label count {labels} != sample count {samples}")
+            }
+            MlError::SingleClass => write!(f, "training labels contain a single class"),
+            MlError::Numerical { detail } => write!(f, "numerical failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Validates a labelled training set; returns the feature dimension.
+pub(crate) fn validate_training(x: &[Vec<f64>], y: &[i8]) -> Result<usize, MlError> {
+    if x.is_empty() {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.len() != y.len() {
+        return Err(MlError::LabelCountMismatch {
+            samples: x.len(),
+            labels: y.len(),
+        });
+    }
+    let dim = x[0].len();
+    for row in x {
+        if row.len() != dim {
+            return Err(MlError::DimensionMismatch {
+                expected: dim,
+                found: row.len(),
+            });
+        }
+    }
+    let pos = y.iter().filter(|&&l| l > 0).count();
+    if pos == 0 || pos == y.len() {
+        return Err(MlError::SingleClass);
+    }
+    Ok(dim)
+}

@@ -1,0 +1,198 @@
+//! k-nearest-neighbour classifier, one of the comparison models in the
+//! paper's Fig. 15.
+
+use crate::error::{validate_training, MlError};
+use crate::linalg::sq_euclidean;
+use p2auth_dsp::dtw::{dtw_normalized, DtwOptions};
+
+/// Distance metric for [`KnnClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Squared Euclidean distance on the raw feature vectors.
+    Euclidean,
+    /// Length-normalized dynamic time warping (for raw time series).
+    Dtw {
+        /// Optional Sakoe–Chiba band half-width.
+        band: Option<usize>,
+    },
+}
+
+/// A fitted k-NN binary classifier (`+1` / `-1` labels).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    metric: Metric,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<i8>,
+}
+
+impl KnnClassifier {
+    /// Stores the training set.
+    ///
+    /// With `Metric::Dtw`, rows may have differing lengths, so only
+    /// emptiness and label consistency are validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] if the training set is empty, labels
+    /// mismatch, only one class is present, or (for `Euclidean`) rows
+    /// are ragged. `k` of zero is clamped to 1; `k` larger than the
+    /// training set is clamped down.
+    pub fn fit(k: usize, metric: Metric, x: &[Vec<f64>], y: &[i8]) -> Result<Self, MlError> {
+        match metric {
+            Metric::Euclidean => {
+                validate_training(x, y)?;
+            }
+            Metric::Dtw { .. } => {
+                if x.is_empty() {
+                    return Err(MlError::EmptyTrainingSet);
+                }
+                if x.len() != y.len() {
+                    return Err(MlError::LabelCountMismatch {
+                        samples: x.len(),
+                        labels: y.len(),
+                    });
+                }
+                let pos = y.iter().filter(|&&l| l > 0).count();
+                if pos == 0 || pos == y.len() {
+                    return Err(MlError::SingleClass);
+                }
+            }
+        }
+        Ok(Self {
+            k: k.clamp(1, x.len()),
+            metric,
+            xs: x.to_vec(),
+            ys: y.to_vec(),
+        })
+    }
+
+    /// Fraction of the `k` nearest neighbours labelled `+1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Euclidean` if `x` has the wrong dimension.
+    pub fn positive_fraction(&self, x: &[f64]) -> f64 {
+        let mut dists: Vec<(f64, i8)> = self
+            .xs
+            .iter()
+            .zip(&self.ys)
+            .map(|(xi, &yi)| (self.distance(x, xi), yi))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let pos = dists[..self.k].iter().filter(|(_, l)| *l > 0).count();
+        pos as f64 / self.k as f64
+    }
+
+    /// Majority-vote prediction in `{-1, +1}` (ties go to `-1`,
+    /// the conservative "reject" outcome for authentication).
+    pub fn predict(&self, x: &[f64]) -> i8 {
+        if self.positive_fraction(x) > 0.5 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self.metric {
+            Metric::Euclidean => sq_euclidean(a, b),
+            Metric::Dtw { band } => dtw_normalized(a, b, DtwOptions { band }),
+        }
+    }
+
+    /// The number of neighbours actually used (after clamping).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_clear_clusters() {
+        let x = vec![
+            vec![1.0, 1.0],
+            vec![1.1, 0.9],
+            vec![0.9, 1.2],
+            vec![-1.0, -1.0],
+            vec![-1.2, -0.8],
+            vec![-0.9, -1.1],
+        ];
+        let y = vec![1, 1, 1, -1, -1, -1];
+        let knn = KnnClassifier::fit(3, Metric::Euclidean, &x, &y).unwrap();
+        assert_eq!(knn.predict(&[1.05, 1.0]), 1);
+        assert_eq!(knn.predict(&[-1.0, -0.95]), -1);
+    }
+
+    #[test]
+    fn k_clamped_to_training_size() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![-1, 1];
+        let knn = KnnClassifier::fit(100, Metric::Euclidean, &x, &y).unwrap();
+        assert_eq!(knn.k(), 2);
+    }
+
+    #[test]
+    fn dtw_metric_handles_time_shift() {
+        let bump = |c: usize, n: usize| -> Vec<f64> {
+            (0..n)
+                .map(|i| {
+                    let d = (i as f64 - c as f64) / 2.0;
+                    (-d * d).exp()
+                })
+                .collect()
+        };
+        // Positives: early bump (any phase). Negatives: double bump.
+        let x = vec![
+            bump(5, 30),
+            bump(8, 30),
+            bump(11, 30),
+            bump(5, 30)
+                .iter()
+                .zip(bump(20, 30))
+                .map(|(a, b)| a + b)
+                .collect(),
+            bump(7, 30)
+                .iter()
+                .zip(bump(22, 30))
+                .map(|(a, b)| a + b)
+                .collect(),
+            bump(9, 30)
+                .iter()
+                .zip(bump(24, 30))
+                .map(|(a, b)| a + b)
+                .collect(),
+        ];
+        let y = vec![1, 1, 1, -1, -1, -1];
+        let knn = KnnClassifier::fit(1, Metric::Dtw { band: None }, &x, &y).unwrap();
+        assert_eq!(knn.predict(&bump(14, 30)), 1);
+    }
+
+    #[test]
+    fn tie_rejects() {
+        let x = vec![vec![0.0], vec![2.0]];
+        let y = vec![1, -1];
+        let knn = KnnClassifier::fit(2, Metric::Euclidean, &x, &y).unwrap();
+        assert_eq!(knn.predict(&[1.0]), -1, "ties must reject");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        assert!(matches!(
+            KnnClassifier::fit(1, Metric::Euclidean, &[], &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        let x = vec![vec![0.0], vec![1.0]];
+        assert!(matches!(
+            KnnClassifier::fit(1, Metric::Euclidean, &x, &[1]),
+            Err(MlError::LabelCountMismatch { .. })
+        ));
+        assert!(matches!(
+            KnnClassifier::fit(1, Metric::Euclidean, &x, &[1, 1]),
+            Err(MlError::SingleClass)
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! Machine-learning substrate for the P²Auth reproduction.
+//!
+//! The paper trains binary per-user classifiers on MiniRocket features
+//! with a ridge-regression classifier selected by cross-validation
+//! (paper §IV-B 2.4), per-keystroke "binary gradient classifiers" for
+//! two-handed input (§IV-B 2.6), and compares against KNN, ResNet and
+//! RNN-FNN models (Fig. 15). All of those are implemented here from
+//! scratch:
+//!
+//! * [`ridge`] — ridge classifier with exact leave-one-out CV,
+//! * [`logistic`] — SGD logistic regression,
+//! * [`knn`] — k-nearest neighbours (Euclidean or DTW metric),
+//! * [`nn`] — compact manual-backprop networks (1-D residual CNN and a
+//!   dense "RNN-FNN" stand-in),
+//! * [`linalg`] — the small dense linear-algebra kernel behind ridge,
+//! * [`metrics`] — authentication accuracy, true rejection rate, EER.
+//!
+//! # Example
+//!
+//! ```
+//! use p2auth_ml::ridge::{RidgeClassifier, RidgeCvConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let x = vec![vec![1.0, 0.0], vec![0.9, 0.1], vec![-1.0, 0.0], vec![-0.8, -0.2]];
+//! let y = vec![1, 1, -1, -1];
+//! let clf = RidgeClassifier::fit(&RidgeCvConfig::default(), &x, &y)?;
+//! assert_eq!(clf.predict(&[0.95, 0.0]), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod knn;
+pub mod linalg;
+pub mod logistic;
+pub mod metrics;
+pub mod nn;
+pub mod ridge;
+
+pub use error::MlError;

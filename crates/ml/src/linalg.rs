@@ -1,0 +1,447 @@
+//! Minimal dense linear algebra: just enough for ridge regression with
+//! efficient leave-one-out cross-validation (Cholesky and symmetric
+//! Jacobi eigendecomposition).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error from a linear-algebra routine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was not positive definite (Cholesky failed).
+    NotPositiveDefinite {
+        /// Row at which factorization broke down.
+        row: usize,
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { row } => {
+                write!(f, "matrix not positive definite at row {row}")
+            }
+            LinalgError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions do not match.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `self * selfᵀ` (`rows × rows`), computed symmetrically.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            for j in i..self.rows {
+                let v: f64 = self
+                    .row(i)
+                    .iter()
+                    .zip(self.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
+                out[(i, j)] = v;
+                out[(j, i)] = v;
+            }
+        }
+        out
+    }
+
+    /// Adds `c` to the diagonal in place.
+    pub fn add_diagonal(&mut self, c: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += c;
+        }
+    }
+
+    /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if factorization breaks down,
+    /// [`LinalgError::ShapeMismatch`] if `A` is not square or `b` has the
+    /// wrong length.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("{}x{} not square", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                detail: format!("rhs length {} != {}", b.len(), self.rows),
+            });
+        }
+        let n = self.rows;
+        // Lower-triangular factor L with A = L Lᵀ.
+        let mut l = vec![0.0_f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { row: i });
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // Forward solve L z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * z[k];
+            }
+            z[i] = s / l[i * n + i];
+        }
+        // Back solve Lᵀ x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in i + 1..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Eigendecomposition of a symmetric matrix by cyclic Jacobi
+    /// rotations. Returns `(eigenvalues, eigenvectors)` where column `k`
+    /// of the returned matrix is the eigenvector for eigenvalue `k`.
+    /// Eigenvalues are sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetric_eigen(&self) -> (Vec<f64>, Matrix) {
+        assert_eq!(
+            self.rows, self.cols,
+            "eigendecomposition needs a square matrix"
+        );
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 64;
+        for _ in 0..max_sweeps {
+            // Off-diagonal Frobenius norm.
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    off += a[(i, j)] * a[(i, j)];
+                }
+            }
+            if off.sqrt() < 1e-11 {
+                break;
+            }
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = a[(p, q)];
+                    if apq.abs() < 1e-14 {
+                        continue;
+                    }
+                    let app = a[(p, p)];
+                    let aqq = a[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    // Apply rotation to A (both sides) and accumulate V.
+                    for k in 0..n {
+                        let akp = a[(k, p)];
+                        let akq = a[(k, q)];
+                        a[(k, p)] = c * akp - s * akq;
+                        a[(k, q)] = s * akp + c * akq;
+                    }
+                    for k in 0..n {
+                        let apk = a[(p, k)];
+                        let aqk = a[(q, k)];
+                        a[(p, k)] = c * apk - s * aqk;
+                        a[(q, k)] = s * apk + c * aqk;
+                    }
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| a[(i, i)].partial_cmp(&a[(j, j)]).expect("NaN eigenvalue"));
+        let eigvals: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+        let mut vecs = Matrix::zeros(n, n);
+        for (new_col, &old_col) in order.iter().enumerate() {
+            for r in 0..n {
+                vecs[(r, new_col)] = v[(r, old_col)];
+            }
+        }
+        (eigvals, vecs)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [1, 2] -> x = [-1/8, 3/4].
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = a.cholesky_solve(&[1.0, 2.0]).unwrap();
+        assert!((x[0] + 0.125).abs() < 1e-12);
+        assert!((x[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(matches!(
+            a.cholesky_solve(&[1.0, 1.0]),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, 1.0]]);
+        let g = a.gram();
+        assert_eq!(g.rows(), 2);
+        assert!((g[(0, 1)] - g[(1, 0)]).abs() < 1e-12);
+        assert!(g[(0, 0)] >= 0.0 && g[(1, 1)] >= 0.0);
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]);
+        let (vals, _) = a.symmetric_eigen();
+        assert!((vals[0] - 1.0).abs() < 1e-9);
+        assert!((vals[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 0.5],
+            vec![0.0, 0.5, 1.5],
+        ]);
+        let (vals, vecs) = a.symmetric_eigen();
+        // A ≈ V diag(vals) Vᵀ.
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = vals[i];
+        }
+        let rec = vecs.matmul(&d).matmul(&vecs.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-8, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 2.0]]);
+        let (_, v) = a.symmetric_eigen();
+        let vtv = v.transpose().matmul(&v);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn helper_functions() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

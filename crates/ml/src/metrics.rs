@@ -1,0 +1,207 @@
+//! Evaluation metrics.
+//!
+//! The paper reports two headline metrics (§V-B): **authentication
+//! accuracy** — the probability a legitimate user is accepted — and
+//! **true rejection rate** — the probability an attacker is rejected.
+//! Both are views of the same confusion counts, where the positive
+//! class is "legitimate user accepted".
+
+/// Confusion counts for a binary decision problem.
+///
+/// "Positive" means the sample belongs to the legitimate user and
+/// "predicted positive" means the system accepted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionCounts {
+    /// Legitimate attempts accepted.
+    pub true_positives: usize,
+    /// Attacker attempts accepted (security failures).
+    pub false_positives: usize,
+    /// Attacker attempts rejected.
+    pub true_negatives: usize,
+    /// Legitimate attempts rejected (usability failures).
+    pub false_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Tallies predictions against labels (`+1` legitimate, `-1` other).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_predictions(preds: &[i8], labels: &[i8]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "length mismatch");
+        let mut c = Self::default();
+        for (&p, &l) in preds.iter().zip(labels) {
+            c.record(p > 0, l > 0);
+        }
+        c
+    }
+
+    /// Records one decision.
+    pub fn record(&mut self, accepted: bool, legitimate: bool) {
+        match (accepted, legitimate) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &ConfusionCounts) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Authentication accuracy: accepted legitimate / all legitimate.
+    /// Returns `None` when no legitimate attempts were recorded.
+    pub fn authentication_accuracy(&self) -> Option<f64> {
+        let n = self.true_positives + self.false_negatives;
+        if n == 0 {
+            None
+        } else {
+            Some(self.true_positives as f64 / n as f64)
+        }
+    }
+
+    /// True rejection rate: rejected attacks / all attacks.
+    /// Returns `None` when no attack attempts were recorded.
+    pub fn true_rejection_rate(&self) -> Option<f64> {
+        let n = self.true_negatives + self.false_positives;
+        if n == 0 {
+            None
+        } else {
+            Some(self.true_negatives as f64 / n as f64)
+        }
+    }
+
+    /// False acceptance rate (1 − TRR); `None` with no attacks recorded.
+    pub fn false_acceptance_rate(&self) -> Option<f64> {
+        self.true_rejection_rate().map(|t| 1.0 - t)
+    }
+
+    /// Overall fraction of correct decisions; `None` when empty.
+    pub fn overall_accuracy(&self) -> Option<f64> {
+        let n =
+            self.true_positives + self.false_positives + self.true_negatives + self.false_negatives;
+        if n == 0 {
+            None
+        } else {
+            Some((self.true_positives + self.true_negatives) as f64 / n as f64)
+        }
+    }
+
+    /// Total number of recorded decisions.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+}
+
+/// Fraction of matching labels; `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn accuracy(preds: &[i8], labels: &[i8]) -> Option<f64> {
+    assert_eq!(preds.len(), labels.len(), "length mismatch");
+    if preds.is_empty() {
+        return None;
+    }
+    let ok = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Some(ok as f64 / preds.len() as f64)
+}
+
+/// Equal error rate from decision scores of genuine and impostor trials.
+///
+/// Sweeps all observed score thresholds and returns the point where the
+/// false-accept and false-reject rates are closest, averaged.
+/// Returns `None` when either set is empty.
+pub fn equal_error_rate(genuine: &[f64], impostor: &[f64]) -> Option<f64> {
+    if genuine.is_empty() || impostor.is_empty() {
+        return None;
+    }
+    let mut thresholds: Vec<f64> = genuine.iter().chain(impostor).copied().collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("NaN score"));
+    thresholds.dedup();
+    let mut best = (f64::INFINITY, 0.0);
+    for &t in &thresholds {
+        let frr = genuine.iter().filter(|&&s| s <= t).count() as f64 / genuine.len() as f64;
+        let far = impostor.iter().filter(|&&s| s > t).count() as f64 / impostor.len() as f64;
+        let gap = (frr - far).abs();
+        if gap < best.0 {
+            best = (gap, 0.5 * (frr + far));
+        }
+    }
+    Some(best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_from_predictions() {
+        let preds = [1, 1, -1, -1, 1];
+        let labels = [1, -1, -1, 1, 1];
+        let c = ConfusionCounts::from_predictions(&preds, &labels);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn metric_views() {
+        let c = ConfusionCounts {
+            true_positives: 90,
+            false_negatives: 10,
+            true_negatives: 98,
+            false_positives: 2,
+        };
+        assert!((c.authentication_accuracy().unwrap() - 0.9).abs() < 1e-12);
+        assert!((c.true_rejection_rate().unwrap() - 0.98).abs() < 1e-12);
+        assert!((c.false_acceptance_rate().unwrap() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases_are_none() {
+        let c = ConfusionCounts::default();
+        assert!(c.authentication_accuracy().is_none());
+        assert!(c.true_rejection_rate().is_none());
+        assert!(c.overall_accuracy().is_none());
+        assert!(accuracy(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionCounts {
+            true_positives: 1,
+            ..Default::default()
+        };
+        let b = ConfusionCounts {
+            false_positives: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_positives, 2);
+    }
+
+    #[test]
+    fn eer_separable_is_zero() {
+        let genuine = [1.0, 2.0, 3.0];
+        let impostor = [-3.0, -2.0, -1.0];
+        assert!(equal_error_rate(&genuine, &impostor).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn eer_fully_overlapping_is_half() {
+        let genuine = [0.0, 1.0];
+        let impostor = [0.0, 1.0];
+        let eer = equal_error_rate(&genuine, &impostor).unwrap();
+        assert!((eer - 0.5).abs() < 0.26, "eer {eer}");
+    }
+}

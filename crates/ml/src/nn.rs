@@ -1,0 +1,734 @@
+//! Compact neural networks with manual backpropagation.
+//!
+//! The paper's Fig. 15 compares MiniRocket+ridge against "Resnet, KNN
+//! and RNN-FNN". This module provides from-scratch, dependency-free
+//! stand-ins for the neural comparators:
+//!
+//! * [`Network::resnet1d`] — a small 1-D convolutional network with one
+//!   residual block and global average pooling,
+//! * [`Network::rnn_fnn`] — a dense feed-forward network intended to be
+//!   fed recurrent-style lag features.
+//!
+//! Both are binary classifiers trained with SGD + momentum on the
+//! logistic loss. They are intentionally small: the paper trains on at
+//! most a few dozen samples per user, so capacity is not the bottleneck.
+
+use crate::error::MlError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// An activation tensor: `channels × len`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Number of channels.
+    pub channels: usize,
+    /// Length per channel.
+    pub len: usize,
+    /// Row-major data (`channels * len` values).
+    pub data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != channels * len` or either is zero.
+    pub fn new(channels: usize, len: usize, data: Vec<f64>) -> Self {
+        assert!(channels > 0 && len > 0, "tensor dims must be positive");
+        assert_eq!(data.len(), channels * len, "data length mismatch");
+        Self {
+            channels,
+            len,
+            data,
+        }
+    }
+
+    /// Creates a zero tensor.
+    pub fn zeros(channels: usize, len: usize) -> Self {
+        Self::new(channels, len, vec![0.0; channels * len])
+    }
+
+    /// A flat (1 × d) tensor from a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is empty.
+    pub fn flat(v: Vec<f64>) -> Self {
+        let len = v.len();
+        Self::new(1, len, v)
+    }
+
+    /// Builds a tensor from channel rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or ragged input.
+    pub fn from_channels(channels: &[Vec<f64>]) -> Self {
+        assert!(!channels.is_empty(), "no channels");
+        let len = channels[0].len();
+        let mut data = Vec::with_capacity(channels.len() * len);
+        for c in channels {
+            assert_eq!(c.len(), len, "ragged channels");
+            data.extend_from_slice(c);
+        }
+        Self::new(channels.len(), len, data)
+    }
+
+    fn at(&self, ch: usize, i: usize) -> f64 {
+        self.data[ch * self.len + i]
+    }
+
+    fn total(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A trainable layer.
+trait Layer {
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+    fn step(&mut self, lr: f64, momentum: f64);
+}
+
+// ---------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------
+
+struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Vec<f64>, // out_dim x in_dim
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    vw: Vec<f64>,
+    vb: Vec<f64>,
+    cache: Vec<f64>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let s = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-s..s))
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            vb: vec![0.0; out_dim],
+            cache: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.total(), self.in_dim, "dense input dim mismatch");
+        self.cache = x.data.clone();
+        let mut out = vec![0.0; self.out_dim];
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            *out_v = self.b[o] + row.iter().zip(&x.data).map(|(w, v)| w * v).sum::<f64>();
+        }
+        Tensor::flat(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert_eq!(grad.total(), self.out_dim);
+        let mut gx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let g = grad.data[o];
+            self.gb[o] += g;
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * self.cache[i];
+                gx[i] += g * row[i];
+            }
+        }
+        Tensor::flat(gx)
+    }
+
+    fn step(&mut self, lr: f64, momentum: f64) {
+        for i in 0..self.w.len() {
+            self.vw[i] = momentum * self.vw[i] - lr * self.gw[i];
+            self.w[i] += self.vw[i];
+            self.gw[i] = 0.0;
+        }
+        for i in 0..self.b.len() {
+            self.vb[i] = momentum * self.vb[i] - lr * self.gb[i];
+            self.b[i] += self.vb[i];
+            self.gb[i] = 0.0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ReLU
+// ---------------------------------------------------------------------
+
+struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    fn new() -> Self {
+        Self { mask: Vec::new() }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.mask = x.data.iter().map(|&v| v > 0.0).collect();
+        Tensor::new(
+            x.channels,
+            x.len,
+            x.data.iter().map(|&v| v.max(0.0)).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        Tensor::new(
+            grad.channels,
+            grad.len,
+            grad.data
+                .iter()
+                .zip(&self.mask)
+                .map(|(&g, &m)| if m { g } else { 0.0 })
+                .collect(),
+        )
+    }
+
+    fn step(&mut self, _lr: f64, _momentum: f64) {}
+}
+
+// ---------------------------------------------------------------------
+// Conv1d (same padding, stride 1)
+// ---------------------------------------------------------------------
+
+struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    w: Vec<f64>, // out_ch x in_ch x k
+    b: Vec<f64>,
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    vw: Vec<f64>,
+    vb: Vec<f64>,
+    cache: Option<Tensor>,
+}
+
+impl Conv1d {
+    fn new(in_ch: usize, out_ch: usize, k: usize, rng: &mut StdRng) -> Self {
+        assert!(k % 2 == 1, "conv kernel must be odd");
+        let fan = in_ch * k + out_ch * k;
+        let s = (6.0 / fan as f64).sqrt();
+        let w = (0..in_ch * out_ch * k)
+            .map(|_| rng.gen_range(-s..s))
+            .collect();
+        Self {
+            in_ch,
+            out_ch,
+            k,
+            w,
+            b: vec![0.0; out_ch],
+            gw: vec![0.0; in_ch * out_ch * k],
+            gb: vec![0.0; out_ch],
+            vw: vec![0.0; in_ch * out_ch * k],
+            vb: vec![0.0; out_ch],
+            cache: None,
+        }
+    }
+
+    fn widx(&self, oc: usize, ic: usize, j: usize) -> usize {
+        (oc * self.in_ch + ic) * self.k + j
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.channels, self.in_ch, "conv input channels mismatch");
+        let n = x.len;
+        let half = (self.k / 2) as i64;
+        let mut out = Tensor::zeros(self.out_ch, n);
+        for oc in 0..self.out_ch {
+            for i in 0..n {
+                let mut acc = self.b[oc];
+                for ic in 0..self.in_ch {
+                    for j in 0..self.k {
+                        let t = i as i64 + j as i64 - half;
+                        if t >= 0 && (t as usize) < n {
+                            acc += self.w[self.widx(oc, ic, j)] * x.at(ic, t as usize);
+                        }
+                    }
+                }
+                out.data[oc * n + i] = acc;
+            }
+        }
+        self.cache = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let x = self.cache.take().expect("forward before backward");
+        let n = x.len;
+        let half = (self.k / 2) as i64;
+        let mut gx = Tensor::zeros(self.in_ch, n);
+        for oc in 0..self.out_ch {
+            for i in 0..n {
+                let g = grad.at(oc, i);
+                if g == 0.0 {
+                    continue;
+                }
+                self.gb[oc] += g;
+                for ic in 0..self.in_ch {
+                    for j in 0..self.k {
+                        let t = i as i64 + j as i64 - half;
+                        if t >= 0 && (t as usize) < n {
+                            let t = t as usize;
+                            let wi = self.widx(oc, ic, j);
+                            self.gw[wi] += g * x.at(ic, t);
+                            gx.data[ic * n + t] += g * self.w[wi];
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some(x);
+        gx
+    }
+
+    fn step(&mut self, lr: f64, momentum: f64) {
+        for i in 0..self.w.len() {
+            self.vw[i] = momentum * self.vw[i] - lr * self.gw[i];
+            self.w[i] += self.vw[i];
+            self.gw[i] = 0.0;
+        }
+        for i in 0..self.b.len() {
+            self.vb[i] = momentum * self.vb[i] - lr * self.gb[i];
+            self.b[i] += self.vb[i];
+            self.gb[i] = 0.0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Global average pooling: (C, L) -> (1, C)
+// ---------------------------------------------------------------------
+
+struct GlobalAvgPool {
+    in_shape: (usize, usize),
+}
+
+impl GlobalAvgPool {
+    fn new() -> Self {
+        Self { in_shape: (0, 0) }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.in_shape = (x.channels, x.len);
+        let out: Vec<f64> = (0..x.channels)
+            .map(|c| x.data[c * x.len..(c + 1) * x.len].iter().sum::<f64>() / x.len as f64)
+            .collect();
+        Tensor::flat(out)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let (c, l) = self.in_shape;
+        let mut gx = Tensor::zeros(c, l);
+        for ch in 0..c {
+            let g = grad.data[ch] / l as f64;
+            for i in 0..l {
+                gx.data[ch * l + i] = g;
+            }
+        }
+        gx
+    }
+
+    fn step(&mut self, _lr: f64, _momentum: f64) {}
+}
+
+// ---------------------------------------------------------------------
+// Residual block: out = inner(x) + x (shapes must match)
+// ---------------------------------------------------------------------
+
+struct Residual {
+    inner: Vec<Box<dyn Layer>>,
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for l in self.inner.iter_mut() {
+            h = l.forward(&h);
+        }
+        assert_eq!(
+            (h.channels, h.len),
+            (x.channels, x.len),
+            "residual branch must preserve shape"
+        );
+        Tensor::new(
+            x.channels,
+            x.len,
+            h.data.iter().zip(&x.data).map(|(a, b)| a + b).collect(),
+        )
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for l in self.inner.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        Tensor::new(
+            grad.channels,
+            grad.len,
+            g.data.iter().zip(&grad.data).map(|(a, b)| a + b).collect(),
+        )
+    }
+
+    fn step(&mut self, lr: f64, momentum: f64) {
+        for l in self.inner.iter_mut() {
+            l.step(lr, momentum);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------
+
+/// Training hyper-parameters for [`Network::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            momentum: 0.9,
+            epochs: 60,
+            seed: 23,
+        }
+    }
+}
+
+/// A small sequential network ending in a single logit.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// A compact 1-D convolutional residual network ("ResNet" comparator
+    /// of the paper's Fig. 15) for `in_channels × len` inputs.
+    pub fn resnet1d(in_channels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = 8;
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Conv1d::new(in_channels, c, 7, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Residual {
+                inner: vec![
+                    Box::new(Conv1d::new(c, c, 5, &mut rng)),
+                    Box::new(Relu::new()),
+                    Box::new(Conv1d::new(c, c, 5, &mut rng)),
+                ],
+            }),
+            Box::new(Relu::new()),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Dense::new(c, 1, &mut rng)),
+        ];
+        Self { layers }
+    }
+
+    /// A dense feed-forward network (the "RNN-FNN" comparator): the
+    /// caller supplies lag features (see [`lag_features`]).
+    pub fn rnn_fnn(input_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Dense::new(input_dim, 32, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(32, 16, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(16, 1, &mut rng)),
+        ];
+        Self { layers }
+    }
+
+    /// Raw logit for one input.
+    pub fn logit(&mut self, x: &Tensor) -> f64 {
+        let mut h = x.clone();
+        for l in self.layers.iter_mut() {
+            h = l.forward(&h);
+        }
+        assert_eq!(h.total(), 1, "network must end in a single logit");
+        h.data[0]
+    }
+
+    /// Probability of the positive class.
+    pub fn probability(&mut self, x: &Tensor) -> f64 {
+        let z = self.logit(x);
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Predicted label in `{-1, +1}`.
+    pub fn predict(&mut self, x: &Tensor) -> i8 {
+        if self.probability(x) > 0.5 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Trains with per-sample SGD + momentum on the logistic loss.
+    /// Labels are `+1` / `-1`. Returns the mean loss of the final epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError`] if inputs are empty, labels mismatch, or all
+    /// labels belong to one class.
+    pub fn train(
+        &mut self,
+        config: &TrainConfig,
+        xs: &[Tensor],
+        ys: &[i8],
+    ) -> Result<f64, MlError> {
+        if xs.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if xs.len() != ys.len() {
+            return Err(MlError::LabelCountMismatch {
+                samples: xs.len(),
+                labels: ys.len(),
+            });
+        }
+        let pos = ys.iter().filter(|&&l| l > 0).count();
+        if pos == 0 || pos == ys.len() {
+            return Err(MlError::SingleClass);
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut last_loss = 0.0;
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            for &i in &order {
+                let target = if ys[i] > 0 { 1.0 } else { 0.0 };
+                let z = self.logit(&xs[i]);
+                let p = 1.0 / (1.0 + (-z).exp());
+                // BCE-with-logits loss and gradient dL/dz = p − target.
+                let eps = 1e-12;
+                loss_sum -= target * (p + eps).ln() + (1.0 - target) * (1.0 - p + eps).ln();
+                let g = Tensor::flat(vec![p - target]);
+                let mut grad = g;
+                for l in self.layers.iter_mut().rev() {
+                    grad = l.backward(&grad);
+                }
+                for l in self.layers.iter_mut() {
+                    l.step(config.learning_rate, config.momentum);
+                }
+            }
+            last_loss = loss_sum / xs.len() as f64;
+        }
+        Ok(last_loss)
+    }
+}
+
+/// Builds recurrent-style lag features for the "RNN-FNN" model: for each
+/// of `lags` evenly spaced lags, the mean absolute difference between
+/// the signal and its lagged copy, per channel, plus channel mean/std.
+///
+/// Output length is `channels * (lags + 2)`.
+///
+/// # Panics
+///
+/// Panics if `lags` is zero or any channel is empty.
+pub fn lag_features(channels: &[Vec<f64>], lags: usize) -> Vec<f64> {
+    assert!(lags > 0, "need at least one lag");
+    let mut out = Vec::with_capacity(channels.len() * (lags + 2));
+    for c in channels {
+        assert!(!c.is_empty(), "empty channel");
+        let n = c.len();
+        let mean = c.iter().sum::<f64>() / n as f64;
+        let sd = (c.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64).sqrt();
+        out.push(mean);
+        out.push(sd);
+        for l in 1..=lags {
+            let lag = (l * n / (lags + 1)).max(1);
+            if lag >= n {
+                out.push(0.0);
+                continue;
+            }
+            let mad =
+                (0..n - lag).map(|i| (c[i + lag] - c[i]).abs()).sum::<f64>() / (n - lag) as f64;
+            out.push(mad);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_conv_data() -> (Vec<Tensor>, Vec<i8>) {
+        // Positives: low-frequency sine. Negatives: high-frequency sine.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for rep in 0..8 {
+            let phase = rep as f64 * 0.4;
+            let lo: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2 + phase).sin()).collect();
+            let hi: Vec<f64> = (0..32).map(|i| (i as f64 * 1.5 + phase).sin()).collect();
+            xs.push(Tensor::from_channels(&[lo]));
+            ys.push(1);
+            xs.push(Tensor::from_channels(&[hi]));
+            ys.push(-1);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn resnet_learns_frequency_discrimination() {
+        let (xs, ys) = make_conv_data();
+        let mut net = Network::resnet1d(1, 3);
+        let cfg = TrainConfig {
+            epochs: 120,
+            ..Default::default()
+        };
+        net.train(&cfg, &xs, &ys).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| net.predict(x) == y)
+            .count();
+        assert!(correct >= 14, "{correct}/16 correct");
+    }
+
+    #[test]
+    fn dense_net_learns_linear_data() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            xs.push(Tensor::flat(vec![1.0 + t, -t]));
+            ys.push(1);
+            xs.push(Tensor::flat(vec![-1.0 - t, t]));
+            ys.push(-1);
+        }
+        let mut net = Network::rnn_fnn(2, 5);
+        net.train(&TrainConfig::default(), &xs, &ys).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| net.predict(x) == y)
+            .count();
+        assert_eq!(correct, 40);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (xs, ys) = make_conv_data();
+        let mut net = Network::resnet1d(1, 9);
+        let early = net
+            .train(
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+                &xs,
+                &ys,
+            )
+            .unwrap();
+        let late = net
+            .train(
+                &TrainConfig {
+                    epochs: 80,
+                    ..Default::default()
+                },
+                &xs,
+                &ys,
+            )
+            .unwrap();
+        assert!(late < early, "loss did not decrease: {early} -> {late}");
+    }
+
+    #[test]
+    fn probability_bounded() {
+        let mut net = Network::rnn_fnn(3, 1);
+        let p = net.probability(&Tensor::flat(vec![100.0, -100.0, 5.0]));
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn train_validation_errors() {
+        let mut net = Network::rnn_fnn(2, 1);
+        assert!(matches!(
+            net.train(&TrainConfig::default(), &[], &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
+        let xs = vec![Tensor::flat(vec![0.0, 1.0])];
+        assert!(matches!(
+            net.train(&TrainConfig::default(), &xs, &[1, 1]),
+            Err(MlError::LabelCountMismatch { .. })
+        ));
+        let xs2 = vec![Tensor::flat(vec![0.0, 1.0]), Tensor::flat(vec![1.0, 0.0])];
+        assert!(matches!(
+            net.train(&TrainConfig::default(), &xs2, &[1, 1]),
+            Err(MlError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn lag_features_shape() {
+        let f = lag_features(&[vec![1.0; 50], vec![2.0; 50]], 4);
+        assert_eq!(f.len(), 2 * (4 + 2));
+    }
+
+    #[test]
+    fn lag_features_distinguish_frequencies() {
+        let lo: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let hi: Vec<f64> = (0..64).map(|i| (i as f64 * 1.5).sin()).collect();
+        let f_lo = lag_features(&[lo], 3);
+        let f_hi = lag_features(&[hi], 3);
+        // The lag profiles of slow and fast signals must differ clearly.
+        let diff: f64 = f_lo[2..]
+            .iter()
+            .zip(&f_hi[2..])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.3, "lag profiles too similar: {diff}");
+    }
+
+    #[test]
+    fn tensor_validation() {
+        assert_eq!(Tensor::zeros(2, 3).total(), 6);
+        let t = Tensor::from_channels(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(t.at(1, 0), 3.0);
+    }
+}

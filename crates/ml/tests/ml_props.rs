@@ -1,0 +1,139 @@
+//! Property tests for the ML substrate.
+
+use p2auth_ml::knn::{KnnClassifier, Metric};
+use p2auth_ml::linalg::Matrix;
+use p2auth_ml::metrics::{accuracy, equal_error_rate, ConfusionCounts};
+use p2auth_ml::ridge::{RidgeClassifier, RidgeCvConfig};
+use proptest::prelude::*;
+
+fn labelled_blobs(n_per_class: usize, gap: f64) -> (Vec<Vec<f64>>, Vec<i8>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n_per_class {
+        let t = i as f64 * 0.1;
+        x.push(vec![gap + t.sin() * 0.2, t.cos() * 0.2]);
+        y.push(1);
+        x.push(vec![-gap - t.sin() * 0.2, -t.cos() * 0.2]);
+        y.push(-1);
+    }
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ridge_separates_any_well_separated_blobs(gap in 1.0_f64..5.0, n in 5_usize..20) {
+        let (x, y) = labelled_blobs(n, gap);
+        let clf = RidgeClassifier::fit(&RidgeCvConfig::default(), &x, &y).expect("fit");
+        let correct = x.iter().zip(&y).filter(|(xi, &yi)| clf.predict(xi) == yi).count();
+        prop_assert_eq!(correct, x.len());
+    }
+
+    #[test]
+    fn ridge_decision_is_affine(gap in 1.0_f64..3.0, scale in 0.1_f64..5.0) {
+        // f(a) + f(b) == f(a+b) + f(0) for a linear-plus-intercept model.
+        let (x, y) = labelled_blobs(10, gap);
+        let clf = RidgeClassifier::fit(&RidgeCvConfig::default(), &x, &y).expect("fit");
+        let a = vec![scale, -scale];
+        let b = vec![-0.3 * scale, 0.7 * scale];
+        let ab: Vec<f64> = a.iter().zip(&b).map(|(p, q)| p + q).collect();
+        let lhs = clf.decision(&a) + clf.decision(&b);
+        let rhs = clf.decision(&ab) + clf.decision(&[0.0, 0.0]);
+        prop_assert!((lhs - rhs).abs() < 1e-8);
+    }
+
+    #[test]
+    fn knn_prediction_invariant_to_training_order(seed in any::<u64>()) {
+        let (mut x, mut y) = labelled_blobs(8, 1.5);
+        let knn1 = KnnClassifier::fit(3, Metric::Euclidean, &x, &y).expect("fit");
+        // Deterministic shuffle from the seed.
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let xs: Vec<Vec<f64>> = order.iter().map(|&i| x[i].clone()).collect();
+        let ys: Vec<i8> = order.iter().map(|&i| y[i]).collect();
+        x = xs;
+        y = ys;
+        let knn2 = KnnClassifier::fit(3, Metric::Euclidean, &x, &y).expect("fit");
+        for probe in [[0.5, 0.0], [-0.5, 0.1], [2.0, -1.0]] {
+            prop_assert_eq!(knn1.predict(&probe), knn2.predict(&probe));
+        }
+    }
+
+    #[test]
+    fn confusion_counts_consistent(preds in prop::collection::vec(-1_i8..=1, 1..100)) {
+        let preds: Vec<i8> = preds.into_iter().map(|v| if v >= 0 { 1 } else { -1 }).collect();
+        let labels: Vec<i8> = preds.iter().map(|&p| -p).collect();
+        // All predictions wrong: accuracy 0, confusion totals match.
+        prop_assert_eq!(accuracy(&preds, &labels), Some(0.0));
+        let c = ConfusionCounts::from_predictions(&preds, &labels);
+        prop_assert_eq!(c.total(), preds.len());
+        prop_assert_eq!(c.overall_accuracy(), Some(0.0));
+    }
+
+    #[test]
+    fn eer_bounded(genuine in prop::collection::vec(-10.0_f64..10.0, 1..50),
+                   impostor in prop::collection::vec(-10.0_f64..10.0, 1..50)) {
+        let eer = equal_error_rate(&genuine, &impostor).expect("non-empty");
+        prop_assert!((0.0..=1.0).contains(&eer));
+    }
+
+    #[test]
+    fn cholesky_solves_diagonally_dominant_systems(
+        diag in prop::collection::vec(1.0_f64..10.0, 2..8),
+        rhs_seed in any::<u64>(),
+    ) {
+        let n = diag.len();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = diag[i] + n as f64;
+            for j in 0..n {
+                if i != j {
+                    a[(i, j)] = 0.5;
+                }
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((rhs_seed >> (i % 60)) & 0xff) as f64 / 17.0).collect();
+        let x = a.cholesky_solve(&b).expect("SPD system");
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn eigen_reconstruction(vals in prop::collection::vec(-5.0_f64..5.0, 2..6)) {
+        // Build a symmetric matrix from a diagonal + rank-1 bump.
+        let n = vals.len();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = vals[i];
+            for j in 0..n {
+                a[(i, j)] += 0.3;
+            }
+        }
+        // Symmetrize exactly.
+        for i in 0..n {
+            for j in 0..i {
+                let m = 0.5 * (a[(i, j)] + a[(j, i)]);
+                a[(i, j)] = m;
+                a[(j, i)] = m;
+            }
+        }
+        let (eigvals, vecs) = a.symmetric_eigen();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            d[(i, i)] = eigvals[i];
+        }
+        let rec = vecs.matmul(&d).matmul(&vecs.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The fixed MiniRocket kernel set.
+//!
+//! Each kernel has length 9 and weights drawn from two values: −1
+//! ("low") and 2 ("high"), with exactly three high taps. There are
+//! `C(9,3) = 84` such kernels and MiniRocket uses all of them.
+
+/// Kernel length (fixed at 9 in MiniRocket).
+pub const KERNEL_LENGTH: usize = 9;
+
+/// Number of kernels (`C(9,3)` = 84).
+pub const NUM_KERNELS: usize = 84;
+
+/// Weight of the six "background" taps.
+pub const WEIGHT_LOW: f64 = -1.0;
+
+/// Weight of the three selected taps.
+pub const WEIGHT_HIGH: f64 = 2.0;
+
+/// Returns the 84 index triples `(i, j, k)` with `i < j < k < 9` that
+/// receive the high weight, in lexicographic order.
+///
+/// The ordering is deterministic so a fitted transform is reproducible.
+pub fn kernel_indices() -> Vec<[usize; 3]> {
+    let mut out = Vec::with_capacity(NUM_KERNELS);
+    for i in 0..KERNEL_LENGTH {
+        for j in i + 1..KERNEL_LENGTH {
+            for k in j + 1..KERNEL_LENGTH {
+                out.push([i, j, k]);
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), NUM_KERNELS);
+    out
+}
+
+/// Materializes the full weight vector of kernel `triple`.
+///
+/// Mostly useful for tests and documentation; the transform itself uses
+/// the `-S9 + 3*S3` decomposition instead of explicit weights.
+pub fn kernel_weights(triple: [usize; 3]) -> [f64; KERNEL_LENGTH] {
+    let mut w = [WEIGHT_LOW; KERNEL_LENGTH];
+    for idx in triple {
+        w[idx] = WEIGHT_HIGH;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_84_kernels() {
+        assert_eq!(kernel_indices().len(), 84);
+    }
+
+    #[test]
+    fn triples_sorted_and_unique() {
+        let ks = kernel_indices();
+        for t in &ks {
+            assert!(t[0] < t[1] && t[1] < t[2] && t[2] < KERNEL_LENGTH);
+        }
+        let mut sorted = ks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ks.len());
+        assert_eq!(sorted, ks, "lexicographic order expected");
+    }
+
+    #[test]
+    fn weights_sum_to_zero() {
+        // 6 * (−1) + 3 * 2 = 0: every MiniRocket kernel has zero sum, so
+        // the transform is invariant to constant offsets.
+        for t in kernel_indices() {
+            let s: f64 = kernel_weights(t).iter().sum();
+            assert_eq!(s, 0.0);
+        }
+    }
+}

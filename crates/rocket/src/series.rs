@@ -1,0 +1,146 @@
+//! Multichannel time-series container.
+
+use std::fmt;
+
+/// A multichannel time series: `channels × time`, all channels the same
+/// length.
+///
+/// The P²Auth prototype records 2–6 PPG channels (red/IR on radial/ulnar
+/// placements); [`MultiSeries`] enforces the equal-length invariant once
+/// at construction so the transform can index freely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSeries {
+    channels: Vec<Vec<f64>>,
+}
+
+/// Error constructing a [`MultiSeries`] from ragged or empty data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    detail: String,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid multichannel series shape: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+impl MultiSeries {
+    /// Creates a multichannel series, validating that at least one
+    /// channel exists and all channels have equal, non-zero length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] for empty input, an empty channel, or
+    /// ragged channel lengths.
+    pub fn new(channels: Vec<Vec<f64>>) -> Result<Self, ShapeError> {
+        if channels.is_empty() {
+            return Err(ShapeError {
+                detail: "no channels".into(),
+            });
+        }
+        let len = channels[0].len();
+        if len == 0 {
+            return Err(ShapeError {
+                detail: "zero-length channel".into(),
+            });
+        }
+        for (i, c) in channels.iter().enumerate() {
+            if c.len() != len {
+                return Err(ShapeError {
+                    detail: format!("channel {i} has length {} != {len}", c.len()),
+                });
+            }
+        }
+        Ok(Self { channels })
+    }
+
+    /// Creates a single-channel series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn univariate(data: Vec<f64>) -> Self {
+        Self::new(vec![data]).expect("univariate series must be non-empty")
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of time steps.
+    pub fn len(&self) -> usize {
+        self.channels[0].len()
+    }
+
+    /// Always false: the constructor rejects empty series.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_channels()`.
+    pub fn channel(&self, idx: usize) -> &[f64] {
+        &self.channels[idx]
+    }
+
+    /// All channels as a slice of vectors.
+    pub fn channels(&self) -> &[Vec<f64>] {
+        &self.channels
+    }
+
+    /// Consumes the series, returning the raw channel data.
+    pub fn into_inner(self) -> Vec<Vec<f64>> {
+        self.channels
+    }
+
+    /// Returns a copy restricted to the given channel indices (in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `idxs` is empty.
+    pub fn select_channels(&self, idxs: &[usize]) -> Self {
+        assert!(!idxs.is_empty(), "must select at least one channel");
+        Self {
+            channels: idxs.iter().map(|&i| self.channels[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_ragged() {
+        assert!(MultiSeries::new(vec![vec![1.0, 2.0], vec![1.0]]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(MultiSeries::new(vec![]).is_err());
+        assert!(MultiSeries::new(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = MultiSeries::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(s.num_channels(), 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.channel(1), &[3.0, 4.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn select_subset() {
+        let s = MultiSeries::new(vec![vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let sub = s.select_channels(&[2, 0]);
+        assert_eq!(sub.channels(), &[vec![3.0], vec![1.0]]);
+    }
+}

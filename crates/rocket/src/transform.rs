@@ -1,0 +1,606 @@
+//! The MiniRocket fit/transform pipeline.
+
+use crate::kernels::{kernel_indices, KERNEL_LENGTH, NUM_KERNELS};
+use crate::series::MultiSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration for fitting a [`MiniRocket`] transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MiniRocketConfig {
+    /// Approximate total number of output features. The fitted transform
+    /// rounds this to a multiple of the 84 kernels; see
+    /// [`MiniRocket::num_output_features`] for the exact count.
+    pub num_features: usize,
+    /// Upper bound on the number of distinct dilations per kernel
+    /// (32 in the reference implementation).
+    pub max_dilations_per_kernel: usize,
+    /// Seed for bias sampling and channel-subset selection; the same
+    /// seed and training set always produce the same transform.
+    pub seed: u64,
+}
+
+impl Default for MiniRocketConfig {
+    fn default() -> Self {
+        Self {
+            num_features: 840,
+            max_dilations_per_kernel: 32,
+            seed: 0x9e37_79b9,
+        }
+    }
+}
+
+/// Error fitting a [`MiniRocket`] transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Training series had differing lengths (MiniRocket requires equal
+    /// lengths; P²Auth guarantees this via fixed segmentation windows).
+    UnequalLengths {
+        /// Length of the first series.
+        expected: usize,
+        /// Conflicting length found.
+        found: usize,
+    },
+    /// Training series had differing channel counts.
+    UnequalChannels {
+        /// Channel count of the first series.
+        expected: usize,
+        /// Conflicting channel count found.
+        found: usize,
+    },
+    /// The series are too short for the length-9 kernels.
+    TooShort {
+        /// Actual input length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "empty training set"),
+            FitError::UnequalLengths { expected, found } => {
+                write!(f, "training series lengths differ: {found} != {expected}")
+            }
+            FitError::UnequalChannels { expected, found } => {
+                write!(f, "training channel counts differ: {found} != {expected}")
+            }
+            FitError::TooShort { len } => {
+                write!(f, "series length {len} too short for length-9 kernels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// A fitted MiniRocket transform.
+///
+/// Create with [`MiniRocket::fit`], then apply with
+/// [`MiniRocket::transform`] or [`MiniRocket::transform_one`]. The
+/// transform is fully deterministic given the config seed and training
+/// data, and immutable once fitted. Implements Serde
+/// `Serialize`/`Deserialize` so enrolled transforms can be persisted on
+/// a device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiniRocket {
+    input_length: usize,
+    num_channels: usize,
+    dilations: Vec<usize>,
+    features_per_combo: usize,
+    /// Channel subset per (dilation, kernel) combo, row-major by dilation.
+    channel_subsets: Vec<Vec<usize>>,
+    /// Whether each (dilation, kernel) combo uses "same" (zero) padding.
+    paddings: Vec<bool>,
+    /// Biases per (dilation, kernel, feature), row-major.
+    biases: Vec<f64>,
+    kernels: Vec<[usize; 3]>,
+}
+
+impl MiniRocket {
+    /// Fits the transform on a training set: chooses dilations from the
+    /// input length, assigns channel subsets, and samples bias values
+    /// from quantiles of training convolution outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] if the training set is empty, ragged in
+    /// length or channel count, or shorter than 9 samples.
+    pub fn fit(config: &MiniRocketConfig, train: &[MultiSeries]) -> Result<Self, FitError> {
+        let first = train.first().ok_or(FitError::EmptyTrainingSet)?;
+        let input_length = first.len();
+        let num_channels = first.num_channels();
+        for s in train {
+            if s.len() != input_length {
+                return Err(FitError::UnequalLengths {
+                    expected: input_length,
+                    found: s.len(),
+                });
+            }
+            if s.num_channels() != num_channels {
+                return Err(FitError::UnequalChannels {
+                    expected: num_channels,
+                    found: s.num_channels(),
+                });
+            }
+        }
+        if input_length < KERNEL_LENGTH {
+            return Err(FitError::TooShort { len: input_length });
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let kernels = kernel_indices();
+
+        // Dilations: exponentially spaced in [1, (L-1)/8].
+        let max_dilation = ((input_length - 1) / (KERNEL_LENGTH - 1)).max(1);
+        let features_per_kernel = (config.num_features / NUM_KERNELS).max(1);
+        let num_dilations = config
+            .max_dilations_per_kernel
+            .min(features_per_kernel)
+            .max(1);
+        let features_per_combo = (features_per_kernel / num_dilations).max(1);
+        let max_exp = (max_dilation as f64).log2();
+        let dilations: Vec<usize> = (0..num_dilations)
+            .map(|i| {
+                let e = if num_dilations == 1 {
+                    0.0
+                } else {
+                    max_exp * i as f64 / (num_dilations - 1) as f64
+                };
+                (2.0_f64.powf(e).floor() as usize).clamp(1, max_dilation)
+            })
+            .collect();
+
+        // Channel subsets per combo: exponentially distributed sizes, as
+        // in multivariate MiniRocket.
+        let num_combos = dilations.len() * NUM_KERNELS;
+        let mut channel_subsets = Vec::with_capacity(num_combos);
+        for _ in 0..num_combos {
+            channel_subsets.push(sample_channel_subset(&mut rng, num_channels));
+        }
+
+        // Alternating padding.
+        let paddings: Vec<bool> = (0..num_combos).map(|c| c % 2 == 0).collect();
+
+        // Biases: for each combo, convolve a randomly chosen training
+        // example and take low-discrepancy quantiles of the output.
+        let mut biases = Vec::with_capacity(num_combos * features_per_combo);
+        let phi = 0.618_033_988_749_894_9_f64; // golden-ratio sequence
+        let mut feature_counter = 0_u64;
+        let mut scratch = ConvScratch::new(input_length);
+        for (d_idx, &dilation) in dilations.iter().enumerate() {
+            for (k_idx, kernel) in kernels.iter().enumerate() {
+                let combo = d_idx * NUM_KERNELS + k_idx;
+                let sample = &train[rng.gen_range(0..train.len())];
+                let conv = scratch.convolve(
+                    sample,
+                    &channel_subsets[combo],
+                    dilation,
+                    *kernel,
+                    paddings[combo],
+                );
+                let mut sorted = conv.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in convolution"));
+                for _ in 0..features_per_combo {
+                    feature_counter += 1;
+                    let q = (feature_counter as f64 * phi).fract();
+                    let pos = q * (sorted.len() - 1) as f64;
+                    let i0 = pos.floor() as usize;
+                    let frac = pos - i0 as f64;
+                    let b = if i0 + 1 < sorted.len() {
+                        sorted[i0] * (1.0 - frac) + sorted[i0 + 1] * frac
+                    } else {
+                        sorted[i0]
+                    };
+                    biases.push(b);
+                }
+            }
+        }
+
+        Ok(Self {
+            input_length,
+            num_channels,
+            dilations,
+            features_per_combo,
+            channel_subsets,
+            paddings,
+            biases,
+            kernels,
+        })
+    }
+
+    /// Exact number of features produced per series.
+    pub fn num_output_features(&self) -> usize {
+        self.dilations.len() * NUM_KERNELS * self.features_per_combo
+    }
+
+    /// Input length this transform was fitted for.
+    pub fn input_length(&self) -> usize {
+        self.input_length
+    }
+
+    /// Channel count this transform was fitted for.
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// Transforms one series into its PPV feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length or channel count differs from the
+    /// training data (P²Auth's segmentation guarantees fixed shapes).
+    pub fn transform_one(&self, series: &MultiSeries) -> Vec<f64> {
+        assert_eq!(series.len(), self.input_length, "series length mismatch");
+        assert_eq!(
+            series.num_channels(),
+            self.num_channels,
+            "channel count mismatch"
+        );
+        let mut out = Vec::with_capacity(self.num_output_features());
+        let mut scratch = ConvScratch::new(self.input_length);
+        for (d_idx, &dilation) in self.dilations.iter().enumerate() {
+            scratch.prepare_dilation(series, dilation);
+            for (k_idx, kernel) in self.kernels.iter().enumerate() {
+                let combo = d_idx * NUM_KERNELS + k_idx;
+                let conv = scratch.convolve_prepared(
+                    &self.channel_subsets[combo],
+                    *kernel,
+                    self.paddings[combo],
+                );
+                let base = combo * self.features_per_combo;
+                for f in 0..self.features_per_combo {
+                    let bias = self.biases[base + f];
+                    out.push(ppv(conv, bias));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transforms a batch of series; one feature row per input.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MiniRocket::transform_one`].
+    pub fn transform(&self, series: &[MultiSeries]) -> Vec<Vec<f64>> {
+        series.iter().map(|s| self.transform_one(s)).collect()
+    }
+}
+
+/// Proportion of values strictly greater than `bias` (paper Eq. (6),
+/// written there with the sign function over `X * W_d − b`).
+fn ppv(conv: &[f64], bias: f64) -> f64 {
+    if conv.is_empty() {
+        return 0.0;
+    }
+    conv.iter().filter(|&&v| v > bias).count() as f64 / conv.len() as f64
+}
+
+/// Samples a channel subset with exponentially distributed size, per the
+/// multivariate MiniRocket scheme.
+fn sample_channel_subset(rng: &mut StdRng, num_channels: usize) -> Vec<usize> {
+    if num_channels == 1 {
+        return vec![0];
+    }
+    let max_exp = (num_channels as f64).log2();
+    let size = 2.0_f64.powf(rng.gen_range(0.0..=max_exp)).floor() as usize;
+    let size = size.clamp(1, num_channels);
+    // Partial Fisher-Yates for a random subset.
+    let mut idxs: Vec<usize> = (0..num_channels).collect();
+    for i in 0..size {
+        let j = rng.gen_range(i..num_channels);
+        idxs.swap(i, j);
+    }
+    idxs.truncate(size);
+    idxs.sort_unstable();
+    idxs
+}
+
+/// Scratch buffers for dilated convolution.
+///
+/// For a dilation `d`, the convolution of a zero-sum MiniRocket kernel
+/// decomposes as `C[i] = 3·S3[i] − S9[i]` where `S9` sums all nine
+/// dilated taps and `S3` sums the three high-weight taps. `S9` and the
+/// per-channel shifted views are shared across the 84 kernels of each
+/// dilation, which is what makes MiniRocket fast.
+struct ConvScratch {
+    len: usize,
+    /// Per-channel, per-tap shifted signals: `shifted[ch][tap][i]`.
+    shifted: Vec<Vec<Vec<f64>>>,
+    /// Per-channel full 9-tap sums.
+    s9: Vec<Vec<f64>>,
+    out: Vec<f64>,
+    prepared_dilation: Option<usize>,
+}
+
+impl ConvScratch {
+    fn new(len: usize) -> Self {
+        Self {
+            len,
+            shifted: Vec::new(),
+            s9: Vec::new(),
+            out: vec![0.0; len],
+            prepared_dilation: None,
+        }
+    }
+
+    /// Precomputes shifted views and 9-tap sums for every channel at one
+    /// dilation.
+    fn prepare_dilation(&mut self, series: &MultiSeries, dilation: usize) {
+        let half = (KERNEL_LENGTH / 2) as i64;
+        let n = self.len as i64;
+        self.shifted.clear();
+        self.s9.clear();
+        for ch in 0..series.num_channels() {
+            let x = series.channel(ch);
+            let mut taps = Vec::with_capacity(KERNEL_LENGTH);
+            for j in 0..KERNEL_LENGTH as i64 {
+                let off = (j - half) * dilation as i64;
+                let mut v = vec![0.0_f64; self.len];
+                for (i, slot) in v.iter_mut().enumerate() {
+                    let idx = i as i64 + off;
+                    if idx >= 0 && idx < n {
+                        *slot = x[idx as usize];
+                    }
+                }
+                taps.push(v);
+            }
+            let mut s9 = vec![0.0_f64; self.len];
+            for t in &taps {
+                for (a, b) in s9.iter_mut().zip(t) {
+                    *a += b;
+                }
+            }
+            self.shifted.push(taps);
+            self.s9.push(s9);
+        }
+        self.prepared_dilation = Some(dilation);
+    }
+
+    /// Convolution for one kernel over a channel subset, using buffers
+    /// prepared by [`ConvScratch::prepare_dilation`]. Returns the output
+    /// restricted to the valid region when `padding` is false.
+    fn convolve_prepared(&mut self, subset: &[usize], kernel: [usize; 3], padding: bool) -> &[f64] {
+        let dilation = self.prepared_dilation.expect("prepare_dilation not called");
+        for v in self.out.iter_mut() {
+            *v = 0.0;
+        }
+        for &ch in subset {
+            let s9 = &self.s9[ch];
+            let t0 = &self.shifted[ch][kernel[0]];
+            let t1 = &self.shifted[ch][kernel[1]];
+            let t2 = &self.shifted[ch][kernel[2]];
+            for i in 0..self.len {
+                self.out[i] += 3.0 * (t0[i] + t1[i] + t2[i]) - s9[i];
+            }
+        }
+        if padding {
+            &self.out
+        } else {
+            let margin = (KERNEL_LENGTH / 2) * dilation;
+            let end = self.len.saturating_sub(margin);
+            if margin >= end {
+                // Degenerate: fall back to the padded output.
+                &self.out
+            } else {
+                &self.out[margin..end]
+            }
+        }
+    }
+
+    /// One-shot convolution (prepare + convolve); used during fitting
+    /// where each combo touches a different random sample.
+    fn convolve(
+        &mut self,
+        series: &MultiSeries,
+        subset: &[usize],
+        dilation: usize,
+        kernel: [usize; 3],
+        padding: bool,
+    ) -> &[f64] {
+        self.prepare_dilation(series, dilation);
+        self.convolve_prepared(subset, kernel, padding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::kernel_weights;
+
+    fn sine_series(n: usize, freq: f64, channels: usize) -> MultiSeries {
+        let data: Vec<Vec<f64>> = (0..channels)
+            .map(|c| {
+                (0..n)
+                    .map(|i| ((i as f64 + c as f64 * 3.0) * freq).sin())
+                    .collect()
+            })
+            .collect();
+        MultiSeries::new(data).unwrap()
+    }
+
+    fn default_fit(train: &[MultiSeries]) -> MiniRocket {
+        MiniRocket::fit(&MiniRocketConfig::default(), train).unwrap()
+    }
+
+    #[test]
+    fn feature_count_matches() {
+        let train = vec![sine_series(128, 0.2, 2), sine_series(128, 0.5, 2)];
+        let r = default_fit(&train);
+        let f = r.transform_one(&train[0]);
+        assert_eq!(f.len(), r.num_output_features());
+        assert!(f.len() >= NUM_KERNELS, "at least one feature per kernel");
+    }
+
+    #[test]
+    fn features_are_ppv_in_unit_interval() {
+        let train = vec![sine_series(100, 0.3, 3), sine_series(100, 0.8, 3)];
+        let r = default_fit(&train);
+        for s in &train {
+            for v in r.transform_one(s) {
+                assert!((0.0..=1.0).contains(&v), "ppv {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = vec![sine_series(96, 0.4, 2), sine_series(96, 0.9, 2)];
+        let cfg = MiniRocketConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let r1 = MiniRocket::fit(&cfg, &train).unwrap();
+        let r2 = MiniRocket::fit(&cfg, &train).unwrap();
+        assert_eq!(r1.transform_one(&train[0]), r2.transform_one(&train[0]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let train = vec![sine_series(96, 0.4, 2), sine_series(96, 0.9, 2)];
+        let r1 = MiniRocket::fit(
+            &MiniRocketConfig {
+                seed: 1,
+                ..Default::default()
+            },
+            &train,
+        )
+        .unwrap();
+        let r2 = MiniRocket::fit(
+            &MiniRocketConfig {
+                seed: 2,
+                ..Default::default()
+            },
+            &train,
+        )
+        .unwrap();
+        assert_ne!(r1.transform_one(&train[0]), r2.transform_one(&train[0]));
+    }
+
+    #[test]
+    fn offset_invariance() {
+        // Zero-sum kernels make the convolution invariant to adding a
+        // constant; with "same" padding edge effects change conv values
+        // near the boundary, so compare with a generous tolerance on the
+        // feature vector instead of exact equality.
+        let base: Vec<f64> = (0..200).map(|i| (i as f64 * 0.25).sin()).collect();
+        let shifted: Vec<f64> = base.iter().map(|v| v + 100.0).collect();
+        let train = vec![MultiSeries::univariate(base.clone())];
+        let r = default_fit(&train);
+        let f1 = r.transform_one(&MultiSeries::univariate(base));
+        let f2 = r.transform_one(&MultiSeries::univariate(shifted));
+        let mean_diff: f64 =
+            f1.iter().zip(&f2).map(|(a, b)| (a - b).abs()).sum::<f64>() / f1.len() as f64;
+        assert!(mean_diff < 0.1, "mean ppv diff {mean_diff}");
+    }
+
+    #[test]
+    fn separates_distinct_signals() {
+        // Feature vectors of very different signals should differ more
+        // than feature vectors of noisy copies of the same signal.
+        let a = sine_series(128, 0.2, 1);
+        let b = sine_series(128, 1.1, 1);
+        let a_noisy = MultiSeries::univariate(
+            a.channel(0)
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v + 0.01 * ((i * 7) % 3) as f64)
+                .collect(),
+        );
+        let r = default_fit(&[a.clone(), b.clone()]);
+        let fa = r.transform_one(&a);
+        let fb = r.transform_one(&b);
+        let fan = r.transform_one(&a_noisy);
+        let dist = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter()
+                .zip(y)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f64>()
+                .sqrt()
+        };
+        assert!(dist(&fa, &fb) > 3.0 * dist(&fa, &fan));
+    }
+
+    #[test]
+    fn errors_on_bad_training_sets() {
+        assert!(matches!(
+            MiniRocket::fit(&MiniRocketConfig::default(), &[]),
+            Err(FitError::EmptyTrainingSet)
+        ));
+        let a = sine_series(64, 0.3, 1);
+        let b = sine_series(65, 0.3, 1);
+        assert!(matches!(
+            MiniRocket::fit(&MiniRocketConfig::default(), &[a.clone(), b]),
+            Err(FitError::UnequalLengths { .. })
+        ));
+        let c = sine_series(64, 0.3, 2);
+        assert!(matches!(
+            MiniRocket::fit(&MiniRocketConfig::default(), &[a, c]),
+            Err(FitError::UnequalChannels { .. })
+        ));
+        let tiny = MultiSeries::univariate(vec![1.0; 5]);
+        assert!(matches!(
+            MiniRocket::fit(&MiniRocketConfig::default(), &[tiny]),
+            Err(FitError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn decomposition_matches_direct_convolution() {
+        // Verify C = 3*S3 - S9 equals the explicit weighted convolution
+        // for a handful of kernels at dilation 1 with same padding.
+        let x: Vec<f64> = (0..40).map(|i| ((i * i) % 17) as f64 - 8.0).collect();
+        let series = MultiSeries::univariate(x.clone());
+        let mut scratch = ConvScratch::new(x.len());
+        scratch.prepare_dilation(&series, 1);
+        for kernel in kernel_indices().into_iter().step_by(17) {
+            let got = scratch.convolve_prepared(&[0], kernel, true).to_vec();
+            let w = kernel_weights(kernel);
+            let n = x.len() as i64;
+            for (i, &g) in got.iter().enumerate() {
+                let mut expect = 0.0;
+                for (j, &wj) in w.iter().enumerate() {
+                    let idx = i as i64 + j as i64 - 4;
+                    if idx >= 0 && idx < n {
+                        expect += wj * x[idx as usize];
+                    }
+                }
+                assert!(
+                    (g - expect).abs() < 1e-9,
+                    "kernel {kernel:?} at {i}: {g} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn valid_padding_region_shorter() {
+        let x = sine_series(64, 0.3, 1);
+        let mut scratch = ConvScratch::new(64);
+        scratch.prepare_dilation(&x, 4);
+        let padded_len = scratch.convolve_prepared(&[0], [0, 4, 8], true).len();
+        let valid_len = scratch.convolve_prepared(&[0], [0, 4, 8], false).len();
+        assert_eq!(padded_len, 64);
+        assert_eq!(valid_len, 64 - 2 * 16);
+    }
+
+    #[test]
+    fn channel_subsets_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for c in 1..=8 {
+            for _ in 0..50 {
+                let s = sample_channel_subset(&mut rng, c);
+                assert!(!s.is_empty() && s.len() <= c);
+                assert!(s.iter().all(|&i| i < c));
+                let mut d = s.clone();
+                d.dedup();
+                assert_eq!(d.len(), s.len(), "duplicate channels");
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the MiniRocket transform.
+
+use p2auth_rocket::{kernel_weights, MiniRocket, MiniRocketConfig, MultiSeries};
+use proptest::prelude::*;
+
+fn arb_series(len: usize, channels: usize) -> impl Strategy<Value = MultiSeries> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0_f64..10.0, len..=len),
+        channels..=channels,
+    )
+    .prop_map(|data| MultiSeries::new(data).expect("valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn features_always_in_unit_interval(
+        a in arb_series(64, 2),
+        b in arb_series(64, 2),
+        probe in arb_series(64, 2),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MiniRocketConfig { num_features: 168, seed, ..Default::default() };
+        let rocket = MiniRocket::fit(&cfg, &[a, b]).expect("fit");
+        for f in rocket.transform_one(&probe) {
+            prop_assert!((0.0..=1.0).contains(&f), "ppv {} out of range", f);
+        }
+    }
+
+    #[test]
+    fn transform_is_a_pure_function(a in arb_series(48, 1), seed in any::<u64>()) {
+        let cfg = MiniRocketConfig { num_features: 84, seed, ..Default::default() };
+        let rocket = MiniRocket::fit(&cfg, std::slice::from_ref(&a)).expect("fit");
+        prop_assert_eq!(rocket.transform_one(&a), rocket.transform_one(&a));
+    }
+
+    #[test]
+    fn feature_count_independent_of_input_values(
+        a in arb_series(48, 1),
+        b in arb_series(48, 1),
+    ) {
+        let cfg = MiniRocketConfig { num_features: 168, ..Default::default() };
+        let rocket = MiniRocket::fit(&cfg, std::slice::from_ref(&a)).expect("fit");
+        prop_assert_eq!(
+            rocket.transform_one(&a).len(),
+            rocket.transform_one(&b).len()
+        );
+        prop_assert_eq!(rocket.transform_one(&a).len(), rocket.num_output_features());
+    }
+}
+
+#[test]
+fn kernel_weights_zero_sum_exhaustive() {
+    for t in p2auth_rocket::kernel_indices() {
+        assert_eq!(kernel_weights(t).iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Keystroke-induced artifact synthesis.
+//!
+//! A keystroke contracts wrist muscles and deforms the microvascular
+//! bed, producing (paper §III-B) "more pronounced peaks or troughs in
+//! the PPG measurements relative to the heartbeat". We model one
+//! keystroke as the sum of
+//!
+//! * a **damped oscillation** — the muscle/tendon transient, whose
+//!   amplitude, frequency, damping and phase are subject- and
+//!   key-specific, and
+//! * a **slower negative pressure lobe** — blood squeezed out of the
+//!   tissue under the band, recovering over ~0.2 s.
+//!
+//! Channel coupling (placement × wavelength × key position) scales the
+//! whole template; per-event jitter models behavioural variation.
+
+use crate::channel::artifact_coupling;
+use crate::rng::normal;
+use crate::subject::Subject;
+use p2auth_core::types::ChannelInfo;
+use rand::rngs::StdRng;
+
+/// Per-event variation of one keystroke (drawn once per keystroke, then
+/// applied to every channel so channels stay physically consistent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventJitter {
+    /// Multiplicative amplitude jitter.
+    pub amp: f64,
+    /// Multiplicative frequency jitter.
+    pub freq: f64,
+    /// Additive latency jitter (seconds).
+    pub latency_s: f64,
+}
+
+impl EventJitter {
+    /// Draws the jitter for one keystroke from the subject's stability.
+    pub fn draw(subject: &Subject, rng: &mut StdRng) -> Self {
+        let s = subject.stability_sigma;
+        Self {
+            amp: normal(rng, 0.0, s).exp(),
+            freq: (1.0 + normal(rng, 0.0, 0.02 + s / 5.0)).clamp(0.7, 1.3),
+            latency_s: normal(rng, 0.0, 0.006 + s / 50.0),
+        }
+    }
+
+    /// No jitter (for template inspection and tests).
+    pub fn none() -> Self {
+        Self {
+            amp: 1.0,
+            freq: 1.0,
+            latency_s: 0.0,
+        }
+    }
+}
+
+/// Duration of one artifact template in seconds.
+pub const ARTIFACT_DURATION_S: f64 = 0.7;
+
+/// Adds the artifact of `subject` tapping `digit` into `out`, for the
+/// channel described by `info`, with onset at `touch_time_s`.
+///
+/// The artifact begins `subject.artifact_latency_s + key.latency_s +
+/// jitter.latency_s` after the touch.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn add_keystroke_artifact(
+    subject: &Subject,
+    digit: u8,
+    info: ChannelInfo,
+    out: &mut [f64],
+    rate: f64,
+    touch_time_s: f64,
+    jitter: &EventJitter,
+) {
+    add_keystroke_artifact_scaled(subject, digit, info, out, rate, touch_time_s, jitter, 1.0);
+}
+
+/// [`add_keystroke_artifact`] with an extra amplitude factor — the
+/// per-module contact-pressure jitter of the session synthesizer.
+/// Modules jitter independently, which is what makes multi-channel
+/// layouts informative beyond a single good channel.
+#[allow(clippy::too_many_arguments)]
+pub fn add_keystroke_artifact_scaled(
+    subject: &Subject,
+    digit: u8,
+    info: ChannelInfo,
+    out: &mut [f64],
+    rate: f64,
+    touch_time_s: f64,
+    jitter: &EventJitter,
+    amp_scale: f64,
+) {
+    let key = subject.key_response(digit);
+    let onset = touch_time_s + subject.artifact_latency_s + key.latency_s + jitter.latency_s;
+    let coupling = artifact_coupling(info, digit);
+    let amp = subject.artifact_gain * key.gain * coupling * jitter.amp * amp_scale;
+    let freq = subject.artifact_freq_hz * key.freq_mod * jitter.freq;
+    let damping = subject.artifact_damping * key.damping_mod;
+    let lobe_amp = key.second_lobe * amp;
+    let lobe_delay = key.second_delay_s;
+    let lobe_width = 0.07;
+    let start = ((onset * rate).floor().max(0.0)) as usize;
+    let end = (((onset + ARTIFACT_DURATION_S) * rate).ceil() as usize).min(out.len());
+    for (i, o) in out.iter_mut().enumerate().take(end).skip(start) {
+        let t = i as f64 / rate - onset;
+        if t < 0.0 {
+            continue;
+        }
+        let osc = amp * (-damping * t).exp() * (std::f64::consts::TAU * freq * t + key.phase).sin();
+        let dl = (t - lobe_delay) / lobe_width;
+        let lobe = lobe_amp * (-0.5 * dl * dl).exp();
+        // Smooth onset ramp (~20 ms) so the artifact does not start with
+        // a discontinuity.
+        let ramp = (t / 0.02).min(1.0);
+        *o += ramp * (osc + lobe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::standard_layout;
+    use crate::rng::rng_for;
+
+    fn subject() -> Subject {
+        Subject::sample(21, 0)
+    }
+
+    fn template(subject: &Subject, digit: u8, info: ChannelInfo) -> Vec<f64> {
+        let mut out = vec![0.0; 200];
+        add_keystroke_artifact(
+            subject,
+            digit,
+            info,
+            &mut out,
+            100.0,
+            0.3,
+            &EventJitter::none(),
+        );
+        out
+    }
+
+    #[test]
+    fn artifact_is_localized_after_onset() {
+        let s = subject();
+        let x = template(&s, 5, standard_layout(1)[0]);
+        // Nothing before the touch.
+        assert!(x[..30].iter().all(|&v| v == 0.0));
+        // Strong response within the artifact window.
+        let peak = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!(
+            peak > s.sys_amp,
+            "artifact ({peak}) should exceed pulse amplitude"
+        );
+        // Decayed by the end.
+        assert!(x[150..].iter().all(|&v| v.abs() < 0.2 * peak));
+    }
+
+    #[test]
+    fn different_keys_produce_different_shapes() {
+        let s = subject();
+        let info = standard_layout(1)[0];
+        let a = template(&s, 1, info);
+        let b = template(&s, 9, info);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "keys too similar: {diff}");
+    }
+
+    #[test]
+    fn different_subjects_produce_different_shapes() {
+        let s1 = Subject::sample(21, 0);
+        let s2 = Subject::sample(21, 1);
+        let info = standard_layout(1)[0];
+        let a = template(&s1, 5, info);
+        let b = template(&s2, 5, info);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1.0, "subjects too similar: {diff}");
+    }
+
+    #[test]
+    fn channels_scale_consistently() {
+        let s = subject();
+        let layout = standard_layout(4);
+        // Same event on IR vs red of the same module: red is a scaled
+        // copy (same underlying motion).
+        let ir = template(&s, 5, layout[0]);
+        let red = template(&s, 5, layout[1]);
+        let ratio = artifact_coupling(layout[1], 5) / artifact_coupling(layout[0], 5);
+        for (a, b) in ir.iter().zip(&red) {
+            assert!((b - ratio * a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_shape() {
+        let s = subject();
+        let info = standard_layout(1)[0];
+        let clean = template(&s, 5, info);
+        let mut rng = rng_for(3, &[7]);
+        let j = EventJitter::draw(&s, &mut rng);
+        let mut noisy = vec![0.0; 200];
+        add_keystroke_artifact(&s, 5, info, &mut noisy, 100.0, 0.3, &j);
+        // Correlated with the clean template.
+        let dot: f64 = clean.iter().zip(&noisy).map(|(a, b)| a * b).sum();
+        let n1: f64 = clean.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let n2: f64 = noisy.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(dot / (n1 * n2) > 0.5, "correlation {}", dot / (n1 * n2));
+    }
+
+    #[test]
+    fn event_jitter_determinism() {
+        let s = subject();
+        let a = EventJitter::draw(&s, &mut rng_for(5, &[1]));
+        let b = EventJitter::draw(&s, &mut rng_for(5, &[1]));
+        assert_eq!(a, b);
+    }
+}

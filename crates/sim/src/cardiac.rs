@@ -1,0 +1,108 @@
+//! Cardiac pulse-train synthesis.
+//!
+//! Each heartbeat contributes a systolic lobe and a delayed dicrotic
+//! (reflected-wave) lobe, both Gaussian; beat periods jitter with the
+//! subject's heart-rate variability and the amplitude is modulated by
+//! respiration. This is the "background" signal the keystroke artifacts
+//! ride on.
+
+use crate::rng::normal;
+use crate::subject::Subject;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Synthesizes `n` samples of the subject's pulse waveform at `rate` Hz
+/// with unit channel gain (callers scale per channel).
+pub fn pulse_train(subject: &Subject, n: usize, rate: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut out = vec![0.0_f64; n];
+    let duration = n as f64 / rate;
+    let resp_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    // Generate beat onset times covering the whole window (starting
+    // before zero so the first beat's tail is present).
+    let mut beats = Vec::new();
+    let mut t = -rng.gen_range(0.0..1.0 / subject.heart_rate_hz);
+    while t < duration + 0.5 {
+        beats.push(t);
+        let period =
+            (1.0 / subject.heart_rate_hz) * (1.0 + normal(rng, 0.0, subject.hrv_sigma)).max(0.5);
+        t += period;
+    }
+    for &tb in &beats {
+        add_beat(subject, &mut out, rate, tb, resp_phase);
+    }
+    out
+}
+
+fn add_beat(subject: &Subject, out: &mut [f64], rate: f64, tb: f64, resp_phase: f64) {
+    let resp = 1.0
+        + subject.resp_amp * (std::f64::consts::TAU * subject.resp_freq_hz * tb + resp_phase).sin();
+    let sys_amp = subject.sys_amp * resp;
+    let dic_amp = subject.dic_amp * resp;
+    // Only touch samples within ±4 widths of the lobes.
+    let span = subject.dic_delay_s + 4.0 * (subject.sys_width_s + subject.dic_width_s);
+    let lo = (((tb - span) * rate).floor().max(0.0)) as usize;
+    let hi = (((tb + span) * rate).ceil() as usize).min(out.len());
+    for (i, o) in out.iter_mut().enumerate().take(hi).skip(lo) {
+        let t = i as f64 / rate;
+        let ds = (t - tb) / subject.sys_width_s;
+        let dd = (t - tb - subject.dic_delay_s) / subject.dic_width_s;
+        *o += sys_amp * (-0.5 * ds * ds).exp() + dic_amp * (-0.5 * dd * dd).exp();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+    use p2auth_dsp::stats::autocorrelation;
+
+    #[test]
+    fn periodicity_matches_heart_rate() {
+        let s = Subject {
+            hrv_sigma: 0.001,
+            heart_rate_hz: 1.25,
+            ..Subject::sample(5, 0)
+        };
+        let rate = 100.0;
+        let mut rng = rng_for(1, &[]);
+        let x = pulse_train(&s, 1000, rate, &mut rng);
+        // Autocorrelation peaks near the beat period lag (80 samples).
+        let lag = (rate / s.heart_rate_hz).round() as usize;
+        assert!(
+            autocorrelation(&x, lag) > 0.5,
+            "ac {}",
+            autocorrelation(&x, lag)
+        );
+    }
+
+    #[test]
+    fn amplitude_bounded_by_morphology() {
+        let s = Subject::sample(5, 1);
+        let mut rng = rng_for(2, &[]);
+        let x = pulse_train(&s, 800, 100.0, &mut rng);
+        let max = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        // One beat's lobes plus a tail of the previous beat and full
+        // respiratory swing stay well under 2 systolic amplitudes.
+        assert!(max < 2.0 * (s.sys_amp + s.dic_amp), "max {max}");
+        assert!(max > 0.5 * s.sys_amp, "pulse absent, max {max}");
+    }
+
+    #[test]
+    fn covers_whole_window() {
+        let s = Subject::sample(5, 2);
+        let mut rng = rng_for(3, &[]);
+        let x = pulse_train(&s, 700, 100.0, &mut rng);
+        // There must be pulse energy in the first and last second.
+        let head: f64 = x[..100].iter().map(|v| v * v).sum();
+        let tail: f64 = x[600..].iter().map(|v| v * v).sum();
+        assert!(head > 0.1 && tail > 0.1);
+    }
+
+    #[test]
+    fn deterministic_with_same_rng_seed() {
+        let s = Subject::sample(5, 3);
+        let a = pulse_train(&s, 300, 100.0, &mut rng_for(9, &[1]));
+        let b = pulse_train(&s, 300, 100.0, &mut rng_for(9, &[1]));
+        assert_eq!(a, b);
+    }
+}

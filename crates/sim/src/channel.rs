@@ -1,0 +1,175 @@
+//! Optical channel model: how wavelength and placement shape what a
+//! channel sees.
+//!
+//! * **Infrared** penetrates deeper, capturing vascular/muscle motion
+//!   strongly (better authentication accuracy — paper Fig. 13b);
+//!   **red** is shallower and noisier but complementary.
+//! * **Radial** vs **ulnar** placement couples differently to keystrokes
+//!   depending on where the key sits on the pad (thumb-extension angle).
+//! * The paper found **dorsal** (back-of-hand) placement less stable
+//!   (§VI); we model that as weaker, noisier coupling.
+
+use crate::layout::key_position;
+use p2auth_core::types::{ChannelInfo, Placement, Wavelength};
+
+/// Relative cardiac-pulse amplitude seen by a channel.
+pub fn pulse_amplitude(info: ChannelInfo) -> f64 {
+    let wl = match info.wavelength {
+        Wavelength::Infrared => 1.0,
+        Wavelength::Red => 0.75,
+        Wavelength::Green => 1.0,
+    };
+    let pl = match info.placement {
+        Placement::Radial => 1.0,
+        Placement::Ulnar => 0.92,
+        Placement::Dorsal => 0.55,
+    };
+    wl * pl
+}
+
+/// Relative coupling of a keystroke artifact on key `digit` into a
+/// channel. Key position steers the radial/ulnar balance.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn artifact_coupling(info: ChannelInfo, digit: u8) -> f64 {
+    let (x, y) = key_position(digit);
+    let pl = match info.placement {
+        Placement::Radial => 0.55 + 0.50 * (1.0 - x),
+        Placement::Ulnar => 0.55 + 0.50 * x,
+        Placement::Dorsal => 0.45 + 0.30 * y,
+    };
+    // Artifact-to-pulse contrast drives per-channel accuracy: infrared
+    // reaches the deep vasculature the keystroke deforms (ratio 1.0),
+    // red is shallow and sees proportionally less artifact than pulse
+    // (0.55/0.62 < 1), green sits between.
+    let wl = match info.wavelength {
+        Wavelength::Infrared => 1.0,
+        Wavelength::Red => 0.72,
+        Wavelength::Green => 0.88,
+    };
+    pl * wl
+}
+
+/// White-noise standard deviation of a channel (red LEDs are more
+/// sensitive to ambient light).
+pub fn noise_sigma(info: ChannelInfo) -> f64 {
+    let wl = match info.wavelength {
+        Wavelength::Infrared => 0.040,
+        Wavelength::Red => 0.085,
+        Wavelength::Green => 0.038,
+    };
+    let pl = match info.placement {
+        Placement::Radial | Placement::Ulnar => 1.0,
+        Placement::Dorsal => 1.5,
+    };
+    wl * pl
+}
+
+/// The prototype's channel layout, extended as in the paper's
+/// channel-count sweep (Fig. 13a, 1–6 channels): two MAX30101 modules
+/// (radial + ulnar), each with infrared and red LEDs, plus green LEDs
+/// for counts above four (commercial watches like the Apple Watch pair
+/// green with infrared).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or greater than 6.
+pub fn standard_layout(n: usize) -> Vec<ChannelInfo> {
+    assert!(
+        (1..=6).contains(&n),
+        "supported channel counts are 1-6, got {n}"
+    );
+    // Sweep order: infrared on both modules first (adding the second
+    // module is the biggest win — radial and ulnar placements see
+    // complementary keys), then the red LEDs, then green.
+    let all = [
+        ChannelInfo {
+            wavelength: Wavelength::Infrared,
+            placement: Placement::Radial,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Infrared,
+            placement: Placement::Ulnar,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Red,
+            placement: Placement::Radial,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Red,
+            placement: Placement::Ulnar,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Green,
+            placement: Placement::Radial,
+        },
+        ChannelInfo {
+            wavelength: Wavelength::Green,
+            placement: Placement::Ulnar,
+        },
+    ];
+    all[..n].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ir_radial() -> ChannelInfo {
+        ChannelInfo {
+            wavelength: Wavelength::Infrared,
+            placement: Placement::Radial,
+        }
+    }
+
+    fn red_radial() -> ChannelInfo {
+        ChannelInfo {
+            wavelength: Wavelength::Red,
+            placement: Placement::Radial,
+        }
+    }
+
+    #[test]
+    fn infrared_sees_more_pulse_and_artifact() {
+        assert!(pulse_amplitude(ir_radial()) > pulse_amplitude(red_radial()));
+        assert!(artifact_coupling(ir_radial(), 5) > artifact_coupling(red_radial(), 5));
+    }
+
+    #[test]
+    fn red_is_noisier() {
+        assert!(noise_sigma(red_radial()) > noise_sigma(ir_radial()));
+    }
+
+    #[test]
+    fn key_position_steers_placement_balance() {
+        let radial = ir_radial();
+        let ulnar = ChannelInfo {
+            wavelength: Wavelength::Infrared,
+            placement: Placement::Ulnar,
+        };
+        // Key 1 (left column) couples more radially; key 3 more ulnarly.
+        assert!(artifact_coupling(radial, 1) > artifact_coupling(ulnar, 1));
+        assert!(artifact_coupling(ulnar, 3) > artifact_coupling(radial, 3));
+    }
+
+    #[test]
+    fn layout_sizes() {
+        assert_eq!(standard_layout(1).len(), 1);
+        assert_eq!(standard_layout(4).len(), 4);
+        assert_eq!(standard_layout(6).len(), 6);
+        // The first four cover the paper prototype: 2 modules x (IR + red),
+        // infrared pair first.
+        let four = standard_layout(4);
+        assert_eq!(four[0].placement, Placement::Radial);
+        assert_eq!(four[1].placement, Placement::Ulnar);
+        assert_eq!(four[2].wavelength, Wavelength::Red);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported channel counts")]
+    fn bad_layout_size_panics() {
+        standard_layout(7);
+    }
+}

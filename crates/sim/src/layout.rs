@@ -1,0 +1,80 @@
+//! PIN-pad geometry.
+//!
+//! The standard phone PIN pad:
+//!
+//! ```text
+//! 1 2 3
+//! 4 5 6
+//! 7 8 9
+//!   0
+//! ```
+//!
+//! Key position drives the thumb-extension angle, which modulates which
+//! wrist muscles move and therefore how strongly each sensor placement
+//! couples to the keystroke artifact (the mechanism behind the paper's
+//! Fig. 3 per-key differences).
+
+/// Normalized `(x, y)` position of a digit key on the PIN pad;
+/// `x` runs left→right in `[0, 1]`, `y` top→bottom in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn key_position(digit: u8) -> (f64, f64) {
+    assert!(digit <= 9, "digit {digit} out of range");
+    if digit == 0 {
+        return (0.5, 1.0);
+    }
+    let idx = digit - 1;
+    let col = (idx % 3) as f64;
+    let row = (idx / 3) as f64;
+    (col / 2.0, row / 3.0)
+}
+
+/// Default two-handed split: in two-handed typing, the hand wearing the
+/// watch (the left, in the paper's prototype — the band was worn on the
+/// left wrist) presses the keys on its side of the pad. Returns true if
+/// the watch hand presses `digit` for a subject whose watch-side
+/// boundary is `boundary` (the `x` below which the watch hand reaches).
+///
+/// # Panics
+///
+/// Panics if `digit > 9`.
+pub fn watch_hand_presses(digit: u8, boundary: f64) -> bool {
+    key_position(digit).0 < boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners() {
+        assert_eq!(key_position(1), (0.0, 0.0));
+        assert_eq!(key_position(3), (1.0, 0.0));
+        assert_eq!(key_position(7), (0.0, 2.0 / 3.0));
+        assert_eq!(key_position(9), (1.0, 2.0 / 3.0));
+        assert_eq!(key_position(0), (0.5, 1.0));
+    }
+
+    #[test]
+    fn all_digits_in_unit_square() {
+        for d in 0..=9 {
+            let (x, y) = key_position(d);
+            assert!((0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn split_boundary() {
+        // Boundary 0.6: left and middle columns belong to the watch hand.
+        let watch: Vec<u8> = (0..=9).filter(|&d| watch_hand_presses(d, 0.6)).collect();
+        assert_eq!(watch, vec![0, 1, 2, 4, 5, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_digit_panics() {
+        key_position(10);
+    }
+}

@@ -1,0 +1,53 @@
+//! Physiologically grounded PPG / keystroke simulator.
+//!
+//! The P²Auth paper evaluates on a custom wearable prototype (two
+//! MAX30101 PPG modules + a LIS2DH12 accelerometer on a wrist band) worn
+//! by 15 volunteers. Neither the hardware nor the human subjects are
+//! available to a reproduction, so this crate synthesizes the same
+//! signals from a generative model that preserves the two statistical
+//! properties the paper's feasibility study (§III) establishes:
+//!
+//! 1. **Inter-user separability** — "the same keystroke-induced PPG
+//!    measurements from different users are always highly different";
+//!    each simulated [`Subject`] carries its own pulse morphology and
+//!    keystroke-artifact physiology (gain, oscillation frequency,
+//!    damping, latency, per-key response).
+//! 2. **Intra-user, inter-key structure** — "the PPG patterns of the
+//!    same user are different when tapping different keys"; each key of
+//!    the PIN pad modulates the artifact through the subject's per-key
+//!    response and through key-position-dependent channel coupling
+//!    (radial vs ulnar placement, red vs infrared wavelength).
+//!
+//! On top sit the nuisance processes the pipeline must survive: heart-
+//! rate variability, respiration-coupled baseline drift, sensor noise,
+//! spurious wrist motions for "unstable" subjects (the paper's
+//! volunteer 11), and the coarse, jittered keystroke timestamps caused
+//! by the phone↔acquisition communication delay.
+//!
+//! The main entry point is [`Population`]: generate a seeded cohort,
+//! then record PIN entries, random entries, and emulating attacks as
+//! [`p2auth_core::types::Recording`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod artifact;
+pub mod cardiac;
+pub mod channel;
+pub mod layout;
+pub mod noise;
+pub mod population;
+pub mod rng;
+pub mod session;
+pub mod subject;
+
+pub use population::{Population, PopulationConfig};
+pub use session::SessionConfig;
+pub use subject::{KeyResponse, Subject};
+
+// Re-export the shared types so simulator users rarely need to import
+// the core crate directly.
+pub use p2auth_core::types::{
+    AccelTrack, ChannelInfo, HandMode, Pin, Placement, Recording, UserId, Wavelength,
+};

@@ -1,0 +1,117 @@
+//! Nuisance processes: sensor noise, baseline drift and spurious wrist
+//! motions.
+
+use crate::rng::normal;
+use crate::subject::Subject;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adds white Gaussian sensor noise of standard deviation `sigma`.
+pub fn add_white_noise(out: &mut [f64], sigma: f64, rng: &mut StdRng) {
+    for o in out.iter_mut() {
+        *o += normal(rng, 0.0, sigma);
+    }
+}
+
+/// Adds non-linear baseline drift: a slow sinusoid (band pressure /
+/// posture) plus a bounded random walk. This is what the
+/// smoothness-priors detrending step exists to remove.
+pub fn add_baseline_drift(out: &mut [f64], rate: f64, magnitude: f64, rng: &mut StdRng) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let freq = rng.gen_range(0.04..0.12);
+    let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let sin_amp = magnitude * rng.gen_range(0.4..1.0);
+    // Random walk, then rescaled to the requested magnitude.
+    let mut walk = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for _ in 0..n {
+        acc += normal(rng, 0.0, 1.0);
+        walk.push(acc);
+    }
+    let peak = walk.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-9);
+    let walk_amp = magnitude * rng.gen_range(0.2..0.6) / peak;
+    for (i, o) in out.iter_mut().enumerate() {
+        let t = i as f64 / rate;
+        *o += sin_amp * (std::f64::consts::TAU * freq * t + phase).sin() + walk_amp * walk[i];
+    }
+}
+
+/// Adds the subject's spurious wrist-motion events (Poisson arrivals of
+/// damped oscillations unrelated to keystrokes). These are what made
+/// the paper's volunteer 11 harder to authenticate than volunteer 8.
+pub fn add_motion_events(out: &mut [f64], rate: f64, subject: &Subject, rng: &mut StdRng) {
+    let duration = out.len() as f64 / rate;
+    let expected = subject.extra_motion_rate_hz * duration;
+    // Poisson sampling via thinning of a per-second grid.
+    let mut t = 0.0;
+    while t < duration {
+        t += -rng.gen_range(f64::EPSILON..1.0_f64).ln() / subject.extra_motion_rate_hz.max(1e-9);
+        if t >= duration || expected <= 0.0 {
+            break;
+        }
+        let amp = subject.artifact_gain * rng.gen_range(0.15..0.55);
+        let freq = rng.gen_range(1.5..6.0);
+        let damping = rng.gen_range(3.0..9.0);
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let start = (t * rate) as usize;
+        let end = ((t + 0.8) * rate).min(out.len() as f64) as usize;
+        for (i, o) in out.iter_mut().enumerate().take(end).skip(start) {
+            let dt = i as f64 / rate - t;
+            *o += amp * (-damping * dt).exp() * (std::f64::consts::TAU * freq * dt + phase).sin();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_for;
+    use crate::subject::Subject;
+
+    #[test]
+    fn white_noise_statistics() {
+        let mut x = vec![0.0; 20_000];
+        add_white_noise(&mut x, 0.05, &mut rng_for(1, &[]));
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / x.len() as f64;
+        assert!(mean.abs() < 0.002);
+        assert!((var.sqrt() - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn drift_is_slow_and_bounded() {
+        let mut x = vec![0.0; 1000];
+        add_baseline_drift(&mut x, 100.0, 0.5, &mut rng_for(2, &[]));
+        let peak = x.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!(peak <= 1.0, "drift too large: {peak}");
+        // Slow: consecutive samples nearly equal.
+        let max_step = x
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
+        assert!(max_step < 0.1, "drift too fast: {max_step}");
+    }
+
+    #[test]
+    fn motion_events_respect_rate() {
+        let calm = Subject {
+            extra_motion_rate_hz: 0.0,
+            ..Subject::sample(3, 0)
+        };
+        let mut x = vec![0.0; 1000];
+        add_motion_events(&mut x, 100.0, &calm, &mut rng_for(3, &[]));
+        assert!(x.iter().all(|&v| v == 0.0), "calm subject must add nothing");
+
+        let restless = Subject {
+            extra_motion_rate_hz: 2.0,
+            ..Subject::sample(3, 0)
+        };
+        let mut y = vec![0.0; 1000];
+        add_motion_events(&mut y, 100.0, &restless, &mut rng_for(4, &[]));
+        let energy: f64 = y.iter().map(|v| v * v).sum();
+        assert!(energy > 0.1, "restless subject must add motion energy");
+    }
+}

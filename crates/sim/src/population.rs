@@ -1,0 +1,616 @@
+//! Seeded cohorts and attack scenario generation.
+
+use crate::channel::standard_layout;
+use crate::layout::watch_hand_presses;
+use crate::rng::rng_for;
+use crate::session::{synthesize_entry, EntrySpec, SessionConfig};
+use crate::subject::Subject;
+use p2auth_core::types::{ChannelInfo, HandMode, Pin, Recording};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration of a simulated cohort.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of subjects (the paper recruited 15 volunteers).
+    pub num_users: usize,
+    /// Master seed; everything derives deterministically from it.
+    pub seed: u64,
+    /// PPG channel layout shared by all recordings (the prototype's
+    /// four channels by default; see
+    /// [`crate::channel::standard_layout`]).
+    pub channels: Vec<ChannelInfo>,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            num_users: 15,
+            seed: 0x1cdc_2023,
+            channels: standard_layout(4),
+        }
+    }
+}
+
+/// A simulated cohort: subjects plus recording generators.
+///
+/// # Examples
+///
+/// ```
+/// use p2auth_sim::{HandMode, Pin, Population, PopulationConfig, SessionConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let pop = Population::generate(&PopulationConfig { num_users: 3, seed: 1, ..Default::default() });
+/// let pin = Pin::new("1628")?;
+/// let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &SessionConfig::default(), 0);
+/// assert_eq!(rec.validate(), Ok(()));
+/// assert_eq!(rec.num_channels(), 4); // the prototype's 2x(IR+red) layout
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    config: PopulationConfig,
+    subjects: Vec<Subject>,
+}
+
+// Tag words separating the RNG streams of the different generators.
+const TAG_ENTRY: u64 = 1;
+const TAG_RANDOM: u64 = 2;
+const TAG_EMULATE: u64 = 3;
+const TAG_SPLIT: u64 = 4;
+
+impl Population {
+    /// Generates the cohort deterministically from the config seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_users` is zero or the channel layout is empty.
+    pub fn generate(config: &PopulationConfig) -> Self {
+        assert!(
+            config.num_users > 0,
+            "population must have at least one user"
+        );
+        assert!(
+            !config.channels.is_empty(),
+            "channel layout must be non-empty"
+        );
+        let subjects = (0..config.num_users as u32)
+            .map(|i| Subject::sample(config.seed, i))
+            .collect();
+        Self {
+            config: config.clone(),
+            subjects,
+        }
+    }
+
+    /// Number of subjects.
+    pub fn num_users(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// Borrow of one subject.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn subject(&self, idx: usize) -> &Subject {
+        &self.subjects[idx]
+    }
+
+    /// The channel layout used by every recording.
+    pub fn channels(&self) -> &[ChannelInfo] {
+        &self.config.channels
+    }
+
+    /// Returns a copy of the population with every subject transformed
+    /// by `f` — useful for controlled experiments that pin one
+    /// parameter across the cohort (e.g. the extra-motion sweep of the
+    /// paper's §VI discussion).
+    pub fn map_subjects<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(Subject) -> Subject,
+    {
+        self.subjects = self.subjects.into_iter().map(f).collect();
+        self
+    }
+
+    /// Records subject `user` legitimately entering `pin`. `nonce`
+    /// distinguishes repetitions; the same `(user, pin, mode, nonce)`
+    /// always produces the same recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn record_entry(
+        &self,
+        user: usize,
+        pin: &Pin,
+        mode: HandMode,
+        session: &SessionConfig,
+        nonce: u64,
+    ) -> Recording {
+        let subject = &self.subjects[user];
+        let mut rng = rng_for(
+            self.config.seed,
+            &[TAG_ENTRY, user as u64, pin_tag(pin), mode_tag(mode), nonce],
+        );
+        let watch = self.watch_hand_vector(subject, pin, mode, &mut rng);
+        synthesize_entry(
+            EntrySpec {
+                typist: subject,
+                cadence: subject,
+                mode,
+            },
+            pin,
+            &watch,
+            &self.config.channels,
+            session,
+            &mut rng,
+        )
+    }
+
+    /// Records subject `user` entering `pin` as they present
+    /// `weeks` after enrollment (long-term drift; the paper's 8-week
+    /// preliminary study, §III-B). `weeks == 0.0` matches
+    /// [`Population::record_entry`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range or `weeks` is negative.
+    pub fn record_entry_aged(
+        &self,
+        user: usize,
+        pin: &Pin,
+        mode: HandMode,
+        session: &SessionConfig,
+        nonce: u64,
+        weeks: f64,
+    ) -> Recording {
+        let subject = self.subjects[user].aged(weeks);
+        let mut rng = rng_for(
+            self.config.seed,
+            &[TAG_ENTRY, user as u64, pin_tag(pin), mode_tag(mode), nonce],
+        );
+        let watch = self.watch_hand_vector(&subject, pin, mode, &mut rng);
+        synthesize_entry(
+            EntrySpec {
+                typist: &subject,
+                cadence: &subject,
+                mode,
+            },
+            pin,
+            &watch,
+            &self.config.channels,
+            session,
+            &mut rng,
+        )
+    }
+
+    /// Synthesizes `duration_s` seconds of idle wear for `user`: pulse,
+    /// drift and sensor noise but no keystrokes. This is the signal the
+    /// paper's §VI usage model monitors between authentications ("the
+    /// wear of the watch is detected based on the heart rate status").
+    /// Returns one waveform per configured channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range or `duration_s` is not positive.
+    pub fn record_idle(
+        &self,
+        user: usize,
+        duration_s: f64,
+        session: &SessionConfig,
+        nonce: u64,
+    ) -> Vec<Vec<f64>> {
+        assert!(duration_s > 0.0 && duration_s.is_finite(), "bad duration");
+        let subject = &self.subjects[user];
+        let mut rng = rng_for(self.config.seed, &[5, user as u64, nonce]);
+        let rate = session.sample_rate;
+        let n = (duration_s * rate).round() as usize;
+        let base_pulse = crate::cardiac::pulse_train(subject, n, rate, &mut rng);
+        self.config
+            .channels
+            .iter()
+            .map(|&info| {
+                let amp = crate::channel::pulse_amplitude(info);
+                let mut ch: Vec<f64> = base_pulse.iter().map(|v| v * amp).collect();
+                crate::noise::add_baseline_drift(&mut ch, rate, session.drift_magnitude, &mut rng);
+                crate::noise::add_white_noise(&mut ch, crate::channel::noise_sigma(info), &mut rng);
+                ch
+            })
+            .collect()
+    }
+
+    /// Records subject `user` typing a random 4-digit PIN — used both
+    /// for random-attack traffic and for no-PIN enrollment data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn record_random_entry(
+        &self,
+        user: usize,
+        mode: HandMode,
+        session: &SessionConfig,
+        nonce: u64,
+    ) -> Recording {
+        let mut rng = rng_for(self.config.seed, &[TAG_RANDOM, user as u64, nonce]);
+        let digits: String = (0..4)
+            .map(|_| char::from(b'0' + rng.gen_range(0..10_u8)))
+            .collect();
+        let pin = Pin::new(&digits).expect("4 digits is a valid PIN");
+        let subject = &self.subjects[user];
+        let watch = self.watch_hand_vector(subject, &pin, mode, &mut rng);
+        synthesize_entry(
+            EntrySpec {
+                typist: subject,
+                cadence: subject,
+                mode,
+            },
+            &pin,
+            &watch,
+            &self.config.channels,
+            session,
+            &mut rng,
+        )
+    }
+
+    /// Records a two-handed entry in which the watch hand presses
+    /// exactly `watch_count` keys — the paper's double-2 / double-3
+    /// cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range or `watch_count` is not in
+    /// `[1, pin.len()]`.
+    pub fn record_entry_two_handed(
+        &self,
+        user: usize,
+        pin: &Pin,
+        watch_count: usize,
+        session: &SessionConfig,
+        nonce: u64,
+    ) -> Recording {
+        assert!(
+            (1..=pin.len()).contains(&watch_count),
+            "watch_count {watch_count} out of range for a {}-digit PIN",
+            pin.len()
+        );
+        let subject = &self.subjects[user];
+        let mut rng = rng_for(
+            self.config.seed,
+            &[
+                TAG_ENTRY,
+                user as u64,
+                pin_tag(pin),
+                100 + watch_count as u64,
+                nonce,
+            ],
+        );
+        let mut watch: Vec<bool> = pin
+            .digits()
+            .iter()
+            .map(|&d| watch_hand_presses(d, subject.two_hand_boundary))
+            .collect();
+        adjust_split(&mut watch, watch_count, watch_count, &mut rng);
+        synthesize_entry(
+            EntrySpec {
+                typist: subject,
+                cadence: subject,
+                mode: HandMode::TwoHanded,
+            },
+            pin,
+            &watch,
+            &self.config.channels,
+            session,
+            &mut rng,
+        )
+    }
+
+    /// Emulating-attack variant of [`Population::record_entry_two_handed`]:
+    /// the attacker imitates the victim's rhythm and presses exactly
+    /// `watch_count` keys with the watch hand (mirroring the victim's
+    /// observable split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal, or `watch_count` is
+    /// not in `[1, pin.len()]`.
+    pub fn record_emulating_attack_two_handed(
+        &self,
+        attacker: usize,
+        victim: usize,
+        pin: &Pin,
+        watch_count: usize,
+        session: &SessionConfig,
+        nonce: u64,
+    ) -> Recording {
+        assert_ne!(attacker, victim, "attacker must differ from victim");
+        assert!(
+            (1..=pin.len()).contains(&watch_count),
+            "bad watch_count {watch_count}"
+        );
+        let atk = &self.subjects[attacker];
+        let vic = &self.subjects[victim];
+        let mut rng = rng_for(
+            self.config.seed,
+            &[
+                TAG_EMULATE,
+                attacker as u64,
+                victim as u64,
+                pin_tag(pin),
+                100 + watch_count as u64,
+                nonce,
+            ],
+        );
+        let mut watch: Vec<bool> = pin
+            .digits()
+            .iter()
+            .map(|&d| watch_hand_presses(d, vic.two_hand_boundary))
+            .collect();
+        adjust_split(&mut watch, watch_count, watch_count, &mut rng);
+        synthesize_entry(
+            EntrySpec {
+                typist: atk,
+                cadence: vic,
+                mode: HandMode::TwoHanded,
+            },
+            pin,
+            &watch,
+            &self.config.channels,
+            session,
+            &mut rng,
+        )
+    }
+
+    /// Records an emulating attack (paper §IV-D): `attacker` has
+    /// observed `victim` (e.g. by shoulder surfing), knows the PIN, and
+    /// imitates the victim's typing rhythm and hand split — but types
+    /// with their own wrist physiology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or they are equal.
+    pub fn record_emulating_attack(
+        &self,
+        attacker: usize,
+        victim: usize,
+        pin: &Pin,
+        mode: HandMode,
+        session: &SessionConfig,
+        nonce: u64,
+    ) -> Recording {
+        assert_ne!(attacker, victim, "attacker must differ from victim");
+        let atk = &self.subjects[attacker];
+        let vic = &self.subjects[victim];
+        let mut rng = rng_for(
+            self.config.seed,
+            &[
+                TAG_EMULATE,
+                attacker as u64,
+                victim as u64,
+                pin_tag(pin),
+                nonce,
+            ],
+        );
+        // The attacker reproduces the victim's observable split.
+        let watch = self.watch_hand_vector(vic, pin, mode, &mut rng);
+        synthesize_entry(
+            EntrySpec {
+                typist: atk,
+                cadence: vic,
+                mode,
+            },
+            pin,
+            &watch,
+            &self.config.channels,
+            session,
+            &mut rng,
+        )
+    }
+
+    /// Determines which keystrokes the watch hand performs. One-handed:
+    /// all of them. Two-handed: the subject's habitual split, adjusted
+    /// so the watch hand presses two or three of the keys (the cases
+    /// the paper's system accepts).
+    fn watch_hand_vector(
+        &self,
+        subject: &Subject,
+        pin: &Pin,
+        mode: HandMode,
+        rng: &mut StdRng,
+    ) -> Vec<bool> {
+        let digits = pin.digits();
+        match mode {
+            HandMode::OneHanded => vec![true; digits.len()],
+            HandMode::TwoHanded => {
+                let mut watch: Vec<bool> = digits
+                    .iter()
+                    .map(|&d| watch_hand_presses(d, subject.two_hand_boundary))
+                    .collect();
+                let max_watch = digits.len().saturating_sub(1).max(2);
+                let mut split_rng = rng_for(
+                    self.config.seed,
+                    &[
+                        TAG_SPLIT,
+                        subject.id.0 as u64,
+                        pin_tag(pin),
+                        rng.gen::<u64>(),
+                    ],
+                );
+                adjust_split(&mut watch, 2, max_watch, &mut split_rng);
+                watch
+            }
+        }
+    }
+}
+
+/// Flips entries of `watch` until the number of `true`s lies in
+/// `[min_true, max_true]`.
+fn adjust_split(watch: &mut [bool], min_true: usize, max_true: usize, rng: &mut StdRng) {
+    let mut idxs: Vec<usize> = (0..watch.len()).collect();
+    idxs.shuffle(rng);
+    let count = |w: &[bool]| w.iter().filter(|&&b| b).count();
+    for &i in &idxs {
+        if count(watch) < min_true && !watch[i] {
+            watch[i] = true;
+        }
+    }
+    for &i in &idxs {
+        if count(watch) > max_true && watch[i] {
+            watch[i] = false;
+        }
+    }
+}
+
+fn pin_tag(pin: &Pin) -> u64 {
+    pin.digits()
+        .iter()
+        .fold(0_u64, |acc, &d| acc * 10 + d as u64)
+}
+
+fn mode_tag(mode: HandMode) -> u64 {
+    match mode {
+        HandMode::OneHanded => 0,
+        HandMode::TwoHanded => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> Population {
+        Population::generate(&PopulationConfig {
+            num_users: 4,
+            seed: 77,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PopulationConfig {
+            num_users: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        let a = Population::generate(&cfg);
+        let b = Population::generate(&cfg);
+        assert_eq!(a.subject(2), b.subject(2));
+    }
+
+    #[test]
+    fn recordings_reproducible_and_distinct() {
+        let p = pop();
+        let pin = Pin::new("1628").unwrap();
+        let s = SessionConfig::default();
+        let a = p.record_entry(0, &pin, HandMode::OneHanded, &s, 1);
+        let b = p.record_entry(0, &pin, HandMode::OneHanded, &s, 1);
+        let c = p.record_entry(0, &pin, HandMode::OneHanded, &s, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different nonces must differ");
+        assert_eq!(a.validate(), Ok(()));
+    }
+
+    #[test]
+    fn two_handed_split_in_range() {
+        let p = pop();
+        let pin = Pin::new("1379").unwrap();
+        let s = SessionConfig::default();
+        for user in 0..p.num_users() {
+            for nonce in 0..5 {
+                let rec = p.record_entry(user, &pin, HandMode::TwoHanded, &s, nonce);
+                let count = rec.watch_hand.iter().filter(|&&b| b).count();
+                assert!((2..=3).contains(&count), "split count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_entries_vary_pins() {
+        let p = pop();
+        let s = SessionConfig::default();
+        let pins: Vec<String> = (0..12)
+            .map(|n| {
+                p.record_random_entry(1, HandMode::OneHanded, &s, n)
+                    .pin_entered
+                    .to_string()
+            })
+            .collect();
+        let mut unique = pins.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() > 4, "random PINs too repetitive: {pins:?}");
+    }
+
+    #[test]
+    fn emulating_attack_copies_cadence_not_physiology() {
+        let p = pop();
+        let pin = Pin::new("5094").unwrap();
+        let s = SessionConfig::default();
+        let atk = p.record_emulating_attack(1, 0, &pin, HandMode::OneHanded, &s, 1);
+        assert_eq!(
+            atk.user.0, 1,
+            "the attack recording belongs to the attacker"
+        );
+        assert_eq!(atk.pin_entered, pin, "the attacker types the victim's PIN");
+        assert_eq!(atk.validate(), Ok(()));
+        // Cadence follows the victim's habitual interval.
+        let vic_iki = p.subject(0).inter_key_s;
+        let mean_gap = atk
+            .true_key_times
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64 / atk.sample_rate)
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            (mean_gap - vic_iki).abs() < 0.25,
+            "gap {mean_gap} vs victim {vic_iki}"
+        );
+    }
+
+    #[test]
+    fn forced_watch_counts() {
+        let p = pop();
+        let pin = Pin::new("1628").unwrap();
+        let s = SessionConfig::default();
+        for count in 1..=4 {
+            let rec = p.record_entry_two_handed(0, &pin, count, &s, 3);
+            assert_eq!(rec.watch_hand.iter().filter(|&&b| b).count(), count);
+            assert_eq!(rec.validate(), Ok(()));
+            let atk = p.record_emulating_attack_two_handed(1, 0, &pin, count, &s, 3);
+            assert_eq!(atk.watch_hand.iter().filter(|&&b| b).count(), count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "attacker must differ")]
+    fn self_attack_panics() {
+        let p = pop();
+        let pin = Pin::new("1628").unwrap();
+        p.record_emulating_attack(
+            0,
+            0,
+            &pin,
+            HandMode::OneHanded,
+            &SessionConfig::default(),
+            1,
+        );
+    }
+
+    #[test]
+    fn adjust_split_bounds() {
+        let mut rng = rng_for(1, &[]);
+        let mut w = vec![false, false, false, false];
+        adjust_split(&mut w, 2, 3, &mut rng);
+        let c = w.iter().filter(|&&b| b).count();
+        assert!((2..=3).contains(&c));
+        let mut w = vec![true, true, true, true];
+        adjust_split(&mut w, 2, 3, &mut rng);
+        let c = w.iter().filter(|&&b| b).count();
+        assert!((2..=3).contains(&c));
+    }
+}

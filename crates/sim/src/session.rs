@@ -1,0 +1,273 @@
+//! Composition of complete PIN-entry recordings.
+
+use crate::accel::accel_track;
+use crate::artifact::{add_keystroke_artifact_scaled, EventJitter};
+use crate::cardiac::pulse_train;
+use crate::channel::{noise_sigma, pulse_amplitude};
+use crate::noise::{add_baseline_drift, add_motion_events, add_white_noise};
+use crate::rng::normal;
+use crate::subject::Subject;
+use p2auth_core::types::{ChannelInfo, HandMode, Pin, Placement, Recording, UserId, Wavelength};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Acquisition-session parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// PPG sampling rate (100 Hz on the prototype).
+    pub sample_rate: f64,
+    /// Seconds of signal before the first keystroke.
+    pub pre_roll_s: f64,
+    /// Seconds of signal after the last keystroke.
+    pub post_roll_s: f64,
+    /// Maximum magnitude of the keystroke-timestamp error introduced by
+    /// the phone↔acquisition communication delay (paper §IV-B 1.2).
+    pub report_jitter_s: f64,
+    /// Whether to synthesize the accelerometer track.
+    pub include_accel: bool,
+    /// Accelerometer rate (75 Hz on the prototype).
+    pub accel_rate: f64,
+    /// Baseline-drift magnitude in systolic-amplitude units.
+    pub drift_magnitude: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 100.0,
+            pre_roll_s: 1.2,
+            post_roll_s: 1.5,
+            report_jitter_s: 0.10,
+            include_accel: true,
+            accel_rate: 75.0,
+            drift_magnitude: 0.5,
+        }
+    }
+}
+
+/// Specification of one entry to synthesize. `typist` supplies the
+/// physiology (whose wrist produces the artifacts); `cadence` supplies
+/// the typing rhythm — they differ only in an emulating attack, where
+/// the attacker imitates the victim's observable behaviour but cannot
+/// imitate their vasculature.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EntrySpec<'a> {
+    pub typist: &'a Subject,
+    pub cadence: &'a Subject,
+    pub mode: HandMode,
+}
+
+/// Synthesizes one complete recording.
+pub(crate) fn synthesize_entry(
+    spec: EntrySpec<'_>,
+    pin: &Pin,
+    watch_hand: &[bool],
+    channels: &[ChannelInfo],
+    session: &SessionConfig,
+    rng: &mut StdRng,
+) -> Recording {
+    let rate = session.sample_rate;
+    let digits = pin.digits();
+    assert_eq!(watch_hand.len(), digits.len(), "watch_hand per digit");
+
+    // --- keystroke touch times --------------------------------------
+    let mut touch_times = Vec::with_capacity(digits.len());
+    let mut t = session.pre_roll_s + normal(rng, 0.0, 0.08).abs();
+    for _ in digits {
+        touch_times.push(t);
+        t +=
+            (spec.cadence.inter_key_s + normal(rng, 0.0, spec.cadence.inter_key_jitter_s)).max(0.4);
+    }
+    let duration = touch_times.last().expect("non-empty PIN") + session.post_roll_s;
+    let n = (duration * rate).round() as usize;
+
+    // --- shared physical processes ----------------------------------
+    // One pulse train and one motion buffer, scaled per channel, so all
+    // channels observe the same underlying physiology.
+    let base_pulse = pulse_train(spec.typist, n, rate, rng);
+    let mut base_motion = vec![0.0_f64; n];
+    add_motion_events(&mut base_motion, rate, spec.typist, rng);
+    // One jitter draw per keystroke, shared across channels (the
+    // behavioural component)...
+    let jitters: Vec<EventJitter> = digits
+        .iter()
+        .map(|_| EventJitter::draw(spec.typist, rng))
+        .collect();
+    // ...plus an independent per-(keystroke, module-placement) contact
+    // jitter: the two sensor modules press on the skin independently,
+    // so their amplitude fluctuations decorrelate. This is why adding
+    // channels helps (paper Fig. 13a) even though the behaviour is
+    // common-mode.
+    let contact_amp_sigma = 0.14;
+    let placements = [Placement::Radial, Placement::Ulnar, Placement::Dorsal];
+    let contact: Vec<[f64; 3]> = digits
+        .iter()
+        .map(|_| core::array::from_fn(|_| normal(rng, 0.0, contact_amp_sigma).exp()))
+        .collect();
+    let placement_idx = |p: Placement| placements.iter().position(|&q| q == p).expect("known");
+
+    // --- per-channel assembly ----------------------------------------
+    let mut ppg = Vec::with_capacity(channels.len());
+    for &info in channels {
+        let p_amp = pulse_amplitude(info);
+        let motion_scale = match info.wavelength {
+            Wavelength::Infrared => 1.0,
+            Wavelength::Red => 0.8,
+            Wavelength::Green => 0.72,
+        };
+        let mut ch: Vec<f64> = base_pulse.iter().map(|v| v * p_amp).collect();
+        for (m, b) in ch.iter_mut().zip(&base_motion) {
+            *m += motion_scale * b;
+        }
+        for (k, (&d, &by_watch)) in digits.iter().zip(watch_hand).enumerate() {
+            if by_watch {
+                add_keystroke_artifact_scaled(
+                    spec.typist,
+                    d,
+                    info,
+                    &mut ch,
+                    rate,
+                    touch_times[k],
+                    &jitters[k],
+                    contact[k][placement_idx(info.placement)],
+                );
+            }
+        }
+        add_baseline_drift(&mut ch, rate, session.drift_magnitude, rng);
+        add_white_noise(&mut ch, noise_sigma(info), rng);
+        ppg.push(ch);
+    }
+
+    // --- timestamps ----------------------------------------------------
+    let clamp = |idx: f64| -> usize { idx.round().clamp(0.0, (n - 1) as f64) as usize };
+    let true_key_times: Vec<usize> = touch_times.iter().map(|&t| clamp(t * rate)).collect();
+    let reported_key_times: Vec<usize> = touch_times
+        .iter()
+        .map(|&t| {
+            let jitter = rng.gen_range(-session.report_jitter_s..=session.report_jitter_s);
+            clamp((t + jitter) * rate)
+        })
+        .collect();
+
+    // --- accelerometer -------------------------------------------------
+    let accel = if session.include_accel {
+        let watch_touches: Vec<f64> = touch_times
+            .iter()
+            .zip(watch_hand)
+            .filter(|(_, &w)| w)
+            .map(|(&t, _)| t)
+            .collect();
+        Some(accel_track(
+            spec.typist,
+            duration,
+            session.accel_rate,
+            &watch_touches,
+            rng,
+        ))
+    } else {
+        None
+    };
+
+    Recording {
+        user: UserId(spec.typist.id.0),
+        sample_rate: rate,
+        ppg,
+        channels: channels.to_vec(),
+        accel,
+        pin_entered: pin.clone(),
+        reported_key_times,
+        true_key_times,
+        watch_hand: watch_hand.to_vec(),
+        hand_mode: spec.mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::standard_layout;
+    use crate::rng::rng_for;
+
+    fn make(mode: HandMode, watch: &[bool], seed: u64) -> Recording {
+        let s = Subject::sample(9, 0);
+        let pin = Pin::new("1628").unwrap();
+        synthesize_entry(
+            EntrySpec {
+                typist: &s,
+                cadence: &s,
+                mode,
+            },
+            &pin,
+            watch,
+            &standard_layout(4),
+            &SessionConfig::default(),
+            &mut rng_for(seed, &[]),
+        )
+    }
+
+    #[test]
+    fn recording_is_structurally_valid() {
+        let rec = make(HandMode::OneHanded, &[true; 4], 1);
+        assert_eq!(rec.validate(), Ok(()));
+        assert_eq!(rec.num_channels(), 4);
+        assert_eq!(rec.reported_key_times.len(), 4);
+        assert!(rec.duration_s() > 4.0 && rec.duration_s() < 10.0);
+    }
+
+    #[test]
+    fn reported_times_jittered_but_close() {
+        let rec = make(HandMode::OneHanded, &[true; 4], 2);
+        for (r, t) in rec.reported_key_times.iter().zip(&rec.true_key_times) {
+            let err = (*r as i64 - *t as i64).abs();
+            assert!(err <= 11, "reported {r} vs true {t}");
+        }
+    }
+
+    #[test]
+    fn keystroke_energy_present_only_for_watch_hand() {
+        let rec = make(HandMode::TwoHanded, &[true, false, true, false], 3);
+        let ch = &rec.ppg[0];
+        // Mean-removed window energy, so drift offsets do not dominate
+        // (the pipeline's detrending plays this role for real).
+        let energy_at = |t: usize| -> f64 {
+            let lo = t.saturating_sub(5);
+            let hi = (t + 45).min(ch.len());
+            let w = &ch[lo..hi];
+            let m = w.iter().sum::<f64>() / w.len() as f64;
+            w.iter().map(|v| (v - m) * (v - m)).sum()
+        };
+        let e0 = energy_at(rec.true_key_times[0]);
+        let e1 = energy_at(rec.true_key_times[1]);
+        assert!(e0 > 2.0 * e1, "watch-hand {e0} vs other-hand {e1}");
+    }
+
+    #[test]
+    fn deterministic_given_rng() {
+        let a = make(HandMode::OneHanded, &[true; 4], 5);
+        let b = make(HandMode::OneHanded, &[true; 4], 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accel_optional() {
+        let s = Subject::sample(9, 1);
+        let pin = Pin::new("5094").unwrap();
+        let session = SessionConfig {
+            include_accel: false,
+            ..Default::default()
+        };
+        let rec = synthesize_entry(
+            EntrySpec {
+                typist: &s,
+                cadence: &s,
+                mode: HandMode::OneHanded,
+            },
+            &pin,
+            &[true; 4],
+            &standard_layout(2),
+            &session,
+            &mut rng_for(6, &[]),
+        );
+        assert!(rec.accel.is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! Simulated subjects: the per-user physiological and behavioural
+//! parameters that make keystroke-induced PPG measurements
+//! person-specific.
+
+use crate::rng::{normal, rng_for};
+use p2auth_core::types::UserId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-key artifact response of one subject: how tapping a specific key
+/// deforms this person's wrist vasculature (the paper's Fig. 3 shows
+/// these per-key patterns for one volunteer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyResponse {
+    /// Amplitude multiplier of the oscillatory artifact component.
+    pub gain: f64,
+    /// Multiplier on the subject's base artifact frequency.
+    pub freq_mod: f64,
+    /// Multiplier on the damping rate.
+    pub damping_mod: f64,
+    /// Phase offset of the oscillation (radians).
+    pub phase: f64,
+    /// Amplitude of the slower "pressure" lobe relative to the
+    /// oscillation amplitude (negative: blood is squeezed out).
+    pub second_lobe: f64,
+    /// Delay of the pressure lobe after artifact onset (seconds).
+    pub second_delay_s: f64,
+    /// Key-specific addition to the artifact latency (seconds).
+    pub latency_s: f64,
+}
+
+/// A simulated volunteer: pulse morphology, keystroke-artifact
+/// physiology, per-key responses and typing habits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subject {
+    /// Identity within the population.
+    pub id: UserId,
+    // --- cardiac -----------------------------------------------------
+    /// Heart rate (Hz, beats per second).
+    pub heart_rate_hz: f64,
+    /// Relative beat-to-beat period jitter (heart-rate variability).
+    pub hrv_sigma: f64,
+    /// Systolic lobe amplitude (the unit of the amplitude budget).
+    pub sys_amp: f64,
+    /// Systolic lobe width (seconds).
+    pub sys_width_s: f64,
+    /// Dicrotic lobe amplitude.
+    pub dic_amp: f64,
+    /// Dicrotic delay after the systolic peak (seconds).
+    pub dic_delay_s: f64,
+    /// Dicrotic lobe width (seconds).
+    pub dic_width_s: f64,
+    /// Respiration frequency (Hz).
+    pub resp_freq_hz: f64,
+    /// Respiratory amplitude modulation depth.
+    pub resp_amp: f64,
+    // --- keystroke artifact physiology -------------------------------
+    /// Base artifact amplitude relative to the systolic amplitude
+    /// (keystrokes "produce more pronounced peaks or troughs ... than
+    /// the heartbeat", paper §III-B).
+    pub artifact_gain: f64,
+    /// Base oscillation frequency of the artifact (Hz).
+    pub artifact_freq_hz: f64,
+    /// Exponential damping rate (1/s).
+    pub artifact_damping: f64,
+    /// Neuromuscular latency from touch to vascular response (seconds).
+    pub artifact_latency_s: f64,
+    /// Behavioural stability: per-event multiplicative jitter sigma.
+    /// Small for the paper's "stable" volunteers (e.g. volunteer 8),
+    /// large for those whose "additional actions introduce ... noise"
+    /// (volunteer 11).
+    pub stability_sigma: f64,
+    /// Rate (events/second) of spurious non-keystroke wrist motions.
+    pub extra_motion_rate_hz: f64,
+    /// Per-key artifact responses, indexed by digit.
+    pub key_responses: [KeyResponse; 10],
+    // --- typing behaviour --------------------------------------------
+    /// Habitual inter-keystroke interval (seconds; paper average 1.1 s).
+    pub inter_key_s: f64,
+    /// Inter-keystroke timing jitter (seconds).
+    pub inter_key_jitter_s: f64,
+    /// Watch-side reach boundary for two-handed typing (see
+    /// [`crate::layout::watch_hand_presses`]).
+    pub two_hand_boundary: f64,
+    /// Accelerometer artifact scale (wrist stays nearly still while
+    /// typing, so this is small — the basis of the paper's Fig. 12).
+    pub accel_artifact_scale: f64,
+    /// Habitual axis mix of the keystroke micro-motion. The ranges are
+    /// deliberately narrow and overlapping across subjects: wrist
+    /// micro-motion carries far less identity than vasculature, which
+    /// is why accelerometer-based authentication resists attacks worse.
+    pub accel_mix: [f64; 3],
+    /// Dominant frequency of the accel transient (Hz).
+    pub accel_freq_hz: f64,
+    /// Damping of the accel transient (1/s).
+    pub accel_damping: f64,
+}
+
+impl Subject {
+    /// Samples a subject deterministically from `(population_seed,
+    /// index)`.
+    pub fn sample(population_seed: u64, index: u32) -> Self {
+        let mut rng = rng_for(population_seed, &[0x5b_1ec7, index as u64]);
+        let key_responses = core::array::from_fn(|_| sample_key_response(&mut rng));
+        Self {
+            id: UserId(index),
+            heart_rate_hz: rng.gen_range(0.95..1.55),
+            hrv_sigma: rng.gen_range(0.01..0.05),
+            sys_amp: 1.0,
+            sys_width_s: rng.gen_range(0.08..0.13),
+            dic_amp: rng.gen_range(0.15..0.45),
+            dic_delay_s: rng.gen_range(0.24..0.38),
+            dic_width_s: rng.gen_range(0.10..0.17),
+            resp_freq_hz: rng.gen_range(0.18..0.35),
+            resp_amp: rng.gen_range(0.03..0.10),
+            artifact_gain: rng.gen_range(1.6..3.2),
+            artifact_freq_hz: rng.gen_range(2.5..8.0),
+            artifact_damping: rng.gen_range(5.0..12.0),
+            artifact_latency_s: rng.gen_range(0.02..0.07),
+            stability_sigma: rng.gen_range(0.04..0.16),
+            extra_motion_rate_hz: rng.gen_range(0.0..0.10),
+            key_responses,
+            inter_key_s: normal(&mut rng, 1.1, 0.12).clamp(0.8, 1.5),
+            inter_key_jitter_s: rng.gen_range(0.03..0.10),
+            two_hand_boundary: rng.gen_range(0.45..0.80),
+            accel_artifact_scale: rng.gen_range(0.12..0.35),
+            accel_mix: [
+                rng.gen_range(0.3..1.0),
+                rng.gen_range(0.3..1.0),
+                rng.gen_range(0.05..0.35),
+            ],
+            accel_freq_hz: rng.gen_range(4.0..10.0),
+            accel_damping: rng.gen_range(8.0..16.0),
+        }
+    }
+
+    /// The per-key response for `digit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 9`.
+    pub fn key_response(&self, digit: u8) -> &KeyResponse {
+        &self.key_responses[usize::from(digit)]
+    }
+
+    /// Returns this subject as they present `weeks` after enrollment.
+    ///
+    /// The paper's 8-week preliminary study (§III-B) found that "the
+    /// PPG measurements maintain a consistent pattern over time,
+    /// enabling to extract robust biometric features and avoid
+    /// frequent updating" — i.e. long-term drift exists but is small.
+    /// We model it as a slow deterministic walk of the artifact
+    /// parameters (≈ 0.3 % per week on gain/frequency, slight typing-
+    /// rhythm drift), far below the inter-user separation.
+    pub fn aged(&self, weeks: f64) -> Subject {
+        assert!(
+            weeks >= 0.0 && weeks.is_finite(),
+            "weeks must be non-negative"
+        );
+        let mut out = self.clone();
+        // Deterministic per-subject drift directions derived from the
+        // identity, so ageing is reproducible.
+        let mut rng = rng_for(self.id.0 as u64, &[0xa6ed]);
+        let dir = |rng: &mut StdRng| rng.gen_range(-1.0_f64..1.0);
+        let rate = 0.003; // ≈0.3 % per week
+        out.artifact_gain *= 1.0 + rate * weeks * dir(&mut rng);
+        out.artifact_freq_hz *= 1.0 + rate * weeks * dir(&mut rng);
+        out.artifact_damping *= 1.0 + rate * weeks * dir(&mut rng);
+        out.inter_key_s = (out.inter_key_s + 0.004 * weeks * dir(&mut rng)).clamp(0.8, 1.5);
+        out.heart_rate_hz =
+            (out.heart_rate_hz * (1.0 + 0.002 * weeks * dir(&mut rng))).clamp(0.9, 1.6);
+        out
+    }
+}
+
+fn sample_key_response(rng: &mut StdRng) -> KeyResponse {
+    KeyResponse {
+        gain: rng.gen_range(0.65..1.55),
+        freq_mod: rng.gen_range(0.78..1.25),
+        damping_mod: rng.gen_range(0.75..1.30),
+        phase: rng.gen_range(0.0..std::f64::consts::TAU),
+        second_lobe: -rng.gen_range(0.25..0.85),
+        second_delay_s: rng.gen_range(0.10..0.22),
+        latency_s: rng.gen_range(0.0..0.04),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        assert_eq!(Subject::sample(7, 3), Subject::sample(7, 3));
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let a = Subject::sample(7, 0);
+        let b = Subject::sample(7, 1);
+        assert_ne!(a, b);
+        assert_ne!(a.artifact_freq_hz, b.artifact_freq_hz);
+    }
+
+    #[test]
+    fn parameters_in_physiological_ranges() {
+        for i in 0..50 {
+            let s = Subject::sample(99, i);
+            assert!(
+                (0.9..1.6).contains(&s.heart_rate_hz),
+                "HR {}",
+                s.heart_rate_hz
+            );
+            assert!(
+                s.artifact_gain > 1.0,
+                "artifacts must exceed pulse amplitude"
+            );
+            assert!((0.8..=1.5).contains(&s.inter_key_s));
+            assert!(s.key_responses.iter().all(|k| k.gain > 0.0));
+            assert!(s.key_responses.iter().all(|k| k.second_lobe < 0.0));
+        }
+    }
+
+    #[test]
+    fn per_key_responses_differ_within_subject() {
+        let s = Subject::sample(11, 0);
+        let r1 = s.key_response(1);
+        let r9 = s.key_response(9);
+        assert!((r1.gain - r9.gain).abs() > 1e-6 || (r1.freq_mod - r9.freq_mod).abs() > 1e-6);
+    }
+}

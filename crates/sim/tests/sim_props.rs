@@ -1,0 +1,95 @@
+//! Property tests for the simulator: every recording it produces, for
+//! any PIN / mode / nonce / layout, must satisfy the structural
+//! invariants the pipeline relies on.
+
+use p2auth_core::types::{HandMode, Pin};
+use p2auth_sim::channel::standard_layout;
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+use proptest::prelude::*;
+
+fn arb_pin() -> impl Strategy<Value = Pin> {
+    prop::collection::vec(0_u8..10, 4..=6).prop_map(|ds| {
+        let s: String = ds.iter().map(|d| char::from(b'0' + d)).collect();
+        Pin::new(&s).expect("digits form a valid PIN")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_entry_is_structurally_valid(
+        pin in arb_pin(),
+        user in 0_usize..4,
+        nonce in 0_u64..1000,
+        one_handed in any::<bool>(),
+        channels in 1_usize..=6,
+        seed in any::<u64>(),
+    ) {
+        let pop = Population::generate(&PopulationConfig {
+            num_users: 4,
+            seed,
+            channels: standard_layout(channels),
+        });
+        let mode = if one_handed { HandMode::OneHanded } else { HandMode::TwoHanded };
+        let rec = pop.record_entry(user, &pin, mode, &SessionConfig::default(), nonce);
+        prop_assert_eq!(rec.validate(), Ok(()));
+        prop_assert_eq!(rec.num_channels(), channels);
+        prop_assert_eq!(rec.pin_entered.clone(), pin);
+        // Keystroke times strictly increasing.
+        for w in rec.true_key_times.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // One-handed: every keystroke by the watch hand.
+        if one_handed {
+            prop_assert!(rec.watch_hand.iter().all(|&b| b));
+        } else {
+            let count = rec.watch_hand.iter().filter(|&&b| b).count();
+            prop_assert!(count >= 2 && count < rec.watch_hand.len().max(3));
+        }
+        // Finite samples everywhere.
+        for c in &rec.ppg {
+            prop_assert!(c.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn recordings_are_deterministic_in_all_inputs(
+        pin in arb_pin(),
+        nonce in 0_u64..100,
+        seed in any::<u64>(),
+    ) {
+        let cfg = PopulationConfig { num_users: 2, seed, ..Default::default() };
+        let a = Population::generate(&cfg)
+            .record_entry(0, &pin, HandMode::OneHanded, &SessionConfig::default(), nonce);
+        let b = Population::generate(&cfg)
+            .record_entry(0, &pin, HandMode::OneHanded, &SessionConfig::default(), nonce);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resampled_recordings_stay_valid(
+        rate in 20.0_f64..120.0,
+        nonce in 0_u64..50,
+    ) {
+        let pop = Population::generate(&PopulationConfig { num_users: 2, seed: 9, ..Default::default() });
+        let pin = Pin::new("1628").expect("valid");
+        let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &SessionConfig::default(), nonce);
+        let res = rec.resample(rate);
+        prop_assert_eq!(res.validate(), Ok(()));
+        prop_assert!((res.duration_s() - rec.duration_s()).abs() < 0.2);
+    }
+
+    #[test]
+    fn emulating_attack_keeps_victim_pin_and_split_shape(
+        pin in arb_pin(),
+        nonce in 0_u64..50,
+        seed in any::<u64>(),
+    ) {
+        let pop = Population::generate(&PopulationConfig { num_users: 3, seed, ..Default::default() });
+        let atk = pop.record_emulating_attack(1, 0, &pin, HandMode::TwoHanded, &SessionConfig::default(), nonce);
+        prop_assert_eq!(atk.validate(), Ok(()));
+        prop_assert_eq!(atk.pin_entered, pin);
+        prop_assert_eq!(atk.user.0, 1, "attack recording labelled with the attacker");
+    }
+}

@@ -1,0 +1,82 @@
+//! Attack evaluation over a whole cohort: random attacks (attackers
+//! typing the victim's PIN in their own style) and emulating attacks
+//! (imitated rhythm and hand split), reported per victim — the paper's
+//! §V-C "performance against two types of attacks".
+//!
+//! Run with `cargo run --release --example attack_evaluation [users]`.
+
+use p2auth::core::{P2Auth, P2AuthConfig, Pin};
+use p2auth::ml::metrics::ConfusionCounts;
+use p2auth::sim::{HandMode, Population, PopulationConfig, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let users: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        ..Default::default()
+    });
+    let pin = Pin::new("5094")?;
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::default());
+
+    let mut totals = ConfusionCounts::default();
+    println!("victim  accuracy  trr_random  trr_emulating");
+    for victim in 0..pop.num_users() {
+        let enroll: Vec<_> = (0..9)
+            .map(|i| pop.record_entry(victim, &pin, HandMode::OneHanded, &session, i))
+            .collect();
+        let third: Vec<_> = (0..60)
+            .map(|i| {
+                // Third parties: everyone except the victim and the two
+                // designated attackers.
+                let mut u = (victim + 3 + i % (pop.num_users() - 3)) % pop.num_users();
+                if u == victim {
+                    u = (u + 3) % pop.num_users();
+                }
+                pop.record_entry(u, &pin, HandMode::OneHanded, &session, 2000 + i as u64)
+            })
+            .collect();
+        let profile = system.enroll(&pin, &enroll, &third)?;
+
+        let mut counts = ConfusionCounts::default();
+        for n in 0..10_u64 {
+            let a = pop.record_entry(victim, &pin, HandMode::OneHanded, &session, 500 + n);
+            counts.record(system.authenticate(&profile, &pin, &a)?.accepted, true);
+        }
+        let mut ra = ConfusionCounts::default();
+        let mut ea = ConfusionCounts::default();
+        for n in 0..10_u64 {
+            let attacker = (victim + 1 + (n as usize % 2)) % pop.num_users();
+            let r = pop.record_entry(attacker, &pin, HandMode::OneHanded, &session, 700 + n);
+            ra.record(system.authenticate(&profile, &pin, &r)?.accepted, false);
+            let e = pop.record_emulating_attack(
+                attacker,
+                victim,
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                n,
+            );
+            ea.record(system.authenticate(&profile, &pin, &e)?.accepted, false);
+        }
+        println!(
+            "{victim:>6}  {:>8.2}  {:>10.2}  {:>13.2}",
+            counts.authentication_accuracy().unwrap_or(0.0),
+            ra.true_rejection_rate().unwrap_or(0.0),
+            ea.true_rejection_rate().unwrap_or(0.0),
+        );
+        totals.merge(&counts);
+        totals.merge(&ra);
+        totals.merge(&ea);
+    }
+    println!(
+        "\noverall: accuracy {:.3}, TRR {:.3} over {} decisions",
+        totals.authentication_accuracy().unwrap_or(0.0),
+        totals.true_rejection_rate().unwrap_or(0.0),
+        totals.total()
+    );
+    Ok(())
+}

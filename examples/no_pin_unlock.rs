@@ -1,0 +1,65 @@
+//! No-PIN unlocking (paper §IV-B 2.6): the user never sets a fixed
+//! PIN; whatever digits they type, the per-key keystroke-induced PPG
+//! patterns alone decide — "overcoming the problem of PIN losing and
+//! effectively preventing emulating attacks".
+//!
+//! Run with `cargo run --release --example no_pin_unlock`.
+
+use p2auth::core::{P2Auth, P2AuthConfig, Pin, PinPolicy};
+use p2auth::sim::{HandMode, Population, PopulationConfig, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 8,
+        seed: 11,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let config = P2AuthConfig {
+        pin_policy: PinPolicy::NoPinAllowed,
+        ..P2AuthConfig::default()
+    };
+    let system = P2Auth::new(config);
+
+    // Enrollment without a fixed PIN: the user types *random* digit
+    // sequences; every detected keystroke trains that digit's model.
+    let enroll: Vec<_> = (0..14)
+        .map(|i| pop.record_random_entry(0, HandMode::OneHanded, &session, i))
+        .collect();
+    let third_party: Vec<_> = (0..50)
+        .map(|i| {
+            pop.record_random_entry(1 + (i % 7), HandMode::OneHanded, &session, 900 + i as u64)
+        })
+        .collect();
+    let profile = system.enroll_no_pin(&enroll, &third_party)?;
+    println!(
+        "enrolled without a PIN; per-key models for digits {:?}",
+        profile.enrolled_keys()
+    );
+
+    // The user unlocks by typing anything composed of enrolled digits.
+    let mut accepted = 0;
+    let trials = 10;
+    for n in 0..trials {
+        let attempt = pop.record_random_entry(0, HandMode::OneHanded, &session, 400 + n);
+        let d = system.authenticate_no_pin(&profile, &attempt)?;
+        if d.accepted {
+            accepted += 1;
+        }
+    }
+    println!("legitimate random entries accepted: {accepted}/{trials}");
+
+    // An attacker who watched the user type a sequence gains nothing:
+    // there is no PIN to steal, and their keystroke patterns differ.
+    let observed = Pin::new("7412")?;
+    let mut rejected = 0;
+    for n in 0..trials {
+        let attack = pop.record_emulating_attack(2, 0, &observed, HandMode::OneHanded, &session, n);
+        let d = system.authenticate_no_pin(&profile, &attack)?;
+        if !d.accepted {
+            rejected += 1;
+        }
+    }
+    println!("emulating attacks rejected:         {rejected}/{trials}");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Profile persistence: a deployed P²Auth stores the enrolled models on
+//! the device and reloads them at unlock time instead of re-enrolling.
+//! `UserProfile` implements Serde's traits, so any format works; this
+//! example uses JSON.
+//!
+//! Run with `cargo run --release --example profile_persistence`.
+
+use p2auth::core::{P2Auth, P2AuthConfig, Pin, UserProfile};
+use p2auth::sim::{HandMode, Population, PopulationConfig, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 8,
+        seed: 21,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628")?;
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::default());
+
+    // Enroll once...
+    let enroll: Vec<_> = (0..9)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..40)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i % 7),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                700 + i as u64,
+            )
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third)?;
+
+    // ...persist to disk...
+    let path = std::env::temp_dir().join("p2auth_profile.json");
+    let json = serde_json::to_vec(&profile)?;
+    std::fs::write(&path, &json)?;
+    println!(
+        "profile stored at {} ({} KiB)",
+        path.display(),
+        json.len() / 1024
+    );
+
+    // ...and reload in a "later session".
+    let restored: UserProfile = serde_json::from_slice(&std::fs::read(&path)?)?;
+    let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 99);
+    let before = system.authenticate(&profile, &pin, &attempt)?;
+    let after = system.authenticate(&restored, &pin, &attempt)?;
+    println!(
+        "fresh profile: accepted={} score={:+.4}",
+        before.accepted, before.score
+    );
+    println!(
+        "restored:      accepted={} score={:+.4} (identical: {})",
+        after.accepted,
+        after.score,
+        before == after
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: enroll one user and authenticate them.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use p2auth::core::{P2Auth, P2AuthConfig, Pin};
+use p2auth::sim::{HandMode, Population, PopulationConfig, SessionConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small simulated cohort stands in for the paper's volunteers;
+    // user 0 is "us", the others supply third-party training data.
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 8,
+        seed: 42,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628")?;
+    let session = SessionConfig::default();
+
+    // Enrollment: the paper asks the user to enter the PIN ~9 times.
+    let enroll: Vec<_> = (0..9)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    // Third-party pool: other people's entries stored for training.
+    let third_party: Vec<_> = (0..40)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i % 7),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                1000 + i as u64,
+            )
+        })
+        .collect();
+
+    let system = P2Auth::new(P2AuthConfig::default());
+    let profile = system.enroll(&pin, &enroll, &third_party)?;
+    println!(
+        "enrolled: full-waveform model = {}, per-key models for digits {:?}",
+        profile.has_full_model(),
+        profile.enrolled_keys()
+    );
+
+    // A legitimate attempt.
+    let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 99);
+    let decision = system.authenticate(&profile, &pin, &attempt)?;
+    println!(
+        "legitimate attempt: accepted = {}, case = {:?}, score = {:+.3}",
+        decision.accepted, decision.case, decision.score
+    );
+
+    // Someone else typing the same (stolen) PIN.
+    let attack = pop.record_emulating_attack(3, 0, &pin, HandMode::OneHanded, &session, 7);
+    let decision = system.authenticate(&profile, &pin, &attack)?;
+    println!(
+        "emulating attack:   accepted = {}, reason = {:?}, score = {:+.3}",
+        decision.accepted, decision.reason, decision.score
+    );
+
+    // The wrong PIN never reaches the biometric stage.
+    let wrong = Pin::new("0000")?;
+    let typo = pop.record_entry(0, &wrong, HandMode::OneHanded, &session, 5);
+    let decision = system.authenticate(&profile, &wrong, &typo)?;
+    println!(
+        "wrong PIN:          accepted = {}, reason = {:?}",
+        decision.accepted, decision.reason
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # P²Auth — PIN + keystroke-induced PPG two-factor authentication
+//!
+//! Facade crate for the reproduction of *P²Auth: Two-Factor
+//! Authentication Leveraging PIN and Keystroke-Induced PPG Measurements*
+//! (Su et al., IEEE ICDCS 2023). It re-exports every subsystem so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`core`] — the authentication pipeline (the paper's contribution),
+//! * [`sim`] — the physiological PPG/keystroke simulator standing in for
+//!   the paper's wearable prototype and volunteer cohort,
+//! * [`device`] — the virtual wearable acquisition link,
+//! * [`dsp`], [`rocket`], [`ml`] — the signal-processing, MiniRocket and
+//!   machine-learning substrates,
+//! * [`baseline`] — the comparison methods from the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or in short:
+//!
+//! ```
+//! use p2auth::core::{P2Auth, P2AuthConfig};
+//! use p2auth::sim::{Population, PopulationConfig, SessionConfig, HandMode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Simulated cohort standing in for the paper's 15 volunteers.
+//! let pop = Population::generate(&PopulationConfig { num_users: 3, seed: 7, ..Default::default() });
+//! let pin = p2auth::core::Pin::new("1628")?;
+//! let session = SessionConfig::default();
+//!
+//! // Collect enrollment recordings for user 0 and a third-party pool.
+//! let mut recs = Vec::new();
+//! for rep in 0..12 {
+//!     recs.push(pop.record_entry(0, &pin, HandMode::OneHanded, &session, rep as u64));
+//! }
+//! let third_party: Vec<_> = (0..30)
+//!     .map(|i| pop.record_entry(1 + (i % 2), &pin, HandMode::OneHanded, &session, 100 + i as u64))
+//!     .collect();
+//!
+//! let system = P2Auth::new(P2AuthConfig::fast());
+//! let profile = system.enroll(&pin, &recs, &third_party)?;
+//! let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 999);
+//! let decision = system.authenticate(&profile, &pin, &attempt)?;
+//! println!("accepted: {}", decision.accepted);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use p2auth_baseline as baseline;
+pub use p2auth_core as core;
+pub use p2auth_device as device;
+pub use p2auth_dsp as dsp;
+pub use p2auth_ml as ml;
+pub use p2auth_rocket as rocket;
+pub use p2auth_sim as sim;

@@ -1,0 +1,130 @@
+//! Integration tests over the experiment harness itself: the datasets
+//! every figure is computed from must be deterministic, disjoint in
+//! identity, and structurally consistent.
+
+use p2auth::sim::{Population, PopulationConfig, SessionConfig};
+use p2auth_bench::harness::{build_dataset, identity_split, paper_pins, ProtocolConfig};
+
+fn pop() -> Population {
+    Population::generate(&PopulationConfig {
+        num_users: 15,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn datasets_are_deterministic() {
+    let pop = pop();
+    let pin = &paper_pins()[0];
+    let session = SessionConfig::default();
+    let proto = ProtocolConfig::default();
+    let a = build_dataset(&pop, 3, pin, &session, &proto);
+    let b = build_dataset(&pop, 3, pin, &session, &proto);
+    assert_eq!(a.enroll, b.enroll);
+    assert_eq!(a.third_party, b.third_party);
+    assert_eq!(a.ea_double2, b.ea_double2);
+}
+
+#[test]
+fn protocol_counts_respected() {
+    let pop = pop();
+    let pin = &paper_pins()[1];
+    let proto = ProtocolConfig {
+        n_enroll: 7,
+        n_third_party: 33,
+        n_legit: 5,
+        n_attacks: 9,
+    };
+    let data = build_dataset(&pop, 0, pin, &SessionConfig::default(), &proto);
+    assert_eq!(data.enroll.len(), 7);
+    assert_eq!(data.third_party.len(), 33);
+    assert_eq!(data.legit_one.len(), 5);
+    assert_eq!(data.legit_double3.len(), 5);
+    assert_eq!(data.ra_one.len(), 9);
+    assert_eq!(data.ea_double2.len(), 9);
+}
+
+#[test]
+fn identity_roles_are_disjoint() {
+    let pop = pop();
+    let pin = &paper_pins()[0];
+    let victim = 4;
+    let (attackers, third_users) = identity_split(victim, pop.num_users());
+    let data = build_dataset(
+        &pop,
+        victim,
+        pin,
+        &SessionConfig::default(),
+        &ProtocolConfig::default(),
+    );
+    // Enrollment and legit traffic belong to the victim.
+    for rec in data.enroll.iter().chain(&data.legit_one) {
+        assert_eq!(rec.user.0 as usize, victim);
+    }
+    // Third-party recordings come only from third-party identities.
+    for rec in &data.third_party {
+        let u = rec.user.0 as usize;
+        assert!(
+            third_users.contains(&u),
+            "third-party rec from non-third user {u}"
+        );
+        assert!(!attackers.contains(&u));
+        assert_ne!(u, victim);
+    }
+    // Attack traffic comes only from attacker identities.
+    for rec in data
+        .ra_one
+        .iter()
+        .chain(&data.ea_one)
+        .chain(&data.ea_double3)
+    {
+        let u = rec.user.0 as usize;
+        assert!(attackers.contains(&u), "attack rec from non-attacker {u}");
+    }
+}
+
+#[test]
+fn double_cases_have_exact_watch_counts() {
+    let pop = pop();
+    let pin = &paper_pins()[2];
+    let data = build_dataset(
+        &pop,
+        1,
+        pin,
+        &SessionConfig::default(),
+        &ProtocolConfig::default(),
+    );
+    for rec in &data.legit_double3 {
+        assert_eq!(rec.watch_hand.iter().filter(|&&b| b).count(), 3);
+    }
+    for rec in data.legit_double2.iter().chain(&data.ea_double2) {
+        assert_eq!(rec.watch_hand.iter().filter(|&&b| b).count(), 2);
+    }
+}
+
+#[test]
+fn every_recording_validates() {
+    let pop = pop();
+    let pin = &paper_pins()[3];
+    let data = build_dataset(
+        &pop,
+        2,
+        pin,
+        &SessionConfig::default(),
+        &ProtocolConfig::default(),
+    );
+    let all = data
+        .enroll
+        .iter()
+        .chain(&data.third_party)
+        .chain(&data.legit_one)
+        .chain(&data.legit_double3)
+        .chain(&data.legit_double2)
+        .chain(&data.ra_one)
+        .chain(&data.ea_one)
+        .chain(&data.ea_double3)
+        .chain(&data.ea_double2);
+    for rec in all {
+        assert_eq!(rec.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: simulator → (virtual device link) →
+//! authentication pipeline.
+
+use p2auth::core::{HandMode, P2Auth, P2AuthConfig, Pin};
+use p2auth::device::clock::VirtualClock;
+use p2auth::device::host::transmit;
+use p2auth::device::{Link, LinkConfig, WearableDevice};
+use p2auth::sim::{Population, PopulationConfig, SessionConfig};
+
+fn population(seed: u64) -> Population {
+    Population::generate(&PopulationConfig {
+        num_users: 8,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn device_streamed_recordings_authenticate_like_direct_ones() {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 10,
+        seed: 301,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628").unwrap();
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::default());
+
+    let device = WearableDevice::new(VirtualClock::new(1.0, 60.0));
+    let mut data_link = Link::new(LinkConfig::default());
+    let mut key_link = Link::new(LinkConfig {
+        seed: 9,
+        ..LinkConfig::default()
+    });
+    let mut stream = |rec: &p2auth::core::Recording| {
+        transmit(rec, &device, &mut data_link, &mut key_link).unwrap()
+    };
+
+    // User 0 enrolls; user 3 attacks; the rest are third parties.
+    let third_users = [1_usize, 2, 4, 5, 6, 7, 8, 9];
+    let enroll: Vec<_> = (0..9)
+        .map(|i| stream(&pop.record_entry(0, &pin, HandMode::OneHanded, &session, i)))
+        .collect();
+    let third: Vec<_> = (0..40)
+        .map(|i| {
+            let u = third_users[i as usize % third_users.len()];
+            stream(&pop.record_entry(u, &pin, HandMode::OneHanded, &session, 500 + i))
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third).unwrap();
+
+    let mut ok = 0;
+    for n in 0..6_u64 {
+        let attempt = stream(&pop.record_entry(0, &pin, HandMode::OneHanded, &session, 900 + n));
+        if system
+            .authenticate(&profile, &pin, &attempt)
+            .unwrap()
+            .accepted
+        {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 4, "streamed legitimate attempts accepted {ok}/6");
+
+    let mut rejected = 0;
+    for n in 0..6_u64 {
+        let attack =
+            stream(&pop.record_emulating_attack(3, 0, &pin, HandMode::OneHanded, &session, n));
+        if !system
+            .authenticate(&profile, &pin, &attack)
+            .unwrap()
+            .accepted
+        {
+            rejected += 1;
+        }
+    }
+    assert!(rejected >= 5, "streamed attacks rejected {rejected}/6");
+}
+
+#[test]
+fn whole_flow_is_deterministic() {
+    let pin = Pin::new("5094").unwrap();
+    let session = SessionConfig::default();
+    let run = || {
+        let pop = population(302);
+        let system = P2Auth::new(P2AuthConfig::fast());
+        let enroll: Vec<_> = (0..6)
+            .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+            .collect();
+        let third: Vec<_> = (0..18)
+            .map(|i| {
+                pop.record_entry(
+                    1 + (i as usize % 7),
+                    &pin,
+                    HandMode::OneHanded,
+                    &session,
+                    200 + i,
+                )
+            })
+            .collect();
+        let profile = system.enroll(&pin, &enroll, &third).unwrap();
+        let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 999);
+        system.authenticate(&profile, &pin, &attempt).unwrap().score
+    };
+    assert_eq!(run(), run(), "same seeds must give bit-identical decisions");
+}
+
+#[test]
+fn profile_accepts_resampled_attempts() {
+    // The profile is trained at 100 Hz; an attempt arriving at 50 Hz is
+    // resampled internally rather than rejected.
+    let pop = population(303);
+    let pin = Pin::new("7412").unwrap();
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<_> = (0..8)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..16)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 7),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                600 + i,
+            )
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third).unwrap();
+    let attempt = pop
+        .record_entry(0, &pin, HandMode::OneHanded, &session, 77)
+        .resample(50.0);
+    let d = system.authenticate(&profile, &pin, &attempt).unwrap();
+    // The decision completes without error; acceptance depends on how
+    // much the decimation hurt, which is the subject of Fig. 16.
+    assert!(d.score.is_finite());
+}
+
+#[test]
+fn channel_count_mismatch_is_an_error_not_a_rejection() {
+    let pop = population(304);
+    let pin = Pin::new("3570").unwrap();
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 7),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                300 + i,
+            )
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third).unwrap();
+    let attempt = pop
+        .record_entry(0, &pin, HandMode::OneHanded, &session, 50)
+        .select_channels(&[0, 1]);
+    assert!(system.authenticate(&profile, &pin, &attempt).is_err());
+}
+
+#[test]
+fn baselines_run_on_the_same_recordings() {
+    use p2auth::baseline::accel_auth::{authenticate_accel, enroll_accel, AccelAuthConfig};
+    use p2auth::baseline::manual::{authenticate_manual, enroll_manual, ManualConfig};
+    use p2auth::rocket::MiniRocketConfig;
+
+    let pop = population(305);
+    let pin = Pin::new("6938").unwrap();
+    let session = SessionConfig::default();
+    let enroll: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 7),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                400 + i,
+            )
+        })
+        .collect();
+    let attempt = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 88);
+
+    let manual_cfg = ManualConfig::default();
+    let mp = enroll_manual(&manual_cfg, &enroll).unwrap();
+    let md = authenticate_manual(&manual_cfg, &mp, &attempt).unwrap();
+    assert!(md.score.is_finite());
+
+    let accel_cfg = AccelAuthConfig {
+        rocket: MiniRocketConfig {
+            num_features: 168,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let ap = enroll_accel(&accel_cfg, &enroll, &third).unwrap();
+    let (_, score) = authenticate_accel(&accel_cfg, &ap, &attempt).unwrap();
+    assert!(score.is_finite());
+}
