@@ -3,7 +3,7 @@
 //! model choice.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use p2auth_rocket::{MiniRocket, MiniRocketConfig, MultiSeries};
+use p2auth_rocket::{ConvScratch, MiniRocket, MiniRocketConfig, MultiSeries};
 
 fn series(len: usize, channels: usize, seed: u64) -> MultiSeries {
     let data: Vec<Vec<f64>> = (0..channels)
@@ -32,6 +32,23 @@ fn bench_rocket(c: &mut Criterion) {
             BenchmarkId::new("transform_one", format!("len{len}x{channels}ch")),
             &sample,
             |b, s| b.iter(|| rocket.transform_one(black_box(s))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new(
+                "transform_one_reused_scratch",
+                format!("len{len}x{channels}ch"),
+            ),
+            &sample,
+            |b, s| {
+                let mut scratch = ConvScratch::new(len);
+                b.iter(|| rocket.transform_one_with(black_box(s), &mut scratch))
+            },
+        );
+        let batch: Vec<MultiSeries> = (0..32).map(|s| series(len, channels, 100 + s)).collect();
+        g.bench_with_input(
+            BenchmarkId::new("transform_batch32", format!("len{len}x{channels}ch")),
+            &batch,
+            |b, batch| b.iter(|| rocket.transform(black_box(batch))),
         );
     }
     g.finish();

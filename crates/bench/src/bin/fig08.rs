@@ -8,10 +8,9 @@
 //! (the paper's figure shows 12 volunteers).
 
 use p2auth_bench::harness::{
-    build_dataset, evaluate_case, mean, paper_pins, print_header, print_row, try_enroll, users_arg,
-    ProtocolConfig,
+    evaluate_users, mean, paper_pins, print_header, print_row, users_arg, ProtocolConfig,
 };
-use p2auth_core::{P2Auth, P2AuthConfig};
+use p2auth_core::P2AuthConfig;
 use p2auth_sim::{Population, PopulationConfig, SessionConfig};
 
 fn main() {
@@ -36,22 +35,12 @@ fn main() {
         "trr_emulating",
         "stability_sigma",
     ]);
+    // All volunteers are enrolled and evaluated in parallel; rows come
+    // back sorted by user index, so the table is printed as before.
+    let results = evaluate_users(&pop, pin, &session, &proto, &cfg);
     let mut accs = Vec::new();
     let mut trrs = Vec::new();
-    for user in 0..pop.num_users() {
-        let data = build_dataset(&pop, user, pin, &session, &proto);
-        let Some(profile) = try_enroll(&cfg, pin, &data) else {
-            continue;
-        };
-        let system = P2Auth::new(cfg.clone());
-        let s = evaluate_case(
-            &system,
-            &profile,
-            pin,
-            &data.legit_one,
-            &data.ra_one,
-            &data.ea_one,
-        );
+    for (user, s) in &results {
         accs.push(s.accuracy);
         trrs.push(0.5 * (s.trr_random + s.trr_emulating));
         print_row(&[
@@ -59,7 +48,7 @@ fn main() {
             format!("{:.3}", s.accuracy),
             format!("{:.3}", s.trr_random),
             format!("{:.3}", s.trr_emulating),
-            format!("{:.3}", pop.subject(user).stability_sigma),
+            format!("{:.3}", pop.subject(*user).stability_sigma),
         ]);
     }
     println!();

@@ -1,0 +1,157 @@
+//! MiniRocket throughput benchmark at the paper's operating point:
+//! 0.9 s keystroke windows at 100 Hz (90 samples), 2 PPG channels,
+//! 840 output features, one model per key of the 10-key PIN pad
+//! (paper §IV-B). Measures
+//!
+//! * `fit` cost per PIN-pad key (the enrollment-time unit of work),
+//! * batch transform throughput three ways: serial with a fresh
+//!   scratch per call (the pre-refactor API cost), serial with a
+//!   reused [`ConvScratch`], and the data-parallel batch
+//!   [`MiniRocket::transform`],
+//!
+//! and writes the results to `BENCH_rocket.json` in the current
+//! directory (run from the repo root to place it there).
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin rocket_bench`
+
+use std::time::Instant;
+
+use p2auth_rocket::{ConvScratch, MiniRocket, MiniRocketConfig, MultiSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 0.9 s keystroke-centred window at the paper's 100 Hz PPG rate.
+const WINDOW: usize = 90;
+/// The watch exposes two usable PPG channels (green + infrared).
+const CHANNELS: usize = 2;
+/// Feature budget used throughout the reproduction.
+const NUM_FEATURES: usize = 840;
+/// One wave model per key of the PIN pad.
+const KEYS: usize = 10;
+/// 9 enrollment entries + ~40 third-party segments per key.
+const TRAIN_PER_KEY: usize = 49;
+/// Batch size for the transform throughput measurement.
+const BATCH: usize = 512;
+/// Timing repetitions; the best (minimum) time is reported.
+const REPS: usize = 5;
+
+/// Synthetic PPG-like segment: slow pulse wave plus a dicrotic-notch
+/// harmonic and measurement noise. The exact shape does not matter for
+/// throughput — only the `(len, channels)` dimensions do.
+fn synth_series(rng: &mut StdRng) -> MultiSeries {
+    let tau = std::f64::consts::TAU;
+    let channels: Vec<Vec<f64>> = (0..CHANNELS)
+        .map(|c| {
+            let phase: f64 = rng.gen_range(0.0..tau);
+            (0..WINDOW)
+                .map(|i| {
+                    let t = i as f64 / 100.0;
+                    (tau * 1.2 * t + phase).sin()
+                        + 0.25 * (tau * 7.0 * t + 1.3 * phase + c as f64).sin()
+                        + 0.05 * rng.gen_range(-1.0..1.0)
+                })
+                .collect()
+        })
+        .collect();
+    MultiSeries::new(channels).expect("synthetic series is well-formed")
+}
+
+/// Best-of-`REPS` wall time of `f`, in seconds. The closure returns a
+/// checksum that is accumulated into `sink` so the optimizer cannot
+/// discard the measured work.
+fn best_time(sink: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        *sink += f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let train: Vec<MultiSeries> = (0..TRAIN_PER_KEY).map(|_| synth_series(&mut rng)).collect();
+    let batch: Vec<MultiSeries> = (0..BATCH).map(|_| synth_series(&mut rng)).collect();
+    let base = MiniRocketConfig {
+        num_features: NUM_FEATURES,
+        ..MiniRocketConfig::default()
+    };
+    let threads = p2auth_par::num_threads();
+    println!(
+        "rocket_bench: window={WINDOW} channels={CHANNELS} features={NUM_FEATURES} \
+         keys={KEYS} batch={BATCH} threads={threads}"
+    );
+
+    // Enrollment cost: one fit per PIN-pad key (distinct seeds so no
+    // work can be shared between iterations).
+    let fit_start = Instant::now();
+    let mut fitted = None;
+    for key in 0..KEYS {
+        let cfg = MiniRocketConfig {
+            seed: base.seed + key as u64,
+            ..base
+        };
+        fitted = Some(MiniRocket::fit(&cfg, &train).expect("fit on synthetic training set"));
+    }
+    let fit_s_per_key = fit_start.elapsed().as_secs_f64() / KEYS as f64;
+    let rocket = fitted.expect("at least one key was fitted");
+    let dim = rocket.num_output_features();
+
+    let mut sink = 0.0;
+    let serial_fresh_s = best_time(&mut sink, || {
+        batch.iter().map(|s| rocket.transform_one(s)[0]).sum()
+    });
+    let serial_scratch_s = best_time(&mut sink, || {
+        let mut scratch = ConvScratch::new(WINDOW);
+        batch
+            .iter()
+            .map(|s| rocket.transform_one_with(s, &mut scratch)[0])
+            .sum()
+    });
+    let batch_s = best_time(&mut sink, || {
+        let m = rocket.transform(&batch);
+        m.as_slice()[0] + m.as_slice()[m.as_slice().len() - 1]
+    });
+
+    let speedup_scratch = serial_fresh_s / serial_scratch_s;
+    let speedup_batch = serial_fresh_s / batch_s;
+    let batch_series_per_s = BATCH as f64 / batch_s;
+
+    println!(
+        "fit:                     {:>10.3} ms/key",
+        fit_s_per_key * 1e3
+    );
+    println!(
+        "transform serial fresh:  {:>10.1} series/s",
+        BATCH as f64 / serial_fresh_s
+    );
+    println!(
+        "transform serial reused: {:>10.1} series/s  ({speedup_scratch:.2}x)",
+        BATCH as f64 / serial_scratch_s
+    );
+    println!(
+        "transform batch:         {:>10.1} series/s  ({speedup_batch:.2}x)",
+        batch_series_per_s
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"rocket\",\n  \"shape\": {{ \"window\": {WINDOW}, \"channels\": {CHANNELS}, \
+         \"num_features\": {dim}, \"keys\": {KEYS}, \"batch\": {BATCH} }},\n  \
+         \"threads\": {threads},\n  \
+         \"fit_ms_per_key\": {:.4},\n  \
+         \"serial_fresh_scratch_series_per_s\": {:.2},\n  \
+         \"serial_reused_scratch_series_per_s\": {:.2},\n  \
+         \"batch_series_per_s\": {:.2},\n  \
+         \"speedup_reused_scratch_vs_fresh\": {:.4},\n  \
+         \"speedup_batch_vs_serial_fresh\": {:.4}\n}}\n",
+        fit_s_per_key * 1e3,
+        BATCH as f64 / serial_fresh_s,
+        BATCH as f64 / serial_scratch_s,
+        batch_series_per_s,
+        speedup_scratch,
+        speedup_batch,
+    );
+    std::fs::write("BENCH_rocket.json", &json).expect("write BENCH_rocket.json");
+    println!("wrote BENCH_rocket.json (checksum {sink:.6e})");
+}

@@ -5,6 +5,7 @@
 
 use p2auth_core::eval::EvalOutcome;
 use p2auth_core::{P2Auth, P2AuthConfig, Pin, Recording};
+use p2auth_par::{par_map, par_map_indexed};
 use p2auth_sim::{HandMode, Population, SessionConfig};
 
 /// The five PINs used in the paper's data collection.
@@ -218,32 +219,71 @@ pub fn evaluate_case(
     ra: &[Recording],
     ea: &[Recording],
 ) -> CaseSummary {
-    let mut out = EvalOutcome::default();
-    for rec in legit {
-        let d = system
+    // The three attempt pools are independent, and `authenticate` is a
+    // pure function of `(profile, pin, rec)`, so the decisions can be
+    // computed in parallel. Metric counters are updated serially
+    // afterwards in the original order, keeping summaries identical to
+    // the sequential loop.
+    let decide = |rec: &Recording| -> bool {
+        system
             .authenticate(profile, pin, rec)
-            .expect("valid attempt");
-        out.legit.record(d.accepted, true);
+            .expect("valid attempt")
+            .accepted
+    };
+    let mut out = EvalOutcome::default();
+    for accepted in par_map(legit, decide) {
+        out.legit.record(accepted, true);
     }
     let mut ra_out = EvalOutcome::default();
-    for rec in ra {
-        let d = system
-            .authenticate(profile, pin, rec)
-            .expect("valid attempt");
-        ra_out.attacks.record(d.accepted, false);
+    for accepted in par_map(ra, decide) {
+        ra_out.attacks.record(accepted, false);
     }
     let mut ea_out = EvalOutcome::default();
-    for rec in ea {
-        let d = system
-            .authenticate(profile, pin, rec)
-            .expect("valid attempt");
-        ea_out.attacks.record(d.accepted, false);
+    for accepted in par_map(ea, decide) {
+        ea_out.attacks.record(accepted, false);
     }
     CaseSummary {
         accuracy: out.legit.authentication_accuracy().unwrap_or(0.0),
         trr_random: ra_out.attacks.true_rejection_rate().unwrap_or(1.0),
         trr_emulating: ea_out.attacks.true_rejection_rate().unwrap_or(1.0),
     }
+}
+
+/// Runs the standard one-handed case (build dataset → enroll →
+/// evaluate legit / random-attack / emulating-attack pools) for every
+/// user of the population, in parallel when the `parallel` feature of
+/// [`p2auth_par`] is enabled.
+///
+/// Returns `(user, summary)` pairs in ascending user order regardless
+/// of scheduling, so callers can print rows deterministically. Users
+/// whose enrollment fails are skipped with a warning (see
+/// [`try_enroll`]).
+pub fn evaluate_users(
+    pop: &Population,
+    pin: &Pin,
+    session: &SessionConfig,
+    proto: &ProtocolConfig,
+    config: &P2AuthConfig,
+) -> Vec<(usize, CaseSummary)> {
+    par_map_indexed(pop.num_users(), |user| {
+        let data = build_dataset(pop, user, pin, session, proto);
+        let profile = try_enroll(config, pin, &data)?;
+        let system = P2Auth::new(config.clone());
+        Some((
+            user,
+            evaluate_case(
+                &system,
+                &profile,
+                pin,
+                &data.legit_one,
+                &data.ra_one,
+                &data.ea_one,
+            ),
+        ))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Enrolls with the given config and returns the profile, or `None`

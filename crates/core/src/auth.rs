@@ -359,7 +359,11 @@ mod tests {
         let d = authenticate(&cfg, &profile, Some(&pin), &attempt).expect("runs");
         assert!(!d.accepted);
         assert_eq!(d.reason, Some(RejectReason::MissingModel));
-        assert_eq!(d.keystroke_votes.len(), 4, "one vote per detected keystroke");
+        assert_eq!(
+            d.keystroke_votes.len(),
+            4,
+            "one vote per detected keystroke"
+        );
         assert!(d.keystroke_votes.iter().all(|v| !v.passed));
     }
 
@@ -389,7 +393,10 @@ mod tests {
 
     #[test]
     fn reject_constructor_shape() {
-        let d = AuthDecision::reject(InputCase::Insufficient, RejectReason::InsufficientKeystrokes);
+        let d = AuthDecision::reject(
+            InputCase::Insufficient,
+            RejectReason::InsufficientKeystrokes,
+        );
         assert!(!d.accepted);
         assert_eq!(d.score, 0.0);
         assert!(d.keystroke_votes.is_empty());

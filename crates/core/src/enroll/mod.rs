@@ -12,6 +12,7 @@ use crate::preprocess::{self, Preprocessed};
 use crate::types::{Pin, Recording};
 use p2auth_ml::logistic::{LogisticClassifier, LogisticConfig};
 use p2auth_ml::ridge::RidgeClassifier;
+use p2auth_par::par_map;
 use p2auth_rocket::{MiniRocket, MultiSeries};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -177,26 +178,29 @@ fn train_wave_model(
     negatives: &[MultiSeries],
     kind: SingleModelKind,
 ) -> Result<WaveModel, AuthError> {
-    let mut train: Vec<MultiSeries> = Vec::with_capacity(positives.len() + negatives.len());
-    train.extend_from_slice(positives);
-    train.extend_from_slice(negatives);
+    // Borrow the training series rather than cloning them into a fresh
+    // Vec: fit/transform are generic over borrowed slices.
+    let train: Vec<&MultiSeries> = positives.iter().chain(negatives.iter()).collect();
     let rocket =
         MiniRocket::fit(rocket_config, &train).map_err(|e| AuthError::FeatureExtraction {
             detail: e.to_string(),
         })?;
-    let x: Vec<Vec<f64>> = train.iter().map(|s| rocket.transform_one(s)).collect();
+    // Batch transform: parallel over series, one contiguous feature
+    // matrix handed straight to the classifier fit.
+    let x = rocket.transform(&train);
     let mut y = vec![1_i8; positives.len()];
     y.extend(std::iter::repeat_n(-1, negatives.len()));
     let clf = match kind {
         SingleModelKind::Ridge => {
-            let c =
-                RidgeClassifier::fit(&config.ridge, &x, &y).map_err(|e| AuthError::Training {
+            let c = RidgeClassifier::fit_matrix(&config.ridge, &x, &y).map_err(|e| {
+                AuthError::Training {
                     detail: e.to_string(),
-                })?;
+                }
+            })?;
             KeyClassifier::Ridge(c)
         }
         SingleModelKind::Logistic => {
-            let c = LogisticClassifier::fit(
+            let c = LogisticClassifier::fit_matrix(
                 &LogisticConfig {
                     seed: config.seed,
                     ..LogisticConfig::default()
@@ -274,17 +278,19 @@ fn enroll_impl(
         }
     }
 
-    // Preprocess and extract everything once.
-    let mut pos = Vec::with_capacity(recordings.len());
-    for rec in recordings {
-        let pre = preprocess::preprocess(config, rec)?;
-        pos.push(extract_for_auth(config, rec, &pre));
-    }
-    let mut neg = Vec::with_capacity(third_party.len());
-    for rec in third_party {
-        let pre = preprocess::preprocess(config, rec)?;
-        neg.push(extract_for_auth(config, rec, &pre));
-    }
+    // Preprocess and extract everything once, fanning out across
+    // recordings (each is independent); the first error in recording
+    // order wins, matching the old serial early-return.
+    let pos: Vec<ExtractedWaveforms> = par_map(recordings, |rec| {
+        preprocess::preprocess(config, rec).map(|pre| extract_for_auth(config, rec, &pre))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let neg: Vec<ExtractedWaveforms> = par_map(third_party, |rec| {
+        preprocess::preprocess(config, rec).map(|pre| extract_for_auth(config, rec, &pre))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     // Full-waveform model (one-handed).
     let full_pos: Vec<MultiSeries> = pos.iter().filter_map(|e| e.full.clone()).collect();
@@ -336,28 +342,40 @@ fn enroll_impl(
             neg_any.push(s.clone());
         }
     }
-    let mut per_key = BTreeMap::new();
-    for (digit, positives) in &pos_by_key {
-        if positives.len() < 2 {
-            continue;
-        }
-        // Prefer same-key negatives; fall back to any third-party
-        // segments so a model can still be trained.
-        let negatives: &[MultiSeries] = match neg_by_key.get(digit) {
-            Some(v) if !v.is_empty() => v,
-            _ => &neg_any,
-        };
-        if negatives.is_empty() {
-            continue;
-        }
-        let model = train_wave_model(
+    // One independent model per digit: train them in parallel. Jobs are
+    // collected first (in digit order) so results and error precedence
+    // are deterministic.
+    let jobs: Vec<(u8, &[MultiSeries], &[MultiSeries])> = pos_by_key
+        .iter()
+        .filter(|(_, positives)| positives.len() >= 2)
+        .filter_map(|(digit, positives)| {
+            // Prefer same-key negatives; fall back to any third-party
+            // segments so a model can still be trained.
+            let negatives: &[MultiSeries] = match neg_by_key.get(digit) {
+                Some(v) if !v.is_empty() => v,
+                _ => &neg_any,
+            };
+            if negatives.is_empty() {
+                None
+            } else {
+                Some((*digit, positives.as_slice(), negatives))
+            }
+        })
+        .collect();
+    let trained = par_map(&jobs, |(digit, positives, negatives)| {
+        train_wave_model(
             config,
             &config.rocket,
             positives,
             negatives,
             config.single_model,
-        )?;
-        per_key.insert(*digit, model);
+        )
+        .map(|model| (*digit, model))
+    });
+    let mut per_key = BTreeMap::new();
+    for result in trained {
+        let (digit, model) = result?;
+        per_key.insert(digit, model);
     }
 
     if full.is_none() && boost.is_none() && per_key.is_empty() {

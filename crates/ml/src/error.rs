@@ -49,7 +49,11 @@ impl fmt::Display for MlError {
 impl std::error::Error for MlError {}
 
 /// Validates a labelled training set; returns the feature dimension.
-pub(crate) fn validate_training(x: &[Vec<f64>], y: &[i8]) -> Result<usize, MlError> {
+///
+/// Generic over the row representation so both `&[Vec<f64>]` and
+/// borrowed `&[&[f64]]` rows (e.g. views into a contiguous
+/// `FeatureMatrix`) validate without copying.
+pub(crate) fn validate_training<R: AsRef<[f64]>>(x: &[R], y: &[i8]) -> Result<usize, MlError> {
     if x.is_empty() {
         return Err(MlError::EmptyTrainingSet);
     }
@@ -59,12 +63,12 @@ pub(crate) fn validate_training(x: &[Vec<f64>], y: &[i8]) -> Result<usize, MlErr
             labels: y.len(),
         });
     }
-    let dim = x[0].len();
+    let dim = x[0].as_ref().len();
     for row in x {
-        if row.len() != dim {
+        if row.as_ref().len() != dim {
             return Err(MlError::DimensionMismatch {
                 expected: dim,
-                found: row.len(),
+                found: row.as_ref().len(),
             });
         }
     }

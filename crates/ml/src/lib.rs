@@ -41,3 +41,4 @@ pub mod nn;
 pub mod ridge;
 
 pub use error::MlError;
+pub use p2auth_par::FeatureMatrix;

@@ -3,6 +3,7 @@
 
 use crate::error::{validate_training, MlError};
 use crate::linalg::dot;
+use p2auth_par::FeatureMatrix;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -50,6 +51,27 @@ impl LogisticClassifier {
     /// Returns [`MlError`] for empty/ragged training data, label
     /// mismatches, or single-class labels.
     pub fn fit(config: &LogisticConfig, x: &[Vec<f64>], y: &[i8]) -> Result<Self, MlError> {
+        let rows: Vec<&[f64]> = x.iter().map(Vec::as_slice).collect();
+        Self::fit_impl(config, &rows, y)
+    }
+
+    /// Like [`LogisticClassifier::fit`], but reads feature rows directly
+    /// from a contiguous [`FeatureMatrix`] (as produced by the MiniRocket
+    /// batch transform), avoiding per-row `Vec` boxing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LogisticClassifier::fit`].
+    pub fn fit_matrix(
+        config: &LogisticConfig,
+        x: &FeatureMatrix,
+        y: &[i8],
+    ) -> Result<Self, MlError> {
+        let rows: Vec<&[f64]> = x.rows().collect();
+        Self::fit_impl(config, &rows, y)
+    }
+
+    fn fit_impl(config: &LogisticConfig, x: &[&[f64]], y: &[i8]) -> Result<Self, MlError> {
         let dim = validate_training(x, y)?;
         let n = x.len();
         let mut w = vec![0.0_f64; dim];
@@ -63,7 +85,7 @@ impl LogisticClassifier {
                 let margin = yi * (dot(&w, &x[i]) + b);
                 // dL/dmargin for logistic loss log(1 + e^{-m}).
                 let g = -yi / (1.0 + margin.exp());
-                for (wj, xj) in w.iter_mut().zip(&x[i]) {
+                for (wj, xj) in w.iter_mut().zip(x[i].iter()) {
                     *wj -= config.learning_rate * (g * xj + config.l2 * *wj);
                 }
                 b -= config.learning_rate * g;
@@ -145,6 +167,15 @@ mod tests {
         let c1 = LogisticClassifier::fit(&LogisticConfig::default(), &x, &y).unwrap();
         let c2 = LogisticClassifier::fit(&LogisticConfig::default(), &x, &y).unwrap();
         assert_eq!(c1.weights(), c2.weights());
+    }
+
+    #[test]
+    fn fit_matrix_matches_fit_bitwise() {
+        let (x, y) = xor_free_data();
+        let m = FeatureMatrix::from_rows(x.clone(), 2);
+        let boxed = LogisticClassifier::fit(&LogisticConfig::default(), &x, &y).unwrap();
+        let flat = LogisticClassifier::fit_matrix(&LogisticConfig::default(), &m, &y).unwrap();
+        assert_eq!(boxed, flat);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::error::{validate_training, MlError};
 use crate::linalg::{dot, Matrix};
+use p2auth_par::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`RidgeClassifier::fit`].
@@ -51,13 +52,34 @@ impl RidgeClassifier {
     /// Returns [`MlError`] if the training set is empty or ragged, label
     /// counts mismatch, or all labels belong to one class.
     pub fn fit(config: &RidgeCvConfig, x: &[Vec<f64>], y: &[i8]) -> Result<Self, MlError> {
+        let rows: Vec<&[f64]> = x.iter().map(Vec::as_slice).collect();
+        Self::fit_impl(config, &rows, y)
+    }
+
+    /// Like [`RidgeClassifier::fit`], but reads feature rows directly
+    /// from a contiguous [`FeatureMatrix`] (as produced by the MiniRocket
+    /// batch transform), avoiding per-row `Vec` boxing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RidgeClassifier::fit`].
+    pub fn fit_matrix(
+        config: &RidgeCvConfig,
+        x: &FeatureMatrix,
+        y: &[i8],
+    ) -> Result<Self, MlError> {
+        let rows: Vec<&[f64]> = x.rows().collect();
+        Self::fit_impl(config, &rows, y)
+    }
+
+    fn fit_impl(config: &RidgeCvConfig, x: &[&[f64]], y: &[i8]) -> Result<Self, MlError> {
         let dim = validate_training(x, y)?;
         assert!(!config.alphas.is_empty(), "alpha grid must be non-empty");
         let n = x.len();
         // Center features and targets (this absorbs the intercept).
         let mut x_mean = vec![0.0_f64; dim];
         for row in x {
-            for (m, v) in x_mean.iter_mut().zip(row) {
+            for (m, v) in x_mean.iter_mut().zip(row.iter()) {
                 *m += v;
             }
         }
@@ -249,6 +271,17 @@ mod tests {
             norms[0] > norms[1] && norms[1] > norms[2],
             "norms {norms:?}"
         );
+    }
+
+    #[test]
+    fn fit_matrix_matches_fit_bitwise() {
+        let mut x = blob(&[2.0, 2.0], 20, 0.3, 1);
+        x.extend(blob(&[-2.0, -2.0], 20, 0.3, 2));
+        let y: Vec<i8> = (0..40).map(|i| if i < 20 { 1 } else { -1 }).collect();
+        let m = FeatureMatrix::from_rows(x.clone(), 2);
+        let boxed = RidgeClassifier::fit(&RidgeCvConfig::default(), &x, &y).unwrap();
+        let flat = RidgeClassifier::fit_matrix(&RidgeCvConfig::default(), &m, &y).unwrap();
+        assert_eq!(boxed, flat);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Contiguous row-major feature matrix.
+
+use std::fmt;
+
+/// A dense, contiguous, row-major `f64` matrix.
+///
+/// This is the interchange type between the MiniRocket batch transform
+/// (one feature row per input series) and the classifier fit paths: one
+/// flat allocation instead of a `Vec<Vec<f64>>` of boxed rows, so batch
+/// extraction can write rows in place and fits can stream cache-friendly
+/// slices.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// Creates an empty matrix with `cols` columns and capacity for
+    /// `rows` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0`.
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        assert!(cols > 0, "matrix must have at least one column");
+        Self {
+            rows: 0,
+            cols,
+            data: Vec::with_capacity(rows * cols),
+        }
+    }
+
+    /// Builds a matrix from row vectors, validating that every row has
+    /// exactly `cols` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or any row length differs from `cols`.
+    pub fn from_rows(rows: Vec<Vec<f64>>, cols: usize) -> Self {
+        let mut m = Self::with_capacity(rows.len(), cols);
+        for r in &rows {
+            m.push_row(r);
+        }
+        m
+    }
+
+    /// Wraps an existing flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0` or `data.len()` is not a multiple of
+    /// `cols`.
+    pub fn from_flat(data: Vec<f64>, cols: usize) -> Self {
+        assert!(cols > 0, "matrix must have at least one column");
+        assert_eq!(
+            data.len() % cols,
+            0,
+            "flat buffer length {} is not a multiple of {cols} columns",
+            data.len()
+        );
+        Self {
+            rows: data.len() / cols,
+            cols,
+            data,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != num_cols()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.cols,
+            "row length {} != column count {}",
+            row.len(),
+            self.cols
+        );
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over row slices, in order.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// The backing row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix into per-row vectors (compatibility helper
+    /// for APIs still taking `Vec<Vec<f64>>`).
+    pub fn into_rows(self) -> Vec<Vec<f64>> {
+        self.data
+            .chunks_exact(self.cols)
+            .map(<[f64]>::to_vec)
+            .collect()
+    }
+}
+
+impl fmt::Display for FeatureMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FeatureMatrix({}x{})", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let m = FeatureMatrix::from_rows(rows.clone(), 2);
+        assert_eq!(m.num_rows(), 3);
+        assert_eq!(m.num_cols(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.rows().collect::<Vec<_>>().len(), 3);
+        assert_eq!(m.into_rows(), rows);
+    }
+
+    #[test]
+    fn from_flat_reshapes() {
+        let m = FeatureMatrix::from_flat(vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0], 3);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn rejects_ragged_push() {
+        let mut m = FeatureMatrix::with_capacity(1, 3);
+        m.push_row(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_non_rectangular_flat() {
+        FeatureMatrix::from_flat(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn empty_matrix_iterates_nothing() {
+        let m = FeatureMatrix::with_capacity(0, 4);
+        assert!(m.is_empty());
+        assert_eq!(m.rows().count(), 0);
+    }
+}

@@ -15,6 +15,13 @@
 //! * multivariate support via per-kernel channel subsets (the prototype
 //!   has 2–6 PPG channels).
 //!
+//! The convolution engine runs on flat, reusable scratch buffers (see
+//! [`ConvScratch`]) and the batch paths ([`MiniRocket::transform`],
+//! bias sampling inside [`MiniRocket::fit`]) fan out across threads
+//! under the default `parallel` feature; disable it
+//! (`default-features = false`) for single-core or embedded targets.
+//! Feature values are bit-identical either way.
+//!
 //! # Example
 //!
 //! ```
@@ -40,5 +47,6 @@ mod transform;
 pub use kernels::{
     kernel_indices, kernel_weights, KERNEL_LENGTH, NUM_KERNELS, WEIGHT_HIGH, WEIGHT_LOW,
 };
+pub use p2auth_par::FeatureMatrix;
 pub use series::{MultiSeries, ShapeError};
-pub use transform::{FitError, MiniRocket, MiniRocketConfig};
+pub use transform::{ConvScratch, FitError, MiniRocket, MiniRocketConfig};

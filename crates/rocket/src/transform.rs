@@ -1,10 +1,38 @@
 //! The MiniRocket fit/transform pipeline.
+//!
+//! # Performance notes
+//!
+//! This module is the hot path of every P²Auth operation, and its inner
+//! loops are built around three ideas:
+//!
+//! * **Flat, reusable scratch** — [`ConvScratch`] holds one contiguous
+//!   `[channel][tap][i]` buffer of dilated-shifted signals plus the
+//!   per-channel 9-tap sums, allocated once and reused across dilations,
+//!   kernels and (in batch paths) series.
+//! * **Fused `3·S3 − S9` kernel** — every MiniRocket kernel decomposes
+//!   into the shared 9-tap sum and three high-weight taps; the inner
+//!   loop walks equal-length slices with iterator zips so the compiler
+//!   can elide bounds checks and vectorize.
+//! * **Grouped bias sampling** — during [`MiniRocket::fit`], combos are
+//!   grouped by `(dilation, training sample)` so the shifted buffers are
+//!   prepared once per group instead of once per combo (84× less
+//!   preparation per dilation in the common case), while drawing random
+//!   numbers in exactly the original order so fitted transforms stay
+//!   bit-identical.
+//!
+//! Batch entry points fan out across threads via `p2auth-par` when the
+//! default `parallel` feature is enabled; outputs are bit-identical to
+//! the serial path because each series is processed independently by
+//! the same code.
 
 use crate::kernels::{kernel_indices, KERNEL_LENGTH, NUM_KERNELS};
 use crate::series::MultiSeries;
+use p2auth_par::{num_threads, par_map_init, FeatureMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Configuration for fitting a [`MiniRocket`] transform.
@@ -106,15 +134,28 @@ impl MiniRocket {
     /// input length, assigns channel subsets, and samples bias values
     /// from quantiles of training convolution outputs.
     ///
+    /// The training set may be owned series (`&[MultiSeries]`) or
+    /// borrowed ones (`&[&MultiSeries]`); callers holding slices of
+    /// series need not clone them into a fresh `Vec`.
+    ///
+    /// Bias sampling prepares each `(dilation, training sample)` group
+    /// once and fans groups out across threads; random draws happen
+    /// up front in the original per-combo order, so the fitted transform
+    /// is bit-identical to a fully serial, ungrouped fit.
+    ///
     /// # Errors
     ///
     /// Returns a [`FitError`] if the training set is empty, ragged in
     /// length or channel count, or shorter than 9 samples.
-    pub fn fit(config: &MiniRocketConfig, train: &[MultiSeries]) -> Result<Self, FitError> {
-        let first = train.first().ok_or(FitError::EmptyTrainingSet)?;
+    pub fn fit<S>(config: &MiniRocketConfig, train: &[S]) -> Result<Self, FitError>
+    where
+        S: Borrow<MultiSeries> + Sync,
+    {
+        let first = train.first().ok_or(FitError::EmptyTrainingSet)?.borrow();
         let input_length = first.len();
         let num_channels = first.num_channels();
         for s in train {
+            let s = s.borrow();
             if s.len() != input_length {
                 return Err(FitError::UnequalLengths {
                     expected: input_length,
@@ -166,38 +207,69 @@ impl MiniRocket {
         // Alternating padding.
         let paddings: Vec<bool> = (0..num_combos).map(|c| c % 2 == 0).collect();
 
-        // Biases: for each combo, convolve a randomly chosen training
-        // example and take low-discrepancy quantiles of the output.
-        let mut biases = Vec::with_capacity(num_combos * features_per_combo);
+        // Training-sample draws, in combo order: the draw order (and
+        // therefore the fitted transform) must match the historical
+        // one-draw-per-combo loop exactly.
+        let sample_idx: Vec<usize> = (0..num_combos)
+            .map(|_| rng.gen_range(0..train.len()))
+            .collect();
+
+        // Group combos sharing a (dilation, sample) pair: all 84 kernels
+        // of a dilation usually land on a handful of samples, and one
+        // prepare_dilation serves the whole group.
+        let mut grouped: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for (combo, &s) in sample_idx.iter().enumerate() {
+            grouped
+                .entry((combo / NUM_KERNELS, s))
+                .or_default()
+                .push(combo);
+        }
+        let groups: Vec<((usize, usize), Vec<usize>)> = grouped.into_iter().collect();
+
+        // Biases: for each combo, convolve the drawn training example
+        // and take low-discrepancy quantiles of the output. The quantile
+        // sequence position depends only on the combo's global feature
+        // index, so groups can run in any order (and in parallel).
         let phi = 0.618_033_988_749_894_9_f64; // golden-ratio sequence
-        let mut feature_counter = 0_u64;
-        let mut scratch = ConvScratch::new(input_length);
-        for (d_idx, &dilation) in dilations.iter().enumerate() {
-            for (k_idx, kernel) in kernels.iter().enumerate() {
-                let combo = d_idx * NUM_KERNELS + k_idx;
-                let sample = &train[rng.gen_range(0..train.len())];
-                let conv = scratch.convolve(
-                    sample,
-                    &channel_subsets[combo],
-                    dilation,
-                    *kernel,
-                    paddings[combo],
-                );
-                let mut sorted = conv.to_vec();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in convolution"));
-                for _ in 0..features_per_combo {
-                    feature_counter += 1;
-                    let q = (feature_counter as f64 * phi).fract();
-                    let pos = q * (sorted.len() - 1) as f64;
-                    let i0 = pos.floor() as usize;
-                    let frac = pos - i0 as f64;
-                    let b = if i0 + 1 < sorted.len() {
-                        sorted[i0] * (1.0 - frac) + sorted[i0 + 1] * frac
-                    } else {
-                        sorted[i0]
-                    };
-                    biases.push(b);
-                }
+        let mut biases = vec![0.0_f64; num_combos * features_per_combo];
+        let group_biases: Vec<Vec<(usize, Vec<f64>)>> = par_map_init(
+            &groups,
+            || ConvScratch::new(input_length),
+            |scratch, group| {
+                let ((d_idx, s_idx), combos) = group;
+                scratch.prepare_dilation(train[*s_idx].borrow(), dilations[*d_idx]);
+                combos
+                    .iter()
+                    .map(|&combo| {
+                        let conv = scratch.convolve_prepared(
+                            &channel_subsets[combo],
+                            kernels[combo % NUM_KERNELS],
+                            paddings[combo],
+                        );
+                        let mut sorted = conv.to_vec();
+                        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in convolution"));
+                        let mut bs = Vec::with_capacity(features_per_combo);
+                        for f in 0..features_per_combo {
+                            let feature_counter = (combo * features_per_combo + f + 1) as u64;
+                            let q = (feature_counter as f64 * phi).fract();
+                            let pos = q * (sorted.len() - 1) as f64;
+                            let i0 = pos.floor() as usize;
+                            let frac = pos - i0 as f64;
+                            let b = if i0 + 1 < sorted.len() {
+                                sorted[i0] * (1.0 - frac) + sorted[i0 + 1] * frac
+                            } else {
+                                sorted[i0]
+                            };
+                            bs.push(b);
+                        }
+                        (combo, bs)
+                    })
+                    .collect()
+            },
+        );
+        for group in group_biases {
+            for (combo, bs) in group {
+                biases[combo * features_per_combo..][..features_per_combo].copy_from_slice(&bs);
             }
         }
 
@@ -230,19 +302,42 @@ impl MiniRocket {
 
     /// Transforms one series into its PPV feature vector.
     ///
+    /// Allocates a fresh [`ConvScratch`] per call; in loops, prefer
+    /// [`MiniRocket::transform_one_with`] (reusing one scratch) or the
+    /// batch [`MiniRocket::transform`].
+    ///
     /// # Panics
     ///
     /// Panics if the series length or channel count differs from the
     /// training data (P²Auth's segmentation guarantees fixed shapes).
     pub fn transform_one(&self, series: &MultiSeries) -> Vec<f64> {
+        let mut scratch = ConvScratch::new(self.input_length);
+        self.transform_one_with(series, &mut scratch)
+    }
+
+    /// Transforms one series, reusing the caller's scratch buffers.
+    ///
+    /// Equivalent to [`MiniRocket::transform_one`] but allocation-free
+    /// after the scratch's first use at this shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series shape differs from the training data, or if
+    /// the scratch was created for a different input length.
+    pub fn transform_one_with(&self, series: &MultiSeries, scratch: &mut ConvScratch) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_output_features());
+        self.transform_into(series, scratch, &mut out);
+        out
+    }
+
+    /// Appends the feature vector of `series` onto `out`.
+    fn transform_into(&self, series: &MultiSeries, scratch: &mut ConvScratch, out: &mut Vec<f64>) {
         assert_eq!(series.len(), self.input_length, "series length mismatch");
         assert_eq!(
             series.num_channels(),
             self.num_channels,
             "channel count mismatch"
         );
-        let mut out = Vec::with_capacity(self.num_output_features());
-        let mut scratch = ConvScratch::new(self.input_length);
         for (d_idx, &dilation) in self.dilations.iter().enumerate() {
             scratch.prepare_dilation(series, dilation);
             for (k_idx, kernel) in self.kernels.iter().enumerate() {
@@ -253,22 +348,51 @@ impl MiniRocket {
                     self.paddings[combo],
                 );
                 let base = combo * self.features_per_combo;
-                for f in 0..self.features_per_combo {
-                    let bias = self.biases[base + f];
+                for &bias in &self.biases[base..base + self.features_per_combo] {
                     out.push(ppv(conv, bias));
                 }
             }
         }
-        out
     }
 
-    /// Transforms a batch of series; one feature row per input.
+    /// Transforms a batch of series into a contiguous row-major
+    /// [`FeatureMatrix`], one feature row per input.
+    ///
+    /// With the default `parallel` feature the batch fans out across
+    /// threads, each worker reusing one [`ConvScratch`] and writing a
+    /// contiguous run of rows; rows are bit-identical to calling
+    /// [`MiniRocket::transform_one`] per series, in order.
     ///
     /// # Panics
     ///
     /// Panics under the same conditions as [`MiniRocket::transform_one`].
-    pub fn transform(&self, series: &[MultiSeries]) -> Vec<Vec<f64>> {
-        series.iter().map(|s| self.transform_one(s)).collect()
+    pub fn transform<S>(&self, series: &[S]) -> FeatureMatrix
+    where
+        S: Borrow<MultiSeries> + Sync,
+    {
+        let dim = self.num_output_features();
+        if series.is_empty() {
+            return FeatureMatrix::with_capacity(0, dim);
+        }
+        let threads = num_threads().min(series.len());
+        let chunk_len = series.len().div_ceil(threads.max(1));
+        let chunks: Vec<&[S]> = series.chunks(chunk_len).collect();
+        let flats: Vec<Vec<f64>> = par_map_init(
+            &chunks,
+            || ConvScratch::new(self.input_length),
+            |scratch, chunk| {
+                let mut flat = Vec::with_capacity(chunk.len() * dim);
+                for s in chunk.iter() {
+                    self.transform_into(s.borrow(), scratch, &mut flat);
+                }
+                flat
+            },
+        );
+        let mut data = Vec::with_capacity(series.len() * dim);
+        for mut f in flats {
+            data.append(&mut f);
+        }
+        FeatureMatrix::from_flat(data, dim)
     }
 }
 
@@ -301,27 +425,40 @@ fn sample_channel_subset(rng: &mut StdRng, num_channels: usize) -> Vec<usize> {
     idxs
 }
 
-/// Scratch buffers for dilated convolution.
+/// Reusable scratch buffers for dilated convolution.
 ///
 /// For a dilation `d`, the convolution of a zero-sum MiniRocket kernel
 /// decomposes as `C[i] = 3·S3[i] − S9[i]` where `S9` sums all nine
 /// dilated taps and `S3` sums the three high-weight taps. `S9` and the
-/// per-channel shifted views are shared across the 84 kernels of each
+/// shifted tap signals are shared across the 84 kernels of each
 /// dilation, which is what makes MiniRocket fast.
-struct ConvScratch {
+///
+/// All buffers are flat and contiguous — shifted taps are laid out
+/// `[channel][tap][i]` in one allocation — and sized once on the first
+/// [`ConvScratch::prepare_dilation`] call; subsequent preparations at
+/// the same shape reuse them without allocating, so one scratch can
+/// serve an arbitrary number of dilations, kernels and series.
+pub struct ConvScratch {
     len: usize,
-    /// Per-channel, per-tap shifted signals: `shifted[ch][tap][i]`.
-    shifted: Vec<Vec<Vec<f64>>>,
-    /// Per-channel full 9-tap sums.
-    s9: Vec<Vec<f64>>,
+    /// Channel count the buffers are currently sized for.
+    channels: usize,
+    /// Flat per-channel, per-tap shifted signals:
+    /// `shifted[(ch * 9 + tap) * len + i]`.
+    shifted: Vec<f64>,
+    /// Flat per-channel full 9-tap sums: `s9[ch * len + i]`.
+    s9: Vec<f64>,
     out: Vec<f64>,
     prepared_dilation: Option<usize>,
 }
 
 impl ConvScratch {
-    fn new(len: usize) -> Self {
+    /// Creates scratch for series of length `len`. Tap and sum buffers
+    /// are sized lazily on the first preparation (they depend on the
+    /// channel count).
+    pub fn new(len: usize) -> Self {
         Self {
             len,
+            channels: 0,
             shifted: Vec::new(),
             s9: Vec::new(),
             out: vec![0.0; len],
@@ -329,82 +466,110 @@ impl ConvScratch {
         }
     }
 
-    /// Precomputes shifted views and 9-tap sums for every channel at one
-    /// dilation.
-    fn prepare_dilation(&mut self, series: &MultiSeries, dilation: usize) {
-        let half = (KERNEL_LENGTH / 2) as i64;
-        let n = self.len as i64;
-        self.shifted.clear();
-        self.s9.clear();
-        for ch in 0..series.num_channels() {
+    /// Precomputes shifted tap signals and 9-tap sums for every channel
+    /// at one dilation, reusing the existing buffers when shapes match.
+    pub(crate) fn prepare_dilation(&mut self, series: &MultiSeries, dilation: usize) {
+        debug_assert_eq!(
+            series.len(),
+            self.len,
+            "scratch sized for a different length"
+        );
+        let half = KERNEL_LENGTH / 2;
+        let n = self.len;
+        let nch = series.num_channels();
+        if nch != self.channels {
+            self.channels = nch;
+            self.shifted.resize(nch * KERNEL_LENGTH * n, 0.0);
+            self.s9.resize(nch * n, 0.0);
+        }
+        for ch in 0..nch {
             let x = series.channel(ch);
-            let mut taps = Vec::with_capacity(KERNEL_LENGTH);
-            for j in 0..KERNEL_LENGTH as i64 {
-                let off = (j - half) * dilation as i64;
-                let mut v = vec![0.0_f64; self.len];
-                for (i, slot) in v.iter_mut().enumerate() {
-                    let idx = i as i64 + off;
-                    if idx >= 0 && idx < n {
-                        *slot = x[idx as usize];
+            let ch_base = ch * KERNEL_LENGTH * n;
+            for j in 0..KERNEL_LENGTH {
+                let tap = &mut self.shifted[ch_base + j * n..ch_base + (j + 1) * n];
+                if j >= half {
+                    // Shift left: tap[i] = x[i + off], zero-padded tail.
+                    let off = (j - half) * dilation;
+                    if off >= n {
+                        tap.fill(0.0);
+                    } else {
+                        tap[..n - off].copy_from_slice(&x[off..]);
+                        tap[n - off..].fill(0.0);
+                    }
+                } else {
+                    // Shift right: tap[i] = x[i - off], zero-padded head.
+                    let off = (half - j) * dilation;
+                    if off >= n {
+                        tap.fill(0.0);
+                    } else {
+                        tap[off..].copy_from_slice(&x[..n - off]);
+                        tap[..off].fill(0.0);
                     }
                 }
-                taps.push(v);
             }
-            let mut s9 = vec![0.0_f64; self.len];
-            for t in &taps {
-                for (a, b) in s9.iter_mut().zip(t) {
+            // Accumulate taps in index order so the sum's floating-point
+            // association matches a straightforward tap-major loop.
+            let s9 = &mut self.s9[ch * n..(ch + 1) * n];
+            s9.fill(0.0);
+            for j in 0..KERNEL_LENGTH {
+                let tap = &self.shifted[ch_base + j * n..ch_base + (j + 1) * n];
+                for (a, b) in s9.iter_mut().zip(tap) {
                     *a += b;
                 }
             }
-            self.shifted.push(taps);
-            self.s9.push(s9);
         }
         self.prepared_dilation = Some(dilation);
     }
 
     /// Convolution for one kernel over a channel subset, using buffers
-    /// prepared by [`ConvScratch::prepare_dilation`]. Returns the output
-    /// restricted to the valid region when `padding` is false.
-    fn convolve_prepared(&mut self, subset: &[usize], kernel: [usize; 3], padding: bool) -> &[f64] {
+    /// prepared by [`ConvScratch::prepare_dilation`].
+    ///
+    /// When `padding` is true the full "same"-padded output (length
+    /// `len`) is returned. When `padding` is false the output is
+    /// restricted to the valid region `[margin, len - margin)` with
+    /// `margin = 4 · dilation` — **except** in the degenerate case where
+    /// the margins meet or cross (`margin >= len - margin`, i.e. the
+    /// dilated kernel barely fits): there is then no valid interior, and
+    /// the method deliberately falls back to returning the full padded
+    /// output rather than an empty slice, so downstream quantile/PPV
+    /// pooling always has data to work with. This fallback is pinned by
+    /// `valid_padding_degenerate_falls_back_to_padded` and must be
+    /// preserved by refactors: fitted biases depend on it.
+    pub(crate) fn convolve_prepared(
+        &mut self,
+        subset: &[usize],
+        kernel: [usize; 3],
+        padding: bool,
+    ) -> &[f64] {
         let dilation = self.prepared_dilation.expect("prepare_dilation not called");
-        for v in self.out.iter_mut() {
-            *v = 0.0;
-        }
+        let n = self.len;
+        self.out.fill(0.0);
+        let out = &mut self.out;
         for &ch in subset {
-            let s9 = &self.s9[ch];
-            let t0 = &self.shifted[ch][kernel[0]];
-            let t1 = &self.shifted[ch][kernel[1]];
-            let t2 = &self.shifted[ch][kernel[2]];
-            for i in 0..self.len {
-                self.out[i] += 3.0 * (t0[i] + t1[i] + t2[i]) - s9[i];
+            let ch_base = ch * KERNEL_LENGTH * n;
+            let t0 = &self.shifted[ch_base + kernel[0] * n..ch_base + kernel[0] * n + n];
+            let t1 = &self.shifted[ch_base + kernel[1] * n..ch_base + kernel[1] * n + n];
+            let t2 = &self.shifted[ch_base + kernel[2] * n..ch_base + kernel[2] * n + n];
+            let s9 = &self.s9[ch * n..ch * n + n];
+            // Fused 3·S3 − S9 over equal-length slices: the zips let the
+            // compiler drop bounds checks and vectorize.
+            for ((o, ((&a, &b), &c)), &s) in out.iter_mut().zip(t0.iter().zip(t1).zip(t2)).zip(s9) {
+                *o += 3.0 * (a + b + c) - s;
             }
         }
         if padding {
             &self.out
         } else {
             let margin = (KERNEL_LENGTH / 2) * dilation;
-            let end = self.len.saturating_sub(margin);
+            let end = n.saturating_sub(margin);
             if margin >= end {
-                // Degenerate: fall back to the padded output.
+                // Degenerate: no valid interior; fall back to the padded
+                // output (see method docs — this is load-bearing).
                 &self.out
             } else {
                 &self.out[margin..end]
             }
         }
-    }
-
-    /// One-shot convolution (prepare + convolve); used during fitting
-    /// where each combo touches a different random sample.
-    fn convolve(
-        &mut self,
-        series: &MultiSeries,
-        subset: &[usize],
-        dilation: usize,
-        kernel: [usize; 3],
-        padding: bool,
-    ) -> &[f64] {
-        self.prepare_dilation(series, dilation);
-        self.convolve_prepared(subset, kernel, padding)
     }
 }
 
@@ -412,6 +577,7 @@ impl ConvScratch {
 mod tests {
     use super::*;
     use crate::kernels::kernel_weights;
+    use proptest::prelude::*;
 
     fn sine_series(n: usize, freq: f64, channels: usize) -> MultiSeries {
         let data: Vec<Vec<f64>> = (0..channels)
@@ -426,6 +592,86 @@ mod tests {
 
     fn default_fit(train: &[MultiSeries]) -> MiniRocket {
         MiniRocket::fit(&MiniRocketConfig::default(), train).unwrap()
+    }
+
+    /// The historical fit loop: one RNG draw and one full
+    /// `prepare_dilation` per combo, biases pushed in combo order.
+    /// Kept verbatim as the reference the grouped/parallel
+    /// [`MiniRocket::fit`] must match bit-for-bit.
+    fn fit_reference(config: &MiniRocketConfig, train: &[MultiSeries]) -> MiniRocket {
+        let first = train.first().expect("non-empty");
+        let input_length = first.len();
+        let num_channels = first.num_channels();
+        assert!(input_length >= KERNEL_LENGTH);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let kernels = kernel_indices();
+
+        let max_dilation = ((input_length - 1) / (KERNEL_LENGTH - 1)).max(1);
+        let features_per_kernel = (config.num_features / NUM_KERNELS).max(1);
+        let num_dilations = config
+            .max_dilations_per_kernel
+            .min(features_per_kernel)
+            .max(1);
+        let features_per_combo = (features_per_kernel / num_dilations).max(1);
+        let max_exp = (max_dilation as f64).log2();
+        let dilations: Vec<usize> = (0..num_dilations)
+            .map(|i| {
+                let e = if num_dilations == 1 {
+                    0.0
+                } else {
+                    max_exp * i as f64 / (num_dilations - 1) as f64
+                };
+                (2.0_f64.powf(e).floor() as usize).clamp(1, max_dilation)
+            })
+            .collect();
+
+        let num_combos = dilations.len() * NUM_KERNELS;
+        let mut channel_subsets = Vec::with_capacity(num_combos);
+        for _ in 0..num_combos {
+            channel_subsets.push(sample_channel_subset(&mut rng, num_channels));
+        }
+        let paddings: Vec<bool> = (0..num_combos).map(|c| c % 2 == 0).collect();
+
+        let mut biases = Vec::with_capacity(num_combos * features_per_combo);
+        let phi = 0.618_033_988_749_894_9_f64;
+        let mut feature_counter = 0_u64;
+        let mut scratch = ConvScratch::new(input_length);
+        for (d_idx, &dilation) in dilations.iter().enumerate() {
+            for (k_idx, kernel) in kernels.iter().enumerate() {
+                let combo = d_idx * NUM_KERNELS + k_idx;
+                let sample = &train[rng.gen_range(0..train.len())];
+                scratch.prepare_dilation(sample, dilation);
+                let conv =
+                    scratch.convolve_prepared(&channel_subsets[combo], *kernel, paddings[combo]);
+                let mut sorted = conv.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in convolution"));
+                for _ in 0..features_per_combo {
+                    feature_counter += 1;
+                    let q = (feature_counter as f64 * phi).fract();
+                    let pos = q * (sorted.len() - 1) as f64;
+                    let i0 = pos.floor() as usize;
+                    let frac = pos - i0 as f64;
+                    let b = if i0 + 1 < sorted.len() {
+                        sorted[i0] * (1.0 - frac) + sorted[i0 + 1] * frac
+                    } else {
+                        sorted[i0]
+                    };
+                    biases.push(b);
+                }
+            }
+        }
+
+        MiniRocket {
+            input_length,
+            num_channels,
+            dilations,
+            features_per_combo,
+            channel_subsets,
+            paddings,
+            biases,
+            kernels,
+        }
     }
 
     #[test]
@@ -483,6 +729,61 @@ mod tests {
     }
 
     #[test]
+    fn fit_accepts_borrowed_series() {
+        let a = sine_series(96, 0.4, 2);
+        let b = sine_series(96, 0.9, 2);
+        let cfg = MiniRocketConfig::default();
+        let owned = MiniRocket::fit(&cfg, &[a.clone(), b.clone()]).unwrap();
+        let borrowed = MiniRocket::fit(&cfg, &[&a, &b]).unwrap();
+        assert_eq!(owned.transform_one(&a), borrowed.transform_one(&a));
+    }
+
+    #[test]
+    fn grouped_fit_matches_reference_bytes() {
+        // The regrouped (prepare-once-per-(dilation, sample)) fit must
+        // serialize byte-identically to the historical per-combo loop.
+        for (len, channels, seed) in [(90, 2, 7_u64), (128, 4, 99), (64, 1, 0xdead_beef)] {
+            let train: Vec<MultiSeries> = (0..5)
+                .map(|i| sine_series(len, 0.2 + 0.17 * i as f64, channels))
+                .collect();
+            let cfg = MiniRocketConfig {
+                seed,
+                ..Default::default()
+            };
+            let fitted = MiniRocket::fit(&cfg, &train).unwrap();
+            let reference = fit_reference(&cfg, &train);
+            let a = serde_json::to_string(&fitted).unwrap();
+            let b = serde_json::to_string(&reference).unwrap();
+            assert_eq!(a, b, "len={len} ch={channels} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn batch_transform_matches_transform_one() {
+        let train = vec![sine_series(90, 0.3, 2), sine_series(90, 0.8, 2)];
+        let r = default_fit(&train);
+        let probes: Vec<MultiSeries> = (0..7)
+            .map(|i| sine_series(90, 0.1 + 0.2 * i as f64, 2))
+            .collect();
+        let m = r.transform(&probes);
+        assert_eq!(m.num_rows(), probes.len());
+        assert_eq!(m.num_cols(), r.num_output_features());
+        for (i, p) in probes.iter().enumerate() {
+            assert_eq!(m.row(i), r.transform_one(p).as_slice(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn transform_one_with_reuses_scratch_across_series() {
+        let train = vec![sine_series(90, 0.3, 2), sine_series(90, 0.8, 2)];
+        let r = default_fit(&train);
+        let mut scratch = ConvScratch::new(90);
+        for s in &train {
+            assert_eq!(r.transform_one_with(s, &mut scratch), r.transform_one(s));
+        }
+    }
+
+    #[test]
     fn offset_invariance() {
         // Zero-sum kernels make the convolution invariant to adding a
         // constant; with "same" padding edge effects change conv values
@@ -529,7 +830,7 @@ mod tests {
     #[test]
     fn errors_on_bad_training_sets() {
         assert!(matches!(
-            MiniRocket::fit(&MiniRocketConfig::default(), &[]),
+            MiniRocket::fit(&MiniRocketConfig::default(), &[] as &[MultiSeries]),
             Err(FitError::EmptyTrainingSet)
         ));
         let a = sine_series(64, 0.3, 1);
@@ -590,6 +891,43 @@ mod tests {
     }
 
     #[test]
+    fn valid_padding_degenerate_falls_back_to_padded() {
+        // len = 20, dilation = 4: margin = 16 >= end = 4, so there is no
+        // valid interior and convolve_prepared must return the full
+        // padded output instead of an empty slice. Pinned on purpose —
+        // fitted biases depend on this fallback (see method docs).
+        let x = sine_series(20, 0.3, 1);
+        let mut scratch = ConvScratch::new(20);
+        scratch.prepare_dilation(&x, 4);
+        let padded = scratch.convolve_prepared(&[0], [0, 4, 8], true).to_vec();
+        let valid = scratch.convolve_prepared(&[0], [0, 4, 8], false).to_vec();
+        assert_eq!(
+            valid.len(),
+            20,
+            "degenerate valid padding must not truncate"
+        );
+        assert_eq!(valid, padded, "fallback must equal the padded output");
+    }
+
+    #[test]
+    fn scratch_reuse_across_dilations_and_channel_counts() {
+        // One scratch must serve different dilations and channel counts
+        // without stale data leaking between preparations.
+        let mut scratch = ConvScratch::new(64);
+        let one = sine_series(64, 0.3, 1);
+        let four = sine_series(64, 0.5, 4);
+        scratch.prepare_dilation(&four, 2);
+        let via_reused = {
+            scratch.prepare_dilation(&one, 4);
+            scratch.convolve_prepared(&[0], [1, 3, 5], true).to_vec()
+        };
+        let mut fresh = ConvScratch::new(64);
+        fresh.prepare_dilation(&one, 4);
+        let via_fresh = fresh.convolve_prepared(&[0], [1, 3, 5], true).to_vec();
+        assert_eq!(via_reused, via_fresh);
+    }
+
+    #[test]
     fn channel_subsets_within_bounds() {
         let mut rng = StdRng::seed_from_u64(7);
         for c in 1..=8 {
@@ -600,6 +938,57 @@ mod tests {
                 let mut d = s.clone();
                 d.dedup();
                 assert_eq!(d.len(), s.len(), "duplicate channels");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The grouped, parallel fit serializes byte-identically to the
+        /// historical serial per-combo fit across random shapes/seeds.
+        #[test]
+        fn prop_grouped_fit_bit_identical(
+            len in 16_usize..120,
+            channels in 1_usize..5,
+            n_train in 1_usize..6,
+            seed in any::<u64>(),
+            num_features in 84_usize..1000,
+        ) {
+            let train: Vec<MultiSeries> = (0..n_train)
+                .map(|i| sine_series(len, 0.15 + 0.21 * i as f64, channels))
+                .collect();
+            let cfg = MiniRocketConfig { seed, num_features, ..Default::default() };
+            let fitted = MiniRocket::fit(&cfg, &train).unwrap();
+            let reference = fit_reference(&cfg, &train);
+            prop_assert_eq!(
+                serde_json::to_string(&fitted).unwrap(),
+                serde_json::to_string(&reference).unwrap()
+            );
+        }
+
+        /// Parallel batch rows are bit-identical to serial
+        /// `transform_one` across random shapes/seeds.
+        #[test]
+        fn prop_batch_rows_bit_identical(
+            len in 16_usize..100,
+            channels in 1_usize..4,
+            n_probe in 1_usize..9,
+            seed in any::<u64>(),
+        ) {
+            let train = vec![
+                sine_series(len, 0.3, channels),
+                sine_series(len, 0.9, channels),
+            ];
+            let cfg = MiniRocketConfig { seed, num_features: 168, ..Default::default() };
+            let r = MiniRocket::fit(&cfg, &train).unwrap();
+            let probes: Vec<MultiSeries> = (0..n_probe)
+                .map(|i| sine_series(len, 0.05 + 0.3 * i as f64, channels))
+                .collect();
+            let m = r.transform(&probes);
+            prop_assert_eq!(m.num_rows(), probes.len());
+            for (i, p) in probes.iter().enumerate() {
+                prop_assert_eq!(m.row(i), r.transform_one(p).as_slice());
             }
         }
     }

@@ -36,6 +36,37 @@ proptest! {
     }
 
     #[test]
+    fn batch_transform_rows_match_serial_transform_one(
+        a in arb_series(72, 2),
+        b in arb_series(72, 2),
+        probes in prop::collection::vec(arb_series(72, 2), 1..8),
+        seed in any::<u64>(),
+    ) {
+        // The (possibly parallel) batch path must be bit-identical to
+        // serial per-series transforms, row for row.
+        let cfg = MiniRocketConfig { num_features: 168, seed, ..Default::default() };
+        let rocket = MiniRocket::fit(&cfg, &[a, b]).expect("fit");
+        let matrix = rocket.transform(&probes);
+        prop_assert_eq!(matrix.num_rows(), probes.len());
+        prop_assert_eq!(matrix.num_cols(), rocket.num_output_features());
+        for (i, p) in probes.iter().enumerate() {
+            prop_assert_eq!(matrix.row(i), rocket.transform_one(p).as_slice());
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_training_sets_agree(
+        a in arb_series(48, 1),
+        b in arb_series(48, 1),
+        seed in any::<u64>(),
+    ) {
+        let cfg = MiniRocketConfig { num_features: 84, seed, ..Default::default() };
+        let owned = MiniRocket::fit(&cfg, &[a.clone(), b.clone()]).expect("fit");
+        let borrowed = MiniRocket::fit(&cfg, &[&a, &b]).expect("fit");
+        prop_assert_eq!(owned.transform_one(&a), borrowed.transform_one(&a));
+    }
+
+    #[test]
     fn feature_count_independent_of_input_values(
         a in arb_series(48, 1),
         b in arb_series(48, 1),
