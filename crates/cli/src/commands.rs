@@ -4,6 +4,11 @@
 use crate::args::{ArgError, ParsedArgs};
 use p2auth_core::preprocess::wear::{detect_wear, WearConfig};
 use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, PinPolicy, UserProfile};
+use p2auth_device::clock::VirtualClock;
+use p2auth_device::{
+    decide_session, transmit_reliable, FaultConfig, FaultyLink, LinkConfig, ReliableConfig,
+    SessionOutcome, WearableDevice,
+};
 use p2auth_sim::{Population, PopulationConfig, SessionConfig};
 use std::fmt;
 use std::path::Path;
@@ -72,6 +77,10 @@ COMMANDS:
                 --nonce K (0) [--two-handed] [--no-pin]
     wear      Check watch-wear detection on a simulated signal
                 --user N (0)  --seed S (42)
+    fault     Stream sessions over a faulty link with NACK recovery
+                --loss P (0.02)   --corrupt P (0.005)  --fault-seed S (1)
+                --sessions N (3)  --user N (0)  --pin DDDD (1628)
+                (uses the reduced feature budget for speed)
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -209,6 +218,104 @@ pub fn wear(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `p2auth fault`: end-to-end sessions over a lossy, corrupting link
+/// with the retransmission layer and coverage-gated decisions.
+pub fn fault(args: &ParsedArgs) -> Result<String, CliError> {
+    let (pop, session) = population(args)?;
+    let pin = pin_arg(args)?;
+    let loss = args.get_parsed("loss", 0.02_f64)?;
+    let corrupt = args.get_parsed("corrupt", 0.005_f64)?;
+    let fault_seed = args.get_parsed("fault-seed", 1_u64)?;
+    let sessions = args.get_parsed("sessions", 3_usize)?;
+    let user = args.get_parsed("user", 0_usize)?;
+
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let enroll_recs: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(user, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            let other = (user + 1 + (i as usize % (pop.num_users() - 1))) % pop.num_users();
+            pop.record_entry(other, &pin, HandMode::OneHanded, &session, 5000 + i as u64)
+        })
+        .collect();
+    let profile = sys.enroll(&pin, &enroll_recs, &third)?;
+
+    let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+    let faults = FaultConfig {
+        drop_rate: loss,
+        corrupt_rate: corrupt,
+        ..FaultConfig::default()
+    };
+    let mut out =
+        format!("link faults: loss {loss:.3}, corruption {corrupt:.4}, seed {fault_seed}\n");
+    let mut accepted = 0_usize;
+    for s in 0..sessions {
+        let rec = pop.record_entry(user, &pin, HandMode::OneHanded, &session, 7000 + s as u64);
+        let mut data = FaultyLink::new(
+            LinkConfig::default(),
+            FaultConfig {
+                seed: fault_seed + 2 * s as u64,
+                ..faults
+            },
+        );
+        let mut keys = FaultyLink::new(
+            LinkConfig {
+                seed: 0x4b,
+                ..LinkConfig::default()
+            },
+            FaultConfig {
+                seed: fault_seed + 2 * s as u64 + 1,
+                ..faults
+            },
+        );
+        let (result, stats) = transmit_reliable(
+            &rec,
+            &device,
+            &mut data,
+            &mut keys,
+            &ReliableConfig::default(),
+        );
+        match result {
+            Ok((rebuilt, coverage)) => {
+                let outcome = decide_session(&sys, &profile, Some(&pin), &rebuilt, coverage);
+                if outcome.accepted() {
+                    accepted += 1;
+                }
+                let label = match &outcome {
+                    SessionOutcome::Decision(d) => {
+                        if d.accepted {
+                            "ACCEPTED".to_string()
+                        } else {
+                            "REJECTED".to_string()
+                        }
+                    }
+                    SessionOutcome::Degraded { decision, .. } => {
+                        if decision.accepted {
+                            "ACCEPTED (degraded, PIN only)".to_string()
+                        } else {
+                            "REJECTED (degraded)".to_string()
+                        }
+                    }
+                    SessionOutcome::Abort { reason, .. } => format!("ABORTED ({reason})"),
+                };
+                out.push_str(&format!(
+                    "session {s}: {label}, coverage {coverage:.3}, retx {}, nacks {}\n",
+                    stats.retransmissions, stats.nacks_sent
+                ));
+            }
+            Err(e) => out.push_str(&format!(
+                "session {s}: TRANSFER FAILED ({e}), retx {}\n",
+                stats.retransmissions
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "accepted {accepted}/{sessions} legitimate sessions"
+    ));
+    Ok(out)
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -220,6 +327,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("enroll") => enroll(args),
         Some("verify") => verify(args),
         Some("wear") => wear(args),
+        Some("fault") => fault(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -295,6 +403,18 @@ mod tests {
     fn wear_reports_pulse() {
         let msg = dispatch(&ParsedArgs::parse(["wear", "--users", "4"]).unwrap()).unwrap();
         assert!(msg.contains("worn: true"), "{msg}");
+    }
+
+    #[test]
+    fn fault_streams_and_reports() {
+        let msg = dispatch(
+            &ParsedArgs::parse(["fault", "--users", "4", "--sessions", "1", "--loss", "0.02"])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("link faults: loss 0.020"), "{msg}");
+        assert!(msg.contains("session 0:"), "{msg}");
+        assert!(msg.contains("/1 legitimate sessions"), "{msg}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Authentication phase (paper §IV-B 3): PIN verification, input-case
 //! dispatch, per-keystroke classification and results integration.
 
-use crate::config::{P2AuthConfig, PinPolicy};
+use crate::config::{DegradedFallback, P2AuthConfig, PinPolicy};
 use crate::enroll::{extract_for_auth, UserProfile};
 use crate::error::AuthError;
 use crate::preprocess::{self, InputCase};
@@ -21,6 +21,9 @@ pub enum RejectReason {
     BiometricMismatch,
     /// No trained model exists for the attempted case/keys.
     MissingModel,
+    /// The link delivered too little PPG data for the biometric factor
+    /// and the degraded-mode policy rejects such sessions.
+    DegradedChannel,
 }
 
 /// Outcome of classifying one keystroke waveform.
@@ -175,6 +178,68 @@ pub fn authenticate(
             case,
             RejectReason::InsufficientKeystrokes,
         )),
+    }
+}
+
+/// Authenticates a session whose PPG stream was too degraded for the
+/// biometric factor (coverage below
+/// [`P2AuthConfig::min_ppg_coverage`]): the configured
+/// [`DegradedFallback`] decides. Under [`DegradedFallback::Reject`]
+/// the attempt is rejected with [`RejectReason::DegradedChannel`];
+/// under [`DegradedFallback::PinOnly`] the knowledge factor alone is
+/// verified — the same triple-match as the main flow (claimed PIN,
+/// stored PIN, and the digits actually typed must all agree) — and the
+/// score is 0, so callers can tell a degraded accept from a biometric
+/// one.
+///
+/// # Errors
+///
+/// Returns [`AuthError::InvalidRecording`] for malformed recordings,
+/// and [`AuthError::DegradedUnavailable`] when PIN-only fallback is
+/// configured but no claimed or enrolled PIN exists.
+pub fn authenticate_degraded(
+    config: &P2AuthConfig,
+    profile: &UserProfile,
+    claimed_pin: Option<&Pin>,
+    attempt: &Recording,
+) -> Result<AuthDecision, AuthError> {
+    attempt
+        .validate()
+        .map_err(|detail| AuthError::InvalidRecording { detail })?;
+    match config.degraded_fallback {
+        DegradedFallback::Reject => Ok(AuthDecision::reject(
+            InputCase::Insufficient,
+            RejectReason::DegradedChannel,
+        )),
+        DegradedFallback::PinOnly => {
+            let (claimed, stored) = match (claimed_pin, profile.pin.as_ref()) {
+                (Some(c), Some(s)) => (c, s),
+                (None, _) => {
+                    return Err(AuthError::DegradedUnavailable {
+                        detail: "PIN-only fallback needs a claimed PIN".into(),
+                    });
+                }
+                (_, None) => {
+                    return Err(AuthError::DegradedUnavailable {
+                        detail: "PIN-only fallback needs an enrolled PIN".into(),
+                    });
+                }
+            };
+            if claimed == stored && &attempt.pin_entered == stored {
+                Ok(AuthDecision {
+                    accepted: true,
+                    case: InputCase::Insufficient,
+                    reason: None,
+                    keystroke_votes: Vec::new(),
+                    score: 0.0,
+                })
+            } else {
+                Ok(AuthDecision::reject(
+                    InputCase::Insufficient,
+                    RejectReason::WrongPin,
+                ))
+            }
+        }
     }
 }
 
@@ -389,6 +454,61 @@ mod tests {
         assert_eq!(reject.reason, Some(RejectReason::BiometricMismatch));
         // A zero score is conservative: reject.
         assert!(!full_decision(InputCase::OneHanded, 0.0).accepted);
+    }
+
+    #[test]
+    fn degraded_pin_only_fallback_checks_the_triple_match() {
+        let cfg = P2AuthConfig::fast(); // DegradedFallback::PinOnly
+        let pin = Pin::new("1628").expect("valid");
+        let profile = stub_profile(Some(pin.clone()));
+
+        let good = burst_recording("1628");
+        let d = authenticate_degraded(&cfg, &profile, Some(&pin), &good).expect("runs");
+        assert!(d.accepted);
+        assert_eq!(d.score, 0.0, "degraded accept carries no biometric score");
+
+        // Typed digits differ from the stored PIN: reject.
+        let typo = burst_recording("1629");
+        let d = authenticate_degraded(&cfg, &profile, Some(&pin), &typo).expect("runs");
+        assert_eq!(d.reason, Some(RejectReason::WrongPin));
+
+        // Claimed PIN differs: reject.
+        let wrong = Pin::new("9999").expect("valid");
+        let d = authenticate_degraded(&cfg, &profile, Some(&wrong), &good).expect("runs");
+        assert_eq!(d.reason, Some(RejectReason::WrongPin));
+    }
+
+    #[test]
+    fn degraded_reject_policy_rejects_outright() {
+        let cfg = P2AuthConfig {
+            degraded_fallback: DegradedFallback::Reject,
+            ..P2AuthConfig::fast()
+        };
+        let pin = Pin::new("1628").expect("valid");
+        let profile = stub_profile(Some(pin.clone()));
+        let attempt = burst_recording("1628");
+        let d = authenticate_degraded(&cfg, &profile, Some(&pin), &attempt).expect("runs");
+        assert!(!d.accepted);
+        assert_eq!(d.reason, Some(RejectReason::DegradedChannel));
+    }
+
+    #[test]
+    fn degraded_fallback_without_a_pin_is_an_error() {
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let attempt = burst_recording("1628");
+        // No enrolled PIN.
+        let no_pin_profile = stub_profile(None);
+        assert!(matches!(
+            authenticate_degraded(&cfg, &no_pin_profile, Some(&pin), &attempt),
+            Err(AuthError::DegradedUnavailable { .. })
+        ));
+        // No claimed PIN.
+        let profile = stub_profile(Some(pin));
+        assert!(matches!(
+            authenticate_degraded(&cfg, &profile, None, &attempt),
+            Err(AuthError::DegradedUnavailable { .. })
+        ));
     }
 
     #[test]

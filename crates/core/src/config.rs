@@ -14,6 +14,18 @@ pub enum PinPolicy {
     NoPinAllowed,
 }
 
+/// Policy when a session's PPG coverage falls below
+/// [`P2AuthConfig::min_ppg_coverage`] (a faulty link dropped too many
+/// sensor blocks for the biometric factor to be trusted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedFallback {
+    /// Reject outright: both factors or nothing.
+    Reject,
+    /// Fall back to PIN-only verification — the knowledge factor alone
+    /// decides, and the decision is marked as degraded by the caller.
+    PinOnly,
+}
+
 /// Which classifier backs the per-key single-waveform models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SingleModelKind {
@@ -84,6 +96,13 @@ pub struct P2AuthConfig {
     pub ridge: RidgeCvConfig,
     /// Minimum number of enrollment recordings.
     pub min_enroll_recordings: usize,
+    /// Minimum fraction of PPG blocks a session must deliver for the
+    /// biometric factor to be evaluated; below this the
+    /// [`P2AuthConfig::degraded_fallback`] policy applies.
+    pub min_ppg_coverage: f64,
+    /// What to do when coverage is below
+    /// [`P2AuthConfig::min_ppg_coverage`].
+    pub degraded_fallback: DegradedFallback,
     /// RNG seed for the trainable components.
     pub seed: u64,
 }
@@ -113,6 +132,8 @@ impl Default for P2AuthConfig {
             rocket: MiniRocketConfig::default(),
             ridge: RidgeCvConfig::default(),
             min_enroll_recordings: 4,
+            min_ppg_coverage: 0.9,
+            degraded_fallback: DegradedFallback::PinOnly,
             seed: 0x000b_100d,
         }
     }

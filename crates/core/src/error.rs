@@ -43,6 +43,12 @@ pub enum AuthError {
         /// Human-readable description.
         detail: String,
     },
+    /// A degraded-channel fallback was requested but cannot run — e.g.
+    /// PIN-only fallback on a profile enrolled without a PIN.
+    DegradedUnavailable {
+        /// Human-readable description.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AuthError {
@@ -61,6 +67,9 @@ impl fmt::Display for AuthError {
             }
             AuthError::Training { detail } => write!(f, "training failed: {detail}"),
             AuthError::ProfileMismatch { detail } => write!(f, "profile mismatch: {detail}"),
+            AuthError::DegradedUnavailable { detail } => {
+                write!(f, "degraded fallback unavailable: {detail}")
+            }
         }
     }
 }

@@ -38,7 +38,7 @@ pub mod preprocess;
 pub mod types;
 
 pub use auth::{AuthDecision, KeystrokeVote, RejectReason};
-pub use config::{P2AuthConfig, PinPolicy, SingleModelKind};
+pub use config::{DegradedFallback, P2AuthConfig, PinPolicy, SingleModelKind};
 pub use enroll::UserProfile;
 pub use error::AuthError;
 pub use preprocess::{CaseReport, InputCase};
@@ -119,6 +119,24 @@ impl P2Auth {
         attempt: &Rec,
     ) -> Result<AuthDecision, AuthError> {
         auth::authenticate(&self.config, profile, Some(claimed_pin), attempt)
+    }
+
+    /// Authenticates a session whose PPG stream was too degraded for
+    /// the biometric factor; the configured
+    /// [`config::DegradedFallback`] policy decides (reject outright,
+    /// or fall back to PIN-only verification).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if the recording is malformed or the
+    /// fallback cannot run (e.g. PIN-only without an enrolled PIN).
+    pub fn authenticate_degraded(
+        &self,
+        profile: &UserProfile,
+        claimed_pin: Option<&PinT>,
+        attempt: &Rec,
+    ) -> Result<AuthDecision, AuthError> {
+        auth::authenticate_degraded(&self.config, profile, claimed_pin, attempt)
     }
 
     /// Authenticates without a fixed PIN (paper §IV-B 2.6: "the NO-PIN

@@ -4,9 +4,9 @@
 //! profile and a decision is emitted — what the paper's PC-side
 //! prototype does online.
 
-use crate::frame::Frame;
+use crate::frame::{resync_offset, Frame};
 use crate::host::{AssembleError, HostAssembler};
-use p2auth_core::{AuthDecision, AuthError, P2Auth, Pin, UserProfile};
+use p2auth_core::{AuthDecision, AuthError, P2Auth, Pin, Recording, UserProfile};
 
 /// Error from the authenticating host.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +40,86 @@ impl From<AuthError> for StreamAuthError {
     }
 }
 
+/// Outcome of one streamed session under the degraded-mode policy.
+///
+/// Unlike the strict [`AuthenticatingHost::feed_bytes`] path, faults
+/// are not errors here: a session that lost data still produces a
+/// typed outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// Full coverage: the normal two-factor decision.
+    Decision(AuthDecision),
+    /// Coverage fell below the configured threshold; the decision came
+    /// from the degraded fallback policy (e.g. PIN-only).
+    Degraded {
+        /// The fallback decision.
+        decision: AuthDecision,
+        /// PPG block coverage of the session (0.0–1.0).
+        coverage: f64,
+    },
+    /// The session could not be evaluated at all.
+    Abort {
+        /// Human-readable cause.
+        reason: String,
+        /// PPG block coverage at the time of the abort.
+        coverage: f64,
+    },
+}
+
+impl SessionOutcome {
+    /// The decision, unless the session aborted.
+    pub fn decision(&self) -> Option<&AuthDecision> {
+        match self {
+            SessionOutcome::Decision(d) | SessionOutcome::Degraded { decision: d, .. } => Some(d),
+            SessionOutcome::Abort { .. } => None,
+        }
+    }
+
+    /// Whether the user was accepted (aborted sessions never accept).
+    pub fn accepted(&self) -> bool {
+        self.decision().is_some_and(|d| d.accepted)
+    }
+}
+
+/// Applies the coverage-gated decision policy to one assembled session:
+/// at or above the configured `min_ppg_coverage` the normal two-factor
+/// path runs; below it, the degraded fallback
+/// (`P2AuthConfig::degraded_fallback`) decides. Evaluation errors
+/// become [`SessionOutcome::Abort`], never a panic — this is the
+/// deployed path fed by a faulty link.
+pub fn decide_session(
+    system: &P2Auth,
+    profile: &UserProfile,
+    claimed_pin: Option<&Pin>,
+    recording: &Recording,
+    coverage: f64,
+) -> SessionOutcome {
+    if coverage >= system.config().min_ppg_coverage {
+        let decision = match claimed_pin {
+            Some(pin) => system.authenticate(profile, pin, recording),
+            None => system.authenticate_no_pin(profile, recording),
+        };
+        match decision {
+            Ok(d) => SessionOutcome::Decision(d),
+            Err(e) => SessionOutcome::Abort {
+                reason: e.to_string(),
+                coverage,
+            },
+        }
+    } else {
+        match system.authenticate_degraded(profile, claimed_pin, recording) {
+            Ok(d) => SessionOutcome::Degraded {
+                decision: d,
+                coverage,
+            },
+            Err(e) => SessionOutcome::Abort {
+                reason: e.to_string(),
+                coverage,
+            },
+        }
+    }
+}
+
 /// Streams acquisition frames and authenticates each completed session.
 ///
 /// Create with an enrolled profile, feed frames with
@@ -52,6 +132,7 @@ pub struct AuthenticatingHost {
     profile: UserProfile,
     claimed_pin: Option<Pin>,
     assembler: HostAssembler,
+    stream_buf: Vec<u8>,
     sessions_completed: usize,
 }
 
@@ -64,8 +145,61 @@ impl AuthenticatingHost {
             profile,
             claimed_pin,
             assembler: HostAssembler::new(),
+            stream_buf: Vec::new(),
             sessions_completed: 0,
         }
+    }
+
+    /// Feeds a raw byte chunk from the link — any framing, any
+    /// alignment, possibly corrupted. Complete frames are extracted
+    /// and absorbed; garbage is skipped by resynchronizing on the next
+    /// frame magic; a `SessionEnd` closes the session with degraded
+    /// assembly and the coverage-gated decision policy. Returns the
+    /// outcomes of all sessions completed within this chunk (usually
+    /// zero or one).
+    ///
+    /// This is the graceful-degradation counterpart of
+    /// [`AuthenticatingHost::feed_bytes`]: it never errors and never
+    /// panics on hostile input, at the cost of deferring all
+    /// trouble reporting to the typed [`SessionOutcome`].
+    pub fn feed_stream(&mut self, chunk: &[u8]) -> Vec<SessionOutcome> {
+        self.stream_buf.extend_from_slice(chunk);
+        let mut outcomes = Vec::new();
+        let mut pos = 0_usize;
+        while pos < self.stream_buf.len() {
+            match Frame::decode(&self.stream_buf[pos..]) {
+                Ok((frame, used)) => {
+                    pos += used;
+                    if let Some(result) = self.assembler.feed_lossy(frame) {
+                        let coverage_at_end = self.assembler.coverage();
+                        self.assembler = HostAssembler::new();
+                        match result {
+                            Ok((recording, coverage)) => {
+                                self.sessions_completed += 1;
+                                outcomes.push(decide_session(
+                                    &self.system,
+                                    &self.profile,
+                                    self.claimed_pin.as_ref(),
+                                    &recording,
+                                    coverage,
+                                ));
+                            }
+                            Err(e) => outcomes.push(SessionOutcome::Abort {
+                                reason: e.to_string(),
+                                coverage: coverage_at_end,
+                            }),
+                        }
+                    }
+                }
+                Err(e) if e.needs_more_data() => break,
+                Err(_) => {
+                    // Garbage: skip to the next candidate frame start.
+                    pos += resync_offset(&self.stream_buf[pos..]);
+                }
+            }
+        }
+        self.stream_buf.drain(..pos);
+        outcomes
     }
 
     /// Feeds one encoded frame (in arrival order). Returns the decision
@@ -239,5 +373,108 @@ mod tests {
         let mut host = AuthenticatingHost::new(system, profile, Some(pin));
         assert!(host.feed_bytes(&[1, 2, 3]).is_err());
         assert_eq!(host.sessions_completed(), 0);
+    }
+
+    /// A cheaper enrollment for the streaming-path tests, which assert
+    /// plumbing (resync, coverage gating), not accuracy.
+    fn light_setup() -> (Population, Pin, SessionConfig, P2Auth, UserProfile) {
+        let pop = Population::generate(&PopulationConfig {
+            num_users: 4,
+            seed: 733,
+            ..Default::default()
+        });
+        let pin = Pin::new("1628").unwrap();
+        let session = SessionConfig::default();
+        let system = P2Auth::new(P2AuthConfig::fast());
+        let enroll: Vec<_> = (0..6)
+            .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, 40 + i))
+            .collect();
+        let third: Vec<_> = (0..12)
+            .map(|i| {
+                pop.record_entry(
+                    1 + (i as usize % 3),
+                    &pin,
+                    HandMode::OneHanded,
+                    &session,
+                    70 + i,
+                )
+            })
+            .collect();
+        let profile = system.enroll(&pin, &enroll, &third).unwrap();
+        (pop, pin, session, system, profile)
+    }
+
+    #[test]
+    fn feed_stream_resyncs_after_garbage() {
+        let (pop, pin, session, system, profile) = light_setup();
+        let mut host = AuthenticatingHost::new(system, profile, Some(pin.clone()));
+        let legit = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 990);
+        let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+        // Leading garbage (with a fake magic byte) plus junk between
+        // frames; frames themselves are intact.
+        let mut wire = vec![0x00, 0xA5, 0x17];
+        for (i, tf) in device.packetize(&legit).into_iter().enumerate() {
+            wire.extend_from_slice(&tf.frame.encode());
+            if i % 7 == 0 {
+                wire.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+            }
+        }
+        // Arbitrary chunking must not matter.
+        let mut outcomes = Vec::new();
+        for chunk in wire.chunks(13) {
+            outcomes.extend(host.feed_stream(chunk));
+        }
+        assert_eq!(outcomes.len(), 1, "exactly one session completed");
+        assert!(
+            matches!(outcomes[0], SessionOutcome::Decision(_)),
+            "full coverage takes the normal path, got {:?}",
+            outcomes[0]
+        );
+        assert_eq!(host.sessions_completed(), 1);
+    }
+
+    #[test]
+    fn lossy_stream_falls_back_to_pin_only() {
+        let (pop, pin, session, system, profile) = light_setup();
+        let mut host = AuthenticatingHost::new(system.clone(), profile.clone(), Some(pin.clone()));
+        let legit = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 991);
+        let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+        // Drop every third PPG frame: coverage ~2/3, below the 0.9
+        // threshold, with key events intact.
+        let mut wire = Vec::new();
+        let mut ppg_seen = 0_usize;
+        let mut dropped = 0_usize;
+        for tf in device.packetize(&legit) {
+            if matches!(tf.frame, Frame::Ppg { .. }) {
+                ppg_seen += 1;
+                if ppg_seen % 3 == 0 {
+                    dropped += 1;
+                    continue;
+                }
+            }
+            wire.extend_from_slice(&tf.frame.encode());
+        }
+        assert!(dropped > 0);
+        let outcomes = host.feed_stream(&wire);
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0] {
+            SessionOutcome::Degraded { decision, coverage } => {
+                assert!(
+                    *coverage < 0.9,
+                    "coverage {coverage} should gate biometrics"
+                );
+                assert!(
+                    decision.accepted,
+                    "correct PIN accepted under PIN-only fallback"
+                );
+                assert_eq!(decision.score, 0.0, "no biometric score in degraded mode");
+            }
+            other => panic!("expected a degraded outcome, got {other:?}"),
+        }
+        // The wrong PIN must still be rejected in degraded mode.
+        let mut host2 = AuthenticatingHost::new(system, profile, Some(Pin::new("9999").unwrap()));
+        let outcomes2 = host2.feed_stream(&wire);
+        assert_eq!(outcomes2.len(), 1);
+        assert!(!outcomes2[0].accepted(), "wrong claimed PIN rejected");
     }
 }

@@ -118,6 +118,34 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
+impl FrameError {
+    /// Whether the decoder merely needs more bytes (`true`: the buffer
+    /// ends inside what may still become a valid frame) or the stream
+    /// is damaged at the current position and the reader must
+    /// resynchronize by skipping ahead (`false`). Every [`FrameError`]
+    /// is recoverable one way or the other — decoding never panics and
+    /// never leaves the reader without a next step.
+    pub fn needs_more_data(&self) -> bool {
+        matches!(self, FrameError::Truncated)
+    }
+}
+
+/// Distance to skip so that the next decode attempt starts at the next
+/// candidate frame boundary: the index of the first [`MAGIC`] byte at
+/// offset ≥ 1, or `buf.len()` when none remains (discard everything and
+/// wait for fresh bytes). Returns 0 only for an empty buffer.
+///
+/// CRC protection makes a false boundary inside garbage overwhelmingly
+/// likely to fail its own decode, after which the reader skips here
+/// again — so repeated `decode` / `resync_offset` always reaches the
+/// next genuine frame.
+pub fn resync_offset(buf: &[u8]) -> usize {
+    buf.iter()
+        .skip(1)
+        .position(|&b| b == MAGIC)
+        .map_or(buf.len(), |i| i + 1)
+}
+
 const KIND_START: u8 = 1;
 const KIND_PPG: u8 = 2;
 const KIND_ACCEL: u8 = 3;
@@ -550,5 +578,51 @@ mod tests {
     fn crc32_known_vector() {
         // CRC-32 of "123456789" is 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn error_recoverability_classification() {
+        assert!(FrameError::Truncated.needs_more_data());
+        assert!(!FrameError::BadMagic { found: 0 }.needs_more_data());
+        assert!(!FrameError::BadCrc.needs_more_data());
+        assert!(!FrameError::Oversized { len: 70_000 }.needs_more_data());
+    }
+
+    #[test]
+    fn resync_skips_to_next_magic() {
+        assert_eq!(resync_offset(&[]), 0);
+        assert_eq!(resync_offset(&[0x00, 0x01, MAGIC, 0x02]), 2);
+        // The magic at offset 0 is the position being abandoned; only
+        // later occurrences count.
+        assert_eq!(resync_offset(&[MAGIC, 0x01, MAGIC]), 2);
+        assert_eq!(resync_offset(&[0x00, 0x01, 0x02]), 3);
+    }
+
+    #[test]
+    fn garbage_prefix_recovered_by_resync() {
+        let frame = Frame::Key {
+            index: 2,
+            digit: 7,
+            t_phone_us: 42,
+        };
+        let mut buf = vec![0x13, MAGIC, 0x00, 0xff, 0x7a];
+        buf.extend_from_slice(&frame.encode());
+        let mut offset = 0;
+        let mut decoded = None;
+        while offset < buf.len() {
+            match Frame::decode(&buf[offset..]) {
+                Ok((f, _)) => {
+                    decoded = Some(f);
+                    break;
+                }
+                Err(e) => {
+                    assert!(!e.needs_more_data() || offset > 0, "whole buffer present");
+                    let skip = resync_offset(&buf[offset..]);
+                    assert!(skip >= 1);
+                    offset += skip;
+                }
+            }
+        }
+        assert_eq!(decoded, Some(frame));
     }
 }

@@ -150,6 +150,170 @@ impl HostAssembler {
         }
     }
 
+    /// Fraction of expected PPG blocks received so far, estimated from
+    /// the highest block sequence number observed on any channel
+    /// (channels carry equal-length signals, so the global high-water
+    /// mark is the best available estimate of blocks per channel).
+    /// 1.0 on a complete stream, decreasing as blocks go missing; 0.0
+    /// before any PPG block has arrived. Tail loss that truncates the
+    /// high-water mark itself is invisible here — the retransmission
+    /// layer closes that hole with its end-of-stream marker.
+    pub fn coverage(&self) -> f64 {
+        let Some(max_seq) = self.ppg_blocks.keys().map(|&(_, s)| s).max() else {
+            return 0.0;
+        };
+        let channels = self.channels.len().max(1);
+        let expected = (max_seq as usize + 1) * channels;
+        (self.ppg_blocks.len() as f64 / expected as f64).min(1.0)
+    }
+
+    /// Fault-tolerant variant of [`HostAssembler::feed`]: `SessionEnd`
+    /// closes the session with [`HostAssembler::assemble_degraded`]
+    /// (gap filling + coverage reporting) instead of strict assembly.
+    /// All other frames are absorbed exactly as
+    /// [`HostAssembler::feed`] absorbs them and return `None`.
+    pub fn feed_lossy(&mut self, frame: Frame) -> Option<Result<(Recording, f64), AssembleError>> {
+        if let Frame::SessionEnd {
+            true_key_times,
+            watch_hand,
+            one_handed,
+        } = frame
+        {
+            self.end = Some((true_key_times, watch_hand, one_handed));
+            Some(self.assemble_degraded())
+        } else {
+            let fed = self.feed(frame);
+            debug_assert!(fed.is_ok(), "only SessionEnd can fail mid-stream");
+            None
+        }
+    }
+
+    /// Best-effort assembly for fault-degraded sessions. Missing PPG
+    /// blocks are filled by holding the last received sample (a flat,
+    /// artifact-free stretch), channels are padded to a common length,
+    /// and key/ground-truth indices are clamped into range; the accel
+    /// track is concatenated from whatever arrived. On a complete
+    /// session this produces exactly what strict assembly produces.
+    /// Returns the recording together with the PPG
+    /// [`coverage`](HostAssembler::coverage) that went into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError::Incomplete`] when no amount of gap
+    /// filling yields a valid recording: missing `SessionStart`, no
+    /// PPG data at all, lost key events (the typed PIN cannot be
+    /// reconstructed), or no `SessionEnd` recorded.
+    pub fn assemble_degraded(&mut self) -> Result<(Recording, f64), AssembleError> {
+        let coverage = self.coverage();
+        let user = self.user.ok_or_else(|| AssembleError::Incomplete {
+            detail: "missing SessionStart".into(),
+        })?;
+        let rate = self.sample_rate.expect("set with user");
+        if self.channels.is_empty() {
+            return Err(AssembleError::Incomplete {
+                detail: "no channels declared".into(),
+            });
+        }
+        let num_channels = self.channels.len();
+        if let Some(&(ch, _)) = self
+            .ppg_blocks
+            .keys()
+            .find(|&&(ch, _)| ch as usize >= num_channels)
+        {
+            return Err(AssembleError::Incomplete {
+                detail: format!("channel {ch} undeclared"),
+            });
+        }
+        // Infer the device's chunking from the largest block seen (all
+        // blocks but a channel's last are full-sized).
+        let chunk = self.ppg_blocks.values().map(Vec::len).max().unwrap_or(0);
+        if chunk == 0 {
+            return Err(AssembleError::Incomplete {
+                detail: "no PPG blocks received".into(),
+            });
+        }
+        let max_seq = self
+            .ppg_blocks
+            .keys()
+            .map(|&(_, s)| s)
+            .max()
+            .expect("non-empty block map");
+        let mut ppg: Vec<Vec<f64>> = Vec::with_capacity(num_channels);
+        for ch in 0..num_channels {
+            let mut data: Vec<f64> = Vec::with_capacity((max_seq as usize + 1) * chunk);
+            let mut hold = 0.0;
+            for seq in 0..=max_seq {
+                match self.ppg_blocks.get(&(ch as u8, seq)) {
+                    Some(block) => {
+                        data.extend_from_slice(block);
+                        if let Some(&v) = block.last() {
+                            hold = v;
+                        }
+                    }
+                    None => data.resize(data.len() + chunk, hold),
+                }
+            }
+            ppg.push(data);
+        }
+        let n = ppg.iter().map(Vec::len).max().expect("channels exist");
+        for ch in &mut ppg {
+            let hold = ch.last().copied().unwrap_or(0.0);
+            ch.resize(n, hold);
+        }
+        let accel = self.accel_rate.map(|ar| {
+            let mut axes = [Vec::new(), Vec::new(), Vec::new()];
+            for ((axis, _seq), block) in &self.accel_blocks {
+                if (*axis as usize) < 3 {
+                    axes[*axis as usize].extend_from_slice(block);
+                }
+            }
+            AccelTrack {
+                sample_rate: ar,
+                axes,
+            }
+        });
+        self.keys.sort_by_key(|k| k.index);
+        let digits: String = self
+            .keys
+            .iter()
+            .map(|k| char::from(b'0' + k.digit))
+            .collect();
+        let pin = Pin::new(&digits).map_err(|e| AssembleError::Incomplete {
+            detail: format!("bad PIN from key events: {e}"),
+        })?;
+        let reported_key_times: Vec<usize> = self
+            .keys
+            .iter()
+            .map(|k| k.samples_seen.min(n - 1))
+            .collect();
+        let (true_times, watch_hand, one_handed) =
+            self.end.clone().ok_or_else(|| AssembleError::Incomplete {
+                detail: "no SessionEnd recorded".into(),
+            })?;
+        let rec = Recording {
+            user: UserId(user),
+            sample_rate: rate,
+            ppg,
+            channels: self.channels.clone(),
+            accel,
+            pin_entered: pin,
+            reported_key_times,
+            true_key_times: true_times
+                .iter()
+                .map(|&t| (t as usize).min(n - 1))
+                .collect(),
+            watch_hand,
+            hand_mode: if one_handed {
+                HandMode::OneHanded
+            } else {
+                HandMode::TwoHanded
+            },
+        };
+        rec.validate()
+            .map_err(|detail| AssembleError::Incomplete { detail })?;
+        Ok((rec, coverage))
+    }
+
     fn assemble(&mut self) -> Result<Recording, AssembleError> {
         let user = self.user.ok_or_else(|| AssembleError::Incomplete {
             detail: "missing SessionStart".into(),

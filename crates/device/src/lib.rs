@@ -21,10 +21,15 @@
 //! * [`host`] — the PC side: reassembles packets into a `Recording`
 //!   whose *reported* keystroke times carry the real link-induced error
 //!   (the key events are pinned to whatever PPG sample happened to
-//!   arrive last).
+//!   arrive last),
+//! * [`reliable`] — sequence numbers + NACK retransmission over a
+//!   faulty channel ([`link::FaultyLink`]: drops, corruption,
+//!   duplication, reordering, burst loss, clock drift — all seeded).
 //!
 //! The round trip `Recording → packets → link → Recording` is exercised
-//! by the integration tests and the `streaming_acquisition` example.
+//! by the integration tests and the `streaming_acquisition` example;
+//! the fault model and recovery protocol are documented in `DESIGN.md`
+//! ("Link fault model & recovery").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +40,11 @@ pub mod device;
 pub mod frame;
 pub mod host;
 pub mod link;
+pub mod reliable;
 
-pub use auth_host::AuthenticatingHost;
+pub use auth_host::{decide_session, AuthenticatingHost, SessionOutcome};
 pub use device::WearableDevice;
-pub use frame::{Frame, FrameError};
+pub use frame::{resync_offset, Frame, FrameError};
 pub use host::HostAssembler;
-pub use link::{Link, LinkConfig};
+pub use link::{FaultConfig, FaultStats, FaultyLink, Link, LinkConfig};
+pub use reliable::{transmit_reliable, Packet, ReliableConfig, TransferStats};

@@ -6,6 +6,13 @@
 //! such paths — the EVK board and the STM32 + USB-TTL bridge — plus the
 //! phone's wireless link for key events, each with its own delay
 //! characteristics.
+//!
+//! [`FaultyLink`] layers a seeded fault model on top of [`Link`]: frame
+//! drops (independent and Gilbert–Elliott bursts), per-byte corruption,
+//! duplication, reordering and slow receiver-clock drift. With the
+//! all-zero [`FaultConfig::default`] it is byte- and time-identical to
+//! the plain link, which is what lets the recovery layer be tested
+//! against an unchanged perfect-channel baseline.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -80,6 +87,224 @@ impl Link {
     }
 }
 
+/// Fault-injection parameters layered on top of a [`Link`].
+///
+/// All probabilities are per-frame (per-byte for corruption). The fault
+/// randomness comes from a dedicated RNG seeded with
+/// [`FaultConfig::seed`] — independent of the link's jitter RNG — so a
+/// given `(LinkConfig, FaultConfig)` pair replays the exact same fault
+/// pattern for the same traffic. The all-zero default injects nothing:
+/// a [`FaultyLink`] with `FaultConfig::default()` delivers every frame
+/// byte-identically at the exact times the inner [`Link`] alone would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Independent per-frame loss probability.
+    pub drop_rate: f64,
+    /// Per-byte corruption probability (one random bit is flipped).
+    pub corrupt_rate: f64,
+    /// Per-frame duplication probability; the copy takes its own
+    /// independent trip through the link.
+    pub dup_rate: f64,
+    /// Per-frame probability of the frame being held back past frames
+    /// sent after it (reordering; deliberately breaks the FIFO
+    /// property of the inner link).
+    pub reorder_rate: f64,
+    /// How long a reordered frame is held back (seconds).
+    pub reorder_delay_s: f64,
+    /// Per-frame probability of entering the burst-loss (bad) state of
+    /// the Gilbert–Elliott model.
+    pub burst_enter: f64,
+    /// Per-frame probability of leaving the burst-loss state.
+    pub burst_exit: f64,
+    /// Additional loss probability while in the burst-loss state.
+    pub burst_loss: f64,
+    /// Slow receiver-clock drift in parts per million, scaling arrival
+    /// timestamps — on top of the static offset modeled by
+    /// [`crate::clock::VirtualClock`].
+    pub drift_ppm: f64,
+    /// Seed of the fault RNG.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_delay_s: 0.25,
+            burst_enter: 0.0,
+            burst_exit: 0.3,
+            burst_loss: 0.9,
+            drift_ppm: 0.0,
+            seed: 0xfa_0175,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A channel that independently loses `rate` of its frames.
+    pub fn lossy(rate: f64, seed: u64) -> Self {
+        Self {
+            drop_rate: rate,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Whether any fault process is active.
+    pub fn is_active(&self) -> bool {
+        self.drop_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.dup_rate > 0.0
+            || self.reorder_rate > 0.0
+            || self.burst_enter > 0.0
+            || self.drift_ppm != 0.0
+    }
+}
+
+/// Cumulative counters of what a [`FaultyLink`] did to its traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames offered to the link.
+    pub frames_sent: usize,
+    /// Frames dropped (independent or burst loss).
+    pub frames_dropped: usize,
+    /// Bytes that had a bit flipped.
+    pub bytes_corrupted: usize,
+    /// Frames delivered twice.
+    pub frames_duplicated: usize,
+    /// Frames held back past later traffic.
+    pub frames_reordered: usize,
+}
+
+/// A [`Link`] wrapped in the seeded fault model of [`FaultConfig`].
+///
+/// The wrapper owns the delivery decision: [`FaultyLink::send`] takes
+/// the frame bytes and returns zero or more `(arrival_time, bytes)`
+/// deliveries — zero when the frame is lost, two when duplicated,
+/// possibly corrupted copies otherwise.
+#[derive(Debug, Clone)]
+pub struct FaultyLink {
+    link: Link,
+    faults: FaultConfig,
+    rng: StdRng,
+    in_burst: bool,
+    stats: FaultStats,
+}
+
+impl FaultyLink {
+    /// Creates a faulty link from delay and fault characteristics.
+    pub fn new(link: LinkConfig, faults: FaultConfig) -> Self {
+        Self {
+            link: Link::new(link),
+            faults,
+            rng: StdRng::seed_from_u64(faults.seed),
+            in_burst: false,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// A fault-free wrapper: behaves exactly like `Link::new(link)`.
+    pub fn perfect(link: LinkConfig) -> Self {
+        Self::new(link, FaultConfig::default())
+    }
+
+    /// A reverse-direction companion (for NACK/acknowledgement paths):
+    /// same delay and fault characteristics, independent RNG streams.
+    pub fn reverse(&self) -> Self {
+        let mut link = *self.link.config();
+        link.seed ^= 0x5eed_5eed;
+        let mut faults = self.faults;
+        faults.seed ^= 0x5eed_5eed;
+        Self::new(link, faults)
+    }
+
+    /// Sends `bytes` at `t_send`, returning each delivery as
+    /// `(arrival_time, bytes)`. Loss yields an empty vector;
+    /// duplication yields two entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_send` is not finite.
+    pub fn send(&mut self, t_send: f64, bytes: &[u8]) -> Vec<(f64, Vec<u8>)> {
+        self.stats.frames_sent += 1;
+        // Gilbert–Elliott state transition, once per offered frame.
+        if self.faults.burst_enter > 0.0 {
+            let p = if self.in_burst {
+                self.faults.burst_exit
+            } else {
+                self.faults.burst_enter
+            };
+            if self.rng.gen::<f64>() < p {
+                self.in_burst = !self.in_burst;
+            }
+        }
+        let mut loss = self.faults.drop_rate;
+        if self.in_burst {
+            loss += self.faults.burst_loss;
+        }
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            self.stats.frames_dropped += 1;
+            return Vec::new();
+        }
+        let copies = if self.faults.dup_rate > 0.0 && self.rng.gen::<f64>() < self.faults.dup_rate {
+            self.stats.frames_duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut out = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let mut arrival = self.link.deliver(t_send);
+            if self.faults.reorder_rate > 0.0 && self.rng.gen::<f64>() < self.faults.reorder_rate {
+                // Held back *after* the FIFO stage, so later frames can
+                // overtake this one.
+                self.stats.frames_reordered += 1;
+                arrival += self.faults.reorder_delay_s;
+            }
+            if self.faults.drift_ppm != 0.0 {
+                arrival *= 1.0 + self.faults.drift_ppm * 1e-6;
+            }
+            let mut payload = bytes.to_vec();
+            if self.faults.corrupt_rate > 0.0 {
+                for b in &mut payload {
+                    if self.rng.gen::<f64>() < self.faults.corrupt_rate {
+                        *b ^= 1 << self.rng.gen_range(0_u8..8);
+                        self.stats.bytes_corrupted += 1;
+                    }
+                }
+            }
+            out.push((arrival, payload));
+        }
+        out
+    }
+
+    /// Starts a new acquisition session: clears the FIFO high-water
+    /// mark and the burst state. Both RNGs keep their state, so
+    /// successive sessions see different delays and fault patterns.
+    pub fn start_session(&mut self) {
+        self.link.start_session();
+        self.in_burst = false;
+    }
+
+    /// The delay configuration of the inner link.
+    pub fn link_config(&self) -> &LinkConfig {
+        self.link.config()
+    }
+
+    /// The fault configuration.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// Cumulative fault counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +356,170 @@ mod tests {
             seed: 3,
         });
         assert!((l.deliver(1.0) - 1.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_faults_match_plain_link_exactly() {
+        let cfg = LinkConfig::default();
+        let mut plain = Link::new(cfg);
+        let mut faulty = FaultyLink::perfect(cfg);
+        let payload = [0xA5, 1, 2, 3];
+        for i in 0..200 {
+            let t = i as f64 * 0.01;
+            let deliveries = faulty.send(t, &payload);
+            assert_eq!(deliveries.len(), 1, "perfect channel never drops");
+            let (arrival, bytes) = &deliveries[0];
+            assert_eq!(*arrival, plain.deliver(t), "times must be identical");
+            assert_eq!(bytes.as_slice(), &payload[..], "bytes must be identical");
+        }
+        assert!(!faulty.fault_config().is_active());
+        assert_eq!(faulty.stats().frames_dropped, 0);
+        assert_eq!(faulty.stats().bytes_corrupted, 0);
+    }
+
+    #[test]
+    fn drop_rate_drops_roughly_that_fraction() {
+        let mut l = FaultyLink::new(LinkConfig::default(), FaultConfig::lossy(0.2, 7));
+        let mut delivered = 0;
+        let n = 2000;
+        for i in 0..n {
+            delivered += l.send(i as f64 * 0.01, &[1, 2, 3]).len();
+        }
+        let rate = 1.0 - delivered as f64 / n as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.04,
+            "observed loss {rate} far from configured 0.2"
+        );
+        assert_eq!(l.stats().frames_sent, n);
+        assert_eq!(l.stats().frames_dropped, n - delivered);
+    }
+
+    #[test]
+    fn corruption_flips_bits_but_keeps_length() {
+        let faults = FaultConfig {
+            corrupt_rate: 0.5,
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let mut l = FaultyLink::new(LinkConfig::default(), faults);
+        let payload: Vec<u8> = (0..64).collect();
+        let mut changed = 0;
+        for i in 0..50 {
+            for (_, bytes) in l.send(i as f64, &payload) {
+                assert_eq!(bytes.len(), payload.len());
+                changed += bytes.iter().zip(&payload).filter(|(a, b)| a != b).count();
+            }
+        }
+        assert!(changed > 0, "corruption rate 0.5 must flip something");
+        assert_eq!(l.stats().bytes_corrupted, changed);
+    }
+
+    #[test]
+    fn duplication_delivers_two_copies() {
+        let faults = FaultConfig {
+            dup_rate: 1.0,
+            seed: 13,
+            ..FaultConfig::default()
+        };
+        let mut l = FaultyLink::new(LinkConfig::default(), faults);
+        let deliveries = l.send(0.0, &[9, 9]);
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(l.stats().frames_duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_breaks_fifo() {
+        let faults = FaultConfig {
+            reorder_rate: 0.3,
+            reorder_delay_s: 1.0,
+            seed: 17,
+            ..FaultConfig::default()
+        };
+        let mut l = FaultyLink::new(LinkConfig::default(), faults);
+        let mut arrivals = Vec::new();
+        for i in 0..100 {
+            for (t, _) in l.send(i as f64 * 0.05, &[0]) {
+                arrivals.push(t);
+            }
+        }
+        let out_of_order = arrivals.windows(2).filter(|w| w[1] < w[0]).count();
+        assert!(out_of_order > 0, "reordering must violate FIFO");
+        assert!(l.stats().frames_reordered > 0);
+    }
+
+    #[test]
+    fn burst_loss_clusters_drops() {
+        let faults = FaultConfig {
+            burst_enter: 0.05,
+            burst_exit: 0.2,
+            burst_loss: 1.0,
+            seed: 19,
+            ..FaultConfig::default()
+        };
+        let mut l = FaultyLink::new(LinkConfig::default(), faults);
+        let lost: Vec<bool> = (0..2000)
+            .map(|i| l.send(i as f64 * 0.01, &[0]).is_empty())
+            .collect();
+        let total = lost.iter().filter(|&&x| x).count();
+        assert!(total > 50, "burst model should lose a visible fraction");
+        // Consecutive-loss pairs must be far more common than under
+        // independent loss at the same total rate.
+        let pairs = lost.windows(2).filter(|w| w[0] && w[1]).count();
+        let p = total as f64 / lost.len() as f64;
+        let independent_pairs = p * p * (lost.len() - 1) as f64;
+        assert!(
+            pairs as f64 > 3.0 * independent_pairs,
+            "losses do not cluster: {pairs} pairs vs {independent_pairs:.1} expected"
+        );
+    }
+
+    #[test]
+    fn faulty_link_replays_deterministically() {
+        let faults = FaultConfig {
+            drop_rate: 0.1,
+            corrupt_rate: 0.01,
+            dup_rate: 0.05,
+            reorder_rate: 0.05,
+            seed: 23,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultyLink::new(LinkConfig::default(), faults);
+        let mut b = FaultyLink::new(LinkConfig::default(), faults);
+        for i in 0..300 {
+            let payload = [i as u8, (i >> 8) as u8, 0xA5];
+            assert_eq!(
+                a.send(i as f64 * 0.01, &payload),
+                b.send(i as f64 * 0.01, &payload)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn reverse_link_is_independent_but_deterministic() {
+        let l = FaultyLink::new(LinkConfig::default(), FaultConfig::lossy(0.1, 29));
+        let mut r1 = l.reverse();
+        let mut r2 = l.reverse();
+        assert_ne!(r1.fault_config().seed, l.fault_config().seed);
+        for i in 0..50 {
+            assert_eq!(r1.send(i as f64, &[1]), r2.send(i as f64, &[1]));
+        }
+    }
+
+    #[test]
+    fn drift_scales_arrival_times() {
+        let faults = FaultConfig {
+            drift_ppm: 1000.0,
+            seed: 31,
+            ..FaultConfig::default()
+        };
+        let link = LinkConfig {
+            base_delay_s: 0.0,
+            jitter_s: 0.0,
+            seed: 1,
+        };
+        let mut l = FaultyLink::new(link, faults);
+        let (arrival, _) = l.send(100.0, &[0])[0];
+        assert!((arrival - 100.0 * 1.001).abs() < 1e-9);
     }
 }

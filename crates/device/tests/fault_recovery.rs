@@ -1,0 +1,248 @@
+//! End-to-end fault-injection tests for the reliable transport and the
+//! coverage-gated decision policy.
+//!
+//! The CI fault matrix drives these across seeds and loss rates via
+//! `P2AUTH_FAULT_SEED` and `P2AUTH_FAULT_LOSS` (defaults: seed 1, loss
+//! 0.02). Everything is deterministic for a given pair, so a matrix
+//! cell that passes once passes forever.
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, UserProfile};
+use p2auth_device::clock::VirtualClock;
+use p2auth_device::host::transmit;
+use p2auth_device::{
+    decide_session, transmit_reliable, FaultConfig, FaultyLink, Link, LinkConfig, ReliableConfig,
+    SessionOutcome, WearableDevice,
+};
+use p2auth_sim::{Population, PopulationConfig, Recording, SessionConfig};
+use std::sync::OnceLock;
+
+fn env_seed() -> u64 {
+    std::env::var("P2AUTH_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn env_loss() -> f64 {
+    std::env::var("P2AUTH_FAULT_LOSS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.02)
+}
+
+fn device() -> WearableDevice {
+    WearableDevice::new(VirtualClock::new(0.4, 20.0))
+}
+
+fn key_link_config() -> LinkConfig {
+    LinkConfig {
+        seed: 0x4b,
+        ..LinkConfig::default()
+    }
+}
+
+fn faults(loss: f64, seed: u64) -> FaultConfig {
+    FaultConfig {
+        drop_rate: loss,
+        corrupt_rate: loss / 4.0,
+        seed,
+        ..FaultConfig::default()
+    }
+}
+
+struct Setup {
+    system: P2Auth,
+    profile: UserProfile,
+    pop: Population,
+    session: SessionConfig,
+    pin: Pin,
+}
+
+/// One enrollment (reduced feature budget) shared across the tests that
+/// need decisions, not just transfers.
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let pop = Population::generate(&PopulationConfig {
+            num_users: 4,
+            seed: 0xfa_0175,
+            ..Default::default()
+        });
+        let session = SessionConfig::default();
+        let pin = Pin::new("1628").unwrap();
+        let system = P2Auth::new(P2AuthConfig::fast());
+        let enroll: Vec<Recording> = (0..6)
+            .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+            .collect();
+        let third: Vec<Recording> = (0..12)
+            .map(|i| {
+                let other = 1 + (i as usize % 3);
+                pop.record_entry(other, &pin, HandMode::OneHanded, &session, 500 + i)
+            })
+            .collect();
+        let profile = system.enroll(&pin, &enroll, &third).expect("enrollment");
+        Setup {
+            system,
+            profile,
+            pop,
+            session,
+            pin,
+        }
+    })
+}
+
+fn sample(nonce: u64) -> Recording {
+    let s = setup();
+    s.pop
+        .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 7000 + nonce)
+}
+
+#[test]
+fn clean_reliable_channel_matches_plain_transmit() {
+    let rec = sample(0);
+    let dev = device();
+
+    let mut data = Link::new(LinkConfig::default());
+    let mut keys = Link::new(key_link_config());
+    let plain = transmit(&rec, &dev, &mut data, &mut keys).expect("plain transmit");
+
+    let mut data = FaultyLink::perfect(LinkConfig::default());
+    let mut keys = FaultyLink::perfect(key_link_config());
+    let (result, stats) =
+        transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
+    let (reliable, coverage) = result.expect("clean channel");
+
+    // Zero fault rates: the ARQ layer must be invisible — identical
+    // reassembly, full coverage, no recovery machinery engaged.
+    assert_eq!(reliable, plain);
+    assert!((coverage - 1.0).abs() < 1e-12, "coverage {coverage}");
+    assert_eq!(stats.delivered_unique, stats.data_packets);
+    assert_eq!(stats.retransmissions, 0);
+    assert_eq!(stats.nacks_sent, 0);
+    assert_eq!(stats.corrupt_discarded, 0);
+    assert_eq!(stats.gaps_abandoned, 0);
+    assert!(stats.forward_bytes > 0);
+    assert_eq!(stats.reverse_bytes, 0, "no NACK traffic on a clean link");
+}
+
+#[test]
+fn recovery_at_the_configured_fault_rate() {
+    let loss = env_loss();
+    let seed = env_seed();
+    let dev = device();
+
+    let mut ok_covered = 0_usize;
+    let mut total_nacks = 0_usize;
+    for i in 0..3_u64 {
+        let rec = sample(100 + i);
+        let mut data = FaultyLink::new(LinkConfig::default(), faults(loss, seed * 101 + i));
+        let mut keys = FaultyLink::new(key_link_config(), faults(loss, seed * 211 + i));
+        let (result, stats) =
+            transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
+        total_nacks += stats.nacks_sent;
+        match result {
+            Ok((rebuilt, coverage)) => {
+                assert_eq!(rebuilt.validate(), Ok(()));
+                if coverage >= 0.9 {
+                    ok_covered += 1;
+                }
+                if loss == 0.0 {
+                    assert!((coverage - 1.0).abs() < 1e-12);
+                    assert_eq!(stats.retransmissions, 0);
+                } else if loss <= 0.05 {
+                    assert!(coverage >= 0.95, "coverage {coverage} at loss {loss}");
+                }
+            }
+            Err(e) => assert!(loss > 0.05, "transfer failed at loss {loss}: {e}"),
+        }
+    }
+    if loss == 0.0 {
+        assert_eq!(total_nacks, 0);
+    } else {
+        // Hundreds of packets per session: some loss is certain, so the
+        // recovery machinery must have engaged.
+        assert!(total_nacks > 0, "no NACKs at loss {loss}");
+    }
+    // Recovery keeps coverage high: with bounded retries the protocol
+    // should save nearly every session even at the top matrix rate.
+    assert!(
+        ok_covered >= 2,
+        "only {ok_covered}/3 sessions reached 0.9 coverage at loss {loss}"
+    );
+}
+
+#[test]
+fn same_seed_replays_byte_identical_traffic_and_decisions() {
+    let s = setup();
+    let seed = env_seed();
+    let dev = device();
+    let rec = sample(200);
+
+    let run = || {
+        let mut data = FaultyLink::new(LinkConfig::default(), faults(0.04, seed * 17 + 3));
+        let mut keys = FaultyLink::new(key_link_config(), faults(0.04, seed * 17 + 4));
+        let (result, stats) =
+            transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
+        let outcome = result.as_ref().ok().map(|(rebuilt, coverage)| {
+            decide_session(&s.system, &s.profile, Some(&s.pin), rebuilt, *coverage)
+        });
+        (result, stats, outcome)
+    };
+    let (result_a, stats_a, outcome_a) = run();
+    let (result_b, stats_b, outcome_b) = run();
+
+    // The wire digests cover every byte offered to the links in order,
+    // so equal stats mean the two sessions exchanged identical traffic.
+    assert_eq!(stats_a, stats_b);
+    assert!(stats_a.forward_bytes > 0);
+    match (result_a, result_b) {
+        (Ok((rec_a, cov_a)), Ok((rec_b, cov_b))) => {
+            assert_eq!(rec_a, rec_b);
+            assert_eq!(cov_a, cov_b);
+        }
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => panic!("replay diverged: {a:?} vs {b:?}"),
+    }
+    assert_eq!(outcome_a, outcome_b, "auth decisions must replay");
+}
+
+#[test]
+fn unrecovered_loss_falls_back_to_the_degraded_policy() {
+    let s = setup();
+    let dev = device();
+    let rec = sample(300);
+
+    // Recovery disabled and a heavily lossy data link (keys perfect, so
+    // assembly itself survives): coverage lands well under the 0.9
+    // gate and the PIN-only fallback decides.
+    let no_recovery = ReliableConfig {
+        max_nacks: 0,
+        max_retries: 0,
+        ..ReliableConfig::default()
+    };
+    let mut data = FaultyLink::new(LinkConfig::default(), faults(0.25, env_seed() * 31 + 7));
+    let mut keys = FaultyLink::perfect(key_link_config());
+    let (result, stats) = transmit_reliable(&rec, &dev, &mut data, &mut keys, &no_recovery);
+    assert_eq!(stats.retransmissions, 0);
+    let (rebuilt, coverage) = result.expect("degraded assembly still yields a recording");
+    assert!(coverage < 0.9, "coverage {coverage} should be degraded");
+
+    match decide_session(&s.system, &s.profile, Some(&s.pin), &rebuilt, coverage) {
+        SessionOutcome::Degraded {
+            decision,
+            coverage: c,
+        } => {
+            assert!(decision.accepted, "correct PIN passes the fallback");
+            assert_eq!(decision.score, 0.0, "no biometric evidence");
+            assert_eq!(c, coverage);
+        }
+        other => panic!("expected a degraded outcome, got {other:?}"),
+    }
+
+    let wrong = Pin::new("9999").unwrap();
+    let outcome = decide_session(&s.system, &s.profile, Some(&wrong), &rebuilt, coverage);
+    assert!(
+        !outcome.accepted(),
+        "wrong PIN must fail the degraded fallback"
+    );
+}

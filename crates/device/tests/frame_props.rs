@@ -2,7 +2,7 @@
 //! round-trip, arbitrary corruption is detected, arbitrary garbage
 //! never panics the decoder.
 
-use p2auth_device::frame::{crc32, Frame, FrameError};
+use p2auth_device::frame::{crc32, resync_offset, Frame, FrameError};
 use p2auth_device::{Link, LinkConfig};
 use proptest::prelude::*;
 
@@ -96,6 +96,92 @@ proptest! {
         let mut flipped = data.clone();
         flipped[pos] ^= 1 << bit;
         prop_assert_ne!(crc32(&data), crc32(&flipped));
+    }
+
+    #[test]
+    fn resync_offset_always_advances_to_a_magic_or_the_end(
+        bytes in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let off = resync_offset(&bytes);
+        prop_assert!(off >= 1, "must advance past the bad byte");
+        prop_assert!(off <= bytes.len());
+        for &b in &bytes[1..off] {
+            prop_assert_ne!(b, 0xA5, "skipped a candidate magic");
+        }
+        if off < bytes.len() {
+            prop_assert_eq!(bytes[off], 0xA5);
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_is_skipped_by_resync(
+        frame in arb_frame(),
+        prefix in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A prefix free of the magic byte: a pure garbage burst before
+        // a well-formed frame, as a corrupted link would produce.
+        let prefix: Vec<u8> = prefix
+            .into_iter()
+            .map(|b| if b == 0xA5 { 0xA4 } else { b })
+            .collect();
+        let mut buf = prefix.clone();
+        buf.extend_from_slice(&frame.encode());
+        let mut at = 0;
+        let mut recovered = None;
+        while at < buf.len() {
+            match Frame::decode(&buf[at..]) {
+                Ok((f, used)) => {
+                    recovered = Some((f, at));
+                    at += used;
+                }
+                Err(e) if e.needs_more_data() => break,
+                Err(_) => {
+                    let off = resync_offset(&buf[at..]);
+                    prop_assert!(off >= 1, "resync must advance");
+                    at += off;
+                }
+            }
+        }
+        prop_assert_eq!(recovered, Some((frame, prefix.len())));
+    }
+
+    #[test]
+    fn corrupted_stream_never_yields_phantom_frames(
+        f1 in arb_frame(),
+        f2 in arb_frame(),
+        pos_sel in any::<prop::sample::Index>(),
+        bit in 0_u8..8,
+    ) {
+        // Flip one bit inside the first of two back-to-back frames and
+        // scan with the decode/resync loop: it must terminate without
+        // panicking and never produce a frame that was never sent. (It
+        // may legitimately stall on a length field that now points past
+        // the buffer — a live host resolves that with a timeout.)
+        let mut buf = f1.encode().to_vec();
+        let cut = buf.len();
+        buf.extend_from_slice(&f2.encode());
+        let pos = pos_sel.index(cut);
+        buf[pos] ^= 1 << bit;
+        let mut at = 0;
+        let mut decoded = Vec::new();
+        while at < buf.len() {
+            match Frame::decode(&buf[at..]) {
+                Ok((f, used)) => {
+                    prop_assert!(used >= 1);
+                    decoded.push(f);
+                    at += used;
+                }
+                Err(e) if e.needs_more_data() => break,
+                Err(_) => {
+                    let off = resync_offset(&buf[at..]);
+                    prop_assert!(off >= 1 && off <= buf.len() - at);
+                    at += off;
+                }
+            }
+        }
+        for f in decoded {
+            prop_assert!(f == f1 || f == f2, "phantom frame decoded");
+        }
     }
 
     #[test]

@@ -65,6 +65,38 @@ pub fn add_motion_events(out: &mut [f64], rate: f64, subject: &Subject, rng: &mu
     }
 }
 
+/// Adds burst noise: Poisson-arriving windows of large uniform noise
+/// (0.1–0.4 s each), modeling contact loss, cable glitches and other
+/// transient sensor dropouts — the kind of disruption the device
+/// link's fault model produces at the transport layer, here injected
+/// at the signal layer instead. `bursts_per_s` of 0 adds nothing and
+/// draws nothing from `rng`.
+pub fn add_burst_noise(
+    out: &mut [f64],
+    rate: f64,
+    bursts_per_s: f64,
+    magnitude: f64,
+    rng: &mut StdRng,
+) {
+    if bursts_per_s <= 0.0 || out.is_empty() {
+        return;
+    }
+    let duration = out.len() as f64 / rate;
+    let mut t = 0.0;
+    loop {
+        t += -rng.gen_range(f64::EPSILON..1.0_f64).ln() / bursts_per_s;
+        if t >= duration {
+            break;
+        }
+        let width = rng.gen_range(0.1..0.4);
+        let start = (t * rate) as usize;
+        let end = ((t + width) * rate).min(out.len() as f64) as usize;
+        for o in out.iter_mut().take(end).skip(start) {
+            *o += magnitude * rng.gen_range(-1.0..1.0);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +145,30 @@ mod tests {
         add_motion_events(&mut y, 100.0, &restless, &mut rng_for(4, &[]));
         let energy: f64 = y.iter().map(|v| v * v).sum();
         assert!(energy > 0.1, "restless subject must add motion energy");
+    }
+
+    #[test]
+    fn burst_noise_is_localized_and_gated() {
+        // Zero rate: no samples touched, no RNG state consumed.
+        let mut rng = rng_for(5, &[]);
+        let before: u64 = rng.gen();
+        let mut rng = rng_for(5, &[]);
+        let mut x = vec![0.0; 2000];
+        add_burst_noise(&mut x, 100.0, 0.0, 2.5, &mut rng);
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert_eq!(rng.gen::<u64>(), before, "zero rate must not draw");
+
+        // Positive rate: energy appears, but confined to bursts — a
+        // majority of samples stay untouched at a low burst rate.
+        let mut y = vec![0.0; 2000];
+        add_burst_noise(&mut y, 100.0, 0.5, 2.5, &mut rng_for(6, &[]));
+        let touched = y.iter().filter(|&&v| v != 0.0).count();
+        assert!(touched > 0, "bursts must land in 20 s at 0.5/s");
+        assert!(
+            touched < y.len() / 2,
+            "bursts must be localized, touched {touched}"
+        );
+        let peak = y.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        assert!(peak <= 2.5 + 1e-12);
     }
 }

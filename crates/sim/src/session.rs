@@ -4,7 +4,7 @@ use crate::accel::accel_track;
 use crate::artifact::{add_keystroke_artifact_scaled, EventJitter};
 use crate::cardiac::pulse_train;
 use crate::channel::{noise_sigma, pulse_amplitude};
-use crate::noise::{add_baseline_drift, add_motion_events, add_white_noise};
+use crate::noise::{add_baseline_drift, add_burst_noise, add_motion_events, add_white_noise};
 use crate::rng::normal;
 use crate::subject::Subject;
 use p2auth_core::types::{ChannelInfo, HandMode, Pin, Placement, Recording, UserId, Wavelength};
@@ -29,6 +29,12 @@ pub struct SessionConfig {
     pub accel_rate: f64,
     /// Baseline-drift magnitude in systolic-amplitude units.
     pub drift_magnitude: f64,
+    /// Rate of burst-noise events (contact loss, cable glitches) per
+    /// second. 0 (the default) disables burst noise entirely and draws
+    /// nothing from the RNG, keeping existing sessions bit-identical.
+    pub burst_rate_hz: f64,
+    /// Peak magnitude of burst noise in systolic-amplitude units.
+    pub burst_magnitude: f64,
 }
 
 impl Default for SessionConfig {
@@ -41,6 +47,8 @@ impl Default for SessionConfig {
             include_accel: true,
             accel_rate: 75.0,
             drift_magnitude: 0.5,
+            burst_rate_hz: 0.0,
+            burst_magnitude: 2.5,
         }
     }
 }
@@ -135,6 +143,15 @@ pub(crate) fn synthesize_entry(
         }
         add_baseline_drift(&mut ch, rate, session.drift_magnitude, rng);
         add_white_noise(&mut ch, noise_sigma(info), rng);
+        if session.burst_rate_hz > 0.0 {
+            add_burst_noise(
+                &mut ch,
+                rate,
+                session.burst_rate_hz,
+                session.burst_magnitude,
+                rng,
+            );
+        }
         ppg.push(ch);
     }
 
@@ -246,6 +263,44 @@ mod tests {
         let a = make(HandMode::OneHanded, &[true; 4], 5);
         let b = make(HandMode::OneHanded, &[true; 4], 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_noise_rides_on_top_of_the_clean_session() {
+        let s = Subject::sample(9, 2);
+        let pin = Pin::new("1628").unwrap();
+        let spec = EntrySpec {
+            typist: &s,
+            cadence: &s,
+            mode: HandMode::OneHanded,
+        };
+        let bursty_cfg = SessionConfig {
+            burst_rate_hz: 1.0,
+            ..Default::default()
+        };
+        let bursty = synthesize_entry(
+            spec,
+            &pin,
+            &[true; 4],
+            &standard_layout(4),
+            &bursty_cfg,
+            &mut rng_for(7, &[]),
+        );
+        assert_eq!(bursty.validate(), Ok(()));
+        // Same seed without bursts: the burst draws are gated, so the
+        // clean session is the exact baseline the bursts ride on.
+        let clean = synthesize_entry(
+            spec,
+            &pin,
+            &[true; 4],
+            &standard_layout(4),
+            &SessionConfig::default(),
+            &mut rng_for(7, &[]),
+        );
+        assert_ne!(bursty.ppg, clean.ppg, "bursts must add energy");
+        // Touch times are drawn before the channel loop, so they are
+        // unaffected by the extra burst draws.
+        assert_eq!(bursty.true_key_times, clean.true_key_times);
     }
 
     #[test]
