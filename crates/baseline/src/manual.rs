@@ -99,7 +99,7 @@ fn extract_waveforms(config: &ManualConfig, rec: &Recording) -> Result<Vec<Vec<f
         &pre.calibrated_times,
         seg_win / 2,
         config.waveform_len,
-    );
+    )?;
     Ok(fw.channels().iter().map(|c| zscore(c)).collect())
 }
 

@@ -319,12 +319,15 @@ pub fn full_waveforms(
             continue;
         };
         let seg_win = config.scale_window(config.segment_window, rec.sample_rate);
-        out.push(znorm_series(&full_waveform(
+        let Ok(fw) = full_waveform(
             &pre.filtered,
             &pre.calibrated_times,
             seg_win / 2,
             config.full_waveform_len,
-        )));
+        ) else {
+            continue;
+        };
+        out.push(znorm_series(&fw));
     }
     out
 }

@@ -131,17 +131,11 @@ pub fn authenticate(
     // ---- Factor 2: keystroke-induced PPG ----------------------------
     let pre = preprocess::preprocess(config, attempt)?;
     let case = pre.case.case;
-    let extracted = extract_for_auth(config, attempt, &pre);
+    let extracted = extract_for_auth(config, attempt, &pre)?;
 
     if no_pin_flow {
         // No-PIN: keystroke pattern only, on whatever keys were typed.
-        return Ok(per_keystroke_decision(
-            profile,
-            case,
-            &pre.case.present,
-            attempt,
-            &extracted,
-        ));
+        return per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted);
     }
 
     match case {
@@ -149,31 +143,21 @@ pub fn authenticate(
             // Privacy boost replaces the full waveform when enabled.
             if profile.privacy_boost {
                 if let (Some(model), Some(fused)) = (&profile.boost, &extracted.fused) {
-                    let score = model.decision(fused);
+                    let score = model.decision(fused)?;
                     return Ok(full_decision(case, score));
                 }
             }
             if let (Some(model), Some(full)) = (&profile.full, &extracted.full) {
-                let score = model.decision(full);
+                let score = model.decision(full)?;
                 return Ok(full_decision(case, score));
             }
             // No full model (e.g. user enrolled two-handed only): fall
             // back to per-keystroke majority.
-            Ok(per_keystroke_decision(
-                profile,
-                case,
-                &pre.case.present,
-                attempt,
-                &extracted,
-            ))
+            per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
         }
-        InputCase::TwoHandedThree | InputCase::TwoHandedTwo => Ok(per_keystroke_decision(
-            profile,
-            case,
-            &pre.case.present,
-            attempt,
-            &extracted,
-        )),
+        InputCase::TwoHandedThree | InputCase::TwoHandedTwo => {
+            per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
+        }
         InputCase::Insufficient => Ok(AuthDecision::reject(
             case,
             RejectReason::InsufficientKeystrokes,
@@ -268,7 +252,7 @@ fn per_keystroke_decision(
     present: &[bool],
     attempt: &Recording,
     extracted: &crate::enroll::ExtractedWaveforms,
-) -> AuthDecision {
+) -> Result<AuthDecision, AuthError> {
     let digits = attempt.pin_entered.digits();
     let mut votes = Vec::new();
     let mut seg_iter = extracted.segments.iter();
@@ -276,11 +260,15 @@ fn per_keystroke_decision(
         if !p {
             continue;
         }
+        // INVARIANT: `extract_for_auth` pushes exactly one segment per
+        // `present[i] == true`, in the same iteration order as this
+        // loop, so the iterator cannot run dry here.
+        #[allow(clippy::expect_used)]
         let (digit, series) = seg_iter.next().expect("segment per present keystroke");
         debug_assert_eq!(*digit, digits[i]);
         let (passed, score) = match profile.per_key.get(digit) {
             Some(model) => {
-                let s = model.decision(series);
+                let s = model.decision(series)?;
                 (s > 0.0, s)
             }
             None => (false, f64::NEG_INFINITY),
@@ -294,7 +282,10 @@ fn per_keystroke_decision(
     }
     let n = votes.len();
     if n < 2 {
-        return AuthDecision::reject(case, RejectReason::InsufficientKeystrokes);
+        return Ok(AuthDecision::reject(
+            case,
+            RejectReason::InsufficientKeystrokes,
+        ));
     }
     let passed = votes.iter().filter(|v| v.passed).count();
     let required = if n == 2 { 2 } else { n - 1 };
@@ -310,7 +301,7 @@ fn per_keystroke_decision(
         finite.iter().sum::<f64>() / finite.len() as f64
     };
     let any_model = votes.iter().any(|v| v.score.is_finite());
-    AuthDecision {
+    Ok(AuthDecision {
         accepted,
         case,
         reason: if accepted {
@@ -322,7 +313,7 @@ fn per_keystroke_decision(
         },
         keystroke_votes: votes,
         score,
-    }
+    })
 }
 
 #[cfg(test)]

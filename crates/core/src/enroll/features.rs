@@ -7,6 +7,9 @@ use p2auth_rocket::MultiSeries;
 /// channel). MiniRocket's PPV features are offset-invariant but not
 /// scale-invariant; normalizing makes the models robust to per-session
 /// gain differences of the optical front-end.
+// INVARIANT: `zscore` is length-preserving, so the rectangular
+// non-empty shape of the input MultiSeries carries over verbatim.
+#[allow(clippy::expect_used)]
 pub fn znorm_series(s: &MultiSeries) -> MultiSeries {
     let channels: Vec<Vec<f64>> = s.channels().iter().map(|c| zscore(c)).collect();
     MultiSeries::new(channels).expect("znorm preserves shape")

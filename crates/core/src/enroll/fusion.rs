@@ -26,7 +26,12 @@ pub fn fuse(segments: &[MultiSeries]) -> Option<MultiSeries> {
             }
         }
     }
-    Some(MultiSeries::new(acc).expect("fusion of valid series is valid"))
+    // INVARIANT: `acc` has the channel count and per-channel length of
+    // `first`, which is itself a valid (non-empty, rectangular)
+    // MultiSeries, so the constructor cannot reject it.
+    #[allow(clippy::expect_used)]
+    let fused = MultiSeries::new(acc).expect("fusion of valid series is valid");
+    Some(fused)
 }
 
 /// Like [`fuse`], but cross-correlation-aligns each waveform to the
@@ -75,7 +80,11 @@ pub fn fuse_aligned(segments: &[MultiSeries], max_shift: usize) -> Option<MultiS
             }
         }
     }
-    Some(MultiSeries::new(acc).expect("aligned fusion of valid series is valid"))
+    // INVARIANT: `acc` starts as `first.channels()` (valid shape) and is
+    // only ever updated element-wise, so the shape is preserved.
+    #[allow(clippy::expect_used)]
+    let fused = MultiSeries::new(acc).expect("aligned fusion of valid series is valid");
+    Some(fused)
 }
 
 #[cfg(test)]

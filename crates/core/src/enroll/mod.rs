@@ -32,9 +32,29 @@ pub(crate) struct WaveModel {
 impl WaveModel {
     /// Decision value for one (already z-normalized) series; positive
     /// means "legitimate".
-    pub(crate) fn decision(&self, s: &MultiSeries) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError::ProfileMismatch`] when the series shape
+    /// does not match what the model was fitted on — e.g. the caller
+    /// authenticates with a different segmentation configuration than
+    /// the profile was enrolled with. (The underlying transform would
+    /// otherwise panic on the length assertion.)
+    pub(crate) fn decision(&self, s: &MultiSeries) -> Result<f64, AuthError> {
+        if s.len() != self.rocket.input_length() || s.num_channels() != self.rocket.num_channels() {
+            return Err(AuthError::ProfileMismatch {
+                detail: format!(
+                    "series shape {}×{} does not match model input {}×{} \
+                     (was the profile enrolled with a different config?)",
+                    s.num_channels(),
+                    s.len(),
+                    self.rocket.num_channels(),
+                    self.rocket.input_length(),
+                ),
+            });
+        }
         let f = self.rocket.transform_one(s);
-        self.clf.decision(&f)
+        Ok(self.clf.decision(&f))
     }
 }
 
@@ -123,11 +143,16 @@ pub(crate) struct ExtractedWaveforms {
 }
 
 /// Extracts the waveforms used by both enrollment and authentication.
+///
+/// # Errors
+///
+/// Returns [`AuthError::Segmentation`] when a segmentation window
+/// cannot be cut (empty channels or degenerate window configuration).
 pub(crate) fn extract_for_auth(
     config: &P2AuthConfig,
     rec: &Recording,
     pre: &Preprocessed,
-) -> ExtractedWaveforms {
+) -> Result<ExtractedWaveforms, AuthError> {
     let seg_win = config.scale_window(config.segment_window, rec.sample_rate);
     let margin = seg_win / 2;
     let digits = rec.pin_entered.digits();
@@ -140,7 +165,11 @@ pub(crate) fn extract_for_auth(
         .enumerate()
     {
         if present {
-            let s = znorm_series(&segment(&pre.filtered, t, seg_win));
+            let s = znorm_series(&segment(&pre.filtered, t, seg_win)?);
+            // INVARIANT: `Recording::validate` pins
+            // `reported_key_times.len() == pin_entered.len()`, and the
+            // preprocessing stages keep `calibrated_times`/`present` at
+            // that same length, so `digits[i]` is in bounds.
             segments.push((digits[i], s.clone()));
             present_segments.push(s);
         }
@@ -152,7 +181,7 @@ pub(crate) fn extract_for_auth(
             &pre.calibrated_times,
             margin,
             config.full_waveform_len,
-        ));
+        )?);
         let shift = config.scale_window(config.fusion_max_shift.max(1), rec.sample_rate);
         let shift = if config.fusion_max_shift == 0 {
             0
@@ -164,11 +193,11 @@ pub(crate) fn extract_for_auth(
     } else {
         (None, None)
     };
-    ExtractedWaveforms {
+    Ok(ExtractedWaveforms {
         full,
         fused,
         segments,
-    }
+    })
 }
 
 fn train_wave_model(
@@ -282,12 +311,12 @@ fn enroll_impl(
     // recordings (each is independent); the first error in recording
     // order wins, matching the old serial early-return.
     let pos: Vec<ExtractedWaveforms> = par_map(recordings, |rec| {
-        preprocess::preprocess(config, rec).map(|pre| extract_for_auth(config, rec, &pre))
+        preprocess::preprocess(config, rec).and_then(|pre| extract_for_auth(config, rec, &pre))
     })
     .into_iter()
     .collect::<Result<_, _>>()?;
     let neg: Vec<ExtractedWaveforms> = par_map(third_party, |rec| {
-        preprocess::preprocess(config, rec).map(|pre| extract_for_auth(config, rec, &pre))
+        preprocess::preprocess(config, rec).and_then(|pre| extract_for_auth(config, rec, &pre))
     })
     .into_iter()
     .collect::<Result<_, _>>()?;

@@ -6,7 +6,13 @@
 //! ~1.1 s average inter-keystroke interval. The one-handed full-waveform
 //! model instead uses the whole PIN-entry span, resampled to a fixed
 //! length.
+//!
+//! Both cutters clamp **per channel**: channel lengths are taken from
+//! each channel itself, never from channel 0, so ragged inputs (e.g. a
+//! degraded link delivering fewer samples on one channel) degrade into
+//! well-formed windows instead of slice panics.
 
+use crate::error::AuthError;
 use p2auth_dsp::resample::resample_linear;
 use p2auth_rocket::MultiSeries;
 
@@ -14,34 +20,61 @@ use p2auth_rocket::MultiSeries;
 /// from every channel.
 ///
 /// Near the signal boundaries the window slides inward so the output
-/// always has exactly `window` samples; if the signal is shorter than
-/// `window`, edge samples are replicated.
+/// always has exactly `window` samples; if a channel is shorter than
+/// `window`, its edge sample is replicated. Each channel is clamped
+/// against its own length, so unequal channel lengths are handled.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `filtered` is empty, any channel is empty, or `window` is
-/// zero.
-pub fn segment(filtered: &[Vec<f64>], center: usize, window: usize) -> MultiSeries {
-    assert!(!filtered.is_empty(), "no channels");
-    assert!(window > 0, "window must be positive");
-    let n = filtered[0].len();
-    assert!(n > 0, "empty channel");
+/// Returns [`AuthError::Segmentation`] if `filtered` is empty, any
+/// channel is empty, or `window` is zero.
+pub fn segment(
+    filtered: &[Vec<f64>],
+    center: usize,
+    window: usize,
+) -> Result<MultiSeries, AuthError> {
+    if filtered.is_empty() {
+        return Err(AuthError::Segmentation {
+            detail: "no channels".into(),
+        });
+    }
+    if window == 0 {
+        return Err(AuthError::Segmentation {
+            detail: "zero segmentation window".into(),
+        });
+    }
+    if let Some(i) = filtered.iter().position(|c| c.is_empty()) {
+        return Err(AuthError::Segmentation {
+            detail: format!("channel {i} is empty"),
+        });
+    }
     let channels: Vec<Vec<f64>> = filtered
         .iter()
         .map(|c| {
+            // Clamp against THIS channel's length: a shorter later
+            // channel used to panic on `c[start..start + window]` when
+            // the bounds were derived from channel 0.
+            let n = c.len();
             if n >= window {
                 let half = window / 2;
                 let start = center.saturating_sub(half).min(n - window);
                 c[start..start + window].to_vec()
             } else {
                 // Replicate the last sample to reach the window length.
+                // INVARIANT: empty channels were rejected above.
+                #[allow(clippy::expect_used)]
+                let last = *c.last().expect("non-empty");
                 let mut v = c.clone();
-                v.resize(window, *c.last().expect("non-empty"));
+                v.resize(window, last);
                 v
             }
         })
         .collect();
-    MultiSeries::new(channels).expect("segment construction cannot fail")
+    // INVARIANT: every channel above has exactly `window` > 0 samples,
+    // so the equal-length/non-empty checks of MultiSeries cannot fail.
+    #[allow(clippy::expect_used)]
+    let out = MultiSeries::new(channels).expect("segment construction cannot fail");
+    Ok(out)
 }
 
 /// Extracts the full PIN-entry waveform: the span from `margin` samples
@@ -49,33 +82,71 @@ pub fn segment(filtered: &[Vec<f64>], center: usize, window: usize) -> MultiSeri
 /// `target_len` samples per channel so typing speed does not change the
 /// model input size.
 ///
-/// # Panics
+/// The crop bounds are clamped per channel and the **actual** crop
+/// length is passed to the resampler, so every channel comes out at
+/// exactly `target_len` samples even when a channel ends before the
+/// nominal span does.
 ///
-/// Panics if `filtered` or `times` is empty or `target_len` is zero.
+/// # Errors
+///
+/// Returns [`AuthError::Segmentation`] if `filtered` or `times` is
+/// empty, any channel is empty, or `target_len` is zero.
 pub fn full_waveform(
     filtered: &[Vec<f64>],
     times: &[usize],
     margin: usize,
     target_len: usize,
-) -> MultiSeries {
-    assert!(!filtered.is_empty(), "no channels");
-    assert!(!times.is_empty(), "no keystroke times");
-    assert!(target_len > 0, "target length must be positive");
-    let n = filtered[0].len();
+) -> Result<MultiSeries, AuthError> {
+    if filtered.is_empty() {
+        return Err(AuthError::Segmentation {
+            detail: "no channels".into(),
+        });
+    }
+    if times.is_empty() {
+        return Err(AuthError::Segmentation {
+            detail: "no keystroke times".into(),
+        });
+    }
+    if target_len == 0 {
+        return Err(AuthError::Segmentation {
+            detail: "zero full-waveform target length".into(),
+        });
+    }
+    if let Some(i) = filtered.iter().position(|c| c.is_empty()) {
+        return Err(AuthError::Segmentation {
+            detail: format!("channel {i} is empty"),
+        });
+    }
+    // INVARIANT: `times` was rejected above if empty.
+    #[allow(clippy::expect_used)]
     let first = *times.iter().min().expect("non-empty");
+    #[allow(clippy::expect_used)]
     let last = *times.iter().max().expect("non-empty");
-    let start = first.saturating_sub(margin);
-    let end = (last + margin + 1).min(n).max(start + 2);
-    let span = end - start;
     let channels: Vec<Vec<f64>> = filtered
         .iter()
         .map(|c| {
-            let crop = &c[start..end.min(c.len())];
-            // Resample the crop to the fixed target length.
-            resample_linear(crop, span as f64, target_len as f64)
+            // Clamp the nominal span into THIS channel. The old code
+            // took `n` from channel 0, could push `end` past `n` via
+            // `.max(start + 2)`, and resampled a truncated crop as if
+            // it still had the nominal span — silently stretching the
+            // time axis and producing ragged channel lengths.
+            let n = c.len();
+            let start = first.saturating_sub(margin).min(n - 1);
+            let end = last
+                .saturating_add(margin)
+                .saturating_add(1)
+                .clamp(start + 1, n);
+            let crop = &c[start..end];
+            // Resample the true crop length to the fixed target length.
+            resample_linear(crop, crop.len() as f64, target_len as f64)
         })
         .collect();
-    MultiSeries::new(channels).expect("full waveform construction cannot fail")
+    // INVARIANT: resampling a crop of length L from rate L to rate
+    // `target_len` yields round(L·target_len/L) = target_len > 0
+    // samples for every channel, so MultiSeries::new cannot fail.
+    #[allow(clippy::expect_used)]
+    let out = MultiSeries::new(channels).expect("full waveform construction cannot fail");
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -85,7 +156,7 @@ mod tests {
     #[test]
     fn interior_segment_is_centred() {
         let x: Vec<f64> = (0..200).map(|i| i as f64).collect();
-        let s = segment(&[x], 100, 90);
+        let s = segment(&[x], 100, 90).expect("segments");
         assert_eq!(s.len(), 90);
         assert_eq!(s.channel(0)[0], 55.0); // 100 - 45
     }
@@ -93,18 +164,103 @@ mod tests {
     #[test]
     fn edge_segments_slide_inward() {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let s = segment(std::slice::from_ref(&x), 2, 90);
+        let s = segment(std::slice::from_ref(&x), 2, 90).expect("segments");
         assert_eq!(s.channel(0)[0], 0.0);
-        let s = segment(&[x], 99, 90);
+        let s = segment(&[x], 99, 90).expect("segments");
         assert_eq!(*s.channel(0).last().unwrap(), 99.0);
         assert_eq!(s.len(), 90);
     }
 
     #[test]
     fn short_signal_padded() {
-        let s = segment(&[vec![1.0, 2.0, 3.0]], 1, 10);
+        let s = segment(&[vec![1.0, 2.0, 3.0]], 1, 10).expect("segments");
         assert_eq!(s.len(), 10);
         assert_eq!(s.channel(0)[9], 3.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_errors_not_panics() {
+        assert!(matches!(
+            segment(&[], 0, 10),
+            Err(AuthError::Segmentation { .. })
+        ));
+        assert!(matches!(
+            segment(&[vec![1.0]], 0, 0),
+            Err(AuthError::Segmentation { .. })
+        ));
+        assert!(matches!(
+            segment(&[vec![1.0], vec![]], 0, 4),
+            Err(AuthError::Segmentation { .. })
+        ));
+        assert!(matches!(
+            full_waveform(&[vec![1.0, 2.0]], &[], 5, 16),
+            Err(AuthError::Segmentation { .. })
+        ));
+        assert!(matches!(
+            full_waveform(&[vec![1.0, 2.0]], &[1], 5, 0),
+            Err(AuthError::Segmentation { .. })
+        ));
+        assert!(matches!(
+            full_waveform(&[Vec::new()], &[1], 5, 16),
+            Err(AuthError::Segmentation { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_handles_ragged_channels() {
+        // Regression: `n` used to come from channel 0 only, so the
+        // shorter channel 1 panicked on `c[start..start + window]`.
+        let long: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let short: Vec<f64> = (0..40).map(|i| -(i as f64)).collect();
+        let s = segment(&[long, short], 250, 50).expect("segments");
+        assert_eq!(s.num_channels(), 2);
+        assert_eq!(s.len(), 50);
+        // Long channel: window [225, 275) as before.
+        assert_eq!(s.channel(0)[0], 225.0);
+        // Short channel (40 < window): replicate-padded to 50 samples.
+        assert_eq!(s.channel(1)[0], 0.0);
+        assert_eq!(*s.channel(1).last().unwrap(), -39.0);
+    }
+
+    #[test]
+    fn full_waveform_handles_ragged_channels() {
+        // Regression: a channel shorter than the nominal span used to
+        // yield a crop resampled with the *nominal* span length,
+        // producing fewer than `target_len` samples and panicking the
+        // MultiSeries constructor with ragged channels.
+        let long: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let short: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let fw = full_waveform(&[long, short], &[100, 400], 40, 256).expect("waveform");
+        assert_eq!(fw.num_channels(), 2);
+        assert_eq!(fw.len(), 256);
+        for ch in 0..2 {
+            assert_eq!(fw.channel(ch).len(), 256);
+        }
+    }
+
+    #[test]
+    fn full_waveform_truncated_span_keeps_target_length() {
+        // Regression: when `end` is clamped by the signal end, the crop
+        // is shorter than the nominal span; the resampler used to be
+        // told the nominal span and returned round(crop·target/span) ≠
+        // target samples. The true crop length must be used.
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        // last + margin + 1 = 199 + 80 + 1 = 280 ≫ 200: heavy clamp.
+        let fw = full_waveform(&[x], &[150, 199], 80, 128).expect("waveform");
+        assert_eq!(fw.len(), 128);
+    }
+
+    #[test]
+    fn full_waveform_span_past_all_channels() {
+        // Keystroke times beyond a channel's end (possible pre-clamp
+        // when channels are ragged) must still produce target_len.
+        let x = vec![1.0, 2.0, 3.0];
+        let fw = full_waveform(&[x], &[0, 2], 10, 32).expect("waveform");
+        assert_eq!(fw.len(), 32);
+        let tiny = vec![7.0];
+        let fw = full_waveform(&[tiny], &[0], 0, 16).expect("waveform");
+        assert_eq!(fw.len(), 16);
+        assert!(fw.channel(0).iter().all(|&v| v == 7.0));
     }
 
     #[test]
@@ -133,8 +289,8 @@ mod tests {
         };
         let (slow, t_slow) = make(140);
         let (fast, t_fast) = make(80);
-        let a = full_waveform(&[slow], &t_slow, 40, 256);
-        let b = full_waveform(&[fast], &t_fast, 40, 256);
+        let a = full_waveform(&[slow], &t_slow, 40, 256).expect("waveform");
+        let b = full_waveform(&[fast], &t_fast, 40, 256).expect("waveform");
         assert_eq!(a.len(), 256);
         assert_eq!(b.len(), 256);
         // Peaks land near the same normalized positions.
@@ -155,7 +311,7 @@ mod tests {
     fn multichannel_segments_aligned() {
         let a: Vec<f64> = (0..300).map(|i| i as f64).collect();
         let b: Vec<f64> = (0..300).map(|i| -(i as f64)).collect();
-        let s = segment(&[a, b], 150, 50);
+        let s = segment(&[a, b], 150, 50).expect("segments");
         assert_eq!(s.num_channels(), 2);
         for i in 0..50 {
             assert_eq!(s.channel(0)[i], -s.channel(1)[i]);

@@ -43,6 +43,12 @@ pub enum AuthError {
         /// Human-readable description.
         detail: String,
     },
+    /// Waveform segmentation could not produce the expected windows
+    /// (e.g. empty channels or a zero-length segmentation window).
+    Segmentation {
+        /// Human-readable description.
+        detail: String,
+    },
     /// A degraded-channel fallback was requested but cannot run — e.g.
     /// PIN-only fallback on a profile enrolled without a PIN.
     DegradedUnavailable {
@@ -67,6 +73,7 @@ impl fmt::Display for AuthError {
             }
             AuthError::Training { detail } => write!(f, "training failed: {detail}"),
             AuthError::ProfileMismatch { detail } => write!(f, "profile mismatch: {detail}"),
+            AuthError::Segmentation { detail } => write!(f, "segmentation failed: {detail}"),
             AuthError::DegradedUnavailable { detail } => {
                 write!(f, "degraded fallback unavailable: {detail}")
             }

@@ -28,6 +28,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Device input must never panic the pipeline: every non-test
+// `unwrap`/`expect` needs a per-site `#[allow]` paired with an
+// `// INVARIANT:` comment proving it unreachable (see DESIGN.md,
+// "Numerical correctness & oracles").
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod auth;
 pub mod config;

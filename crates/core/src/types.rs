@@ -248,6 +248,25 @@ impl Recording {
         if !(self.sample_rate.is_finite() && self.sample_rate > 0.0) {
             return Err("non-positive sample rate".into());
         }
+        // 1 MHz is far beyond any PPG front-end; huge rates would make
+        // the rate-scaled window sizes overflow into nonsense.
+        if self.sample_rate > 1e6 {
+            return Err(format!("implausible sample rate {} Hz", self.sample_rate));
+        }
+        for (i, c) in self.ppg.iter().enumerate() {
+            if let Some(j) = c.iter().position(|v| !v.is_finite()) {
+                return Err(format!("non-finite sample {} at channel {i}[{j}]", c[j]));
+            }
+        }
+        if let Some(a) = &self.accel {
+            if !(a.sample_rate.is_finite() && a.sample_rate > 0.0) {
+                return Err("non-positive accelerometer sample rate".into());
+            }
+            let an = a.axes[0].len();
+            if a.axes.iter().any(|ax| ax.len() != an) {
+                return Err("ragged accelerometer axes".into());
+            }
+        }
         Ok(())
     }
 
@@ -358,6 +377,41 @@ mod tests {
     fn validation_catches_time_out_of_range() {
         let mut r = tiny_recording();
         r.reported_key_times[0] = 10_000;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_non_finite_samples() {
+        let mut r = tiny_recording();
+        r.ppg[1][37] = f64::NAN;
+        assert!(r.validate().unwrap_err().contains("channel 1[37]"));
+        let mut r = tiny_recording();
+        r.ppg[0][0] = f64::INFINITY;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_absurd_sample_rate() {
+        let mut r = tiny_recording();
+        r.sample_rate = 1e9;
+        assert!(r.validate().is_err());
+        r.sample_rate = f64::NAN;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_accel_track() {
+        let mut r = tiny_recording();
+        r.accel = Some(AccelTrack {
+            sample_rate: 75.0,
+            axes: [vec![0.0; 10], vec![0.0; 10], vec![0.0; 9]],
+        });
+        assert!(r.validate().is_err());
+        let mut r = tiny_recording();
+        r.accel = Some(AccelTrack {
+            sample_rate: 0.0,
+            axes: [vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]],
+        });
         assert!(r.validate().is_err());
     }
 

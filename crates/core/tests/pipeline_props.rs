@@ -20,7 +20,7 @@ proptest! {
         center in 0_usize..300,
         window in 1_usize..150,
     ) {
-        let s = segment(&[x], center, window);
+        let s = segment(&[x], center, window).expect("valid input");
         prop_assert_eq!(s.len(), window);
         prop_assert_eq!(s.num_channels(), 1);
     }
@@ -32,7 +32,7 @@ proptest! {
     ) {
         let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let s = segment(&[x], center, 90);
+        let s = segment(&[x], center, 90).expect("valid input");
         for &v in s.channel(0) {
             prop_assert!(v >= lo && v <= hi);
         }
@@ -46,7 +46,7 @@ proptest! {
         target in 16_usize..512,
     ) {
         let times = vec![t0, t0 + gap, t0 + 2 * gap];
-        let fw = full_waveform(&[x], &times, 20, target);
+        let fw = full_waveform(&[x], &times, 20, target).expect("valid input");
         prop_assert_eq!(fw.len(), target);
     }
 

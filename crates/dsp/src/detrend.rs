@@ -17,7 +17,10 @@
 ///
 /// Larger `lambda` yields a smoother (stiffer) trend estimate. The paper
 /// only requires "adjustment of the regularization parameter λ"; values
-/// in the range 10–500 are typical for 100 Hz PPG.
+/// in the range 10–500 are typical for 100 Hz PPG. Values with
+/// `λ² ≥ 1e13` are treated as the λ → ∞ limit and yield the
+/// least-squares straight line (the pentadiagonal system is no longer
+/// numerically distinguishable from that limit in `f64`).
 ///
 /// # Panics
 ///
@@ -43,6 +46,17 @@ pub fn trend(y: &[f64], lambda: f64) -> Vec<f64> {
         return y.to_vec();
     }
     let l2 = lambda * lambda;
+    // For extreme regularization the identity term of I + λ²D₂ᵀD₂ is
+    // absorbed by rounding: the LDLᵀ pivots are ≥ 1 in exact
+    // arithmetic but carry ~ε·16·λ² of rounding error, so beyond
+    // λ² ≈ 1e13 the factorization can break down (and λ² overflows to
+    // infinity outright near λ ≈ 1.3e154). The λ → ∞ limit of the
+    // smoothness prior is the least-squares straight line; switch to
+    // it while the pivots are still provably positive. Typical PPG
+    // values are λ ≤ 500 (λ² ≤ 2.5e5), far below the cutoff.
+    if !(l2 < 1e13) {
+        return linear_fit(y);
+    }
     // Build the pentadiagonal matrix A = I + l2 * D2^T D2 in banded form.
     // D2 is (n-2) x n with stencil [1, -2, 1]. The product D2^T D2 has
     // rows formed by the autocorrelation of the stencil: [1, -4, 6, -4, 1]
@@ -87,6 +101,30 @@ pub fn detrend(y: &[f64], lambda: f64) -> Vec<f64> {
     y.iter().zip(&t).map(|(a, b)| a - b).collect()
 }
 
+/// Least-squares straight-line fit — the λ → ∞ limit of the
+/// smoothness-priors trend (the prior then forces the second
+/// difference to zero everywhere).
+fn linear_fit(y: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    if n < 2 {
+        return y.to_vec();
+    }
+    let nf = n as f64;
+    let mean_t = (nf - 1.0) / 2.0;
+    let mean_y = y.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut var = 0.0;
+    for (i, &v) in y.iter().enumerate() {
+        let dt = i as f64 - mean_t;
+        cov += dt * (v - mean_y);
+        var += dt * dt;
+    }
+    let slope = cov / var;
+    (0..n)
+        .map(|i| mean_y + slope * (i as f64 - mean_t))
+        .collect()
+}
+
 /// Solves `A x = b` for a symmetric positive-definite pentadiagonal `A`
 /// given by its diagonal and first/second super-diagonals, via banded
 /// Cholesky (`A = L D Lᵀ` with unit lower-triangular banded `L`).
@@ -105,7 +143,13 @@ fn solve_pentadiagonal_spd(diag: &[f64], off1: &[f64], off2: &[f64], b: &[f64]) 
         if i >= 2 {
             di -= l2[i - 2] * l2[i - 2] * d[i - 2];
         }
-        assert!(di > 0.0, "matrix not positive definite at row {i}");
+        // In exact arithmetic A = I + λ²D₂ᵀD₂ has eigenvalues ≥ 1, so
+        // every LDLᵀ pivot satisfies di ≥ 1, and the λ² ≤ 1e13 cutoff
+        // in `trend` keeps the rounding error on each pivot ≪ 1.
+        // Floor the pivot rather than asserting so an unforeseen
+        // breakdown degrades the trend estimate instead of panicking
+        // the authentication pipeline.
+        let di = if di > 1e-12 { di } else { 1e-12 };
         d[i] = di;
         if i + 1 < n {
             let mut v = off1[i];
@@ -204,6 +248,37 @@ mod tests {
         assert_eq!(trend(&[], 10.0), Vec::<f64>::new());
         assert_eq!(trend(&[2.0], 10.0), vec![2.0]);
         assert_eq!(trend(&[2.0, 3.0], 10.0), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn extreme_lambda_is_linear_fit_not_panic() {
+        // Regression: λ ≥ ~1.3e154 used to overflow λ² to infinity and
+        // panic the banded Cholesky ("matrix not positive definite");
+        // large-but-finite λ could break the pivots the same way. Both
+        // now take the λ → ∞ limit: the least-squares line.
+        let y: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.7).sin() + 0.2 * i as f64)
+            .collect();
+        for lambda in [1e7, 1e12, 1e154, 1e200, f64::MAX.sqrt()] {
+            let t = trend(&y, lambda);
+            assert!(t.iter().all(|v| v.is_finite()), "λ={lambda:e}");
+            // A pure line must be reproduced exactly by the limit.
+            let line: Vec<f64> = (0..64).map(|i| 3.0 - 0.5 * i as f64).collect();
+            let lt = trend(&line, lambda);
+            for (a, b) in line.iter().zip(&lt) {
+                assert!((a - b).abs() < 1e-9, "λ={lambda:e}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        let mut y: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        y[7] = f64::NAN;
+        y[20] = f64::INFINITY;
+        // NaN propagates through the solve but must not panic.
+        let _ = detrend(&y, 100.0);
+        let _ = detrend(&y, 1e200);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn median_filter(x: &[f64], window: usize) -> Vec<f64> {
 /// Returns the median of a slice, reordering it in place.
 ///
 /// For even lengths the mean of the two central order statistics is
-/// returned.
+/// returned. Ordering follows [`f64::total_cmp`], so NaN-contaminated
+/// device input ranks NaNs at the extremes instead of panicking (raw
+/// PPG frames can carry NaN after a corrupted link transfer).
 ///
 /// # Panics
 ///
@@ -57,7 +59,7 @@ pub fn median_filter(x: &[f64], window: usize) -> Vec<f64> {
 pub fn median_of(values: &mut [f64]) -> f64 {
     assert!(!values.is_empty(), "median of empty slice");
     let n = values.len();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    values.sort_by(f64::total_cmp);
     if n % 2 == 1 {
         values[n / 2]
     } else {
@@ -105,6 +107,19 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_window_panics() {
         median_filter(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn nan_contamination_does_not_panic() {
+        // Regression: `median_of` used to panic "NaN in median input"
+        // on contaminated device frames; total_cmp ordering ranks NaNs
+        // at the extremes instead.
+        let x = vec![1.0, f64::NAN, 3.0, f64::INFINITY, -2.0, f64::NEG_INFINITY];
+        let y = median_filter(&x, 3);
+        assert_eq!(y.len(), x.len());
+        // Away from the NaN, finite medians survive.
+        let mut v = [2.0, f64::NAN, 1.0];
+        assert_eq!(median_of(&mut v), 2.0); // NaN sorts above +inf
     }
 
     #[test]

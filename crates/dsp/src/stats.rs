@@ -84,6 +84,9 @@ pub fn mean_crossings(x: &[f64]) -> usize {
 
 /// Linearly interpolated `q`-quantile (`q` in `[0, 1]`).
 ///
+/// Ordering follows [`f64::total_cmp`], so NaN-contaminated input
+/// ranks NaNs at the extremes instead of panicking.
+///
 /// # Panics
 ///
 /// Panics if `x` is empty or `q` is outside `[0, 1]`.
@@ -91,7 +94,7 @@ pub fn quantile(x: &[f64], q: f64) -> f64 {
     assert!(!x.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
     let mut v = x.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    v.sort_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let i = pos.floor() as usize;
     let frac = pos - i as f64;
@@ -130,6 +133,16 @@ pub fn mean_abs_deviation(x: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_with_nan_does_not_panic() {
+        // Regression: contaminated input used to panic "NaN in
+        // quantile input"; NaNs now rank at the extremes.
+        let x = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&x, 0.0), 1.0);
+        // Median of [1, 2, 3, NaN] interpolates between 2 and 3.
+        assert!((quantile(&x, 0.5) - 2.5).abs() < 1e-12);
+    }
 
     #[test]
     fn basic_moments() {

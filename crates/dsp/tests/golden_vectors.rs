@@ -1,0 +1,83 @@
+//! Golden-vector tests: pin the DSP kernels to independently computed
+//! reference values committed under `tests/golden/`.
+//!
+//! The Savitzky–Golay files hold the exact least-squares projection
+//! coefficients evaluated in rational arithmetic (they agree with
+//! `scipy.signal.savgol_coeffs(31, order)` to f64 precision; the centre
+//! tap equals the published closed form `3(3m²+3m−1)/((2m+3)(2m+1)(2m−1))`
+//! for order 2–3). The trend file is the exact rational solve of the
+//! Tarvainen 2002 system `(I + λ²D₂ᵀD₂)x = e₈`.
+
+use p2auth_dsp::detrend::trend;
+use p2auth_dsp::savgol::savgol_coeffs;
+
+fn parse_golden(text: &str) -> Vec<f64> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            l.parse::<f64>()
+                .expect("golden file holds one f64 per line")
+        })
+        .collect()
+}
+
+fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= tol,
+            "{what}[{i}]: got {g}, want {w} (|diff| {} > {tol})",
+            (g - w).abs()
+        );
+    }
+}
+
+#[test]
+fn savgol_coeffs_match_scipy_w31() {
+    for (order, golden) in [
+        (2, include_str!("golden/savgol_w31_o2.txt")),
+        (3, include_str!("golden/savgol_w31_o3.txt")),
+        (4, include_str!("golden/savgol_w31_o4.txt")),
+    ] {
+        let want = parse_golden(golden);
+        assert_eq!(want.len(), 31);
+        let got = savgol_coeffs(31, order);
+        assert_close(&got, &want, 1e-12, &format!("savgol w=31 o={order}"));
+        // Smoothing coefficients reproduce constants exactly.
+        let sum: f64 = got.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "o={order}: sum {sum}");
+    }
+}
+
+#[test]
+fn savgol_order_2_and_3_coincide() {
+    // For symmetric windows the odd-order term integrates out, so the
+    // order-2 and order-3 smoothing kernels are identical — a property
+    // of the math the two golden files must also satisfy.
+    let o2 = parse_golden(include_str!("golden/savgol_w31_o2.txt"));
+    let o3 = parse_golden(include_str!("golden/savgol_w31_o3.txt"));
+    assert_close(&o2, &o3, 1e-15, "o2 vs o3");
+}
+
+#[test]
+fn trend_matches_exact_tarvainen_solve() {
+    let want = parse_golden(include_str!("golden/trend_impulse_n16_lambda10.txt"));
+    assert_eq!(want.len(), 16);
+    let mut y = vec![0.0_f64; 16];
+    y[8] = 1.0;
+    let got = trend(&y, 10.0);
+    // Banded-Cholesky rounding: condition number ≲ 1 + 16λ² ≈ 1.6e3.
+    assert_close(&got, &want, 1e-11, "trend n=16 λ=10");
+}
+
+#[test]
+fn trend_of_ramp_is_ramp() {
+    // Closed form: D₂(ramp) = 0, so (I + λ²D₂ᵀD₂)(ramp) = ramp and the
+    // trend operator leaves any straight line fixed, for every λ.
+    let ramp: Vec<f64> = (0..64).map(|i| 0.25 * i as f64 - 3.0).collect();
+    for lambda in [0.0, 1.0, 10.0, 500.0] {
+        let got = trend(&ramp, lambda);
+        assert_close(&got, &ramp, 1e-8, &format!("ramp λ={lambda}"));
+    }
+}

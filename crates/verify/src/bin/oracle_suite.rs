@@ -1,0 +1,31 @@
+//! Standalone differential-suite runner.
+//!
+//! ```text
+//! P2AUTH_ORACLE_SEED=0xdeadbeef P2AUTH_ORACLE_CASES=1000 oracle_suite
+//! ```
+//!
+//! Echoes the seed in its output so any CI failure can be replayed
+//! exactly; exits non-zero when any kernel diverges from its oracle.
+
+use p2auth_verify::{run_suite, seed_from_env};
+
+fn main() {
+    let seed = seed_from_env();
+    let cases: usize = std::env::var("P2AUTH_ORACLE_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1000);
+    eprintln!("running differential oracle suite: seed={seed:#x} cases/kernel={cases}");
+    let report = run_suite(seed, cases);
+    println!("{}", report.summary());
+    for d in &report.divergences {
+        println!("DIVERGENCE [{} case {}] {}", d.kernel, d.case, d.detail);
+    }
+    if !report.is_clean() {
+        eprintln!(
+            "replay with: P2AUTH_ORACLE_SEED={seed:#x} P2AUTH_ORACLE_CASES={cases} \
+             cargo run -p p2auth-verify --bin oracle_suite"
+        );
+        std::process::exit(1);
+    }
+}

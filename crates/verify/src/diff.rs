@@ -1,0 +1,546 @@
+//! Differential checks: optimized kernel vs. naive oracle.
+//!
+//! Each `diff_*` function runs one kernel and its [`crate::oracle`]
+//! reference on the same input and returns `Some(description)` on
+//! divergence, `None` on agreement. [`run_suite`] drives all of them
+//! over seeded adversarial inputs from [`crate::gen`] — including
+//! no-panic lanes on NaN/Inf-contaminated signals — and collects every
+//! divergence into a [`SuiteReport`].
+//!
+//! Tolerances are derived from backward-error bounds, not guessed: two
+//! correct solvers may disagree by roughly `κ · ε · scale` (condition
+//! number × machine epsilon × data magnitude), while a genuine bug
+//! shows up at the scale of the data itself.
+
+use crate::gen::{adversarial_signal, SignalClass, SplitMix64};
+use crate::oracle;
+use p2auth_dsp::{detrend, energy, median, normalize, peaks, resample, savgol, stats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One disagreement between a kernel and its oracle.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Kernel family (`"median"`, `"savgol"`, …).
+    pub kernel: &'static str,
+    /// Case number within the kernel's lane (for replay).
+    pub case: usize,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// Outcome of a full differential run.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Seed the adversarial generator was started from.
+    pub seed: u64,
+    /// Cases executed per kernel lane.
+    pub cases_per_kernel: usize,
+    /// Every recorded disagreement (empty on a clean run).
+    pub divergences: Vec<Divergence>,
+}
+
+impl SuiteReport {
+    /// True when no kernel diverged from its oracle.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// One-line summary suitable for CI logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "oracle suite: seed={:#x} cases/kernel={} divergences={}",
+            self.seed,
+            self.cases_per_kernel,
+            self.divergences.len()
+        )
+    }
+}
+
+/// Largest finite magnitude in `x`, floored at 1 (tolerance scale).
+fn scale_of(x: &[f64]) -> f64 {
+    x.iter()
+        .filter(|v| v.is_finite())
+        .fold(1.0_f64, |m, v| m.max(v.abs()))
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn slices_close(got: &[f64], want: &[f64], tol: f64) -> Result<(), String> {
+    if got.len() != want.len() {
+        return Err(format!("length {} vs oracle {}", got.len(), want.len()));
+    }
+    let d = max_abs_diff(got, want);
+    if d.is_nan() || d > tol {
+        return Err(format!("max |Δ| = {d:e} > tol {tol:e}"));
+    }
+    Ok(())
+}
+
+/// Runs `f`, mapping a panic to `Some(message)`.
+///
+/// Used by the contaminated no-panic lanes: the assertion there is not
+/// value agreement but the absence of any panic.
+pub fn panics<T>(f: impl FnOnce() -> T) -> Option<String> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(_) => None,
+        Err(e) => Some(
+            e.downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into()),
+        ),
+    }
+}
+
+/// `median_filter` + `median_of` vs. explicit-padding oracle.
+pub fn diff_median(x: &[f64], window: usize) -> Option<String> {
+    let got = median::median_filter(x, window);
+    let want = oracle::median_filter_ref(x, window);
+    slices_close(&got, &want, 0.0)
+        .err()
+        .map(|e| format!("median_filter(len={}, w={window}): {e}", x.len()))
+}
+
+/// `quantile` vs. sorted-by-total-order linear interpolation.
+pub fn diff_quantile(x: &[f64], q: f64) -> Option<String> {
+    if x.is_empty() {
+        return None;
+    }
+    let got = stats::quantile(x, q);
+    let mut v = x.to_vec();
+    v.sort_by(f64::total_cmp);
+    let pos = q * (v.len() - 1) as f64;
+    let i = pos.floor() as usize;
+    let frac = pos - i as f64;
+    let want = if i + 1 < v.len() {
+        v[i] * (1.0 - frac) + v[i + 1] * frac
+    } else {
+        v[i]
+    };
+    let tol = 1e-12 * scale_of(x);
+    ((got - want).abs() > tol || got.is_nan() != want.is_nan())
+        .then(|| format!("quantile(len={}, q={q}): {got} vs oracle {want}", x.len()))
+}
+
+/// `savgol_coeffs` (normal equations) vs. per-impulse QR fit.
+pub fn diff_savgol_coeffs(window: usize, order: usize) -> Option<String> {
+    let got = savgol::savgol_coeffs(window, order);
+    let want = oracle::savgol_coeffs_ref(window, order);
+    // Both solvers see the Gram conditioning (~t^{2·order} dynamic
+    // range); 1e-6 is far above their joint rounding, far below a bug.
+    slices_close(&got, &want, 1e-6)
+        .err()
+        .map(|e| format!("savgol_coeffs({window}, {order}): {e}"))
+}
+
+/// `savgol_filter` vs. per-window least-squares fit at every index.
+pub fn diff_savgol_filter(x: &[f64], window: usize, order: usize) -> Option<String> {
+    let got = savgol::savgol_filter(x, window, order);
+    let want = oracle::savgol_filter_ref(x, window, order);
+    let tol = 1e-6 * scale_of(x) * window as f64;
+    slices_close(&got, &want, tol)
+        .err()
+        .map(|e| format!("savgol_filter(len={}, w={window}, o={order}): {e}", x.len()))
+}
+
+/// Banded-Cholesky `trend` vs. dense Gauss–Jordan oracle.
+pub fn diff_trend(y: &[f64], lambda: f64) -> Option<String> {
+    let got = detrend::trend(y, lambda);
+    let want = oracle::trend_ref(y, lambda);
+    // Two backward-stable solvers of a system with condition number
+    // ~ 1 + 16λ² may differ by κ·ε·‖y‖.
+    let kappa = 1.0 + 16.0 * lambda * lambda;
+    let tol = (1e-9 * kappa).max(1e-9) * scale_of(y) * (y.len().max(1) as f64).sqrt();
+    slices_close(&got, &want, tol)
+        .err()
+        .map(|e| format!("trend(len={}, λ={lambda}): {e}", y.len()))
+}
+
+/// `short_time_energy` + threshold vs. explicit frame enumeration.
+pub fn diff_energy(x: &[f64], window: usize, hop: usize) -> Option<String> {
+    let got = energy::short_time_energy(x, window, hop);
+    let want = oracle::short_time_energy_ref(x, window, hop);
+    let s = scale_of(x);
+    let tol = 1e-9 * s * s * window as f64;
+    if let Err(e) = slices_close(&got, &want, tol) {
+        return Some(format!(
+            "short_time_energy(len={}, w={window}, hop={hop}): {e}",
+            x.len()
+        ));
+    }
+    let gt = energy::half_mean_energy_threshold(x, window);
+    let wt = oracle::half_mean_energy_threshold_ref(x, window);
+    ((gt - wt).abs() > tol.max(1e-12) * (got.len().max(1) as f64))
+        .then(|| format!("half_mean_energy_threshold: {gt} vs oracle {wt}"))
+}
+
+/// `energy_around` vs. explicit clamped-window oracle.
+pub fn diff_energy_around(x: &[f64], center: usize, window: usize) -> Option<String> {
+    if x.is_empty() {
+        return None;
+    }
+    let got = energy::energy_around(x, center, window);
+    let want = oracle::energy_around_ref(x, center, window);
+    let s = scale_of(x);
+    let tol = 1e-9 * s * s * window as f64;
+    ((got - want).abs() > tol).then(|| {
+        format!(
+            "energy_around(len={}, c={center}, w={window}): {got} vs {want}",
+            x.len()
+        )
+    })
+}
+
+/// Extremum scans vs. difference-sign oracle (exact index equality).
+pub fn diff_peaks(x: &[f64]) -> Option<String> {
+    let checks = [
+        (
+            "local_maxima",
+            peaks::local_maxima(x),
+            oracle::local_maxima_ref(x),
+        ),
+        (
+            "local_minima",
+            peaks::local_minima(x),
+            oracle::local_minima_ref(x),
+        ),
+        (
+            "local_extrema",
+            peaks::local_extrema(x),
+            oracle::local_extrema_ref(x),
+        ),
+    ];
+    for (name, got, want) in checks {
+        if got != want {
+            return Some(format!(
+                "{name}(len={}): {got:?} vs oracle {want:?}",
+                x.len()
+            ));
+        }
+    }
+    None
+}
+
+/// Eq. (1) calibration search vs. brute-force oracle.
+pub fn diff_calibrate(
+    x: &[f64],
+    approx: usize,
+    before: usize,
+    after: usize,
+    w: usize,
+) -> Option<String> {
+    let got = peaks::calibrate_keystroke_asym(x, approx, before, after, w);
+    let want = oracle::calibrate_keystroke_ref(x, approx, before, after, w);
+    match (got, want) {
+        (None, None) => None,
+        (Some(g), Some((wi, ws))) => {
+            let tol = 1e-9 * scale_of(x);
+            (g.index != wi || (g.score - ws).abs() > tol).then(|| {
+                format!(
+                    "calibrate(approx={approx}, -{before}/+{after}, w={w}): \
+                     ({}, {}) vs oracle ({wi}, {ws})",
+                    g.index, g.score
+                )
+            })
+        }
+        (g, w_) => Some(format!(
+            "calibrate(approx={approx}): {g:?} vs oracle {w_:?}"
+        )),
+    }
+}
+
+/// `resample_linear` vs. point-slope interpolation oracle.
+pub fn diff_resample(x: &[f64], src_rate: f64, dst_rate: f64) -> Option<String> {
+    let got = resample::resample_linear(x, src_rate, dst_rate);
+    let want = oracle::resample_linear_ref(x, src_rate, dst_rate);
+    let tol = 1e-9 * scale_of(x);
+    slices_close(&got, &want, tol).err().map(|e| {
+        format!(
+            "resample_linear(len={}, {src_rate}→{dst_rate}): {e}",
+            x.len()
+        )
+    })
+}
+
+/// `map_index` vs. oracle (exact).
+pub fn diff_map_index(idx: usize, src_rate: f64, dst_rate: f64) -> Option<String> {
+    let got = resample::map_index(idx, src_rate, dst_rate);
+    let want = oracle::map_index_ref(idx, src_rate, dst_rate);
+    (got != want).then(|| format!("map_index({idx}, {src_rate}→{dst_rate}): {got} vs {want}"))
+}
+
+/// `zscore` / `min_max` / `remove_mean` vs. compensated-sum oracles.
+pub fn diff_normalize(x: &[f64]) -> Option<String> {
+    let n = x.len() as f64;
+    let s = scale_of(x);
+    // Plain summation vs. Kahan: the means differ by ~n·ε·scale.
+    let mean_gap = 4.0 * n * f64::EPSILON * s;
+    {
+        let got = normalize::zscore(x);
+        let want = oracle::zscore_ref(x);
+        // Z-scores are O(1), but near-constant signals amplify the mean
+        // gap by 1/sd; bound 1/sd by the gap-to-sd ratio of the oracle.
+        let sd = {
+            let mean = x.iter().sum::<f64>() / n.max(1.0);
+            (x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n.max(1.0)).sqrt()
+        };
+        // Right at the 1e-12 degenerate-variance cutoff the two
+        // implementations may legitimately take different branches from
+        // rounding alone; only compare outside that sliver.
+        if !(1e-13..=1e-11).contains(&sd) {
+            let tol = 1e-9 + mean_gap / sd.max(1e-12);
+            if let Err(e) = slices_close(&got, &want, tol) {
+                return Some(format!("zscore(len={}): {e}", x.len()));
+            }
+        }
+    }
+    {
+        let got = normalize::min_max(x);
+        let want = oracle::min_max_ref(x);
+        if let Err(e) = slices_close(&got, &want, 1e-12) {
+            return Some(format!("min_max(len={}): {e}", x.len()));
+        }
+    }
+    {
+        let mut got = x.to_vec();
+        normalize::remove_mean(&mut got);
+        let want = oracle::remove_mean_ref(x);
+        if let Err(e) = slices_close(&got, &want, mean_gap.max(1e-12)) {
+            return Some(format!("remove_mean(len={}): {e}", x.len()));
+        }
+    }
+    None
+}
+
+fn odd_window(rng: &mut SplitMix64, max_half: usize) -> usize {
+    2 * rng.usize_below(max_half + 1) + 1
+}
+
+/// Runs the full differential suite: for every kernel, `cases` seeded
+/// adversarial finite-input equality checks plus `cases` contaminated
+/// no-panic checks. Returns every divergence found.
+///
+/// The panic hook is suppressed for the duration of the run so the
+/// intentional probe panics of the no-panic lanes do not spam stderr;
+/// it is restored before returning.
+pub fn run_suite(seed: u64, cases: usize) -> SuiteReport {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = run_suite_inner(seed, cases);
+    std::panic::set_hook(prev_hook);
+    report
+}
+
+fn run_suite_inner(seed: u64, cases: usize) -> SuiteReport {
+    let mut div: Vec<Divergence> = Vec::new();
+    let mut push = |kernel: &'static str, case: usize, d: Option<String>| {
+        if let Some(detail) = d {
+            div.push(Divergence {
+                kernel,
+                case,
+                detail,
+            });
+        }
+    };
+
+    // ---- median (+ quantile, which shares the ordering fix) ----
+    let mut rng = SplitMix64::new(seed ^ 0x6d65_6469);
+    for case in 0..cases {
+        let x = adversarial_signal(&mut rng, 300, SignalClass::Finite);
+        let w = odd_window(&mut rng, 15);
+        push("median", case, diff_median(&x, w));
+        push("median", case, diff_quantile(&x, rng.unit_f64()));
+        let c = adversarial_signal(&mut rng, 300, SignalClass::Contaminated);
+        push(
+            "median",
+            case,
+            panics(|| median::median_filter(&c, w)).map(|p| format!("panic: {p}")),
+        );
+        if !c.is_empty() {
+            push(
+                "median",
+                case,
+                panics(|| stats::quantile(&c, 0.5)).map(|p| format!("quantile panic: {p}")),
+            );
+        }
+    }
+
+    // ---- savgol ----
+    let mut rng = SplitMix64::new(seed ^ 0x7361_7667);
+    for case in 0..cases {
+        let w = odd_window(&mut rng, 15);
+        let o = rng.usize_below(w.min(7));
+        push("savgol", case, diff_savgol_coeffs(w, o));
+        let x = adversarial_signal(&mut rng, 200, SignalClass::Finite);
+        push("savgol", case, diff_savgol_filter(&x, w, o));
+        let c = adversarial_signal(&mut rng, 200, SignalClass::Contaminated);
+        push(
+            "savgol",
+            case,
+            panics(|| savgol::savgol_filter(&c, w, o)).map(|p| format!("panic: {p}")),
+        );
+    }
+
+    // ---- detrend ----
+    let mut rng = SplitMix64::new(seed ^ 0x6465_7472);
+    for case in 0..cases {
+        let y = adversarial_signal(&mut rng, 64, SignalClass::Finite);
+        let lambda = match rng.usize_below(5) {
+            0 => 0.0,
+            1 => rng.f64_in(0.0, 1.0),
+            2 => rng.f64_in(1.0, 50.0),
+            3 => rng.f64_in(50.0, 500.0),
+            _ => rng.f64_in(500.0, 1000.0),
+        };
+        push("detrend", case, diff_trend(&y, lambda));
+        // Extreme-λ robustness: the λ→∞ limit must neither panic nor
+        // produce non-finite output on finite input.
+        let extreme = [1e8, 1e12, 1e150, 1e154, 1e200, 1e308][rng.usize_below(6)];
+        match catch_unwind(AssertUnwindSafe(|| detrend::trend(&y, extreme))) {
+            Err(_) => push(
+                "detrend",
+                case,
+                Some(format!("trend(len={}, λ={extreme:e}) panicked", y.len())),
+            ),
+            Ok(t) => {
+                if !t.iter().all(|v| v.is_finite()) {
+                    push(
+                        "detrend",
+                        case,
+                        Some(format!(
+                            "trend(len={}, λ={extreme:e}) produced non-finite output",
+                            y.len()
+                        )),
+                    );
+                }
+            }
+        }
+        let c = adversarial_signal(&mut rng, 64, SignalClass::Contaminated);
+        push(
+            "detrend",
+            case,
+            panics(|| detrend::detrend(&c, lambda)).map(|p| format!("panic: {p}")),
+        );
+    }
+
+    // ---- energy ----
+    let mut rng = SplitMix64::new(seed ^ 0x656e_6572);
+    for case in 0..cases {
+        let x = adversarial_signal(&mut rng, 300, SignalClass::Finite);
+        let w = rng.usize_in(1, 40);
+        let hop = rng.usize_in(1, 40);
+        push("energy", case, diff_energy(&x, w, hop));
+        push(
+            "energy",
+            case,
+            diff_energy_around(&x, rng.usize_below(x.len().max(1) + 10), w),
+        );
+        let c = adversarial_signal(&mut rng, 300, SignalClass::Contaminated);
+        push(
+            "energy",
+            case,
+            panics(|| energy::short_time_energy(&c, w, hop)).map(|p| format!("panic: {p}")),
+        );
+    }
+
+    // ---- peaks ----
+    let mut rng = SplitMix64::new(seed ^ 0x7065_616b);
+    for case in 0..cases {
+        let x = adversarial_signal(&mut rng, 300, SignalClass::Finite);
+        push("peaks", case, diff_peaks(&x));
+        let approx = rng.usize_below(x.len().max(1) + 20);
+        let before = rng.usize_below(40);
+        let after = rng.usize_below(40);
+        let w = rng.usize_below(40);
+        push("peaks", case, diff_calibrate(&x, approx, before, after, w));
+        let c = adversarial_signal(&mut rng, 300, SignalClass::Contaminated);
+        push(
+            "peaks",
+            case,
+            panics(|| peaks::calibrate_keystroke_asym(&c, approx, before, after, w))
+                .map(|p| format!("panic: {p}")),
+        );
+    }
+
+    // ---- resample ----
+    let mut rng = SplitMix64::new(seed ^ 0x7265_7361);
+    for case in 0..cases {
+        let x = adversarial_signal(&mut rng, 300, SignalClass::Finite);
+        let src = rng.f64_in(0.5, 2000.0);
+        let dst = if rng.chance(0.2) {
+            src // exercise the identity shortcut
+        } else {
+            rng.f64_in(0.5, 2000.0)
+        };
+        push("resample", case, diff_resample(&x, src, dst));
+        push(
+            "resample",
+            case,
+            diff_map_index(rng.usize_below(5000), src, dst),
+        );
+        let c = adversarial_signal(&mut rng, 300, SignalClass::Contaminated);
+        push(
+            "resample",
+            case,
+            panics(|| resample::resample_linear(&c, src, dst)).map(|p| format!("panic: {p}")),
+        );
+    }
+
+    // ---- normalize ----
+    let mut rng = SplitMix64::new(seed ^ 0x6e6f_726d);
+    for case in 0..cases {
+        let x = adversarial_signal(&mut rng, 300, SignalClass::Finite);
+        push("normalize", case, diff_normalize(&x));
+        let c = adversarial_signal(&mut rng, 300, SignalClass::Contaminated);
+        push(
+            "normalize",
+            case,
+            panics(|| {
+                let _ = normalize::zscore(&c);
+                let _ = normalize::min_max(&c);
+                let mut m = c.clone();
+                normalize::remove_mean(&mut m);
+            })
+            .map(|p| format!("panic: {p}")),
+        );
+    }
+
+    SuiteReport {
+        seed,
+        cases_per_kernel: cases,
+        divergences: div,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_kernels_produce_no_divergence() {
+        let r = run_suite(0xfeed_beef, 40);
+        assert!(
+            r.is_clean(),
+            "{}:\n{}",
+            r.summary(),
+            r.divergences
+                .iter()
+                .take(10)
+                .map(|d| format!("  [{} case {}] {}", d.kernel, d.case, d.detail))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn panics_helper_reports_message() {
+        let msg = panics(|| panic!("boom {}", 42));
+        assert_eq!(msg.as_deref(), Some("boom 42"));
+        assert!(panics(|| 1 + 1).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Deterministic adversarial input generation.
+//!
+//! The differential suite needs reproducible randomness without pulling
+//! in an RNG dependency (the crate must build with a bare `rustc`), so
+//! this module carries a small SplitMix64 generator plus the signal
+//! classes that historically break DSP code: empty and singleton
+//! signals, constants, near-constants, ramps, impulse trains, extreme
+//! amplitudes, subnormals, and NaN/Inf contamination.
+
+/// SplitMix64: tiny, fast, and statistically solid for test-input
+/// generation (Steele, Lea & Flood 2014). Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1_u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)` (degenerate ranges return `lo`).
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// Uniform draw in `[0, n)`; returns 0 for `n == 0`.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.usize_below(hi - lo + 1)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+/// Which signal classes a generator call may emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalClass {
+    /// Finite values only — the oracle-equality lanes.
+    Finite,
+    /// Finite values plus NaN/Inf contamination — the no-panic lanes.
+    Contaminated,
+}
+
+/// Draws one adversarial signal of length `0..=max_len`.
+///
+/// The class mix is weighted toward the degenerate shapes that break
+/// windowed/recursive DSP code, not toward "realistic" PPG.
+pub fn adversarial_signal(rng: &mut SplitMix64, max_len: usize, class: SignalClass) -> Vec<f64> {
+    let shape = rng.usize_below(10);
+    let len = match shape {
+        // Degenerate lengths get their own lanes so they are hit often.
+        0 => 0,
+        1 => 1,
+        2 => rng.usize_in(2, 4),
+        _ => rng.usize_in(1, max_len.max(1)),
+    };
+    let mut x = match shape {
+        3 => vec![rng.f64_in(-10.0, 10.0); len],
+        4 => {
+            // Near-constant: jitter far below and far above the 1e-12
+            // degenerate-variance thresholds, never inside their band.
+            let base = rng.f64_in(-5.0, 5.0);
+            let scale = if rng.chance(0.5) { 1e-15 } else { 1e-9 };
+            (0..len)
+                .map(|i| base + scale * ((i * 37 % 11) as f64 - 5.0))
+                .collect()
+        }
+        5 => {
+            let slope = rng.f64_in(-3.0, 3.0);
+            let intercept = rng.f64_in(-100.0, 100.0);
+            (0..len).map(|i| intercept + slope * i as f64).collect()
+        }
+        6 => {
+            // Impulse train on a flat baseline.
+            let mut v = vec![rng.f64_in(-1.0, 1.0); len];
+            let impulses = rng.usize_in(0, 4);
+            for _ in 0..impulses {
+                if len > 0 {
+                    let at = rng.usize_below(len);
+                    v[at] = rng.f64_in(-1e6, 1e6);
+                }
+            }
+            v
+        }
+        7 => {
+            // Extreme amplitudes: large but inside the validated 1e12
+            // device bound, or subnormal-small.
+            let scale = if rng.chance(0.5) { 1e12 } else { 1e-300 };
+            (0..len).map(|_| scale * rng.f64_in(-1.0, 1.0)).collect()
+        }
+        8 => {
+            let f = rng.f64_in(0.01, 0.9);
+            let drift = rng.f64_in(-0.05, 0.05);
+            (0..len)
+                .map(|i| (i as f64 * f).sin() + drift * i as f64)
+                .collect()
+        }
+        _ => (0..len).map(|_| rng.f64_in(-100.0, 100.0)).collect(),
+    };
+    if class == SignalClass::Contaminated && rng.chance(0.7) {
+        let hits = rng.usize_in(1, 3);
+        for _ in 0..hits {
+            if x.is_empty() {
+                break;
+            }
+            let at = rng.usize_below(x.len());
+            x[at] = match rng.usize_below(4) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => -f64::NAN,
+            };
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_draws_in_range() {
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let v = rng.unit_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn finite_class_is_finite() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..500 {
+            let x = adversarial_signal(&mut rng, 200, SignalClass::Finite);
+            assert!(x.iter().all(|v| v.is_finite()), "non-finite in {x:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths_occur() {
+        let mut rng = SplitMix64::new(11);
+        let mut saw_empty = false;
+        let mut saw_single = false;
+        for _ in 0..200 {
+            let x = adversarial_signal(&mut rng, 100, SignalClass::Finite);
+            saw_empty |= x.is_empty();
+            saw_single |= x.len() == 1;
+        }
+        assert!(saw_empty && saw_single);
+    }
+}

@@ -1,0 +1,242 @@
+//! Differential property tests: every optimized DSP kernel must agree
+//! with its deliberately naive reference implementation from
+//! [`p2auth_verify::oracle`] on adversarial random inputs.
+//!
+//! Case count scales with the standard `PROPTEST_CASES` environment
+//! variable (CI runs 1000 per kernel); on failure proptest prints the
+//! minimal counterexample, which becomes a committed regression. The
+//! same comparisons also run dependency-free via
+//! `p2auth_verify::run_suite` (the `oracle_suite` binary, seedable via
+//! `P2AUTH_ORACLE_SEED`) so this coverage exists even where proptest
+//! cannot be built.
+
+use p2auth_dsp::detrend::{detrend, trend};
+use p2auth_dsp::energy::{energy_around, half_mean_energy_threshold, short_time_energy};
+use p2auth_dsp::median::{median_filter, median_of};
+use p2auth_dsp::normalize::{min_max, remove_mean, zscore};
+use p2auth_dsp::peaks::{
+    calibrate_keystroke_asym, deviation_from_local_mean, local_extrema, local_maxima, local_minima,
+};
+use p2auth_dsp::resample::{map_index, resample_linear};
+use p2auth_dsp::savgol::{savgol_coeffs, savgol_filter};
+use p2auth_dsp::stats::quantile;
+use p2auth_verify::oracle;
+use proptest::prelude::*;
+
+/// Adversarial signal shapes: smooth ranges, constants, near-constants,
+/// impulses, and extreme magnitudes, at lengths from empty upward.
+fn signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop_oneof![
+        4 => prop::collection::vec(-100.0_f64..100.0, 0..max_len),
+        1 => (0..max_len, -5.0_f64..5.0).prop_map(|(n, c)| vec![c; n]),
+        1 => (1..max_len, -5.0_f64..5.0)
+            .prop_map(|(n, c)| (0..n).map(|i| c + 1e-9 * i as f64).collect()),
+        1 => (1..max_len, 0..max_len)
+            .prop_map(|(n, k)| (0..n).map(|i| if i == k % n { 1e6 } else { 0.0 }).collect()),
+        1 => prop::collection::vec(-1e12_f64..1e12, 0..max_len),
+    ]
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol || (a.is_nan() && b.is_nan())
+}
+
+fn slices_close(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| close(*x, *y, tol))
+}
+
+fn scale_of(x: &[f64]) -> f64 {
+    x.iter()
+        .filter(|v| v.is_finite())
+        .fold(1.0_f64, |m, v| m.max(v.abs()))
+}
+
+proptest! {
+    // ---- median ----------------------------------------------------
+    #[test]
+    fn median_filter_matches_oracle(x in signal(128), half in 0_usize..6) {
+        let window = 2 * half + 1;
+        let got = median_filter(&x, window);
+        let want = oracle::median_filter_ref(&x, window);
+        prop_assert!(slices_close(&got, &want, 0.0), "median w={window}");
+    }
+
+    #[test]
+    fn median_of_matches_oracle(x in signal(64)) {
+        prop_assume!(!x.is_empty());
+        let mut buf = x.clone();
+        let got = median_of(&mut buf);
+        let want = oracle::median_of_ref(&x);
+        prop_assert!(close(got, want, 0.0));
+    }
+
+    #[test]
+    fn quantile_matches_oracle(x in signal(64), q in 0.0_f64..=1.0) {
+        prop_assume!(!x.is_empty());
+        let got = quantile(&x, q);
+        let want = {
+            let mut v = x.clone();
+            v.sort_by(f64::total_cmp);
+            let pos = q * (v.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+        };
+        prop_assert!(close(got, want, 1e-12 * scale_of(&x)));
+    }
+
+    // ---- savgol ----------------------------------------------------
+    #[test]
+    fn savgol_coeffs_match_oracle(half in 1_usize..16, order in 1_usize..6) {
+        let window = 2 * half + 1;
+        prop_assume!(order < window);
+        let got = savgol_coeffs(window, order);
+        let want = oracle::savgol_coeffs_ref(window, order);
+        prop_assert!(slices_close(&got, &want, 1e-6), "w={window} o={order}");
+    }
+
+    #[test]
+    fn savgol_filter_matches_oracle(x in signal(128), half in 1_usize..8, order in 1_usize..4) {
+        let window = 2 * half + 1;
+        prop_assume!(order < window);
+        let got = savgol_filter(&x, window, order);
+        let want = oracle::savgol_filter_ref(&x, window, order);
+        let tol = 1e-6 * scale_of(&x) * window as f64;
+        prop_assert!(slices_close(&got, &want, tol), "w={window} o={order}");
+    }
+
+    // ---- detrend ---------------------------------------------------
+    #[test]
+    fn trend_matches_oracle(x in signal(96), lambda in 0.0_f64..1000.0) {
+        let got = trend(&x, lambda);
+        let want = oracle::trend_ref(&x, lambda);
+        let kappa = 1.0 + 16.0 * lambda * lambda;
+        let tol = (1e-9 * kappa).max(1e-9) * scale_of(&x) * (x.len().max(1) as f64).sqrt();
+        prop_assert!(slices_close(&got, &want, tol), "λ={lambda}");
+    }
+
+    #[test]
+    fn detrend_matches_oracle(x in signal(96), lambda in 0.0_f64..500.0) {
+        let got = detrend(&x, lambda);
+        let want = oracle::detrend_ref(&x, lambda);
+        let kappa = 1.0 + 16.0 * lambda * lambda;
+        let tol = (1e-9 * kappa).max(1e-9) * scale_of(&x) * (x.len().max(1) as f64).sqrt();
+        prop_assert!(slices_close(&got, &want, tol));
+    }
+
+    #[test]
+    fn extreme_lambda_trend_is_finite(x in signal(64), exp in 4_u32..154) {
+        prop_assume!(x.iter().all(|v| v.is_finite()));
+        let lambda = 10.0_f64.powi(exp as i32);
+        let t = trend(&x, lambda);
+        prop_assert_eq!(t.len(), x.len());
+        prop_assert!(t.iter().all(|v| v.is_finite()), "λ=1e{exp}");
+    }
+
+    // ---- energy ----------------------------------------------------
+    #[test]
+    fn short_time_energy_matches_oracle(x in signal(128), window in 1_usize..32, hop in 1_usize..16) {
+        let got = short_time_energy(&x, window, hop);
+        let want = oracle::short_time_energy_ref(&x, window, hop);
+        let tol = 1e-9 * scale_of(&x) * scale_of(&x) * window as f64;
+        prop_assert!(slices_close(&got, &want, tol));
+    }
+
+    #[test]
+    fn energy_around_matches_oracle(x in signal(128), center in 0_usize..160, window in 1_usize..48) {
+        let got = energy_around(&x, center, window);
+        let want = oracle::energy_around_ref(&x, center, window);
+        let tol = 1e-9 * scale_of(&x) * scale_of(&x) * window as f64;
+        prop_assert!(close(got, want, tol));
+    }
+
+    #[test]
+    fn energy_threshold_matches_oracle(x in signal(128), window in 1_usize..32) {
+        let got = half_mean_energy_threshold(&x, window);
+        let want = oracle::half_mean_energy_threshold_ref(&x, window);
+        let tol = 1e-9 * scale_of(&x) * scale_of(&x) * window as f64;
+        prop_assert!(close(got, want, tol));
+    }
+
+    // ---- peaks -----------------------------------------------------
+    #[test]
+    fn extrema_match_oracle(x in signal(96)) {
+        prop_assert_eq!(local_maxima(&x), oracle::local_maxima_ref(&x));
+        prop_assert_eq!(local_minima(&x), oracle::local_minima_ref(&x));
+        prop_assert_eq!(local_extrema(&x), oracle::local_extrema_ref(&x));
+    }
+
+    #[test]
+    fn deviation_matches_oracle(x in signal(96), raw_s in 0_usize..96, w in 1_usize..40) {
+        if x.is_empty() {
+            return Ok(());
+        }
+        let s = raw_s % x.len();
+        let got = deviation_from_local_mean(&x, s, w);
+        let want = oracle::deviation_from_local_mean_ref(&x, s, w);
+        prop_assert!(close(got, want, 1e-9 * scale_of(&x)));
+    }
+
+    #[test]
+    fn calibration_matches_oracle(
+        x in signal(128),
+        approx in 0_usize..128,
+        before in 0_usize..32,
+        after in 0_usize..32,
+        w in 1_usize..40,
+    ) {
+        let got = calibrate_keystroke_asym(&x, approx, before, after, w);
+        let want = oracle::calibrate_keystroke_ref(&x, approx, before, after, w);
+        match (got, want) {
+            (None, None) => {}
+            (Some(g), Some((wi, ws))) => {
+                prop_assert_eq!(g.index, wi);
+                prop_assert!(close(g.score, ws, 1e-9 * scale_of(&x)));
+            }
+            (g, w) => prop_assert!(false, "impl {g:?} vs oracle {w:?}"),
+        }
+    }
+
+    // ---- resample --------------------------------------------------
+    #[test]
+    fn resample_matches_oracle(x in signal(128), src in 1.0_f64..500.0, dst in 1.0_f64..500.0) {
+        let got = resample_linear(&x, src, dst);
+        let want = oracle::resample_linear_ref(&x, src, dst);
+        prop_assert!(slices_close(&got, &want, 1e-9 * scale_of(&x)));
+    }
+
+    #[test]
+    fn map_index_matches_oracle(idx in 0_usize..10_000, src in 1.0_f64..500.0, dst in 1.0_f64..500.0) {
+        prop_assert_eq!(map_index(idx, src, dst), oracle::map_index_ref(idx, src, dst));
+    }
+
+    // ---- normalize -------------------------------------------------
+    #[test]
+    fn normalize_matches_oracle(x in signal(128)) {
+        let scale = scale_of(&x);
+        let mut rm = x.clone();
+        remove_mean(&mut rm);
+        let n = x.len().max(1) as f64;
+        let mean_gap = 4.0 * n * f64::EPSILON * scale;
+        prop_assert!(slices_close(&rm, &oracle::remove_mean_ref(&x), mean_gap));
+        prop_assert!(slices_close(&min_max(&x), &oracle::min_max_ref(&x), 1e-12));
+        // Skip zscore in the ambiguous degenerate-variance band where
+        // the impl (plain sum) and oracle (Kahan) may branch apart.
+        let sd = {
+            let m = x.iter().sum::<f64>() / n;
+            (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n).sqrt()
+        };
+        if !(1e-13..=1e-11).contains(&sd) {
+            let tol = 1e-9 + mean_gap / sd.max(1e-12);
+            prop_assert!(slices_close(&zscore(&x), &oracle::zscore_ref(&x), tol));
+        }
+    }
+}
+
+/// The dependency-free suite must stay clean under the proptest runner
+/// too (belt and braces: CI runs it standalone with a random seed).
+#[test]
+fn bundled_suite_is_clean() {
+    let report = p2auth_verify::run_suite(p2auth_verify::DEFAULT_SEED, 100);
+    assert!(report.is_clean(), "{}", report.summary());
+}

@@ -1,0 +1,145 @@
+//! Pipeline-level properties over the `p2auth-core` public API: the
+//! preprocessing → case-identification → segmentation → fusion chain
+//! must never panic on arbitrary well-typed sessions, and segmentation
+//! outputs must be invariant to trailing channel padding that lies
+//! outside the cropped span.
+
+use p2auth_core::enroll::fusion::{fuse, fuse_aligned};
+use p2auth_core::enroll::segmentation::{full_waveform, segment};
+use p2auth_core::preprocess::{case_id, preprocess};
+use p2auth_core::{
+    ChannelInfo, HandMode, P2AuthConfig, Pin, Placement, Recording, UserId, Wavelength,
+};
+use proptest::prelude::*;
+
+fn channel(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0_f64..50.0, len..=len)
+}
+
+fn session() -> impl Strategy<Value = Recording> {
+    (400_usize..700, 1_usize..4, any::<bool>())
+        .prop_flat_map(|(n, ch, one_handed)| {
+            (
+                prop::collection::vec(channel(n), ch..=ch),
+                prop::collection::vec(10_usize..n - 10, 4..=4),
+                Just(one_handed),
+            )
+        })
+        .prop_map(|(ppg, mut times, one_handed)| {
+            times.sort_unstable();
+            let info = ChannelInfo {
+                wavelength: Wavelength::Infrared,
+                placement: Placement::Radial,
+            };
+            Recording {
+                user: UserId(0),
+                sample_rate: 100.0,
+                channels: vec![info; ppg.len()],
+                ppg,
+                accel: None,
+                pin_entered: Pin::new("1628").expect("static PIN"),
+                reported_key_times: times.clone(),
+                true_key_times: times,
+                watch_hand: vec![true; 4],
+                hand_mode: if one_handed {
+                    HandMode::OneHanded
+                } else {
+                    HandMode::TwoHanded
+                },
+            }
+        })
+}
+
+proptest! {
+    /// The full preprocessing chain is total over well-typed sessions:
+    /// every outcome is a value or a typed error, never a panic.
+    #[test]
+    fn preprocessing_chain_never_panics(rec in session(), window in 1_usize..120, margin in 0_usize..80) {
+        let cfg = P2AuthConfig::default();
+        prop_assert!(rec.validate().is_ok());
+        let Ok(pre) = preprocess(&cfg, &rec) else {
+            return Ok(()); // typed error is an acceptable outcome
+        };
+        let report = case_id::identify_case(
+            &cfg,
+            &pre.filtered,
+            &pre.calibrated_times,
+            pre.sample_rate,
+        );
+        prop_assert_eq!(report.present.len(), pre.calibrated_times.len());
+
+        let mut segments = Vec::new();
+        for &t in &pre.calibrated_times {
+            match segment(&pre.filtered, t, window) {
+                Ok(s) => {
+                    prop_assert_eq!(s.len(), window);
+                    segments.push(s);
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+        if let Ok(fw) = full_waveform(&pre.filtered, &pre.calibrated_times, margin, 256) {
+            prop_assert_eq!(fw.len(), 256);
+        }
+        if let Some(f) = fuse(&segments) {
+            prop_assert_eq!(f.len(), window);
+        }
+        if let Some(f) = fuse_aligned(&segments, 4) {
+            prop_assert_eq!(f.len(), window);
+        }
+    }
+
+    /// Trailing samples appended beyond the cropped span must not
+    /// change the cut windows: segmentation reads only the span.
+    #[test]
+    fn segmentation_invariant_to_trailing_padding(
+        x in channel(500),
+        center in 100_usize..300,
+        window in 1_usize..100,
+        pad in 1_usize..64,
+    ) {
+        let mut padded = x.clone();
+        padded.extend(std::iter::repeat_n(1e6, pad));
+        let a = segment(&[x], center, window).expect("valid");
+        let b = segment(&[padded], center, window).expect("valid");
+        prop_assert_eq!(a.channel(0), b.channel(0));
+    }
+
+    /// Same invariance for the full-waveform crop when the span (plus
+    /// margin) ends before the original signal does.
+    #[test]
+    fn full_waveform_invariant_to_trailing_padding(
+        x in channel(500),
+        t0 in 50_usize..150,
+        gap in 40_usize..80,
+        margin in 0_usize..60,
+        pad in 1_usize..64,
+    ) {
+        let times = vec![t0, t0 + gap, t0 + 2 * gap];
+        prop_assert!(times[2] + margin < 500);
+        let mut padded = x.clone();
+        padded.extend(std::iter::repeat_n(1e6, pad));
+        let a = full_waveform(&[x], &times, margin, 128).expect("valid");
+        let b = full_waveform(&[padded], &times, margin, 128).expect("valid");
+        prop_assert_eq!(a.channel(0), b.channel(0));
+    }
+
+    /// Ragged channels (one cut short, e.g. by a degraded link) must
+    /// degrade into well-formed equal-length windows, never a panic.
+    #[test]
+    fn ragged_channels_never_panic(
+        long in channel(400),
+        short_len in 1_usize..400,
+        center in 0_usize..450,
+        window in 1_usize..120,
+    ) {
+        let short: Vec<f64> = long.iter().copied().take(short_len).collect();
+        let s = segment(&[long.clone(), short.clone()], center, window).expect("non-empty channels");
+        prop_assert_eq!(s.num_channels(), 2);
+        prop_assert_eq!(s.len(), window);
+        let times = vec![50, 180, 320];
+        let fw = full_waveform(&[long, short], &times, 30, 200).expect("non-empty channels");
+        prop_assert_eq!(fw.num_channels(), 2);
+        prop_assert_eq!(fw.len(), 200);
+    }
+}
