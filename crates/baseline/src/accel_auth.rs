@@ -100,6 +100,7 @@ pub fn enroll_accel(
     recordings: &[Recording],
     third_party: &[Recording],
 ) -> Result<AccelProfile, AuthError> {
+    let _span = p2auth_obs::span!("baseline.accel.enroll");
     if recordings.len() < 2 {
         return Err(AuthError::NotEnoughRecordings {
             needed: 2,
@@ -136,6 +137,7 @@ pub fn authenticate_accel(
     profile: &AccelProfile,
     attempt: &Recording,
 ) -> Result<(bool, f64), AuthError> {
+    let _span = p2auth_obs::span!("baseline.accel.auth");
     let w = accel_waveform(config, attempt)?;
     let f = profile.rocket.transform_one(&w);
     let score = profile.clf.decision(&f);

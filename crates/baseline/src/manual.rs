@@ -124,6 +124,7 @@ pub fn enroll_manual(
     config: &ManualConfig,
     recordings: &[Recording],
 ) -> Result<ManualProfile, AuthError> {
+    let _span = p2auth_obs::span!("baseline.manual.enroll");
     if recordings.len() < 2 {
         return Err(AuthError::NotEnoughRecordings {
             needed: 2,
@@ -202,6 +203,7 @@ pub fn authenticate_manual(
     profile: &ManualProfile,
     attempt: &Recording,
 ) -> Result<ManualDecision, AuthError> {
+    let _span = p2auth_obs::span!("baseline.manual.auth");
     if attempt.num_channels() != profile.num_channels {
         return Err(AuthError::ProfileMismatch {
             detail: format!(

@@ -40,8 +40,12 @@ struct Cell {
     degraded: usize,
     aborted: usize,
     retransmissions: usize,
+    backoff_waits: usize,
+    gap_blocks: usize,
     coverage_sum: f64,
     coverage_n: usize,
+    /// `TransferStats` line of the cell's last session, for the log.
+    last_transfer: String,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -80,11 +84,14 @@ fn run_session(
         &ReliableConfig::default(),
     );
     cell.retransmissions += stats.retransmissions;
+    cell.backoff_waits += stats.backoff_waits;
+    cell.last_transfer = stats.to_string();
     match result {
-        Ok((rebuilt, coverage)) => {
-            cell.coverage_sum += coverage;
+        Ok((rebuilt, quality)) => {
+            cell.coverage_sum += quality.coverage;
             cell.coverage_n += 1;
-            let outcome = decide_session(system, profile, Some(pin), &rebuilt, coverage);
+            cell.gap_blocks += quality.gap_blocks;
+            let outcome = decide_session(system, profile, Some(pin), &rebuilt, quality);
             match &outcome {
                 SessionOutcome::Degraded { .. } => cell.degraded += 1,
                 SessionOutcome::Abort { .. } => cell.aborted += 1,
@@ -148,8 +155,11 @@ fn main() {
                 degraded: 0,
                 aborted: 0,
                 retransmissions: 0,
+                backoff_waits: 0,
+                gap_blocks: 0,
                 coverage_sum: 0.0,
                 coverage_n: 0,
+                last_transfer: String::new(),
             };
             for s in 0..SESSIONS {
                 let nonce = 900 + s as u64;
@@ -208,6 +218,7 @@ fn main() {
                 format!("{}", cell.retransmissions),
                 format!("{coverage:.3}"),
             ]);
+            println!("  last transfer: {}", cell.last_transfer);
             cells.push(cell);
         }
     }
@@ -242,6 +253,8 @@ fn main() {
         let degraded: usize = at.iter().map(|c| c.degraded).sum();
         let aborted: usize = at.iter().map(|c| c.aborted).sum();
         let retx: usize = at.iter().map(|c| c.retransmissions).sum();
+        let backoffs: usize = at.iter().map(|c| c.backoff_waits).sum();
+        let gaps: usize = at.iter().map(|c| c.gap_blocks).sum();
         if loss == 0.0 {
             clean_success = Some(success);
         }
@@ -252,7 +265,8 @@ fn main() {
             "    {{ \"loss_rate\": {loss:.2}, \"auth_success\": {success:.4}, \
              \"far\": {far:.4}, \"frr\": {:.4}, \"mean_coverage\": {coverage:.4}, \
              \"degraded_sessions\": {degraded}, \"aborted_sessions\": {aborted}, \
-             \"retransmissions\": {retx} }}",
+             \"retransmissions\": {retx}, \"backoff_waits\": {backoffs}, \
+             \"gap_blocks\": {gaps} }}",
             1.0 - success
         ));
     }

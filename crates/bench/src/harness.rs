@@ -355,6 +355,32 @@ pub fn print_row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
 }
 
+/// Prints the per-stage latency breakdown table from the observability
+/// span histograms accumulated so far (count, p50/p95/p99 and max per
+/// `<crate>.<stage>` span). Prints a note instead when the binary was
+/// built without the `obs` feature.
+pub fn print_stage_latency_table() {
+    if !p2auth_obs::is_enabled() {
+        println!("(per-stage latency unavailable: built without the `obs` feature)");
+        return;
+    }
+    let snap = p2auth_obs::metrics::snapshot();
+    print_header(&["stage", "count", "p50", "p95", "p99", "max"]);
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        print_row(&[
+            (*name).to_string(),
+            format!("{}", h.count),
+            p2auth_obs::report::fmt_ns(h.p50),
+            p2auth_obs::report::fmt_ns(h.p95),
+            p2auth_obs::report::fmt_ns(h.p99),
+            p2auth_obs::report::fmt_ns(h.max),
+        ]);
+    }
+}
+
 /// Prints a markdown table header (with separator line).
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));

@@ -53,7 +53,15 @@ impl fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["boost", "two-handed", "no-pin", "stream", "help"];
+const SWITCHES: &[&str] = &[
+    "boost",
+    "two-handed",
+    "no-pin",
+    "stream",
+    "help",
+    "structure-only",
+    "json",
+];
 
 impl ParsedArgs {
     /// Parses tokens (without the program name).

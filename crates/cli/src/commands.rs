@@ -81,6 +81,11 @@ COMMANDS:
                 --loss P (0.02)   --corrupt P (0.005)  --fault-seed S (1)
                 --sessions N (3)  --user N (0)  --pin DDDD (1628)
                 (uses the reduced feature budget for speed)
+    trace     Trace one simulated enroll + authentication session:
+              span tree, metrics report and flight-recorder tail
+                --loss P (0.02)  --fault-seed S (1)  --user N (0)
+                --pin DDDD (1628)  [--structure-only] [--json]
+                (requires the default `obs` feature)
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -277,8 +282,8 @@ pub fn fault(args: &ParsedArgs) -> Result<String, CliError> {
             &ReliableConfig::default(),
         );
         match result {
-            Ok((rebuilt, coverage)) => {
-                let outcome = decide_session(&sys, &profile, Some(&pin), &rebuilt, coverage);
+            Ok((rebuilt, quality)) => {
+                let outcome = decide_session(&sys, &profile, Some(&pin), &rebuilt, quality);
                 if outcome.accepted() {
                     accepted += 1;
                 }
@@ -290,29 +295,152 @@ pub fn fault(args: &ParsedArgs) -> Result<String, CliError> {
                             "REJECTED".to_string()
                         }
                     }
-                    SessionOutcome::Degraded { decision, .. } => {
+                    SessionOutcome::Degraded {
+                        decision,
+                        coverage,
+                        gap_blocks,
+                    } => {
+                        let why = format!("coverage {coverage:.3}, {gap_blocks} gap blocks");
                         if decision.accepted {
-                            "ACCEPTED (degraded, PIN only)".to_string()
+                            format!("ACCEPTED (degraded, PIN only: {why})")
                         } else {
-                            "REJECTED (degraded)".to_string()
+                            format!("REJECTED (degraded: {why})")
                         }
                     }
-                    SessionOutcome::Abort { reason, .. } => format!("ABORTED ({reason})"),
+                    SessionOutcome::Abort {
+                        reason, gap_blocks, ..
+                    } => format!("ABORTED ({reason}, {gap_blocks} gap blocks)"),
                 };
-                out.push_str(&format!(
-                    "session {s}: {label}, coverage {coverage:.3}, retx {}, nacks {}\n",
-                    stats.retransmissions, stats.nacks_sent
-                ));
+                out.push_str(&format!("session {s}: {label}, link {quality}, {stats}\n"));
             }
-            Err(e) => out.push_str(&format!(
-                "session {s}: TRANSFER FAILED ({e}), retx {}\n",
-                stats.retransmissions
-            )),
+            Err(e) => {
+                out.push_str(&format!("session {s}: TRANSFER FAILED ({e}), {stats}\n"));
+            }
         }
     }
     out.push_str(&format!(
         "accepted {accepted}/{sessions} legitimate sessions"
     ));
+    Ok(out)
+}
+
+/// `p2auth trace`: one simulated enroll + authentication session with
+/// span capture on, reported as a span tree, the metrics registry and
+/// the flight-recorder tail. `--structure-only` prints just the sorted
+/// span paths (the golden-file format); `--json` emits the machine
+/// report (schema `p2auth.obs.v1`).
+pub fn trace(args: &ParsedArgs) -> Result<String, CliError> {
+    if !p2auth_obs::is_enabled() {
+        return Ok(
+            "observability is compiled out (built with --no-default-features); \
+             rebuild with the default `obs` feature to trace"
+                .to_string(),
+        );
+    }
+    let (pop, session) = population(args)?;
+    let pin = pin_arg(args)?;
+    let user = args.get_parsed("user", 0_usize)?;
+    let loss = args.get_parsed("loss", 0.02_f64)?;
+    let fault_seed = args.get_parsed("fault-seed", 1_u64)?;
+
+    p2auth_obs::reset();
+    p2auth_obs::span::enable_capture();
+
+    // Enrollment (reduced feature budget: the trace is about structure
+    // and per-stage cost, not accuracy).
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let enroll_recs: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(user, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            let other = (user + 1 + (i as usize % (pop.num_users() - 1))) % pop.num_users();
+            pop.record_entry(other, &pin, HandMode::OneHanded, &session, 5000 + i as u64)
+        })
+        .collect();
+    let profile = sys.enroll(&pin, &enroll_recs, &third)?;
+
+    // One authentication streamed over a lossy link with NACK recovery.
+    // The loss realization depends on the RNG backend, so scan fault
+    // seeds until the transfer recovers to full-path coverage; failed
+    // attempts only produce a subset of the successful span paths, so
+    // the traced structure stays deterministic.
+    let rec = pop.record_entry(user, &pin, HandMode::OneHanded, &session, 7000);
+    let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+    let mut recovered = None;
+    for s in 0..40_u64 {
+        let faults = FaultConfig {
+            drop_rate: loss,
+            corrupt_rate: loss / 4.0,
+            seed: fault_seed + 2 * s,
+            ..FaultConfig::default()
+        };
+        let mut data = FaultyLink::new(LinkConfig::default(), faults);
+        let mut keys = FaultyLink::new(
+            LinkConfig {
+                seed: 0x4b,
+                ..LinkConfig::default()
+            },
+            FaultConfig {
+                seed: fault_seed + 2 * s + 1,
+                ..faults
+            },
+        );
+        let (result, stats) = transmit_reliable(
+            &rec,
+            &device,
+            &mut data,
+            &mut keys,
+            &ReliableConfig::default(),
+        );
+        match result {
+            Ok((rebuilt, quality)) if quality.coverage >= sys.config().min_ppg_coverage => {
+                recovered = Some((rebuilt, quality, stats));
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some((rebuilt, quality, stats)) = recovered else {
+        return Err(CliError::Io(format!(
+            "no transfer realization recovered at loss {loss}"
+        )));
+    };
+    let outcome = decide_session(&sys, &profile, Some(&pin), &rebuilt, quality);
+
+    let records = p2auth_obs::span::take_capture();
+    if args.has("structure-only") {
+        return Ok(p2auth_obs::report::span_paths(&records).join("\n"));
+    }
+    let report = p2auth_obs::report::collect();
+    if args.has("json") {
+        return Ok(p2auth_obs::report::render_json(&report));
+    }
+
+    let mut out = format!(
+        "traced enroll + 1 auth session (user {user}, loss {loss:.3})\n\
+         link {quality}\ntransfer {stats}\noutcome: {}\n\nspan tree:\n{}\n{}",
+        match &outcome {
+            SessionOutcome::Decision(d) =>
+                if d.accepted {
+                    "ACCEPTED".to_string()
+                } else {
+                    format!("REJECTED ({:?})", d.reason)
+                },
+            SessionOutcome::Degraded {
+                coverage,
+                gap_blocks,
+                ..
+            } => format!("DEGRADED (coverage {coverage:.3}, {gap_blocks} gap blocks)"),
+            SessionOutcome::Abort { reason, .. } => format!("ABORTED ({reason})"),
+        },
+        p2auth_obs::report::span_tree(&records),
+        p2auth_obs::report::render_text(&report),
+    );
+    let tail = p2auth_obs::recorder::render_dump(&report.events, 12);
+    if !tail.is_empty() {
+        out.push_str(&format!("flight recorder tail:\n{tail}"));
+    }
     Ok(out)
 }
 
@@ -328,6 +456,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("verify") => verify(args),
         Some("wear") => wear(args),
         Some("fault") => fault(args),
+        Some("trace") => trace(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
 }

@@ -26,6 +26,21 @@ pub enum RejectReason {
     DegradedChannel,
 }
 
+impl RejectReason {
+    /// Stable machine-readable name, used in telemetry events and logs.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::WrongPin => "wrong_pin",
+            Self::PinRequired => "pin_required",
+            Self::InsufficientKeystrokes => "insufficient_keystrokes",
+            Self::BiometricMismatch => "biometric_mismatch",
+            Self::MissingModel => "missing_model",
+            Self::DegradedChannel => "degraded_channel",
+        }
+    }
+}
+
 /// Outcome of classifying one keystroke waveform.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KeystrokeVote {
@@ -66,6 +81,25 @@ impl AuthDecision {
     }
 }
 
+/// Records the final verdict in the telemetry counters and the flight
+/// recorder, then passes the decision through unchanged.
+fn finish(decision: AuthDecision) -> AuthDecision {
+    if decision.accepted {
+        p2auth_obs::counter!("core.auth.accepted").incr();
+        p2auth_obs::event!("core.auth", "accepted", score = decision.score);
+    } else {
+        p2auth_obs::counter!("core.auth.rejected").incr();
+        let reason = decision.reason.map_or("unknown", RejectReason::as_str);
+        p2auth_obs::event!(
+            "core.auth",
+            "rejected",
+            reason = reason,
+            score = decision.score,
+        );
+    }
+    decision
+}
+
 /// Authenticates one attempt. `claimed_pin` of `None` selects the
 /// no-PIN flow (allowed only under [`PinPolicy::NoPinAllowed`]).
 ///
@@ -80,10 +114,19 @@ pub fn authenticate(
     claimed_pin: Option<&Pin>,
     attempt: &Recording,
 ) -> Result<AuthDecision, AuthError> {
-    attempt
-        .validate()
-        .map_err(|detail| AuthError::InvalidRecording { detail })?;
+    let _span = p2auth_obs::span!("core.auth");
+    p2auth_obs::counter!("core.auth.attempts").incr();
+    attempt.validate().map_err(|detail| {
+        p2auth_obs::event!("core.auth", "invalid_recording");
+        AuthError::InvalidRecording { detail }
+    })?;
     if attempt.num_channels() != profile.num_channels {
+        p2auth_obs::event!(
+            "core.auth",
+            "profile_mismatch",
+            attempt_channels = attempt.num_channels(),
+            profile_channels = profile.num_channels,
+        );
         return Err(AuthError::ProfileMismatch {
             detail: format!(
                 "attempt has {} channels, profile trained with {}",
@@ -106,10 +149,10 @@ pub fn authenticate(
     let no_pin_flow = match (claimed_pin, profile.pin.as_ref()) {
         (Some(claimed), Some(stored)) => {
             if claimed != stored || &attempt.pin_entered != stored {
-                return Ok(AuthDecision::reject(
+                return Ok(finish(AuthDecision::reject(
                     InputCase::Insufficient,
                     RejectReason::WrongPin,
-                ));
+                )));
             }
             false
         }
@@ -119,10 +162,10 @@ pub fn authenticate(
         }
         (None, _) => {
             if config.pin_policy != PinPolicy::NoPinAllowed {
-                return Ok(AuthDecision::reject(
+                return Ok(finish(AuthDecision::reject(
                     InputCase::Insufficient,
                     RejectReason::PinRequired,
-                ));
+                )));
             }
             true
         }
@@ -133,9 +176,11 @@ pub fn authenticate(
     let case = pre.case.case;
     let extracted = extract_for_auth(config, attempt, &pre)?;
 
+    let _decision_span = p2auth_obs::span!("core.decision");
     if no_pin_flow {
         // No-PIN: keystroke pattern only, on whatever keys were typed.
-        return per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted);
+        return per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
+            .map(finish);
     }
 
     match case {
@@ -144,24 +189,26 @@ pub fn authenticate(
             if profile.privacy_boost {
                 if let (Some(model), Some(fused)) = (&profile.boost, &extracted.fused) {
                     let score = model.decision(fused)?;
-                    return Ok(full_decision(case, score));
+                    return Ok(finish(full_decision(case, score)));
                 }
             }
             if let (Some(model), Some(full)) = (&profile.full, &extracted.full) {
                 let score = model.decision(full)?;
-                return Ok(full_decision(case, score));
+                return Ok(finish(full_decision(case, score)));
             }
             // No full model (e.g. user enrolled two-handed only): fall
             // back to per-keystroke majority.
             per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
+                .map(finish)
         }
         InputCase::TwoHandedThree | InputCase::TwoHandedTwo => {
             per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
+                .map(finish)
         }
-        InputCase::Insufficient => Ok(AuthDecision::reject(
+        InputCase::Insufficient => Ok(finish(AuthDecision::reject(
             case,
             RejectReason::InsufficientKeystrokes,
-        )),
+        ))),
     }
 }
 
@@ -187,41 +234,46 @@ pub fn authenticate_degraded(
     claimed_pin: Option<&Pin>,
     attempt: &Recording,
 ) -> Result<AuthDecision, AuthError> {
-    attempt
-        .validate()
-        .map_err(|detail| AuthError::InvalidRecording { detail })?;
+    let _span = p2auth_obs::span!("core.auth");
+    p2auth_obs::counter!("core.auth.degraded_sessions").incr();
+    attempt.validate().map_err(|detail| {
+        p2auth_obs::event!("core.auth", "invalid_recording");
+        AuthError::InvalidRecording { detail }
+    })?;
     match config.degraded_fallback {
-        DegradedFallback::Reject => Ok(AuthDecision::reject(
+        DegradedFallback::Reject => Ok(finish(AuthDecision::reject(
             InputCase::Insufficient,
             RejectReason::DegradedChannel,
-        )),
+        ))),
         DegradedFallback::PinOnly => {
             let (claimed, stored) = match (claimed_pin, profile.pin.as_ref()) {
                 (Some(c), Some(s)) => (c, s),
                 (None, _) => {
+                    p2auth_obs::event!("core.auth", "degraded_unavailable", missing = "claimed");
                     return Err(AuthError::DegradedUnavailable {
                         detail: "PIN-only fallback needs a claimed PIN".into(),
                     });
                 }
                 (_, None) => {
+                    p2auth_obs::event!("core.auth", "degraded_unavailable", missing = "enrolled");
                     return Err(AuthError::DegradedUnavailable {
                         detail: "PIN-only fallback needs an enrolled PIN".into(),
                     });
                 }
             };
             if claimed == stored && &attempt.pin_entered == stored {
-                Ok(AuthDecision {
+                Ok(finish(AuthDecision {
                     accepted: true,
                     case: InputCase::Insufficient,
                     reason: None,
                     keystroke_votes: Vec::new(),
                     score: 0.0,
-                })
+                }))
             } else {
-                Ok(AuthDecision::reject(
+                Ok(finish(AuthDecision::reject(
                     InputCase::Insufficient,
                     RejectReason::WrongPin,
-                ))
+                )))
             }
         }
     }

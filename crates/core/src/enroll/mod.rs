@@ -153,6 +153,7 @@ pub(crate) fn extract_for_auth(
     rec: &Recording,
     pre: &Preprocessed,
 ) -> Result<ExtractedWaveforms, AuthError> {
+    let _span = p2auth_obs::span!("core.segmentation");
     let seg_win = config.scale_window(config.segment_window, rec.sample_rate);
     let margin = seg_win / 2;
     let digits = rec.pin_entered.digits();
@@ -174,6 +175,7 @@ pub(crate) fn extract_for_auth(
             present_segments.push(s);
         }
     }
+    p2auth_obs::counter!("core.segmentation.segments").add(segments.len() as u64);
     let all_present = !pre.case.present.is_empty() && pre.case.present.iter().all(|&p| p);
     let (full, fused) = if all_present {
         let fw = znorm_series(&full_waveform(
@@ -188,7 +190,13 @@ pub(crate) fn extract_for_auth(
         } else {
             shift
         };
-        let fu = fuse_aligned(&present_segments, shift).map(|f| znorm_series(&f));
+        let fu = {
+            let _span = p2auth_obs::span!("core.fusion");
+            fuse_aligned(&present_segments, shift).map(|f| znorm_series(&f))
+        };
+        if fu.is_some() {
+            p2auth_obs::counter!("core.fusion.fused").incr();
+        }
         (Some(fw), fu)
     } else {
         (None, None)
@@ -207,6 +215,7 @@ fn train_wave_model(
     negatives: &[MultiSeries],
     kind: SingleModelKind,
 ) -> Result<WaveModel, AuthError> {
+    let _span = p2auth_obs::span!("core.train");
     // Borrow the training series rather than cloning them into a fresh
     // Vec: fit/transform are generic over borrowed slices.
     let train: Vec<&MultiSeries> = positives.iter().chain(negatives.iter()).collect();
@@ -283,6 +292,13 @@ fn enroll_impl(
     recordings: &[Recording],
     third_party: &[Recording],
 ) -> Result<UserProfile, AuthError> {
+    let _span = p2auth_obs::span!("core.enroll");
+    p2auth_obs::event!(
+        "core.enroll",
+        "start",
+        recordings = recordings.len(),
+        third_party = third_party.len(),
+    );
     if recordings.len() < config.min_enroll_recordings {
         return Err(AuthError::NotEnoughRecordings {
             needed: config.min_enroll_recordings,
@@ -310,12 +326,15 @@ fn enroll_impl(
     // Preprocess and extract everything once, fanning out across
     // recordings (each is independent); the first error in recording
     // order wins, matching the old serial early-return.
+    let ctx = p2auth_obs::current_ctx();
     let pos: Vec<ExtractedWaveforms> = par_map(recordings, |rec| {
+        let _g = p2auth_obs::adopt(ctx);
         preprocess::preprocess(config, rec).and_then(|pre| extract_for_auth(config, rec, &pre))
     })
     .into_iter()
     .collect::<Result<_, _>>()?;
     let neg: Vec<ExtractedWaveforms> = par_map(third_party, |rec| {
+        let _g = p2auth_obs::adopt(ctx);
         preprocess::preprocess(config, rec).and_then(|pre| extract_for_auth(config, rec, &pre))
     })
     .into_iter()
@@ -392,6 +411,7 @@ fn enroll_impl(
         })
         .collect();
     let trained = par_map(&jobs, |(digit, positives, negatives)| {
+        let _g = p2auth_obs::adopt(ctx);
         train_wave_model(
             config,
             &config.rocket,

@@ -33,12 +33,33 @@ pub struct Preprocessed {
 /// Returns [`AuthError::InvalidRecording`] if the recording fails
 /// structural validation.
 pub fn preprocess(config: &P2AuthConfig, rec: &Recording) -> Result<Preprocessed, AuthError> {
-    rec.validate()
-        .map_err(|detail| AuthError::InvalidRecording { detail })?;
-    let filtered = noise::remove_noise(config, rec);
-    let calibrated_times =
-        calibration::calibrate_times(config, &filtered, &rec.reported_key_times, rec.sample_rate);
-    let case = case_id::identify_case(config, &filtered, &calibrated_times, rec.sample_rate);
+    let _span = p2auth_obs::span!("core.preprocess");
+    rec.validate().map_err(|detail| {
+        p2auth_obs::event!("core.preprocess", "invalid_recording");
+        AuthError::InvalidRecording { detail }
+    })?;
+    p2auth_obs::counter!("core.preprocess.samples")
+        .add(rec.ppg.iter().map(Vec::len).sum::<usize>() as u64);
+    let filtered = {
+        let _span = p2auth_obs::span!("core.preprocess.noise");
+        noise::remove_noise(config, rec)
+    };
+    let calibrated_times = {
+        let _span = p2auth_obs::span!("core.preprocess.calibrate");
+        calibration::calibrate_times(config, &filtered, &rec.reported_key_times, rec.sample_rate)
+    };
+    p2auth_obs::counter!("core.calibration.keystrokes").add(calibrated_times.len() as u64);
+    let case = {
+        let _span = p2auth_obs::span!("core.preprocess.case_id");
+        case_id::identify_case(config, &filtered, &calibrated_times, rec.sample_rate)
+    };
+    // Signal quality: the fraction of reported keystrokes whose PPG
+    // response was actually detected.
+    if !case.present.is_empty() {
+        #[allow(clippy::cast_precision_loss)]
+        p2auth_obs::gauge!("core.case_id.signal_quality")
+            .set(case.present_count() as f64 / case.present.len() as f64);
+    }
     Ok(Preprocessed {
         filtered,
         calibrated_times,

@@ -5,7 +5,7 @@
 //! prototype does online.
 
 use crate::frame::{resync_offset, Frame};
-use crate::host::{AssembleError, HostAssembler};
+use crate::host::{AssembleError, HostAssembler, LinkQuality};
 use p2auth_core::{AuthDecision, AuthError, P2Auth, Pin, Recording, UserProfile};
 
 /// Error from the authenticating host.
@@ -56,6 +56,9 @@ pub enum SessionOutcome {
         decision: AuthDecision,
         /// PPG block coverage of the session (0.0–1.0).
         coverage: f64,
+        /// Missing PPG blocks that had to be gap-filled — the reason
+        /// the session was degraded.
+        gap_blocks: usize,
     },
     /// The session could not be evaluated at all.
     Abort {
@@ -63,6 +66,8 @@ pub enum SessionOutcome {
         reason: String,
         /// PPG block coverage at the time of the abort.
         coverage: f64,
+        /// Missing PPG blocks at the time of the abort.
+        gap_blocks: usize,
     },
 }
 
@@ -84,38 +89,59 @@ impl SessionOutcome {
 /// Applies the coverage-gated decision policy to one assembled session:
 /// at or above the configured `min_ppg_coverage` the normal two-factor
 /// path runs; below it, the degraded fallback
-/// (`P2AuthConfig::degraded_fallback`) decides. Evaluation errors
-/// become [`SessionOutcome::Abort`], never a panic — this is the
-/// deployed path fed by a faulty link.
+/// (`P2AuthConfig::degraded_fallback`) decides — and the outcome
+/// records *why* (the coverage and gap-block counts from
+/// [`LinkQuality`]). Evaluation errors become
+/// [`SessionOutcome::Abort`], never a panic — this is the deployed
+/// path fed by a faulty link.
 pub fn decide_session(
     system: &P2Auth,
     profile: &UserProfile,
     claimed_pin: Option<&Pin>,
     recording: &Recording,
-    coverage: f64,
+    quality: LinkQuality,
 ) -> SessionOutcome {
-    if coverage >= system.config().min_ppg_coverage {
+    let abort = |e: String| {
+        p2auth_obs::counter!("device.session.aborts").incr();
+        p2auth_obs::event!(
+            "device.session",
+            "abort",
+            coverage = quality.coverage,
+            gap_blocks = quality.gap_blocks,
+            reason = e.clone(),
+        );
+        SessionOutcome::Abort {
+            reason: e,
+            coverage: quality.coverage,
+            gap_blocks: quality.gap_blocks,
+        }
+    };
+    if quality.coverage >= system.config().min_ppg_coverage {
         let decision = match claimed_pin {
             Some(pin) => system.authenticate(profile, pin, recording),
             None => system.authenticate_no_pin(profile, recording),
         };
         match decision {
             Ok(d) => SessionOutcome::Decision(d),
-            Err(e) => SessionOutcome::Abort {
-                reason: e.to_string(),
-                coverage,
-            },
+            Err(e) => abort(e.to_string()),
         }
     } else {
+        p2auth_obs::counter!("device.session.degraded_entries").incr();
+        p2auth_obs::event!(
+            "device.session",
+            "degraded",
+            coverage = quality.coverage,
+            gap_blocks = quality.gap_blocks,
+            expected_blocks = quality.expected_blocks,
+            received_blocks = quality.received_blocks,
+        );
         match system.authenticate_degraded(profile, claimed_pin, recording) {
             Ok(d) => SessionOutcome::Degraded {
                 decision: d,
-                coverage,
+                coverage: quality.coverage,
+                gap_blocks: quality.gap_blocks,
             },
-            Err(e) => SessionOutcome::Abort {
-                reason: e.to_string(),
-                coverage,
-            },
+            Err(e) => abort(e.to_string()),
         }
     }
 }
@@ -171,30 +197,44 @@ impl AuthenticatingHost {
                 Ok((frame, used)) => {
                     pos += used;
                     if let Some(result) = self.assembler.feed_lossy(frame) {
-                        let coverage_at_end = self.assembler.coverage();
+                        let quality_at_end = self.assembler.quality();
                         self.assembler = HostAssembler::new();
                         match result {
-                            Ok((recording, coverage)) => {
+                            Ok((recording, quality)) => {
                                 self.sessions_completed += 1;
                                 outcomes.push(decide_session(
                                     &self.system,
                                     &self.profile,
                                     self.claimed_pin.as_ref(),
                                     &recording,
-                                    coverage,
+                                    quality,
                                 ));
                             }
-                            Err(e) => outcomes.push(SessionOutcome::Abort {
-                                reason: e.to_string(),
-                                coverage: coverage_at_end,
-                            }),
+                            Err(e) => {
+                                p2auth_obs::counter!("device.session.aborts").incr();
+                                p2auth_obs::event!(
+                                    "device.session",
+                                    "abort",
+                                    coverage = quality_at_end.coverage,
+                                    gap_blocks = quality_at_end.gap_blocks,
+                                    reason = e.to_string(),
+                                );
+                                outcomes.push(SessionOutcome::Abort {
+                                    reason: e.to_string(),
+                                    coverage: quality_at_end.coverage,
+                                    gap_blocks: quality_at_end.gap_blocks,
+                                });
+                            }
                         }
                     }
                 }
                 Err(e) if e.needs_more_data() => break,
                 Err(_) => {
                     // Garbage: skip to the next candidate frame start.
-                    pos += resync_offset(&self.stream_buf[pos..]);
+                    let skipped = resync_offset(&self.stream_buf[pos..]);
+                    p2auth_obs::counter!("device.host.resyncs").incr();
+                    p2auth_obs::event!("device.host", "resync", skipped = skipped);
+                    pos += skipped;
                 }
             }
         }
@@ -458,11 +498,16 @@ mod tests {
         let outcomes = host.feed_stream(&wire);
         assert_eq!(outcomes.len(), 1);
         match &outcomes[0] {
-            SessionOutcome::Degraded { decision, coverage } => {
+            SessionOutcome::Degraded {
+                decision,
+                coverage,
+                gap_blocks,
+            } => {
                 assert!(
                     *coverage < 0.9,
                     "coverage {coverage} should gate biometrics"
                 );
+                assert!(*gap_blocks > 0, "dropped frames must surface as gaps");
                 assert!(
                     decision.accepted,
                     "correct PIN accepted under PIN-only fallback"

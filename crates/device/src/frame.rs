@@ -163,6 +163,18 @@ impl Frame {
         }
     }
 
+    /// Stable machine-readable name of the frame kind, used in
+    /// telemetry events and logs.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::SessionStart { .. } => "session_start",
+            Frame::Ppg { .. } => "ppg",
+            Frame::Accel { .. } => "accel",
+            Frame::Key { .. } => "key",
+            Frame::SessionEnd { .. } => "session_end",
+        }
+    }
+
     /// Encodes the frame to bytes.
     ///
     /// # Panics

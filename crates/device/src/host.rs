@@ -37,6 +37,33 @@ struct KeyArrival {
     samples_seen: usize,
 }
 
+/// Link-quality summary of one assembled session: how much of the
+/// expected PPG stream actually arrived. `expected_blocks` is estimated
+/// from the per-channel sequence high-water mark (the same estimate
+/// [`HostAssembler::coverage`] uses), so tail loss that truncates the
+/// high-water mark itself is invisible here too.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Fraction of expected PPG blocks received (0.0–1.0).
+    pub coverage: f64,
+    /// PPG blocks expected from the sequence high-water mark.
+    pub expected_blocks: usize,
+    /// PPG blocks actually received.
+    pub received_blocks: usize,
+    /// Missing blocks that had to be gap-filled.
+    pub gap_blocks: usize,
+}
+
+impl std::fmt::Display for LinkQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coverage {:.3} ({}/{} blocks, {} gaps)",
+            self.coverage, self.received_blocks, self.expected_blocks, self.gap_blocks
+        )
+    }
+}
+
 /// Error assembling a session.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AssembleError {
@@ -91,6 +118,30 @@ impl HostAssembler {
     /// Returns [`AssembleError::Incomplete`] if `SessionEnd` arrives
     /// before the session can be assembled.
     pub fn feed(&mut self, frame: Frame) -> Result<Option<Recording>, AssembleError> {
+        p2auth_obs::counter!("device.host.frames").incr();
+        match &frame {
+            Frame::Ppg { channel, seq, .. } => {
+                p2auth_obs::event!(
+                    "device.host",
+                    "frame",
+                    kind = "ppg",
+                    ch = *channel,
+                    seq = *seq
+                );
+            }
+            Frame::Key { index, digit, .. } => {
+                p2auth_obs::event!(
+                    "device.host",
+                    "frame",
+                    kind = "key",
+                    index = *index,
+                    digit = *digit,
+                );
+            }
+            other => {
+                p2auth_obs::event!("device.host", "frame", kind = other.kind_name());
+            }
+        }
         match frame {
             Frame::SessionStart {
                 user,
@@ -159,26 +210,49 @@ impl HostAssembler {
     /// high-water mark itself is invisible here — the retransmission
     /// layer closes that hole with its end-of-stream marker.
     pub fn coverage(&self) -> f64 {
+        self.quality().coverage
+    }
+
+    /// The full link-quality summary behind
+    /// [`HostAssembler::coverage`]: expected/received/missing PPG block
+    /// counts alongside the coverage fraction.
+    pub fn quality(&self) -> LinkQuality {
         let Some(max_seq) = self.ppg_blocks.keys().map(|&(_, s)| s).max() else {
-            return 0.0;
+            return LinkQuality {
+                coverage: 0.0,
+                expected_blocks: 0,
+                received_blocks: 0,
+                gap_blocks: 0,
+            };
         };
         let channels = self.channels.len().max(1);
         let expected = (max_seq as usize + 1) * channels;
-        (self.ppg_blocks.len() as f64 / expected as f64).min(1.0)
+        let received = self.ppg_blocks.len();
+        LinkQuality {
+            coverage: (received as f64 / expected as f64).min(1.0),
+            expected_blocks: expected,
+            received_blocks: received,
+            gap_blocks: expected.saturating_sub(received),
+        }
     }
 
     /// Fault-tolerant variant of [`HostAssembler::feed`]: `SessionEnd`
     /// closes the session with [`HostAssembler::assemble_degraded`]
-    /// (gap filling + coverage reporting) instead of strict assembly.
+    /// (gap filling + quality reporting) instead of strict assembly.
     /// All other frames are absorbed exactly as
     /// [`HostAssembler::feed`] absorbs them and return `None`.
-    pub fn feed_lossy(&mut self, frame: Frame) -> Option<Result<(Recording, f64), AssembleError>> {
+    pub fn feed_lossy(
+        &mut self,
+        frame: Frame,
+    ) -> Option<Result<(Recording, LinkQuality), AssembleError>> {
         if let Frame::SessionEnd {
             true_key_times,
             watch_hand,
             one_handed,
         } = frame
         {
+            p2auth_obs::counter!("device.host.frames").incr();
+            p2auth_obs::event!("device.host", "frame", kind = "session_end");
             self.end = Some((true_key_times, watch_hand, one_handed));
             Some(self.assemble_degraded())
         } else {
@@ -194,8 +268,8 @@ impl HostAssembler {
     /// and key/ground-truth indices are clamped into range; the accel
     /// track is concatenated from whatever arrived. On a complete
     /// session this produces exactly what strict assembly produces.
-    /// Returns the recording together with the PPG
-    /// [`coverage`](HostAssembler::coverage) that went into it.
+    /// Returns the recording together with the [`LinkQuality`]
+    /// (coverage and gap counts) that went into it.
     ///
     /// # Errors
     ///
@@ -203,8 +277,20 @@ impl HostAssembler {
     /// filling yields a valid recording: missing `SessionStart`, no
     /// PPG data at all, lost key events (the typed PIN cannot be
     /// reconstructed), or no `SessionEnd` recorded.
-    pub fn assemble_degraded(&mut self) -> Result<(Recording, f64), AssembleError> {
-        let coverage = self.coverage();
+    pub fn assemble_degraded(&mut self) -> Result<(Recording, LinkQuality), AssembleError> {
+        let _span = p2auth_obs::span!("device.host.assemble");
+        let quality = self.quality();
+        p2auth_obs::gauge!("device.host.coverage").set(quality.coverage);
+        if quality.gap_blocks > 0 {
+            p2auth_obs::counter!("device.host.gap_blocks").add(quality.gap_blocks as u64);
+            p2auth_obs::event!(
+                "device.host",
+                "gap_fill",
+                gaps = quality.gap_blocks,
+                expected = quality.expected_blocks,
+                coverage = quality.coverage,
+            );
+        }
         let user = self.user.ok_or_else(|| AssembleError::Incomplete {
             detail: "missing SessionStart".into(),
         })?;
@@ -311,10 +397,11 @@ impl HostAssembler {
         };
         rec.validate()
             .map_err(|detail| AssembleError::Incomplete { detail })?;
-        Ok((rec, coverage))
+        Ok((rec, quality))
     }
 
     fn assemble(&mut self) -> Result<Recording, AssembleError> {
+        let _span = p2auth_obs::span!("device.host.assemble");
         let user = self.user.ok_or_else(|| AssembleError::Incomplete {
             detail: "missing SessionStart".into(),
         })?;

@@ -45,6 +45,6 @@ pub mod reliable;
 pub use auth_host::{decide_session, AuthenticatingHost, SessionOutcome};
 pub use device::WearableDevice;
 pub use frame::{resync_offset, Frame, FrameError};
-pub use host::HostAssembler;
+pub use host::{HostAssembler, LinkQuality};
 pub use link::{FaultConfig, FaultStats, FaultyLink, Link, LinkConfig};
 pub use reliable::{transmit_reliable, Packet, ReliableConfig, TransferStats};

@@ -230,6 +230,7 @@ impl FaultyLink {
     /// Panics if `t_send` is not finite.
     pub fn send(&mut self, t_send: f64, bytes: &[u8]) -> Vec<(f64, Vec<u8>)> {
         self.stats.frames_sent += 1;
+        p2auth_obs::counter!("device.link.frames_sent").incr();
         // Gilbert–Elliott state transition, once per offered frame.
         if self.faults.burst_enter > 0.0 {
             let p = if self.in_burst {
@@ -247,10 +248,13 @@ impl FaultyLink {
         }
         if loss > 0.0 && self.rng.gen::<f64>() < loss {
             self.stats.frames_dropped += 1;
+            p2auth_obs::counter!("device.link.frames_dropped").incr();
+            p2auth_obs::event!("device.link", "drop", burst = self.in_burst);
             return Vec::new();
         }
         let copies = if self.faults.dup_rate > 0.0 && self.rng.gen::<f64>() < self.faults.dup_rate {
             self.stats.frames_duplicated += 1;
+            p2auth_obs::counter!("device.link.frames_duplicated").incr();
             2
         } else {
             1
@@ -262,6 +266,7 @@ impl FaultyLink {
                 // Held back *after* the FIFO stage, so later frames can
                 // overtake this one.
                 self.stats.frames_reordered += 1;
+                p2auth_obs::counter!("device.link.frames_reordered").incr();
                 arrival += self.faults.reorder_delay_s;
             }
             if self.faults.drift_ppm != 0.0 {
@@ -269,11 +274,16 @@ impl FaultyLink {
             }
             let mut payload = bytes.to_vec();
             if self.faults.corrupt_rate > 0.0 {
+                let before = self.stats.bytes_corrupted;
                 for b in &mut payload {
                     if self.rng.gen::<f64>() < self.faults.corrupt_rate {
                         *b ^= 1 << self.rng.gen_range(0_u8..8);
                         self.stats.bytes_corrupted += 1;
                     }
+                }
+                let flipped = self.stats.bytes_corrupted - before;
+                if flipped > 0 {
+                    p2auth_obs::counter!("device.link.bytes_corrupted").add(flipped as u64);
                 }
             }
             out.push((arrival, payload));

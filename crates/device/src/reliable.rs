@@ -17,7 +17,7 @@
 
 use crate::device::WearableDevice;
 use crate::frame::{crc32, Frame, FrameError, MAX_PAYLOAD};
-use crate::host::{AssembleError, HostAssembler};
+use crate::host::{AssembleError, HostAssembler, LinkQuality};
 use crate::link::FaultyLink;
 use p2auth_core::types::Recording;
 use std::cmp::Ordering;
@@ -191,6 +191,11 @@ pub struct TransferStats {
     pub gaps_abandoned: usize,
     /// Events discarded past the session deadline.
     pub late_dropped: usize,
+    /// NACK backoff timers scheduled by the host (one per NACK sent).
+    pub backoff_waits: usize,
+    /// Total backoff time scheduled, in microseconds (integer so the
+    /// stats stay `Eq` and replay-comparable).
+    pub backoff_wait_us: u64,
     /// Bytes offered to the forward links.
     pub forward_bytes: usize,
     /// CRC-32 over all bytes offered to the forward links, in order.
@@ -199,6 +204,29 @@ pub struct TransferStats {
     pub reverse_bytes: usize,
     /// CRC-32 over all bytes offered to the reverse links, in order.
     pub reverse_digest: u32,
+}
+
+impl std::fmt::Display for TransferStats {
+    /// One-line summary for bench tables and CI logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pkts {}/{} (dup {}, corrupt {}) retx {} nacks {} \
+             (backoff {}x/{:.2}s) gaps {} late {} fwd {}B rev {}B",
+            self.delivered_unique,
+            self.data_packets,
+            self.duplicates,
+            self.corrupt_discarded,
+            self.retransmissions,
+            self.nacks_sent,
+            self.backoff_waits,
+            self.backoff_wait_us as f64 / 1e6,
+            self.gaps_abandoned,
+            self.late_dropped,
+            self.forward_bytes,
+            self.reverse_bytes,
+        )
+    }
 }
 
 /// Incremental CRC-32 over a byte stream (same polynomial as
@@ -293,7 +321,8 @@ struct RxState {
 
 /// Transmits a recording over two faulty links (data + key channel)
 /// with NACK-based recovery, returning the degraded-assembled
-/// recording with its PPG coverage, plus transfer statistics.
+/// recording with its [`LinkQuality`] (coverage and gap counts), plus
+/// transfer statistics.
 ///
 /// Key events ride the phone link but get the same ARQ protection —
 /// a lost key event is unrecoverable by gap filling (the typed PIN
@@ -318,11 +347,24 @@ pub fn transmit_reliable(
     data_link: &mut FaultyLink,
     key_link: &mut FaultyLink,
     config: &ReliableConfig,
-) -> (Result<(Recording, f64), AssembleError>, TransferStats) {
+) -> (
+    Result<(Recording, LinkQuality), AssembleError>,
+    TransferStats,
+) {
+    let _span = p2auth_obs::span!("device.reliable.transmit");
+    // Pre-register the transfer counters so they appear in reports even
+    // for sessions that never exercise the recovery machinery.
+    p2auth_obs::counter!("device.reliable.packets_sent").add(0);
+    p2auth_obs::counter!("device.reliable.retransmissions").add(0);
+    p2auth_obs::counter!("device.reliable.nacks_sent").add(0);
+    p2auth_obs::counter!("device.reliable.gaps_abandoned").add(0);
+    p2auth_obs::counter!("device.reliable.corrupt_discarded").add(0);
+    p2auth_obs::counter!("device.reliable.duplicates").add(0);
+    p2auth_obs::counter!("device.reliable.late_dropped").add(0);
     data_link.start_session();
     key_link.start_session();
     let mut reverse = [data_link.reverse(), key_link.reverse()];
-    let mut forward = [data_link, key_link];
+    let forward = [data_link, key_link];
 
     // Split the packet stream into the two ARQ channels; each gets its
     // own sequence space, in send order.
@@ -499,9 +541,17 @@ pub fn transmit_reliable(
                 }
                 if attempt >= config.max_nacks {
                     stats.gaps_abandoned += 1;
+                    p2auth_obs::event!("device.reliable", "gap_abandoned", ch = ch, seq = seq);
                     continue;
                 }
                 stats.nacks_sent += 1;
+                p2auth_obs::event!(
+                    "device.reliable",
+                    "nack",
+                    ch = ch,
+                    seq = seq,
+                    attempt = attempt
+                );
                 let bytes = Packet::Nack { seq }.encode();
                 rev_digest.update(&bytes);
                 for (t_arr, payload) in reverse[ch].send(ev.t, &bytes) {
@@ -513,6 +563,8 @@ pub fn transmit_reliable(
                     );
                 }
                 let backoff = config.nack_backoff_s * f64::from(1_u32 << attempt.min(10));
+                stats.backoff_waits += 1;
+                stats.backoff_wait_us += (backoff * 1e6).round() as u64;
                 push(
                     &mut heap,
                     &mut tie,
@@ -530,6 +582,13 @@ pub fn transmit_reliable(
                     if i < sends[ch].len() && retries[ch][i] < config.max_retries {
                         retries[ch][i] += 1;
                         stats.retransmissions += 1;
+                        p2auth_obs::event!(
+                            "device.reliable",
+                            "retransmit",
+                            ch = ch,
+                            seq = seq,
+                            retry = retries[ch][i],
+                        );
                         let pkt = sends[ch][i].1.clone();
                         fwd_digest.update(&pkt);
                         for (t_arr, payload) in forward[ch].send(ev.t, &pkt) {
@@ -551,6 +610,22 @@ pub fn transmit_reliable(
     stats.forward_digest = fwd_digest.finish();
     stats.reverse_bytes = rev_digest.bytes;
     stats.reverse_digest = rev_digest.finish();
+
+    p2auth_obs::counter!("device.reliable.packets_sent").add(stats.data_packets as u64);
+    p2auth_obs::counter!("device.reliable.retransmissions").add(stats.retransmissions as u64);
+    p2auth_obs::counter!("device.reliable.nacks_sent").add(stats.nacks_sent as u64);
+    p2auth_obs::counter!("device.reliable.gaps_abandoned").add(stats.gaps_abandoned as u64);
+    p2auth_obs::counter!("device.reliable.corrupt_discarded").add(stats.corrupt_discarded as u64);
+    p2auth_obs::counter!("device.reliable.duplicates").add(stats.duplicates as u64);
+    p2auth_obs::counter!("device.reliable.late_dropped").add(stats.late_dropped as u64);
+    p2auth_obs::event!(
+        "device.reliable",
+        "transfer_done",
+        delivered = stats.delivered_unique,
+        total = stats.data_packets,
+        retx = stats.retransmissions,
+        nacks = stats.nacks_sent,
+    );
 
     let result = match end_frame {
         Some(end) => assembler
@@ -674,11 +749,15 @@ mod tests {
             &mut keys,
             &ReliableConfig::default(),
         );
-        let (rebuilt, coverage) = result.unwrap();
-        assert_eq!(coverage, 1.0);
+        let (rebuilt, quality) = result.unwrap();
+        assert_eq!(quality.coverage, 1.0);
+        assert_eq!(quality.gap_blocks, 0);
+        assert_eq!(quality.received_blocks, quality.expected_blocks);
         assert_eq!(stats.retransmissions, 0);
         assert_eq!(stats.nacks_sent, 0);
         assert_eq!(stats.gaps_abandoned, 0);
+        assert_eq!(stats.backoff_waits, 0);
+        assert_eq!(stats.backoff_wait_us, 0);
         assert_eq!(stats.delivered_unique, stats.data_packets);
         assert_eq!(rebuilt.user, original.user);
         assert_eq!(rebuilt.pin_entered, original.pin_entered);
@@ -705,10 +784,20 @@ mod tests {
             &mut keys,
             &ReliableConfig::default(),
         );
-        let (rebuilt, coverage) = result.unwrap();
+        let (rebuilt, quality) = result.unwrap();
+        let coverage = quality.coverage;
         assert!(coverage > 0.99, "coverage {coverage} after recovery");
         assert!(stats.nacks_sent > 0, "2% loss over ~380 packets must NACK");
         assert_eq!(stats.gaps_abandoned, 0);
+        assert_eq!(
+            stats.backoff_waits, stats.nacks_sent,
+            "every NACK schedules exactly one backoff timer"
+        );
+        assert!(stats.backoff_wait_us > 0);
+        // The Display impl is what fault_bench and CI logs print; it
+        // must mention the headline counters.
+        let line = stats.to_string();
+        assert!(line.contains("retx") && line.contains("nacks") && line.contains("backoff"));
         assert_eq!(rebuilt.num_samples(), original.num_samples());
         assert_eq!(rebuilt.pin_entered, original.pin_entered);
         assert_eq!(rebuilt.validate(), Ok(()));
@@ -739,8 +828,8 @@ mod tests {
         );
         assert!(stats.retransmissions > 0);
         match result {
-            Ok((rebuilt, coverage)) => {
-                assert!(coverage > 0.5, "coverage {coverage}");
+            Ok((rebuilt, quality)) => {
+                assert!(quality.coverage > 0.5, "coverage {}", quality.coverage);
                 assert_eq!(rebuilt.validate(), Ok(()));
             }
             // Permanent loss of a key event or the SessionEnd is a

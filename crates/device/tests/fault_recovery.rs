@@ -110,12 +110,14 @@ fn clean_reliable_channel_matches_plain_transmit() {
     let mut keys = FaultyLink::perfect(key_link_config());
     let (result, stats) =
         transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
-    let (reliable, coverage) = result.expect("clean channel");
+    let (reliable, quality) = result.expect("clean channel");
 
     // Zero fault rates: the ARQ layer must be invisible — identical
     // reassembly, full coverage, no recovery machinery engaged.
     assert_eq!(reliable, plain);
+    let coverage = quality.coverage;
     assert!((coverage - 1.0).abs() < 1e-12, "coverage {coverage}");
+    assert_eq!(quality.gap_blocks, 0);
     assert_eq!(stats.delivered_unique, stats.data_packets);
     assert_eq!(stats.retransmissions, 0);
     assert_eq!(stats.nacks_sent, 0);
@@ -141,7 +143,8 @@ fn recovery_at_the_configured_fault_rate() {
             transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
         total_nacks += stats.nacks_sent;
         match result {
-            Ok((rebuilt, coverage)) => {
+            Ok((rebuilt, quality)) => {
+                let coverage = quality.coverage;
                 assert_eq!(rebuilt.validate(), Ok(()));
                 if coverage >= 0.9 {
                     ok_covered += 1;
@@ -183,8 +186,8 @@ fn same_seed_replays_byte_identical_traffic_and_decisions() {
         let mut keys = FaultyLink::new(key_link_config(), faults(0.04, seed * 17 + 4));
         let (result, stats) =
             transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
-        let outcome = result.as_ref().ok().map(|(rebuilt, coverage)| {
-            decide_session(&s.system, &s.profile, Some(&s.pin), rebuilt, *coverage)
+        let outcome = result.as_ref().ok().map(|(rebuilt, quality)| {
+            decide_session(&s.system, &s.profile, Some(&s.pin), rebuilt, *quality)
         });
         (result, stats, outcome)
     };
@@ -196,9 +199,9 @@ fn same_seed_replays_byte_identical_traffic_and_decisions() {
     assert_eq!(stats_a, stats_b);
     assert!(stats_a.forward_bytes > 0);
     match (result_a, result_b) {
-        (Ok((rec_a, cov_a)), Ok((rec_b, cov_b))) => {
+        (Ok((rec_a, qual_a)), Ok((rec_b, qual_b))) => {
             assert_eq!(rec_a, rec_b);
-            assert_eq!(cov_a, cov_b);
+            assert_eq!(qual_a, qual_b);
         }
         (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
         (a, b) => panic!("replay diverged: {a:?} vs {b:?}"),
@@ -224,23 +227,30 @@ fn unrecovered_loss_falls_back_to_the_degraded_policy() {
     let mut keys = FaultyLink::perfect(key_link_config());
     let (result, stats) = transmit_reliable(&rec, &dev, &mut data, &mut keys, &no_recovery);
     assert_eq!(stats.retransmissions, 0);
-    let (rebuilt, coverage) = result.expect("degraded assembly still yields a recording");
+    let (rebuilt, quality) = result.expect("degraded assembly still yields a recording");
+    let coverage = quality.coverage;
     assert!(coverage < 0.9, "coverage {coverage} should be degraded");
+    assert!(quality.gap_blocks > 0, "unrecovered loss must leave gaps");
 
-    match decide_session(&s.system, &s.profile, Some(&s.pin), &rebuilt, coverage) {
+    match decide_session(&s.system, &s.profile, Some(&s.pin), &rebuilt, quality) {
         SessionOutcome::Degraded {
             decision,
             coverage: c,
+            gap_blocks,
         } => {
             assert!(decision.accepted, "correct PIN passes the fallback");
             assert_eq!(decision.score, 0.0, "no biometric evidence");
             assert_eq!(c, coverage);
+            assert_eq!(
+                gap_blocks, quality.gap_blocks,
+                "outcome records the gap count"
+            );
         }
         other => panic!("expected a degraded outcome, got {other:?}"),
     }
 
     let wrong = Pin::new("9999").unwrap();
-    let outcome = decide_session(&s.system, &s.profile, Some(&wrong), &rebuilt, coverage);
+    let outcome = decide_session(&s.system, &s.profile, Some(&wrong), &rebuilt, quality);
     assert!(
         !outcome.accepted(),
         "wrong PIN must fail the degraded fallback"

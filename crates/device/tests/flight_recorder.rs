@@ -1,0 +1,134 @@
+//! Flight-recorder post-mortems on the device auth path.
+//!
+//! Acceptance test for the observability layer: after a session ends in
+//! [`SessionOutcome::Abort`], the flight recorder must hold the last
+//! [`p2auth_obs::recorder::CAPACITY`] structured events — at least 64 —
+//! spanning the link and decision stages, with the degradation reason
+//! attached to the final event.
+//!
+//! Compiles to nothing without the `obs` feature (the recorder is an
+//! inert no-op there, so there is nothing to assert).
+#![cfg(feature = "obs")]
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, Recording};
+use p2auth_device::clock::VirtualClock;
+use p2auth_device::{
+    decide_session, transmit_reliable, FaultConfig, FaultyLink, LinkConfig, ReliableConfig,
+    SessionOutcome, WearableDevice,
+};
+use p2auth_obs::recorder;
+use p2auth_obs::Value;
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+#[test]
+fn abort_dump_holds_recent_structured_events_with_reasons() {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 4,
+        seed: 0xfa_0175,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let pin = Pin::new("1628").unwrap();
+    let system = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<Recording> = (0..6)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<Recording> = (0..12)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 3),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                500 + i,
+            )
+        })
+        .collect();
+    let profile = system.enroll(&pin, &enroll, &third).expect("enrollment");
+
+    // Start the post-mortem window at the session boundary, then stream
+    // one authentication over a 2% lossy link: every frame fed, every
+    // NACK and retransmission lands in the ring. The loss realization is
+    // RNG-backend-sensitive, so scan seeds for a recovered transfer.
+    let rec = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 7000);
+    let dev = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+    let mut recovered = None;
+    for seed in 1..=20_u64 {
+        p2auth_obs::reset();
+        let faults = FaultConfig {
+            drop_rate: 0.02,
+            corrupt_rate: 0.005,
+            seed,
+            ..FaultConfig::default()
+        };
+        let mut data = FaultyLink::new(LinkConfig::default(), faults);
+        let mut keys = FaultyLink::new(
+            LinkConfig {
+                seed: 0x4b,
+                ..LinkConfig::default()
+            },
+            FaultConfig {
+                seed: seed + 1000,
+                ..faults
+            },
+        );
+        let (result, _stats) =
+            transmit_reliable(&rec, &dev, &mut data, &mut keys, &ReliableConfig::default());
+        if let Ok(pair) = result {
+            recovered = Some(pair);
+            break;
+        }
+    }
+    let (rebuilt, quality) = recovered.expect("some 2% loss realization recovers");
+
+    // Corrupt the assembled recording so evaluation fails: the decision
+    // layer must convert the error into an Abort and log why.
+    let mut bad = rebuilt;
+    bad.ppg.clear();
+    let outcome = decide_session(&system, &profile, Some(&pin), &bad, quality);
+    let SessionOutcome::Abort {
+        reason,
+        coverage,
+        gap_blocks,
+    } = outcome
+    else {
+        panic!("invalid recording must abort, got {outcome:?}");
+    };
+    assert!(reason.contains("PPG"), "reason names the cause: {reason}");
+    assert!(coverage > 0.9, "link itself was healthy");
+
+    // The dump: a full ring (hundreds of frames streamed), ending in
+    // the abort event that carries the degradation-reason fields.
+    let events = recorder::snapshot();
+    assert!(
+        events.len() >= 64,
+        "post-mortem needs history, got {} events",
+        events.len()
+    );
+    assert_eq!(events.len(), recorder::CAPACITY, "ring wrapped");
+    let stages: std::collections::BTreeSet<&str> = events.iter().map(|e| e.stage).collect();
+    assert!(stages.contains("device.host"), "link stage present");
+    assert!(stages.contains("device.session"), "decision stage present");
+
+    let last = events.last().expect("non-empty dump");
+    assert_eq!((last.stage, last.label), ("device.session", "abort"));
+    let field = |k: &str| last.fields.iter().find(|(n, _)| *n == k).map(|(_, v)| v);
+    assert_eq!(field("coverage"), Some(&Value::F64(quality.coverage)));
+    assert_eq!(
+        field("gap_blocks"),
+        Some(&Value::U64(gap_blocks as u64)),
+        "abort event records the gap count"
+    );
+    match field("reason") {
+        Some(Value::Text(r)) => assert_eq!(*r, reason),
+        other => panic!("abort event must carry the reason, got {other:?}"),
+    }
+
+    // The rendered dump is what an operator sees on AuthError.
+    let dump = recorder::render_dump(&events, 64);
+    assert_eq!(dump.lines().count(), 64 + 1, "64 events plus elision line");
+    let last_line = dump.lines().last().unwrap();
+    assert!(last_line.contains("device.session"), "dump:\n{dump}");
+    assert!(last_line.contains("abort"), "dump:\n{dump}");
+    assert!(last_line.contains("reason="), "dump:\n{dump}");
+}

@@ -72,7 +72,9 @@ impl LogisticClassifier {
     }
 
     fn fit_impl(config: &LogisticConfig, x: &[&[f64]], y: &[i8]) -> Result<Self, MlError> {
+        let _span = p2auth_obs::span!("ml.logistic.fit");
         let dim = validate_training(x, y)?;
+        p2auth_obs::event!("ml.logistic", "fit", rows = x.len(), cols = dim);
         let n = x.len();
         let mut w = vec![0.0_f64; dim];
         let mut b = 0.0_f64;

@@ -73,7 +73,9 @@ impl RidgeClassifier {
     }
 
     fn fit_impl(config: &RidgeCvConfig, x: &[&[f64]], y: &[i8]) -> Result<Self, MlError> {
+        let _span = p2auth_obs::span!("ml.ridge.fit");
         let dim = validate_training(x, y)?;
+        p2auth_obs::event!("ml.ridge", "fit", rows = x.len(), cols = dim);
         assert!(!config.alphas.is_empty(), "alpha grid must be non-empty");
         let n = x.len();
         // Center features and targets (this absorbs the intercept).

@@ -1,0 +1,60 @@
+//! Disabled-mode guarantees (`--no-default-features`): every primitive
+//! is an inert zero-sized no-op and no state is ever recorded.
+
+#![cfg(not(feature = "enabled"))]
+
+use p2auth_obs::{counter, event, gauge, histogram, span};
+
+#[test]
+fn noop_registry_records_nothing() {
+    assert!(!p2auth_obs::is_enabled());
+    assert!(!p2auth_obs::recording());
+    p2auth_obs::set_recording(true);
+    assert!(
+        !p2auth_obs::recording(),
+        "runtime switch is inert when disabled"
+    );
+
+    counter!("noop.counter").add(41);
+    counter!("noop.counter").incr();
+    gauge!("noop.gauge").set(2.5);
+    histogram!("noop.hist").record(77);
+    {
+        let _s = span!("noop.span");
+        event!("noop", "event", v = 1_u64);
+    }
+
+    assert_eq!(counter!("noop.counter").get(), 0);
+    assert_eq!(gauge!("noop.gauge").get(), 0.0);
+    assert_eq!(histogram!("noop.hist").count(), 0);
+    assert_eq!(histogram!("noop.hist").quantile(0.5), 0);
+
+    let snap = p2auth_obs::metrics::snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+
+    assert!(p2auth_obs::recorder::snapshot().is_empty());
+    assert_eq!(p2auth_obs::recorder::len(), 0);
+    assert!(p2auth_obs::span::take_capture().is_empty());
+    assert_eq!(p2auth_obs::now_ns(), 0);
+}
+
+#[test]
+fn noop_primitives_are_zero_sized() {
+    assert_eq!(std::mem::size_of::<p2auth_obs::Span>(), 0);
+    assert_eq!(std::mem::size_of::<p2auth_obs::SpanCtx>(), 0);
+    assert_eq!(std::mem::size_of::<p2auth_obs::AdoptGuard>(), 0);
+    assert_eq!(std::mem::size_of::<p2auth_obs::metrics::Counter>(), 0);
+    assert_eq!(std::mem::size_of::<p2auth_obs::metrics::Gauge>(), 0);
+    assert_eq!(std::mem::size_of::<p2auth_obs::metrics::Histogram>(), 0);
+
+    // The JSON exporter still renders a valid (empty) document.
+    let json = p2auth_obs::report::render_json(&p2auth_obs::report::collect());
+    let doc = p2auth_obs::json::parse(&json).expect("valid JSON when disabled");
+    assert_eq!(
+        doc.get("enabled")
+            .and_then(p2auth_obs::json::JsonValue::as_bool),
+        Some(false)
+    );
+}

@@ -1,0 +1,106 @@
+//! Golden-schema test: the JSON exporter's output is parsed with the
+//! crate's own dependency-free parser and its key set pinned, so the
+//! documented `p2auth.obs.v1` format cannot drift silently.
+
+#![cfg(feature = "enabled")]
+
+use p2auth_obs::json::{parse, JsonValue};
+use p2auth_obs::report;
+
+#[test]
+fn json_report_matches_documented_schema() {
+    p2auth_obs::reset();
+    p2auth_obs::counter!("schema.test.counter").add(5);
+    p2auth_obs::gauge!("schema.test.gauge").set(0.75);
+    p2auth_obs::histogram!("schema.test.hist").record(1234);
+    p2auth_obs::event!("schema.test", "probe", seq = 1_u64, ok = true, note = "x");
+
+    let json = report::render_json(&report::collect());
+    let doc = parse(&json).expect("report must be valid JSON");
+
+    // Top-level key set, exactly.
+    let top = doc.as_object().expect("top level is an object");
+    let keys: Vec<&str> = top.keys().map(String::as_str).collect();
+    assert_eq!(
+        keys,
+        vec![
+            "counters",
+            "enabled",
+            "events",
+            "gauges",
+            "histograms",
+            "recording",
+            "schema"
+        ],
+        "top-level schema keys drifted"
+    );
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some(report::SCHEMA)
+    );
+    assert_eq!(doc.get("enabled").and_then(JsonValue::as_bool), Some(true));
+
+    // Every histogram entry carries exactly the documented summary.
+    let hists = doc
+        .get("histograms")
+        .and_then(JsonValue::as_object)
+        .expect("histograms object");
+    let h = hists.get("schema.test.hist").expect("registered histogram");
+    let hkeys: Vec<&str> = h
+        .as_object()
+        .expect("histogram summary is an object")
+        .keys()
+        .map(String::as_str)
+        .collect();
+    assert_eq!(
+        hkeys,
+        vec!["count", "max", "p50", "p95", "p99", "sum"],
+        "histogram schema keys drifted"
+    );
+    assert_eq!(h.get("count").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(h.get("max").and_then(JsonValue::as_f64), Some(1234.0));
+
+    // Counters / gauges are flat name -> number maps.
+    assert_eq!(
+        doc.get("counters")
+            .and_then(|c| c.get("schema.test.counter"))
+            .and_then(JsonValue::as_f64),
+        Some(5.0)
+    );
+    assert_eq!(
+        doc.get("gauges")
+            .and_then(|c| c.get("schema.test.gauge"))
+            .and_then(JsonValue::as_f64),
+        Some(0.75)
+    );
+
+    // Events carry t_ns / stage / label / fields, exactly.
+    let events = doc
+        .get("events")
+        .and_then(JsonValue::as_array)
+        .expect("events array");
+    let ev = events
+        .iter()
+        .find(|e| e.get("stage").and_then(JsonValue::as_str) == Some("schema.test"))
+        .expect("recorded event present");
+    let ekeys: Vec<&str> = ev
+        .as_object()
+        .expect("event is an object")
+        .keys()
+        .map(String::as_str)
+        .collect();
+    assert_eq!(
+        ekeys,
+        vec!["fields", "label", "stage", "t_ns"],
+        "event schema keys drifted"
+    );
+    let fields = ev
+        .get("fields")
+        .and_then(JsonValue::as_object)
+        .expect("fields object");
+    assert_eq!(fields.get("seq").and_then(JsonValue::as_f64), Some(1.0));
+    assert_eq!(fields.get("ok").and_then(JsonValue::as_bool), Some(true));
+    assert_eq!(fields.get("note").and_then(JsonValue::as_str), Some("x"));
+
+    p2auth_obs::reset();
+}

@@ -151,6 +151,7 @@ impl MiniRocket {
     where
         S: Borrow<MultiSeries> + Sync,
     {
+        let _span = p2auth_obs::span!("rocket.fit");
         let first = train.first().ok_or(FitError::EmptyTrainingSet)?.borrow();
         let input_length = first.len();
         let num_channels = first.num_channels();
@@ -172,6 +173,13 @@ impl MiniRocket {
         if input_length < KERNEL_LENGTH {
             return Err(FitError::TooShort { len: input_length });
         }
+        p2auth_obs::event!(
+            "rocket.fit",
+            "training_set",
+            series = train.len(),
+            input_length = input_length,
+            channels = num_channels,
+        );
 
         let mut rng = StdRng::seed_from_u64(config.seed);
         let kernels = kernel_indices();
@@ -325,6 +333,8 @@ impl MiniRocket {
     /// Panics if the series shape differs from the training data, or if
     /// the scratch was created for a different input length.
     pub fn transform_one_with(&self, series: &MultiSeries, scratch: &mut ConvScratch) -> Vec<f64> {
+        let _span = p2auth_obs::span!("rocket.transform");
+        p2auth_obs::counter!("rocket.transform.series").incr();
         let mut out = Vec::with_capacity(self.num_output_features());
         self.transform_into(series, scratch, &mut out);
         out
@@ -370,10 +380,18 @@ impl MiniRocket {
     where
         S: Borrow<MultiSeries> + Sync,
     {
+        let _span = p2auth_obs::span!("rocket.transform");
         let dim = self.num_output_features();
         if series.is_empty() {
             return FeatureMatrix::with_capacity(0, dim);
         }
+        p2auth_obs::counter!("rocket.transform.series").add(series.len() as u64);
+        p2auth_obs::event!(
+            "rocket.transform",
+            "feature_matrix",
+            rows = series.len(),
+            cols = dim,
+        );
         let threads = num_threads().min(series.len());
         let chunk_len = series.len().div_ceil(threads.max(1));
         let chunks: Vec<&[S]> = series.chunks(chunk_len).collect();

@@ -74,6 +74,8 @@ pub(crate) fn synthesize_entry(
     session: &SessionConfig,
     rng: &mut StdRng,
 ) -> Recording {
+    let _span = p2auth_obs::span!("sim.synthesize");
+    p2auth_obs::counter!("sim.recordings").incr();
     let rate = session.sample_rate;
     let digits = pin.digits();
     assert_eq!(watch_hand.len(), digits.len(), "watch_hand per digit");

@@ -52,6 +52,7 @@ pub use p2auth_core as core;
 pub use p2auth_device as device;
 pub use p2auth_dsp as dsp;
 pub use p2auth_ml as ml;
+pub use p2auth_obs as obs;
 pub use p2auth_par as par;
 pub use p2auth_rocket as rocket;
 pub use p2auth_sim as sim;
