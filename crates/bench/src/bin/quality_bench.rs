@@ -1,0 +1,311 @@
+//! Sensor-fault sweep over the quality gate and the supervised session
+//! flow: FAR / FRR / abort / re-prompt-success as a function of fault
+//! type × intensity × seed, with SQI gating + bounded re-prompts
+//! (the "gated" lane) against the same faulted traffic decided
+//! gate-less in one shot (the "ungated" lane).
+//!
+//! The acceptance bar: at two or more intensities the gated lane
+//! strictly improves at least one of (FAR, FRR) over the ungated lane —
+//! gating plus re-prompting recovers accuracy that gate-less
+//! authentication loses to sensor faults.
+//!
+//! Writes `BENCH_quality.json` in the current directory.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin quality_bench [users]`
+
+use p2auth_bench::harness::{mean, paper_pins, print_header, print_row, users_arg};
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, UserProfile};
+use p2auth_device::host::LinkQuality;
+use p2auth_device::{run_supervised, SupervisorConfig, SupervisorState};
+use p2auth_sim::{
+    inject_sensor_faults, Population, PopulationConfig, Recording, SensorFaultConfig,
+    SensorFaultKind, SessionConfig,
+};
+
+/// Fault intensities swept (preset scale, 1.0 = most violent).
+const INTENSITIES: [f64; 3] = [0.3, 0.6, 1.0];
+/// Injector seeds per (kind, intensity) — three fault realizations.
+const SEEDS: [u64; 3] = [1, 2, 3];
+/// Legitimate / attack sessions per cell.
+const SESSIONS: usize = 4;
+/// Families swept (wander is handled by detrending, not the gate).
+const KINDS: [SensorFaultKind; 4] = [
+    SensorFaultKind::Motion,
+    SensorFaultKind::Saturation,
+    SensorFaultKind::Detach,
+    SensorFaultKind::Dropout,
+];
+
+/// Per-lane tallies of one (kind, intensity, seed) cell.
+#[derive(Default, Clone, Copy)]
+struct Lane {
+    legit_accepted: usize,
+    legit_total: usize,
+    attacks_accepted: usize,
+    attacks_total: usize,
+    aborted: usize,
+    reprompted: usize,
+    reprompt_accepts: usize,
+    attempts: usize,
+}
+
+impl Lane {
+    fn far(&self) -> f64 {
+        self.attacks_accepted as f64 / self.attacks_total.max(1) as f64
+    }
+    fn frr(&self) -> f64 {
+        1.0 - self.legit_accepted as f64 / self.legit_total.max(1) as f64
+    }
+    fn abort_rate(&self) -> f64 {
+        self.aborted as f64 / (self.legit_total + self.attacks_total).max(1) as f64
+    }
+    fn reprompt_success(&self) -> f64 {
+        self.reprompt_accepts as f64 / self.reprompted.max(1) as f64
+    }
+}
+
+/// The bench isolates sensor faults: the link itself is clean.
+fn clean_link() -> LinkQuality {
+    LinkQuality {
+        coverage: 1.0,
+        expected_blocks: 1,
+        received_blocks: 1,
+        gap_blocks: 0,
+    }
+}
+
+/// Runs one supervised session; fresh attempts (re-prompts) draw a new
+/// entry and a new fault realization, as a re-prompted user would.
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    system: &P2Auth,
+    profile: &UserProfile,
+    pin: &Pin,
+    sup_cfg: &SupervisorConfig,
+    faults: &SensorFaultConfig,
+    record: &dyn Fn(u32) -> Recording,
+    legit: bool,
+    lane: &mut Lane,
+) {
+    let out = run_supervised(system, profile, Some(pin), sup_cfg, |attempt| {
+        let rec = record(attempt);
+        let (faulted, _) = inject_sensor_faults(&rec, faults, u64::from(attempt));
+        Some((faulted, clean_link()))
+    });
+    if legit {
+        lane.legit_total += 1;
+        if out.accepted() {
+            lane.legit_accepted += 1;
+        }
+    } else {
+        lane.attacks_total += 1;
+        if out.accepted() {
+            lane.attacks_accepted += 1;
+        }
+    }
+    if out.state == SupervisorState::Abort {
+        lane.aborted += 1;
+    }
+    if out.attempts > 1 {
+        lane.reprompted += 1;
+        if out.accepted() {
+            lane.reprompt_accepts += 1;
+        }
+    }
+    lane.attempts += out.attempts as usize;
+}
+
+fn main() {
+    let users = users_arg(5).max(4);
+    let pop = Population::generate(&PopulationConfig {
+        num_users: users,
+        seed: 0x5e_0175,
+        ..Default::default()
+    });
+    let session = SessionConfig::default();
+    let pin = &paper_pins()[0];
+
+    let mut gated_cfg = P2AuthConfig::fast();
+    gated_cfg.sqi_gating = true;
+    let mut ungated_cfg = gated_cfg.clone();
+    ungated_cfg.sqi_gating = false;
+    let gated_sys = P2Auth::new(gated_cfg);
+    let ungated_sys = P2Auth::new(ungated_cfg);
+    // One-shot supervisor for the ungated lane: no quality gate, no
+    // re-prompts — plain decide_session under the same state machine.
+    let gated_sup = SupervisorConfig::default();
+    let ungated_sup = SupervisorConfig {
+        max_reprompts: 0,
+        ..SupervisorConfig::default()
+    };
+
+    // Enrollment is clean and shared: gating plays no role at enroll
+    // time, so both lanes judge against the identical profile.
+    let enroll: Vec<Recording> = (0..9)
+        .map(|i| pop.record_entry(0, pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<Recording> = (0..24)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % (users - 1)),
+                pin,
+                HandMode::OneHanded,
+                &session,
+                300 + i,
+            )
+        })
+        .collect();
+    let profile = gated_sys.enroll(pin, &enroll, &third).expect("enrollment");
+
+    println!("# quality_bench — supervised SQI gating vs gate-less auth under sensor faults");
+    print_header(&[
+        "fault", "intens", "g_far", "g_frr", "u_far", "u_frr", "g_abort", "reprompt", "rp_ok",
+    ]);
+
+    struct Cell {
+        kind: SensorFaultKind,
+        intensity: f64,
+        gated: Lane,
+        ungated: Lane,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    for &kind in &KINDS {
+        for &intensity in &INTENSITIES {
+            let mut gated = Lane::default();
+            let mut ungated = Lane::default();
+            for &seed in &SEEDS {
+                let faults = SensorFaultConfig::preset(kind, intensity, seed);
+                for s in 0..SESSIONS {
+                    let base = 9000 + seed * 1000 + s as u64 * 10;
+                    let legit_rec = |attempt: u32| {
+                        pop.record_entry(
+                            0,
+                            pin,
+                            HandMode::OneHanded,
+                            &session,
+                            base + u64::from(attempt),
+                        )
+                    };
+                    let attacker = 1 + (s % (users - 1));
+                    let attack_rec = |attempt: u32| {
+                        pop.record_emulating_attack(
+                            attacker,
+                            0,
+                            pin,
+                            HandMode::OneHanded,
+                            &session,
+                            base + u64::from(attempt),
+                        )
+                    };
+                    for (lane, system, sup) in [
+                        (&mut gated, &gated_sys, &gated_sup),
+                        (&mut ungated, &ungated_sys, &ungated_sup),
+                    ] {
+                        run_one(system, &profile, pin, sup, &faults, &legit_rec, true, lane);
+                        run_one(
+                            system,
+                            &profile,
+                            pin,
+                            sup,
+                            &faults,
+                            &attack_rec,
+                            false,
+                            lane,
+                        );
+                    }
+                }
+            }
+            print_row(&[
+                kind.as_str().to_string(),
+                format!("{intensity:.1}"),
+                format!("{:.3}", gated.far()),
+                format!("{:.3}", gated.frr()),
+                format!("{:.3}", ungated.far()),
+                format!("{:.3}", ungated.frr()),
+                format!("{:.3}", gated.abort_rate()),
+                format!("{}", gated.reprompted),
+                format!("{:.3}", gated.reprompt_success()),
+            ]);
+            cells.push(Cell {
+                kind,
+                intensity,
+                gated,
+                ungated,
+            });
+        }
+    }
+
+    // Acceptance: per intensity (aggregated over fault kinds), the
+    // gated lane strictly improves FAR or FRR at ≥ 2 intensities.
+    let mut improved_intensities = 0_usize;
+    let mut per_intensity = Vec::new();
+    for &intensity in &INTENSITIES {
+        let at: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| (c.intensity - intensity).abs() < 1e-12)
+            .collect();
+        let g_far = mean(&at.iter().map(|c| c.gated.far()).collect::<Vec<_>>());
+        let g_frr = mean(&at.iter().map(|c| c.gated.frr()).collect::<Vec<_>>());
+        let u_far = mean(&at.iter().map(|c| c.ungated.far()).collect::<Vec<_>>());
+        let u_frr = mean(&at.iter().map(|c| c.ungated.frr()).collect::<Vec<_>>());
+        let improved = g_far < u_far || g_frr < u_frr;
+        if improved {
+            improved_intensities += 1;
+        }
+        println!(
+            "intensity {intensity:.1}: gated far/frr {g_far:.3}/{g_frr:.3} vs \
+             ungated {u_far:.3}/{u_frr:.3} -> improved: {improved}"
+        );
+        per_intensity.push((intensity, g_far, g_frr, u_far, u_frr, improved));
+    }
+    println!(
+        "improved at {improved_intensities}/{} intensities (acceptance: >= 2)",
+        INTENSITIES.len()
+    );
+
+    let sweep = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{ \"fault\": \"{}\", \"intensity\": {:.1}, \
+                 \"gated\": {{ \"far\": {:.4}, \"frr\": {:.4}, \"abort_rate\": {:.4}, \
+                 \"reprompted_sessions\": {}, \"reprompt_success_rate\": {:.4}, \
+                 \"mean_attempts\": {:.3} }}, \
+                 \"ungated\": {{ \"far\": {:.4}, \"frr\": {:.4}, \"abort_rate\": {:.4} }} }}",
+                c.kind.as_str(),
+                c.intensity,
+                c.gated.far(),
+                c.gated.frr(),
+                c.gated.abort_rate(),
+                c.gated.reprompted,
+                c.gated.reprompt_success(),
+                c.gated.attempts as f64 / (c.gated.legit_total + c.gated.attacks_total) as f64,
+                c.ungated.far(),
+                c.ungated.frr(),
+                c.ungated.abort_rate(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let aggregates = per_intensity
+        .iter()
+        .map(|(i, gf, gr, uf, ur, imp)| {
+            format!(
+                "    {{ \"intensity\": {i:.1}, \"gated_far\": {gf:.4}, \"gated_frr\": {gr:.4}, \
+                 \"ungated_far\": {uf:.4}, \"ungated_frr\": {ur:.4}, \"improved\": {imp} }}"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"quality\",\n  \"users\": {users},\n  \
+         \"sessions_per_cell\": {SESSIONS},\n  \"seeds\": {:?},\n  \
+         \"intensities\": {:?},\n  \
+         \"improved_intensities\": {improved_intensities},\n  \
+         \"per_intensity\": [\n{aggregates}\n  ],\n  \
+         \"sweep\": [\n{sweep}\n  ]\n}}\n",
+        SEEDS, INTENSITIES,
+    );
+    std::fs::write("BENCH_quality.json", &json).expect("write BENCH_quality.json");
+    println!("wrote BENCH_quality.json");
+}

@@ -86,6 +86,11 @@ COMMANDS:
                 --loss P (0.02)  --fault-seed S (1)  --user N (0)
                 --pin DDDD (1628)  [--structure-only] [--json]
                 (requires the default `obs` feature)
+    quality   Assess per-keystroke signal quality under an injected
+              sensor fault and run one supervised session
+                --fault KIND (saturation: motion|saturation|detach|
+                dropout|wander)  --intensity I (0.6)  --fault-seed S (1)
+                --user N (0)  --pin DDDD (1628)  [--json]
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -444,6 +449,134 @@ pub fn trace(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `p2auth quality`: inject a sensor fault into one simulated PIN
+/// entry, score every keystroke's SQI against the enrolled profile,
+/// and run the attempt through a supervised session (SQI gating +
+/// bounded re-prompts). `--json` emits a machine-readable report.
+pub fn quality(args: &ParsedArgs) -> Result<String, CliError> {
+    use p2auth_device::{run_supervised, SupervisorConfig};
+    use p2auth_sim::{inject_sensor_faults, SensorFaultConfig, SensorFaultKind};
+
+    let (pop, session) = population(args)?;
+    let pin = pin_arg(args)?;
+    let user = args.get_parsed("user", 0_usize)?;
+    let kind_name = args.get("fault").unwrap_or("saturation");
+    let kind = SensorFaultKind::parse(kind_name).ok_or_else(|| {
+        CliError::Io(format!(
+            "unknown fault kind {kind_name:?}; expected motion|saturation|detach|dropout|wander"
+        ))
+    })?;
+    let intensity = args.get_parsed("intensity", 0.6_f64)?;
+    let fault_seed = args.get_parsed("fault-seed", 1_u64)?;
+
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let enroll_recs: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(user, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            let other = (user + 1 + (i as usize % (pop.num_users() - 1))) % pop.num_users();
+            pop.record_entry(other, &pin, HandMode::OneHanded, &session, 5000 + i as u64)
+        })
+        .collect();
+    let profile = sys.enroll(&pin, &enroll_recs, &third)?;
+
+    let faults = SensorFaultConfig::preset(kind, intensity, fault_seed);
+    let attempt = pop.record_entry(user, &pin, HandMode::OneHanded, &session, 8000);
+    let (faulted, stats) = inject_sensor_faults(&attempt, &faults, 0);
+    let assessment = sys.assess_quality(&profile, &faulted)?;
+
+    // Perfect link: this command isolates sensor faults.
+    let link = p2auth_device::LinkQuality {
+        coverage: 1.0,
+        expected_blocks: 1,
+        received_blocks: 1,
+        gap_blocks: 0,
+    };
+    let outcome = run_supervised(
+        &sys,
+        &profile,
+        Some(&pin),
+        &SupervisorConfig::default(),
+        |attempt_no| {
+            let rec = pop.record_entry(
+                user,
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                8000 + u64::from(attempt_no),
+            );
+            let (f, _) = inject_sensor_faults(&rec, &faults, u64::from(attempt_no));
+            Some((f, link))
+        },
+    );
+
+    if args.has("json") {
+        let keystrokes = assessment
+            .per_keystroke
+            .iter()
+            .map(|k| {
+                let (sqi, flags) = match &k.quality {
+                    Some(q) => (format!("{:.4}", q.sqi), format!("\"{}\"", q.flags)),
+                    None => ("null".to_string(), "null".to_string()),
+                };
+                format!(
+                    "    {{ \"index\": {}, \"digit\": {}, \"detected\": {}, \
+                     \"sqi\": {sqi}, \"flags\": {flags} }}",
+                    k.index, k.digit, k.detected
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        return Ok(format!(
+            "{{\n  \"fault\": \"{kind}\",\n  \"intensity\": {intensity},\n  \
+             \"fault_seed\": {fault_seed},\n  \"detected\": {},\n  \"usable\": {},\n  \
+             \"mean_sqi\": {:.4},\n  \"keystrokes\": [\n{keystrokes}\n  ],\n  \
+             \"session\": {{ \"state\": \"{}\", \"attempts\": {}, \"accepted\": {} }}\n}}",
+            assessment.detected,
+            assessment.usable,
+            assessment.mean_sqi,
+            outcome.state,
+            outcome.attempts,
+            outcome.accepted(),
+        ));
+    }
+
+    let mut out = format!(
+        "sensor fault: {kind} at intensity {intensity:.2} (seed {fault_seed})\n\
+         injected: {} motion bursts, {} saturation episodes, {} detach episodes, \
+         {} dropout runs\n\n  key  digit  detected  sqi     flags\n",
+        stats.motion_bursts, stats.saturation_episodes, stats.detach_episodes, stats.dropout_runs,
+    );
+    for k in &assessment.per_keystroke {
+        let (sqi, flags) = match &k.quality {
+            Some(q) => (format!("{:.3}", q.sqi), q.flags.to_string()),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        out.push_str(&format!(
+            "  {:<4} {:<6} {:<9} {:<7} {}\n",
+            k.index, k.digit, k.detected, sqi, flags
+        ));
+    }
+    out.push_str(&format!(
+        "\ndetected {} / usable {} keystrokes, mean SQI {:.3}\n\
+         supervised session: {} after {} attempt(s){}",
+        assessment.detected,
+        assessment.usable,
+        assessment.mean_sqi,
+        outcome.state.as_str().to_uppercase(),
+        outcome.attempts,
+        outcome
+            .outcome
+            .as_ref()
+            .and_then(|o| o.decision())
+            .and_then(|d| d.reason)
+            .map(|r| format!(", reason {r:?}"))
+            .unwrap_or_default(),
+    ));
+    Ok(out)
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -457,6 +590,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("wear") => wear(args),
         Some("fault") => fault(args),
         Some("trace") => trace(args),
+        Some("quality") => quality(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -544,6 +678,44 @@ mod tests {
         assert!(msg.contains("link faults: loss 0.020"), "{msg}");
         assert!(msg.contains("session 0:"), "{msg}");
         assert!(msg.contains("/1 legitimate sessions"), "{msg}");
+    }
+
+    #[test]
+    fn quality_reports_gated_keystrokes() {
+        let msg = dispatch(
+            &ParsedArgs::parse([
+                "quality",
+                "--users",
+                "4",
+                "--fault",
+                "saturation",
+                "--intensity",
+                "1.0",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("sensor fault: saturation"), "{msg}");
+        assert!(msg.contains("mean SQI"), "{msg}");
+        assert!(msg.contains("supervised session:"), "{msg}");
+    }
+
+    #[test]
+    fn quality_json_is_machine_readable() {
+        let msg = dispatch(
+            &ParsedArgs::parse(["quality", "--users", "4", "--fault", "motion", "--json"]).unwrap(),
+        )
+        .unwrap();
+        assert!(msg.starts_with('{'), "{msg}");
+        assert!(msg.contains("\"fault\": \"motion\""), "{msg}");
+        assert!(msg.contains("\"keystrokes\""), "{msg}");
+        assert!(msg.contains("\"session\""), "{msg}");
+    }
+
+    #[test]
+    fn quality_rejects_unknown_fault_kind() {
+        let r = dispatch(&ParsedArgs::parse(["quality", "--fault", "gremlins"]).unwrap());
+        assert!(matches!(r, Err(CliError::Io(_))));
     }
 
     #[test]

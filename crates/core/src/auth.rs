@@ -24,6 +24,11 @@ pub enum RejectReason {
     /// The link delivered too little PPG data for the biometric factor
     /// and the degraded-mode policy rejects such sessions.
     DegradedChannel,
+    /// Signal-quality gating excluded too many keystroke segments to
+    /// decide — the signal was bad, not the person wrong. The session
+    /// supervisor re-prompts on this reason instead of counting it as
+    /// a biometric failure.
+    PoorSignal,
 }
 
 impl RejectReason {
@@ -37,6 +42,7 @@ impl RejectReason {
             Self::BiometricMismatch => "biometric_mismatch",
             Self::MissingModel => "missing_model",
             Self::DegradedChannel => "degraded_channel",
+            Self::PoorSignal => "poor_signal",
         }
     }
 }
@@ -52,6 +58,9 @@ pub struct KeystrokeVote {
     pub passed: bool,
     /// Raw decision value (positive = legitimate).
     pub score: f64,
+    /// Quality weight of this vote: the segment's SQI under quality
+    /// gating, exactly 1.0 on clean signal or with gating disabled.
+    pub weight: f64,
 }
 
 /// The full decision for one authentication attempt.
@@ -175,16 +184,32 @@ pub fn authenticate(
     let pre = preprocess::preprocess(config, attempt)?;
     let case = pre.case.case;
     let extracted = extract_for_auth(config, attempt, &pre)?;
+    let quals = crate::quality::score_all(&extracted.seg_stats, profile.perfusion_range);
+    for q in &quals {
+        p2auth_obs::histogram!("core.quality.sqi_milli").record((q.sqi * 1000.0) as u64);
+    }
+    // Whether every detected segment clears the quality floor; a clean
+    // session always does (every segment scores exactly 1.0), so this
+    // only diverts the one-handed full-waveform path under real faults.
+    let quality_clean = !config.sqi_gating || quals.iter().all(|q| q.usable(config.sqi_floor));
 
     let _decision_span = p2auth_obs::span!("core.decision");
     if no_pin_flow {
         // No-PIN: keystroke pattern only, on whatever keys were typed.
-        return per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
-            .map(finish);
+        return per_keystroke_decision(
+            config,
+            profile,
+            case,
+            &pre.case.present,
+            attempt,
+            &extracted,
+            &quals,
+        )
+        .map(finish);
     }
 
     match case {
-        InputCase::OneHanded => {
+        InputCase::OneHanded if quality_clean => {
             // Privacy boost replaces the full waveform when enabled.
             if profile.privacy_boost {
                 if let (Some(model), Some(fused)) = (&profile.boost, &extracted.fused) {
@@ -198,12 +223,31 @@ pub fn authenticate(
             }
             // No full model (e.g. user enrolled two-handed only): fall
             // back to per-keystroke majority.
-            per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
-                .map(finish)
+            per_keystroke_decision(
+                config,
+                profile,
+                case,
+                &pre.case.present,
+                attempt,
+                &extracted,
+                &quals,
+            )
+            .map(finish)
         }
-        InputCase::TwoHandedThree | InputCase::TwoHandedTwo => {
-            per_keystroke_decision(profile, case, &pre.case.present, attempt, &extracted)
-                .map(finish)
+        InputCase::OneHanded | InputCase::TwoHandedThree | InputCase::TwoHandedTwo => {
+            // A one-handed attempt with sub-floor segments skips the
+            // full-waveform model (it would span the faulty region) and
+            // votes on the usable keystrokes instead.
+            per_keystroke_decision(
+                config,
+                profile,
+                case,
+                &pre.case.present,
+                attempt,
+                &extracted,
+                &quals,
+            )
+            .map(finish)
         }
         InputCase::Insufficient => Ok(finish(AuthDecision::reject(
             case,
@@ -298,26 +342,51 @@ fn full_decision(case: InputCase, score: f64) -> AuthDecision {
 /// (paper §IV-B 3): with three detected keystrokes at least two must
 /// pass; with two, both must; with more (no-PIN, one-handed fallback),
 /// all but one must. A lone keystroke was already rejected upstream.
+///
+/// Under quality gating ([`P2AuthConfig::sqi_gating`]) each vote is
+/// weighted by its segment's SQI and segments below the floor are
+/// excluded instead of voting; when gating leaves fewer than two
+/// usable keystrokes out of an otherwise decidable entry, the reject
+/// reason is [`RejectReason::PoorSignal`] — bad signal, not a wrong
+/// person. With every weight at 1.0 (clean signal, or gating off) the
+/// weighted rule reduces exactly to the paper's counting rule.
+#[allow(clippy::too_many_arguments)]
 fn per_keystroke_decision(
+    config: &P2AuthConfig,
     profile: &UserProfile,
     case: InputCase,
     present: &[bool],
     attempt: &Recording,
     extracted: &crate::enroll::ExtractedWaveforms,
+    quals: &[crate::quality::SegmentQuality],
 ) -> Result<AuthDecision, AuthError> {
     let digits = attempt.pin_entered.digits();
     let mut votes = Vec::new();
-    let mut seg_iter = extracted.segments.iter();
+    let mut excluded = 0_usize;
+    let mut seg_iter = extracted.segments.iter().zip(quals);
     for (i, &p) in present.iter().enumerate() {
         if !p {
             continue;
         }
-        // INVARIANT: `extract_for_auth` pushes exactly one segment per
-        // `present[i] == true`, in the same iteration order as this
-        // loop, so the iterator cannot run dry here.
+        // INVARIANT: `extract_for_auth` pushes exactly one segment (and
+        // one quality entry) per `present[i] == true`, in the same
+        // iteration order as this loop, so the iterator cannot run dry.
         #[allow(clippy::expect_used)]
-        let (digit, series) = seg_iter.next().expect("segment per present keystroke");
+        let ((digit, series), qual) = seg_iter.next().expect("segment per present keystroke");
         debug_assert_eq!(*digit, digits[i]);
+        if config.sqi_gating && !qual.usable(config.sqi_floor) {
+            excluded += 1;
+            p2auth_obs::counter!("core.quality.gated").incr();
+            p2auth_obs::event!(
+                "core.quality",
+                "segment_gated",
+                index = i,
+                sqi = qual.sqi,
+                flags = qual.flags.to_string(),
+            );
+            continue;
+        }
+        let weight = if config.sqi_gating { qual.sqi } else { 1.0 };
         let (passed, score) = match profile.per_key.get(digit) {
             Some(model) => {
                 let s = model.decision(series)?;
@@ -330,18 +399,28 @@ fn per_keystroke_decision(
             digit: *digit,
             passed,
             score,
+            weight,
         });
     }
     let n = votes.len();
     if n < 2 {
-        return Ok(AuthDecision::reject(
-            case,
-            RejectReason::InsufficientKeystrokes,
-        ));
+        // Distinguish "the signal was too bad to vote" from "the entry
+        // never had enough keystrokes": if gating excluded segments
+        // that would otherwise have made the entry decidable, this is a
+        // quality failure, and the supervisor may re-prompt.
+        let reason = if excluded > 0 && n + excluded >= 2 {
+            RejectReason::PoorSignal
+        } else {
+            RejectReason::InsufficientKeystrokes
+        };
+        return Ok(AuthDecision::reject(case, reason));
     }
-    let passed = votes.iter().filter(|v| v.passed).count();
     let required = if n == 2 { 2 } else { n - 1 };
-    let accepted = passed >= required;
+    let total_weight: f64 = votes.iter().map(|v| v.weight).sum();
+    let passed_weight: f64 = votes.iter().filter(|v| v.passed).map(|v| v.weight).sum();
+    // Weighted majority with the same pass fraction as the counting
+    // rule; equal weights make the two rules coincide exactly.
+    let accepted = passed_weight + 1e-9 >= (required as f64 / n as f64) * total_weight;
     let finite: Vec<f64> = votes
         .iter()
         .map(|v| v.score)
@@ -386,6 +465,7 @@ mod tests {
             full: None,
             boost: None,
             per_key: BTreeMap::new(),
+            perfusion_range: None,
         }
     }
 

@@ -103,6 +103,18 @@ pub struct P2AuthConfig {
     /// What to do when coverage is below
     /// [`P2AuthConfig::min_ppg_coverage`].
     pub degraded_fallback: DegradedFallback,
+    /// Enable per-segment signal-quality gating: keystroke votes are
+    /// weighted by their SQI and segments below
+    /// [`P2AuthConfig::sqi_floor`] are excluded from voting. On clean
+    /// signal every segment scores exactly 1.0, so enabling this
+    /// changes nothing for fault-free input.
+    pub sqi_gating: bool,
+    /// Hard SQI floor below which a segment may not vote.
+    pub sqi_floor: f64,
+    /// Minimum usable (detected and at-or-above-floor) keystrokes a
+    /// session needs before the supervisor considers it decidable;
+    /// below this it re-prompts instead of deciding.
+    pub sqi_min_keystrokes: usize,
     /// RNG seed for the trainable components.
     pub seed: u64,
 }
@@ -134,6 +146,9 @@ impl Default for P2AuthConfig {
             min_enroll_recordings: 4,
             min_ppg_coverage: 0.9,
             degraded_fallback: DegradedFallback::PinOnly,
+            sqi_gating: true,
+            sqi_floor: 0.35,
+            sqi_min_keystrokes: 2,
             seed: 0x000b_100d,
         }
     }

@@ -95,6 +95,11 @@ pub struct UserProfile {
     pub(crate) full: Option<WaveModel>,
     pub(crate) boost: Option<WaveModel>,
     pub(crate) per_key: BTreeMap<u8, WaveModel>,
+    /// Enrolled perfusion (peak-to-peak) range over the enrollment
+    /// segments, used by the signal-quality assessment. `default` keeps
+    /// profiles serialized before this field existed loadable.
+    #[serde(default)]
+    pub(crate) perfusion_range: Option<(f64, f64)>,
 }
 
 impl UserProfile {
@@ -127,6 +132,13 @@ impl UserProfile {
     pub fn num_channels(&self) -> usize {
         self.num_channels
     }
+
+    /// Perfusion (peak-to-peak) range observed at enrollment, if the
+    /// profile carries one (profiles serialized by older versions do
+    /// not).
+    pub fn perfusion_range(&self) -> Option<(f64, f64)> {
+        self.perfusion_range
+    }
 }
 
 /// Intermediate per-recording extraction shared by the model builders
@@ -140,6 +152,9 @@ pub(crate) struct ExtractedWaveforms {
     pub(crate) fused: Option<MultiSeries>,
     /// (digit, segment) for every detected keystroke.
     pub(crate) segments: Vec<(u8, MultiSeries)>,
+    /// Raw-segment quality statistics, aligned with `segments` (one
+    /// entry per detected keystroke, computed before normalization).
+    pub(crate) seg_stats: Vec<crate::quality::SegmentStats>,
 }
 
 /// Extracts the waveforms used by both enrollment and authentication.
@@ -158,6 +173,7 @@ pub(crate) fn extract_for_auth(
     let margin = seg_win / 2;
     let digits = rec.pin_entered.digits();
     let mut segments = Vec::new();
+    let mut raw_segments = Vec::new();
     let mut present_segments = Vec::new();
     for (i, (&t, &present)) in pre
         .calibrated_times
@@ -166,16 +182,25 @@ pub(crate) fn extract_for_auth(
         .enumerate()
     {
         if present {
-            let s = znorm_series(&segment(&pre.filtered, t, seg_win)?);
+            let raw = segment(&pre.filtered, t, seg_win)?;
+            let s = znorm_series(&raw);
             // INVARIANT: `Recording::validate` pins
             // `reported_key_times.len() == pin_entered.len()`, and the
             // preprocessing stages keep `calibrated_times`/`present` at
             // that same length, so `digits[i]` is in bounds.
             segments.push((digits[i], s.clone()));
+            raw_segments.push(raw);
             present_segments.push(s);
         }
     }
     p2auth_obs::counter!("core.segmentation.segments").add(segments.len() as u64);
+    let seg_stats = {
+        let _span = p2auth_obs::span!("core.quality");
+        raw_segments
+            .iter()
+            .map(|raw| crate::quality::segment_stats(raw, config.detrend_lambda))
+            .collect::<Vec<_>>()
+    };
     let all_present = !pre.case.present.is_empty() && pre.case.present.iter().all(|&p| p);
     let (full, fused) = if all_present {
         let fw = znorm_series(&full_waveform(
@@ -205,6 +230,7 @@ pub(crate) fn extract_for_auth(
         full,
         fused,
         segments,
+        seg_stats,
     })
 }
 
@@ -433,6 +459,17 @@ fn enroll_impl(
         });
     }
 
+    // The subject's perfusion envelope over every enrollment segment:
+    // the quality assessment flags attempts far outside it (detached
+    // band collapses it, saturation inflates it).
+    let mut perfusion_range: Option<(f64, f64)> = None;
+    for s in pos.iter().flat_map(|e| e.seg_stats.iter()) {
+        perfusion_range = Some(match perfusion_range {
+            None => (s.perfusion, s.perfusion),
+            Some((lo, hi)) => (lo.min(s.perfusion), hi.max(s.perfusion)),
+        });
+    }
+
     Ok(UserProfile {
         pin,
         privacy_boost: config.privacy_boost,
@@ -441,6 +478,7 @@ fn enroll_impl(
         full,
         boost,
         per_key,
+        perfusion_range,
     })
 }
 

@@ -40,6 +40,7 @@ pub mod enroll;
 pub mod error;
 pub mod eval;
 pub mod preprocess;
+pub mod quality;
 pub mod types;
 
 pub use auth::{AuthDecision, KeystrokeVote, RejectReason};
@@ -47,6 +48,7 @@ pub use config::{DegradedFallback, P2AuthConfig, PinPolicy, SingleModelKind};
 pub use enroll::UserProfile;
 pub use error::AuthError;
 pub use preprocess::{CaseReport, InputCase};
+pub use quality::{AttemptQuality, KeystrokeQuality, QualityFlags, SegmentQuality};
 pub use types::{
     AccelTrack, ChannelInfo, HandMode, Pin, PinError, Placement, Recording, UserId, Wavelength,
 };
@@ -142,6 +144,23 @@ impl P2Auth {
         attempt: &Rec,
     ) -> Result<AuthDecision, AuthError> {
         auth::authenticate_degraded(&self.config, profile, claimed_pin, attempt)
+    }
+
+    /// Assesses the per-keystroke signal quality of an attempt without
+    /// making an authentication decision: runs preprocessing and
+    /// segmentation, then scores every detected segment's SQI against
+    /// the profile's enrolled perfusion range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if the recording is malformed or
+    /// segmentation fails.
+    pub fn assess_quality(
+        &self,
+        profile: &UserProfile,
+        attempt: &Rec,
+    ) -> Result<AttemptQuality, AuthError> {
+        quality::assess_attempt(&self.config, profile, attempt)
     }
 
     /// Authenticates without a fixed PIN (paper §IV-B 2.6: "the NO-PIN

@@ -1,0 +1,161 @@
+//! Acceptance tests for SQI gating: on clean input, enabling the gate
+//! must not change a single decision; on faulted input, the gate must
+//! surface [`RejectReason::PoorSignal`] instead of a spurious verdict.
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, RejectReason};
+use p2auth_sim::{
+    inject_sensor_faults, Population, PopulationConfig, SensorFaultConfig, SessionConfig,
+};
+
+struct Setup {
+    pop: Population,
+    pin: Pin,
+    session: SessionConfig,
+}
+
+impl Setup {
+    fn new(seed: u64) -> Self {
+        Self {
+            pop: Population::generate(&PopulationConfig {
+                num_users: 6,
+                seed,
+                ..Default::default()
+            }),
+            pin: Pin::new("1628").unwrap(),
+            session: SessionConfig::default(),
+        }
+    }
+
+    fn enroll(&self, sys: &P2Auth) -> p2auth_core::UserProfile {
+        let enroll: Vec<_> = (0..7)
+            .map(|i| {
+                self.pop
+                    .record_entry(0, &self.pin, HandMode::OneHanded, &self.session, i)
+            })
+            .collect();
+        let third: Vec<_> = (0..18)
+            .map(|i| {
+                self.pop.record_entry(
+                    1 + (i as usize % 4),
+                    &self.pin,
+                    HandMode::OneHanded,
+                    &self.session,
+                    200 + i,
+                )
+            })
+            .collect();
+        sys.enroll(&self.pin, &enroll, &third).unwrap()
+    }
+}
+
+/// The headline invariant: on clean sessions, gating enabled vs
+/// disabled produces *identical* decisions — same verdict, same votes,
+/// same score — because every clean segment scores exactly 1.0 and the
+/// weighted rule then reduces to the paper's counting rule.
+#[test]
+fn gating_is_invisible_on_clean_sessions() {
+    let s = Setup::new(91);
+    let mut gated_cfg = P2AuthConfig::fast();
+    gated_cfg.sqi_gating = true;
+    let mut plain_cfg = gated_cfg.clone();
+    plain_cfg.sqi_gating = false;
+    let gated = P2Auth::new(gated_cfg);
+    let plain = P2Auth::new(plain_cfg);
+    // Same config apart from the gate → identical profiles; enroll once.
+    let profile = s.enroll(&gated);
+
+    for n in 0..6_u64 {
+        let legit = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 500 + n);
+        let dg = gated.authenticate(&profile, &s.pin, &legit).unwrap();
+        let dp = plain.authenticate(&profile, &s.pin, &legit).unwrap();
+        assert_eq!(dg, dp, "clean legit session {n}: gate must be invisible");
+
+        let attack = s.pop.record_emulating_attack(
+            1 + (n as usize % 3),
+            0,
+            &s.pin,
+            HandMode::OneHanded,
+            &s.session,
+            n,
+        );
+        let dg = gated.authenticate(&profile, &s.pin, &attack).unwrap();
+        let dp = plain.authenticate(&profile, &s.pin, &attack).unwrap();
+        assert_eq!(dg, dp, "clean attack session {n}: gate must be invisible");
+        // And the votes really were unweighted.
+        for v in &dg.keystroke_votes {
+            assert_eq!(v.weight, 1.0, "clean segments carry unit weight");
+        }
+    }
+}
+
+/// Saturation-railed sessions: with gating on, the unusable segments
+/// are excluded and the decision reports `PoorSignal` (re-promptable)
+/// rather than a biometric verdict from clipped-flat waveforms.
+#[test]
+fn railed_sessions_reject_as_poor_signal() {
+    let s = Setup::new(92);
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let profile = s.enroll(&sys);
+    let faults = SensorFaultConfig {
+        saturation_rate_hz: 1.2,
+        ..SensorFaultConfig::default()
+    };
+    let mut poor_signal = 0;
+    let trials = 6_u64;
+    for n in 0..trials {
+        let legit = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 700 + n);
+        let (bad, stats) = inject_sensor_faults(&legit, &faults, n);
+        assert!(stats.saturation_episodes > 0, "trial {n} must rail");
+        let d = sys.authenticate(&profile, &s.pin, &bad).unwrap();
+        if d.reason == Some(RejectReason::PoorSignal) {
+            poor_signal += 1;
+        }
+    }
+    assert!(
+        poor_signal >= trials / 2,
+        "only {poor_signal}/{trials} railed sessions surfaced PoorSignal"
+    );
+}
+
+/// Quality assessment agrees with the gate: sessions the authenticator
+/// calls `PoorSignal` also assess below the usable-keystroke minimum,
+/// so a supervisor can re-prompt *before* wasting a decision.
+#[test]
+fn assessment_predicts_the_gate() {
+    let s = Setup::new(93);
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let profile = s.enroll(&sys);
+    let legit = s
+        .pop
+        .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 800);
+    let q = sys.assess_quality(&profile, &legit).unwrap();
+    assert_eq!(q.detected, 4, "all four keystrokes of a clean entry");
+    assert_eq!(q.usable, 4);
+    assert!((q.mean_sqi - 1.0).abs() < 1e-12, "clean SQI is exactly 1");
+    for k in &q.per_keystroke {
+        let sq = k.quality.as_ref().expect("detected keystrokes scored");
+        assert!(!sq.flags.any(), "clean keystroke {} unflagged", k.index);
+    }
+
+    let faults = SensorFaultConfig {
+        saturation_rate_hz: 1.2,
+        ..SensorFaultConfig::default()
+    };
+    let (bad, _) = inject_sensor_faults(&legit, &faults, 3);
+    let qb = sys.assess_quality(&profile, &bad).unwrap();
+    assert!(
+        qb.usable < q.usable,
+        "railed session must lose usable keystrokes ({} vs {})",
+        qb.usable,
+        q.usable
+    );
+    assert!(
+        qb.mean_sqi < 0.9,
+        "railed mean SQI {} too high",
+        qb.mean_sqi
+    );
+}

@@ -135,6 +135,40 @@ pub fn decide_session(
             expected_blocks = quality.expected_blocks,
             received_blocks = quality.received_blocks,
         );
+        // Precedence: link-degraded AND SQI-gated takes the stricter
+        // path. The PIN-only fallback exists for sessions whose
+        // *transport* lost data; if the samples that did arrive show
+        // the sensor itself was bad (keystrokes visible but below the
+        // SQI floor), falling back would let a single knowledge factor
+        // decide on two independently broken channels — reject with
+        // the quality verdict instead.
+        let cfg = system.config();
+        if cfg.sqi_gating {
+            if let Ok(q) = system.assess_quality(profile, recording) {
+                if q.detected >= cfg.sqi_min_keystrokes && q.usable < cfg.sqi_min_keystrokes {
+                    p2auth_obs::counter!("device.session.degraded_poor_signal").incr();
+                    p2auth_obs::event!(
+                        "device.session",
+                        "degraded_poor_signal",
+                        coverage = quality.coverage,
+                        detected = q.detected,
+                        usable = q.usable,
+                        mean_sqi = q.mean_sqi,
+                    );
+                    return SessionOutcome::Degraded {
+                        decision: AuthDecision {
+                            accepted: false,
+                            case: p2auth_core::InputCase::Insufficient,
+                            reason: Some(p2auth_core::RejectReason::PoorSignal),
+                            keystroke_votes: Vec::new(),
+                            score: 0.0,
+                        },
+                        coverage: quality.coverage,
+                        gap_blocks: quality.gap_blocks,
+                    };
+                }
+            }
+        }
         match system.authenticate_degraded(profile, claimed_pin, recording) {
             Ok(d) => SessionOutcome::Degraded {
                 decision: d,
@@ -521,5 +555,51 @@ mod tests {
         let outcomes2 = host2.feed_stream(&wire);
         assert_eq!(outcomes2.len(), 1);
         assert!(!outcomes2[0].accepted(), "wrong claimed PIN rejected");
+    }
+
+    /// Precedence regression: a session that is link-degraded AND
+    /// SQI-gated must take the stricter path (PoorSignal reject), while
+    /// a clean-signal session with the same link loss still falls back
+    /// to PIN-only.
+    #[test]
+    fn degraded_and_sqi_gated_takes_the_stricter_path() {
+        use p2auth_core::RejectReason;
+        use p2auth_sim::{inject_sensor_faults, SensorFaultConfig};
+
+        let (pop, pin, session, system, profile) = light_setup();
+        let legit = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 992);
+        let lossy = crate::host::LinkQuality {
+            coverage: 0.5,
+            expected_blocks: 20,
+            received_blocks: 10,
+            gap_blocks: 10,
+        };
+        // Clean sensor + lossy link: PIN-only fallback accepts.
+        match decide_session(&system, &profile, Some(&pin), &legit, lossy) {
+            SessionOutcome::Degraded { decision, .. } => {
+                assert!(decision.accepted, "clean signal keeps the PIN-only path");
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        // Heavy saturation + the same lossy link: keystrokes are still
+        // detected but their segments clip flat, so the stricter path
+        // wins over the PIN-only fallback.
+        let faults = SensorFaultConfig {
+            saturation_rate_hz: 1.0,
+            ..SensorFaultConfig::default()
+        };
+        let (bad, stats) = inject_sensor_faults(&legit, &faults, 1);
+        assert!(stats.saturation_episodes > 0);
+        match decide_session(&system, &profile, Some(&pin), &bad, lossy) {
+            SessionOutcome::Degraded { decision, .. } => {
+                assert!(!decision.accepted, "junk signal must not reach PIN-only");
+                assert_eq!(
+                    decision.reason,
+                    Some(RejectReason::PoorSignal),
+                    "the rejection must carry the quality verdict"
+                );
+            }
+            other => panic!("expected a degraded poor-signal reject, got {other:?}"),
+        }
     }
 }

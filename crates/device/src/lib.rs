@@ -41,6 +41,7 @@ pub mod frame;
 pub mod host;
 pub mod link;
 pub mod reliable;
+pub mod supervisor;
 
 pub use auth_host::{decide_session, AuthenticatingHost, SessionOutcome};
 pub use device::WearableDevice;
@@ -48,3 +49,7 @@ pub use frame::{resync_offset, Frame, FrameError};
 pub use host::{HostAssembler, LinkQuality};
 pub use link::{FaultConfig, FaultStats, FaultyLink, Link, LinkConfig};
 pub use reliable::{transmit_reliable, Packet, ReliableConfig, TransferStats};
+pub use supervisor::{
+    run_supervised, SessionSupervisor, SupervisedOutcome, SupervisorConfig, SupervisorEvent,
+    SupervisorState,
+};

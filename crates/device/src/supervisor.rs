@@ -1,0 +1,715 @@
+//! Supervised authentication sessions: a deadline-guarded state
+//! machine over the collect → assess → decide pipeline.
+//!
+//! The paper's prototype authenticates one attempt and stops. A
+//! deployed unlock flow cannot: collection may stall (link loss, the
+//! watch taken off mid-entry), the signal may arrive too degraded to
+//! decide on, and the user deserves a bounded number of re-prompts
+//! before the session hard-fails. [`SessionSupervisor`] is the pure
+//! state machine that enforces those guarantees:
+//!
+//! ```text
+//! Idle → Collecting → Assessing → Deciding → Accept
+//!            ↑            │           │    ↘ Reject
+//!            └─ Reprompt ←┴───────────┘      Abort
+//! ```
+//!
+//! * every non-terminal state carries a **deadline**; a [`SupervisorEvent::Tick`]
+//!   past it fires the watchdog (Collecting/Assessing/Deciding → Abort,
+//!   Reprompt → back to Collecting once the backoff elapses), so a
+//!   session can never hang regardless of what the driver does;
+//! * poor-signal outcomes (too few usable keystrokes at assessment, or
+//!   a [`RejectReason::PoorSignal`] decision) consume one of a bounded
+//!   budget of **re-prompts** with exponential backoff before the
+//!   session terminates;
+//! * [`SupervisorEvent::DecisionAccept`] is only honoured in
+//!   `Deciding` — there is no edge into `Accept` from any other state,
+//!   so an accept always implies a full collect → assess → decide pass.
+//!
+//! [`run_supervised`] is the deterministic virtual-time driver used by
+//! the benches, the CLI and the chaos tests: it owns the clock, pulls
+//! attempts from a closure and routes them through
+//! [`decide_session`](crate::auth_host::decide_session).
+
+use crate::auth_host::{decide_session, SessionOutcome};
+use crate::host::LinkQuality;
+use p2auth_core::{P2Auth, Pin, Recording, RejectReason, UserProfile};
+
+/// Deadlines and re-prompt policy of a supervised session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Budget for one collection attempt (seconds of session time).
+    pub collect_deadline_s: f64,
+    /// Budget for quality assessment.
+    pub assess_deadline_s: f64,
+    /// Budget for the authentication decision.
+    pub decide_deadline_s: f64,
+    /// Re-prompts allowed after poor-signal results (0 disables).
+    pub max_reprompts: u32,
+    /// Backoff before the first re-prompt's collection restarts.
+    pub backoff_base_s: f64,
+    /// Multiplier applied to the backoff per additional re-prompt.
+    pub backoff_factor: f64,
+    /// Usable keystrokes an assessment needs for the session to be
+    /// worth deciding on; below this the supervisor re-prompts.
+    pub min_usable_keystrokes: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            collect_deadline_s: 30.0,
+            assess_deadline_s: 5.0,
+            decide_deadline_s: 10.0,
+            max_reprompts: 2,
+            backoff_base_s: 1.0,
+            backoff_factor: 2.0,
+            min_usable_keystrokes: 2,
+        }
+    }
+}
+
+/// The states of a supervised session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SupervisorState {
+    /// Waiting for a session to start.
+    Idle,
+    /// The wearable is streaming an attempt.
+    Collecting,
+    /// Signal quality of the collected attempt is being scored.
+    Assessing,
+    /// The authentication pipeline is evaluating the attempt.
+    Deciding,
+    /// Backing off before re-collecting after a poor-signal result.
+    Reprompt,
+    /// Terminal: the user was accepted.
+    Accept,
+    /// Terminal: the user was rejected.
+    Reject,
+    /// Terminal: the session could not be completed (watchdog,
+    /// exhausted re-prompts at assessment, or evaluation failure).
+    Abort,
+}
+
+impl SupervisorState {
+    /// Whether the session has ended.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            SupervisorState::Accept | SupervisorState::Reject | SupervisorState::Abort
+        )
+    }
+
+    /// Stable machine-readable name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SupervisorState::Idle => "idle",
+            SupervisorState::Collecting => "collecting",
+            SupervisorState::Assessing => "assessing",
+            SupervisorState::Deciding => "deciding",
+            SupervisorState::Reprompt => "reprompt",
+            SupervisorState::Accept => "accept",
+            SupervisorState::Reject => "reject",
+            SupervisorState::Abort => "abort",
+        }
+    }
+}
+
+impl std::fmt::Display for SupervisorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Events driving the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SupervisorEvent {
+    /// Begin a session (valid in `Idle`).
+    Start,
+    /// The wearable delivered a complete attempt (valid in
+    /// `Collecting`).
+    CollectionComplete,
+    /// Quality assessment finished (valid in `Assessing`).
+    AssessmentReady {
+        /// Keystrokes detected *and* at or above the SQI floor.
+        usable: usize,
+        /// Keystrokes detected at all.
+        detected: usize,
+        /// Mean SQI over the detected keystrokes.
+        mean_sqi: f64,
+    },
+    /// Quality assessment itself failed (valid in `Assessing`).
+    AssessmentFailed,
+    /// The pipeline accepted the attempt (valid in `Deciding`).
+    DecisionAccept,
+    /// The pipeline rejected the attempt (valid in `Deciding`).
+    DecisionReject {
+        /// Whether the rejection was [`RejectReason::PoorSignal`] —
+        /// re-promptable, unlike a biometric mismatch.
+        poor_signal: bool,
+    },
+    /// The pipeline could not evaluate the attempt (valid in
+    /// `Deciding`).
+    DecisionAbort,
+    /// Pure passage of time; only deadlines react to it.
+    Tick,
+}
+
+/// A deadline-guarded session state machine. Pure and deterministic:
+/// the caller owns the clock and passes `now_s` into every
+/// [`SessionSupervisor::step`].
+#[derive(Debug, Clone)]
+pub struct SessionSupervisor {
+    config: SupervisorConfig,
+    state: SupervisorState,
+    /// Absolute deadline of the current state, if it has one.
+    deadline_s: Option<f64>,
+    reprompts_used: u32,
+}
+
+impl SessionSupervisor {
+    /// A supervisor in `Idle`, ready for [`SupervisorEvent::Start`].
+    #[must_use]
+    pub fn new(config: SupervisorConfig) -> Self {
+        Self {
+            config,
+            state: SupervisorState::Idle,
+            deadline_s: None,
+            reprompts_used: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> SupervisorState {
+        self.state
+    }
+
+    /// Absolute deadline of the current state, if any.
+    #[must_use]
+    pub fn deadline_s(&self) -> Option<f64> {
+        self.deadline_s
+    }
+
+    /// Re-prompts consumed so far.
+    #[must_use]
+    pub fn reprompts_used(&self) -> u32 {
+        self.reprompts_used
+    }
+
+    /// Collection attempts implied by the current state (1 + re-prompts).
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        1 + self.reprompts_used
+    }
+
+    fn enter(&mut self, state: SupervisorState, now_s: f64) {
+        self.state = state;
+        self.deadline_s = match state {
+            SupervisorState::Collecting => Some(now_s + self.config.collect_deadline_s),
+            SupervisorState::Assessing => Some(now_s + self.config.assess_deadline_s),
+            SupervisorState::Deciding => Some(now_s + self.config.decide_deadline_s),
+            SupervisorState::Reprompt => Some(now_s + self.backoff_s()),
+            _ => None,
+        };
+        if state.is_terminal() {
+            // One macro site per counter: the obs macros cache their
+            // handle per call site.
+            match state {
+                SupervisorState::Accept => {
+                    p2auth_obs::counter!("device.supervisor.accepts").incr();
+                }
+                SupervisorState::Reject => {
+                    p2auth_obs::counter!("device.supervisor.rejects").incr();
+                }
+                _ => {
+                    p2auth_obs::counter!("device.supervisor.aborts").incr();
+                }
+            }
+            p2auth_obs::histogram!("device.supervisor.attempts").record(self.attempts() as u64);
+        }
+    }
+
+    /// Backoff before the *next* re-prompt re-collects.
+    fn backoff_s(&self) -> f64 {
+        let exp = self.reprompts_used.saturating_sub(1);
+        self.config.backoff_base_s * self.config.backoff_factor.powi(exp as i32)
+    }
+
+    /// Re-prompt if budget remains, otherwise take `exhausted`.
+    fn reprompt_or(&mut self, exhausted: SupervisorState, now_s: f64, cause: &'static str) {
+        if self.reprompts_used < self.config.max_reprompts {
+            self.reprompts_used += 1;
+            p2auth_obs::counter!("device.supervisor.reprompts").incr();
+            p2auth_obs::event!(
+                "device.supervisor",
+                "reprompt",
+                cause = cause,
+                attempt = self.reprompts_used,
+            );
+            self.enter(SupervisorState::Reprompt, now_s);
+        } else {
+            p2auth_obs::event!(
+                "device.supervisor",
+                "reprompts_exhausted",
+                cause = cause,
+                terminal = exhausted.as_str(),
+            );
+            self.enter(exhausted, now_s);
+        }
+    }
+
+    /// Advances the machine by one event at session time `now_s` and
+    /// returns the resulting state.
+    ///
+    /// Deadlines are checked first: an expired non-terminal state
+    /// consumes the step (watchdog abort, or backoff-complete
+    /// re-collection for `Reprompt`) and the event — except that after
+    /// a `Reprompt` expiry the event is delivered to the fresh
+    /// `Collecting` state, so a driver may batch "backoff over" and
+    /// "collection done" into one call. Events invalid in the current
+    /// state are ignored; terminal states ignore everything.
+    pub fn step(&mut self, event: SupervisorEvent, now_s: f64) -> SupervisorState {
+        if self.state.is_terminal() {
+            return self.state;
+        }
+        if let Some(deadline) = self.deadline_s {
+            if now_s >= deadline {
+                match self.state {
+                    SupervisorState::Reprompt => {
+                        // Backoff elapsed: re-collect, then let the
+                        // event act on the new state.
+                        self.enter(SupervisorState::Collecting, now_s);
+                    }
+                    SupervisorState::Collecting
+                    | SupervisorState::Assessing
+                    | SupervisorState::Deciding => {
+                        p2auth_obs::counter!("device.supervisor.watchdog_fires").incr();
+                        p2auth_obs::event!(
+                            "device.supervisor",
+                            "watchdog_abort",
+                            state = self.state.as_str(),
+                            deadline_s = deadline,
+                            now_s = now_s,
+                        );
+                        self.enter(SupervisorState::Abort, now_s);
+                        return self.state;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match (self.state, event) {
+            (SupervisorState::Idle, SupervisorEvent::Start) => {
+                p2auth_obs::counter!("device.supervisor.sessions").incr();
+                self.enter(SupervisorState::Collecting, now_s);
+            }
+            (SupervisorState::Collecting, SupervisorEvent::CollectionComplete) => {
+                self.enter(SupervisorState::Assessing, now_s);
+            }
+            (
+                SupervisorState::Assessing,
+                SupervisorEvent::AssessmentReady {
+                    usable,
+                    detected,
+                    mean_sqi,
+                },
+            ) => {
+                p2auth_obs::histogram!("device.supervisor.assessed_usable").record(usable as u64);
+                if usable >= self.config.min_usable_keystrokes {
+                    self.enter(SupervisorState::Deciding, now_s);
+                } else {
+                    p2auth_obs::event!(
+                        "device.supervisor",
+                        "assessment_poor",
+                        usable = usable,
+                        detected = detected,
+                        mean_sqi = mean_sqi,
+                    );
+                    self.reprompt_or(SupervisorState::Abort, now_s, "assessment_poor");
+                }
+            }
+            (SupervisorState::Assessing, SupervisorEvent::AssessmentFailed) => {
+                p2auth_obs::event!("device.supervisor", "assessment_failed");
+                self.enter(SupervisorState::Abort, now_s);
+            }
+            (SupervisorState::Deciding, SupervisorEvent::DecisionAccept) => {
+                self.enter(SupervisorState::Accept, now_s);
+            }
+            (SupervisorState::Deciding, SupervisorEvent::DecisionReject { poor_signal }) => {
+                if poor_signal {
+                    self.reprompt_or(SupervisorState::Reject, now_s, "poor_signal_reject");
+                } else {
+                    p2auth_obs::event!("device.supervisor", "rejected");
+                    self.enter(SupervisorState::Reject, now_s);
+                }
+            }
+            (SupervisorState::Deciding, SupervisorEvent::DecisionAbort) => {
+                p2auth_obs::event!("device.supervisor", "decision_abort");
+                self.enter(SupervisorState::Abort, now_s);
+            }
+            // Ticks only matter to deadlines; anything else out of
+            // place is ignored (drivers may race events past a
+            // transition).
+            _ => {}
+        }
+        self.state
+    }
+}
+
+/// Result of [`run_supervised`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedOutcome {
+    /// Terminal state the session ended in.
+    pub state: SupervisorState,
+    /// Collection attempts consumed (1 + re-prompts).
+    pub attempts: u32,
+    /// The last pipeline outcome, when a decision was reached.
+    pub outcome: Option<SessionOutcome>,
+}
+
+impl SupervisedOutcome {
+    /// Whether the session ended in `Accept`.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        self.state == SupervisorState::Accept
+    }
+}
+
+/// Runs one supervised session under a deterministic virtual clock.
+///
+/// `attempt_fn` is called once per collection attempt (0-based) and
+/// returns the attempt the wearable delivered, or `None` when
+/// collection never completes — which exercises the watchdog: the
+/// driver advances the clock past the collection deadline and the
+/// session aborts instead of hanging.
+///
+/// Assessment uses [`P2Auth::assess_quality`]; with SQI gating
+/// disabled in the core config every detected keystroke counts as
+/// usable, so the supervisor never re-prompts on quality grounds and
+/// the flow reduces to plain [`decide_session`].
+pub fn run_supervised<F>(
+    system: &P2Auth,
+    profile: &UserProfile,
+    claimed_pin: Option<&Pin>,
+    config: &SupervisorConfig,
+    mut attempt_fn: F,
+) -> SupervisedOutcome
+where
+    F: FnMut(u32) -> Option<(Recording, LinkQuality)>,
+{
+    let _span = p2auth_obs::span!("device.supervisor");
+    let mut sup = SessionSupervisor::new(*config);
+    let mut now = 0.0_f64;
+    let mut last_outcome: Option<SessionOutcome> = None;
+    sup.step(SupervisorEvent::Start, now);
+    // Each loop iteration is one collection attempt; the machine's
+    // re-prompt budget bounds the number of iterations.
+    while !sup.state().is_terminal() {
+        let attempt_no = sup.reprompts_used();
+        match attempt_fn(attempt_no) {
+            None => {
+                // Collection hangs: advance past the deadline and let
+                // the watchdog fire.
+                #[allow(clippy::unwrap_used)]
+                // INVARIANT: Collecting always carries a deadline (set
+                // in `enter`), and the machine is in Collecting here.
+                let deadline = sup.deadline_s().unwrap();
+                now = deadline + 1e-3;
+                sup.step(SupervisorEvent::Tick, now);
+            }
+            Some((recording, quality)) => {
+                now += 2.0;
+                sup.step(SupervisorEvent::CollectionComplete, now);
+                now += 0.5;
+                let assess_event = match system.assess_quality(profile, &recording) {
+                    Ok(q) => {
+                        let usable = if system.config().sqi_gating {
+                            q.usable
+                        } else {
+                            q.detected
+                        };
+                        SupervisorEvent::AssessmentReady {
+                            usable,
+                            detected: q.detected,
+                            mean_sqi: q.mean_sqi,
+                        }
+                    }
+                    Err(_) => SupervisorEvent::AssessmentFailed,
+                };
+                sup.step(assess_event, now);
+                if sup.state() == SupervisorState::Deciding {
+                    now += 0.5;
+                    let outcome = decide_session(system, profile, claimed_pin, &recording, quality);
+                    let event = match &outcome {
+                        SessionOutcome::Abort { .. } => SupervisorEvent::DecisionAbort,
+                        other => match other.decision() {
+                            Some(d) if d.accepted => SupervisorEvent::DecisionAccept,
+                            Some(d) => SupervisorEvent::DecisionReject {
+                                poor_signal: d.reason == Some(RejectReason::PoorSignal),
+                            },
+                            None => SupervisorEvent::DecisionAbort,
+                        },
+                    };
+                    last_outcome = Some(outcome);
+                    sup.step(event, now);
+                }
+                if sup.state() == SupervisorState::Reprompt {
+                    // Wait out the backoff, then re-collect.
+                    #[allow(clippy::unwrap_used)]
+                    // INVARIANT: Reprompt always carries a deadline.
+                    let deadline = sup.deadline_s().unwrap();
+                    now = deadline + 1e-3;
+                    sup.step(SupervisorEvent::Tick, now);
+                }
+            }
+        }
+    }
+    SupervisedOutcome {
+        state: sup.state(),
+        attempts: sup.attempts(),
+        outcome: last_outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig::default()
+    }
+
+    fn ready(usable: usize) -> SupervisorEvent {
+        SupervisorEvent::AssessmentReady {
+            usable,
+            detected: 4,
+            mean_sqi: 0.8,
+        }
+    }
+
+    #[test]
+    fn happy_path_reaches_accept() {
+        let mut s = SessionSupervisor::new(cfg());
+        assert_eq!(
+            s.step(SupervisorEvent::Start, 0.0),
+            SupervisorState::Collecting
+        );
+        assert_eq!(
+            s.step(SupervisorEvent::CollectionComplete, 1.0),
+            SupervisorState::Assessing
+        );
+        assert_eq!(s.step(ready(4), 1.5), SupervisorState::Deciding);
+        assert_eq!(
+            s.step(SupervisorEvent::DecisionAccept, 2.0),
+            SupervisorState::Accept
+        );
+        assert_eq!(s.attempts(), 1);
+    }
+
+    #[test]
+    fn poor_assessment_reprompts_then_aborts() {
+        let mut s = SessionSupervisor::new(cfg());
+        let mut now = 0.0;
+        s.step(SupervisorEvent::Start, now);
+        for round in 0..=cfg().max_reprompts {
+            now += 1.0;
+            s.step(SupervisorEvent::CollectionComplete, now);
+            now += 0.5;
+            let state = s.step(ready(0), now);
+            if round < cfg().max_reprompts {
+                assert_eq!(state, SupervisorState::Reprompt, "round {round}");
+                // Let the backoff expire.
+                now = s.deadline_s().expect("reprompt has a deadline") + 0.001;
+                assert_eq!(
+                    s.step(SupervisorEvent::Tick, now),
+                    SupervisorState::Collecting
+                );
+            } else {
+                assert_eq!(state, SupervisorState::Abort, "budget exhausted");
+            }
+        }
+        assert_eq!(s.attempts(), 1 + cfg().max_reprompts);
+    }
+
+    #[test]
+    fn poor_signal_reject_reprompts_but_real_reject_is_final() {
+        // Poor signal in Deciding consumes a re-prompt...
+        let mut s = SessionSupervisor::new(cfg());
+        s.step(SupervisorEvent::Start, 0.0);
+        s.step(SupervisorEvent::CollectionComplete, 1.0);
+        s.step(ready(4), 1.5);
+        assert_eq!(
+            s.step(SupervisorEvent::DecisionReject { poor_signal: true }, 2.0),
+            SupervisorState::Reprompt
+        );
+        // ...while a biometric mismatch ends the session immediately.
+        let mut s2 = SessionSupervisor::new(cfg());
+        s2.step(SupervisorEvent::Start, 0.0);
+        s2.step(SupervisorEvent::CollectionComplete, 1.0);
+        s2.step(ready(4), 1.5);
+        assert_eq!(
+            s2.step(SupervisorEvent::DecisionReject { poor_signal: false }, 2.0),
+            SupervisorState::Reject
+        );
+    }
+
+    #[test]
+    fn watchdog_aborts_every_deadlined_state() {
+        // Collecting.
+        let mut s = SessionSupervisor::new(cfg());
+        s.step(SupervisorEvent::Start, 0.0);
+        assert_eq!(
+            s.step(SupervisorEvent::Tick, cfg().collect_deadline_s + 0.1),
+            SupervisorState::Abort
+        );
+        // Assessing.
+        let mut s = SessionSupervisor::new(cfg());
+        s.step(SupervisorEvent::Start, 0.0);
+        s.step(SupervisorEvent::CollectionComplete, 1.0);
+        assert_eq!(
+            s.step(SupervisorEvent::Tick, 1.0 + cfg().assess_deadline_s + 0.1),
+            SupervisorState::Abort
+        );
+        // Deciding — even if the decision arrives with the tick, the
+        // expiry wins.
+        let mut s = SessionSupervisor::new(cfg());
+        s.step(SupervisorEvent::Start, 0.0);
+        s.step(SupervisorEvent::CollectionComplete, 1.0);
+        s.step(ready(4), 1.5);
+        assert_eq!(
+            s.step(
+                SupervisorEvent::DecisionAccept,
+                1.5 + cfg().decide_deadline_s + 0.1
+            ),
+            SupervisorState::Abort,
+            "a decision after the deadline must not be honoured"
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let mut s = SessionSupervisor::new(cfg());
+        s.step(SupervisorEvent::Start, 0.0);
+        s.step(SupervisorEvent::CollectionComplete, 1.0);
+        s.step(ready(0), 1.5);
+        let first = s.deadline_s().expect("deadline") - 1.5;
+        assert!((first - cfg().backoff_base_s).abs() < 1e-9);
+        let deadline = s.deadline_s().expect("deadline");
+        s.step(SupervisorEvent::Tick, deadline + 0.001);
+        s.step(SupervisorEvent::CollectionComplete, deadline + 1.0);
+        let t2 = deadline + 1.5;
+        s.step(ready(0), t2);
+        let second = s.deadline_s().expect("deadline") - t2;
+        assert!(
+            (second - cfg().backoff_base_s * cfg().backoff_factor).abs() < 1e-9,
+            "second backoff {second} must scale by the factor"
+        );
+    }
+
+    /// Exhaustive state × event sweep: from any state, any event either
+    /// moves to a legal successor or leaves the state unchanged — and
+    /// `Accept` is reachable only from `Deciding` via `DecisionAccept`.
+    #[test]
+    fn exhaustive_transition_table_is_closed() {
+        let states = [
+            SupervisorState::Idle,
+            SupervisorState::Collecting,
+            SupervisorState::Assessing,
+            SupervisorState::Deciding,
+            SupervisorState::Reprompt,
+            SupervisorState::Accept,
+            SupervisorState::Reject,
+            SupervisorState::Abort,
+        ];
+        let events = [
+            SupervisorEvent::Start,
+            SupervisorEvent::CollectionComplete,
+            ready(0),
+            ready(4),
+            SupervisorEvent::AssessmentFailed,
+            SupervisorEvent::DecisionAccept,
+            SupervisorEvent::DecisionReject { poor_signal: true },
+            SupervisorEvent::DecisionReject { poor_signal: false },
+            SupervisorEvent::DecisionAbort,
+            SupervisorEvent::Tick,
+        ];
+        for &state in &states {
+            for &event in &events {
+                let mut s = SessionSupervisor::new(cfg());
+                s.state = state;
+                // Mid-deadline, so only the event matters.
+                s.deadline_s = if state.is_terminal() || state == SupervisorState::Idle {
+                    None
+                } else {
+                    Some(100.0)
+                };
+                let next = s.step(event, 50.0);
+                if state.is_terminal() {
+                    assert_eq!(next, state, "terminal {state} must absorb {event:?}");
+                }
+                if next == SupervisorState::Accept && state != SupervisorState::Accept {
+                    assert_eq!(
+                        (state, event),
+                        (SupervisorState::Deciding, SupervisorEvent::DecisionAccept),
+                        "the only edge into Accept is Deciding + DecisionAccept"
+                    );
+                }
+                // The machine must always produce a known state.
+                assert!(states.contains(&next));
+            }
+        }
+    }
+
+    /// Seeded pseudo-random event storms always terminate or stay in a
+    /// non-terminal state with a live deadline — a supervisor can never
+    /// wedge in a state time cannot leave.
+    #[test]
+    fn random_event_storms_cannot_wedge_the_machine() {
+        let events = [
+            SupervisorEvent::Start,
+            SupervisorEvent::CollectionComplete,
+            ready(0),
+            ready(4),
+            SupervisorEvent::AssessmentFailed,
+            SupervisorEvent::DecisionAccept,
+            SupervisorEvent::DecisionReject { poor_signal: true },
+            SupervisorEvent::DecisionReject { poor_signal: false },
+            SupervisorEvent::DecisionAbort,
+            SupervisorEvent::Tick,
+        ];
+        for seed in 0..50_u64 {
+            let mut s = SessionSupervisor::new(cfg());
+            let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut now = 0.0;
+            for _ in 0..200 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                now += (x % 7) as f64;
+                let ev = events[(x % events.len() as u64) as usize];
+                s.step(ev, now);
+                if s.state().is_terminal() {
+                    break;
+                }
+                assert!(
+                    s.state() == SupervisorState::Idle || s.deadline_s().is_some(),
+                    "every in-flight state must carry a deadline (seed {seed})"
+                );
+            }
+            // Time alone must be able to finish whatever remains.
+            if !s.state().is_terminal() && s.state() != SupervisorState::Idle {
+                let mut guard = 0;
+                while !s.state().is_terminal() {
+                    let deadline = s.deadline_s().expect("deadline present");
+                    now = deadline + 0.001;
+                    s.step(SupervisorEvent::Tick, now);
+                    guard += 1;
+                    assert!(guard < 10, "ticking past deadlines must terminate");
+                }
+            }
+        }
+    }
+}

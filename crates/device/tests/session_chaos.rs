@@ -1,0 +1,289 @@
+//! Chaos matrix for supervised sessions: sensor faults, link faults,
+//! or both at once, swept by CI across seeds via `P2AUTH_CHAOS_MODE`
+//! (`sensor` | `link` | `both`, default `both`) and
+//! `P2AUTH_CHAOS_SEED` (default 1).
+//!
+//! The invariants enforced in every cell:
+//!
+//! * a zero-rate sensor-fault config is bit-identical to the clean
+//!   path,
+//! * the whole chaos pipeline replays deterministically — same seed,
+//!   same outcomes, same SQI values,
+//! * supervised sessions always terminate within the re-prompt budget,
+//! * on clean input, SQI gating changes no decision.
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, UserProfile};
+use p2auth_device::clock::VirtualClock;
+use p2auth_device::host::LinkQuality;
+use p2auth_device::{
+    run_supervised, transmit_reliable, FaultConfig, FaultyLink, LinkConfig, ReliableConfig,
+    SupervisedOutcome, SupervisorConfig, WearableDevice,
+};
+use p2auth_sim::{
+    inject_sensor_faults, Population, PopulationConfig, Recording, SensorFaultConfig, SessionConfig,
+};
+use std::sync::OnceLock;
+
+fn chaos_mode() -> String {
+    std::env::var("P2AUTH_CHAOS_MODE").unwrap_or_else(|_| "both".to_string())
+}
+
+fn chaos_seed() -> u64 {
+    std::env::var("P2AUTH_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn sensor_active() -> bool {
+    matches!(chaos_mode().as_str(), "sensor" | "both")
+}
+
+fn link_active() -> bool {
+    matches!(chaos_mode().as_str(), "link" | "both")
+}
+
+/// A moderate multi-family sensor fault mix for the chaos runs.
+fn sensor_faults(seed: u64) -> SensorFaultConfig {
+    SensorFaultConfig {
+        motion_rate_hz: 0.25,
+        saturation_rate_hz: 0.3,
+        dropout_rate_hz: 0.5,
+        seed,
+        ..SensorFaultConfig::default()
+    }
+}
+
+fn perfect_link() -> LinkQuality {
+    LinkQuality {
+        coverage: 1.0,
+        expected_blocks: 1,
+        received_blocks: 1,
+        gap_blocks: 0,
+    }
+}
+
+struct Setup {
+    system: P2Auth,
+    profile: UserProfile,
+    pop: Population,
+    session: SessionConfig,
+    pin: Pin,
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let pop = Population::generate(&PopulationConfig {
+            num_users: 4,
+            seed: 811,
+            ..Default::default()
+        });
+        let pin = Pin::new("1628").unwrap();
+        let session = SessionConfig::default();
+        let system = P2Auth::new(P2AuthConfig::fast());
+        let enroll: Vec<_> = (0..6)
+            .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, 40 + i))
+            .collect();
+        let third: Vec<_> = (0..12)
+            .map(|i| {
+                pop.record_entry(
+                    1 + (i as usize % 3),
+                    &pin,
+                    HandMode::OneHanded,
+                    &session,
+                    70 + i,
+                )
+            })
+            .collect();
+        let profile = system.enroll(&pin, &enroll, &third).unwrap();
+        Setup {
+            system,
+            profile,
+            pop,
+            session,
+            pin,
+        }
+    })
+}
+
+/// One acquisition under the active chaos mode: sensor faults degrade
+/// what the ADC sampled, link faults degrade what the host received.
+/// `None` models a transfer the recovery layer could not complete.
+fn acquire(rec: &Recording, seed: u64, nonce: u64) -> Option<(Recording, LinkQuality)> {
+    let sampled = if sensor_active() {
+        inject_sensor_faults(rec, &sensor_faults(seed), nonce).0
+    } else {
+        rec.clone()
+    };
+    if !link_active() {
+        return Some((sampled, perfect_link()));
+    }
+    let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+    let faults = FaultConfig {
+        drop_rate: 0.05,
+        corrupt_rate: 0.0125,
+        seed: seed ^ (nonce << 8),
+        ..FaultConfig::default()
+    };
+    let mut data = FaultyLink::new(LinkConfig::default(), faults);
+    let mut keys = FaultyLink::new(
+        LinkConfig {
+            seed: 0x4b,
+            ..LinkConfig::default()
+        },
+        FaultConfig {
+            seed: faults.seed ^ 0x1234,
+            ..faults
+        },
+    );
+    let (result, _stats) = transmit_reliable(
+        &sampled,
+        &device,
+        &mut data,
+        &mut keys,
+        &ReliableConfig::default(),
+    );
+    result.ok()
+}
+
+fn run_session(s: &Setup, rec: &Recording, seed: u64) -> SupervisedOutcome {
+    run_supervised(
+        &s.system,
+        &s.profile,
+        Some(&s.pin),
+        &SupervisorConfig::default(),
+        |attempt| acquire(rec, seed, u64::from(attempt)),
+    )
+}
+
+#[test]
+fn zero_rate_sensor_faults_are_bit_identical() {
+    let s = setup();
+    let rec = s
+        .pop
+        .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 600);
+    let zero = SensorFaultConfig::default();
+    assert!(!zero.is_active());
+    let (out, stats) = inject_sensor_faults(&rec, &zero, chaos_seed());
+    assert_eq!(out, rec, "zero-rate injector must be a no-op");
+    assert!(!stats.any());
+    // And the decision downstream is byte-for-byte the clean one.
+    let d_clean = s.system.authenticate(&s.profile, &s.pin, &rec).unwrap();
+    let d_zero = s.system.authenticate(&s.profile, &s.pin, &out).unwrap();
+    assert_eq!(d_clean, d_zero);
+}
+
+#[test]
+fn chaos_replays_deterministically() {
+    let s = setup();
+    let seed = chaos_seed();
+    for n in 0..2_u64 {
+        let legit = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 610 + n);
+        let a = run_session(s, &legit, seed);
+        let b = run_session(s, &legit, seed);
+        assert_eq!(a.state, b.state, "session {n}: outcome state must replay");
+        assert_eq!(a.attempts, b.attempts, "session {n}: attempts must replay");
+        assert_eq!(a.outcome, b.outcome, "session {n}: decisions must replay");
+        // SQI values replay exactly, not just approximately.
+        if let Some((deg_a, _)) = acquire(&legit, seed, 0) {
+            let (deg_b, _) = acquire(&legit, seed, 0).unwrap();
+            assert_eq!(deg_a, deg_b, "degraded recording must replay");
+            let qa = s.system.assess_quality(&s.profile, &deg_a);
+            let qb = s.system.assess_quality(&s.profile, &deg_b);
+            match (qa, qb) {
+                (Ok(qa), Ok(qb)) => {
+                    assert_eq!(qa.detected, qb.detected);
+                    assert_eq!(qa.usable, qb.usable);
+                    let sa: Vec<f64> = qa
+                        .per_keystroke
+                        .iter()
+                        .filter_map(|k| k.quality.as_ref().map(|q| q.sqi))
+                        .collect();
+                    let sb: Vec<f64> = qb
+                        .per_keystroke
+                        .iter()
+                        .filter_map(|k| k.quality.as_ref().map(|q| q.sqi))
+                        .collect();
+                    assert_eq!(sa, sb, "SQI values must be bit-identical");
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("assessment determinism broke: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn supervised_sessions_terminate_within_budget() {
+    let s = setup();
+    let seed = chaos_seed();
+    let cfg = SupervisorConfig::default();
+    for n in 0..3_u64 {
+        let legit = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 620 + n);
+        let out = run_session(s, &legit, seed.wrapping_add(n));
+        assert!(
+            out.state.is_terminal(),
+            "legit session {n}: {:?}",
+            out.state
+        );
+        assert!(
+            out.attempts <= 1 + cfg.max_reprompts,
+            "legit session {n} used {} attempts",
+            out.attempts
+        );
+        let attack = s.pop.record_emulating_attack(
+            1 + (n as usize % 3),
+            0,
+            &s.pin,
+            HandMode::OneHanded,
+            &s.session,
+            620 + n,
+        );
+        let out = run_session(s, &attack, seed.wrapping_add(100 + n));
+        assert!(
+            out.state.is_terminal(),
+            "attack session {n}: {:?}",
+            out.state
+        );
+        assert!(
+            out.attempts <= 1 + cfg.max_reprompts,
+            "attack session {n} used {} attempts",
+            out.attempts
+        );
+    }
+}
+
+#[test]
+fn hung_collection_is_aborted_by_the_watchdog() {
+    let s = setup();
+    let out = run_supervised(
+        &s.system,
+        &s.profile,
+        Some(&s.pin),
+        &SupervisorConfig::default(),
+        |_| None,
+    );
+    assert_eq!(out.state, p2auth_device::SupervisorState::Abort);
+    assert!(out.outcome.is_none());
+}
+
+#[test]
+fn clean_sessions_are_unaffected_by_gating() {
+    let s = setup();
+    let mut ungated_cfg = s.system.config().clone();
+    ungated_cfg.sqi_gating = false;
+    let ungated = P2Auth::new(ungated_cfg);
+    for n in 0..3_u64 {
+        let legit = s
+            .pop
+            .record_entry(0, &s.pin, HandMode::OneHanded, &s.session, 630 + n);
+        let dg = s.system.authenticate(&s.profile, &s.pin, &legit).unwrap();
+        let dp = ungated.authenticate(&s.profile, &s.pin, &legit).unwrap();
+        assert_eq!(dg, dp, "clean session {n}: the gate must be invisible");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the session supervisor: under arbitrary event
+//! sequences and arbitrary clocks, the machine never wedges, never
+//! accepts without a full `Deciding` pass, and never exceeds its
+//! re-prompt budget.
+
+use p2auth_device::{SessionSupervisor, SupervisorConfig, SupervisorEvent, SupervisorState};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = SupervisorEvent> {
+    prop_oneof![
+        Just(SupervisorEvent::Start),
+        Just(SupervisorEvent::CollectionComplete),
+        (0_usize..5, 0_usize..5, 0.0_f64..1.0).prop_map(|(usable, extra, mean_sqi)| {
+            SupervisorEvent::AssessmentReady {
+                usable,
+                detected: usable + extra,
+                mean_sqi,
+            }
+        }),
+        Just(SupervisorEvent::AssessmentFailed),
+        Just(SupervisorEvent::DecisionAccept),
+        any::<bool>().prop_map(|poor_signal| SupervisorEvent::DecisionReject { poor_signal }),
+        Just(SupervisorEvent::DecisionAbort),
+        Just(SupervisorEvent::Tick),
+    ]
+}
+
+proptest! {
+    /// Accept is unreachable except through `Deciding` +
+    /// `DecisionAccept`, whatever the event order and timing.
+    #[test]
+    fn accept_requires_a_deciding_pass(
+        events in prop::collection::vec((arb_event(), 0.0_f64..5.0), 1..120),
+    ) {
+        let mut sup = SessionSupervisor::new(SupervisorConfig::default());
+        let mut now = 0.0;
+        for (event, dt) in events {
+            let before = sup.state();
+            now += dt;
+            let after = sup.step(event, now);
+            if after == SupervisorState::Accept {
+                prop_assert_eq!(
+                    before,
+                    SupervisorState::Deciding,
+                    "Accept reached from {} on {:?}",
+                    before,
+                    event
+                );
+                prop_assert_eq!(event, SupervisorEvent::DecisionAccept);
+            }
+            if before.is_terminal() {
+                prop_assert_eq!(after, before, "terminal states absorb events");
+            }
+        }
+    }
+
+    /// Whatever happened before, advancing time alone always drives
+    /// the machine to a terminal state within the re-prompt budget —
+    /// the supervisor cannot hang.
+    #[test]
+    fn time_alone_always_terminates(
+        events in prop::collection::vec((arb_event(), 0.0_f64..5.0), 0..80),
+        start in 0.0_f64..1000.0,
+    ) {
+        let cfg = SupervisorConfig::default();
+        let mut sup = SessionSupervisor::new(cfg);
+        let mut now = start;
+        sup.step(SupervisorEvent::Start, now);
+        for (event, dt) in events {
+            now += dt;
+            sup.step(event, now);
+        }
+        // Drain with ticks: each expiry either terminates or re-enters
+        // Collecting (bounded by max_reprompts), so a small bound
+        // suffices.
+        let mut steps = 0;
+        while !sup.state().is_terminal() {
+            let deadline = sup.deadline_s().expect("in-flight states carry deadlines");
+            now = now.max(deadline) + 0.001;
+            sup.step(SupervisorEvent::Tick, now);
+            steps += 1;
+            prop_assert!(
+                steps <= 2 * (cfg.max_reprompts as usize + 2),
+                "ticking must terminate, stuck in {}",
+                sup.state()
+            );
+        }
+        prop_assert!(sup.reprompts_used() <= cfg.max_reprompts);
+        prop_assert!(sup.attempts() <= 1 + cfg.max_reprompts);
+    }
+}

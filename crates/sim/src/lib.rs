@@ -39,10 +39,14 @@ pub mod layout;
 pub mod noise;
 pub mod population;
 pub mod rng;
+pub mod sensor_fault;
 pub mod session;
 pub mod subject;
 
 pub use population::{Population, PopulationConfig};
+pub use sensor_fault::{
+    inject_sensor_faults, SensorFaultConfig, SensorFaultKind, SensorFaultStats,
+};
 pub use session::SessionConfig;
 pub use subject::{KeyResponse, Subject};
 

@@ -1,0 +1,589 @@
+//! Wearable-side sensor fault model: the failure modes of the PPG
+//! front end itself, as opposed to the *transport* faults of the device
+//! crate's `FaultyLink`. The two compose: a recording is first degraded
+//! here (what the ADC actually sampled), then framed and sent through a
+//! lossy link.
+//!
+//! Five fault families, each independently rate-gated and seeded:
+//!
+//! * **Motion-artifact bursts** — band-limited wrist motion (damped
+//!   1.5–6 Hz oscillations, like the keystroke artifacts but larger and
+//!   unrelated to any key press) coupled into every channel through
+//!   [`channel::artifact_coupling`](crate::channel::artifact_coupling),
+//!   so radial/ulnar placements see the same physical event differently.
+//! * **LED/ADC saturation** — episodes where the front end rails and
+//!   the signal clips flat at the converter limit.
+//! * **Sensor detach** — the band lifts off; all channels collapse to
+//!   an ambient-light DC level plus the noise floor.
+//! * **Sample dropout** — the acquisition loop stalls and repeats its
+//!   last sample for a short run (sample-and-hold flatline).
+//! * **Baseline wander** — a slow large-amplitude sinusoid from band
+//!   pressure changes, beyond what the enrolment-time drift model adds.
+//!
+//! Like the link-level `FaultConfig`, the all-zero [`Default`] is
+//! guaranteed to be a no-op: [`inject_sensor_faults`] returns a
+//! bit-identical copy of the recording and draws nothing from any RNG,
+//! so a zero-rate configuration composes with the clean path without
+//! perturbing downstream determinism.
+
+use crate::channel::{artifact_coupling, noise_sigma, pulse_amplitude};
+use crate::rng::{normal, rng_for};
+use p2auth_core::types::Recording;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-fault-family seed tags (mixed with the config seed and the
+/// caller's nonce, so each family has an independent stream and
+/// enabling one family never shifts another's draws).
+const TAG_MOTION: u64 = 0x5e_0001;
+const TAG_SATURATION: u64 = 0x5e_0002;
+const TAG_DETACH: u64 = 0x5e_0003;
+const TAG_DETACH_NOISE: u64 = 0x5e_0004;
+const TAG_DROPOUT: u64 = 0x5e_0005;
+const TAG_WANDER: u64 = 0x5e_0006;
+
+/// One fault family, for presets and reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorFaultKind {
+    /// Band-limited wrist-motion bursts.
+    Motion,
+    /// LED/ADC saturation clipping episodes.
+    Saturation,
+    /// Sensor-detach episodes (ambient + noise floor).
+    Detach,
+    /// Sample-and-hold dropout runs.
+    Dropout,
+    /// Slow large-amplitude baseline wander.
+    Wander,
+}
+
+impl SensorFaultKind {
+    /// Every fault family, in a stable order (used by sweeps).
+    pub const ALL: [SensorFaultKind; 5] = [
+        SensorFaultKind::Motion,
+        SensorFaultKind::Saturation,
+        SensorFaultKind::Detach,
+        SensorFaultKind::Dropout,
+        SensorFaultKind::Wander,
+    ];
+
+    /// Stable machine-readable name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SensorFaultKind::Motion => "motion",
+            SensorFaultKind::Saturation => "saturation",
+            SensorFaultKind::Detach => "detach",
+            SensorFaultKind::Dropout => "dropout",
+            SensorFaultKind::Wander => "wander",
+        }
+    }
+
+    /// Parses the name produced by [`SensorFaultKind::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "motion" => Some(SensorFaultKind::Motion),
+            "saturation" => Some(SensorFaultKind::Saturation),
+            "detach" => Some(SensorFaultKind::Detach),
+            "dropout" => Some(SensorFaultKind::Dropout),
+            "wander" => Some(SensorFaultKind::Wander),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SensorFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Configuration of the sensor fault injector.
+///
+/// The [`Default`] has every rate (and the wander magnitude) at zero
+/// and is guaranteed to inject nothing and draw nothing from the RNG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorFaultConfig {
+    /// Wrist-motion bursts per second.
+    pub motion_rate_hz: f64,
+    /// Peak amplitude of a motion burst (signal units, before the
+    /// per-channel coupling factor).
+    pub motion_magnitude: f64,
+    /// Saturation episodes per second.
+    pub saturation_rate_hz: f64,
+    /// Rail value the signal clips to while saturated.
+    pub saturation_level: f64,
+    /// Sensor-detach episodes per second.
+    pub detach_rate_hz: f64,
+    /// Ambient (DC) level seen while the band is detached.
+    pub detach_ambient: f64,
+    /// Sample-and-hold dropout runs per second.
+    pub dropout_rate_hz: f64,
+    /// Peak amplitude of the slow baseline wander; 0 disables it.
+    pub wander_magnitude: f64,
+    /// Seed of the injector's RNG streams.
+    pub seed: u64,
+}
+
+impl Default for SensorFaultConfig {
+    fn default() -> Self {
+        Self {
+            motion_rate_hz: 0.0,
+            motion_magnitude: 4.0,
+            saturation_rate_hz: 0.0,
+            saturation_level: 2.5,
+            detach_rate_hz: 0.0,
+            detach_ambient: 0.05,
+            dropout_rate_hz: 0.0,
+            wander_magnitude: 0.0,
+            seed: 0xbad_5e6,
+        }
+    }
+}
+
+impl SensorFaultConfig {
+    /// Whether any fault family can fire. A config for which this is
+    /// `false` is guaranteed to be a bit-identical no-op.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.motion_rate_hz > 0.0
+            || self.saturation_rate_hz > 0.0
+            || self.detach_rate_hz > 0.0
+            || self.dropout_rate_hz > 0.0
+            || self.wander_magnitude > 0.0
+    }
+
+    /// A single-family config scaled by `intensity` in `[0, 1]` (0 is
+    /// inactive, 1 the most violent sweep point). Used by the fault
+    /// sweeps and the CLI `quality` command.
+    #[must_use]
+    pub fn preset(kind: SensorFaultKind, intensity: f64, seed: u64) -> Self {
+        let i = intensity.clamp(0.0, 1.0);
+        let mut c = Self {
+            seed,
+            ..Self::default()
+        };
+        match kind {
+            SensorFaultKind::Motion => {
+                c.motion_rate_hz = 0.8 * i;
+                c.motion_magnitude = 3.0 + 5.0 * i;
+            }
+            SensorFaultKind::Saturation => {
+                c.saturation_rate_hz = 0.6 * i;
+            }
+            SensorFaultKind::Detach => {
+                c.detach_rate_hz = 0.45 * i;
+            }
+            SensorFaultKind::Dropout => {
+                c.dropout_rate_hz = 1.2 * i;
+            }
+            SensorFaultKind::Wander => {
+                c.wander_magnitude = 2.5 * i;
+            }
+        }
+        c
+    }
+}
+
+/// What the injector actually did to one recording.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SensorFaultStats {
+    /// Motion bursts injected.
+    pub motion_bursts: usize,
+    /// Saturation episodes injected.
+    pub saturation_episodes: usize,
+    /// Sensor-detach episodes injected.
+    pub detach_episodes: usize,
+    /// Sample-and-hold dropout runs injected.
+    pub dropout_runs: usize,
+    /// Samples (per channel, summed over channels) forced to a rail.
+    pub samples_clipped: usize,
+    /// Samples collapsed to the ambient floor.
+    pub samples_detached: usize,
+    /// Samples replaced by a held previous value.
+    pub samples_dropped: usize,
+    /// Whether baseline wander was applied.
+    pub wander_applied: bool,
+}
+
+impl SensorFaultStats {
+    /// Whether the injector changed anything at all.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.motion_bursts > 0
+            || self.saturation_episodes > 0
+            || self.detach_episodes > 0
+            || self.dropout_runs > 0
+            || self.wander_applied
+    }
+}
+
+/// Poisson arrivals over `[0, duration)`: the next arrival after `t`.
+fn next_arrival(rng: &mut StdRng, t: f64, rate_hz: f64) -> f64 {
+    t + -rng.gen_range(f64::EPSILON..1.0_f64).ln() / rate_hz
+}
+
+/// Applies the configured sensor faults to a copy of `rec`.
+///
+/// `nonce` distinguishes repeated sessions under one config (e.g. the
+/// supervisor's re-prompt attempts): same `(config, nonce, rec)` always
+/// produces the same output, different nonces produce independent fault
+/// realizations. An inactive config returns a bit-identical copy and
+/// draws nothing from any RNG.
+#[must_use]
+pub fn inject_sensor_faults(
+    rec: &Recording,
+    config: &SensorFaultConfig,
+    nonce: u64,
+) -> (Recording, SensorFaultStats) {
+    let mut out = rec.clone();
+    let mut stats = SensorFaultStats::default();
+    let n = out.num_samples();
+    if !config.is_active() || n == 0 {
+        return (out, stats);
+    }
+    let rate = out.sample_rate;
+    let duration = n as f64 / rate;
+    let infos = out.channels.clone();
+
+    // Motion bursts: one physical wrist event, coupled into every
+    // channel through the same placement/wavelength model as keystroke
+    // artifacts. The anchor digit stands for where on the pad plane the
+    // wrist loads, steering the radial/ulnar balance.
+    if config.motion_rate_hz > 0.0 && config.motion_magnitude > 0.0 {
+        let mut rng = rng_for(config.seed, &[TAG_MOTION, nonce]);
+        let mut t = 0.0_f64;
+        loop {
+            t = next_arrival(&mut rng, t, config.motion_rate_hz);
+            if t >= duration {
+                break;
+            }
+            let amp = config.motion_magnitude * rng.gen_range(0.6..1.0);
+            let freq = rng.gen_range(1.5..6.0);
+            let damping = rng.gen_range(2.0..6.0);
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            let anchor = rng.gen_range(0.0..10.0) as u8;
+            let start = (t * rate) as usize;
+            let end = (((t + 0.9) * rate) as usize).min(n);
+            for (ch, info) in infos.iter().enumerate() {
+                let coupling = artifact_coupling(*info, anchor);
+                for (i, o) in out.ppg[ch].iter_mut().enumerate().take(end).skip(start) {
+                    let dt = i as f64 / rate - t;
+                    *o += amp
+                        * coupling
+                        * (-damping * dt).exp()
+                        * (std::f64::consts::TAU * freq * dt + phase).sin();
+                }
+            }
+            stats.motion_bursts += 1;
+        }
+    }
+
+    // Saturation: the front end rails; every channel sits flat at the
+    // converter limit for the episode.
+    if config.saturation_rate_hz > 0.0 {
+        let mut rng = rng_for(config.seed, &[TAG_SATURATION, nonce]);
+        let mut t = 0.0_f64;
+        // Episodes whose widths would overlap the next arrival are
+        // clamped forward so the clipped-sample count stays exact.
+        let mut cursor = 0_usize;
+        loop {
+            t = next_arrival(&mut rng, t, config.saturation_rate_hz);
+            if t >= duration {
+                break;
+            }
+            let width = rng.gen_range(0.3..0.8);
+            let sign = if rng.gen_range(0.0..1.0_f64) < 0.5 {
+                1.0
+            } else {
+                -1.0
+            };
+            let rail = sign * config.saturation_level;
+            let start = ((t * rate) as usize).max(cursor);
+            let end = (((t + width) * rate) as usize).min(n);
+            if start >= end {
+                continue;
+            }
+            cursor = end;
+            for c in &mut out.ppg {
+                for o in c.iter_mut().take(end).skip(start) {
+                    *o = rail;
+                }
+            }
+            stats.saturation_episodes += 1;
+            stats.samples_clipped += (end - start) * infos.len();
+        }
+    }
+
+    // Detach: the band lifts off; channels collapse to ambient light
+    // plus a reduced noise floor.
+    if config.detach_rate_hz > 0.0 {
+        let mut rng = rng_for(config.seed, &[TAG_DETACH, nonce]);
+        let mut t = 0.0_f64;
+        let mut cursor = 0_usize;
+        loop {
+            t = next_arrival(&mut rng, t, config.detach_rate_hz);
+            if t >= duration {
+                break;
+            }
+            let width = rng.gen_range(0.5..1.5);
+            let start = ((t * rate) as usize).max(cursor);
+            let end = (((t + width) * rate) as usize).min(n);
+            if start >= end {
+                continue;
+            }
+            cursor = end;
+            for (ch, info) in infos.iter().enumerate() {
+                let mut floor_rng = rng_for(
+                    config.seed,
+                    &[TAG_DETACH_NOISE, nonce, ch as u64, start as u64],
+                );
+                let sigma = 0.25 * noise_sigma(*info);
+                for o in out.ppg[ch].iter_mut().take(end).skip(start) {
+                    *o = config.detach_ambient + normal(&mut floor_rng, 0.0, sigma);
+                }
+            }
+            stats.detach_episodes += 1;
+            stats.samples_detached += (end - start) * infos.len();
+        }
+    }
+
+    // Dropout: the acquisition loop stalls and repeats its last sample.
+    if config.dropout_rate_hz > 0.0 {
+        let mut rng = rng_for(config.seed, &[TAG_DROPOUT, nonce]);
+        let mut t = 0.0_f64;
+        let mut cursor = 0_usize;
+        loop {
+            t = next_arrival(&mut rng, t, config.dropout_rate_hz);
+            if t >= duration {
+                break;
+            }
+            let width = rng.gen_range(0.05..0.3);
+            let start = ((t * rate) as usize).max(cursor);
+            let end = (((t + width) * rate) as usize).min(n);
+            if start >= end {
+                continue;
+            }
+            cursor = end;
+            for c in &mut out.ppg {
+                let held = c[start.saturating_sub(1).min(n - 1)];
+                for o in c.iter_mut().take(end).skip(start) {
+                    *o = held;
+                }
+            }
+            stats.dropout_runs += 1;
+            stats.samples_dropped += (end - start) * infos.len();
+        }
+    }
+
+    // Baseline wander: a slow, shared pressure change, scaled by each
+    // channel's pulse amplitude.
+    if config.wander_magnitude > 0.0 {
+        let mut rng = rng_for(config.seed, &[TAG_WANDER, nonce]);
+        let freq = rng.gen_range(0.02..0.08);
+        let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let amp = config.wander_magnitude * rng.gen_range(0.5..1.0);
+        for (ch, info) in infos.iter().enumerate() {
+            let scale = pulse_amplitude(*info);
+            for (i, o) in out.ppg[ch].iter_mut().enumerate() {
+                let time = i as f64 / rate;
+                *o += amp * scale * (std::f64::consts::TAU * freq * time + phase).sin();
+            }
+        }
+        stats.wander_applied = true;
+    }
+
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2auth_core::types::{ChannelInfo, HandMode, Pin, Placement, UserId, Wavelength};
+
+    fn test_recording() -> Recording {
+        let n = 900;
+        let mk = |amp: f64, f: f64| -> Vec<f64> {
+            (0..n)
+                .map(|i| amp * (i as f64 * std::f64::consts::TAU * f / 100.0).sin())
+                .collect()
+        };
+        Recording {
+            user: UserId(0),
+            sample_rate: 100.0,
+            ppg: vec![mk(1.0, 1.2), mk(0.9, 1.2)],
+            channels: vec![
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Radial,
+                },
+                ChannelInfo {
+                    wavelength: Wavelength::Infrared,
+                    placement: Placement::Ulnar,
+                },
+            ],
+            accel: None,
+            pin_entered: Pin::new("1628").expect("valid"),
+            reported_key_times: vec![150, 300, 450, 600],
+            true_key_times: vec![150, 300, 450, 600],
+            watch_hand: vec![true; 4],
+            hand_mode: HandMode::OneHanded,
+        }
+    }
+
+    #[test]
+    fn zero_config_is_bit_identical() {
+        let rec = test_recording();
+        let cfg = SensorFaultConfig::default();
+        assert!(!cfg.is_active());
+        let (out, stats) = inject_sensor_faults(&rec, &cfg, 7);
+        assert_eq!(out, rec, "inactive config must be a no-op");
+        assert_eq!(stats, SensorFaultStats::default());
+        assert!(!stats.any());
+    }
+
+    #[test]
+    fn zero_intensity_presets_are_inactive() {
+        for kind in SensorFaultKind::ALL {
+            assert!(
+                !SensorFaultConfig::preset(kind, 0.0, 1).is_active(),
+                "{kind} at zero intensity must be inactive"
+            );
+            assert!(
+                SensorFaultConfig::preset(kind, 1.0, 1).is_active(),
+                "{kind} at full intensity must be active"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_nonce_sensitive() {
+        let rec = test_recording();
+        let cfg = SensorFaultConfig {
+            motion_rate_hz: 0.5,
+            saturation_rate_hz: 0.3,
+            detach_rate_hz: 0.3,
+            dropout_rate_hz: 0.8,
+            wander_magnitude: 1.0,
+            ..SensorFaultConfig::default()
+        };
+        let (a, sa) = inject_sensor_faults(&rec, &cfg, 1);
+        let (b, sb) = inject_sensor_faults(&rec, &cfg, 1);
+        assert_eq!(a, b, "same (config, nonce) must replay identically");
+        assert_eq!(sa, sb);
+        let (c, _) = inject_sensor_faults(&rec, &cfg, 2);
+        assert_ne!(a.ppg, c.ppg, "a different nonce must vary the faults");
+        // Faults never change the session metadata.
+        assert_eq!(a.true_key_times, rec.true_key_times);
+        assert_eq!(a.reported_key_times, rec.reported_key_times);
+        assert_eq!(a.pin_entered, rec.pin_entered);
+        assert_eq!(a.validate(), Ok(()));
+    }
+
+    #[test]
+    fn each_family_alters_the_signal() {
+        let rec = test_recording();
+        for kind in SensorFaultKind::ALL {
+            let cfg = SensorFaultConfig::preset(kind, 1.0, 3);
+            // Poisson arrivals can (rarely) miss a short recording
+            // entirely; any one of a few nonces sufficing is what the
+            // sweeps rely on.
+            let acted = (0..5).any(|k| {
+                let (out, stats) = inject_sensor_faults(&rec, &cfg, 11 + k);
+                out.ppg != rec.ppg && stats.any()
+            });
+            assert!(acted, "{kind} at full intensity must act");
+        }
+    }
+
+    #[test]
+    fn saturation_sits_flat_at_the_rail() {
+        let rec = test_recording();
+        let cfg = SensorFaultConfig {
+            saturation_rate_hz: 0.4,
+            ..SensorFaultConfig::default()
+        };
+        let (out, stats) = inject_sensor_faults(&rec, &cfg, 5);
+        assert!(stats.saturation_episodes > 0);
+        let at_rail = out.ppg[0]
+            .iter()
+            .filter(|v| v.abs() == cfg.saturation_level)
+            .count();
+        assert!(
+            at_rail >= stats.samples_clipped / out.num_channels(),
+            "clipped samples must sit exactly at the rail"
+        );
+    }
+
+    #[test]
+    fn detach_collapses_to_the_ambient_floor() {
+        let rec = test_recording();
+        let cfg = SensorFaultConfig {
+            detach_rate_hz: 0.4,
+            ..SensorFaultConfig::default()
+        };
+        let (out, stats) = inject_sensor_faults(&rec, &cfg, 9);
+        assert!(stats.detach_episodes > 0);
+        let near_ambient = out.ppg[0]
+            .iter()
+            .filter(|v| (**v - cfg.detach_ambient).abs() < 0.1)
+            .count();
+        assert!(
+            near_ambient >= stats.samples_detached / out.num_channels(),
+            "detached samples must hug the ambient level"
+        );
+    }
+
+    #[test]
+    fn families_use_independent_streams() {
+        // Enabling a second family must not move the first family's
+        // events: the motion-only portion of a combined run matches the
+        // motion-only run wherever the second family did not overwrite.
+        let rec = test_recording();
+        let motion = SensorFaultConfig {
+            motion_rate_hz: 0.5,
+            ..SensorFaultConfig::default()
+        };
+        let both = SensorFaultConfig {
+            motion_rate_hz: 0.5,
+            wander_magnitude: 0.0,
+            dropout_rate_hz: 0.0,
+            ..motion
+        };
+        let (a, _) = inject_sensor_faults(&rec, &motion, 4);
+        let (b, _) = inject_sensor_faults(&rec, &both, 4);
+        assert_eq!(a, b);
+        // With wander added, the motion bursts land at the same places:
+        // subtracting the wander-only run leaves the motion-only deltas.
+        let wander_too = SensorFaultConfig {
+            wander_magnitude: 1.0,
+            ..motion
+        };
+        let wander_only = SensorFaultConfig {
+            motion_rate_hz: 0.0,
+            wander_magnitude: 1.0,
+            ..SensorFaultConfig::default()
+        };
+        let (combined, _) = inject_sensor_faults(&rec, &wander_too, 4);
+        let (wander, _) = inject_sensor_faults(&rec, &wander_only, 4);
+        for ch in 0..rec.num_channels() {
+            for i in 0..rec.num_samples() {
+                let motion_delta = a.ppg[ch][i] - rec.ppg[ch][i];
+                let combined_delta = combined.ppg[ch][i] - wander.ppg[ch][i];
+                assert!(
+                    (motion_delta - combined_delta).abs() < 1e-9,
+                    "streams must be independent at ch{ch}[{i}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SensorFaultKind::ALL {
+            assert_eq!(SensorFaultKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SensorFaultKind::parse("nope"), None);
+    }
+}
