@@ -8,15 +8,27 @@
 //!   scratch per call (the pre-refactor API cost), serial with a
 //!   reused [`ConvScratch`], and the data-parallel batch
 //!   [`MiniRocket::transform`],
+//! * single-auth end-to-end latency — the unlock-screen number: one
+//!   enrolled user from the simulator, one attempt at a time through
+//!   [`P2Auth::authenticate`] (direct) and
+//!   [`P2Auth::authenticate_arena`] (fused hot path), with p50/p95
+//!   taken from `p2auth-obs` histograms,
 //!
 //! and writes the results to `BENCH_rocket.json` in the current
 //! directory (run from the repo root to place it there).
 //!
 //! Usage: `cargo run -p p2auth-bench --release --bin rocket_bench`
+//!
+//! With `P2AUTH_BENCH_GATE=1` the process exits nonzero when the fused
+//! arena path's mean single-auth latency is not at least
+//! `P2AUTH_MIN_SINGLE_AUTH_SPEEDUP` (default 1.0) times faster than the
+//! direct path — the CI regression gate for the hot-path refactor.
 
 use std::time::Instant;
 
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, SessionScratch};
 use p2auth_rocket::{ConvScratch, MiniRocket, MiniRocketConfig, MultiSeries};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -69,6 +81,52 @@ fn best_time(sink: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
     best
 }
 
+/// Authentication attempts timed per call in the single-auth lane.
+const AUTH_CALLS: usize = 60;
+/// Distinct attempt recordings cycled through (so the branch predictor
+/// cannot memorize one session).
+const AUTH_ATTEMPTS: usize = 6;
+
+/// Latency summary of one single-auth lane: histogram-bucketed p50/p95
+/// plus the exact mean (the gate ratio uses the mean — log2 bucket
+/// edges are too coarse to compare paths whose ratio is under 2x).
+struct AuthLane {
+    p50_us: f64,
+    p95_us: f64,
+    mean_us: f64,
+}
+
+/// Times `AUTH_CALLS` single authentications, one call at a time,
+/// recording each latency into the `p2auth-obs` histogram `hist_name`
+/// and returning the lane summary.
+fn time_auth_lane(
+    hist_name: &'static str,
+    attempts: &[p2auth_core::Recording],
+    sink: &mut f64,
+    mut auth: impl FnMut(&p2auth_core::Recording) -> f64,
+) -> AuthLane {
+    // Warm each attempt once: first-call work (obs site registration,
+    // scratch growth) must not pollute the steady-state numbers.
+    for a in attempts {
+        *sink += auth(a);
+    }
+    let hist = p2auth_obs::histogram!(hist_name);
+    let mut total_ns = 0_u64;
+    for i in 0..AUTH_CALLS {
+        let a = &attempts[i % attempts.len()];
+        let start = Instant::now();
+        *sink += auth(a);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        hist.record(ns);
+        total_ns += ns;
+    }
+    AuthLane {
+        p50_us: hist.quantile(0.50) as f64 / 1e3,
+        p95_us: hist.quantile(0.95) as f64 / 1e3,
+        mean_us: total_ns as f64 / AUTH_CALLS as f64 / 1e3,
+    }
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let train: Vec<MultiSeries> = (0..TRAIN_PER_KEY).map(|_| synth_series(&mut rng)).collect();
@@ -118,6 +176,54 @@ fn main() {
     let speedup_batch = serial_fresh_s / batch_s;
     let batch_series_per_s = BATCH as f64 / batch_s;
 
+    // Single-auth end-to-end latency: enroll one simulated user, then
+    // authenticate one attempt at a time — the unlock-screen unit of
+    // work — through the direct path and the fused arena path.
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 4,
+        seed: 271,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628").expect("valid PIN");
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, 10 + i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 3),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                50 + i,
+            )
+        })
+        .collect();
+    let profile = system
+        .enroll(&pin, &enroll, &third)
+        .expect("enroll simulated user");
+    let arena = system.arena(&profile);
+    let mut cx = SessionScratch::new();
+    let attempts: Vec<_> = (0..AUTH_ATTEMPTS as u64)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, 600 + i))
+        .collect();
+
+    let direct = time_auth_lane("bench.single_auth.direct", &attempts, &mut sink, |a| {
+        system
+            .authenticate(&profile, &pin, a)
+            .expect("direct auth")
+            .score
+    });
+    let fused = time_auth_lane("bench.single_auth.arena", &attempts, &mut sink, |a| {
+        system
+            .authenticate_arena(&arena, &mut cx, &pin, a)
+            .expect("arena auth")
+            .score
+    });
+    let single_auth_speedup = direct.mean_us / fused.mean_us;
+
     println!(
         "fit:                     {:>10.3} ms/key",
         fit_s_per_key * 1e3
@@ -134,6 +240,15 @@ fn main() {
         "transform batch:         {:>10.1} series/s  ({speedup_batch:.2}x)",
         batch_series_per_s
     );
+    println!(
+        "single auth direct:      {:>10.1} us mean  (p50 {:.1} us, p95 {:.1} us)",
+        direct.mean_us, direct.p50_us, direct.p95_us
+    );
+    println!(
+        "single auth arena:       {:>10.1} us mean  (p50 {:.1} us, p95 {:.1} us)  \
+         ({single_auth_speedup:.2}x)",
+        fused.mean_us, fused.p50_us, fused.p95_us
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"rocket\",\n  \"shape\": {{ \"window\": {WINDOW}, \"channels\": {CHANNELS}, \
@@ -144,14 +259,49 @@ fn main() {
          \"serial_reused_scratch_series_per_s\": {:.2},\n  \
          \"batch_series_per_s\": {:.2},\n  \
          \"speedup_reused_scratch_vs_fresh\": {:.4},\n  \
-         \"speedup_batch_vs_serial_fresh\": {:.4}\n}}\n",
+         \"speedup_batch_vs_serial_fresh\": {:.4},\n  \
+         \"single_auth\": {{\n    \
+         \"calls\": {AUTH_CALLS},\n    \
+         \"direct_mean_us\": {:.3},\n    \
+         \"direct_p50_us\": {:.3},\n    \
+         \"direct_p95_us\": {:.3},\n    \
+         \"arena_mean_us\": {:.3},\n    \
+         \"arena_p50_us\": {:.3},\n    \
+         \"arena_p95_us\": {:.3},\n    \
+         \"speedup_arena_vs_direct\": {:.4}\n  }}\n}}\n",
         fit_s_per_key * 1e3,
         BATCH as f64 / serial_fresh_s,
         BATCH as f64 / serial_scratch_s,
         batch_series_per_s,
         speedup_scratch,
         speedup_batch,
+        direct.mean_us,
+        direct.p50_us,
+        direct.p95_us,
+        fused.mean_us,
+        fused.p50_us,
+        fused.p95_us,
+        single_auth_speedup,
     );
     std::fs::write("BENCH_rocket.json", &json).expect("write BENCH_rocket.json");
     println!("wrote BENCH_rocket.json (checksum {sink:.6e})");
+
+    // CI regression gate: opt in with P2AUTH_BENCH_GATE=1; the floor on
+    // the arena-vs-direct mean latency ratio comes from
+    // P2AUTH_MIN_SINGLE_AUTH_SPEEDUP (default 1.0 — the fused path must
+    // never be slower than the path it replaced).
+    if std::env::var("P2AUTH_BENCH_GATE").as_deref() == Ok("1") {
+        let floor: f64 = std::env::var("P2AUTH_MIN_SINGLE_AUTH_SPEEDUP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        if single_auth_speedup < floor {
+            eprintln!(
+                "GATE FAIL: single-auth arena speedup {single_auth_speedup:.3}x \
+                 below floor {floor:.3}x"
+            );
+            std::process::exit(1);
+        }
+        println!("gate ok: single-auth arena speedup {single_auth_speedup:.3}x >= {floor:.3}x");
+    }
 }

@@ -1,0 +1,147 @@
+//! CI vectorization check for the MiniRocket hot path.
+//!
+//! Two assertions, both tunable by environment variable and both
+//! exiting nonzero on failure (the CI `vectorize` job builds with
+//! `-C target-cpu=native` and runs this binary):
+//!
+//! * **Throughput floor** — the chunked `3·S3 − S9` kernels plus the
+//!   branchless PPV scan must sustain at least
+//!   `P2AUTH_MIN_CONV_MELEMS` million PPV-scanned elements per second
+//!   (one element = one conv sample compared against one bias) on the
+//!   paper shape. A silent autovectorization regression (a bounds
+//!   check sneaking into the inner loop, a chunk width change) shows
+//!   up here as a large throughput drop.
+//! * **Fused speedup** — [`FusedScorer::score`] must not be slower
+//!   than materialize-then-dot by more than the floor
+//!   `P2AUTH_MIN_FUSED_SPEEDUP` (default 0.95): both routes reuse
+//!   scratch buffers, so they sit near parity — the fused path only
+//!   saves the feature-vector write-back. The floor catches the sweep
+//!   regressing badly (e.g. per-call allocation returning), while the
+//!   sub-1.0 slack absorbs run-to-run noise.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin vectorize_check`
+
+use std::time::Instant;
+
+use p2auth_ml::linalg::dot;
+use p2auth_rocket::{ConvScratch, FusedScorer, MiniRocket, MiniRocketConfig, MultiSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 0.9 s keystroke window at 100 Hz (paper operating point).
+const WINDOW: usize = 90;
+/// Green + infrared PPG channels.
+const CHANNELS: usize = 2;
+/// Feature budget used throughout the reproduction.
+const NUM_FEATURES: usize = 840;
+/// Series transformed per timing repetition.
+const CALLS: usize = 256;
+/// Timing repetitions; the best (minimum) time is reported.
+const REPS: usize = 5;
+
+fn synth_series(rng: &mut StdRng) -> MultiSeries {
+    let tau = std::f64::consts::TAU;
+    let channels: Vec<Vec<f64>> = (0..CHANNELS)
+        .map(|c| {
+            let phase: f64 = rng.gen_range(0.0..tau);
+            (0..WINDOW)
+                .map(|i| {
+                    let t = i as f64 / 100.0;
+                    (tau * 1.2 * t + phase).sin()
+                        + 0.25 * (tau * 7.0 * t + 1.3 * phase + c as f64).sin()
+                        + 0.05 * rng.gen_range(-1.0..1.0)
+                })
+                .collect()
+        })
+        .collect();
+    MultiSeries::new(channels).expect("synthetic series is well-formed")
+}
+
+/// Best-of-`REPS` wall time of `f` in seconds; `sink` defeats the
+/// optimizer.
+fn best_time(sink: &mut f64, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        *sink += f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn env_floor(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let train: Vec<MultiSeries> = (0..40).map(|_| synth_series(&mut rng)).collect();
+    let batch: Vec<MultiSeries> = (0..CALLS).map(|_| synth_series(&mut rng)).collect();
+    let cfg = MiniRocketConfig {
+        num_features: NUM_FEATURES,
+        ..MiniRocketConfig::default()
+    };
+    let rocket = MiniRocket::fit(&cfg, &train).expect("fit on synthetic training set");
+    let dim = rocket.num_output_features();
+    let weights: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let intercept = rng.gen_range(-0.5..0.5);
+    let scorer = FusedScorer::new(&rocket, &weights, intercept);
+
+    let mut sink = 0.0;
+    let mut scratch = ConvScratch::new(WINDOW);
+    let mut features = Vec::with_capacity(dim);
+
+    let materialized_s = best_time(&mut sink, || {
+        batch
+            .iter()
+            .map(|s| {
+                features.clear();
+                rocket.transform_into(s, &mut scratch, &mut features);
+                dot(&weights, &features) + intercept
+            })
+            .sum()
+    });
+    let fused_s = best_time(&mut sink, || {
+        batch.iter().map(|s| scorer.score(s, &mut scratch)).sum()
+    });
+
+    // One "element" is one conv sample compared against one bias: both
+    // paths scan `dim` convolution windows of `WINDOW` samples per
+    // series, so the metric is implementation-neutral.
+    let elems = (dim * WINDOW * CALLS) as f64;
+    let melems = elems / fused_s.min(materialized_s) / 1e6;
+    let speedup = materialized_s / fused_s;
+
+    println!(
+        "vectorize_check: window={WINDOW} channels={CHANNELS} features={dim} calls={CALLS} \
+         (checksum {sink:.6e})"
+    );
+    println!(
+        "materialize+dot: {:>10.1} series/s",
+        CALLS as f64 / materialized_s
+    );
+    println!(
+        "fused score:     {:>10.1} series/s  ({speedup:.2}x)",
+        CALLS as f64 / fused_s
+    );
+    println!("ppv throughput:  {melems:>10.1} Melem/s");
+
+    let min_melems = env_floor("P2AUTH_MIN_CONV_MELEMS", 25.0);
+    let min_speedup = env_floor("P2AUTH_MIN_FUSED_SPEEDUP", 0.95);
+    let mut failed = false;
+    if melems < min_melems {
+        eprintln!("FAIL: ppv throughput {melems:.1} Melem/s below floor {min_melems:.1}");
+        failed = true;
+    }
+    if speedup < min_speedup {
+        eprintln!("FAIL: fused speedup {speedup:.3}x below floor {min_speedup:.3}x");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("ok: throughput >= {min_melems:.1} Melem/s, fused speedup >= {min_speedup:.2}x");
+}

@@ -1,0 +1,105 @@
+//! Steady-state allocation audit of the single-auth hot path.
+//!
+//! The fused-scorer refactor promises that, once the scratch buffers
+//! have grown to the working shape, repeated scoring performs **zero**
+//! heap allocation in the rocket/ml layers — both through
+//! [`FusedScorer::score`] and through the materialized
+//! `transform_into` + dot route. This test installs the counting
+//! global allocator and pins that promise: any `Vec` sneaking back
+//! into the per-call path (the pre-refactor `transform_one` cost)
+//! fails the assertion.
+//!
+//! `harness = false`: libtest runs its bookkeeping (channels, progress
+//! output) concurrently with the test body, and those allocations land
+//! in the same process-wide counter — a bare `main` keeps the measured
+//! window quiet. CLI arguments (e.g. libtest's `--nocapture`) are
+//! accepted and ignored.
+
+use p2auth_bench::alloc::CountingAllocator;
+use p2auth_ml::linalg::dot;
+use p2auth_rocket::{ConvScratch, FusedScorer, MiniRocket, MiniRocketConfig, MultiSeries};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Deterministic PPG-like series without pulling in an RNG (keeps the
+/// measured region free of rand's internals).
+fn synth_series(len: usize, channels: usize, seed: u64) -> MultiSeries {
+    let tau = std::f64::consts::TAU;
+    let chans: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            let phase =
+                (seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / 1e6 + c as f64 * 0.7;
+            (0..len)
+                .map(|i| {
+                    let t = i as f64 / 100.0;
+                    (tau * 1.2 * t + phase).sin() + 0.25 * (tau * 7.0 * t + phase).sin()
+                })
+                .collect()
+        })
+        .collect();
+    MultiSeries::new(chans).expect("well-formed series")
+}
+
+fn main() {
+    const WINDOW: usize = 90;
+    const CHANNELS: usize = 2;
+    const CALLS: usize = 32;
+
+    let train: Vec<MultiSeries> = (0..24).map(|i| synth_series(WINDOW, CHANNELS, i)).collect();
+    let cfg = MiniRocketConfig {
+        num_features: 336,
+        ..MiniRocketConfig::default()
+    };
+    let rocket = MiniRocket::fit(&cfg, &train).expect("fit");
+    let dim = rocket.num_output_features();
+    let weights: Vec<f64> = (0..dim).map(|i| (i as f64).sin()).collect();
+    let scorer = FusedScorer::new(&rocket, &weights, 0.125);
+    let attempts: Vec<MultiSeries> = (0..4)
+        .map(|i| synth_series(WINDOW, CHANNELS, 100 + i))
+        .collect();
+
+    let mut scratch = ConvScratch::new(WINDOW);
+    let mut features: Vec<f64> = Vec::with_capacity(dim);
+    let mut sink = 0.0_f64;
+
+    // Warmup: grows the scratch to the working shape, initializes
+    // every obs metric site (OnceLock registration allocates once) and
+    // warms the stdout machinery used by the progress prints below.
+    for a in &attempts {
+        sink += scorer.score(a, &mut scratch);
+        features.clear();
+        rocket.transform_into(a, &mut scratch, &mut features);
+        sink += dot(&weights, &features);
+    }
+    println!("zero-alloc audit: warmup complete ({dim} features)");
+
+    // Fused path: transform-and-score with no feature vector.
+    let before = ALLOC.total_allocated();
+    for i in 0..CALLS {
+        sink += scorer.score(&attempts[i % attempts.len()], &mut scratch);
+    }
+    let fused_delta = ALLOC.total_allocated() - before;
+    println!("fused path: {fused_delta} bytes over {CALLS} calls");
+    assert_eq!(
+        fused_delta, 0,
+        "fused scoring allocated {fused_delta} bytes over {CALLS} steady-state calls"
+    );
+
+    // Materialized path: transform_into + dot into reused buffers.
+    let before = ALLOC.total_allocated();
+    for i in 0..CALLS {
+        features.clear();
+        rocket.transform_into(&attempts[i % attempts.len()], &mut scratch, &mut features);
+        sink += dot(&weights, &features);
+    }
+    let mat_delta = ALLOC.total_allocated() - before;
+    println!("materialized path: {mat_delta} bytes over {CALLS} calls");
+    assert_eq!(
+        mat_delta, 0,
+        "materialized transform+dot allocated {mat_delta} bytes over {CALLS} calls"
+    );
+
+    assert!(sink.is_finite(), "checksum must be finite: {sink}");
+    println!("zero-alloc audit: PASS");
+}

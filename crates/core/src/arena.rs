@@ -1,0 +1,341 @@
+//! Per-profile constant arena: precomputed fused scorers shared across
+//! authentication sessions.
+//!
+//! [`crate::UserProfile`] stores each model as a fitted transform plus
+//! a classifier; scoring through it materializes a feature vector and
+//! re-reads two separately allocated tables per decision.
+//! [`ProfileArena`] folds every enrolled model into a
+//! [`p2auth_rocket::FusedScorer`] once — bias quantiles, dilation
+//! tables and ridge/logistic weights compacted into per-feature
+//! `(bias, weight)` pairs — so steady-state authentication is
+//! transform-and-score with **no materialized feature vector and no
+//! heap allocation** (given a warm [`SessionScratch`]).
+//!
+//! The arena is immutable and self-contained: build it once per
+//! enrolled profile (e.g. at unlock-screen bring-up or fleet-server
+//! profile load) and share it across every session that authenticates
+//! against that user. [`ProfileArena::bytes`] reports the resident
+//! size; DESIGN.md §11 carries the memory-budget table showing ~1M
+//! operating-shape profiles fit in half a terabyte — a single large
+//! server — with the f32 lane halving the dominant table.
+//!
+//! Decisions are **bit-identical** to the [`crate::UserProfile`] path:
+//! the fused sweep reproduces `dot(w, φ(x)) + b` exactly in f64 (see
+//! `p2auth_rocket::FusedScorer`), and the logistic mapping applies the
+//! same `sigmoid(z) − 0.5` to an identical `z`.
+
+use crate::enroll::{KeyClassifier, UserProfile, WaveModel};
+use crate::error::AuthError;
+use crate::types::Pin;
+use p2auth_rocket::{ConvScratch, FusedScorer, MultiSeries};
+use std::collections::BTreeMap;
+
+/// Reusable per-session scratch for the authentication hot path: the
+/// convolution buffers plus a feature buffer for the materialized
+/// (non-arena) path. Create once per session (or per worker) and pass
+/// to every decision; after the first attempt at each model shape, no
+/// further heap allocation occurs in the rocket/ml layers.
+#[derive(Debug)]
+pub struct SessionScratch {
+    pub(crate) conv: ConvScratch,
+    /// Feature buffer for the materialized path; cleared (capacity
+    /// kept) before each transform.
+    pub(crate) features: Vec<f64>,
+}
+
+impl SessionScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            conv: ConvScratch::new(0),
+            features: Vec::new(),
+        }
+    }
+}
+
+impl Default for SessionScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// How a fused margin maps to the decision value the classifier
+/// produced on the materialized path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ScoreKind {
+    /// Ridge: the margin is the decision.
+    Linear,
+    /// Logistic: `sigmoid(margin) − 0.5`, matching
+    /// `LogisticClassifier::probability − 0.5`.
+    Logistic,
+}
+
+/// One enrolled model folded for fused scoring.
+#[derive(Debug, Clone)]
+pub(crate) struct FusedModel {
+    scorer: FusedScorer,
+    kind: ScoreKind,
+}
+
+impl FusedModel {
+    fn from_wave(model: &WaveModel) -> Self {
+        match &model.clf {
+            KeyClassifier::Ridge(c) => Self {
+                scorer: FusedScorer::new(&model.rocket, c.weights(), c.intercept()),
+                kind: ScoreKind::Linear,
+            },
+            KeyClassifier::Logistic(c) => Self {
+                scorer: FusedScorer::new(&model.rocket, c.weights(), c.intercept()),
+                kind: ScoreKind::Logistic,
+            },
+        }
+    }
+
+    /// Decision value for one (already z-normalized) series; positive
+    /// means "legitimate". Mirrors `WaveModel::decision` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError::ProfileMismatch`] when the series shape
+    /// does not match what the model was fitted on.
+    pub(crate) fn decision(
+        &self,
+        s: &MultiSeries,
+        conv: &mut ConvScratch,
+    ) -> Result<f64, AuthError> {
+        if s.len() != self.scorer.input_length() || s.num_channels() != self.scorer.num_channels() {
+            return Err(AuthError::ProfileMismatch {
+                detail: format!(
+                    "series shape {}×{} does not match model input {}×{} \
+                     (was the profile enrolled with a different config?)",
+                    s.num_channels(),
+                    s.len(),
+                    self.scorer.num_channels(),
+                    self.scorer.input_length(),
+                ),
+            });
+        }
+        let z = self.scorer.score(s, conv);
+        Ok(match self.kind {
+            ScoreKind::Linear => z,
+            ScoreKind::Logistic => 1.0 / (1.0 + (-z).exp()) - 0.5,
+        })
+    }
+
+    fn bytes(&self) -> usize {
+        self.scorer.arena_bytes()
+    }
+}
+
+/// A profile's constant tables folded for the fused single-auth hot
+/// path. Build with [`ProfileArena::build`] (or
+/// [`crate::P2Auth::arena`]), then authenticate with
+/// [`crate::auth::authenticate_arena`] /
+/// [`crate::P2Auth::authenticate_arena`].
+#[derive(Debug, Clone)]
+pub struct ProfileArena {
+    pub(crate) pin: Option<Pin>,
+    pub(crate) privacy_boost: bool,
+    pub(crate) sample_rate: f64,
+    pub(crate) num_channels: usize,
+    pub(crate) perfusion_range: Option<(f64, f64)>,
+    pub(crate) full: Option<FusedModel>,
+    pub(crate) boost: Option<FusedModel>,
+    pub(crate) per_key: BTreeMap<u8, FusedModel>,
+}
+
+impl ProfileArena {
+    /// Folds every enrolled model of `profile` into fused scorers.
+    #[must_use]
+    pub fn build(profile: &UserProfile) -> Self {
+        let _span = p2auth_obs::span!("core.arena.build");
+        p2auth_obs::counter!("core.arena.builds").incr();
+        let arena = Self {
+            pin: profile.pin.clone(),
+            privacy_boost: profile.privacy_boost,
+            sample_rate: profile.sample_rate,
+            num_channels: profile.num_channels,
+            perfusion_range: profile.perfusion_range,
+            full: profile.full.as_ref().map(FusedModel::from_wave),
+            boost: profile.boost.as_ref().map(FusedModel::from_wave),
+            per_key: profile
+                .per_key
+                .iter()
+                .map(|(&d, m)| (d, FusedModel::from_wave(m)))
+                .collect(),
+        };
+        p2auth_obs::gauge!("core.arena.bytes").set(arena.bytes() as f64);
+        arena
+    }
+
+    /// Number of folded models (full + boost + per-key).
+    #[must_use]
+    pub fn num_models(&self) -> usize {
+        usize::from(self.full.is_some()) + usize::from(self.boost.is_some()) + self.per_key.len()
+    }
+
+    /// Resident size of the arena's constant tables in bytes (heap +
+    /// inline). The memory-budget table in DESIGN.md §11 is derived
+    /// from this accounting.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.full.as_ref().map_or(0, FusedModel::bytes)
+            + self.boost.as_ref().map_or(0, FusedModel::bytes)
+            + self
+                .per_key
+                .values()
+                .map(|m| std::mem::size_of::<(u8, FusedModel)>() + m.bytes())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2auth_ml::logistic::{LogisticClassifier, LogisticConfig};
+    use p2auth_ml::ridge::{RidgeClassifier, RidgeCvConfig};
+    use p2auth_rocket::{MiniRocket, MiniRocketConfig};
+
+    fn sine_series(n: usize, freq: f64, channels: usize) -> MultiSeries {
+        let data: Vec<Vec<f64>> = (0..channels)
+            .map(|c| {
+                (0..n)
+                    .map(|i| ((i as f64 + c as f64 * 3.0) * freq).sin())
+                    .collect()
+            })
+            .collect();
+        MultiSeries::new(data).unwrap()
+    }
+
+    /// Trains a small but real WaveModel (fitted transform + fitted
+    /// classifier) on synthetic series.
+    fn trained_model(logistic: bool, seed: u64) -> (WaveModel, Vec<MultiSeries>) {
+        let positives: Vec<MultiSeries> = (0..4)
+            .map(|i| sine_series(90, 0.3 + 0.02 * i as f64, 2))
+            .collect();
+        let negatives: Vec<MultiSeries> = (0..4)
+            .map(|i| sine_series(90, 0.9 + 0.05 * i as f64, 2))
+            .collect();
+        let train: Vec<MultiSeries> = positives.iter().chain(&negatives).cloned().collect();
+        let cfg = MiniRocketConfig {
+            seed,
+            num_features: 168,
+            ..Default::default()
+        };
+        let rocket = MiniRocket::fit(&cfg, &train).unwrap();
+        let x = rocket.transform(&train);
+        let y: Vec<i8> = (0..8).map(|i| if i < 4 { 1 } else { -1 }).collect();
+        let clf = if logistic {
+            KeyClassifier::Logistic(
+                LogisticClassifier::fit_matrix(&LogisticConfig::default(), &x, &y).unwrap(),
+            )
+        } else {
+            KeyClassifier::Ridge(
+                RidgeClassifier::fit_matrix(&RidgeCvConfig::default(), &x, &y).unwrap(),
+            )
+        };
+        (WaveModel { rocket, clf }, train)
+    }
+
+    #[test]
+    fn arena_decisions_bit_identical_to_wave_models() {
+        // The fused arena path must reproduce the materialized
+        // WaveModel decision bit-for-bit, for both classifier kinds.
+        for (logistic, seed) in [(false, 7_u64), (true, 7), (false, 41), (true, 41)] {
+            let (model, probes) = trained_model(logistic, seed);
+            let mut profile = UserProfile {
+                pin: None,
+                privacy_boost: false,
+                sample_rate: 100.0,
+                num_channels: 2,
+                full: Some(model),
+                boost: None,
+                per_key: BTreeMap::new(),
+                perfusion_range: None,
+            };
+            let arena = ProfileArena::build(&profile);
+            let fused = arena.full.as_ref().unwrap();
+            let wave = profile.full.as_mut().unwrap();
+            let mut cx = SessionScratch::new();
+            for probe in &probes {
+                let direct = wave.decision_with(probe, &mut cx).unwrap();
+                let via_arena = fused.decision(probe, &mut cx.conv).unwrap();
+                assert_eq!(
+                    via_arena.to_bits(),
+                    direct.to_bits(),
+                    "logistic={logistic} seed={seed}: {via_arena} vs {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_shape_mismatch_is_an_error() {
+        let (model, _) = trained_model(false, 3);
+        let profile = UserProfile {
+            pin: None,
+            privacy_boost: false,
+            sample_rate: 100.0,
+            num_channels: 2,
+            full: Some(model),
+            boost: None,
+            per_key: BTreeMap::new(),
+            perfusion_range: None,
+        };
+        let arena = ProfileArena::build(&profile);
+        let mut cx = SessionScratch::new();
+        let wrong_shape = sine_series(40, 0.3, 2);
+        assert!(matches!(
+            arena
+                .full
+                .as_ref()
+                .unwrap()
+                .decision(&wrong_shape, &mut cx.conv),
+            Err(AuthError::ProfileMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arena_budget_fits_a_million_paper_profiles() {
+        // Operating shape: 840 features/model (the budget used
+        // throughout the reproduction), full + boost + 10 per-key
+        // models. The DESIGN.md §11 table states ~1M profiles in half
+        // a terabyte; assert the 512 KiB/profile line it uses.
+        let (model, _) = trained_model(false, 9);
+        let per_model = FusedModel::from_wave(&model).bytes();
+        // The test model has 168 features; scale to the operating 840
+        // and 12 models. Dominant term is 16 bytes/feature
+        // (one `(bias, weight)` pair).
+        let op_model = per_model + (840 - model.rocket.num_output_features()) * 16;
+        let op_profile = 12 * op_model;
+        assert!(
+            op_profile < 512 * 1024,
+            "per-profile arena {op_profile} bytes exceeds the 512 KiB budget line"
+        );
+    }
+
+    #[test]
+    fn empty_profile_arena_has_no_models() {
+        let profile = UserProfile {
+            pin: None,
+            privacy_boost: false,
+            sample_rate: 100.0,
+            num_channels: 1,
+            full: None,
+            boost: None,
+            per_key: BTreeMap::new(),
+            perfusion_range: None,
+        };
+        let arena = ProfileArena::build(&profile);
+        assert_eq!(arena.num_models(), 0);
+        assert!(arena.bytes() >= std::mem::size_of::<ProfileArena>());
+    }
+
+    #[test]
+    fn session_scratch_default_is_empty() {
+        let cx = SessionScratch::default();
+        assert!(cx.features.is_empty());
+    }
+}

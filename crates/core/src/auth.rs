@@ -1,11 +1,98 @@
 //! Authentication phase (paper §IV-B 3): PIN verification, input-case
 //! dispatch, per-keystroke classification and results integration.
 
+use crate::arena::{ProfileArena, SessionScratch};
 use crate::config::{DegradedFallback, P2AuthConfig, PinPolicy};
 use crate::enroll::{extract_for_auth, UserProfile};
 use crate::error::AuthError;
 use crate::preprocess::{self, InputCase};
 use crate::types::{Pin, Recording};
+use p2auth_rocket::MultiSeries;
+
+/// The two interchangeable profile representations the decision logic
+/// can score against: the stored [`UserProfile`] (materialized
+/// transform-then-dot) or its folded [`ProfileArena`] (fused
+/// transform-and-score). Decisions are bit-identical between the two
+/// (pinned by `arena_decisions_bit_identical`).
+#[derive(Clone, Copy)]
+enum ProfileRef<'a> {
+    Direct(&'a UserProfile),
+    Arena(&'a ProfileArena),
+}
+
+impl ProfileRef<'_> {
+    fn num_channels(&self) -> usize {
+        match self {
+            Self::Direct(p) => p.num_channels,
+            Self::Arena(a) => a.num_channels,
+        }
+    }
+
+    fn sample_rate(&self) -> f64 {
+        match self {
+            Self::Direct(p) => p.sample_rate,
+            Self::Arena(a) => a.sample_rate,
+        }
+    }
+
+    fn pin(&self) -> Option<&Pin> {
+        match self {
+            Self::Direct(p) => p.pin.as_ref(),
+            Self::Arena(a) => a.pin.as_ref(),
+        }
+    }
+
+    fn privacy_boost(&self) -> bool {
+        match self {
+            Self::Direct(p) => p.privacy_boost,
+            Self::Arena(a) => a.privacy_boost,
+        }
+    }
+
+    fn perfusion_range(&self) -> Option<(f64, f64)> {
+        match self {
+            Self::Direct(p) => p.perfusion_range,
+            Self::Arena(a) => a.perfusion_range,
+        }
+    }
+
+    /// Privacy-boost model decision, if a boost model is enrolled.
+    fn boost_decision(
+        &self,
+        s: &MultiSeries,
+        cx: &mut SessionScratch,
+    ) -> Option<Result<f64, AuthError>> {
+        match self {
+            Self::Direct(p) => p.boost.as_ref().map(|m| m.decision_with(s, cx)),
+            Self::Arena(a) => a.boost.as_ref().map(|m| m.decision(s, &mut cx.conv)),
+        }
+    }
+
+    /// Full-waveform model decision, if a full model is enrolled.
+    fn full_decision(
+        &self,
+        s: &MultiSeries,
+        cx: &mut SessionScratch,
+    ) -> Option<Result<f64, AuthError>> {
+        match self {
+            Self::Direct(p) => p.full.as_ref().map(|m| m.decision_with(s, cx)),
+            Self::Arena(a) => a.full.as_ref().map(|m| m.decision(s, &mut cx.conv)),
+        }
+    }
+
+    /// Per-key single-waveform model decision, if one exists for `digit`.
+    fn key_decision(
+        &self,
+        digit: u8,
+        s: &MultiSeries,
+        cx: &mut SessionScratch,
+    ) -> Option<Result<f64, AuthError>> {
+        match self {
+            Self::Direct(p) => p.per_key.get(&digit).map(|m| m.decision_with(s, cx)),
+            Self::Arena(a) => a.per_key.get(&digit).map(|m| m.decision(s, &mut cx.conv)),
+        }
+    }
+}
 
 /// Why an attempt was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,39 +210,75 @@ pub fn authenticate(
     claimed_pin: Option<&Pin>,
     attempt: &Recording,
 ) -> Result<AuthDecision, AuthError> {
+    let mut cx = SessionScratch::new();
+    authenticate_impl(
+        config,
+        ProfileRef::Direct(profile),
+        claimed_pin,
+        attempt,
+        &mut cx,
+    )
+}
+
+/// [`authenticate`] against a prebuilt [`ProfileArena`], reusing the
+/// caller's [`SessionScratch`]: the fused single-auth hot path. The
+/// decision is bit-identical to [`authenticate`] on the profile the
+/// arena was built from; steady state performs no heap allocation in
+/// the rocket/ml layers.
+///
+/// # Errors
+///
+/// Same conditions as [`authenticate`].
+pub fn authenticate_arena(
+    config: &P2AuthConfig,
+    arena: &ProfileArena,
+    cx: &mut SessionScratch,
+    claimed_pin: Option<&Pin>,
+    attempt: &Recording,
+) -> Result<AuthDecision, AuthError> {
+    authenticate_impl(config, ProfileRef::Arena(arena), claimed_pin, attempt, cx)
+}
+
+fn authenticate_impl(
+    config: &P2AuthConfig,
+    profile: ProfileRef<'_>,
+    claimed_pin: Option<&Pin>,
+    attempt: &Recording,
+    cx: &mut SessionScratch,
+) -> Result<AuthDecision, AuthError> {
     let _span = p2auth_obs::span!("core.auth");
     p2auth_obs::counter!("core.auth.attempts").incr();
     attempt.validate().map_err(|detail| {
         p2auth_obs::event!("core.auth", "invalid_recording");
         AuthError::InvalidRecording { detail }
     })?;
-    if attempt.num_channels() != profile.num_channels {
+    if attempt.num_channels() != profile.num_channels() {
         p2auth_obs::event!(
             "core.auth",
             "profile_mismatch",
             attempt_channels = attempt.num_channels(),
-            profile_channels = profile.num_channels,
+            profile_channels = profile.num_channels(),
         );
         return Err(AuthError::ProfileMismatch {
             detail: format!(
                 "attempt has {} channels, profile trained with {}",
                 attempt.num_channels(),
-                profile.num_channels
+                profile.num_channels()
             ),
         });
     }
     // Bring the attempt to the profile's rate if needed (the models are
     // rate-specific).
     let resampled;
-    let attempt = if (attempt.sample_rate - profile.sample_rate).abs() > 1e-9 {
-        resampled = attempt.resample(profile.sample_rate);
+    let attempt = if (attempt.sample_rate - profile.sample_rate()).abs() > 1e-9 {
+        resampled = attempt.resample(profile.sample_rate());
         &resampled
     } else {
         attempt
     };
 
     // ---- Factor 1: PIN verification --------------------------------
-    let no_pin_flow = match (claimed_pin, profile.pin.as_ref()) {
+    let no_pin_flow = match (claimed_pin, profile.pin()) {
         (Some(claimed), Some(stored)) => {
             if claimed != stored || &attempt.pin_entered != stored {
                 return Ok(finish(AuthDecision::reject(
@@ -184,7 +307,7 @@ pub fn authenticate(
     let pre = preprocess::preprocess(config, attempt)?;
     let case = pre.case.case;
     let extracted = extract_for_auth(config, attempt, &pre)?;
-    let quals = crate::quality::score_all(&extracted.seg_stats, profile.perfusion_range);
+    let quals = crate::quality::score_all(&extracted.seg_stats, profile.perfusion_range());
     for q in &quals {
         p2auth_obs::histogram!("core.quality.sqi_milli").record((q.sqi * 1000.0) as u64);
     }
@@ -204,6 +327,7 @@ pub fn authenticate(
             attempt,
             &extracted,
             &quals,
+            cx,
         )
         .map(finish);
     }
@@ -211,15 +335,17 @@ pub fn authenticate(
     match case {
         InputCase::OneHanded if quality_clean => {
             // Privacy boost replaces the full waveform when enabled.
-            if profile.privacy_boost {
-                if let (Some(model), Some(fused)) = (&profile.boost, &extracted.fused) {
-                    let score = model.decision(fused)?;
-                    return Ok(finish(full_decision(case, score)));
+            if profile.privacy_boost() {
+                if let Some(fused) = &extracted.fused {
+                    if let Some(score) = profile.boost_decision(fused, cx) {
+                        return Ok(finish(full_decision(case, score?)));
+                    }
                 }
             }
-            if let (Some(model), Some(full)) = (&profile.full, &extracted.full) {
-                let score = model.decision(full)?;
-                return Ok(finish(full_decision(case, score)));
+            if let Some(full) = &extracted.full {
+                if let Some(score) = profile.full_decision(full, cx) {
+                    return Ok(finish(full_decision(case, score?)));
+                }
             }
             // No full model (e.g. user enrolled two-handed only): fall
             // back to per-keystroke majority.
@@ -231,6 +357,7 @@ pub fn authenticate(
                 attempt,
                 &extracted,
                 &quals,
+                cx,
             )
             .map(finish)
         }
@@ -246,6 +373,7 @@ pub fn authenticate(
                 attempt,
                 &extracted,
                 &quals,
+                cx,
             )
             .map(finish)
         }
@@ -278,6 +406,32 @@ pub fn authenticate_degraded(
     claimed_pin: Option<&Pin>,
     attempt: &Recording,
 ) -> Result<AuthDecision, AuthError> {
+    degraded_impl(config, profile.pin.as_ref(), claimed_pin, attempt)
+}
+
+/// [`authenticate_degraded`] against a prebuilt [`ProfileArena`]. The
+/// degraded path never touches the biometric models, so this only
+/// reads the arena's stored PIN; behavior is identical to the profile
+/// variant.
+///
+/// # Errors
+///
+/// Same conditions as [`authenticate_degraded`].
+pub fn authenticate_degraded_arena(
+    config: &P2AuthConfig,
+    arena: &ProfileArena,
+    claimed_pin: Option<&Pin>,
+    attempt: &Recording,
+) -> Result<AuthDecision, AuthError> {
+    degraded_impl(config, arena.pin.as_ref(), claimed_pin, attempt)
+}
+
+fn degraded_impl(
+    config: &P2AuthConfig,
+    stored_pin: Option<&Pin>,
+    claimed_pin: Option<&Pin>,
+    attempt: &Recording,
+) -> Result<AuthDecision, AuthError> {
     let _span = p2auth_obs::span!("core.auth");
     p2auth_obs::counter!("core.auth.degraded_sessions").incr();
     attempt.validate().map_err(|detail| {
@@ -290,7 +444,7 @@ pub fn authenticate_degraded(
             RejectReason::DegradedChannel,
         ))),
         DegradedFallback::PinOnly => {
-            let (claimed, stored) = match (claimed_pin, profile.pin.as_ref()) {
+            let (claimed, stored) = match (claimed_pin, stored_pin) {
                 (Some(c), Some(s)) => (c, s),
                 (None, _) => {
                     p2auth_obs::event!("core.auth", "degraded_unavailable", missing = "claimed");
@@ -353,12 +507,13 @@ fn full_decision(case: InputCase, score: f64) -> AuthDecision {
 #[allow(clippy::too_many_arguments)]
 fn per_keystroke_decision(
     config: &P2AuthConfig,
-    profile: &UserProfile,
+    profile: ProfileRef<'_>,
     case: InputCase,
     present: &[bool],
     attempt: &Recording,
     extracted: &crate::enroll::ExtractedWaveforms,
     quals: &[crate::quality::SegmentQuality],
+    cx: &mut SessionScratch,
 ) -> Result<AuthDecision, AuthError> {
     let digits = attempt.pin_entered.digits();
     let mut votes = Vec::new();
@@ -387,9 +542,9 @@ fn per_keystroke_decision(
             continue;
         }
         let weight = if config.sqi_gating { qual.sqi } else { 1.0 };
-        let (passed, score) = match profile.per_key.get(digit) {
-            Some(model) => {
-                let s = model.decision(series)?;
+        let (passed, score) = match profile.key_decision(*digit, series, cx) {
+            Some(result) => {
+                let s = result?;
                 (s > 0.0, s)
             }
             None => (false, f64::NEG_INFINITY),
@@ -632,6 +787,35 @@ mod tests {
             authenticate_degraded(&cfg, &profile, None, &attempt),
             Err(AuthError::DegradedUnavailable { .. })
         ));
+    }
+
+    #[test]
+    fn arena_path_matches_direct_path_end_to_end() {
+        // The arena plumbing (PIN factor, channel checks, per-keystroke
+        // dispatch) must agree with the direct path decision-for-
+        // decision, including on model-less profiles.
+        let cfg = P2AuthConfig::fast();
+        let pin = Pin::new("1628").expect("valid");
+        let profile = stub_profile(Some(pin.clone()));
+        let arena = crate::arena::ProfileArena::build(&profile);
+        let mut cx = crate::arena::SessionScratch::new();
+        let wrong = Pin::new("9999").expect("valid");
+        for (claimed, attempt) in [
+            (Some(&pin), burst_recording("1628")),
+            (Some(&wrong), burst_recording("9999")),
+            (None, burst_recording("1628")),
+        ] {
+            let direct = authenticate(&cfg, &profile, claimed, &attempt).expect("runs");
+            let via_arena =
+                authenticate_arena(&cfg, &arena, &mut cx, claimed, &attempt).expect("runs");
+            assert_eq!(direct, via_arena);
+        }
+        // Degraded path parity.
+        let attempt = burst_recording("1628");
+        let direct = authenticate_degraded(&cfg, &profile, Some(&pin), &attempt).expect("runs");
+        let via_arena =
+            authenticate_degraded_arena(&cfg, &arena, Some(&pin), &attempt).expect("runs");
+        assert_eq!(direct, via_arena);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub(crate) struct WaveModel {
 
 impl WaveModel {
     /// Decision value for one (already z-normalized) series; positive
-    /// means "legitimate".
+    /// means "legitimate". Reuses the session scratch — the conv
+    /// buffers and the feature vector — so steady-state calls perform
+    /// no heap allocation in the rocket/ml layers.
     ///
     /// # Errors
     ///
@@ -40,7 +42,11 @@ impl WaveModel {
     /// authenticates with a different segmentation configuration than
     /// the profile was enrolled with. (The underlying transform would
     /// otherwise panic on the length assertion.)
-    pub(crate) fn decision(&self, s: &MultiSeries) -> Result<f64, AuthError> {
+    pub(crate) fn decision_with(
+        &self,
+        s: &MultiSeries,
+        cx: &mut crate::arena::SessionScratch,
+    ) -> Result<f64, AuthError> {
         if s.len() != self.rocket.input_length() || s.num_channels() != self.rocket.num_channels() {
             return Err(AuthError::ProfileMismatch {
                 detail: format!(
@@ -53,8 +59,14 @@ impl WaveModel {
                 ),
             });
         }
-        let f = self.rocket.transform_one(s);
-        Ok(self.clf.decision(&f))
+        // Span and counter sit here (not in `transform_into`) so the
+        // trace structure matches the historical `transform_one` path.
+        let _span = p2auth_obs::span!("rocket.transform");
+        p2auth_obs::counter!("rocket.transform.series").incr();
+        cx.features.clear();
+        self.rocket
+            .transform_into(s, &mut cx.conv, &mut cx.features);
+        Ok(self.clf.decision(&cx.features))
     }
 }
 

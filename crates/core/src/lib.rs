@@ -34,6 +34,7 @@
 // "Numerical correctness & oracles").
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod arena;
 pub mod auth;
 pub mod config;
 pub mod enroll;
@@ -43,6 +44,7 @@ pub mod preprocess;
 pub mod quality;
 pub mod types;
 
+pub use arena::{ProfileArena, SessionScratch};
 pub use auth::{AuthDecision, KeystrokeVote, RejectReason};
 pub use config::{DegradedFallback, P2AuthConfig, PinPolicy, SingleModelKind};
 pub use enroll::UserProfile;
@@ -128,6 +130,65 @@ impl P2Auth {
         auth::authenticate(&self.config, profile, Some(claimed_pin), attempt)
     }
 
+    /// Folds a profile's enrolled models into a [`ProfileArena`] for
+    /// the fused single-auth hot path. Build once per profile (e.g. at
+    /// unlock-screen bring-up or server-side profile load) and share
+    /// across sessions; decisions through
+    /// [`P2Auth::authenticate_arena`] are bit-identical to
+    /// [`P2Auth::authenticate`].
+    pub fn arena(&self, profile: &UserProfile) -> ProfileArena {
+        ProfileArena::build(profile)
+    }
+
+    /// Authenticates one attempt against a prebuilt [`ProfileArena`],
+    /// reusing the caller's [`SessionScratch`]: transform-and-score
+    /// with no materialized feature vector and (steady-state) no heap
+    /// allocation in the rocket/ml layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if the recording is malformed.
+    pub fn authenticate_arena(
+        &self,
+        arena: &ProfileArena,
+        scratch: &mut SessionScratch,
+        claimed_pin: &PinT,
+        attempt: &Rec,
+    ) -> Result<AuthDecision, AuthError> {
+        auth::authenticate_arena(&self.config, arena, scratch, Some(claimed_pin), attempt)
+    }
+
+    /// [`P2Auth::authenticate_no_pin`] against a prebuilt
+    /// [`ProfileArena`] (bit-identical decisions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AuthError`] if the recording is malformed.
+    pub fn authenticate_arena_no_pin(
+        &self,
+        arena: &ProfileArena,
+        scratch: &mut SessionScratch,
+        attempt: &Rec,
+    ) -> Result<AuthDecision, AuthError> {
+        auth::authenticate_arena(&self.config, arena, scratch, None, attempt)
+    }
+
+    /// [`P2Auth::authenticate_degraded`] against a prebuilt
+    /// [`ProfileArena`]: the degraded fallback only consults the
+    /// enrolled PIN, which the arena carries.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`P2Auth::authenticate_degraded`].
+    pub fn authenticate_degraded_arena(
+        &self,
+        arena: &ProfileArena,
+        claimed_pin: Option<&PinT>,
+        attempt: &Rec,
+    ) -> Result<AuthDecision, AuthError> {
+        auth::authenticate_degraded_arena(&self.config, arena, claimed_pin, attempt)
+    }
+
     /// Authenticates a session whose PPG stream was too degraded for
     /// the biometric factor; the configured
     /// [`config::DegradedFallback`] policy decides (reject outright,
@@ -161,6 +222,21 @@ impl P2Auth {
         attempt: &Rec,
     ) -> Result<AttemptQuality, AuthError> {
         quality::assess_attempt(&self.config, profile, attempt)
+    }
+
+    /// [`P2Auth::assess_quality`] against a prebuilt [`ProfileArena`];
+    /// the verdict is identical to assessing against the source
+    /// profile.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`P2Auth::assess_quality`].
+    pub fn assess_quality_arena(
+        &self,
+        arena: &ProfileArena,
+        attempt: &Rec,
+    ) -> Result<AttemptQuality, AuthError> {
+        quality::assess_attempt_arena(&self.config, arena, attempt)
     }
 
     /// Authenticates without a fixed PIN (paper §IV-B 2.6: "the NO-PIN

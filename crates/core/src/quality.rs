@@ -346,19 +346,48 @@ pub fn assess_attempt(
     profile: &UserProfile,
     attempt: &Recording,
 ) -> Result<AttemptQuality, AuthError> {
+    assess_impl(
+        config,
+        profile.sample_rate(),
+        profile.perfusion_range(),
+        attempt,
+    )
+}
+
+/// [`assess_attempt`] against a prebuilt [`crate::ProfileArena`]: the
+/// arena carries the enrolled sample rate and perfusion range, so the
+/// verdict is identical to assessing against the source profile.
+///
+/// # Errors
+///
+/// Same conditions as [`assess_attempt`].
+pub fn assess_attempt_arena(
+    config: &P2AuthConfig,
+    arena: &crate::ProfileArena,
+    attempt: &Recording,
+) -> Result<AttemptQuality, AuthError> {
+    assess_impl(config, arena.sample_rate, arena.perfusion_range, attempt)
+}
+
+fn assess_impl(
+    config: &P2AuthConfig,
+    sample_rate: f64,
+    perfusion_range: Option<(f64, f64)>,
+    attempt: &Recording,
+) -> Result<AttemptQuality, AuthError> {
     attempt
         .validate()
         .map_err(|detail| AuthError::InvalidRecording { detail })?;
     let resampled;
-    let attempt = if (attempt.sample_rate - profile.sample_rate()).abs() > 1e-9 {
-        resampled = attempt.resample(profile.sample_rate());
+    let attempt = if (attempt.sample_rate - sample_rate).abs() > 1e-9 {
+        resampled = attempt.resample(sample_rate);
         &resampled
     } else {
         attempt
     };
     let pre = preprocess::preprocess(config, attempt)?;
     let extracted = extract_for_auth(config, attempt, &pre)?;
-    let quals = score_all(&extracted.seg_stats, profile.perfusion_range());
+    let quals = score_all(&extracted.seg_stats, perfusion_range);
     let digits = attempt.pin_entered.digits();
     let mut per_keystroke = Vec::with_capacity(pre.case.present.len());
     let mut qual_iter = quals.iter();

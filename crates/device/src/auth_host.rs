@@ -6,7 +6,10 @@
 
 use crate::frame::{resync_offset, Frame};
 use crate::host::{AssembleError, HostAssembler, LinkQuality};
-use p2auth_core::{AuthDecision, AuthError, P2Auth, Pin, Recording, UserProfile};
+use p2auth_core::{
+    AttemptQuality, AuthDecision, AuthError, P2Auth, Pin, ProfileArena, Recording, SessionScratch,
+    UserProfile,
+};
 
 /// Error from the authenticating host.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +104,54 @@ pub fn decide_session(
     recording: &Recording,
     quality: LinkQuality,
 ) -> SessionOutcome {
+    decide_session_impl(
+        system,
+        quality,
+        || match claimed_pin {
+            Some(pin) => system.authenticate(profile, pin, recording),
+            None => system.authenticate_no_pin(profile, recording),
+        },
+        || system.assess_quality(profile, recording),
+        || system.authenticate_degraded(profile, claimed_pin, recording),
+    )
+}
+
+/// [`decide_session`] against a prebuilt [`ProfileArena`]: the same
+/// coverage-gated policy (identical counters, events and precedence
+/// rules) routed through the fused transform-and-score hot path.
+/// Decisions are bit-identical to [`decide_session`] on the source
+/// profile; the caller's [`SessionScratch`] is reused across sessions
+/// so the steady state allocates nothing in the rocket/ml layers.
+pub fn decide_session_arena(
+    system: &P2Auth,
+    arena: &ProfileArena,
+    scratch: &mut SessionScratch,
+    claimed_pin: Option<&Pin>,
+    recording: &Recording,
+    quality: LinkQuality,
+) -> SessionOutcome {
+    decide_session_impl(
+        system,
+        quality,
+        || match claimed_pin {
+            Some(pin) => system.authenticate_arena(arena, scratch, pin, recording),
+            None => system.authenticate_arena_no_pin(arena, scratch, recording),
+        },
+        || system.assess_quality_arena(arena, recording),
+        || system.authenticate_degraded_arena(arena, claimed_pin, recording),
+    )
+}
+
+/// Shared body of [`decide_session`] / [`decide_session_arena`]: the
+/// policy is written once, so the arena path cannot drift from the
+/// direct path in gating, precedence, or telemetry.
+fn decide_session_impl(
+    system: &P2Auth,
+    quality: LinkQuality,
+    authenticate: impl FnOnce() -> Result<AuthDecision, AuthError>,
+    assess: impl FnOnce() -> Result<AttemptQuality, AuthError>,
+    degraded: impl FnOnce() -> Result<AuthDecision, AuthError>,
+) -> SessionOutcome {
     let abort = |e: String| {
         p2auth_obs::counter!("device.session.aborts").incr();
         p2auth_obs::event!(
@@ -117,11 +168,7 @@ pub fn decide_session(
         }
     };
     if quality.coverage >= system.config().min_ppg_coverage {
-        let decision = match claimed_pin {
-            Some(pin) => system.authenticate(profile, pin, recording),
-            None => system.authenticate_no_pin(profile, recording),
-        };
-        match decision {
+        match authenticate() {
             Ok(d) => SessionOutcome::Decision(d),
             Err(e) => abort(e.to_string()),
         }
@@ -144,7 +191,7 @@ pub fn decide_session(
         // the quality verdict instead.
         let cfg = system.config();
         if cfg.sqi_gating {
-            if let Ok(q) = system.assess_quality(profile, recording) {
+            if let Ok(q) = assess() {
                 if q.detected >= cfg.sqi_min_keystrokes && q.usable < cfg.sqi_min_keystrokes {
                     p2auth_obs::counter!("device.session.degraded_poor_signal").incr();
                     p2auth_obs::event!(
@@ -169,7 +216,7 @@ pub fn decide_session(
                 }
             }
         }
-        match system.authenticate_degraded(profile, claimed_pin, recording) {
+        match degraded() {
             Ok(d) => SessionOutcome::Degraded {
                 decision: d,
                 coverage: quality.coverage,
@@ -189,8 +236,14 @@ pub fn decide_session(
 #[derive(Debug)]
 pub struct AuthenticatingHost {
     system: P2Auth,
-    profile: UserProfile,
     claimed_pin: Option<Pin>,
+    /// The profile's models folded into the fused-scorer constant
+    /// tables once at construction; every session decision routes
+    /// through it (bit-identical to deciding on the profile directly).
+    arena: ProfileArena,
+    /// Conv/score workspace reused across sessions, so steady-state
+    /// decisions allocate nothing in the rocket/ml layers.
+    scratch: SessionScratch,
     assembler: HostAssembler,
     stream_buf: Vec<u8>,
     sessions_completed: usize,
@@ -198,12 +251,15 @@ pub struct AuthenticatingHost {
 
 impl AuthenticatingHost {
     /// Creates a host for `profile`. `claimed_pin` of `None` selects
-    /// the no-PIN flow.
+    /// the no-PIN flow. The profile is folded into a [`ProfileArena`]
+    /// here; the host keeps only the arena.
     pub fn new(system: P2Auth, profile: UserProfile, claimed_pin: Option<Pin>) -> Self {
+        let arena = system.arena(&profile);
         Self {
             system,
-            profile,
             claimed_pin,
+            arena,
+            scratch: SessionScratch::new(),
             assembler: HostAssembler::new(),
             stream_buf: Vec::new(),
             sessions_completed: 0,
@@ -236,9 +292,10 @@ impl AuthenticatingHost {
                         match result {
                             Ok((recording, quality)) => {
                                 self.sessions_completed += 1;
-                                outcomes.push(decide_session(
+                                outcomes.push(decide_session_arena(
                                     &self.system,
-                                    &self.profile,
+                                    &self.arena,
+                                    &mut self.scratch,
                                     self.claimed_pin.as_ref(),
                                     &recording,
                                     quality,
@@ -309,8 +366,17 @@ impl AuthenticatingHost {
                 self.assembler = HostAssembler::new();
                 self.sessions_completed += 1;
                 let decision = match &self.claimed_pin {
-                    Some(pin) => self.system.authenticate(&self.profile, pin, &recording)?,
-                    None => self.system.authenticate_no_pin(&self.profile, &recording)?,
+                    Some(pin) => self.system.authenticate_arena(
+                        &self.arena,
+                        &mut self.scratch,
+                        pin,
+                        &recording,
+                    )?,
+                    None => self.system.authenticate_arena_no_pin(
+                        &self.arena,
+                        &mut self.scratch,
+                        &recording,
+                    )?,
                 };
                 Ok(Some(decision))
             }
@@ -555,6 +621,43 @@ mod tests {
         let outcomes2 = host2.feed_stream(&wire);
         assert_eq!(outcomes2.len(), 1);
         assert!(!outcomes2[0].accepted(), "wrong claimed PIN rejected");
+    }
+
+    /// The arena session path is the deployed hot path; it must agree
+    /// with the direct path bit-for-bit across the policy's branches:
+    /// full coverage (normal two-factor), lossy link (PIN-only
+    /// fallback), and a wrong claimed PIN.
+    #[test]
+    fn arena_session_path_matches_direct_path() {
+        let (pop, pin, session, system, profile) = light_setup();
+        let arena = system.arena(&profile);
+        let mut scratch = SessionScratch::new();
+        let legit = pop.record_entry(0, &pin, HandMode::OneHanded, &session, 995);
+        let wrong = Pin::new("9999").unwrap();
+        let full = LinkQuality {
+            coverage: 1.0,
+            expected_blocks: 20,
+            received_blocks: 20,
+            gap_blocks: 0,
+        };
+        let lossy = LinkQuality {
+            coverage: 0.5,
+            expected_blocks: 20,
+            received_blocks: 10,
+            gap_blocks: 10,
+        };
+        for (claimed, quality) in [
+            (Some(&pin), full),
+            (Some(&wrong), full),
+            (None, full),
+            (Some(&pin), lossy),
+            (Some(&wrong), lossy),
+        ] {
+            let direct = decide_session(&system, &profile, claimed, &legit, quality);
+            let fused =
+                decide_session_arena(&system, &arena, &mut scratch, claimed, &legit, quality);
+            assert_eq!(fused, direct, "claimed={claimed:?} quality={quality:?}");
+        }
     }
 
     /// Precedence regression: a session that is link-degraded AND

@@ -43,7 +43,7 @@ pub mod link;
 pub mod reliable;
 pub mod supervisor;
 
-pub use auth_host::{decide_session, AuthenticatingHost, SessionOutcome};
+pub use auth_host::{decide_session, decide_session_arena, AuthenticatingHost, SessionOutcome};
 pub use device::WearableDevice;
 pub use frame::{resync_offset, Frame, FrameError};
 pub use host::{HostAssembler, LinkQuality};

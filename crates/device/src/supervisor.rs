@@ -31,7 +31,7 @@
 //! attempts from a closure and routes them through
 //! [`decide_session`](crate::auth_host::decide_session).
 
-use crate::auth_host::{decide_session, SessionOutcome};
+use crate::auth_host::SessionOutcome;
 use crate::host::LinkQuality;
 use p2auth_core::{P2Auth, Pin, Recording, RejectReason, UserProfile};
 
@@ -386,10 +386,17 @@ impl SupervisedOutcome {
 /// driver advances the clock past the collection deadline and the
 /// session aborts instead of hanging.
 ///
-/// Assessment uses [`P2Auth::assess_quality`]; with SQI gating
+/// Assessment uses [`P2Auth::assess_quality_arena`]; with SQI gating
 /// disabled in the core config every detected keystroke counts as
 /// usable, so the supervisor never re-prompts on quality grounds and
-/// the flow reduces to plain [`decide_session`].
+/// the flow reduces to plain [`crate::decide_session_arena`].
+///
+/// The profile is folded into a [`p2auth_core::ProfileArena`] once at
+/// session start and every attempt is decided through the fused
+/// transform-and-score hot path with a reused
+/// [`p2auth_core::SessionScratch`] — bit-identical to deciding on the
+/// profile directly, so the chaos and fault-matrix suites pin the
+/// fused path too.
 pub fn run_supervised<F>(
     system: &P2Auth,
     profile: &UserProfile,
@@ -401,6 +408,8 @@ where
     F: FnMut(u32) -> Option<(Recording, LinkQuality)>,
 {
     let _span = p2auth_obs::span!("device.supervisor");
+    let arena = system.arena(profile);
+    let mut scratch = p2auth_core::SessionScratch::new();
     let mut sup = SessionSupervisor::new(*config);
     let mut now = 0.0_f64;
     let mut last_outcome: Option<SessionOutcome> = None;
@@ -424,7 +433,7 @@ where
                 now += 2.0;
                 sup.step(SupervisorEvent::CollectionComplete, now);
                 now += 0.5;
-                let assess_event = match system.assess_quality(profile, &recording) {
+                let assess_event = match system.assess_quality_arena(&arena, &recording) {
                     Ok(q) => {
                         let usable = if system.config().sqi_gating {
                             q.usable
@@ -442,7 +451,14 @@ where
                 sup.step(assess_event, now);
                 if sup.state() == SupervisorState::Deciding {
                     now += 0.5;
-                    let outcome = decide_session(system, profile, claimed_pin, &recording, quality);
+                    let outcome = crate::decide_session_arena(
+                        system,
+                        &arena,
+                        &mut scratch,
+                        claimed_pin,
+                        &recording,
+                        quality,
+                    );
                     let event = match &outcome {
                         SessionOutcome::Abort { .. } => SupervisorEvent::DecisionAbort,
                         other => match other.decision() {

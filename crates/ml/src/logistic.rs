@@ -122,6 +122,11 @@ impl LogisticClassifier {
     pub fn weights(&self) -> &[f64] {
         &self.weights
     }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
 }
 
 #[cfg(test)]

@@ -40,10 +40,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fused;
 mod kernels;
 mod series;
 mod transform;
 
+#[cfg(feature = "f32-lane")]
+pub use fused::f32_lane::{ConvScratchF32, FusedScorerF32};
+pub use fused::FusedScorer;
 pub use kernels::{
     kernel_indices, kernel_weights, KERNEL_LENGTH, NUM_KERNELS, WEIGHT_HIGH, WEIGHT_LOW,
 };

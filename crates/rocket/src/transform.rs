@@ -116,17 +116,17 @@ impl std::error::Error for FitError {}
 /// a device.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MiniRocket {
-    input_length: usize,
-    num_channels: usize,
-    dilations: Vec<usize>,
-    features_per_combo: usize,
+    pub(crate) input_length: usize,
+    pub(crate) num_channels: usize,
+    pub(crate) dilations: Vec<usize>,
+    pub(crate) features_per_combo: usize,
     /// Channel subset per (dilation, kernel) combo, row-major by dilation.
-    channel_subsets: Vec<Vec<usize>>,
+    pub(crate) channel_subsets: Vec<Vec<usize>>,
     /// Whether each (dilation, kernel) combo uses "same" (zero) padding.
-    paddings: Vec<bool>,
+    pub(crate) paddings: Vec<bool>,
     /// Biases per (dilation, kernel, feature), row-major.
-    biases: Vec<f64>,
-    kernels: Vec<[usize; 3]>,
+    pub(crate) biases: Vec<f64>,
+    pub(crate) kernels: Vec<[usize; 3]>,
 }
 
 impl MiniRocket {
@@ -330,8 +330,7 @@ impl MiniRocket {
     ///
     /// # Panics
     ///
-    /// Panics if the series shape differs from the training data, or if
-    /// the scratch was created for a different input length.
+    /// Panics if the series shape differs from the training data.
     pub fn transform_one_with(&self, series: &MultiSeries, scratch: &mut ConvScratch) -> Vec<f64> {
         let _span = p2auth_obs::span!("rocket.transform");
         p2auth_obs::counter!("rocket.transform.series").incr();
@@ -341,7 +340,18 @@ impl MiniRocket {
     }
 
     /// Appends the feature vector of `series` onto `out`.
-    fn transform_into(&self, series: &MultiSeries, scratch: &mut ConvScratch, out: &mut Vec<f64>) {
+    ///
+    /// This is the allocation-free core of the transform: given a warm
+    /// scratch and an `out` with sufficient capacity, no heap
+    /// allocation occurs. Auth-path callers that score every keystroke
+    /// should reuse both across calls (clear `out`, keep its capacity)
+    /// instead of going through [`MiniRocket::transform_one`].
+    pub fn transform_into(
+        &self,
+        series: &MultiSeries,
+        scratch: &mut ConvScratch,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(series.len(), self.input_length, "series length mismatch");
         assert_eq!(
             series.num_channels(),
@@ -414,13 +424,89 @@ impl MiniRocket {
     }
 }
 
+/// Fixed chunk width for the hand-chunked inner loops below. Eight f64
+/// lanes span two 256-bit (or four 128-bit) vector registers, enough
+/// for the autovectorizer to keep the fused accumulation busy without
+/// spilling on the narrowest targets we build for.
+pub(crate) const LANES: usize = 8;
+
+/// Number of values strictly greater than `bias`, branchlessly: each
+/// comparison becomes a 0/1 integer added to the lane accumulator, so
+/// there is no data-dependent branch and the loop vectorizes as a
+/// compare-and-accumulate.
+pub(crate) fn ppv_count(conv: &[f64], bias: f64) -> usize {
+    let mut chunks = conv.chunks_exact(LANES);
+    let mut count = 0_usize;
+    for c in &mut chunks {
+        let mut lane = 0_usize;
+        for &v in c {
+            lane += usize::from(v > bias);
+        }
+        count += lane;
+    }
+    for &v in chunks.remainder() {
+        count += usize::from(v > bias);
+    }
+    count
+}
+
 /// Proportion of values strictly greater than `bias` (paper Eq. (6),
 /// written there with the sign function over `X * W_d − b`).
-fn ppv(conv: &[f64], bias: f64) -> f64 {
+pub(crate) fn ppv(conv: &[f64], bias: f64) -> f64 {
     if conv.is_empty() {
         return 0.0;
     }
-    conv.iter().filter(|&&v| v > bias).count() as f64 / conv.len() as f64
+    ppv_count(conv, bias) as f64 / conv.len() as f64
+}
+
+/// Fused `out[i] += 3·(t0[i] + t1[i] + t2[i]) − s9[i]` over equal-length
+/// slices, in fixed-width chunks of [`LANES`].
+///
+/// The chunked body indexes five equal-length arrays with the same
+/// constant trip count, which is the shape LLVM's loop vectorizer
+/// reliably turns into packed FMA/add sequences; the remainder loop
+/// handles the final `len % LANES` elements. Both loops perform the
+/// identical per-element expression, so results are bit-identical to
+/// the straight-line scalar loop.
+#[inline]
+fn fused_accumulate(out: &mut [f64], t0: &[f64], t1: &[f64], t2: &[f64], s9: &[f64]) {
+    let mut o = out.chunks_exact_mut(LANES);
+    let mut a = t0.chunks_exact(LANES);
+    let mut b = t1.chunks_exact(LANES);
+    let mut c = t2.chunks_exact(LANES);
+    let mut s = s9.chunks_exact(LANES);
+    for ((((oc, ac), bc), cc), sc) in (&mut o).zip(&mut a).zip(&mut b).zip(&mut c).zip(&mut s) {
+        for i in 0..LANES {
+            oc[i] += 3.0 * (ac[i] + bc[i] + cc[i]) - sc[i];
+        }
+    }
+    for ((((o, &a), &b), &c), &s) in o
+        .into_remainder()
+        .iter_mut()
+        .zip(a.remainder())
+        .zip(b.remainder())
+        .zip(c.remainder())
+        .zip(s.remainder())
+    {
+        *o += 3.0 * (a + b + c) - s;
+    }
+}
+
+/// Chunked elementwise `acc[i] += tap[i]` (see [`fused_accumulate`] for
+/// why the fixed-width chunking helps the vectorizer). Bit-identical to
+/// the scalar loop.
+#[inline]
+fn add_assign(acc: &mut [f64], tap: &[f64]) {
+    let mut a = acc.chunks_exact_mut(LANES);
+    let mut t = tap.chunks_exact(LANES);
+    for (ac, tc) in (&mut a).zip(&mut t) {
+        for i in 0..LANES {
+            ac[i] += tc[i];
+        }
+    }
+    for (a, &t) in a.into_remainder().iter_mut().zip(t.remainder()) {
+        *a += t;
+    }
 }
 
 /// Samples a channel subset with exponentially distributed size, per the
@@ -452,10 +538,11 @@ fn sample_channel_subset(rng: &mut StdRng, num_channels: usize) -> Vec<usize> {
 /// dilation, which is what makes MiniRocket fast.
 ///
 /// All buffers are flat and contiguous — shifted taps are laid out
-/// `[channel][tap][i]` in one allocation — and sized once on the first
-/// [`ConvScratch::prepare_dilation`] call; subsequent preparations at
-/// the same shape reuse them without allocating, so one scratch can
-/// serve an arbitrary number of dilations, kernels and series.
+/// `[channel][tap][i]` in one allocation — and sized lazily by
+/// [`ConvScratch::prepare_dilation`]; preparations at a previously seen
+/// shape reuse them without allocating, and shape changes (length or
+/// channel count) resize in place, so one scratch can serve an
+/// arbitrary number of dilations, kernels, series and model shapes.
 pub struct ConvScratch {
     len: usize,
     /// Channel count the buffers are currently sized for.
@@ -469,10 +556,23 @@ pub struct ConvScratch {
     prepared_dilation: Option<usize>,
 }
 
+/// Compact: buffer contents are transient per-dilation state, so only
+/// the shape is worth printing.
+impl std::fmt::Debug for ConvScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConvScratch")
+            .field("len", &self.len)
+            .field("channels", &self.channels)
+            .field("prepared_dilation", &self.prepared_dilation)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ConvScratch {
-    /// Creates scratch for series of length `len`. Tap and sum buffers
-    /// are sized lazily on the first preparation (they depend on the
-    /// channel count).
+    /// Creates scratch pre-sized for series of length `len` (a hint —
+    /// the scratch resizes itself if prepared at a different length).
+    /// Tap and sum buffers are sized lazily on the first preparation
+    /// (they depend on the channel count).
     pub fn new(len: usize) -> Self {
         Self {
             len,
@@ -486,19 +586,25 @@ impl ConvScratch {
 
     /// Precomputes shifted tap signals and 9-tap sums for every channel
     /// at one dilation, reusing the existing buffers when shapes match.
+    ///
+    /// The scratch resizes itself when the series shape (length or
+    /// channel count) differs from the previous preparation, so one
+    /// scratch can serve models fitted at different window lengths
+    /// (e.g. a profile's full-window and per-keystroke models) —
+    /// allocation-free once it has seen the largest shape.
     pub(crate) fn prepare_dilation(&mut self, series: &MultiSeries, dilation: usize) {
-        debug_assert_eq!(
-            series.len(),
-            self.len,
-            "scratch sized for a different length"
-        );
         let half = KERNEL_LENGTH / 2;
-        let n = self.len;
+        let n = series.len();
         let nch = series.num_channels();
-        if nch != self.channels {
+        if n != self.len || nch != self.channels {
+            self.len = n;
             self.channels = nch;
+            self.shifted.clear();
             self.shifted.resize(nch * KERNEL_LENGTH * n, 0.0);
+            self.s9.clear();
             self.s9.resize(nch * n, 0.0);
+            self.out.clear();
+            self.out.resize(n, 0.0);
         }
         for ch in 0..nch {
             let x = series.channel(ch);
@@ -531,9 +637,7 @@ impl ConvScratch {
             s9.fill(0.0);
             for j in 0..KERNEL_LENGTH {
                 let tap = &self.shifted[ch_base + j * n..ch_base + (j + 1) * n];
-                for (a, b) in s9.iter_mut().zip(tap) {
-                    *a += b;
-                }
+                add_assign(s9, tap);
             }
         }
         self.prepared_dilation = Some(dilation);
@@ -569,11 +673,7 @@ impl ConvScratch {
             let t1 = &self.shifted[ch_base + kernel[1] * n..ch_base + kernel[1] * n + n];
             let t2 = &self.shifted[ch_base + kernel[2] * n..ch_base + kernel[2] * n + n];
             let s9 = &self.s9[ch * n..ch * n + n];
-            // Fused 3·S3 − S9 over equal-length slices: the zips let the
-            // compiler drop bounds checks and vectorize.
-            for ((o, ((&a, &b), &c)), &s) in out.iter_mut().zip(t0.iter().zip(t1).zip(t2)).zip(s9) {
-                *o += 3.0 * (a + b + c) - s;
-            }
+            fused_accumulate(out, t0, t1, t2, s9);
         }
         if padding {
             &self.out
@@ -943,6 +1043,64 @@ mod tests {
         fresh.prepare_dilation(&one, 4);
         let via_fresh = fresh.convolve_prepared(&[0], [1, 3, 5], true).to_vec();
         assert_eq!(via_reused, via_fresh);
+    }
+
+    #[test]
+    fn scratch_auto_resizes_across_lengths() {
+        // One scratch serving models at different window lengths (the
+        // arena path shares a scratch across full/boost/per-key models)
+        // must produce the same results as fresh scratch at each shape.
+        let mut scratch = ConvScratch::new(64);
+        let long = sine_series(90, 0.4, 2);
+        let short = sine_series(48, 0.7, 3);
+        for series in [&long, &short, &long] {
+            scratch.prepare_dilation(series, 2);
+            let via_reused = scratch.convolve_prepared(&[0], [1, 4, 7], true).to_vec();
+            let mut fresh = ConvScratch::new(series.len());
+            fresh.prepare_dilation(series, 2);
+            let via_fresh = fresh.convolve_prepared(&[0], [1, 4, 7], true).to_vec();
+            assert_eq!(via_reused, via_fresh, "len {}", series.len());
+        }
+    }
+
+    #[test]
+    fn branchless_ppv_matches_filter_count() {
+        let conv: Vec<f64> = (0..103).map(|i| ((i * 31) % 17) as f64 - 8.5).collect();
+        for bias in [-9.0, -1.0, 0.0, 0.25, 8.0, 100.0] {
+            let branchy = conv.iter().filter(|&&v| v > bias).count();
+            assert_eq!(ppv_count(&conv, bias), branchy, "bias {bias}");
+            let expect = branchy as f64 / conv.len() as f64;
+            assert_eq!(ppv(&conv, bias), expect, "bias {bias}");
+        }
+        assert_eq!(ppv(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn chunked_kernels_match_scalar_reference() {
+        // The chunked fused_accumulate / add_assign bodies must be
+        // bit-identical to the straight-line scalar expressions they
+        // replaced, including at lengths not divisible by LANES.
+        for n in [1, 7, 8, 9, 63, 64, 65, 90] {
+            let t0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+            let t1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let t2: Vec<f64> = (0..n).map(|i| (i as f64) * 0.01 - 0.3).collect();
+            let s9: Vec<f64> = (0..n).map(|i| ((i * i) % 13) as f64 - 6.0).collect();
+            let mut out = vec![0.5; n];
+            let mut expect = out.clone();
+            fused_accumulate(&mut out, &t0, &t1, &t2, &s9);
+            for i in 0..n {
+                expect[i] += 3.0 * (t0[i] + t1[i] + t2[i]) - s9[i];
+            }
+            assert_eq!(out, expect, "fused_accumulate n={n}");
+
+            let mut acc = s9.clone();
+            let mut acc_expect = s9.clone();
+            add_assign(&mut acc, &t0);
+            for i in 0..n {
+                acc_expect[i] += t0[i];
+            }
+            assert_eq!(acc, acc_expect, "add_assign n={n}");
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Property tests: the fused transform-and-score path is bit-identical
+//! to materialize-then-dot across random profiles and segments.
+//!
+//! Runs in the networked CI lane (proptest is a dev-dependency the
+//! offline container cannot resolve); the deterministic seeds are also
+//! covered by the unit tests in `src/fused.rs`.
+
+use p2auth_rocket::{ConvScratch, FusedScorer, MiniRocket, MiniRocketConfig, MultiSeries};
+use proptest::prelude::*;
+
+fn sine_series(n: usize, freq: f64, channels: usize) -> MultiSeries {
+    let data: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            (0..n)
+                .map(|i| ((i as f64 + c as f64 * 3.0) * freq).sin())
+                .collect()
+        })
+        .collect();
+    MultiSeries::new(data).unwrap()
+}
+
+/// Same expression as `p2auth_ml::linalg::dot`: sequential
+/// multiply-accumulate from 0.0.
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_fused_score_bit_identical(
+        len in 16_usize..120,
+        channels in 1_usize..5,
+        seed in any::<u64>(),
+        num_features in 84_usize..1000,
+        intercept in -2.0_f64..2.0,
+        weight_scale in 0.01_f64..3.0,
+    ) {
+        let train: Vec<MultiSeries> = (0..3)
+            .map(|i| sine_series(len, 0.15 + 0.21 * i as f64, channels))
+            .collect();
+        let cfg = MiniRocketConfig { seed, num_features, ..Default::default() };
+        let rocket = MiniRocket::fit(&cfg, &train).unwrap();
+        let weights: Vec<f64> = (0..rocket.num_output_features())
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+                ((h % 2000) as f64 / 1000.0 - 1.0) * weight_scale
+            })
+            .collect();
+        let scorer = FusedScorer::new(&rocket, &weights, intercept);
+        let mut scratch = ConvScratch::new(len);
+        for probe in &train {
+            let features = rocket.transform_one(probe);
+            let expect = dot(&weights, &features) + intercept;
+            let got = scorer.score(probe, &mut scratch);
+            prop_assert_eq!(got.to_bits(), expect.to_bits(),
+                "fused {} != materialized {}", got, expect);
+        }
+    }
+
+    /// One scratch shared across scorers of different shapes (the
+    /// arena usage pattern) stays bit-identical.
+    #[test]
+    fn prop_shared_scratch_across_shapes_bit_identical(
+        len_a in 16_usize..80,
+        len_b in 16_usize..80,
+        seed in any::<u64>(),
+    ) {
+        let mut shared = ConvScratch::new(len_a);
+        for len in [len_a, len_b, len_a] {
+            let train = vec![
+                sine_series(len, 0.3, 2),
+                sine_series(len, 0.9, 2),
+            ];
+            let cfg = MiniRocketConfig { seed, num_features: 168, ..Default::default() };
+            let rocket = MiniRocket::fit(&cfg, &train).unwrap();
+            let weights: Vec<f64> = (0..rocket.num_output_features())
+                .map(|i| (i % 7) as f64 - 3.0)
+                .collect();
+            let scorer = FusedScorer::new(&rocket, &weights, 0.5);
+            let features = rocket.transform_one(&train[0]);
+            let expect = dot(&weights, &features) + 0.5;
+            let got = scorer.score(&train[0], &mut shared);
+            prop_assert_eq!(got.to_bits(), expect.to_bits());
+        }
+    }
+}

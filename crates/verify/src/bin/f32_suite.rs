@@ -1,0 +1,109 @@
+//! Differential suite pinning the opt-in `f32-lane` fused scorer
+//! against the f64 oracle.
+//!
+//! ```text
+//! P2AUTH_ORACLE_SEED=0xdeadbeef P2AUTH_F32_CASES=50 \
+//!     cargo run -p p2auth-verify --features f32-lane --bin f32_suite
+//! ```
+//!
+//! Each case fits a fresh MiniRocket on a random shape, folds random
+//! ridge-like weights into both scorers, and requires every score to
+//! agree within `REL_TOL` relative error (the bound stated in the
+//! rocket crate's `f32-lane` feature contract). Echoes the seed so CI
+//! failures replay exactly; exits non-zero on any divergence.
+
+use p2auth_rocket::{
+    ConvScratch, ConvScratchF32, FusedScorer, FusedScorerF32, MiniRocket, MiniRocketConfig,
+    MultiSeries,
+};
+use p2auth_verify::gen::SplitMix64;
+use p2auth_verify::seed_from_env;
+
+/// Relative-error bound of the f32 lane against the f64 oracle.
+const REL_TOL: f64 = 1e-4;
+/// Probe series scored per fitted case.
+const PROBES: usize = 8;
+
+/// Smooth pulse-like series with seeded jitter — the scorer's numeric
+/// behaviour is what is under test, not segmentation, so any smooth
+/// waveform in a sane amplitude range exercises it.
+fn synth_series(rng: &mut SplitMix64, len: usize, channels: usize) -> MultiSeries {
+    let tau = std::f64::consts::TAU;
+    let chans: Vec<Vec<f64>> = (0..channels)
+        .map(|_| {
+            let phase = rng.f64_in(0.0, tau);
+            let amp = rng.f64_in(0.5, 2.0);
+            (0..len)
+                .map(|i| {
+                    let t = i as f64 / 100.0;
+                    amp * (tau * 1.3 * t + phase).sin()
+                        + 0.3 * (tau * 6.0 * t + 2.0 * phase).sin()
+                        + 0.05 * rng.f64_in(-1.0, 1.0)
+                })
+                .collect()
+        })
+        .collect();
+    MultiSeries::new(chans).expect("well-formed series")
+}
+
+fn main() {
+    let seed = seed_from_env();
+    let cases: usize = std::env::var("P2AUTH_F32_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(40);
+    eprintln!("running f32-lane differential suite: seed={seed:#x} cases={cases}");
+    let mut rng = SplitMix64::new(seed);
+    let mut worst = 0.0_f64;
+    let mut failures = 0_usize;
+    for case in 0..cases {
+        let len = rng.usize_in(16, 120);
+        let channels = rng.usize_in(1, 3);
+        let num_features = 84 * rng.usize_in(1, 8);
+        let train: Vec<MultiSeries> = (0..10)
+            .map(|_| synth_series(&mut rng, len, channels))
+            .collect();
+        let cfg = MiniRocketConfig {
+            num_features,
+            seed: rng.next_u64(),
+            ..MiniRocketConfig::default()
+        };
+        let rocket = match MiniRocket::fit(&cfg, &train) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("case {case}: fit failed ({e}), skipping shape {len}x{channels}");
+                continue;
+            }
+        };
+        let dim = rocket.num_output_features();
+        let weights: Vec<f64> = (0..dim).map(|_| rng.f64_in(-1.0, 1.0)).collect();
+        let intercept = rng.f64_in(-0.5, 0.5);
+        let oracle = FusedScorer::new(&rocket, &weights, intercept);
+        let lane = FusedScorerF32::from_f64(&oracle);
+        let mut scratch = ConvScratch::new(len);
+        let mut scratch32 = ConvScratchF32::new(len);
+        for probe in 0..PROBES {
+            let s = synth_series(&mut rng, len, channels);
+            let want = oracle.score(&s, &mut scratch);
+            let got = f64::from(lane.score(&s, &mut scratch32));
+            let rel = (got - want).abs() / want.abs().max(1.0);
+            worst = worst.max(rel);
+            if rel > REL_TOL {
+                failures += 1;
+                println!(
+                    "DIVERGENCE [case {case} probe {probe}] shape {len}x{channels} \
+                     features {dim}: f64 {want:.9e} vs f32 {got:.9e} (rel {rel:.3e})"
+                );
+            }
+        }
+    }
+    println!("f32-lane suite: {cases} cases, worst relative error {worst:.3e}");
+    if failures > 0 {
+        eprintln!(
+            "{failures} divergences; replay with: P2AUTH_ORACLE_SEED={seed:#x} \
+             P2AUTH_F32_CASES={cases} cargo run -p p2auth-verify \
+             --features f32-lane --bin f32_suite"
+        );
+        std::process::exit(1);
+    }
+}
