@@ -1,7 +1,7 @@
 //! Minimal flag parser (the approved dependency set has no argument
 //! parser, and a demo CLI does not justify one).
 //!
-//! Grammar: `p2auth <command> [--flag value]... [--switch]...`.
+//! Grammar: `p2auth <command> [arg] [--flag value]... [--switch]...`.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -12,6 +12,9 @@ use std::fmt;
 pub struct ParsedArgs {
     /// The subcommand (first positional argument).
     pub command: Option<String>,
+    /// The subcommand's positional argument (second positional), e.g.
+    /// the log path for `replay <log>`.
+    pub arg: Option<String>,
     options: BTreeMap<String, String>,
     switches: Vec<String>,
 }
@@ -61,6 +64,8 @@ const SWITCHES: &[&str] = &[
     "help",
     "structure-only",
     "json",
+    "verify",
+    "summary",
 ];
 
 impl ParsedArgs {
@@ -89,6 +94,8 @@ impl ParsedArgs {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.arg.is_none() {
+                out.arg = Some(tok);
             } else {
                 return Err(ArgError::UnexpectedPositional { token: tok });
             }
@@ -160,9 +167,17 @@ mod tests {
     }
 
     #[test]
-    fn stray_positional_rejected() {
+    fn second_positional_is_the_command_argument() {
+        let a = ParsedArgs::parse(["replay", "session.json", "--verify"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("replay"));
+        assert_eq!(a.arg.as_deref(), Some("session.json"));
+        assert!(a.has("verify"));
+    }
+
+    #[test]
+    fn third_positional_rejected() {
         assert!(matches!(
-            ParsedArgs::parse(["enroll", "extra"]),
+            ParsedArgs::parse(["replay", "session.json", "extra"]),
             Err(ArgError::UnexpectedPositional { .. })
         ));
     }

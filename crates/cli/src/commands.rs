@@ -2,6 +2,7 @@
 //! binary stays a thin shell and the logic is testable.
 
 use crate::args::{ArgError, ParsedArgs};
+use crate::replay::{self, ChaosMode, RecordSpec, ReplayError};
 use p2auth_core::preprocess::wear::{detect_wear, WearConfig};
 use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, PinPolicy, UserProfile};
 use p2auth_device::clock::VirtualClock;
@@ -24,6 +25,9 @@ pub enum CliError {
     Auth(p2auth_core::AuthError),
     /// Profile file I/O or (de)serialization failure.
     Io(String),
+    /// Recording or replaying an event-sourced session failed (this is
+    /// the variant a diverging `replay --verify` exits through).
+    Replay(ReplayError),
     /// Unknown subcommand.
     UnknownCommand(String),
 }
@@ -35,6 +39,7 @@ impl fmt::Display for CliError {
             CliError::Pin(e) => write!(f, "PIN error: {e}"),
             CliError::Auth(e) => write!(f, "pipeline error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Replay(e) => write!(f, "{e}"),
             CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `p2auth help`"),
         }
     }
@@ -57,6 +62,12 @@ impl From<p2auth_core::PinError> for CliError {
 impl From<p2auth_core::AuthError> for CliError {
     fn from(e: p2auth_core::AuthError) -> Self {
         CliError::Auth(e)
+    }
+}
+
+impl From<ReplayError> for CliError {
+    fn from(e: ReplayError) -> Self {
+        CliError::Replay(e)
     }
 }
 
@@ -91,6 +102,22 @@ COMMANDS:
                 --fault KIND (saturation: motion|saturation|detach|
                 dropout|wander)  --intensity I (0.6)  --fault-seed S (1)
                 --user N (0)  --pin DDDD (1628)  [--json]
+    record    Record one supervised chaos session as an event log
+              (schema p2auth.events.v1)
+                --out FILE (session.events.json)
+                --chaos MODE (none|sensor|link|both; default
+                $P2AUTH_CHAOS_MODE or both)
+                --chaos-seed S ($P2AUTH_CHAOS_SEED or 1)
+                --users N (4)  --seed S (811)  --user N (0)
+                --pin DDDD (1628)  --nonce K (0)
+                --loss P (0.05)  --corrupt P (0.0125)
+                [--fault KIND --intensity I] (named sensor preset)
+    replay    Inspect or deterministically re-execute a recorded log
+                p2auth replay <log> [--verify|--json|--summary]
+                --verify re-runs the session from the log's embedded
+                spec and diffs every event; a mismatch reports the
+                first divergent event and exits nonzero. --summary
+                (the default) and --json never re-execute.
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -577,6 +604,91 @@ pub fn quality(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `p2auth record`: run one supervised chaos session (the
+/// `session_chaos` CI flow: seeded sensor faults + seeded link faults,
+/// SQI gating, bounded re-prompts) with the event recorder tapped in,
+/// and write the `p2auth.events.v1` log to a file. The log embeds the
+/// full record spec, so `p2auth replay --verify` needs nothing else.
+pub fn record(args: &ParsedArgs) -> Result<String, CliError> {
+    use p2auth_sim::SensorFaultKind;
+
+    // CLI flags win; the chaos-matrix environment variables supply the
+    // defaults so the CI lane can drive this without repeating them.
+    let chaos_env = std::env::var("P2AUTH_CHAOS_MODE").ok();
+    let chaos_name = args
+        .get("chaos")
+        .map(str::to_string)
+        .or(chaos_env)
+        .unwrap_or_else(|| "both".to_string());
+    let chaos = ChaosMode::parse(&chaos_name).ok_or_else(|| {
+        CliError::Io(format!(
+            "unknown chaos mode {chaos_name:?}; expected none|sensor|link|both"
+        ))
+    })?;
+    let chaos_seed_env = std::env::var("P2AUTH_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_u64);
+    let sensor_preset = match args.get("fault") {
+        None => None,
+        Some(name) => {
+            let kind = SensorFaultKind::parse(name).ok_or_else(|| {
+                CliError::Io(format!(
+                    "unknown fault kind {name:?}; expected motion|saturation|detach|dropout|wander"
+                ))
+            })?;
+            Some((kind, args.get_parsed("intensity", 0.6_f64)?))
+        }
+    };
+    let spec = RecordSpec {
+        users: args.get_parsed("users", 4_usize)?,
+        population_seed: args.get_parsed("seed", 811_u64)?,
+        user: args.get_parsed("user", 0_usize)?,
+        pin: args.get("pin").unwrap_or("1628").to_string(),
+        nonce: args.get_parsed("nonce", 0_u64)?,
+        chaos,
+        chaos_seed: args.get_parsed("chaos-seed", chaos_seed_env)?,
+        loss: args.get_parsed("loss", 0.05_f64)?,
+        corrupt: args.get_parsed("corrupt", 0.0125_f64)?,
+        sensor_preset,
+    };
+    let out = args.get("out").unwrap_or("session.events.json").to_string();
+    let (log, outcome) = replay::record_session(&spec)?;
+    std::fs::write(&out, log.encode()).map_err(|e| CliError::Io(format!("{out}: {e}")))?;
+    Ok(format!(
+        "recorded session (chaos {chaos}, seed {}): {} after {} attempt(s), \
+         {} events -> {out}",
+        spec.chaos_seed,
+        outcome.state.as_str(),
+        outcome.attempts,
+        log.len(),
+    ))
+}
+
+/// `p2auth replay <log>`: summarize (default / `--summary`), dump the
+/// canonical encoding (`--json`), or re-execute and diff (`--verify`).
+pub fn replay_cmd(args: &ParsedArgs) -> Result<String, CliError> {
+    let path = args
+        .arg
+        .as_deref()
+        .ok_or_else(|| CliError::Io("replay requires a log path argument".to_string()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    let log = p2auth_obs::EventLog::decode(&text).map_err(ReplayError::Log)?;
+    if args.has("verify") {
+        let outcome = replay::verify_replay(&log)?;
+        return Ok(format!(
+            "replay verified: {} events bit-identical; session {} after {} attempt(s)",
+            log.len(),
+            outcome.state.as_str(),
+            outcome.attempts,
+        ));
+    }
+    if args.has("json") {
+        return Ok(log.encode());
+    }
+    Ok(replay::summarize(&log))
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -591,6 +703,8 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("fault") => fault(args),
         Some("trace") => trace(args),
         Some("quality") => quality(args),
+        Some("record") => record(args),
+        Some("replay") => replay_cmd(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
 }

@@ -1,0 +1,671 @@
+//! Event-sourced record/replay of supervised sessions.
+//!
+//! **Recording** runs one supervised chaos session (the exact flow of
+//! the `session_chaos` CI matrix: seeded sensor faults degrade what the
+//! ADC sampled, seeded link faults degrade what the host received) with
+//! an observer tap on [`run_supervised_observed`] and the reliable
+//! transfer, appending every sample batch, link frame event, SQI
+//! verdict, supervisor transition, deadline tick, vote and decision to
+//! a [`p2auth_obs::EventLog`] (`p2auth.events.v1`).
+//!
+//! **Replaying** re-executes the session from nothing but the log's
+//! header — the [`RecordSpec`] is embedded in the log's metadata — and
+//! diffs the re-derived event stream against the recorded one,
+//! reporting the first divergent event on mismatch. The pipeline is
+//! deterministic end-to-end, so a verified replay means every SQI
+//! value, coverage metric, vote weight and state transition
+//! reproduced *bit-identically*.
+//!
+//! Replay re-derives randomness through the recorded seeds and the
+//! process's compiled-in RNG backend, so `--verify` is meaningful
+//! within one build of the binary (which is how CI uses it: record,
+//! then replay twice). `summarize` is pure log inspection — no
+//! re-execution — and therefore stable across builds; the committed
+//! golden summary is checked with it.
+
+use p2auth_core::{AttemptQuality, HandMode, P2Auth, P2AuthConfig, Pin, Recording};
+use p2auth_device::clock::VirtualClock;
+use p2auth_device::host::LinkQuality;
+use p2auth_device::{
+    run_supervised_observed, transmit_reliable, FaultConfig, FaultyLink, LinkConfig,
+    ReliableConfig, SessionObserver, SessionOutcome, SupervisedOutcome, SupervisorConfig,
+    SupervisorEvent, SupervisorState, WearableDevice,
+};
+use p2auth_obs::events::{EventLog, EventLogError, Fnv64, LogDivergence, SessionEvent};
+use p2auth_obs::SessionSeeds;
+use p2auth_sim::{
+    inject_sensor_faults, Population, PopulationConfig, SensorFaultConfig, SensorFaultKind,
+    SessionConfig,
+};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Which fault families a recorded session injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Clean sensor, clean link.
+    None,
+    /// Sensor faults only.
+    Sensor,
+    /// Link faults only.
+    Link,
+    /// Sensor and link faults together.
+    Both,
+}
+
+impl ChaosMode {
+    /// Parses the `P2AUTH_CHAOS_MODE` vocabulary.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Self::None),
+            "sensor" => Some(Self::Sensor),
+            "link" => Some(Self::Link),
+            "both" => Some(Self::Both),
+            _ => None,
+        }
+    }
+
+    /// Stable name (the `P2AUTH_CHAOS_MODE` vocabulary plus `none`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Sensor => "sensor",
+            Self::Link => "link",
+            Self::Both => "both",
+        }
+    }
+
+    fn sensor_active(self) -> bool {
+        matches!(self, Self::Sensor | Self::Both)
+    }
+
+    fn link_active(self) -> bool {
+        matches!(self, Self::Link | Self::Both)
+    }
+}
+
+impl fmt::Display for ChaosMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Everything a replayer needs to re-execute a recorded session. The
+/// spec is embedded in the event log's metadata, so a log file is
+/// self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordSpec {
+    /// Simulated cohort size.
+    pub users: usize,
+    /// Cohort seed.
+    pub population_seed: u64,
+    /// Authenticating user.
+    pub user: usize,
+    /// The PIN (and the claim presented at authentication).
+    pub pin: String,
+    /// Recording nonce: selects which simulated entry the session
+    /// authenticates.
+    pub nonce: u64,
+    /// Fault families to inject.
+    pub chaos: ChaosMode,
+    /// Seed driving both fault injectors.
+    pub chaos_seed: u64,
+    /// Link frame drop rate.
+    pub loss: f64,
+    /// Link frame corruption rate.
+    pub corrupt: f64,
+    /// Named sensor-fault preset; `None` uses the chaos matrix's
+    /// moderate multi-family mix.
+    pub sensor_preset: Option<(SensorFaultKind, f64)>,
+}
+
+impl Default for RecordSpec {
+    /// The `session_chaos` CI cell's shape: 4 users, combined chaos,
+    /// the matrix's loss/corruption rates.
+    fn default() -> Self {
+        Self {
+            users: 4,
+            population_seed: 811,
+            user: 0,
+            pin: "1628".to_string(),
+            nonce: 0,
+            chaos: ChaosMode::Both,
+            chaos_seed: 1,
+            loss: 0.05,
+            corrupt: 0.0125,
+            sensor_preset: None,
+        }
+    }
+}
+
+impl RecordSpec {
+    /// The log seeds header derived from this spec.
+    #[must_use]
+    pub fn seeds(&self) -> SessionSeeds {
+        SessionSeeds {
+            population: self.population_seed,
+            chaos: self.chaos_seed,
+            nonce: self.nonce,
+        }
+    }
+
+    /// Writes the spec into a log's metadata.
+    fn stamp(&self, log: &mut EventLog) {
+        log.meta_push("spec.users", self.users.to_string());
+        log.meta_push("spec.user", self.user.to_string());
+        log.meta_push("spec.pin", self.pin.clone());
+        log.meta_push("spec.chaos", self.chaos.as_str());
+        log.meta_push("spec.loss", self.loss.to_string());
+        log.meta_push("spec.corrupt", self.corrupt.to_string());
+        if let Some((kind, intensity)) = self.sensor_preset {
+            log.meta_push("spec.fault", kind.to_string());
+            log.meta_push("spec.intensity", intensity.to_string());
+        }
+    }
+
+    /// Reconstructs a spec from a log's header and metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::Spec`] when a required key is absent or
+    /// unparseable — a log without a complete spec cannot be replayed.
+    pub fn from_log(log: &EventLog) -> Result<Self, ReplayError> {
+        fn get<T: std::str::FromStr>(log: &EventLog, key: &str) -> Result<T, ReplayError> {
+            log.meta_get(key)
+                .ok_or_else(|| ReplayError::Spec(format!("metadata key {key:?} missing")))?
+                .parse()
+                .map_err(|_| ReplayError::Spec(format!("metadata key {key:?} unparseable")))
+        }
+        let chaos_name: String = get(log, "spec.chaos")?;
+        let chaos = ChaosMode::parse(&chaos_name)
+            .ok_or_else(|| ReplayError::Spec(format!("unknown chaos mode {chaos_name:?}")))?;
+        let sensor_preset = match log.meta_get("spec.fault") {
+            None => None,
+            Some(name) => {
+                let kind = SensorFaultKind::parse(name)
+                    .ok_or_else(|| ReplayError::Spec(format!("unknown fault kind {name:?}")))?;
+                Some((kind, get(log, "spec.intensity")?))
+            }
+        };
+        Ok(Self {
+            users: get(log, "spec.users")?,
+            population_seed: log.seeds.population,
+            user: get(log, "spec.user")?,
+            pin: get(log, "spec.pin")?,
+            nonce: log.seeds.nonce,
+            chaos,
+            chaos_seed: log.seeds.chaos,
+            loss: get(log, "spec.loss")?,
+            corrupt: get(log, "spec.corrupt")?,
+            sensor_preset,
+        })
+    }
+
+    fn sensor_faults(&self) -> SensorFaultConfig {
+        match self.sensor_preset {
+            Some((kind, intensity)) => SensorFaultConfig::preset(kind, intensity, self.chaos_seed),
+            // The session_chaos matrix's moderate multi-family mix.
+            None => SensorFaultConfig {
+                motion_rate_hz: 0.25,
+                saturation_rate_hz: 0.3,
+                dropout_rate_hz: 0.5,
+                seed: self.chaos_seed,
+                ..SensorFaultConfig::default()
+            },
+        }
+    }
+}
+
+/// Failure to replay a recorded session.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The log file could not be decoded.
+    Log(EventLogError),
+    /// The log decoded but its embedded spec is incomplete or invalid.
+    Spec(String),
+    /// The session could not be re-executed (e.g. enrollment failed).
+    Execution(String),
+    /// The re-executed session diverged from the recording.
+    Divergence(Box<LogDivergence>),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Log(e) => write!(f, "cannot decode event log: {e}"),
+            ReplayError::Spec(e) => write!(f, "cannot reconstruct record spec: {e}"),
+            ReplayError::Execution(e) => write!(f, "cannot re-execute session: {e}"),
+            ReplayError::Divergence(d) => write!(f, "replay DIVERGED: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<EventLogError> for ReplayError {
+    fn from(e: EventLogError) -> Self {
+        ReplayError::Log(e)
+    }
+}
+
+/// [`SessionObserver`] that appends supervisor-side events to a shared
+/// log. The log is shared (`Rc<RefCell>`) with the acquisition closure,
+/// which appends the sample/link events, so one stream holds the whole
+/// session in execution order.
+struct LogObserver {
+    log: Rc<RefCell<EventLog>>,
+}
+
+impl SessionObserver for LogObserver {
+    fn on_step(
+        &mut self,
+        from: SupervisorState,
+        event: &SupervisorEvent,
+        to: SupervisorState,
+        now_s: f64,
+        deadline_s: Option<f64>,
+    ) {
+        let mut log = self.log.borrow_mut();
+        if from == to {
+            // Absorbed event: only time matters (deadline audit trail).
+            log.push(SessionEvent::DeadlineTick {
+                state: from.as_str().to_string(),
+                now_s,
+                deadline_s,
+            });
+        } else {
+            log.push(SessionEvent::Transition {
+                from: from.as_str().to_string(),
+                to: to.as_str().to_string(),
+                event: event.name().to_string(),
+                now_s,
+            });
+        }
+    }
+
+    fn on_assessment(&mut self, attempt_no: u32, quality: Option<&AttemptQuality>) {
+        let mut log = self.log.borrow_mut();
+        let Some(q) = quality else {
+            log.push(SessionEvent::Assessment {
+                attempt: attempt_no,
+                detected: 0,
+                usable: 0,
+                mean_sqi: 0.0,
+            });
+            return;
+        };
+        for k in &q.per_keystroke {
+            log.push(SessionEvent::SqiVerdict {
+                attempt: attempt_no,
+                index: k.index as u32,
+                digit: k.digit,
+                detected: k.detected,
+                sqi: k.quality.as_ref().map(|s| s.sqi),
+                flags: k
+                    .quality
+                    .as_ref()
+                    .map(|s| s.flags.to_string())
+                    .unwrap_or_default(),
+            });
+        }
+        log.push(SessionEvent::Assessment {
+            attempt: attempt_no,
+            detected: q.detected as u32,
+            usable: q.usable as u32,
+            mean_sqi: q.mean_sqi,
+        });
+    }
+
+    fn on_outcome(&mut self, attempt_no: u32, outcome: &SessionOutcome) {
+        let mut log = self.log.borrow_mut();
+        if let Some(d) = outcome.decision() {
+            for v in &d.keystroke_votes {
+                log.push(SessionEvent::Vote {
+                    attempt: attempt_no,
+                    index: v.index as u32,
+                    digit: v.digit,
+                    passed: v.passed,
+                    score: v.score,
+                    weight: v.weight,
+                });
+            }
+        }
+        let (kind, accepted, case, reason, score, coverage, gap_blocks) = match outcome {
+            SessionOutcome::Decision(d) => (
+                "decision",
+                d.accepted,
+                format!("{:?}", d.case),
+                d.reason.map(|r| r.as_str().to_string()),
+                d.score,
+                None,
+                None,
+            ),
+            SessionOutcome::Degraded {
+                decision,
+                coverage,
+                gap_blocks,
+            } => (
+                "degraded",
+                decision.accepted,
+                format!("{:?}", decision.case),
+                decision.reason.map(|r| r.as_str().to_string()),
+                decision.score,
+                Some(*coverage),
+                Some(*gap_blocks as u64),
+            ),
+            SessionOutcome::Abort {
+                reason,
+                coverage,
+                gap_blocks,
+            } => (
+                "abort",
+                false,
+                String::new(),
+                Some(reason.clone()),
+                0.0,
+                Some(*coverage),
+                Some(*gap_blocks as u64),
+            ),
+        };
+        log.push(SessionEvent::Decision {
+            attempt: attempt_no,
+            kind: kind.to_string(),
+            accepted,
+            case,
+            reason,
+            score,
+            coverage,
+            gap_blocks,
+        });
+    }
+}
+
+/// Bit-identity digest of a delivered sample batch: every PPG sample's
+/// bit pattern plus the keystroke times.
+fn batch_digest(rec: &Recording) -> u64 {
+    let mut d = Fnv64::new();
+    for channel in &rec.ppg {
+        d.update_u64(channel.len() as u64);
+        for &s in channel {
+            d.update_f64(s);
+        }
+    }
+    for &t in &rec.reported_key_times {
+        d.update_u64(t as u64);
+    }
+    d.finish()
+}
+
+/// Records one supervised chaos session, returning the event log and
+/// the session outcome.
+///
+/// # Errors
+///
+/// Returns [`ReplayError::Execution`] when the spec cannot be set up
+/// (bad PIN, enrollment failure, out-of-range user).
+pub fn record_session(spec: &RecordSpec) -> Result<(EventLog, SupervisedOutcome), ReplayError> {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: spec.users,
+        seed: spec.population_seed,
+        ..Default::default()
+    });
+    if spec.user >= pop.num_users() || pop.num_users() < 2 {
+        return Err(ReplayError::Execution(format!(
+            "user {} out of range for a {}-user cohort (need >= 2 users)",
+            spec.user,
+            pop.num_users()
+        )));
+    }
+    let pin = Pin::new(&spec.pin).map_err(|e| ReplayError::Execution(format!("bad PIN: {e}")))?;
+    let session = SessionConfig::default();
+    let system = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<_> = (0..6)
+        .map(|i| pop.record_entry(spec.user, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<_> = (0..12)
+        .map(|i| {
+            let other = (spec.user + 1 + (i as usize % (pop.num_users() - 1))) % pop.num_users();
+            pop.record_entry(other, &pin, HandMode::OneHanded, &session, 5000 + i as u64)
+        })
+        .collect();
+    let profile = system
+        .enroll(&pin, &enroll, &third)
+        .map_err(|e| ReplayError::Execution(format!("enrollment failed: {e}")))?;
+    let legit = pop.record_entry(
+        spec.user,
+        &pin,
+        HandMode::OneHanded,
+        &session,
+        610 + spec.nonce,
+    );
+
+    let mut log = EventLog::new(spec.seeds());
+    spec.stamp(&mut log);
+    let log = Rc::new(RefCell::new(log));
+
+    // One acquisition per collection attempt, mirroring the
+    // session_chaos matrix: sensor faults first, then the reliable
+    // transfer over seeded faulty links, logging every link-layer
+    // statistic and the delivered batch's digest.
+    let acquire_log = Rc::clone(&log);
+    let attempt_fn = |attempt: u32| -> Option<(Recording, LinkQuality)> {
+        let attempt_nonce = u64::from(attempt);
+        let sampled = if spec.chaos.sensor_active() {
+            inject_sensor_faults(&legit, &spec.sensor_faults(), attempt_nonce).0
+        } else {
+            legit.clone()
+        };
+        let (delivered, quality) = if spec.chaos.link_active() {
+            let device = WearableDevice::new(VirtualClock::new(0.4, 20.0));
+            let faults = FaultConfig {
+                drop_rate: spec.loss,
+                corrupt_rate: spec.corrupt,
+                seed: spec.chaos_seed ^ (attempt_nonce << 8),
+                ..FaultConfig::default()
+            };
+            let mut data = FaultyLink::new(LinkConfig::default(), faults);
+            let mut keys = FaultyLink::new(
+                LinkConfig {
+                    seed: 0x4b,
+                    ..LinkConfig::default()
+                },
+                FaultConfig {
+                    seed: faults.seed ^ 0x1234,
+                    ..faults
+                },
+            );
+            let (result, stats) = transmit_reliable(
+                &sampled,
+                &device,
+                &mut data,
+                &mut keys,
+                &ReliableConfig::default(),
+            );
+            {
+                let mut log = acquire_log.borrow_mut();
+                log.push(SessionEvent::LinkFrames {
+                    attempt,
+                    sent: stats.data_packets as u64,
+                    delivered: stats.delivered_unique as u64,
+                    bytes: stats.forward_bytes as u64,
+                    digest: u64::from(stats.forward_digest),
+                });
+                log.push(SessionEvent::LinkCorrupt {
+                    attempt,
+                    corrupt: stats.corrupt_discarded as u64,
+                    duplicates: stats.duplicates as u64,
+                    late: stats.late_dropped as u64,
+                });
+                log.push(SessionEvent::LinkNack {
+                    attempt,
+                    nacks: stats.nacks_sent as u64,
+                    backoffs: stats.backoff_waits as u64,
+                    backoff_us: stats.backoff_wait_us,
+                });
+                log.push(SessionEvent::LinkRetransmit {
+                    attempt,
+                    retransmissions: stats.retransmissions as u64,
+                    gaps_abandoned: stats.gaps_abandoned as u64,
+                });
+            }
+            // A failed transfer models a hung collection: the link
+            // events above still record what the wire did.
+            result.ok()?
+        } else {
+            (
+                sampled,
+                LinkQuality {
+                    coverage: 1.0,
+                    expected_blocks: 1,
+                    received_blocks: 1,
+                    gap_blocks: 0,
+                },
+            )
+        };
+        {
+            let mut log = acquire_log.borrow_mut();
+            log.push(SessionEvent::LinkCoverage {
+                attempt,
+                coverage: quality.coverage,
+                expected: quality.expected_blocks as u64,
+                received: quality.received_blocks as u64,
+                gaps: quality.gap_blocks as u64,
+            });
+            log.push(SessionEvent::SampleBatch {
+                attempt,
+                channels: delivered.num_channels() as u32,
+                samples: delivered.num_samples() as u64,
+                keystrokes: delivered.reported_key_times.len() as u32,
+                digest: batch_digest(&delivered),
+            });
+        }
+        Some((delivered, quality))
+    };
+
+    let mut observer = LogObserver {
+        log: Rc::clone(&log),
+    };
+    let outcome = run_supervised_observed(
+        &system,
+        &profile,
+        Some(&pin),
+        &SupervisorConfig::default(),
+        attempt_fn,
+        &mut observer,
+    );
+    log.borrow_mut().push(SessionEvent::SessionEnd {
+        state: outcome.state.as_str().to_string(),
+        attempts: outcome.attempts,
+        accepted: outcome.accepted(),
+    });
+    drop(observer);
+    drop(acquire_log);
+    let log = Rc::try_unwrap(log)
+        .map_err(|_| ReplayError::Execution("log still shared after session".to_string()))?
+        .into_inner();
+    Ok((log, outcome))
+}
+
+/// Re-executes the session a log records and diffs the re-derived
+/// stream against it. `Ok` means every event — every SQI value,
+/// coverage metric, vote weight, state transition — reproduced
+/// bit-identically.
+///
+/// # Errors
+///
+/// [`ReplayError::Divergence`] carries the first divergent event;
+/// decode/spec/setup failures use the other variants.
+pub fn verify_replay(recorded: &EventLog) -> Result<SupervisedOutcome, ReplayError> {
+    let spec = RecordSpec::from_log(recorded)?;
+    let (replayed, outcome) = record_session(&spec)?;
+    match recorded.first_divergence(&replayed) {
+        None => Ok(outcome),
+        Some(d) => Err(ReplayError::Divergence(Box::new(d))),
+    }
+}
+
+/// Renders a log's summary: header, spec, event counts by type, and
+/// the terminal state. Pure inspection — no re-execution — so the
+/// output is identical everywhere the log parses.
+#[must_use]
+pub fn summarize(log: &EventLog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schema: {}", p2auth_obs::events::EVENTS_SCHEMA);
+    let _ = writeln!(
+        out,
+        "seeds: population {} chaos {} nonce {}",
+        log.seeds.population, log.seeds.chaos, log.seeds.nonce
+    );
+    for (k, v) in &log.meta {
+        let _ = writeln!(out, "{k}: {v}");
+    }
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for ev in &log.events {
+        *counts.entry(ev.event.type_tag()).or_insert(0) += 1;
+    }
+    let _ = writeln!(out, "events: {}", log.len());
+    for (tag, n) in &counts {
+        let _ = writeln!(out, "  {tag}: {n}");
+    }
+    for ev in &log.events {
+        if let SessionEvent::SessionEnd {
+            state,
+            attempts,
+            accepted,
+        } = &ev.event
+        {
+            let _ = writeln!(
+                out,
+                "session: {state} after {attempts} attempt(s), accepted {accepted}"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> RecordSpec {
+        RecordSpec::default()
+    }
+
+    #[test]
+    fn spec_round_trips_through_log_metadata() {
+        let mut spec = quick_spec();
+        spec.chaos_seed = 7;
+        spec.nonce = 3;
+        spec.sensor_preset = Some((SensorFaultKind::Motion, 0.8));
+        let mut log = EventLog::new(spec.seeds());
+        spec.stamp(&mut log);
+        let back = RecordSpec::from_log(&log).expect("spec reconstructs");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_missing_key_is_a_spec_error() {
+        let log = EventLog::new(SessionSeeds::default());
+        assert!(matches!(
+            RecordSpec::from_log(&log),
+            Err(ReplayError::Spec(_))
+        ));
+    }
+
+    #[test]
+    fn bad_user_is_an_execution_error() {
+        let spec = RecordSpec {
+            user: 99,
+            ..quick_spec()
+        };
+        assert!(matches!(
+            record_session(&spec),
+            Err(ReplayError::Execution(_))
+        ));
+    }
+}

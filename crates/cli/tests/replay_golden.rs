@@ -1,0 +1,40 @@
+//! Pins the committed golden event log: it must decode, its canonical
+//! encoding must be the committed bytes, and `replay --summary` must
+//! render exactly the committed summary. Pure log inspection — no
+//! re-execution — so this holds on any RNG backend. Regenerate both
+//! files with:
+//!
+//! ```text
+//! p2auth record --chaos sensor --chaos-seed 1 \
+//!     --out crates/cli/tests/golden/session_chaos.events.json
+//! p2auth replay crates/cli/tests/golden/session_chaos.events.json \
+//!     --summary > crates/cli/tests/golden/session_chaos.summary.txt
+//! ```
+
+use p2auth_cli::replay::{summarize, RecordSpec};
+use p2auth_obs::EventLog;
+
+const GOLDEN_LOG: &str = include_str!("golden/session_chaos.events.json");
+const GOLDEN_SUMMARY: &str = include_str!("golden/session_chaos.summary.txt");
+
+#[test]
+fn golden_log_decodes_and_is_canonical() {
+    let log = EventLog::decode(GOLDEN_LOG.trim_end()).expect("golden decodes");
+    assert!(!log.is_empty());
+    assert_eq!(log.encode(), GOLDEN_LOG.trim_end(), "golden not canonical");
+    // The embedded spec must stay reconstructable: replayability of
+    // committed logs is part of the format contract.
+    RecordSpec::from_log(&log).expect("golden spec reconstructs");
+}
+
+#[test]
+fn golden_summary_matches() {
+    let log = EventLog::decode(GOLDEN_LOG.trim_end()).expect("golden decodes");
+    // The golden was captured from the CLI, whose `println!` appends
+    // one newline to the summary.
+    assert_eq!(
+        format!("{}\n", summarize(&log)),
+        GOLDEN_SUMMARY,
+        "summary drifted"
+    );
+}

@@ -50,6 +50,6 @@ pub use host::{HostAssembler, LinkQuality};
 pub use link::{FaultConfig, FaultStats, FaultyLink, Link, LinkConfig};
 pub use reliable::{transmit_reliable, Packet, ReliableConfig, TransferStats};
 pub use supervisor::{
-    run_supervised, SessionSupervisor, SupervisedOutcome, SupervisorConfig, SupervisorEvent,
-    SupervisorState,
+    run_supervised, run_supervised_observed, NoopObserver, SessionObserver, SessionSupervisor,
+    SupervisedOutcome, SupervisorConfig, SupervisorEvent, SupervisorState,
 };

@@ -33,7 +33,7 @@
 
 use crate::auth_host::SessionOutcome;
 use crate::host::LinkQuality;
-use p2auth_core::{P2Auth, Pin, Recording, RejectReason, UserProfile};
+use p2auth_core::{AttemptQuality, P2Auth, Pin, Recording, RejectReason, UserProfile};
 
 /// Deadlines and re-prompt policy of a supervised session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,6 +156,67 @@ pub enum SupervisorEvent {
     /// Pure passage of time; only deadlines react to it.
     Tick,
 }
+
+impl SupervisorEvent {
+    /// Stable machine-readable name (payload-free; the payload travels
+    /// in the event log's dedicated fields).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SupervisorEvent::Start => "start",
+            SupervisorEvent::CollectionComplete => "collection_complete",
+            SupervisorEvent::AssessmentReady { .. } => "assessment_ready",
+            SupervisorEvent::AssessmentFailed => "assessment_failed",
+            SupervisorEvent::DecisionAccept => "decision_accept",
+            SupervisorEvent::DecisionReject { .. } => "decision_reject",
+            SupervisorEvent::DecisionAbort => "decision_abort",
+            SupervisorEvent::Tick => "tick",
+        }
+    }
+}
+
+/// Observation tap on a supervised session, called synchronously from
+/// [`run_supervised_observed`] at every step of the virtual-clock
+/// driver. All methods default to no-ops, so an observer implements
+/// only what it records; [`NoopObserver`] is the zero-cost identity
+/// (and what [`run_supervised`] uses).
+///
+/// Observer calls carry *logical* session data only — states, virtual
+/// clock, quality verdicts, outcomes — never wall-clock time, so a
+/// recorder built on this trait produces deterministic, replayable
+/// logs.
+pub trait SessionObserver {
+    /// One supervisor step: the machine consumed `event` at `now_s`,
+    /// moving `from` → `to` (equal when the event was absorbed), with
+    /// `deadline_s` the *new* state's deadline.
+    fn on_step(
+        &mut self,
+        from: SupervisorState,
+        event: &SupervisorEvent,
+        to: SupervisorState,
+        now_s: f64,
+        deadline_s: Option<f64>,
+    ) {
+        let _ = (from, event, to, now_s, deadline_s);
+    }
+
+    /// Quality assessment of one attempt finished (`None` when the
+    /// assessment itself failed).
+    fn on_assessment(&mut self, attempt_no: u32, quality: Option<&AttemptQuality>) {
+        let _ = (attempt_no, quality);
+    }
+
+    /// The decision pipeline produced an outcome for one attempt.
+    fn on_outcome(&mut self, attempt_no: u32, outcome: &SessionOutcome) {
+        let _ = (attempt_no, outcome);
+    }
+}
+
+/// The do-nothing [`SessionObserver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SessionObserver for NoopObserver {}
 
 /// A deadline-guarded session state machine. Pure and deterministic:
 /// the caller owns the clock and passes `now_s` into every
@@ -402,7 +463,32 @@ pub fn run_supervised<F>(
     profile: &UserProfile,
     claimed_pin: Option<&Pin>,
     config: &SupervisorConfig,
+    attempt_fn: F,
+) -> SupervisedOutcome
+where
+    F: FnMut(u32) -> Option<(Recording, LinkQuality)>,
+{
+    run_supervised_observed(
+        system,
+        profile,
+        claimed_pin,
+        config,
+        attempt_fn,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_supervised`] with a [`SessionObserver`] tap: identical flow
+/// and bit-identical outcomes, but every supervisor step, quality
+/// assessment and pipeline outcome is reported to `observer` as it
+/// happens — the recording half of the event-sourced replay engine.
+pub fn run_supervised_observed<F>(
+    system: &P2Auth,
+    profile: &UserProfile,
+    claimed_pin: Option<&Pin>,
+    config: &SupervisorConfig,
     mut attempt_fn: F,
+    observer: &mut dyn SessionObserver,
 ) -> SupervisedOutcome
 where
     F: FnMut(u32) -> Option<(Recording, LinkQuality)>,
@@ -413,7 +499,18 @@ where
     let mut sup = SessionSupervisor::new(*config);
     let mut now = 0.0_f64;
     let mut last_outcome: Option<SessionOutcome> = None;
-    sup.step(SupervisorEvent::Start, now);
+    // Every supervisor step flows through this macro so the observer
+    // sees the exact from/event/to trace the machine executed.
+    macro_rules! step {
+        ($event:expr, $now:expr) => {{
+            let event = $event;
+            let from = sup.state();
+            let to = sup.step(event, $now);
+            observer.on_step(from, &event, to, $now, sup.deadline_s());
+            to
+        }};
+    }
+    step!(SupervisorEvent::Start, now);
     // Each loop iteration is one collection attempt; the machine's
     // re-prompt budget bounds the number of iterations.
     while !sup.state().is_terminal() {
@@ -427,13 +524,15 @@ where
                 // in `enter`), and the machine is in Collecting here.
                 let deadline = sup.deadline_s().unwrap();
                 now = deadline + 1e-3;
-                sup.step(SupervisorEvent::Tick, now);
+                step!(SupervisorEvent::Tick, now);
             }
             Some((recording, quality)) => {
                 now += 2.0;
-                sup.step(SupervisorEvent::CollectionComplete, now);
+                step!(SupervisorEvent::CollectionComplete, now);
                 now += 0.5;
-                let assess_event = match system.assess_quality_arena(&arena, &recording) {
+                let assessment = system.assess_quality_arena(&arena, &recording);
+                observer.on_assessment(attempt_no, assessment.as_ref().ok());
+                let assess_event = match &assessment {
                     Ok(q) => {
                         let usable = if system.config().sqi_gating {
                             q.usable
@@ -448,7 +547,7 @@ where
                     }
                     Err(_) => SupervisorEvent::AssessmentFailed,
                 };
-                sup.step(assess_event, now);
+                step!(assess_event, now);
                 if sup.state() == SupervisorState::Deciding {
                     now += 0.5;
                     let outcome = crate::decide_session_arena(
@@ -459,6 +558,7 @@ where
                         &recording,
                         quality,
                     );
+                    observer.on_outcome(attempt_no, &outcome);
                     let event = match &outcome {
                         SessionOutcome::Abort { .. } => SupervisorEvent::DecisionAbort,
                         other => match other.decision() {
@@ -470,7 +570,7 @@ where
                         },
                     };
                     last_outcome = Some(outcome);
-                    sup.step(event, now);
+                    step!(event, now);
                 }
                 if sup.state() == SupervisorState::Reprompt {
                     // Wait out the backoff, then re-collect.
@@ -478,7 +578,7 @@ where
                     // INVARIANT: Reprompt always carries a deadline.
                     let deadline = sup.deadline_s().unwrap();
                     now = deadline + 1e-3;
-                    sup.step(SupervisorEvent::Tick, now);
+                    step!(SupervisorEvent::Tick, now);
                 }
             }
         }

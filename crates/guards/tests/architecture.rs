@@ -1,0 +1,99 @@
+//! The guard proper: every workspace manifest obeys the layer DAG,
+//! the DAG is acyclic, the pure layers are I/O-free — and the checks
+//! themselves still catch known-bad fixtures.
+
+use p2auth_guards::{
+    check_layers, find_cycle, layer_rules, parse_manifest, rust_sources, scan_source_for_io,
+    workspace_manifests, workspace_root, IO_BANNED_CRATES,
+};
+
+#[test]
+fn every_crate_obeys_the_layer_dag() {
+    let root = workspace_root();
+    let manifests = workspace_manifests(&root);
+    assert!(
+        manifests.len() >= 13,
+        "expected the full workspace, found {} manifests",
+        manifests.len()
+    );
+    let mut violations = Vec::new();
+    for (path, m) in &manifests {
+        for v in check_layers(m, layer_rules()) {
+            violations.push(format!("{}: {v}", path.display()));
+        }
+    }
+    assert!(violations.is_empty(), "{}", violations.join("\n"));
+}
+
+#[test]
+fn the_layer_graph_is_acyclic() {
+    let root = workspace_root();
+    let mut edges = Vec::new();
+    for (_, m) in workspace_manifests(&root) {
+        for d in &m.runtime_deps {
+            edges.push((m.name.clone(), d.clone()));
+        }
+    }
+    assert!(!edges.is_empty(), "no dependency edges found");
+    if let Some(cycle) = find_cycle(&edges) {
+        panic!("dependency cycle: {}", cycle.join(" -> "));
+    }
+}
+
+#[test]
+fn pure_layers_never_touch_io() {
+    let root = workspace_root();
+    let mut hits = Vec::new();
+    let mut scanned = 0;
+    for krate in IO_BANNED_CRATES {
+        for src in rust_sources(&root.join("crates").join(krate).join("src")) {
+            scanned += 1;
+            let text = std::fs::read_to_string(&src)
+                .unwrap_or_else(|e| panic!("read {}: {e}", src.display()));
+            for (line, token) in scan_source_for_io(&text) {
+                hits.push(format!("{}:{line}: {token}", src.display()));
+            }
+        }
+    }
+    assert!(scanned > 10, "only {scanned} sources scanned — wrong root?");
+    assert!(hits.is_empty(), "I/O in pure layers:\n{}", hits.join("\n"));
+}
+
+#[test]
+fn guard_catches_the_forbidden_dependency_fixture() {
+    let bad = parse_manifest(include_str!("fixtures/forbidden_dep.toml"));
+    assert_eq!(bad.name, "p2auth-dsp");
+    assert_eq!(bad.runtime_deps, ["p2auth-device"]);
+    let violations = check_layers(&bad, layer_rules());
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(
+        violations[0].contains("p2auth-dsp -> p2auth-device"),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn guard_catches_the_forbidden_io_fixture() {
+    let hits = scan_source_for_io(include_str!("fixtures/forbidden_io.rs"));
+    let tokens: Vec<_> = hits.iter().map(|(_, t)| *t).collect();
+    assert!(tokens.contains(&"std::net"), "{hits:?}");
+    assert!(tokens.contains(&"std::fs"), "{hits:?}");
+}
+
+#[test]
+fn rule_table_covers_exactly_the_workspace() {
+    // A crate added to the workspace without a rule fails
+    // `every_crate_obeys_the_layer_dag`; a rule left behind after a
+    // crate is deleted fails here.
+    let root = workspace_root();
+    let names: Vec<_> = workspace_manifests(&root)
+        .into_iter()
+        .map(|(_, m)| m.name)
+        .collect();
+    for (rule_name, _) in layer_rules() {
+        assert!(
+            names.iter().any(|n| n == rule_name),
+            "stale layer rule for {rule_name:?}"
+        );
+    }
+}

@@ -1,0 +1,9 @@
+// Negative fixture: core-layer-looking code that opens a socket and
+// reads a file. The I/O scan must flag both lines; if it ever passes,
+// the guard has rotted. (This file is test data, never compiled.)
+
+fn exfiltrate(profile: &[u8]) {
+    let mut sock = std::net::TcpStream::connect("127.0.0.1:9").unwrap();
+    std::fs::write("/tmp/profile.bin", profile).unwrap();
+    let _ = &mut sock;
+}

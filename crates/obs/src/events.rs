@@ -1,0 +1,1346 @@
+//! Event-sourced session log: `p2auth.events.v1`.
+//!
+//! The flight recorder ([`crate::recorder`]) keeps the *last* 256
+//! events for post-mortems; this module is its promotion to a full
+//! **append-only, versioned session log**: every sample batch, link
+//! frame event, SQI verdict, supervisor transition, deadline tick and
+//! final decision of one authentication session as a *typed* event,
+//! stamped with a logical sequence number. The header carries the
+//! session's RNG seeds plus free-form recorder metadata (enough for a
+//! replayer to re-execute the session from scratch), so a recorded log
+//! is a one-command local repro of any chaos-CI or fleet anomaly.
+//!
+//! Design rules:
+//!
+//! * **Self-serialized** — the wire format is JSON in the
+//!   `p2auth.obs.v1` idiom (hand-written writer, decoded with
+//!   [`crate::json`]); no serde, so the log builds everywhere the
+//!   crate does.
+//! * **Logical time only** — events carry sequence numbers and
+//!   session-clock seconds, never wall-clock nanoseconds, so a replay
+//!   of the same session produces a byte-identical log.
+//! * **Exact numbers** — `u64` values (seeds, digests) are encoded as
+//!   decimal *strings* because JSON numbers are f64 and would silently
+//!   lose precision past 2^53; `f64` values use Rust's shortest
+//!   round-trip `Display`, so decode reproduces the exact bits. Only
+//!   finite floats are representable: encoding maps non-finite values
+//!   to `null` and decoding rejects `null` in a required float field
+//!   with a typed error rather than inventing a NaN.
+//! * **Typed failures** — a truncated, bit-flipped or garbage log
+//!   yields an [`EventLogError`], never a panic and never a silent
+//!   partial log (sequence numbers must be exactly `0..n`).
+
+use crate::json::{self, JsonValue};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Identifier of the event-log schema emitted by [`EventLog::encode`].
+pub const EVENTS_SCHEMA: &str = "p2auth.events.v1";
+
+/// The RNG seeds a session was recorded under. These are the inputs a
+/// replayer needs to re-derive every sample and fault realization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionSeeds {
+    /// Seed of the simulated population / cohort.
+    pub population: u64,
+    /// Seed driving chaos injection (sensor and link fault draws).
+    pub chaos: u64,
+    /// Per-session nonce mixed into recording synthesis.
+    pub nonce: u64,
+}
+
+/// One typed session event. Variants mirror the pipeline's observable
+/// surface: what the sensor delivered, what the link did to it, what
+/// quality gating concluded, how the supervisor moved, and what was
+/// decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// One acquisition attempt's sample batch as delivered to the host
+    /// (post sensor faults, post link reassembly).
+    SampleBatch {
+        /// Collection attempt index (0-based; re-prompts increment).
+        attempt: u32,
+        /// PPG channels in the batch.
+        channels: u32,
+        /// Samples per channel.
+        samples: u64,
+        /// Keystroke events reported with the batch.
+        keystrokes: u32,
+        /// FNV-1a 64 digest over every sample's bit pattern plus the
+        /// keystroke times — bit-identity of the batch in 8 bytes.
+        digest: u64,
+    },
+    /// Forward-direction frame traffic of one attempt (tx/rx).
+    LinkFrames {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Data packets offered to the link.
+        sent: u64,
+        /// Unique packets that reached the host.
+        delivered: u64,
+        /// Bytes offered to the forward links.
+        bytes: u64,
+        /// CRC-32 over all bytes offered forward, in order (equal
+        /// digests ⇒ byte-identical traffic).
+        digest: u64,
+    },
+    /// Frames the link damaged or duplicated in one attempt.
+    LinkCorrupt {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Envelopes discarded for CRC/framing errors.
+        corrupt: u64,
+        /// Duplicate deliveries discarded by sequence number.
+        duplicates: u64,
+        /// Events discarded past the session deadline.
+        late: u64,
+    },
+    /// NACK traffic of one attempt.
+    LinkNack {
+        /// Collection attempt index.
+        attempt: u32,
+        /// NACKs sent by the host.
+        nacks: u64,
+        /// Backoff timers scheduled.
+        backoffs: u64,
+        /// Total backoff scheduled, microseconds.
+        backoff_us: u64,
+    },
+    /// Retransmission outcome of one attempt.
+    LinkRetransmit {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Retransmissions performed by the device.
+        retransmissions: u64,
+        /// Gaps the host abandoned after exhausting NACK retries.
+        gaps_abandoned: u64,
+    },
+    /// PPG coverage the reassembled attempt ended up with.
+    LinkCoverage {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Fraction of expected PPG blocks received (0.0–1.0).
+        coverage: f64,
+        /// Blocks expected from the sequence high-water mark.
+        expected: u64,
+        /// Blocks received.
+        received: u64,
+        /// Missing blocks that were gap-filled.
+        gaps: u64,
+    },
+    /// Per-keystroke signal-quality verdict.
+    SqiVerdict {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Keystroke index within the PIN entry.
+        index: u32,
+        /// Digit typed at this position.
+        digit: u8,
+        /// Whether case identification detected the keystroke.
+        detected: bool,
+        /// Signal quality index (`None` when not detected).
+        sqi: Option<f64>,
+        /// Failed-check labels, `+`-joined (empty when clean).
+        flags: String,
+    },
+    /// Whole-attempt quality summary.
+    Assessment {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Keystrokes detected.
+        detected: u32,
+        /// Detected keystrokes at or above the SQI floor.
+        usable: u32,
+        /// Mean SQI over detected keystrokes.
+        mean_sqi: f64,
+    },
+    /// One supervisor state transition (including self-loops consumed
+    /// by ignored events are *not* logged; only state changes and the
+    /// events that caused them).
+    Transition {
+        /// State before the step.
+        from: String,
+        /// State after the step.
+        to: String,
+        /// Machine-readable name of the driving event.
+        event: String,
+        /// Session-clock time of the step, seconds.
+        now_s: f64,
+    },
+    /// A pure time step delivered to the supervisor (deadline checks).
+    DeadlineTick {
+        /// State the tick was delivered in.
+        state: String,
+        /// Session-clock time, seconds.
+        now_s: f64,
+        /// The state's deadline at that moment (`None` when the state
+        /// carries no deadline).
+        deadline_s: Option<f64>,
+    },
+    /// One keystroke's vote inside a decision.
+    Vote {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Keystroke index.
+        index: u32,
+        /// Digit typed.
+        digit: u8,
+        /// Whether the single-waveform model accepted it.
+        passed: bool,
+        /// Raw decision value.
+        score: f64,
+        /// Quality weight of the vote (SQI under gating, else 1.0).
+        weight: f64,
+    },
+    /// The pipeline outcome of one attempt.
+    Decision {
+        /// Collection attempt index.
+        attempt: u32,
+        /// Outcome kind: `decision` | `degraded` | `abort`.
+        kind: String,
+        /// Final verdict of this attempt (false for aborts).
+        accepted: bool,
+        /// Input case resolved by preprocessing (empty for aborts).
+        case: String,
+        /// Machine-readable reject reason, when rejected.
+        reason: Option<String>,
+        /// Aggregate decision score.
+        score: f64,
+        /// Link coverage, for degraded/abort outcomes.
+        coverage: Option<f64>,
+        /// Gap-filled blocks, for degraded/abort outcomes.
+        gap_blocks: Option<u64>,
+    },
+    /// Terminal summary: the session's final supervisor state.
+    SessionEnd {
+        /// Terminal state name.
+        state: String,
+        /// Collection attempts consumed.
+        attempts: u32,
+        /// Whether the session ended in `accept`.
+        accepted: bool,
+    },
+}
+
+impl SessionEvent {
+    /// Stable machine-readable type tag (the `"type"` field on the
+    /// wire).
+    #[must_use]
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            SessionEvent::SampleBatch { .. } => "sample_batch",
+            SessionEvent::LinkFrames { .. } => "link_frames",
+            SessionEvent::LinkCorrupt { .. } => "link_corrupt",
+            SessionEvent::LinkNack { .. } => "link_nack",
+            SessionEvent::LinkRetransmit { .. } => "link_retransmit",
+            SessionEvent::LinkCoverage { .. } => "link_coverage",
+            SessionEvent::SqiVerdict { .. } => "sqi_verdict",
+            SessionEvent::Assessment { .. } => "assessment",
+            SessionEvent::Transition { .. } => "transition",
+            SessionEvent::DeadlineTick { .. } => "deadline_tick",
+            SessionEvent::Vote { .. } => "vote",
+            SessionEvent::Decision { .. } => "decision",
+            SessionEvent::SessionEnd { .. } => "session_end",
+        }
+    }
+}
+
+/// One event with its logical sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedEvent {
+    /// Position in the log; [`EventLog::decode`] enforces `0..n`.
+    pub seq: u64,
+    /// The typed payload.
+    pub event: SessionEvent,
+}
+
+/// An append-only, versioned session event log.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EventLog {
+    /// RNG seeds of the recorded session.
+    pub seeds: SessionSeeds,
+    /// Recorder-defined metadata (e.g. the full record spec), in
+    /// insertion order. Keys should be unique; [`EventLog::meta_get`]
+    /// returns the first match.
+    pub meta: Vec<(String, String)>,
+    /// The events, in append order.
+    pub events: Vec<LoggedEvent>,
+}
+
+impl EventLog {
+    /// An empty log with the given seeds.
+    #[must_use]
+    pub fn new(seeds: SessionSeeds) -> Self {
+        Self {
+            seeds,
+            meta: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends one metadata key/value pair.
+    pub fn meta_push(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.push((key.into(), value.into()));
+    }
+
+    /// First metadata value under `key`.
+    #[must_use]
+    pub fn meta_get(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Appends an event, assigning the next sequence number, and
+    /// returns that number.
+    pub fn push(&mut self, event: SessionEvent) -> u64 {
+        let seq = self.events.len() as u64;
+        self.events.push(LoggedEvent { seq, event });
+        seq
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the log (schema `p2auth.events.v1`).
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 96);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"{EVENTS_SCHEMA}\",\"seeds\":{{\"population\":\"{}\",\"chaos\":\"{}\",\"nonce\":\"{}\"}},\"meta\":[",
+            self.seeds.population, self.seeds.chaos, self.seeds.nonce
+        );
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            push_str(k, &mut out);
+            out.push(',');
+            push_str(v, &mut out);
+            out.push(']');
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            encode_event(ev, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a serialized log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EventLogError`] when the input is not valid JSON, the
+    /// schema does not match, a field is missing or mistyped, or the
+    /// sequence numbers are not exactly `0..n` — corrupt input can
+    /// never produce a silently shortened or reordered log.
+    pub fn decode(input: &str) -> Result<Self, EventLogError> {
+        let doc = json::parse(input).map_err(EventLogError::Parse)?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| EventLogError::missing(None, "schema"))?;
+        if schema != EVENTS_SCHEMA {
+            return Err(EventLogError::Schema {
+                found: schema.to_string(),
+            });
+        }
+        let seeds_doc = doc
+            .get("seeds")
+            .ok_or_else(|| EventLogError::missing(None, "seeds"))?;
+        let seeds = SessionSeeds {
+            population: get_u64(seeds_doc, None, "population")?,
+            chaos: get_u64(seeds_doc, None, "chaos")?,
+            nonce: get_u64(seeds_doc, None, "nonce")?,
+        };
+        let mut meta = Vec::new();
+        for pair in doc
+            .get("meta")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| EventLogError::missing(None, "meta"))?
+        {
+            let bad = || EventLogError::bad(None, "meta", "expected [key, value] string pairs");
+            let pair = pair.as_array().ok_or_else(bad)?;
+            if pair.len() != 2 {
+                return Err(bad());
+            }
+            let k = pair[0].as_str().ok_or_else(bad)?;
+            let v = pair[1].as_str().ok_or_else(bad)?;
+            meta.push((k.to_string(), v.to_string()));
+        }
+        let mut events = Vec::new();
+        for (i, ev) in doc
+            .get("events")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| EventLogError::missing(None, "events"))?
+            .iter()
+            .enumerate()
+        {
+            let at = Some(i as u64);
+            let seq = get_u64_number(ev, at, "seq")?;
+            if seq != i as u64 {
+                return Err(EventLogError::BrokenSequence {
+                    position: i as u64,
+                    found: seq,
+                });
+            }
+            events.push(LoggedEvent {
+                seq,
+                event: decode_event(ev, at)?,
+            });
+        }
+        Ok(Self {
+            seeds,
+            meta,
+            events,
+        })
+    }
+
+    /// Compares two logs event-by-event and reports the first
+    /// divergence, if any. Header (seeds/meta) differences are
+    /// reported before event differences.
+    #[must_use]
+    pub fn first_divergence(&self, other: &EventLog) -> Option<LogDivergence> {
+        if self.seeds != other.seeds {
+            return Some(LogDivergence::Header {
+                field: "seeds",
+                expected: format!("{:?}", self.seeds),
+                actual: format!("{:?}", other.seeds),
+            });
+        }
+        if self.meta != other.meta {
+            return Some(LogDivergence::Header {
+                field: "meta",
+                expected: format!("{:?}", self.meta),
+                actual: format!("{:?}", other.meta),
+            });
+        }
+        for (a, b) in self.events.iter().zip(other.events.iter()) {
+            if a != b {
+                return Some(LogDivergence::Event {
+                    seq: a.seq,
+                    expected: render_event(a),
+                    actual: render_event(b),
+                });
+            }
+        }
+        if self.events.len() != other.events.len() {
+            let seq = self.events.len().min(other.events.len()) as u64;
+            return Some(LogDivergence::Length {
+                seq,
+                expected: self.events.len() as u64,
+                actual: other.events.len() as u64,
+            });
+        }
+        None
+    }
+}
+
+/// Renders one logged event as its wire JSON (stable, for divergence
+/// reports and goldens).
+#[must_use]
+pub fn render_event(ev: &LoggedEvent) -> String {
+    let mut out = String::new();
+    encode_event(ev, &mut out);
+    out
+}
+
+/// Where two logs first differ (see [`EventLog::first_divergence`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogDivergence {
+    /// Seeds or metadata differ — the sessions are not comparable.
+    Header {
+        /// Which header field diverged.
+        field: &'static str,
+        /// The reference value.
+        expected: String,
+        /// The re-derived value.
+        actual: String,
+    },
+    /// Event payloads at `seq` differ.
+    Event {
+        /// Sequence number of the first divergent event.
+        seq: u64,
+        /// The recorded event (wire JSON).
+        expected: String,
+        /// The re-derived event (wire JSON).
+        actual: String,
+    },
+    /// One log is a strict prefix of the other.
+    Length {
+        /// Sequence number where the shorter log ends.
+        seq: u64,
+        /// Events in the reference log.
+        expected: u64,
+        /// Events in the re-derived log.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for LogDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogDivergence::Header {
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "header field {field:?} diverged:\n  recorded: {expected}\n  replayed: {actual}"
+            ),
+            LogDivergence::Event {
+                seq,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "first divergent event at seq {seq}:\n  recorded: {expected}\n  replayed: {actual}"
+            ),
+            LogDivergence::Length {
+                seq,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "event streams diverge in length at seq {seq}: recorded {expected} events, replayed {actual}"
+            ),
+        }
+    }
+}
+
+/// Typed decode failure. `seq` is the 0-based event position where the
+/// problem was found, when it was inside an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventLogError {
+    /// The input is not well-formed JSON.
+    Parse(json::JsonError),
+    /// The document's schema tag is not [`EVENTS_SCHEMA`].
+    Schema {
+        /// The schema string found.
+        found: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Event position, `None` for header fields.
+        seq: Option<u64>,
+        /// The field name.
+        field: &'static str,
+    },
+    /// A field is present but has the wrong type or an invalid value.
+    BadField {
+        /// Event position, `None` for header fields.
+        seq: Option<u64>,
+        /// The field name.
+        field: &'static str,
+        /// What was wrong.
+        detail: String,
+    },
+    /// An event's `"type"` tag is not one this version understands.
+    UnknownEventType {
+        /// Event position.
+        seq: u64,
+        /// The tag found.
+        found: String,
+    },
+    /// Sequence numbers are not exactly `0..n` — the log was truncated
+    /// mid-stream, spliced, or reordered.
+    BrokenSequence {
+        /// Expected sequence number (the event's position).
+        position: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+}
+
+impl EventLogError {
+    fn missing(seq: Option<u64>, field: &'static str) -> Self {
+        EventLogError::MissingField { seq, field }
+    }
+
+    fn bad(seq: Option<u64>, field: &'static str, detail: impl Into<String>) -> Self {
+        EventLogError::BadField {
+            seq,
+            field,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for EventLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = |seq: &Option<u64>| match seq {
+            Some(s) => format!(" (event {s})"),
+            None => String::new(),
+        };
+        match self {
+            EventLogError::Parse(e) => write!(f, "not a valid event log: {e}"),
+            EventLogError::Schema { found } => {
+                write!(
+                    f,
+                    "unsupported schema {found:?} (expected {EVENTS_SCHEMA:?})"
+                )
+            }
+            EventLogError::MissingField { seq, field } => {
+                write!(f, "missing field {field:?}{}", at(seq))
+            }
+            EventLogError::BadField { seq, field, detail } => {
+                write!(f, "bad field {field:?}{}: {detail}", at(seq))
+            }
+            EventLogError::UnknownEventType { seq, found } => {
+                write!(f, "unknown event type {found:?} (event {seq})")
+            }
+            EventLogError::BrokenSequence { position, found } => write!(
+                f,
+                "broken event sequence: position {position} carries seq {found} \
+                 (log truncated or spliced)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EventLogError {}
+
+/// Incremental FNV-1a 64 digest for pinning bit-identity of sample
+/// batches without storing the samples. Not cryptographic — this
+/// detects replay divergence, not tampering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one `u64` (little-endian bytes).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds one `f64` by bit pattern — exact, so equal digests mean
+    /// bit-identical floats.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update_u64(v.to_bits());
+    }
+
+    /// The digest value.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire encoding
+// ---------------------------------------------------------------------
+
+fn push_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Finite floats use Rust's shortest round-trip `Display`; non-finite
+/// values become `null` (and are rejected on decode in required
+/// positions).
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_opt_f64(v: Option<f64>, out: &mut String) {
+    match v {
+        Some(v) => push_f64(v, out),
+        None => out.push_str("null"),
+    }
+}
+
+fn push_opt_u64(v: Option<u64>, out: &mut String) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "\"{v}\"");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn push_opt_str(v: Option<&str>, out: &mut String) {
+    match v {
+        Some(v) => push_str(v, out),
+        None => out.push_str("null"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_event(ev: &LoggedEvent, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"type\":\"{}\"",
+        ev.seq,
+        ev.event.type_tag()
+    );
+    match &ev.event {
+        SessionEvent::SampleBatch {
+            attempt,
+            channels,
+            samples,
+            keystrokes,
+            digest,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"channels\":{channels},\"samples\":\"{samples}\",\
+                 \"keystrokes\":{keystrokes},\"digest\":\"{digest}\""
+            );
+        }
+        SessionEvent::LinkFrames {
+            attempt,
+            sent,
+            delivered,
+            bytes,
+            digest,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"sent\":\"{sent}\",\"delivered\":\"{delivered}\",\
+                 \"bytes\":\"{bytes}\",\"digest\":\"{digest}\""
+            );
+        }
+        SessionEvent::LinkCorrupt {
+            attempt,
+            corrupt,
+            duplicates,
+            late,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"corrupt\":\"{corrupt}\",\
+                 \"duplicates\":\"{duplicates}\",\"late\":\"{late}\""
+            );
+        }
+        SessionEvent::LinkNack {
+            attempt,
+            nacks,
+            backoffs,
+            backoff_us,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"nacks\":\"{nacks}\",\"backoffs\":\"{backoffs}\",\
+                 \"backoff_us\":\"{backoff_us}\""
+            );
+        }
+        SessionEvent::LinkRetransmit {
+            attempt,
+            retransmissions,
+            gaps_abandoned,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"retransmissions\":\"{retransmissions}\",\
+                 \"gaps_abandoned\":\"{gaps_abandoned}\""
+            );
+        }
+        SessionEvent::LinkCoverage {
+            attempt,
+            coverage,
+            expected,
+            received,
+            gaps,
+        } => {
+            let _ = write!(out, ",\"attempt\":{attempt},\"coverage\":");
+            push_f64(*coverage, out);
+            let _ = write!(
+                out,
+                ",\"expected\":\"{expected}\",\"received\":\"{received}\",\"gaps\":\"{gaps}\""
+            );
+        }
+        SessionEvent::SqiVerdict {
+            attempt,
+            index,
+            digit,
+            detected,
+            sqi,
+            flags,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"index\":{index},\"digit\":{digit},\
+                 \"detected\":{detected},\"sqi\":"
+            );
+            push_opt_f64(*sqi, out);
+            out.push_str(",\"flags\":");
+            push_str(flags, out);
+        }
+        SessionEvent::Assessment {
+            attempt,
+            detected,
+            usable,
+            mean_sqi,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"detected\":{detected},\"usable\":{usable},\"mean_sqi\":"
+            );
+            push_f64(*mean_sqi, out);
+        }
+        SessionEvent::Transition {
+            from,
+            to,
+            event,
+            now_s,
+        } => {
+            out.push_str(",\"from\":");
+            push_str(from, out);
+            out.push_str(",\"to\":");
+            push_str(to, out);
+            out.push_str(",\"event\":");
+            push_str(event, out);
+            out.push_str(",\"now_s\":");
+            push_f64(*now_s, out);
+        }
+        SessionEvent::DeadlineTick {
+            state,
+            now_s,
+            deadline_s,
+        } => {
+            out.push_str(",\"state\":");
+            push_str(state, out);
+            out.push_str(",\"now_s\":");
+            push_f64(*now_s, out);
+            out.push_str(",\"deadline_s\":");
+            push_opt_f64(*deadline_s, out);
+        }
+        SessionEvent::Vote {
+            attempt,
+            index,
+            digit,
+            passed,
+            score,
+            weight,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"index\":{index},\"digit\":{digit},\
+                 \"passed\":{passed},\"score\":"
+            );
+            push_f64(*score, out);
+            out.push_str(",\"weight\":");
+            push_f64(*weight, out);
+        }
+        SessionEvent::Decision {
+            attempt,
+            kind,
+            accepted,
+            case,
+            reason,
+            score,
+            coverage,
+            gap_blocks,
+        } => {
+            let _ = write!(out, ",\"attempt\":{attempt},\"kind\":");
+            push_str(kind, out);
+            let _ = write!(out, ",\"accepted\":{accepted},\"case\":");
+            push_str(case, out);
+            out.push_str(",\"reason\":");
+            push_opt_str(reason.as_deref(), out);
+            out.push_str(",\"score\":");
+            push_f64(*score, out);
+            out.push_str(",\"coverage\":");
+            push_opt_f64(*coverage, out);
+            out.push_str(",\"gap_blocks\":");
+            push_opt_u64(*gap_blocks, out);
+        }
+        SessionEvent::SessionEnd {
+            state,
+            attempts,
+            accepted,
+        } => {
+            out.push_str(",\"state\":");
+            push_str(state, out);
+            let _ = write!(out, ",\"attempts\":{attempts},\"accepted\":{accepted}");
+        }
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------
+// Wire decoding
+// ---------------------------------------------------------------------
+
+/// `u64` encoded as a decimal string (exactness past 2^53).
+fn get_u64(obj: &JsonValue, seq: Option<u64>, field: &'static str) -> Result<u64, EventLogError> {
+    let v = obj
+        .get(field)
+        .ok_or_else(|| EventLogError::missing(seq, field))?;
+    let s = v
+        .as_str()
+        .ok_or_else(|| EventLogError::bad(seq, field, "expected a decimal string"))?;
+    s.parse::<u64>()
+        .map_err(|e| EventLogError::bad(seq, field, e.to_string()))
+}
+
+/// Small non-negative integer encoded as a JSON number (exact below
+/// 2^53; used for counts that fit comfortably).
+fn get_u64_number(
+    obj: &JsonValue,
+    seq: Option<u64>,
+    field: &'static str,
+) -> Result<u64, EventLogError> {
+    let v = obj
+        .get(field)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| EventLogError::missing(seq, field))?;
+    if v < 0.0 || v.fract() != 0.0 || v > 9_007_199_254_740_992.0 {
+        return Err(EventLogError::bad(
+            seq,
+            field,
+            format!("expected a non-negative integer, got {v}"),
+        ));
+    }
+    Ok(v as u64)
+}
+
+fn get_u32(obj: &JsonValue, seq: Option<u64>, field: &'static str) -> Result<u32, EventLogError> {
+    let v = get_u64_number(obj, seq, field)?;
+    u32::try_from(v).map_err(|_| EventLogError::bad(seq, field, "value exceeds u32"))
+}
+
+fn get_u8(obj: &JsonValue, seq: Option<u64>, field: &'static str) -> Result<u8, EventLogError> {
+    let v = get_u64_number(obj, seq, field)?;
+    u8::try_from(v).map_err(|_| EventLogError::bad(seq, field, "value exceeds u8"))
+}
+
+fn get_f64(obj: &JsonValue, seq: Option<u64>, field: &'static str) -> Result<f64, EventLogError> {
+    match obj.get(field) {
+        None => Err(EventLogError::missing(seq, field)),
+        Some(JsonValue::Number(v)) => Ok(*v),
+        Some(JsonValue::Null) => Err(EventLogError::bad(
+            seq,
+            field,
+            "null in a required float field (non-finite values are not representable)",
+        )),
+        Some(_) => Err(EventLogError::bad(seq, field, "expected a number")),
+    }
+}
+
+fn get_opt_f64(
+    obj: &JsonValue,
+    seq: Option<u64>,
+    field: &'static str,
+) -> Result<Option<f64>, EventLogError> {
+    match obj.get(field) {
+        None => Err(EventLogError::missing(seq, field)),
+        Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::Number(v)) => Ok(Some(*v)),
+        Some(_) => Err(EventLogError::bad(seq, field, "expected a number or null")),
+    }
+}
+
+fn get_opt_u64(
+    obj: &JsonValue,
+    seq: Option<u64>,
+    field: &'static str,
+) -> Result<Option<u64>, EventLogError> {
+    match obj.get(field) {
+        None => Err(EventLogError::missing(seq, field)),
+        Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::String(s)) => s
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| EventLogError::bad(seq, field, e.to_string())),
+        Some(_) => Err(EventLogError::bad(
+            seq,
+            field,
+            "expected a decimal string or null",
+        )),
+    }
+}
+
+fn get_str(
+    obj: &JsonValue,
+    seq: Option<u64>,
+    field: &'static str,
+) -> Result<String, EventLogError> {
+    obj.get(field)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| EventLogError::bad(seq, field, "expected a string"))
+}
+
+fn get_opt_str(
+    obj: &JsonValue,
+    seq: Option<u64>,
+    field: &'static str,
+) -> Result<Option<String>, EventLogError> {
+    match obj.get(field) {
+        None => Err(EventLogError::missing(seq, field)),
+        Some(JsonValue::Null) => Ok(None),
+        Some(JsonValue::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(EventLogError::bad(seq, field, "expected a string or null")),
+    }
+}
+
+fn get_bool(obj: &JsonValue, seq: Option<u64>, field: &'static str) -> Result<bool, EventLogError> {
+    obj.get(field)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| EventLogError::bad(seq, field, "expected a boolean"))
+}
+
+#[allow(clippy::too_many_lines)]
+fn decode_event(obj: &JsonValue, seq: Option<u64>) -> Result<SessionEvent, EventLogError> {
+    let tag = get_str(obj, seq, "type")?;
+    let event = match tag.as_str() {
+        "sample_batch" => SessionEvent::SampleBatch {
+            attempt: get_u32(obj, seq, "attempt")?,
+            channels: get_u32(obj, seq, "channels")?,
+            samples: get_u64(obj, seq, "samples")?,
+            keystrokes: get_u32(obj, seq, "keystrokes")?,
+            digest: get_u64(obj, seq, "digest")?,
+        },
+        "link_frames" => SessionEvent::LinkFrames {
+            attempt: get_u32(obj, seq, "attempt")?,
+            sent: get_u64(obj, seq, "sent")?,
+            delivered: get_u64(obj, seq, "delivered")?,
+            bytes: get_u64(obj, seq, "bytes")?,
+            digest: get_u64(obj, seq, "digest")?,
+        },
+        "link_corrupt" => SessionEvent::LinkCorrupt {
+            attempt: get_u32(obj, seq, "attempt")?,
+            corrupt: get_u64(obj, seq, "corrupt")?,
+            duplicates: get_u64(obj, seq, "duplicates")?,
+            late: get_u64(obj, seq, "late")?,
+        },
+        "link_nack" => SessionEvent::LinkNack {
+            attempt: get_u32(obj, seq, "attempt")?,
+            nacks: get_u64(obj, seq, "nacks")?,
+            backoffs: get_u64(obj, seq, "backoffs")?,
+            backoff_us: get_u64(obj, seq, "backoff_us")?,
+        },
+        "link_retransmit" => SessionEvent::LinkRetransmit {
+            attempt: get_u32(obj, seq, "attempt")?,
+            retransmissions: get_u64(obj, seq, "retransmissions")?,
+            gaps_abandoned: get_u64(obj, seq, "gaps_abandoned")?,
+        },
+        "link_coverage" => SessionEvent::LinkCoverage {
+            attempt: get_u32(obj, seq, "attempt")?,
+            coverage: get_f64(obj, seq, "coverage")?,
+            expected: get_u64(obj, seq, "expected")?,
+            received: get_u64(obj, seq, "received")?,
+            gaps: get_u64(obj, seq, "gaps")?,
+        },
+        "sqi_verdict" => SessionEvent::SqiVerdict {
+            attempt: get_u32(obj, seq, "attempt")?,
+            index: get_u32(obj, seq, "index")?,
+            digit: get_u8(obj, seq, "digit")?,
+            detected: get_bool(obj, seq, "detected")?,
+            sqi: get_opt_f64(obj, seq, "sqi")?,
+            flags: get_str(obj, seq, "flags")?,
+        },
+        "assessment" => SessionEvent::Assessment {
+            attempt: get_u32(obj, seq, "attempt")?,
+            detected: get_u32(obj, seq, "detected")?,
+            usable: get_u32(obj, seq, "usable")?,
+            mean_sqi: get_f64(obj, seq, "mean_sqi")?,
+        },
+        "transition" => SessionEvent::Transition {
+            from: get_str(obj, seq, "from")?,
+            to: get_str(obj, seq, "to")?,
+            event: get_str(obj, seq, "event")?,
+            now_s: get_f64(obj, seq, "now_s")?,
+        },
+        "deadline_tick" => SessionEvent::DeadlineTick {
+            state: get_str(obj, seq, "state")?,
+            now_s: get_f64(obj, seq, "now_s")?,
+            deadline_s: get_opt_f64(obj, seq, "deadline_s")?,
+        },
+        "vote" => SessionEvent::Vote {
+            attempt: get_u32(obj, seq, "attempt")?,
+            index: get_u32(obj, seq, "index")?,
+            digit: get_u8(obj, seq, "digit")?,
+            passed: get_bool(obj, seq, "passed")?,
+            score: get_f64(obj, seq, "score")?,
+            weight: get_f64(obj, seq, "weight")?,
+        },
+        "decision" => SessionEvent::Decision {
+            attempt: get_u32(obj, seq, "attempt")?,
+            kind: get_str(obj, seq, "kind")?,
+            accepted: get_bool(obj, seq, "accepted")?,
+            case: get_str(obj, seq, "case")?,
+            reason: get_opt_str(obj, seq, "reason")?,
+            score: get_f64(obj, seq, "score")?,
+            coverage: get_opt_f64(obj, seq, "coverage")?,
+            gap_blocks: get_opt_u64(obj, seq, "gap_blocks")?,
+        },
+        "session_end" => SessionEvent::SessionEnd {
+            state: get_str(obj, seq, "state")?,
+            attempts: get_u32(obj, seq, "attempts")?,
+            accepted: get_bool(obj, seq, "accepted")?,
+        },
+        _ => {
+            return Err(EventLogError::UnknownEventType {
+                seq: seq.unwrap_or(0),
+                found: tag,
+            })
+        }
+    };
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::new(SessionSeeds {
+            population: 42,
+            chaos: u64::MAX - 7,
+            nonce: 3,
+        });
+        log.meta_push("mode", "both");
+        log.meta_push("pin", "1628");
+        log.push(SessionEvent::Transition {
+            from: "idle".into(),
+            to: "collecting".into(),
+            event: "start".into(),
+            now_s: 0.0,
+        });
+        log.push(SessionEvent::SampleBatch {
+            attempt: 0,
+            channels: 2,
+            samples: 1000,
+            keystrokes: 4,
+            digest: 0xdead_beef_dead_beef,
+        });
+        log.push(SessionEvent::SqiVerdict {
+            attempt: 0,
+            index: 1,
+            digit: 6,
+            detected: true,
+            sqi: Some(0.123_456_789_012_345_67),
+            flags: "clipped+flatline".into(),
+        });
+        log.push(SessionEvent::SqiVerdict {
+            attempt: 0,
+            index: 2,
+            digit: 2,
+            detected: false,
+            sqi: None,
+            flags: String::new(),
+        });
+        log.push(SessionEvent::Decision {
+            attempt: 0,
+            kind: "degraded".into(),
+            accepted: false,
+            case: "OneHanded".into(),
+            reason: Some("poor_signal".into()),
+            score: -0.25,
+            coverage: Some(0.5),
+            gap_blocks: Some(10),
+        });
+        log.push(SessionEvent::SessionEnd {
+            state: "reject".into(),
+            attempts: 1,
+            accepted: false,
+        });
+        log
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let log = sample_log();
+        let text = log.encode();
+        let back = EventLog::decode(&text).expect("decodes");
+        assert_eq!(back, log);
+        // And the encoding itself is a fixed point.
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn sequence_numbers_are_assigned_and_enforced() {
+        let log = sample_log();
+        assert_eq!(
+            log.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (0..log.len() as u64).collect::<Vec<_>>()
+        );
+        // Splice one event out of the serialized form: seq 0..n breaks.
+        let text = log.encode();
+        let spliced = text.replacen("\"seq\":1,", "\"seq\":9,", 1);
+        assert!(matches!(
+            EventLog::decode(&spliced),
+            Err(EventLogError::BrokenSequence {
+                position: 1,
+                found: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn wrong_schema_is_a_typed_error() {
+        let text = sample_log()
+            .encode()
+            .replace("p2auth.events.v1", "p2auth.events.v9");
+        assert!(matches!(
+            EventLog::decode(&text),
+            Err(EventLogError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn u64_precision_survives_json() {
+        let log = sample_log();
+        let back = EventLog::decode(&log.encode()).unwrap();
+        assert_eq!(back.seeds.chaos, u64::MAX - 7);
+        match &back.events[1].event {
+            SessionEvent::SampleBatch { digest, .. } => {
+                assert_eq!(*digest, 0xdead_beef_dead_beef);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_event_type_is_reported_with_its_seq() {
+        let text = sample_log()
+            .encode()
+            .replacen("sample_batch", "sample_blob", 1);
+        assert!(matches!(
+            EventLog::decode(&text),
+            Err(EventLogError::UnknownEventType { seq: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn null_in_required_float_field_is_rejected() {
+        let log = sample_log();
+        let text = log
+            .encode()
+            .replacen("\"mean_sqi\":", "\"mean_sqi\":null,\"x\":", 1);
+        // sample_log has no assessment event; build one directly.
+        let mut log2 = EventLog::new(SessionSeeds::default());
+        log2.push(SessionEvent::Assessment {
+            attempt: 0,
+            detected: 4,
+            usable: 2,
+            mean_sqi: f64::NAN,
+        });
+        let encoded = log2.encode();
+        assert!(encoded.contains("\"mean_sqi\":null"));
+        assert!(matches!(
+            EventLog::decode(&encoded),
+            Err(EventLogError::BadField {
+                field: "mean_sqi",
+                ..
+            })
+        ));
+        let _ = text;
+    }
+
+    #[test]
+    fn divergence_reports_first_differing_event() {
+        let a = sample_log();
+        let mut b = sample_log();
+        if let SessionEvent::SqiVerdict { sqi, .. } = &mut b.events[2].event {
+            *sqi = Some(0.999);
+        }
+        match a.first_divergence(&b) {
+            Some(LogDivergence::Event { seq: 2, .. }) => {}
+            other => panic!("expected event divergence at seq 2, got {other:?}"),
+        }
+        // Identical logs do not diverge.
+        assert_eq!(a.first_divergence(&sample_log()), None);
+        // A strict prefix diverges by length.
+        let mut c = sample_log();
+        c.events.pop();
+        match a.first_divergence(&c) {
+            Some(LogDivergence::Length { seq: 5, .. }) => {}
+            other => panic!("expected length divergence, got {other:?}"),
+        }
+        // Header mismatches dominate.
+        let mut d = sample_log();
+        d.seeds.chaos ^= 1;
+        assert!(matches!(
+            a.first_divergence(&d),
+            Some(LogDivergence::Header { field: "seeds", .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_digest_is_order_and_bit_sensitive() {
+        let mut a = Fnv64::new();
+        a.update_f64(1.0);
+        a.update_f64(2.0);
+        let mut b = Fnv64::new();
+        b.update_f64(2.0);
+        b.update_f64(1.0);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.update_f64(1.0);
+        c.update_f64(2.0);
+        assert_eq!(a.finish(), c.finish());
+        // -0.0 and 0.0 differ by bit pattern and must differ in digest.
+        let mut p = Fnv64::new();
+        p.update_f64(0.0);
+        let mut n = Fnv64::new();
+        n.update_f64(-0.0);
+        assert_ne!(p.finish(), n.finish());
+    }
+
+    #[test]
+    fn meta_lookup_returns_first_match() {
+        let mut log = EventLog::new(SessionSeeds::default());
+        log.meta_push("k", "1");
+        log.meta_push("k", "2");
+        assert_eq!(log.meta_get("k"), Some("1"));
+        assert_eq!(log.meta_get("absent"), None);
+    }
+}

@@ -17,6 +17,9 @@
 //!   (`p2auth.obs.v1`), plus a span-tree renderer.
 //! * **JSON** ([`json`]) — a minimal dependency-free JSON parser used
 //!   by the golden-schema tests (and available to tooling).
+//! * **Event log** ([`events`]) — an append-only, versioned session
+//!   event stream (`p2auth.events.v1`) with logical sequence numbers
+//!   and RNG seeds, the substrate for deterministic record/replay.
 //!
 //! Everything is gated on the `enabled` cargo feature (downstream
 //! crates re-expose it as `obs`, on by default). With the feature off,
@@ -34,12 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod span;
 
+pub use events::{EventLog, EventLogError, LogDivergence, LoggedEvent, SessionEvent, SessionSeeds};
 pub use recorder::{Event, Value};
 pub use span::{adopt, current_ctx, AdoptGuard, Span, SpanCtx, SpanRecord};
 

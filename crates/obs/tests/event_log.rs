@@ -1,0 +1,363 @@
+//! Hardening suite for the `p2auth.events.v1` log, mirroring the
+//! `Frame::decode` property tests: arbitrary logs round-trip
+//! bit-exactly, arbitrary corruption yields a typed error or an intact
+//! decode — never a panic and never a silently shortened log.
+
+use p2auth_obs::events::{EventLog, EventLogError, LogDivergence, SessionEvent, SessionSeeds};
+use proptest::prelude::*;
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    // Finite by construction: the log's float policy is finite-only.
+    prop_oneof![
+        -1.0e9_f64..1.0e9,
+        Just(0.0_f64),
+        Just(-0.0_f64),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Covers escaping-relevant content: quotes, backslashes, control
+    // characters, non-ASCII.
+    prop_oneof![
+        "[a-z_]{0,12}",
+        Just("with \"quotes\" and \\slashes\\".to_string()),
+        Just("ctl:\u{1}\ttab\nnewline".to_string()),
+        Just("ünïcode·PPG".to_string()),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = SessionEvent> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(|(attempt, channels, samples, keystrokes, digest)| {
+                SessionEvent::SampleBatch {
+                    attempt,
+                    channels,
+                    samples,
+                    keystrokes,
+                    digest,
+                }
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(attempt, sent, delivered, bytes, digest)| {
+                SessionEvent::LinkFrames {
+                    attempt,
+                    sent,
+                    delivered,
+                    bytes,
+                    digest,
+                }
+            }),
+        (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(attempt, corrupt, duplicates, late)| SessionEvent::LinkCorrupt {
+                attempt,
+                corrupt,
+                duplicates,
+                late,
+            }
+        ),
+        (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(attempt, nacks, backoffs, backoff_us)| SessionEvent::LinkNack {
+                attempt,
+                nacks,
+                backoffs,
+                backoff_us,
+            }
+        ),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+            |(attempt, retransmissions, gaps_abandoned)| SessionEvent::LinkRetransmit {
+                attempt,
+                retransmissions,
+                gaps_abandoned,
+            }
+        ),
+        (
+            any::<u32>(),
+            arb_f64(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(attempt, coverage, expected, received, gaps)| {
+                SessionEvent::LinkCoverage {
+                    attempt,
+                    coverage,
+                    expected,
+                    received,
+                    gaps,
+                }
+            }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<bool>(),
+            prop::option::of(arb_f64()),
+            arb_name()
+        )
+            .prop_map(|(attempt, index, digit, detected, sqi, flags)| {
+                SessionEvent::SqiVerdict {
+                    attempt,
+                    index,
+                    digit,
+                    detected,
+                    sqi,
+                    flags,
+                }
+            }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), arb_f64()).prop_map(
+            |(attempt, detected, usable, mean_sqi)| SessionEvent::Assessment {
+                attempt,
+                detected,
+                usable,
+                mean_sqi,
+            }
+        ),
+        (arb_name(), arb_name(), arb_name(), arb_f64()).prop_map(|(from, to, event, now_s)| {
+            SessionEvent::Transition {
+                from,
+                to,
+                event,
+                now_s,
+            }
+        }),
+        (arb_name(), arb_f64(), prop::option::of(arb_f64())).prop_map(
+            |(state, now_s, deadline_s)| SessionEvent::DeadlineTick {
+                state,
+                now_s,
+                deadline_s,
+            }
+        ),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u8>(),
+            any::<bool>(),
+            arb_f64(),
+            arb_f64()
+        )
+            .prop_map(|(attempt, index, digit, passed, score, weight)| {
+                SessionEvent::Vote {
+                    attempt,
+                    index,
+                    digit,
+                    passed,
+                    score,
+                    weight,
+                }
+            }),
+        (
+            any::<u32>(),
+            arb_name(),
+            any::<bool>(),
+            arb_name(),
+            prop::option::of(arb_name()),
+            arb_f64(),
+            prop::option::of(arb_f64()),
+            prop::option::of(any::<u64>())
+        )
+            .prop_map(
+                |(attempt, kind, accepted, case, reason, score, coverage, gap_blocks)| {
+                    SessionEvent::Decision {
+                        attempt,
+                        kind,
+                        accepted,
+                        case,
+                        reason,
+                        score,
+                        coverage,
+                        gap_blocks,
+                    }
+                }
+            ),
+        (arb_name(), any::<u32>(), any::<bool>()).prop_map(|(state, attempts, accepted)| {
+            SessionEvent::SessionEnd {
+                state,
+                attempts,
+                accepted,
+            }
+        }),
+    ]
+}
+
+fn arb_log() -> impl Strategy<Value = EventLog> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec((arb_name(), arb_name()), 0..4),
+        prop::collection::vec(arb_event(), 0..24),
+    )
+        .prop_map(|(population, chaos, nonce, meta, events)| {
+            let mut log = EventLog::new(SessionSeeds {
+                population,
+                chaos,
+                nonce,
+            });
+            for (k, v) in meta {
+                log.meta_push(k, v);
+            }
+            for ev in events {
+                log.push(ev);
+            }
+            log
+        })
+}
+
+proptest! {
+    #[test]
+    fn round_trip(log in arb_log()) {
+        let text = log.encode();
+        let back = EventLog::decode(&text).expect("well-formed log decodes");
+        prop_assert_eq!(&back, &log);
+        // Encoding is canonical: decode∘encode is a fixed point.
+        prop_assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn truncation_always_yields_a_typed_error(
+        log in arb_log(),
+        cut_sel in any::<prop::sample::Index>(),
+    ) {
+        let text = log.encode();
+        let cut = cut_sel.index(text.len());
+        let mut prefix = &text[..cut];
+        // Respect UTF-8 boundaries (a real filesystem truncation is
+        // byte-level, but &str slicing must stay on char boundaries;
+        // the byte-level case is covered by the bit-flip test on the
+        // raw bytes below).
+        while !text.is_char_boundary(prefix.len()) && !prefix.is_empty() {
+            prefix = &prefix[..prefix.len() - 1];
+        }
+        if prefix.len() < text.len() {
+            // A strict prefix of a JSON document is never a valid
+            // document: decode must fail, with a typed error.
+            prop_assert!(EventLog::decode(prefix).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flip_never_panics_and_never_truncates_silently(
+        log in arb_log(),
+        pos_sel in any::<prop::sample::Index>(),
+        bit in 0_u8..8,
+    ) {
+        let mut bytes = log.encode().into_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = pos_sel.index(bytes.len());
+        bytes[pos] ^= 1 << bit;
+        // The flipped buffer may no longer be UTF-8; both paths must be
+        // handled without panicking.
+        match std::str::from_utf8(&bytes) {
+            Err(_) => {}
+            Ok(text) => match EventLog::decode(text) {
+                Err(_) => {}
+                // If the flip lands in free text (a name, a flag) the
+                // document can still be valid — but the event stream
+                // must be complete: no silent partial replay.
+                Ok(back) => prop_assert_eq!(back.len(), log.len()),
+            },
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = EventLog::decode(text);
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_is_rejected(
+        log in arb_log(),
+        prefix in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        // Unlike the frame stream there is no resync: a log file with
+        // leading garbage is rejected outright.
+        let mut buf = prefix;
+        buf.extend_from_slice(log.encode().as_bytes());
+        if let Ok(text) = std::str::from_utf8(&buf) {
+            prop_assert!(EventLog::decode(text).is_err());
+        }
+    }
+
+    #[test]
+    fn dropping_one_event_is_detected(
+        log in arb_log().prop_filter("needs events", |l| l.len() >= 2),
+        drop_sel in any::<prop::sample::Index>(),
+    ) {
+        // Splice one event out of the decoded structure and re-encode:
+        // the sequence numbers no longer run 0..n, so the decoder
+        // reports the splice instead of replaying a shortened session.
+        let drop_at = drop_sel.index(log.len());
+        let mut spliced = log.clone();
+        spliced.events.remove(drop_at);
+        if drop_at == log.len() - 1 {
+            // Dropping the tail keeps 0..n-1 valid — that case is
+            // covered by first_divergence length reporting instead.
+            let text = spliced.encode();
+            let back = EventLog::decode(&text).expect("prefix log is well-formed");
+            match log.first_divergence(&back) {
+                Some(LogDivergence::Length { actual, .. }) => {
+                    prop_assert_eq!(actual, spliced.len() as u64);
+                }
+                other => prop_assert!(false, "expected length divergence, got {:?}", other),
+            }
+        } else {
+            let text = spliced.encode();
+            prop_assert!(matches!(
+                EventLog::decode(&text),
+                Err(EventLogError::BrokenSequence { .. })
+            ));
+        }
+    }
+}
+
+#[test]
+fn empty_input_is_a_parse_error() {
+    assert!(matches!(EventLog::decode(""), Err(EventLogError::Parse(_))));
+}
+
+#[test]
+fn valid_json_wrong_shape_is_a_typed_error() {
+    for text in [
+        "[]",
+        "42",
+        "\"log\"",
+        "{}",
+        "{\"schema\":\"p2auth.events.v1\"}",
+    ] {
+        let err = EventLog::decode(text).expect_err(text);
+        // Any shape error is fine as long as it is typed, not a panic.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn error_display_names_the_divergent_position() {
+    let mut log = EventLog::new(SessionSeeds::default());
+    log.push(SessionEvent::SessionEnd {
+        state: "accept".into(),
+        attempts: 1,
+        accepted: true,
+    });
+    let text = log.encode().replacen("\"seq\":0", "\"seq\":7", 1);
+    let err = EventLog::decode(&text).expect_err("broken seq");
+    let msg = err.to_string();
+    assert!(msg.contains('0') && msg.contains('7'), "{msg}");
+}
