@@ -1,0 +1,208 @@
+//! Fleet-scale serving benchmark: throughput and session-latency
+//! quantiles of the `p2auth-server` worker pool as concurrency scales.
+//!
+//! One chaos fleet workload (sensor-fault presets + faulty links +
+//! periodic hang sessions, all pre-acquired and seeded) is replayed
+//! through serve regions at several worker counts. Latency comes from
+//! the scheduler's own `server.session.latency_ns` histogram
+//! (`p2auth-obs`), throughput from the wall clock around the region.
+//! Every level runs under a watchdog: a region that fails to finish is
+//! a hang, reported with a nonzero exit — never a silent stall.
+//!
+//! Writes `BENCH_fleet.json` in the current directory.
+//!
+//! SLO gate (CI): with `P2AUTH_FLEET_GATE` set (and not `0`), exits
+//! nonzero when any level's p99 exceeds `P2AUTH_FLEET_P99_MS`
+//! (default 500 ms), when any request goes unanswered, or when nothing
+//! accepts. `P2AUTH_FLEET_TIMEOUT_S` (default 120) bounds each level.
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fleet_bench [devices]`
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use p2auth_bench::harness::{print_header, print_row, users_arg};
+use p2auth_server::{build_fleet, run_fleet, FleetConfig, ServerConfig};
+
+/// Worker-pool sizes swept (the bench contract: at least three).
+const WORKERS: [usize; 3] = [1, 4, 16];
+
+/// One concurrency level's measurements.
+struct Level {
+    workers: usize,
+    sessions: usize,
+    shed: usize,
+    accepts: usize,
+    wall_s: f64,
+    throughput_sps: f64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    mean_ns: f64,
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn gate_enabled() -> bool {
+    std::env::var("P2AUTH_FLEET_GATE").is_ok_and(|v| v != "0")
+}
+
+fn main() {
+    let devices = users_arg(16).max(2);
+    let fleet = FleetConfig {
+        num_devices: devices,
+        sessions_per_device: 8,
+        enrolled_users: 4.min(devices),
+        seed: 814,
+        chaos: true,
+        hang_every: 7,
+    };
+    let timeout = Duration::from_secs_f64(env_f64("P2AUTH_FLEET_TIMEOUT_S", 120.0));
+    let p99_budget_ns = env_f64("P2AUTH_FLEET_P99_MS", 500.0) * 1e6;
+
+    println!(
+        "# fleet_bench — {} devices x {} sessions, chaos on, hang every {}",
+        fleet.num_devices, fleet.sessions_per_device, fleet.hang_every
+    );
+    let scenario = build_fleet(&fleet);
+    let total = scenario.requests.len();
+    print_header(&[
+        "workers", "sessions", "shed", "accepts", "wall_s", "ses/s", "p50_us", "p95_us", "p99_us",
+    ]);
+
+    let mut levels: Vec<Level> = Vec::new();
+    for &workers in &WORKERS {
+        // Each level reads its own histogram: the registry is global,
+        // so it is zeroed at the level boundary.
+        p2auth_obs::reset();
+        let server = ServerConfig {
+            num_workers: workers,
+            queue_capacity: (2 * workers).max(4),
+            ..ServerConfig::default()
+        };
+        // Watchdog: the serve region borrows the scenario, so it runs
+        // on a scoped thread and the main thread waits with a timeout.
+        // A region that cannot finish is the exact failure this bench
+        // exists to catch — report it, don't inherit the hang.
+        let (tx, rx) = mpsc::channel();
+        let t0 = Instant::now();
+        let (report, shed) = std::thread::scope(|s| {
+            s.spawn(|| {
+                let out = run_fleet(&scenario, &server);
+                let _ = tx.send(out);
+            });
+            match rx.recv_timeout(timeout) {
+                Ok(out) => out,
+                Err(_) => {
+                    eprintln!(
+                        "FLEET_HANG: {workers}-worker region exceeded {:.0}s",
+                        timeout.as_secs_f64()
+                    );
+                    std::process::exit(2);
+                }
+            }
+        });
+        let wall_s = t0.elapsed().as_secs_f64();
+
+        let hist = p2auth_obs::metrics::histogram_handle("server.session.latency_ns");
+        let accepts = report
+            .sessions
+            .iter()
+            .filter(|r| r.response.verdict.accepted())
+            .count();
+        let level = Level {
+            workers,
+            sessions: report.sessions.len(),
+            shed: shed.len(),
+            accepts,
+            wall_s,
+            throughput_sps: report.sessions.len() as f64 / wall_s.max(1e-9),
+            p50_ns: hist.quantile(0.50),
+            p95_ns: hist.quantile(0.95),
+            p99_ns: hist.quantile(0.99),
+            mean_ns: hist.sum() as f64 / hist.count().max(1) as f64,
+        };
+        print_row(&[
+            format!("{workers}"),
+            format!("{}", level.sessions),
+            format!("{}", level.shed),
+            format!("{}", level.accepts),
+            format!("{wall_s:.3}"),
+            format!("{:.1}", level.throughput_sps),
+            format!("{:.0}", level.p50_ns as f64 / 1e3),
+            format!("{:.0}", level.p95_ns as f64 / 1e3),
+            format!("{:.0}", level.p99_ns as f64 / 1e3),
+        ]);
+        levels.push(level);
+    }
+
+    let per_level = levels
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{ \"workers\": {}, \"sessions\": {}, \"shed\": {}, \
+                 \"accepts\": {}, \"wall_s\": {:.4}, \"throughput_sps\": {:.2}, \
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.0} }}",
+                l.workers,
+                l.sessions,
+                l.shed,
+                l.accepts,
+                l.wall_s,
+                l.throughput_sps,
+                l.p50_ns,
+                l.p95_ns,
+                l.p99_ns,
+                l.mean_ns,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"fleet\",\n  \"devices\": {devices},\n  \
+         \"sessions_per_device\": {},\n  \"requests\": {total},\n  \
+         \"chaos\": {},\n  \"hang_every\": {},\n  \"seed\": {},\n  \
+         \"p99_budget_ns\": {:.0},\n  \"levels\": [\n{per_level}\n  ]\n}}\n",
+        fleet.sessions_per_device, fleet.chaos, fleet.hang_every, fleet.seed, p99_budget_ns,
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+
+    // SLO gate: exactly-once responses, someone must accept, and every
+    // level's p99 stays inside the budget.
+    let mut violations: Vec<String> = Vec::new();
+    for l in &levels {
+        if l.sessions + l.shed != total {
+            violations.push(format!(
+                "workers={}: {} responses + {} shed != {total} requests",
+                l.workers, l.sessions, l.shed
+            ));
+        }
+        if l.p99_ns as f64 > p99_budget_ns {
+            violations.push(format!(
+                "workers={}: p99 {:.1} ms exceeds budget {:.1} ms",
+                l.workers,
+                l.p99_ns as f64 / 1e6,
+                p99_budget_ns / 1e6
+            ));
+        }
+    }
+    if levels.iter().all(|l| l.accepts == 0) {
+        violations.push("no level accepted a single legitimate session".to_string());
+    }
+    if violations.is_empty() {
+        println!("SLO: ok (p99 budget {:.0} ms)", p99_budget_ns / 1e6);
+    } else {
+        for v in &violations {
+            eprintln!("SLO_VIOLATION: {v}");
+        }
+        if gate_enabled() {
+            std::process::exit(1);
+        }
+        println!("(gate disabled; set P2AUTH_FLEET_GATE=1 to fail on violations)");
+    }
+}

@@ -10,6 +10,7 @@ use p2auth_device::{
     decide_session, transmit_reliable, FaultConfig, FaultyLink, LinkConfig, ReliableConfig,
     SessionOutcome, WearableDevice,
 };
+use p2auth_server::{build_fleet, run_fleet, FleetConfig, ServerConfig, SessionVerdict};
 use p2auth_sim::{Population, PopulationConfig, SessionConfig};
 use std::fmt;
 use std::path::Path;
@@ -118,6 +119,12 @@ COMMANDS:
                 spec and diffs every event; a mismatch reports the
                 first divergent event and exits nonzero. --summary
                 (the default) and --json never re-execute.
+    fleet     Serve a simulated device fleet through the sharded
+              profile store and supervised worker pool; reports
+              accept/abort mix, shed counts and latency quantiles
+                --devices N (6)  --sessions N (3)  --workers N (4)
+                --seed S (814)   --chaos MODE (on|off; default on)
+                [--json]
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -689,6 +696,98 @@ pub fn replay_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(replay::summarize(&log))
 }
 
+/// `p2auth fleet`: a miniature of the `fleet_bench` sweep — one serve
+/// region over a simulated device fleet, reported interactively.
+pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
+    let devices = args.get_parsed("devices", 6_usize)?.max(1);
+    let sessions = args.get_parsed("sessions", 3_usize)?.max(1);
+    let workers = args.get_parsed("workers", 4_usize)?.max(1);
+    let seed = args.get_parsed("seed", 814_u64)?;
+    let chaos = match args.get("chaos").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Args(ArgError::BadValue {
+                flag: "chaos".to_string(),
+                detail: format!("expected on|off, got {other:?}"),
+            }))
+        }
+    };
+    let scenario = build_fleet(&FleetConfig {
+        num_devices: devices,
+        sessions_per_device: sessions,
+        enrolled_users: devices.min(3),
+        seed,
+        chaos,
+        hang_every: 0,
+    });
+    let (report, shed_at_submit) = run_fleet(
+        &scenario,
+        &ServerConfig {
+            num_workers: workers,
+            queue_capacity: (2 * workers).max(4),
+            ..ServerConfig::default()
+        },
+    );
+
+    let total = scenario.requests.len();
+    let mut accepts = 0_usize;
+    let mut rejects = 0_usize;
+    let mut aborts = 0_usize;
+    let mut shed = shed_at_submit.len();
+    let mut latencies: Vec<u64> = Vec::with_capacity(report.sessions.len());
+    for r in &report.sessions {
+        latencies.push(r.response.latency_ns);
+        match &r.response.verdict {
+            SessionVerdict::Completed { accepted: true, .. } => accepts += 1,
+            SessionVerdict::Completed { state, .. }
+                if *state == p2auth_device::SupervisorState::Abort =>
+            {
+                aborts += 1;
+            }
+            SessionVerdict::Completed { .. } => rejects += 1,
+            SessionVerdict::Shed(_) => shed += 1,
+        }
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let n = latencies.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        latencies[rank - 1]
+    };
+    let (p50, p95, p99) = (quantile(0.50), quantile(0.95), quantile(0.99));
+
+    if args.has("json") {
+        return Ok(format!(
+            "{{ \"devices\": {devices}, \"sessions_per_device\": {sessions}, \
+             \"workers\": {workers}, \"seed\": {seed}, \"chaos\": {chaos}, \
+             \"requests\": {total}, \"responses\": {}, \"accepts\": {accepts}, \
+             \"rejects\": {rejects}, \"aborts\": {aborts}, \"shed\": {shed}, \
+             \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}, \
+             \"ctx_leaks_repaired\": {} }}",
+            report.sessions.len() + shed_at_submit.len(),
+            report.ctx_leaks_repaired,
+        ));
+    }
+    Ok(format!(
+        "fleet: {devices} devices x {sessions} sessions, {workers} workers, \
+         chaos {}, seed {seed}\n\
+         responses: {}/{total} (accepted {accepts}, rejected {rejects}, \
+         aborted {aborts}, shed {shed})\n\
+         latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us\n\
+         ctx leaks repaired: {}",
+        if chaos { "on" } else { "off" },
+        report.sessions.len() + shed_at_submit.len(),
+        p50 as f64 / 1e3,
+        p95 as f64 / 1e3,
+        p99 as f64 / 1e3,
+        report.ctx_leaks_repaired,
+    ))
+}
+
 /// Dispatches a parsed command line.
 ///
 /// # Errors
@@ -705,6 +804,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         Some("quality") => quality(args),
         Some("record") => record(args),
         Some("replay") => replay_cmd(args),
+        Some("fleet") => fleet(args),
         Some(other) => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -780,6 +880,36 @@ mod tests {
     fn wear_reports_pulse() {
         let msg = dispatch(&ParsedArgs::parse(["wear", "--users", "4"]).unwrap()).unwrap();
         assert!(msg.contains("worn: true"), "{msg}");
+    }
+
+    #[test]
+    fn fleet_serves_every_request() {
+        let msg = dispatch(
+            &ParsedArgs::parse([
+                "fleet",
+                "--devices",
+                "2",
+                "--sessions",
+                "2",
+                "--workers",
+                "2",
+                "--chaos",
+                "off",
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("responses: 4/4"), "{msg}");
+        assert!(msg.contains("ctx leaks repaired: 0"), "{msg}");
+        let json = dispatch(
+            &ParsedArgs::parse(["fleet", "--devices", "2", "--sessions", "1", "--json"]).unwrap(),
+        )
+        .unwrap();
+        assert!(json.contains("\"requests\": 2"), "{json}");
+        assert!(
+            dispatch(&ParsedArgs::parse(["fleet", "--chaos", "sideways"]).unwrap()).is_err(),
+            "bad chaos mode must be rejected"
+        );
     }
 
     #[test]

@@ -191,6 +191,19 @@ impl ProfileArena {
     }
 }
 
+// Concurrency contract, pinned at compile time: a fleet scheduler
+// shares one `ProfileArena` read-only across worker threads (all
+// scoring goes through `&self`), while every worker owns its
+// `SessionScratch` outright and may move it between sessions. Interior
+// mutability sneaking into a fused-scorer table would surface here as a
+// build break, not a data race.
+const _: () = {
+    const fn shared_across_workers<T: Send + Sync>() {}
+    const fn owned_per_worker<T: Send>() {}
+    shared_across_workers::<ProfileArena>();
+    owned_per_worker::<SessionScratch>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,162 @@
+//! ISSUE 8 regression: one `ProfileArena` shared read-only across a
+//! worker pool must score bit-identically to serial.
+//!
+//! A fleet scheduler interns each profile's arena once and hands `&arena`
+//! to whichever worker picks up a session for that user; only the
+//! `SessionScratch` is per-worker. This suite hammers a single arena
+//! from 8 scoped threads (each with its own scratch) and asserts every
+//! thread's decisions — verdict, case, reason, votes and the raw f64
+//! score — equal the serial baseline exactly. Any interior mutation in
+//! the fused tables, or scratch state bleeding between attempts, shows
+//! up as a diverging score.
+
+use p2auth_core::{HandMode, P2Auth, P2AuthConfig, Pin, Recording, SessionScratch};
+use p2auth_sim::{Population, PopulationConfig, SessionConfig};
+
+const WORKERS: usize = 8;
+
+fn setup() -> (P2Auth, p2auth_core::UserProfile, Pin, Vec<Recording>) {
+    let pop = Population::generate(&PopulationConfig {
+        num_users: 6,
+        seed: 814,
+        ..Default::default()
+    });
+    let pin = Pin::new("1628").unwrap();
+    let session = SessionConfig::default();
+    let sys = P2Auth::new(P2AuthConfig::fast());
+    let enroll: Vec<Recording> = (0..6)
+        .map(|i| pop.record_entry(0, &pin, HandMode::OneHanded, &session, i))
+        .collect();
+    let third: Vec<Recording> = (0..12)
+        .map(|i| {
+            pop.record_entry(
+                1 + (i as usize % 5),
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                1000 + i,
+            )
+        })
+        .collect();
+    let profile = sys.enroll(&pin, &enroll, &third).expect("enrollment");
+    // Probe mix: legitimate attempts and other users' attempts, so both
+    // accept and reject paths run concurrently.
+    let probes: Vec<Recording> = (0..10)
+        .map(|i| {
+            pop.record_entry(
+                (i as usize) % 3,
+                &pin,
+                HandMode::OneHanded,
+                &session,
+                500 + i,
+            )
+        })
+        .collect();
+    (sys, profile, pin, probes)
+}
+
+#[test]
+fn eight_workers_sharing_one_arena_score_bit_identically_to_serial() {
+    let (sys, profile, pin, probes) = setup();
+    let arena = sys.arena(&profile);
+
+    // Serial baseline: one worker, one scratch, every probe in order.
+    let mut scratch = SessionScratch::new();
+    let serial: Vec<_> = probes
+        .iter()
+        .map(|p| sys.authenticate_arena(&arena, &mut scratch, &pin, p))
+        .collect();
+    assert!(serial.iter().any(|d| d.as_ref().is_ok_and(|d| d.accepted)));
+    assert!(serial.iter().any(|d| d.as_ref().is_ok_and(|d| !d.accepted)));
+
+    // 8 workers share `&arena`; each owns its scratch and scores the
+    // full probe set several times over (scratch reuse across attempts
+    // is exactly the pooled-worker pattern).
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let arena = &arena;
+                let sys = &sys;
+                let probes = &probes;
+                let pin = &pin;
+                s.spawn(move || {
+                    let mut scratch = SessionScratch::new();
+                    let mut rounds = Vec::new();
+                    for round in 0..3 {
+                        // Stagger the starting probe per worker/round so
+                        // threads are rarely on the same probe at once.
+                        let off = (w + round) % probes.len();
+                        let decisions: Vec<_> = (0..probes.len())
+                            .map(|i| {
+                                let p = &probes[(off + i) % probes.len()];
+                                sys.authenticate_arena(arena, &mut scratch, pin, p)
+                            })
+                            .collect();
+                        rounds.push((off, decisions));
+                    }
+                    rounds
+                })
+            })
+            .collect();
+        for (w, h) in handles.into_iter().enumerate() {
+            for (off, decisions) in h.join().expect("worker panicked") {
+                for (i, got) in decisions.iter().enumerate() {
+                    let probe_idx = (off + i) % probes.len();
+                    let want = &serial[probe_idx];
+                    match (want, got) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a, b, "worker {w} probe {probe_idx}: decision diverged");
+                            assert!(
+                                a.score.to_bits() == b.score.to_bits(),
+                                "worker {w} probe {probe_idx}: score bits diverged"
+                            );
+                        }
+                        (Err(_), Err(_)) => {}
+                        _ => panic!("worker {w} probe {probe_idx}: Ok/Err diverged"),
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn moving_scratch_between_threads_preserves_scores() {
+    // A pool that hands a worker's scratch to another worker (work
+    // stealing, pool resize) must not change decisions: scratch is
+    // scribble space, never carried state.
+    let (sys, profile, pin, probes) = setup();
+    let arena = sys.arena(&profile);
+
+    let mut scratch = SessionScratch::new();
+    let baseline: Vec<_> = probes
+        .iter()
+        .map(|p| sys.authenticate_arena(&arena, &mut scratch, &pin, p))
+        .collect();
+
+    // Same scratch object crosses a thread boundary between probes.
+    let mut moved = SessionScratch::new();
+    let mut got = Vec::new();
+    for p in &probes {
+        let (d, back) = std::thread::scope(|s| {
+            let arena = &arena;
+            let sys = &sys;
+            let pin = &pin;
+            s.spawn(move || {
+                let d = sys.authenticate_arena(arena, &mut moved, pin, p);
+                (d, moved)
+            })
+            .join()
+            .expect("worker panicked")
+        });
+        moved = back;
+        got.push(d);
+    }
+    for (i, (want, have)) in baseline.iter().zip(&got).enumerate() {
+        match (want, have) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "probe {i} diverged after scratch moved threads"),
+            (Err(_), Err(_)) => {}
+            _ => panic!("probe {i}: Ok/Err diverged"),
+        }
+    }
+}

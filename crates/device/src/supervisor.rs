@@ -266,13 +266,46 @@ impl SessionSupervisor {
         1 + self.reprompts_used
     }
 
+    /// Returns the supervisor to `Idle` for reuse by a pooled
+    /// scheduler. There is no event edge out of a terminal state, so a
+    /// pool *must* call this between sessions: it clears the previous
+    /// session's absolute deadline (stale under a shared monotonic
+    /// clock, it would fire the watchdog the instant the next session
+    /// starts) and restores the full re-prompt budget.
+    pub fn reset(&mut self) {
+        self.state = SupervisorState::Idle;
+        self.deadline_s = None;
+        self.reprompts_used = 0;
+    }
+
+    /// `now_s + budget_s`, saturated to stay finite. Under a shared
+    /// monotonic clock `now_s` can be arbitrarily large, and the
+    /// exponential backoff can overflow to `+inf`; an infinite
+    /// deadline is a state no real clock ever passes — the session
+    /// would hang instead of aborting, which the supervisor exists to
+    /// prevent.
+    fn deadline_from(now_s: f64, budget_s: f64) -> f64 {
+        let d = now_s + budget_s;
+        if d.is_finite() {
+            d
+        } else {
+            f64::MAX
+        }
+    }
+
     fn enter(&mut self, state: SupervisorState, now_s: f64) {
         self.state = state;
         self.deadline_s = match state {
-            SupervisorState::Collecting => Some(now_s + self.config.collect_deadline_s),
-            SupervisorState::Assessing => Some(now_s + self.config.assess_deadline_s),
-            SupervisorState::Deciding => Some(now_s + self.config.decide_deadline_s),
-            SupervisorState::Reprompt => Some(now_s + self.backoff_s()),
+            SupervisorState::Collecting => {
+                Some(Self::deadline_from(now_s, self.config.collect_deadline_s))
+            }
+            SupervisorState::Assessing => {
+                Some(Self::deadline_from(now_s, self.config.assess_deadline_s))
+            }
+            SupervisorState::Deciding => {
+                Some(Self::deadline_from(now_s, self.config.decide_deadline_s))
+            }
+            SupervisorState::Reprompt => Some(Self::deadline_from(now_s, self.backoff_s())),
             _ => None,
         };
         if state.is_terminal() {
@@ -777,6 +810,96 @@ mod tests {
                 assert!(states.contains(&next));
             }
         }
+    }
+
+    /// ISSUE 8 regression: one supervisor recycled through 3 sessions
+    /// from a pool, under a shared monotonic clock that keeps advancing
+    /// across sessions. Stale deadlines or a carried-over re-prompt
+    /// budget would abort session 2 or 3 spuriously.
+    #[test]
+    fn recycled_supervisor_runs_three_sessions_on_a_shared_clock() {
+        let mut s = SessionSupervisor::new(cfg());
+        // Session start times far apart — each later than the previous
+        // session's deadlines, so any stale deadline would fire at the
+        // first step of the next session.
+        for (round, start) in [0.0_f64, 1.0e6, 2.0e6].iter().enumerate() {
+            s.reset();
+            assert_eq!(s.state(), SupervisorState::Idle);
+            assert_eq!(s.deadline_s(), None, "reset must clear the stale deadline");
+            assert_eq!(s.reprompts_used(), 0, "reset must restore the budget");
+            let now = *start;
+            assert_eq!(
+                s.step(SupervisorEvent::Start, now),
+                SupervisorState::Collecting,
+                "session {round} must start clean, not watchdog-abort"
+            );
+            // The new deadline is relative to the *current* clock, not
+            // the epoch of the first session.
+            let dl = s.deadline_s().expect("collecting has a deadline");
+            assert!((dl - (now + cfg().collect_deadline_s)).abs() < 1e-9);
+            s.step(SupervisorEvent::CollectionComplete, now + 1.0);
+            // Burn one re-prompt in every session: a carried-over
+            // budget would exhaust by session 3.
+            assert_eq!(
+                s.step(ready(0), now + 1.5),
+                SupervisorState::Reprompt,
+                "session {round} must have its full re-prompt budget"
+            );
+            let backoff_dl = s.deadline_s().expect("reprompt has a deadline");
+            assert!(
+                (backoff_dl - (now + 1.5 + cfg().backoff_base_s)).abs() < 1e-9,
+                "first backoff of a recycled session must restart at base"
+            );
+            s.step(SupervisorEvent::Tick, backoff_dl + 0.001);
+            s.step(SupervisorEvent::CollectionComplete, backoff_dl + 1.0);
+            s.step(ready(4), backoff_dl + 1.5);
+            assert_eq!(
+                s.step(SupervisorEvent::DecisionAccept, backoff_dl + 2.0),
+                SupervisorState::Accept,
+                "session {round} must complete"
+            );
+            assert_eq!(s.attempts(), 2);
+        }
+    }
+
+    /// ISSUE 8 regression: deadline arithmetic must stay finite when
+    /// the shared clock is huge or the backoff overflows — an infinite
+    /// deadline is a hang, never reachable by any clock.
+    #[test]
+    fn deadlines_stay_finite_under_extreme_clocks() {
+        // Shared clock near the top of the f64 range: now + 30 rounds
+        // to +inf territory only at f64::MAX, the worst case.
+        let mut s = SessionSupervisor::new(cfg());
+        s.step(SupervisorEvent::Start, f64::MAX);
+        let dl = s.deadline_s().expect("deadline");
+        assert!(dl.is_finite(), "deadline overflowed to non-finite");
+        // Time alone can still end the session.
+        assert_eq!(
+            s.step(SupervisorEvent::Tick, f64::MAX),
+            SupervisorState::Abort
+        );
+
+        // Backoff overflow: with an absurd base × factor the second
+        // re-prompt's powi product is +inf. The deadline must clamp to
+        // a finite value, and ticking at that value must make progress
+        // (re-collect) instead of wedging.
+        let big = SupervisorConfig {
+            backoff_base_s: f64::MAX,
+            backoff_factor: f64::MAX,
+            ..cfg()
+        };
+        let mut s = SessionSupervisor::new(big);
+        s.state = SupervisorState::Assessing;
+        s.deadline_s = Some(100.0);
+        s.reprompts_used = 1; // next backoff uses factor^1: MAX * MAX = inf
+        assert_eq!(s.step(ready(0), 50.0), SupervisorState::Reprompt);
+        let dl = s.deadline_s().expect("deadline");
+        assert!(dl.is_finite(), "backoff deadline overflowed to non-finite");
+        assert_eq!(
+            s.step(SupervisorEvent::Tick, dl),
+            SupervisorState::Collecting,
+            "a finite deadline is reachable: the backoff completes"
+        );
     }
 
     /// Seeded pseudo-random event storms always terminate or stay in a

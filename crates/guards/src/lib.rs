@@ -86,6 +86,18 @@ pub fn layer_rules() -> &'static [(&'static str, &'static [&'static str])] {
         ),
         // The oracle harness may see dsp and (optionally) rocket.
         ("p2auth-verify", &["p2auth-dsp", "p2auth-rocket"]),
+        // The serving layer sits above device (sessions) and sim (the
+        // fleet's traffic generator), never above the CLI or bench.
+        (
+            "p2auth-server",
+            &[
+                "p2auth-core",
+                "p2auth-device",
+                "p2auth-sim",
+                "p2auth-par",
+                "p2auth-obs",
+            ],
+        ),
         // Top-of-stack consumers.
         (
             "p2auth-bench",
@@ -99,11 +111,18 @@ pub fn layer_rules() -> &'static [(&'static str, &'static [&'static str])] {
                 "p2auth-core",
                 "p2auth-baseline",
                 "p2auth-obs",
+                "p2auth-server",
             ],
         ),
         (
             "p2auth-cli",
-            &["p2auth-core", "p2auth-sim", "p2auth-device", "p2auth-obs"],
+            &[
+                "p2auth-core",
+                "p2auth-sim",
+                "p2auth-device",
+                "p2auth-obs",
+                "p2auth-server",
+            ],
         ),
     ]
 }

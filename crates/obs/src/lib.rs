@@ -46,7 +46,7 @@ pub mod span;
 
 pub use events::{EventLog, EventLogError, LogDivergence, LoggedEvent, SessionEvent, SessionSeeds};
 pub use recorder::{Event, Value};
-pub use span::{adopt, current_ctx, AdoptGuard, Span, SpanCtx, SpanRecord};
+pub use span::{adopt, current_ctx, reset_ctx, AdoptGuard, Span, SpanCtx, SpanRecord};
 
 #[cfg(feature = "enabled")]
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -220,6 +220,12 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0..=1.0`) as the upper edge of the bucket
     /// containing the rank-`ceil(q*n)` sample. Returns 0 when empty.
+    ///
+    /// Rank saturates into `1..=n`, so `q <= 0` reads the smallest
+    /// sample's bucket and `q >= 1` the largest. A NaN `q` saturates to
+    /// the *top* rank: quantiles feed SLO gates, so malformed input
+    /// must fail conservative (report the max), not optimistic (the
+    /// min, which a NaN-to-zero cast would silently give).
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         #[cfg(feature = "enabled")]
@@ -229,7 +235,11 @@ impl Histogram {
                 return 0;
             }
             #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let rank = if q.is_nan() {
+                n
+            } else {
+                ((q * n as f64).ceil() as u64).clamp(1, n)
+            };
             let mut cum = 0_u64;
             for (k, b) in self.buckets.iter().enumerate() {
                 cum += b.load(Ordering::Relaxed);
@@ -539,6 +549,76 @@ mod tests {
         assert_eq!(h.quantile(0.99), 100);
         assert_eq!(h.quantile(0.0), 1); // rank clamps to 1 -> bucket 1
         assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantile_rank_pinned_at_small_counts() {
+        let _g = lock();
+        // Samples of the form 2^k - 1 sit exactly on bucket upper
+        // edges, so the reported value identifies the rank unambiguously.
+        let s = [15_u64, 1023, 65_535];
+
+        // count = 1: every q reads the only sample, malformed q included.
+        let h = Histogram::new();
+        h.record(s[0]);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0, -0.5, 1.5, f64::NAN] {
+            assert_eq!(h.quantile(q), 15, "count=1 q={q}");
+        }
+
+        // count = 2: p50 is rank ceil(0.5*2) = 1 (lower sample — the
+        // pinned median-low convention); p95/p99 rank 2.
+        let h = Histogram::new();
+        h.record(s[0]);
+        h.record(s[1]);
+        assert_eq!(h.quantile(0.50), 15);
+        assert_eq!(h.quantile(0.95), 1023);
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 15); // rank saturates up to 1
+        assert_eq!(h.quantile(-0.5), 15);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(1.5), 1023); // rank saturates down to n
+
+        // count = 3: p50 is rank ceil(1.5) = 2, the true median.
+        let h = Histogram::new();
+        for v in s {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.50), 1023);
+        assert_eq!(h.quantile(0.95), 65_535);
+        assert_eq!(h.quantile(0.99), 65_535);
+
+        // count = 99: p99 rank ceil(98.01) = 99 — the largest sample,
+        // not rank 0 and not past the end.
+        let h = Histogram::new();
+        for v in 1..=99_u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.50), 63); // rank 50 -> bucket edge 63
+        assert_eq!(h.quantile(0.95), 99);
+        assert_eq!(h.quantile(0.99), 99);
+
+        // count = 100: p99 rank is exactly 99 (q*n lands on an integer,
+        // ceil must not bump it to 100's bucket prematurely — both sit
+        // in the top bucket here, clamped to max).
+        let h = Histogram::new();
+        for v in 1..=100_u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.99), 100);
+        assert_eq!(h.quantile(0.01), 1); // rank 1 -> bucket edge 1
+    }
+
+    #[test]
+    fn nan_quantile_reads_the_top_not_the_bottom() {
+        let _g = lock();
+        // A NaN q used to cast to rank 1 and report the fastest
+        // latency — an SLO gate fed a malformed quantile would always
+        // pass. It must fail conservative: report the max.
+        let h = Histogram::new();
+        h.record(15);
+        h.record(1023);
+        h.record(65_535);
+        assert_eq!(h.quantile(f64::NAN), 65_535);
     }
 
     #[test]

@@ -109,6 +109,29 @@ pub fn current_ctx() -> SpanCtx {
     }
 }
 
+/// Forcibly clears the calling thread's span context, returning whether
+/// a stale context was actually cleared.
+///
+/// [`current_ctx`]/[`adopt`] were designed for fork-join workers that
+/// die after one task: a leaked [`AdoptGuard`] (a task that panicked
+/// into a `catch_unwind`, or plain `mem::forget`) leaves the dead
+/// task's parent id in this thread's slot, and on a *pooled* worker the
+/// next task's spans would be silently attributed to the previous
+/// session's tree. A scheduler must call this at every task-completion
+/// boundary so sequential sessions on one worker produce disjoint span
+/// trees; the `bool` lets it count leaks it papered over.
+#[inline]
+pub fn reset_ctx() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        CURRENT.with(|c| c.replace(0)) != 0
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
 /// Guard that makes an adopted [`SpanCtx`] the current span of this
 /// thread until dropped (restoring whatever was current before).
 #[derive(Debug)]
@@ -308,6 +331,53 @@ mod tests {
         let child = records.iter().find(|r| r.name == "obs.test.child").unwrap();
         assert_eq!(child.parent, parent_id);
         assert_ne!(parent_id, 0);
+    }
+
+    #[test]
+    fn pooled_worker_sessions_produce_disjoint_trees_after_reset() {
+        let _g = lock();
+        crate::reset();
+        enable_capture();
+        let submitter_id;
+        {
+            let _submitter = crate::span!("obs.test.pool.submitter");
+            let ctx = current_ctx();
+            submitter_id = ctx.0;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    // Session 1 on the pooled worker: adopts the
+                    // submitter's context, but the guard is never
+                    // dropped — the bug scenario this fix targets.
+                    std::mem::forget(adopt(ctx));
+                    {
+                        let _s1 = crate::span!("obs.test.pool.s1");
+                    }
+                    // Task-completion boundary: the scheduler resets,
+                    // and the reset reports that it caught a leak.
+                    assert!(reset_ctx(), "leaked adopt guard went undetected");
+                    assert_eq!(current_ctx().0, 0);
+                    // Session 2 on the same worker thread must start a
+                    // fresh tree, not hang off session 1's parent.
+                    {
+                        let _s2 = crate::span!("obs.test.pool.s2");
+                    }
+                    // A clean boundary reports no leak.
+                    assert!(!reset_ctx());
+                });
+            });
+        }
+        let records = take_capture();
+        let s1 = records
+            .iter()
+            .find(|r| r.name == "obs.test.pool.s1")
+            .unwrap();
+        let s2 = records
+            .iter()
+            .find(|r| r.name == "obs.test.pool.s2")
+            .unwrap();
+        assert_ne!(submitter_id, 0);
+        assert_eq!(s1.parent, submitter_id, "session 1 adopted the submitter");
+        assert_eq!(s2.parent, 0, "session 2 leaked session 1's parent stack");
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Fleet-scale authentication server.
+//!
+//! The paper's prototype authenticates one session on one PC. Deployed,
+//! PIN entry on commodity wearables means thousands of concurrent
+//! sessions against a store of millions of enrolled profiles — this
+//! crate is that serving layer, built from the pieces the rest of the
+//! workspace already pins down:
+//!
+//! * [`store`] — a **sharded** in-memory profile store; each entry
+//!   interns a [`p2auth_core::ProfileArena`] once, and every session
+//!   for that user shares it read-only (the arena's `Send + Sync`
+//!   contract is asserted at compile time in `p2auth-core`),
+//! * [`queue`] — bounded admission with **typed shedding**
+//!   ([`ShedReason`]) and strict-FIFO backpressure release,
+//! * [`scheduler`] — a worker pool multiplexing many
+//!   [`p2auth_device::SessionSupervisor`] state machines; each worker
+//!   recycles one supervisor (`reset()` between sessions), owns one
+//!   [`p2auth_core::SessionScratch`], runs a shared monotonic clock
+//!   across its sessions, and resets its span context at every task
+//!   boundary,
+//! * [`fleet`] — N virtual devices generating the arrival/fault mix
+//!   (sensor-fault presets + faulty-link transfers, all seeded).
+//!
+//! The overload contract is the headline: every submitted request gets
+//! exactly one [`AuthResponse`] — completed or typed-shed — and the
+//! server never hangs a session. Message shapes live in [`messages`]
+//! (`p2auth.server.v1`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod messages;
+pub mod queue;
+pub mod scheduler;
+pub mod store;
+
+pub use fleet::{build_fleet, run_fleet, FleetConfig, FleetScenario};
+pub use messages::{AuthRequest, AuthResponse, ServerConfig, SessionVerdict, ShedReason};
+pub use queue::AdmissionQueue;
+pub use scheduler::{serve, ServeReport, SessionRecord, Submitter};
+pub use store::{ShardedProfileStore, StoredProfile};

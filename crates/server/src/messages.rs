@@ -1,0 +1,152 @@
+//! Message contracts of the fleet server (`p2auth.server.v1`).
+//!
+//! Every value that crosses the device → server or server → device
+//! boundary is one of the types below, and each type documents its
+//! direction, its invariants, and who is allowed to construct it —
+//! the same contracts-first discipline the acquisition chain uses for
+//! its wire frames ([`p2auth_device::frame`]).
+//!
+//! | message | direction | produced by |
+//! |---|---|---|
+//! | [`AuthRequest`] | device → server | fleet simulator / edge gateway |
+//! | [`AuthResponse`] | server → device | scheduler worker (or admission) |
+//! | [`ShedReason`] | server → device | admission control / store lookup |
+//!
+//! Contract invariants:
+//!
+//! * **Every submitted request produces exactly one [`AuthResponse`]**
+//!   — admitted sessions complete with a [`SessionVerdict::Completed`],
+//!   everything else is a typed [`SessionVerdict::Shed`]; the server
+//!   never hangs a request and never drops one silently.
+//! * `request_id` is caller-chosen and echoed verbatim; the server
+//!   never interprets it.
+//! * A shed request has **no side effects**: nothing is written to any
+//!   event log, no supervisor runs, no counters besides the shed
+//!   counters move on its behalf.
+
+use p2auth_core::{Pin, Recording};
+use p2auth_device::host::LinkQuality;
+use p2auth_device::SupervisorState;
+
+/// One authentication session as submitted by a device (device →
+/// server).
+///
+/// The acquisition chain runs device-side: each element of `attempts`
+/// is what one collection attempt delivered over the (possibly faulty)
+/// link — `None` models a transfer the recovery layer never completed,
+/// which the supervisor's watchdog must absorb. The supervisor's
+/// re-prompt budget bounds how many elements are consumed.
+#[derive(Debug, Clone)]
+pub struct AuthRequest {
+    /// Caller-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Profile key into the sharded store.
+    pub user_id: u64,
+    /// The PIN the user claims (`None` exercises the PIN-less path).
+    pub claimed_pin: Option<Pin>,
+    /// Per-collection-attempt acquisitions, in delivery order.
+    pub attempts: Vec<Option<(Recording, LinkQuality)>>,
+}
+
+/// Why the server refused to run a session (server → device).
+///
+/// Shedding is an explicit, typed outcome — the overload contract is
+/// "a fast no, never a hang".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// Admission queue at capacity and the caller declined to wait.
+    QueueFull,
+    /// The server is draining; no new sessions are admitted.
+    Shutdown,
+    /// No profile enrolled under the requested `user_id`.
+    UnknownUser,
+}
+
+impl ShedReason {
+    /// Stable machine-readable name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Shutdown => "shutdown",
+            ShedReason::UnknownUser => "unknown_user",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How a submitted session ended (server → device).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionVerdict {
+    /// The session ran under a supervisor to a terminal state.
+    Completed {
+        /// Terminal supervisor state (`Accept`/`Reject`/`Abort`).
+        state: SupervisorState,
+        /// Collection attempts consumed (1 + re-prompts).
+        attempts: u32,
+        /// Whether the user was accepted.
+        accepted: bool,
+    },
+    /// The session never ran; the reason says why.
+    Shed(ShedReason),
+}
+
+impl SessionVerdict {
+    /// Whether the session ran and accepted the user.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        matches!(self, SessionVerdict::Completed { accepted: true, .. })
+    }
+
+    /// Whether the session was shed.
+    #[must_use]
+    pub fn shed(&self) -> bool {
+        matches!(self, SessionVerdict::Shed(_))
+    }
+}
+
+/// The server's single reply to one [`AuthRequest`] (server → device).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuthResponse {
+    /// `AuthRequest::request_id`, echoed verbatim.
+    pub request_id: u64,
+    /// `AuthRequest::user_id`, echoed verbatim.
+    pub user_id: u64,
+    /// How the session ended.
+    pub verdict: SessionVerdict,
+    /// Wall-clock latency from worker pickup to verdict, in ns (0 for
+    /// sessions shed at admission, which never reach a worker).
+    pub latency_ns: u64,
+    /// Index of the worker that ran the session (`usize::MAX` for
+    /// sessions shed at admission).
+    pub worker: usize,
+}
+
+/// Sizing and policy knobs of the fleet server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue.
+    pub num_workers: usize,
+    /// Admission queue capacity; beyond it, `try_submit` sheds.
+    pub queue_capacity: usize,
+    /// Shards in the profile store.
+    pub shard_count: usize,
+    /// Deadline/re-prompt policy every session runs under.
+    pub supervisor: p2auth_device::SupervisorConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            num_workers: 4,
+            queue_capacity: 64,
+            shard_count: 16,
+            supervisor: p2auth_device::SupervisorConfig::default(),
+        }
+    }
+}

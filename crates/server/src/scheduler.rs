@@ -1,0 +1,387 @@
+//! Session scheduler: a worker pool multiplexing many supervised
+//! sessions over the admission queue.
+//!
+//! Each worker is long-lived and owns exactly the state the PR-8 bugfix
+//! satellites made safe to pool:
+//!
+//! * **one recycled [`SessionSupervisor`]** — `reset()` between
+//!   sessions clears the stale absolute deadline and restores the
+//!   re-prompt budget;
+//! * **one [`SessionScratch`]** — scribble space, never carried state;
+//! * **a shared monotonic clock** that keeps advancing across the
+//!   sessions the worker runs (deadline arithmetic saturates instead of
+//!   going non-finite);
+//! * an **obs context reset** ([`p2auth_obs::reset_ctx`]) at every
+//!   task-completion boundary, so back-to-back sessions on one worker
+//!   produce disjoint span trees.
+//!
+//! Profiles come out of the [`ShardedProfileStore`] as `Arc`s; the
+//! interned arena is shared read-only and all scoring goes through the
+//! fused `decide_session_arena` hot path. Every admitted session also
+//! writes a typed [`EventLog`] (`p2auth.events.v1`) — the same contract
+//! the replay engine consumes — which is how the chaos suite proves
+//! shed sessions never corrupt admitted sessions' logs.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use p2auth_core::{P2Auth, ProfileArena, SessionScratch};
+use p2auth_device::supervisor::{SessionSupervisor, SupervisorEvent, SupervisorState};
+use p2auth_device::SessionOutcome;
+use p2auth_obs::{EventLog, SessionEvent, SessionSeeds};
+
+use crate::messages::{AuthRequest, AuthResponse, ServerConfig, SessionVerdict, ShedReason};
+use crate::queue::AdmissionQueue;
+use crate::store::ShardedProfileStore;
+
+/// One admitted session's full record: the response plus its event log.
+#[derive(Debug)]
+pub struct SessionRecord {
+    /// The `p2auth.server.v1` response.
+    pub response: AuthResponse,
+    /// The session's `p2auth.events.v1` log.
+    pub log: EventLog,
+}
+
+/// What one [`serve`] region processed.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Admitted sessions, in completion order.
+    pub sessions: Vec<SessionRecord>,
+    /// Span-context leaks repaired at task boundaries (should be 0; a
+    /// nonzero count means some session leaked an adopt guard).
+    pub ctx_leaks_repaired: u64,
+}
+
+/// Submission handle passed to the driver closure of [`serve`].
+///
+/// `Sync`: a fleet driver may fan submissions out over its own threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Submitter<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Submitter<'_> {
+    /// Non-blocking admission; sheds (request handed back) at capacity
+    /// or after shutdown. See [`AdmissionQueue::try_submit`].
+    pub fn try_submit(&self, req: AuthRequest) -> Result<(), (AuthRequest, ShedReason)> {
+        self.queue.try_submit(req)
+    }
+
+    /// Blocking admission with FIFO backpressure. See
+    /// [`AdmissionQueue::submit_blocking`].
+    pub fn submit_blocking(&self, req: AuthRequest) -> Result<(), (AuthRequest, ShedReason)> {
+        self.queue.submit_blocking(req)
+    }
+
+    /// Requests admitted and waiting for a worker.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.queue.depth()
+    }
+}
+
+/// Runs a scoped serve region: spawns `config.num_workers` workers,
+/// hands the driver a [`Submitter`], and on driver return closes
+/// admission, drains the queue gracefully (admitted sessions still
+/// run; new submissions shed with [`ShedReason::Shutdown`]) and joins
+/// every worker. Returns the report plus the driver's own result.
+///
+/// The region cannot hang: workers exit when the closed queue is empty,
+/// the queue unparks every backpressured producer on close, and each
+/// session's supervisor carries finite deadlines.
+pub fn serve<T>(
+    system: &P2Auth,
+    store: &ShardedProfileStore,
+    config: &ServerConfig,
+    driver: impl FnOnce(Submitter<'_>) -> T,
+) -> (ServeReport, T) {
+    let queue = AdmissionQueue::new(config.queue_capacity);
+    let (tx, rx) = mpsc::channel::<SessionRecord>();
+    let num_workers = config.num_workers.max(1);
+    p2auth_obs::gauge!("server.workers").set(num_workers as f64);
+    let driver_out = std::thread::scope(|s| {
+        for worker_idx in 0..num_workers {
+            let queue = &queue;
+            let tx = tx.clone();
+            s.spawn(move || worker_loop(worker_idx, system, store, config, queue, &tx));
+        }
+        drop(tx);
+        let out = driver(Submitter { queue: &queue });
+        // Graceful drain: no new admissions, queued work still runs.
+        queue.close();
+        out
+    });
+    let sessions: Vec<SessionRecord> = rx.into_iter().collect();
+    let ctx_leaks_repaired = sessions
+        .iter()
+        .filter(|r| r.log.meta_get("ctx_leak").is_some())
+        .count() as u64;
+    (
+        ServeReport {
+            sessions,
+            ctx_leaks_repaired,
+        },
+        driver_out,
+    )
+}
+
+fn worker_loop(
+    worker_idx: usize,
+    system: &P2Auth,
+    store: &ShardedProfileStore,
+    config: &ServerConfig,
+    queue: &AdmissionQueue,
+    tx: &mpsc::Sender<SessionRecord>,
+) {
+    let mut scratch = SessionScratch::new();
+    let mut sup = SessionSupervisor::new(config.supervisor);
+    // The worker's monotonic session clock: shared by every session
+    // this worker runs, never rewound — the deployment scenario the
+    // supervisor's deadline fixes exist for.
+    let mut clock_s = 0.0_f64;
+    while let Some(req) = queue.pop() {
+        let t0 = Instant::now();
+        let mut log = EventLog::new(SessionSeeds::default());
+        log.meta_push("request_id", req.request_id.to_string());
+        log.meta_push("user_id", req.user_id.to_string());
+        log.meta_push("worker", worker_idx.to_string());
+        let verdict = {
+            let _span = p2auth_obs::span!("server.session");
+            match store.get(req.user_id) {
+                None => {
+                    p2auth_obs::counter!("server.shed_unknown_user").incr();
+                    SessionVerdict::Shed(ShedReason::UnknownUser)
+                }
+                Some(entry) => {
+                    sup.reset();
+                    run_session(
+                        system,
+                        &entry.arena,
+                        &mut scratch,
+                        &mut sup,
+                        &mut clock_s,
+                        &req,
+                        &mut log,
+                    )
+                }
+            }
+        };
+        // Task-completion boundary (the session span is closed): a
+        // context leaked by this session must not parent the next one.
+        if p2auth_obs::reset_ctx() {
+            p2auth_obs::counter!("server.worker.ctx_leaks").incr();
+            log.meta_push("ctx_leak", "repaired");
+        }
+        let latency_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        p2auth_obs::histogram!("server.session.latency_ns").record(latency_ns);
+        match &verdict {
+            SessionVerdict::Completed { accepted: true, .. } => {
+                p2auth_obs::counter!("server.session.accepts").incr();
+            }
+            SessionVerdict::Completed { .. } => {
+                p2auth_obs::counter!("server.session.non_accepts").incr();
+            }
+            SessionVerdict::Shed(_) => {}
+        }
+        let record = SessionRecord {
+            response: AuthResponse {
+                request_id: req.request_id,
+                user_id: req.user_id,
+                verdict,
+                latency_ns,
+                worker: worker_idx,
+            },
+            log,
+        };
+        if tx.send(record).is_err() {
+            // Receiver gone: the serve region is being torn down.
+            return;
+        }
+    }
+}
+
+/// Drives one session's supervisor from its pre-acquired attempts on
+/// the worker's shared clock. Identical policy to
+/// [`p2auth_device::run_supervised`], but against the store's interned
+/// arena, a recycled supervisor, and a clock that does not restart at
+/// zero. Exhausted or `None` attempts advance time past the live
+/// deadline, so the watchdog — never a hang — ends the session.
+#[allow(clippy::too_many_lines)]
+fn run_session(
+    system: &P2Auth,
+    arena: &ProfileArena,
+    scratch: &mut SessionScratch,
+    sup: &mut SessionSupervisor,
+    now: &mut f64,
+    req: &AuthRequest,
+    log: &mut EventLog,
+) -> SessionVerdict {
+    macro_rules! step {
+        ($event:expr, $now:expr) => {{
+            let event = $event;
+            let from = sup.state();
+            let to = sup.step(event, $now);
+            if from == to {
+                log.push(SessionEvent::DeadlineTick {
+                    state: from.as_str().to_string(),
+                    now_s: $now,
+                    deadline_s: sup.deadline_s(),
+                });
+            } else {
+                log.push(SessionEvent::Transition {
+                    from: from.as_str().to_string(),
+                    to: to.as_str().to_string(),
+                    event: event.name().to_string(),
+                    now_s: $now,
+                });
+            }
+            to
+        }};
+    }
+    step!(SupervisorEvent::Start, *now);
+    let mut deliveries = req.attempts.iter();
+    let mut last_outcome: Option<SessionOutcome> = None;
+    while !sup.state().is_terminal() {
+        let attempt_no = sup.reprompts_used();
+        match deliveries.next() {
+            None | Some(None) => {
+                // Nothing (more) was delivered: let time run out.
+                let deadline = sup.deadline_s().unwrap_or(*now);
+                *now = if deadline >= f64::MAX {
+                    deadline
+                } else {
+                    deadline + 1e-3
+                };
+                step!(SupervisorEvent::Tick, *now);
+            }
+            Some(Some((recording, quality))) => {
+                *now += 2.0;
+                step!(SupervisorEvent::CollectionComplete, *now);
+                *now += 0.5;
+                let assessment = system.assess_quality_arena(arena, recording);
+                let assess_event = match &assessment {
+                    Ok(q) => {
+                        log.push(SessionEvent::Assessment {
+                            attempt: attempt_no,
+                            detected: q.detected as u32,
+                            usable: q.usable as u32,
+                            mean_sqi: q.mean_sqi,
+                        });
+                        let usable = if system.config().sqi_gating {
+                            q.usable
+                        } else {
+                            q.detected
+                        };
+                        SupervisorEvent::AssessmentReady {
+                            usable,
+                            detected: q.detected,
+                            mean_sqi: q.mean_sqi,
+                        }
+                    }
+                    Err(_) => SupervisorEvent::AssessmentFailed,
+                };
+                step!(assess_event, *now);
+                if sup.state() == SupervisorState::Deciding {
+                    *now += 0.5;
+                    let outcome = p2auth_device::decide_session_arena(
+                        system,
+                        arena,
+                        scratch,
+                        req.claimed_pin.as_ref(),
+                        recording,
+                        *quality,
+                    );
+                    log.push(decision_event(attempt_no, &outcome));
+                    let event = match &outcome {
+                        SessionOutcome::Abort { .. } => SupervisorEvent::DecisionAbort,
+                        other => match other.decision() {
+                            Some(d) if d.accepted => SupervisorEvent::DecisionAccept,
+                            Some(d) => SupervisorEvent::DecisionReject {
+                                poor_signal: d.reason
+                                    == Some(p2auth_core::RejectReason::PoorSignal),
+                            },
+                            None => SupervisorEvent::DecisionAbort,
+                        },
+                    };
+                    last_outcome = Some(outcome);
+                    step!(event, *now);
+                }
+                if sup.state() == SupervisorState::Reprompt {
+                    #[allow(clippy::unwrap_used)]
+                    // INVARIANT: Reprompt always carries a deadline.
+                    let deadline = sup.deadline_s().unwrap();
+                    *now = if deadline >= f64::MAX {
+                        deadline
+                    } else {
+                        deadline + 1e-3
+                    };
+                    step!(SupervisorEvent::Tick, *now);
+                }
+            }
+        }
+    }
+    let state = sup.state();
+    let accepted = state == SupervisorState::Accept
+        && last_outcome.as_ref().is_some_and(SessionOutcome::accepted);
+    log.push(SessionEvent::SessionEnd {
+        state: state.as_str().to_string(),
+        attempts: sup.attempts(),
+        accepted,
+    });
+    SessionVerdict::Completed {
+        state,
+        attempts: sup.attempts(),
+        accepted,
+    }
+}
+
+fn decision_event(attempt_no: u32, outcome: &SessionOutcome) -> SessionEvent {
+    let (kind, accepted, case, reason, score, coverage, gap_blocks) = match outcome {
+        SessionOutcome::Decision(d) => (
+            "decision",
+            d.accepted,
+            format!("{:?}", d.case),
+            d.reason.map(|r| r.as_str().to_string()),
+            d.score,
+            None,
+            None,
+        ),
+        SessionOutcome::Degraded {
+            decision,
+            coverage,
+            gap_blocks,
+        } => (
+            "degraded",
+            decision.accepted,
+            format!("{:?}", decision.case),
+            decision.reason.map(|r| r.as_str().to_string()),
+            decision.score,
+            Some(*coverage),
+            Some(*gap_blocks as u64),
+        ),
+        SessionOutcome::Abort {
+            reason,
+            coverage,
+            gap_blocks,
+        } => (
+            "abort",
+            false,
+            String::new(),
+            Some(reason.clone()),
+            0.0,
+            Some(*coverage),
+            Some(*gap_blocks as u64),
+        ),
+    };
+    SessionEvent::Decision {
+        attempt: attempt_no,
+        kind: kind.to_string(),
+        accepted,
+        case,
+        reason,
+        score,
+        coverage,
+        gap_blocks,
+    }
+}

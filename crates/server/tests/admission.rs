@@ -1,0 +1,250 @@
+//! Admission-control integration suite for the fleet server.
+//!
+//! Exercises the `p2auth.server.v1` overload contract end-to-end
+//! through a live serve region (real workers, real scoring):
+//!
+//! * queue-full is a **typed** shed — the request comes back intact
+//!   with [`ShedReason::QueueFull`], no panic, no silent drop;
+//! * backpressured producers are released strictly FIFO, so a shed
+//!   request re-submitted through blocking admission still completes;
+//! * under chaos (seeds 1–3), shed sessions leave **no trace**: every
+//!   admitted session's event log round-trips through the
+//!   `p2auth.events.v1` codec and is semantically identical to a
+//!   serial re-run of the same request with no shedding pressure at
+//!   all.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use p2auth_obs::{EventLog, SessionEvent};
+use p2auth_server::{build_fleet, serve, FleetConfig, ServerConfig, SessionVerdict, ShedReason};
+
+fn fleet(seed: u64, chaos: bool, hang_every: usize) -> FleetConfig {
+    FleetConfig {
+        num_devices: 4,
+        sessions_per_device: 2,
+        enrolled_users: 2,
+        seed,
+        chaos,
+        hang_every,
+    }
+}
+
+/// Strips scheduling accidents out of a session log so two runs of the
+/// same request compare equal: the worker's shared clock offset (each
+/// worker's clock keeps advancing across the sessions it happens to
+/// run) and the worker id in the metadata. Everything decision-relevant
+/// — state path, assessments, votes, scores, attempts, the session end
+/// — is kept bit-for-bit.
+fn normalized(log: &EventLog) -> EventLog {
+    let mut out = EventLog::new(log.seeds);
+    for (k, v) in &log.meta {
+        if k != "worker" {
+            out.meta_push(k.clone(), v.clone());
+        }
+    }
+    for ev in &log.events {
+        out.push(match ev.event.clone() {
+            SessionEvent::Transition {
+                from, to, event, ..
+            } => SessionEvent::Transition {
+                from,
+                to,
+                event,
+                now_s: 0.0,
+            },
+            SessionEvent::DeadlineTick { state, .. } => SessionEvent::DeadlineTick {
+                state,
+                now_s: 0.0,
+                deadline_s: None,
+            },
+            other => other,
+        });
+    }
+    out
+}
+
+#[test]
+fn queue_full_sheds_typed_and_resubmission_completes_everything() {
+    let scenario = build_fleet(&fleet(21, false, 0));
+    let total = scenario.requests.len();
+    assert_eq!(total, 8);
+    let server = ServerConfig {
+        num_workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let (report, shed_count) = serve(&scenario.system, &scenario.store, &server, |submitter| {
+        // Burst far past capacity without blocking: the single worker
+        // cannot score sessions as fast as we submit, so some of these
+        // must shed — and every shed must be typed, with the request
+        // handed back intact.
+        let mut shed = Vec::new();
+        for req in scenario.requests.iter().cloned() {
+            let id = req.request_id;
+            if let Err((back, why)) = submitter.try_submit(req) {
+                assert_eq!(why, ShedReason::QueueFull, "pre-close shed reason");
+                assert_eq!(back.request_id, id, "shed request must come back intact");
+                assert_eq!(back.attempts.len(), 1);
+                shed.push(back);
+            }
+        }
+        assert!(
+            !shed.is_empty(),
+            "a burst of {total} against capacity 1 must shed"
+        );
+        // A shed is an invitation to retry with backpressure: blocking
+        // re-submission parks FIFO and completes every single one.
+        let count = shed.len();
+        for req in shed {
+            submitter
+                .submit_blocking(req)
+                .expect("pre-close blocking admission");
+        }
+        count
+    });
+    assert!(shed_count > 0);
+    assert_eq!(report.sessions.len(), total, "shed + retry loses nothing");
+    let ids: BTreeSet<u64> = report
+        .sessions
+        .iter()
+        .map(|r| r.response.request_id)
+        .collect();
+    assert_eq!(ids.len(), total, "exactly one response per request id");
+    assert!(report
+        .sessions
+        .iter()
+        .all(|r| matches!(r.response.verdict, SessionVerdict::Completed { .. })));
+    assert_eq!(report.ctx_leaks_repaired, 0);
+}
+
+#[test]
+fn shed_sessions_never_corrupt_admitted_logs_under_chaos() {
+    for seed in 1..=3_u64 {
+        let scenario = build_fleet(&fleet(seed, true, 3));
+        let total = scenario.requests.len();
+        let overloaded = ServerConfig {
+            num_workers: 2,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        };
+        // Overload run: even requests are guaranteed admission through
+        // blocking backpressure; odd requests race the queue and may
+        // shed. Interleaving sheds *between* admitted sessions is the
+        // corruption scenario under test.
+        let (report, shed_ids) = serve(
+            &scenario.system,
+            &scenario.store,
+            &overloaded,
+            |submitter| {
+                let mut shed_ids = BTreeSet::new();
+                for (i, req) in scenario.requests.iter().cloned().enumerate() {
+                    if i % 2 == 0 {
+                        submitter.submit_blocking(req).expect("pre-close admission");
+                    } else if let Err((back, why)) = submitter.try_submit(req) {
+                        assert_eq!(why, ShedReason::QueueFull, "seed {seed}: typed shed");
+                        shed_ids.insert(back.request_id);
+                    }
+                }
+                shed_ids
+            },
+        );
+        let admitted: BTreeSet<u64> = report
+            .sessions
+            .iter()
+            .map(|r| r.response.request_id)
+            .collect();
+        assert_eq!(
+            admitted.len(),
+            report.sessions.len(),
+            "seed {seed}: duplicate response"
+        );
+        assert!(
+            admitted.is_disjoint(&shed_ids),
+            "seed {seed}: a shed request must not also complete"
+        );
+        assert_eq!(
+            admitted.len() + shed_ids.len(),
+            total,
+            "seed {seed}: every request is accounted for exactly once"
+        );
+
+        // Baseline: the same admitted requests, serial, no shedding
+        // pressure at all. If sheds corrupted anything, the overloaded
+        // logs diverge from these.
+        let serial = ServerConfig {
+            num_workers: 1,
+            queue_capacity: total.max(1),
+            ..ServerConfig::default()
+        };
+        let mut ordered: Vec<_> = scenario
+            .requests
+            .iter()
+            .filter(|r| admitted.contains(&r.request_id))
+            .cloned()
+            .collect();
+        ordered.sort_by_key(|r| r.request_id);
+        let (baseline, ()) = serve(&scenario.system, &scenario.store, &serial, |submitter| {
+            for req in ordered {
+                submitter.submit_blocking(req).expect("baseline admission");
+            }
+        });
+        let baseline_logs: BTreeMap<u64, &EventLog> = baseline
+            .sessions
+            .iter()
+            .map(|r| (r.response.request_id, &r.log))
+            .collect();
+
+        for record in &report.sessions {
+            let id = record.response.request_id;
+            // Structural integrity: the log round-trips through the
+            // `p2auth.events.v1` codec unchanged.
+            let decoded = EventLog::decode(&record.log.encode())
+                .unwrap_or_else(|e| panic!("seed {seed} req {id}: log corrupt: {e}"));
+            assert_eq!(
+                decoded, record.log,
+                "seed {seed} req {id}: codec round-trip"
+            );
+            assert_eq!(
+                record.log.meta_get("request_id"),
+                Some(id.to_string().as_str()),
+                "seed {seed} req {id}: log belongs to its session"
+            );
+            // The log must end the session it reports.
+            match record.log.events.last().map(|e| &e.event) {
+                Some(SessionEvent::SessionEnd {
+                    state, accepted, ..
+                }) => match &record.response.verdict {
+                    SessionVerdict::Completed {
+                        state: vs,
+                        accepted: va,
+                        ..
+                    } => {
+                        assert_eq!(state, vs.as_str(), "seed {seed} req {id}: end state");
+                        assert_eq!(accepted, va, "seed {seed} req {id}: end verdict");
+                    }
+                    SessionVerdict::Shed(_) => {
+                        panic!("seed {seed} req {id}: shed session wrote events")
+                    }
+                },
+                other => panic!("seed {seed} req {id}: log must end in SessionEnd, got {other:?}"),
+            }
+            // Semantic identity with the pressure-free serial run,
+            // modulo the worker id and each worker's clock offset.
+            let base = baseline_logs[&id];
+            if let Some(div) = normalized(base).first_divergence(&normalized(&record.log)) {
+                panic!("seed {seed} req {id}: overload diverged from serial baseline: {div:?}");
+            }
+            assert_eq!(
+                record.response.verdict,
+                baseline
+                    .sessions
+                    .iter()
+                    .find(|r| r.response.request_id == id)
+                    .expect("baseline ran every admitted id")
+                    .response
+                    .verdict,
+                "seed {seed} req {id}: verdict under load == verdict serial"
+            );
+        }
+    }
+}

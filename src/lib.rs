@@ -11,7 +11,9 @@
 //! * [`device`] — the virtual wearable acquisition link,
 //! * [`dsp`], [`rocket`], [`ml`] — the signal-processing, MiniRocket and
 //!   machine-learning substrates,
-//! * [`baseline`] — the comparison methods from the paper's evaluation.
+//! * [`baseline`] — the comparison methods from the paper's evaluation,
+//! * [`server`] — the fleet-scale serving layer (sharded profile store,
+//!   pooled session scheduler, admission control and load shedding).
 //!
 //! # Quickstart
 //!
@@ -55,4 +57,5 @@ pub use p2auth_ml as ml;
 pub use p2auth_obs as obs;
 pub use p2auth_par as par;
 pub use p2auth_rocket as rocket;
+pub use p2auth_server as server;
 pub use p2auth_sim as sim;
