@@ -4,28 +4,84 @@
 //! One chaos fleet workload (sensor-fault presets + faulty links +
 //! periodic hang sessions, all pre-acquired and seeded) is replayed
 //! through serve regions at several worker counts. Latency comes from
-//! the scheduler's own `server.session.latency_ns` histogram
-//! (`p2auth-obs`), throughput from the wall clock around the region.
-//! Every level runs under a watchdog: a region that fails to finish is
-//! a hang, reported with a nonzero exit — never a silent stall.
+//! the scheduler's merged per-worker metrics (`ServeReport::metrics`) —
+//! completed, shed, and aborted sessions each land in their own
+//! outcome-labelled histogram so a shed storm can't hide inside the
+//! completion quantiles. Throughput is the wall clock around the
+//! region. Every level runs under a watchdog: a region that fails to
+//! finish is a hang, reported with a nonzero exit — never a silent
+//! stall.
+//!
+//! After the worker sweep, an **observability lane** measures what the
+//! durable plane costs: interleaved batches at a fixed worker count,
+//! alternating plain serving against serving with sharded event-log
+//! persistence plus SLO tracking (interleaving absorbs thermal /
+//! frequency drift, same as `obs_bench`). The medians are compared and
+//! the overhead must stay inside `P2AUTH_FLEET_OBS_BUDGET_PCT`
+//! (default 3%). The final persisted store is left in `fleet-shards/`
+//! for `p2auth replay --from-shard`, and the lane's SLO report is
+//! written to `SLO_fleet.json` (`p2auth.obs.v1`).
 //!
 //! Writes `BENCH_fleet.json` in the current directory.
 //!
 //! SLO gate (CI): with `P2AUTH_FLEET_GATE` set (and not `0`), exits
 //! nonzero when any level's p99 exceeds `P2AUTH_FLEET_P99_MS`
 //! (default 500 ms), when any request goes unanswered, or when nothing
-//! accepts. `P2AUTH_FLEET_TIMEOUT_S` (default 120) bounds each level.
+//! accepts. `P2AUTH_FLEET_OBS_GATE` additionally fails the run when
+//! the observability lane blows its overhead budget.
+//! `P2AUTH_FLEET_TIMEOUT_S` (default 120) bounds each level.
 //!
 //! Usage: `cargo run -p p2auth-bench --release --bin fleet_bench [devices]`
 
+use std::path::Path;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use p2auth_bench::harness::{print_header, print_row, users_arg};
-use p2auth_server::{build_fleet, run_fleet, FleetConfig, ServerConfig};
+use p2auth_obs::{ShardedEventStore, SloConfig, SloTracker};
+use p2auth_server::{
+    build_fleet, run_fleet_obs, FleetConfig, FleetScenario, ServeObs, ServerConfig,
+};
 
 /// Worker-pool sizes swept (the bench contract: at least three).
 const WORKERS: [usize; 3] = [1, 4, 16];
+
+/// Worker count of the observability-overhead lane.
+const OBS_WORKERS: usize = 4;
+
+/// Interleaved rounds in the observability lane (each round = one
+/// plain region + one persisted region, order alternating).
+const OBS_ROUNDS: usize = 5;
+
+/// Quantiles of one outcome-labelled latency histogram.
+#[derive(Default, Clone, Copy)]
+struct HistStats {
+    count: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    mean_ns: f64,
+}
+
+impl HistStats {
+    fn from_local(h: Option<&p2auth_obs::LocalHistogram>) -> Self {
+        h.map_or_else(Self::default, |h| Self {
+            count: h.count(),
+            p50_ns: h.quantile(0.50),
+            p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
+            mean_ns: h.sum() as f64 / h.count().max(1) as f64,
+        })
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"mean_ns\": {:.0} }}",
+            self.count, self.p50_ns, self.p95_ns, self.p99_ns, self.mean_ns
+        )
+    }
+}
 
 /// One concurrency level's measurements.
 struct Level {
@@ -33,12 +89,12 @@ struct Level {
     sessions: usize,
     shed: usize,
     accepts: usize,
+    aborts: usize,
     wall_s: f64,
     throughput_sps: f64,
-    p50_ns: u64,
-    p95_ns: u64,
-    p99_ns: u64,
-    mean_ns: f64,
+    completed: HistStats,
+    shed_hist: HistStats,
+    aborted_hist: HistStats,
 }
 
 fn env_f64(key: &str, default: f64) -> f64 {
@@ -48,8 +104,43 @@ fn env_f64(key: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn gate_enabled() -> bool {
-    std::env::var("P2AUTH_FLEET_GATE").is_ok_and(|v| v != "0")
+fn gate_enabled(key: &str) -> bool {
+    std::env::var(key).is_ok_and(|v| v != "0")
+}
+
+/// Runs one serve region under the hang watchdog, returning the report,
+/// the at-submit sheds, and the region wall time.
+fn timed_region<'a>(
+    scenario: &'a FleetScenario,
+    server: &ServerConfig,
+    obs: ServeObs<'_>,
+    timeout: Duration,
+) -> (p2auth_server::ServeReport, usize, f64) {
+    let (tx, rx) = mpsc::channel();
+    let t0 = Instant::now();
+    let (report, shed) = std::thread::scope(|s| {
+        s.spawn(|| {
+            let out = run_fleet_obs(scenario, server, obs);
+            let _ = tx.send(out);
+        });
+        match rx.recv_timeout(timeout) {
+            Ok(out) => out,
+            Err(_) => {
+                eprintln!(
+                    "FLEET_HANG: {}-worker region exceeded {:.0}s",
+                    server.num_workers,
+                    timeout.as_secs_f64()
+                );
+                std::process::exit(2);
+            }
+        }
+    });
+    (report, shed.len(), t0.elapsed().as_secs_f64())
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
 }
 
 fn main() {
@@ -64,6 +155,7 @@ fn main() {
     };
     let timeout = Duration::from_secs_f64(env_f64("P2AUTH_FLEET_TIMEOUT_S", 120.0));
     let p99_budget_ns = env_f64("P2AUTH_FLEET_P99_MS", 500.0) * 1e6;
+    let obs_budget_pct = env_f64("P2AUTH_FLEET_OBS_BUDGET_PCT", 3.0);
 
     println!(
         "# fleet_bench — {} devices x {} sessions, chaos on, hang every {}",
@@ -72,44 +164,24 @@ fn main() {
     let scenario = build_fleet(&fleet);
     let total = scenario.requests.len();
     print_header(&[
-        "workers", "sessions", "shed", "accepts", "wall_s", "ses/s", "p50_us", "p95_us", "p99_us",
+        "workers", "sessions", "shed", "accepts", "aborts", "wall_s", "ses/s", "p50_us", "p95_us",
+        "p99_us",
     ]);
 
     let mut levels: Vec<Level> = Vec::new();
     for &workers in &WORKERS {
-        // Each level reads its own histogram: the registry is global,
-        // so it is zeroed at the level boundary.
-        p2auth_obs::reset();
         let server = ServerConfig {
             num_workers: workers,
             queue_capacity: (2 * workers).max(4),
             ..ServerConfig::default()
         };
-        // Watchdog: the serve region borrows the scenario, so it runs
-        // on a scoped thread and the main thread waits with a timeout.
-        // A region that cannot finish is the exact failure this bench
-        // exists to catch — report it, don't inherit the hang.
-        let (tx, rx) = mpsc::channel();
-        let t0 = Instant::now();
-        let (report, shed) = std::thread::scope(|s| {
-            s.spawn(|| {
-                let out = run_fleet(&scenario, &server);
-                let _ = tx.send(out);
-            });
-            match rx.recv_timeout(timeout) {
-                Ok(out) => out,
-                Err(_) => {
-                    eprintln!(
-                        "FLEET_HANG: {workers}-worker region exceeded {:.0}s",
-                        timeout.as_secs_f64()
-                    );
-                    std::process::exit(2);
-                }
-            }
-        });
-        let wall_s = t0.elapsed().as_secs_f64();
+        let (report, shed_at_submit, wall_s) =
+            timed_region(&scenario, &server, ServeObs::default(), timeout);
 
-        let hist = p2auth_obs::metrics::histogram_handle("server.session.latency_ns");
+        let m = &report.metrics;
+        let completed = HistStats::from_local(m.histogram("server.session.latency_ns"));
+        let shed_hist = HistStats::from_local(m.histogram("server.session.latency.shed_ns"));
+        let aborted_hist = HistStats::from_local(m.histogram("server.session.latency.aborted_ns"));
         let accepts = report
             .sessions
             .iter()
@@ -118,46 +190,114 @@ fn main() {
         let level = Level {
             workers,
             sessions: report.sessions.len(),
-            shed: shed.len(),
+            shed: shed_at_submit + shed_hist.count as usize,
             accepts,
+            aborts: aborted_hist.count as usize,
             wall_s,
             throughput_sps: report.sessions.len() as f64 / wall_s.max(1e-9),
-            p50_ns: hist.quantile(0.50),
-            p95_ns: hist.quantile(0.95),
-            p99_ns: hist.quantile(0.99),
-            mean_ns: hist.sum() as f64 / hist.count().max(1) as f64,
+            completed,
+            shed_hist,
+            aborted_hist,
         };
         print_row(&[
             format!("{workers}"),
             format!("{}", level.sessions),
             format!("{}", level.shed),
             format!("{}", level.accepts),
+            format!("{}", level.aborts),
             format!("{wall_s:.3}"),
             format!("{:.1}", level.throughput_sps),
-            format!("{:.0}", level.p50_ns as f64 / 1e3),
-            format!("{:.0}", level.p95_ns as f64 / 1e3),
-            format!("{:.0}", level.p99_ns as f64 / 1e3),
+            format!("{:.0}", level.completed.p50_ns as f64 / 1e3),
+            format!("{:.0}", level.completed.p95_ns as f64 / 1e3),
+            format!("{:.0}", level.completed.p99_ns as f64 / 1e3),
         ]);
         levels.push(level);
     }
+
+    // ---- observability lane: what does the durable plane cost? ----
+    // Interleaved plain/persisted batches (odd rounds flip the order)
+    // so slow drift hits both sides equally; medians are compared.
+    println!("# obs lane — {OBS_WORKERS} workers, {OBS_ROUNDS} interleaved rounds");
+    let obs_server = ServerConfig {
+        num_workers: OBS_WORKERS,
+        queue_capacity: (2 * OBS_WORKERS).max(4),
+        ..ServerConfig::default()
+    };
+    let slo = SloTracker::new(SloConfig {
+        p99_objective_ns: p99_budget_ns as u64,
+        ..SloConfig::default()
+    });
+    let shard_dir = Path::new("fleet-shards");
+    let mut plain_sps: Vec<f64> = Vec::with_capacity(OBS_ROUNDS);
+    let mut obs_sps: Vec<f64> = Vec::with_capacity(OBS_ROUNDS);
+    let mut persisted_records = 0_u64;
+    for round in 0..OBS_ROUNDS {
+        let run_plain = |plain_sps: &mut Vec<f64>| {
+            let (report, _, wall_s) =
+                timed_region(&scenario, &obs_server, ServeObs::default(), timeout);
+            plain_sps.push(report.sessions.len() as f64 / wall_s.max(1e-9));
+        };
+        let run_obs = |obs_sps: &mut Vec<f64>, persisted: &mut u64| {
+            // Recreate the store each round: every lane measures the
+            // same work, and the last round leaves a fresh store behind
+            // for `replay --from-shard`.
+            let store = ShardedEventStore::create(shard_dir, obs_server.shard_count, 8)
+                .expect("create fleet-shards store");
+            let obs = ServeObs {
+                persist: Some(&store),
+                slo: Some(&slo),
+            };
+            let (report, _, wall_s) = timed_region(&scenario, &obs_server, obs, timeout);
+            store.flush().expect("flush fleet-shards store");
+            *persisted = store.appended();
+            obs_sps.push(report.sessions.len() as f64 / wall_s.max(1e-9));
+        };
+        if round % 2 == 0 {
+            run_plain(&mut plain_sps);
+            run_obs(&mut obs_sps, &mut persisted_records);
+        } else {
+            run_obs(&mut obs_sps, &mut persisted_records);
+            run_plain(&mut plain_sps);
+        }
+    }
+    let plain_med = median(&mut plain_sps);
+    let obs_med = median(&mut obs_sps);
+    let obs_overhead_pct = (plain_med - obs_med) / plain_med.max(1e-9) * 100.0;
+    let obs_within = obs_overhead_pct <= obs_budget_pct;
+    println!(
+        "obs lane: plain {plain_med:.1} ses/s, persisted {obs_med:.1} ses/s, \
+         overhead {obs_overhead_pct:.2}% (budget {obs_budget_pct:.1}%) — \
+         {persisted_records} records in {}",
+        shard_dir.display()
+    );
+    let slo_json = slo.report().render_json();
+    std::fs::write("SLO_fleet.json", &slo_json).expect("write SLO_fleet.json");
+    println!("wrote SLO_fleet.json");
 
     let per_level = levels
         .iter()
         .map(|l| {
             format!(
                 "    {{ \"workers\": {}, \"sessions\": {}, \"shed\": {}, \
-                 \"accepts\": {}, \"wall_s\": {:.4}, \"throughput_sps\": {:.2}, \
-                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.0} }}",
+                 \"accepts\": {}, \"aborts\": {}, \"wall_s\": {:.4}, \
+                 \"throughput_sps\": {:.2}, \
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.0},\n      \
+                 \"completed\": {},\n      \"shed_sessions\": {},\n      \
+                 \"aborted\": {} }}",
                 l.workers,
                 l.sessions,
                 l.shed,
                 l.accepts,
+                l.aborts,
                 l.wall_s,
                 l.throughput_sps,
-                l.p50_ns,
-                l.p95_ns,
-                l.p99_ns,
-                l.mean_ns,
+                l.completed.p50_ns,
+                l.completed.p95_ns,
+                l.completed.p99_ns,
+                l.completed.mean_ns,
+                l.completed.json(),
+                l.shed_hist.json(),
+                l.aborted_hist.json(),
             )
         })
         .collect::<Vec<_>>()
@@ -166,7 +306,12 @@ fn main() {
         "{{\n  \"bench\": \"fleet\",\n  \"devices\": {devices},\n  \
          \"sessions_per_device\": {},\n  \"requests\": {total},\n  \
          \"chaos\": {},\n  \"hang_every\": {},\n  \"seed\": {},\n  \
-         \"p99_budget_ns\": {:.0},\n  \"levels\": [\n{per_level}\n  ]\n}}\n",
+         \"p99_budget_ns\": {:.0},\n  \"levels\": [\n{per_level}\n  ],\n  \
+         \"obs_lane\": {{ \"workers\": {OBS_WORKERS}, \"rounds\": {OBS_ROUNDS}, \
+         \"plain_sps\": {plain_med:.2}, \"persisted_sps\": {obs_med:.2}, \
+         \"obs_overhead_pct\": {obs_overhead_pct:.2}, \
+         \"obs_budget_pct\": {obs_budget_pct:.1}, \"within_budget\": {obs_within}, \
+         \"persisted_records\": {persisted_records} }}\n}}\n",
         fleet.sessions_per_device, fleet.chaos, fleet.hang_every, fleet.seed, p99_budget_ns,
     );
     std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
@@ -176,17 +321,19 @@ fn main() {
     // level's p99 stays inside the budget.
     let mut violations: Vec<String> = Vec::new();
     for l in &levels {
-        if l.sessions + l.shed != total {
+        if l.sessions + l.shed - l.shed_hist.count as usize != total {
             violations.push(format!(
-                "workers={}: {} responses + {} shed != {total} requests",
-                l.workers, l.sessions, l.shed
+                "workers={}: {} responses + {} shed-at-submit != {total} requests",
+                l.workers,
+                l.sessions,
+                l.shed - l.shed_hist.count as usize
             ));
         }
-        if l.p99_ns as f64 > p99_budget_ns {
+        if l.completed.p99_ns as f64 > p99_budget_ns {
             violations.push(format!(
                 "workers={}: p99 {:.1} ms exceeds budget {:.1} ms",
                 l.workers,
-                l.p99_ns as f64 / 1e6,
+                l.completed.p99_ns as f64 / 1e6,
                 p99_budget_ns / 1e6
             ));
         }
@@ -194,15 +341,29 @@ fn main() {
     if levels.iter().all(|l| l.accepts == 0) {
         violations.push("no level accepted a single legitimate session".to_string());
     }
+    let mut obs_violation = false;
+    if !obs_within {
+        obs_violation = true;
+        eprintln!(
+            "OBS_VIOLATION: observability lane overhead {obs_overhead_pct:.2}% \
+             exceeds budget {obs_budget_pct:.1}%"
+        );
+    }
     if violations.is_empty() {
         println!("SLO: ok (p99 budget {:.0} ms)", p99_budget_ns / 1e6);
     } else {
         for v in &violations {
             eprintln!("SLO_VIOLATION: {v}");
         }
-        if gate_enabled() {
+        if gate_enabled("P2AUTH_FLEET_GATE") {
             std::process::exit(1);
         }
         println!("(gate disabled; set P2AUTH_FLEET_GATE=1 to fail on violations)");
+    }
+    if obs_violation {
+        if gate_enabled("P2AUTH_FLEET_OBS_GATE") {
+            std::process::exit(1);
+        }
+        println!("(obs gate disabled; set P2AUTH_FLEET_OBS_GATE=1 to fail on overhead)");
     }
 }

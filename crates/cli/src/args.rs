@@ -66,6 +66,8 @@ const SWITCHES: &[&str] = &[
     "json",
     "verify",
     "summary",
+    "inspect",
+    "from-shard",
 ];
 
 impl ParsedArgs {

@@ -10,9 +10,14 @@ use p2auth_device::{
     decide_session, transmit_reliable, FaultConfig, FaultyLink, LinkConfig, ReliableConfig,
     SessionOutcome, WearableDevice,
 };
-use p2auth_server::{build_fleet, run_fleet, FleetConfig, ServerConfig, SessionVerdict};
+use p2auth_obs::events::Fnv64;
+use p2auth_obs::{persist, ShardedEventStore, SloConfig, SloTracker};
+use p2auth_server::{
+    build_fleet, run_fleet_obs, FleetConfig, ServeObs, ServeReport, ServerConfig, SessionVerdict,
+};
 use p2auth_sim::{Population, PopulationConfig, SessionConfig};
 use std::fmt;
+use std::fmt::Write as _;
 use std::path::Path;
 
 /// Error running a CLI command.
@@ -119,12 +124,27 @@ COMMANDS:
                 spec and diffs every event; a mismatch reports the
                 first divergent event and exits nonzero. --summary
                 (the default) and --json never re-execute.
+              With --from-shard, <log> is a directory written by
+              `fleet --persist`: lists every persisted session per
+              shard; --request N selects one session (then --json
+              dumps its canonical log); --verify checks every
+              record's CRC framing, canonical re-encoding and digest
+              against the recorded manifest and exits nonzero on any
+              divergence.
     fleet     Serve a simulated device fleet through the sharded
               profile store and supervised worker pool; reports
               accept/abort mix, shed counts and latency quantiles
                 --devices N (6)  --sessions N (3)  --workers N (4)
                 --seed S (814)   --chaos MODE (on|off; default on)
+                --p99-ms N (500, the SLO objective)
+                --persist DIR (append session event logs to sharded
+                segment files + manifest, then verify the read-back
+                against the in-memory logs)
+                [--inspect] (append the fleet introspection view)
                 [--json]
+              `p2auth fleet top` renders only the introspection view:
+              per-shard sessions/sheds/latency, per-worker load, the
+              SQI-rejection mix, SLO burn rate and top-5 slow sessions
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -674,11 +694,17 @@ pub fn record(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// `p2auth replay <log>`: summarize (default / `--summary`), dump the
 /// canonical encoding (`--json`), or re-execute and diff (`--verify`).
+/// With `--from-shard` the argument is a shard **directory** written by
+/// `fleet --persist`: list its sessions, pick one with `--request N`,
+/// or `--verify` every record against `manifest.json`.
 pub fn replay_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     let path = args
         .arg
         .as_deref()
         .ok_or_else(|| CliError::Io("replay requires a log path argument".to_string()))?;
+    if args.has("from-shard") {
+        return replay_from_shard(path, args);
+    }
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     let log = p2auth_obs::EventLog::decode(&text).map_err(ReplayError::Log)?;
     if args.has("verify") {
@@ -696,13 +722,228 @@ pub fn replay_cmd(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(replay::summarize(&log))
 }
 
+/// One session pulled back out of a shard directory.
+struct ShardSession {
+    shard_idx: u32,
+    payload_len: usize,
+    request_id: u64,
+    log: p2auth_obs::EventLog,
+}
+
+/// Decodes every record of every readable shard in `dir`. Returns the
+/// sessions plus a list of per-shard warnings (torn tails, unreadable
+/// shards) so the default listing can surface them without failing.
+fn read_shard_sessions(dir: &str) -> Result<(Vec<ShardSession>, Vec<String>), CliError> {
+    let mut sessions = Vec::new();
+    let mut warnings = Vec::new();
+    for (path, read) in persist::read_store_dir(Path::new(dir))
+        .map_err(|e| CliError::Io(format!("reading {dir}: {e}")))?
+    {
+        let read = match read {
+            Ok(read) => read,
+            Err(e) => {
+                warnings.push(format!("{}: {e}", path.display()));
+                continue;
+            }
+        };
+        if read.torn_bytes > 0 {
+            warnings.push(format!(
+                "{}: dropped torn tail ({} bytes) — crash before flush",
+                path.display(),
+                read.torn_bytes
+            ));
+        }
+        for payload in &read.records {
+            let text = std::str::from_utf8(payload)
+                .map_err(|e| CliError::Io(format!("{}: non-utf8 record: {e}", path.display())))?;
+            let log = p2auth_obs::EventLog::decode(text).map_err(ReplayError::Log)?;
+            let request_id = log
+                .meta_get("request_id")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(u64::MAX);
+            sessions.push(ShardSession {
+                shard_idx: read.shard_idx,
+                payload_len: payload.len(),
+                request_id,
+                log,
+            });
+        }
+    }
+    sessions.sort_by_key(|s| s.request_id);
+    Ok((sessions, warnings))
+}
+
+/// The `--from-shard` side of `replay`: list, select, or verify the
+/// persisted fleet session logs in a shard directory.
+fn replay_from_shard(dir: &str, args: &ParsedArgs) -> Result<String, CliError> {
+    let (sessions, warnings) = read_shard_sessions(dir)?;
+    if args.has("verify") {
+        return verify_shard_dir(dir, &sessions, &warnings);
+    }
+    if let Some(request) = args.get("request") {
+        let want: u64 = request.parse().map_err(|e| {
+            CliError::Args(ArgError::BadValue {
+                flag: "request".to_string(),
+                detail: format!("{e}"),
+            })
+        })?;
+        let hit = sessions
+            .iter()
+            .find(|s| s.request_id == want)
+            .ok_or_else(|| {
+                CliError::Io(format!("request {want} not found in {dir} shard files"))
+            })?;
+        if args.has("json") {
+            return Ok(hit.log.encode());
+        }
+        return Ok(replay::summarize(&hit.log));
+    }
+    let mut out = format!("{dir}: {} persisted session logs\n", sessions.len());
+    for w in &warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    out.push_str("request  user  shard  events  bytes\n");
+    for s in &sessions {
+        let user = s.log.meta_get("user_id").unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>5} {:>6} {:>7} {:>6}",
+            s.request_id,
+            user,
+            s.shard_idx,
+            s.log.len(),
+            s.payload_len,
+        );
+    }
+    out.push_str("pick one with --request N (--json dumps, default summarizes); --verify checks manifest.json");
+    Ok(out)
+}
+
+/// `replay <dir> --from-shard --verify`: every persisted record must
+/// re-encode canonically to its own bytes, hash to the digest the fleet
+/// recorded in `manifest.json`, and sit in the shard its user id maps
+/// to — and every manifest entry must be present. Any mismatch is a
+/// hard error (nonzero exit).
+fn verify_shard_dir(
+    dir: &str,
+    sessions: &[ShardSession],
+    warnings: &[String],
+) -> Result<String, CliError> {
+    if let Some(w) = warnings.first() {
+        return Err(CliError::Io(format!("shard store not clean: {w}")));
+    }
+    let manifest_path = Path::new(dir).join("manifest.json");
+    let manifest_text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| CliError::Io(format!("{}: {e}", manifest_path.display())))?;
+    let manifest = p2auth_obs::json::parse(&manifest_text)
+        .map_err(|e| CliError::Io(format!("{}: {e}", manifest_path.display())))?;
+    if manifest
+        .get("schema")
+        .and_then(p2auth_obs::json::JsonValue::as_str)
+        != Some("p2auth.fleet-shards.v1")
+    {
+        return Err(CliError::Io(format!(
+            "{}: not a p2auth.fleet-shards.v1 manifest",
+            manifest_path.display()
+        )));
+    }
+    let shard_count = manifest
+        .get("shard_count")
+        .and_then(p2auth_obs::json::JsonValue::as_f64)
+        .ok_or_else(|| CliError::Io("manifest missing shard_count".to_string()))?
+        as usize;
+    let entries = manifest
+        .get("sessions")
+        .and_then(p2auth_obs::json::JsonValue::as_array)
+        .ok_or_else(|| CliError::Io("manifest missing sessions array".to_string()))?;
+    let mut expected: std::collections::BTreeMap<u64, (u64, u64, String)> =
+        std::collections::BTreeMap::new();
+    for e in entries {
+        let field = |k: &str| -> Result<f64, CliError> {
+            e.get(k)
+                .and_then(p2auth_obs::json::JsonValue::as_f64)
+                .ok_or_else(|| CliError::Io(format!("manifest session missing {k}")))
+        };
+        let digest = e
+            .get("digest")
+            .and_then(p2auth_obs::json::JsonValue::as_str)
+            .ok_or_else(|| CliError::Io("manifest session missing digest".to_string()))?;
+        expected.insert(
+            field("request_id")? as u64,
+            (
+                field("user_id")? as u64,
+                field("events")? as u64,
+                digest.to_string(),
+            ),
+        );
+    }
+    let mut verified = 0_usize;
+    for s in sessions {
+        let (user_id, events, digest) = expected.get(&s.request_id).ok_or_else(|| {
+            CliError::Io(format!(
+                "request {} persisted but absent from the manifest",
+                s.request_id
+            ))
+        })?;
+        let encoded = s.log.encode();
+        if log_digest(&encoded) != *digest {
+            return Err(CliError::Io(format!(
+                "request {}: digest mismatch vs manifest (persisted log altered?)",
+                s.request_id
+            )));
+        }
+        if s.log.len() as u64 != *events {
+            return Err(CliError::Io(format!(
+                "request {}: {} events persisted, manifest says {events}",
+                s.request_id,
+                s.log.len()
+            )));
+        }
+        let want_shard = persist::shard_of(*user_id, shard_count);
+        if s.shard_idx as usize != want_shard {
+            return Err(CliError::Io(format!(
+                "request {}: found in shard {} but user {user_id} routes to {want_shard}",
+                s.request_id, s.shard_idx
+            )));
+        }
+        verified += 1;
+    }
+    if verified != expected.len() {
+        let missing: Vec<u64> = expected
+            .keys()
+            .filter(|id| sessions.iter().all(|s| s.request_id != **id))
+            .copied()
+            .collect();
+        return Err(CliError::Io(format!(
+            "manifest lists {} sessions but only {verified} persisted; missing requests {missing:?}",
+            expected.len()
+        )));
+    }
+    Ok(format!(
+        "shard replay verified: {verified} session logs across {shard_count} shards, \
+         zero divergence (canonical re-encode + digest + shard routing all match)"
+    ))
+}
+
 /// `p2auth fleet`: a miniature of the `fleet_bench` sweep — one serve
 /// region over a simulated device fleet, reported interactively.
+/// `--persist DIR` additionally appends every session's event log to a
+/// sharded segment store (then verifies the read-back bit-for-bit
+/// against the in-memory logs and writes a digest manifest for
+/// `replay --from-shard --verify`); `--inspect` appends the fleet
+/// introspection view, and `p2auth fleet top` renders only that view.
 pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
+    let top_only = args.arg.as_deref() == Some("top");
+    if let Some(other) = args.arg.as_deref().filter(|a| *a != "top") {
+        return Err(CliError::Io(format!(
+            "unknown fleet view {other:?}; try `p2auth fleet top`"
+        )));
+    }
     let devices = args.get_parsed("devices", 6_usize)?.max(1);
     let sessions = args.get_parsed("sessions", 3_usize)?.max(1);
     let workers = args.get_parsed("workers", 4_usize)?.max(1);
     let seed = args.get_parsed("seed", 814_u64)?;
+    let p99_ms = args.get_parsed("p99-ms", 500_u64)?;
     let chaos = match args.get("chaos").unwrap_or("on") {
         "on" => true,
         "off" => false,
@@ -721,14 +962,41 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
         chaos,
         hang_every: 0,
     });
-    let (report, shed_at_submit) = run_fleet(
+    let server = ServerConfig {
+        num_workers: workers,
+        queue_capacity: (2 * workers).max(4),
+        ..ServerConfig::default()
+    };
+    let slo = SloTracker::new(SloConfig {
+        p99_objective_ns: p99_ms.saturating_mul(1_000_000),
+        ..SloConfig::default()
+    });
+    let persist_dir = args.get("persist").map(str::to_string);
+    let store = match &persist_dir {
+        Some(dir) => Some(
+            ShardedEventStore::create(Path::new(dir), server.shard_count, 8)
+                .map_err(|e| CliError::Io(format!("{dir}: {e}")))?,
+        ),
+        None => None,
+    };
+    let (report, shed_at_submit) = run_fleet_obs(
         &scenario,
-        &ServerConfig {
-            num_workers: workers,
-            queue_capacity: (2 * workers).max(4),
-            ..ServerConfig::default()
+        &server,
+        ServeObs {
+            persist: store.as_ref(),
+            slo: Some(&slo),
         },
     );
+    // Durable read-back verification: every persisted record must be
+    // bit-identical to the in-memory log the worker produced.
+    let persist_note = match (&store, &persist_dir) {
+        (Some(st), Some(dir)) => {
+            st.flush()
+                .map_err(|e| CliError::Io(format!("{dir}: {e}")))?;
+            Some(persist_verify_and_manifest(&report, st, dir)?)
+        }
+        _ => None,
+    };
 
     let total = scenario.requests.len();
     let mut accepts = 0_usize;
@@ -759,7 +1027,17 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
         latencies[rank - 1]
     };
     let (p50, p95, p99) = (quantile(0.50), quantile(0.95), quantile(0.99));
+    let slo_report = slo.report();
 
+    if top_only {
+        return Ok(fleet_top_view(
+            &report,
+            shed_at_submit.len(),
+            &slo_report,
+            server.shard_count,
+            workers,
+        ));
+    }
     if args.has("json") {
         return Ok(format!(
             "{{ \"devices\": {devices}, \"sessions_per_device\": {sessions}, \
@@ -767,12 +1045,15 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
              \"requests\": {total}, \"responses\": {}, \"accepts\": {accepts}, \
              \"rejects\": {rejects}, \"aborts\": {aborts}, \"shed\": {shed}, \
              \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}, \
+             \"slo_alert\": {}, \"persisted\": {}, \
              \"ctx_leaks_repaired\": {} }}",
             report.sessions.len() + shed_at_submit.len(),
+            slo_report.alert,
+            store.as_ref().map_or(0, ShardedEventStore::appended),
             report.ctx_leaks_repaired,
         ));
     }
-    Ok(format!(
+    let mut out = format!(
         "fleet: {devices} devices x {sessions} sessions, {workers} workers, \
          chaos {}, seed {seed}\n\
          responses: {}/{total} (accepted {accepts}, rejected {rejects}, \
@@ -785,6 +1066,233 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
         p95 as f64 / 1e3,
         p99 as f64 / 1e3,
         report.ctx_leaks_repaired,
+    );
+    if let Some(note) = persist_note {
+        out.push('\n');
+        out.push_str(&note);
+    }
+    if args.has("inspect") {
+        out.push('\n');
+        out.push_str(&fleet_top_view(
+            &report,
+            shed_at_submit.len(),
+            &slo_report,
+            server.shard_count,
+            workers,
+        ));
+    }
+    Ok(out)
+}
+
+/// Short human label for a session verdict.
+fn verdict_label(verdict: &SessionVerdict) -> String {
+    match verdict {
+        SessionVerdict::Completed { accepted: true, .. } => "accepted".to_string(),
+        SessionVerdict::Completed { state, .. } => state.as_str().to_string(),
+        SessionVerdict::Shed(why) => format!("shed:{why:?}"),
+    }
+}
+
+/// Renders the fleet introspection view (`fleet top` / `--inspect`):
+/// per-shard load and latency from the merged per-worker metrics,
+/// per-worker session counts, the shed and SQI-rejection mix mined
+/// from the session logs, the SLO burn line, and the top-5 slowest
+/// sessions.
+fn fleet_top_view(
+    report: &ServeReport,
+    shed_at_submit: usize,
+    slo: &p2auth_obs::SloReport,
+    shard_count: usize,
+    workers: usize,
+) -> String {
+    let m = &report.metrics;
+    let mut out = format!(
+        "fleet top — {shard_count} shards, {workers} workers, {} sessions\n",
+        report.sessions.len()
+    );
+    out.push_str("shard  sessions  accepts  sheds       p50       p99\n");
+    for s in 0..shard_count {
+        let sessions = m.counter(&format!("server.shard.{s:02}.sessions"));
+        if sessions == 0 {
+            continue;
+        }
+        let accepts = m.counter(&format!("server.shard.{s:02}.accepts"));
+        let sheds = m.counter(&format!("server.shard.{s:02}.sheds"));
+        let (p50, p99) = m
+            .histogram(&format!("server.shard.{s:02}.latency_ns"))
+            .map_or((0, 0), |h| (h.quantile(0.50), h.quantile(0.99)));
+        let _ = writeln!(
+            out,
+            "  {s:3} {sessions:9} {accepts:8} {sheds:6} {:>9} {:>9}",
+            p2auth_obs::report::fmt_ns(p50),
+            p2auth_obs::report::fmt_ns(p99),
+        );
+    }
+    out.push_str("workers:");
+    for w in 0..workers {
+        let count = report
+            .sessions
+            .iter()
+            .filter(|r| r.response.worker == w)
+            .count();
+        let _ = write!(out, " w{w}={count}");
+    }
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "shed: at_submit={shed_at_submit} unknown_user={}",
+        m.counter("server.shed_unknown_user"),
+    );
+    // SQI-rejection mix: the last decision of every non-accepted
+    // session, keyed by its recorded reason.
+    let mut mix: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for r in &report.sessions {
+        if matches!(
+            r.response.verdict,
+            SessionVerdict::Completed { accepted: true, .. } | SessionVerdict::Shed(_)
+        ) {
+            continue;
+        }
+        let reason = r
+            .log
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match &e.event {
+                p2auth_obs::SessionEvent::Decision { kind, reason, .. } => Some(
+                    reason
+                        .clone()
+                        .map_or_else(|| kind.clone(), |why| format!("{kind}:{why}")),
+                ),
+                _ => None,
+            })
+            .unwrap_or_else(|| verdict_label(&r.response.verdict));
+        *mix.entry(reason).or_insert(0) += 1;
+    }
+    out.push_str("rejection mix:");
+    if mix.is_empty() {
+        out.push_str(" none");
+    }
+    for (reason, count) in &mix {
+        let _ = write!(out, " {reason}={count}");
+    }
+    out.push('\n');
+    out.push_str(&slo.render_text());
+    out.push('\n');
+    let mut slow: Vec<_> = report.sessions.iter().collect();
+    slow.sort_by(|a, b| {
+        b.response
+            .latency_ns
+            .cmp(&a.response.latency_ns)
+            .then(a.response.request_id.cmp(&b.response.request_id))
+    });
+    out.push_str("top 5 slow sessions:\n");
+    for r in slow.iter().take(5) {
+        let _ = writeln!(
+            out,
+            "  req {:>4}  user {:>4}  worker {}  {:>9}  {}",
+            r.response.request_id,
+            r.response.user_id,
+            r.response.worker,
+            p2auth_obs::report::fmt_ns(r.response.latency_ns),
+            verdict_label(&r.response.verdict),
+        );
+    }
+    out
+}
+
+/// Hex digest of a canonical event-log encoding (FNV-64 over the
+/// bytes) — the manifest currency `replay --from-shard --verify`
+/// checks against.
+fn log_digest(encoded: &str) -> String {
+    let mut h = Fnv64::new();
+    h.update_bytes(encoded.as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+/// Reads every shard back, proves each persisted record bit-identical
+/// to the in-memory log of the same session, and writes
+/// `DIR/manifest.json` (request id → digest) for offline verification.
+fn persist_verify_and_manifest(
+    report: &ServeReport,
+    store: &ShardedEventStore,
+    dir: &str,
+) -> Result<String, CliError> {
+    let by_request: std::collections::BTreeMap<u64, &p2auth_obs::EventLog> = report
+        .sessions
+        .iter()
+        .map(|r| (r.response.request_id, &r.log))
+        .collect();
+    let mut persisted = 0_usize;
+    for (path, read) in persist::read_store_dir(Path::new(dir))
+        .map_err(|e| CliError::Io(format!("reading {dir}: {e}")))?
+    {
+        let read = read.map_err(|e| CliError::Io(format!("{}: {e}", path.display())))?;
+        if read.torn_bytes > 0 {
+            return Err(CliError::Io(format!(
+                "{}: torn tail right after writing (flush failed?)",
+                path.display()
+            )));
+        }
+        for payload in &read.records {
+            let text = std::str::from_utf8(payload)
+                .map_err(|e| CliError::Io(format!("{}: non-utf8 record: {e}", path.display())))?;
+            let log = p2auth_obs::EventLog::decode(text).map_err(ReplayError::Log)?;
+            let request_id: u64 = log
+                .meta_get("request_id")
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    CliError::Io(format!("{}: record without request_id", path.display()))
+                })?;
+            let in_memory = by_request.get(&request_id).ok_or_else(|| {
+                CliError::Io(format!("persisted request {request_id} was never served"))
+            })?;
+            if let Some(div) = in_memory.first_divergence(&log) {
+                return Err(CliError::Io(format!(
+                    "persisted log for request {request_id} diverged from memory: {div:?}"
+                )));
+            }
+            persisted += 1;
+        }
+    }
+    if persisted != report.sessions.len() {
+        return Err(CliError::Io(format!(
+            "persisted {persisted} records but served {} sessions",
+            report.sessions.len()
+        )));
+    }
+    // The manifest: one digest per session, so a later process can
+    // verify the shard files against what the fleet actually recorded.
+    let mut manifest = String::from("{ \"schema\": \"p2auth.fleet-shards.v1\",");
+    let _ = write!(
+        manifest,
+        " \"shard_count\": {}, \"sessions\": [",
+        store.shard_count()
+    );
+    for (i, r) in report.sessions.iter().enumerate() {
+        if i > 0 {
+            manifest.push(',');
+        }
+        let encoded = r.log.encode();
+        let _ = write!(
+            manifest,
+            " {{ \"request_id\": {}, \"user_id\": {}, \"shard\": {}, \"events\": {}, \
+             \"digest\": \"{}\" }}",
+            r.response.request_id,
+            r.response.user_id,
+            persist::shard_of(r.response.user_id, store.shard_count()),
+            r.log.len(),
+            log_digest(&encoded),
+        );
+    }
+    manifest.push_str(" ] }");
+    let manifest_path = Path::new(dir).join("manifest.json");
+    std::fs::write(&manifest_path, manifest)
+        .map_err(|e| CliError::Io(format!("{}: {e}", manifest_path.display())))?;
+    Ok(format!(
+        "persisted {persisted} session logs across {} shards -> {dir} \
+         (read-back verified, zero divergence; manifest.json written)",
+        store.shard_count()
     ))
 }
 
@@ -967,5 +1475,88 @@ mod tests {
         let r =
             dispatch(&ParsedArgs::parse(["verify", "--profile", "/nonexistent/p.json"]).unwrap());
         assert!(matches!(r, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn fleet_persist_round_trips_through_shard_replay() {
+        let dir = tmp(&format!("p2auth_cli_shards_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let msg = dispatch(
+            &ParsedArgs::parse([
+                "fleet",
+                "--devices",
+                "3",
+                "--sessions",
+                "2",
+                "--workers",
+                "2",
+                "--persist",
+                &dir,
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("read-back verified, zero divergence"), "{msg}");
+        assert!(Path::new(&dir).join("manifest.json").is_file());
+
+        // The persisted store lists every session...
+        let listing =
+            dispatch(&ParsedArgs::parse(["replay", &dir, "--from-shard"]).unwrap()).unwrap();
+        assert!(listing.contains("6 persisted session logs"), "{listing}");
+
+        // ...verifies offline against the manifest...
+        let verified =
+            dispatch(&ParsedArgs::parse(["replay", &dir, "--from-shard", "--verify"]).unwrap())
+                .unwrap();
+        assert!(verified.contains("zero divergence"), "{verified}");
+
+        // ...and a single request dumps its canonical log.
+        let dumped = dispatch(
+            &ParsedArgs::parse(["replay", &dir, "--from-shard", "--request", "0", "--json"])
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(
+            dumped.starts_with("{\"schema\":\"p2auth.events.v1\""),
+            "{dumped}"
+        );
+
+        // Tampering with a persisted byte must turn verification into
+        // a hard error.
+        let shard = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| {
+                p.extension().is_some_and(|x| x == "shard")
+                    && std::fs::metadata(p).unwrap().len() > persist::HEADER_LEN as u64
+            })
+            .expect("at least one non-empty shard");
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&shard, bytes).unwrap();
+        let r = dispatch(&ParsedArgs::parse(["replay", &dir, "--from-shard", "--verify"]).unwrap());
+        assert!(
+            matches!(r, Err(CliError::Io(_))),
+            "tampered store must fail verify"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_top_renders_introspection_view() {
+        let msg = dispatch(
+            &ParsedArgs::parse(["fleet", "top", "--devices", "3", "--sessions", "2"]).unwrap(),
+        )
+        .unwrap();
+        assert!(msg.contains("fleet top —"), "{msg}");
+        assert!(msg.contains("shard  sessions  accepts  sheds"), "{msg}");
+        assert!(msg.contains("SLO[60s]:"), "{msg}");
+        assert!(msg.contains("top 5 slow sessions:"), "{msg}");
+        assert!(
+            dispatch(&ParsedArgs::parse(["fleet", "sideways"]).unwrap()).is_err(),
+            "unknown fleet view must be rejected"
+        );
     }
 }

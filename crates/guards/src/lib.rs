@@ -37,10 +37,34 @@ use std::path::{Path, PathBuf};
 /// embedded target and fully deterministic under replay; filesystem,
 /// network or subprocess access anywhere under these crates breaks
 /// both.
-pub const IO_BANNED_CRATES: &[&str] = &["core", "dsp", "rocket", "ml"];
+pub const IO_BANNED_CRATES: &[&str] = &["core", "dsp", "rocket", "ml", "obs"];
 
 /// Tokens that constitute process-level I/O.
 pub const IO_DENYLIST: &[&str] = &["std::fs", "std::net", "std::process"];
+
+/// Source files inside [`IO_BANNED_CRATES`] that are *allowed* to
+/// touch the filesystem, as `crates/`-relative suffixes. Kept to the
+/// absolute minimum: the observability crate is banned as a whole (its
+/// metrics/event/SLO layers must stay replay-pure), and only its
+/// durable shard-persistence module may write. Adding a path here is a
+/// reviewed architecture decision, not a convenience.
+#[must_use]
+pub fn io_allowlist() -> &'static [&'static str] {
+    &["obs/src/persist.rs"]
+}
+
+/// Whether `path` is an allow-listed exception to the I/O ban. The
+/// comparison is on `/`-normalized path suffixes so it holds from any
+/// working directory and on any separator.
+#[must_use]
+pub fn io_allowed(path: &Path) -> bool {
+    let normalized = path
+        .to_string_lossy()
+        .replace(std::path::MAIN_SEPARATOR, "/");
+    io_allowlist()
+        .iter()
+        .any(|allowed| normalized.ends_with(&format!("crates/{allowed}")))
+}
 
 /// The allowed *runtime* workspace dependencies of every crate, i.e.
 /// the layer DAG. `dev-dependencies` are exempt: tests may reach
@@ -402,5 +426,16 @@ p2auth-sim.workspace = true
     fn io_scan_reports_line_numbers() {
         let hits = scan_source_for_io("fn ok() {}\nuse std::fs;\nlet x = std::net::TcpStream;\n");
         assert_eq!(hits, vec![(2, "std::fs"), (3, "std::net")]);
+    }
+
+    #[test]
+    fn io_allowlist_exempts_only_the_persistence_module() {
+        assert!(io_allowed(Path::new("/repo/crates/obs/src/persist.rs")));
+        assert!(io_allowed(Path::new("crates/obs/src/persist.rs")));
+        // Neither the rest of the obs crate, nor a same-named file in
+        // another banned crate, nor a nested impostor gets through.
+        assert!(!io_allowed(Path::new("crates/obs/src/metrics.rs")));
+        assert!(!io_allowed(Path::new("crates/core/src/persist.rs")));
+        assert!(!io_allowed(Path::new("crates/obs/src/sub/persist.rs")));
     }
 }

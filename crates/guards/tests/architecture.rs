@@ -3,8 +3,8 @@
 //! themselves still catch known-bad fixtures.
 
 use p2auth_guards::{
-    check_layers, find_cycle, layer_rules, parse_manifest, rust_sources, scan_source_for_io,
-    workspace_manifests, workspace_root, IO_BANNED_CRATES,
+    check_layers, find_cycle, io_allowed, io_allowlist, layer_rules, parse_manifest, rust_sources,
+    scan_source_for_io, workspace_manifests, workspace_root, IO_BANNED_CRATES,
 };
 
 #[test]
@@ -45,8 +45,13 @@ fn pure_layers_never_touch_io() {
     let root = workspace_root();
     let mut hits = Vec::new();
     let mut scanned = 0;
+    let mut allowed_seen = 0;
     for krate in IO_BANNED_CRATES {
         for src in rust_sources(&root.join("crates").join(krate).join("src")) {
+            if io_allowed(&src) {
+                allowed_seen += 1;
+                continue;
+            }
             scanned += 1;
             let text = std::fs::read_to_string(&src)
                 .unwrap_or_else(|e| panic!("read {}: {e}", src.display()));
@@ -56,6 +61,11 @@ fn pure_layers_never_touch_io() {
         }
     }
     assert!(scanned > 10, "only {scanned} sources scanned — wrong root?");
+    assert_eq!(
+        allowed_seen,
+        io_allowlist().len(),
+        "allow-listed files missing from the tree — stale allowlist entry?"
+    );
     assert!(hits.is_empty(), "I/O in pure layers:\n{}", hits.join("\n"));
 }
 
@@ -78,6 +88,26 @@ fn guard_catches_the_forbidden_io_fixture() {
     let tokens: Vec<_> = hits.iter().map(|(_, t)| *t).collect();
     assert!(tokens.contains(&"std::net"), "{hits:?}");
     assert!(tokens.contains(&"std::fs"), "{hits:?}");
+}
+
+#[test]
+fn guard_catches_the_forbidden_io_obs_fixture() {
+    // A filesystem escape from the obs crate outside `persist.rs`
+    // must be flagged by the scan AND not rescued by the allowlist.
+    let hits = scan_source_for_io(include_str!("fixtures/forbidden_io_obs.rs"));
+    assert!(
+        hits.iter().any(|(_, t)| *t == "std::fs"),
+        "scan missed the fixture: {hits:?}"
+    );
+    assert!(!io_allowed(std::path::Path::new(
+        "crates/obs/src/exporter_escape.rs"
+    )));
+    assert!(
+        !io_allowed(std::path::Path::new(
+            "crates/guards/tests/fixtures/forbidden_io_obs.rs"
+        )),
+        "the fixture itself must not be allow-listed"
+    );
 }
 
 #[test]

@@ -1,0 +1,11 @@
+//! Known-bad fixture: what a forbidden filesystem escape from the
+//! observability crate would look like *outside* the allow-listed
+//! persistence module. The I/O scan must flag this, and the allowlist
+//! must not exempt it — `guard_catches_the_forbidden_io_obs_fixture`
+//! asserts both. Never compiled into the workspace.
+
+/// A metrics exporter that "helpfully" writes snapshots straight to
+/// disk from the pure metrics layer — exactly the drift the ban stops.
+pub fn dump_snapshot(path: &str, snapshot: &str) {
+    std::fs::write(path, snapshot).expect("write snapshot");
+}

@@ -20,6 +20,14 @@
 //! * **Event log** ([`events`]) — an append-only, versioned session
 //!   event stream (`p2auth.events.v1`) with logical sequence numbers
 //!   and RNG seeds, the substrate for deterministic record/replay.
+//! * **Persistence** ([`persist`]) — a sharded, CRC-framed segment
+//!   store for event logs with a crash-truncation-tolerant reader, so
+//!   any fleet session is a one-command local repro.
+//! * **Local metrics** ([`local`]) — single-owner per-worker registries
+//!   merged after the fact (counters sum, histograms merge
+//!   bucket-wise) instead of contended during.
+//! * **SLO tracking** ([`slo`]) — rolling-window latency / error-rate
+//!   windows with multi-window burn-rate error-budget alerts.
 //!
 //! Everything is gated on the `enabled` cargo feature (downstream
 //! crates re-expose it as `obs`, on by default). With the feature off,
@@ -39,13 +47,19 @@
 
 pub mod events;
 pub mod json;
+pub mod local;
 pub mod metrics;
+pub mod persist;
 pub mod recorder;
 pub mod report;
+pub mod slo;
 pub mod span;
 
 pub use events::{EventLog, EventLogError, LogDivergence, LoggedEvent, SessionEvent, SessionSeeds};
+pub use local::{LocalHistogram, MetricsLocal};
+pub use persist::ShardedEventStore;
 pub use recorder::{Event, Value};
+pub use slo::{SloConfig, SloReport, SloTracker};
 pub use span::{adopt, current_ctx, reset_ctx, AdoptGuard, Span, SpanCtx, SpanRecord};
 
 #[cfg(feature = "enabled")]

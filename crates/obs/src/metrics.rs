@@ -128,10 +128,11 @@ impl Gauge {
 }
 
 /// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`, so
-/// bucket `k` covers `[2^(k-1), 2^k)`.
-#[cfg(feature = "enabled")]
+/// bucket `k` covers `[2^(k-1), 2^k)`. Ungated: the per-worker
+/// histograms in [`crate::local`] share the exact bucket layout in
+/// both feature modes.
 #[inline]
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -254,6 +255,25 @@ impl Histogram {
             let _ = q;
             0
         }
+    }
+
+    /// Folds a per-worker [`crate::LocalHistogram`] into this global
+    /// histogram bucket-wise — the publish half of the snapshot/merge
+    /// pattern (see [`crate::local`]). No-op in disabled builds.
+    pub fn merge_from(&self, local: &crate::LocalHistogram) {
+        #[cfg(feature = "enabled")]
+        {
+            for (k, &b) in local.buckets().iter().enumerate() {
+                if b > 0 {
+                    self.buckets[k].fetch_add(b, Ordering::Relaxed);
+                }
+            }
+            self.count.fetch_add(local.count(), Ordering::Relaxed);
+            self.sum.fetch_add(local.sum(), Ordering::Relaxed);
+            self.max.fetch_max(local.max(), Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = local;
     }
 
     #[cfg(feature = "enabled")]
@@ -653,6 +673,22 @@ mod tests {
         let c = counter_handle("obs.test.gauge");
         c.add(1);
         assert_eq!(snapshot().counter("obs.test.counter"), Some(7));
+    }
+
+    #[test]
+    fn merge_from_folds_local_histograms_bucket_wise() {
+        let _g = lock();
+        let h = Histogram::new();
+        h.record(10);
+        let mut local = crate::LocalHistogram::new();
+        local.record(1000);
+        local.record(3);
+        h.merge_from(&local);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1013);
+        assert_eq!(h.max(), 1000);
+        // The merged distribution quantiles like one recorded in place.
+        assert_eq!(h.quantile(1.0), 1000);
     }
 
     #[test]

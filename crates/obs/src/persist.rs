@@ -1,0 +1,501 @@
+//! Sharded, durable persistence of session event logs.
+//!
+//! The fleet scheduler produces one `p2auth.events.v1` log per session
+//! (see [`crate::events`]). This module appends those logs to N shard
+//! files so a busy serve region never funnels every worker through one
+//! file lock, and any single session can later be pulled back out for
+//! a bit-identical local repro (`p2auth replay --from-shard`).
+//!
+//! **Sharding.** A session is routed by the splitmix64 finalizer of its
+//! user id ([`shard_of`]) — the *same* function the server's profile
+//! store uses, so the shard that holds a user's profile also holds that
+//! user's session logs and a hot user shows up as exactly one hot
+//! shard in both places.
+//!
+//! **Record framing.** Each shard file starts with a fixed header
+//! (magic, format version, shard index, shard count) followed by
+//! length-prefixed records: `len: u32 LE | crc: u32 LE | payload`,
+//! where `crc` is the IEEE CRC-32 of the payload. Payloads are opaque
+//! bytes here; the fleet writes canonical [`crate::EventLog`]
+//! encodings.
+//!
+//! **Durability model.** Appends are buffered per shard and written
+//! through in batches ([`ShardedEventStore::flush_every`] records);
+//! there is deliberately no fsync on the hot path. A crash can
+//! therefore tear the *tail* of a shard — and nothing else, because
+//! appends never rewrite earlier bytes. The reader is built around
+//! that failure model: a torn final record is silently dropped (and
+//! reported via [`ShardRead::torn_bytes`]), while a CRC mismatch
+//! *before* the tail is real corruption and fails loudly. Shards are
+//! fully independent: one corrupt shard never prevents reading the
+//! others.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic bytes opening every shard file.
+pub const SHARD_MAGIC: &[u8; 8] = b"P2SHARD\0";
+
+/// Format version written into the header.
+pub const SHARD_VERSION: u32 = 1;
+
+/// Header length in bytes: magic + version + shard index + shard count.
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 4;
+
+/// IEEE CRC-32 (the ubiquitous reflected 0xEDB88320 polynomial).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// `key → shard index`: the splitmix64 finalizer, reduced mod
+/// `shard_count` (clamped to ≥ 1). This is the profile store's shard
+/// function — the two must never drift apart, so the server's store
+/// delegates here and a cross-crate test pins the distribution.
+#[must_use]
+pub fn shard_of(key: u64, shard_count: usize) -> usize {
+    let n = shard_count.max(1) as u64;
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    usize::try_from(z % n).unwrap_or(0)
+}
+
+/// File name of shard `idx` inside a store directory.
+#[must_use]
+pub fn shard_file_name(idx: usize) -> String {
+    format!("events-{idx:03}.shard")
+}
+
+/// One shard's buffered writer state.
+#[derive(Debug)]
+struct ShardWriter {
+    file: fs::File,
+    buf: Vec<u8>,
+    pending: usize,
+}
+
+/// Append-only sharded store of framed event-log records.
+///
+/// Thread-safe: each shard has its own lock, so workers writing to
+/// different shards never contend.
+#[derive(Debug)]
+pub struct ShardedEventStore {
+    dir: PathBuf,
+    flush_every: usize,
+    shards: Vec<Mutex<ShardWriter>>,
+    appended: AtomicU64,
+}
+
+impl ShardedEventStore {
+    /// Creates `dir` (and parents) and truncates/initializes one file
+    /// per shard, each stamped with the header. `flush_every` is the
+    /// per-shard record count between write-throughs (clamped to ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error creating the directory or shard files.
+    pub fn create(dir: &Path, shard_count: usize, flush_every: usize) -> std::io::Result<Self> {
+        let shard_count = shard_count.max(1);
+        fs::create_dir_all(dir)?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for idx in 0..shard_count {
+            let mut file = fs::File::create(dir.join(shard_file_name(idx)))?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(SHARD_MAGIC);
+            header.extend_from_slice(&SHARD_VERSION.to_le_bytes());
+            header.extend_from_slice(&u32::try_from(idx).unwrap_or(u32::MAX).to_le_bytes());
+            header.extend_from_slice(&u32::try_from(shard_count).unwrap_or(u32::MAX).to_le_bytes());
+            file.write_all(&header)?;
+            shards.push(Mutex::new(ShardWriter {
+                file,
+                buf: Vec::new(),
+                pending: 0,
+            }));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            flush_every: flush_every.max(1),
+            shards,
+            appended: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards (fixed at creation).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records between per-shard write-throughs.
+    #[must_use]
+    pub fn flush_every(&self) -> usize {
+        self.flush_every
+    }
+
+    /// Total records appended so far (buffered or written).
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Appends one framed record to the shard of `key`. The record is
+    /// buffered; every [`Self::flush_every`] records the shard's buffer
+    /// is written through (no fsync — see the module docs for the
+    /// crash model).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the batched write-through.
+    pub fn append(&self, key: u64, payload: &[u8]) -> std::io::Result<()> {
+        let shard = shard_of(key, self.shards.len());
+        let mut w = self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "record exceeds u32 length",
+            )
+        })?;
+        w.buf.extend_from_slice(&len.to_le_bytes());
+        w.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        w.buf.extend_from_slice(payload);
+        w.pending += 1;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        if w.pending >= self.flush_every {
+            let buf = std::mem::take(&mut w.buf);
+            w.pending = 0;
+            w.file.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Writes every shard's buffered records through to its file.
+    ///
+    /// # Errors
+    ///
+    /// The first filesystem error encountered (remaining shards are
+    /// still attempted).
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut first_err = None;
+        for shard in &self.shards {
+            let mut w = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if !w.buf.is_empty() {
+                let buf = std::mem::take(&mut w.buf);
+                w.pending = 0;
+                if let Err(e) = w.file.write_all(&buf).and_then(|()| w.file.flush()) {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for ShardedEventStore {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+/// One shard file, read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRead {
+    /// Shard index from the header.
+    pub shard_idx: u32,
+    /// Shard count from the header.
+    pub shard_count: u32,
+    /// Every intact record's payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes of a torn tail record that were dropped (0 for a cleanly
+    /// closed shard).
+    pub torn_bytes: usize,
+}
+
+/// Failure reading a shard file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Filesystem error (message includes the path).
+    Io(String),
+    /// The file is not a shard file (bad magic/version) or too short
+    /// to hold a header.
+    Header(String),
+    /// A record *before* the tail failed its CRC — real corruption,
+    /// not a crash-torn tail.
+    Corrupt {
+        /// Zero-based index of the corrupt record.
+        record: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "shard i/o error: {e}"),
+            PersistError::Header(e) => write!(f, "bad shard header: {e}"),
+            PersistError::Corrupt { record, detail } => {
+                write!(f, "shard corrupt at record {record}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Reads one shard file back, dropping a crash-torn tail record and
+/// failing loudly on mid-file corruption (see the module docs for the
+/// policy).
+///
+/// # Errors
+///
+/// [`PersistError::Io`] / [`PersistError::Header`] /
+/// [`PersistError::Corrupt`] as described above.
+pub fn read_shard_file(path: &Path) -> Result<ShardRead, PersistError> {
+    let data = fs::read(path).map_err(|e| PersistError::Io(format!("{}: {e}", path.display())))?;
+    if data.len() < HEADER_LEN {
+        return Err(PersistError::Header(format!(
+            "{}: {} bytes is shorter than the {HEADER_LEN}-byte header",
+            path.display(),
+            data.len()
+        )));
+    }
+    if &data[..8] != SHARD_MAGIC {
+        return Err(PersistError::Header(format!(
+            "{}: bad magic {:02x?}",
+            path.display(),
+            &data[..8]
+        )));
+    }
+    let u32_at =
+        |off: usize| u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+    let version = u32_at(8);
+    if version != SHARD_VERSION {
+        return Err(PersistError::Header(format!(
+            "{}: unsupported version {version}",
+            path.display()
+        )));
+    }
+    let shard_idx = u32_at(12);
+    let shard_count = u32_at(16);
+
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN;
+    let mut torn_bytes = 0_usize;
+    while off < data.len() {
+        let rem = data.len() - off;
+        if rem < 8 {
+            torn_bytes = rem;
+            break;
+        }
+        let len = u32_at(off) as usize;
+        let crc = u32_at(off + 4);
+        if rem - 8 < len {
+            torn_bytes = rem;
+            break;
+        }
+        let payload = &data[off + 8..off + 8 + len];
+        if crc32(payload) != crc {
+            if off + 8 + len == data.len() {
+                // A full-length final record with a bad CRC is a batch
+                // write that died mid-flight: torn tail, not corruption.
+                torn_bytes = rem;
+                break;
+            }
+            return Err(PersistError::Corrupt {
+                record: records.len(),
+                detail: format!(
+                    "crc mismatch (stored {crc:#010x}, computed {:#010x})",
+                    crc32(payload)
+                ),
+            });
+        }
+        records.push(payload.to_vec());
+        off += 8 + len;
+    }
+    Ok(ShardRead {
+        shard_idx,
+        shard_count,
+        records,
+        torn_bytes,
+    })
+}
+
+/// Reads every `events-*.shard` file under `dir`, each independently:
+/// a corrupt shard yields its own `Err` entry and never prevents the
+/// other shards from being read. Results are sorted by file name.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] only when the directory itself cannot be
+/// listed; per-shard failures are carried in the entries.
+#[allow(clippy::type_complexity)]
+pub fn read_store_dir(
+    dir: &Path,
+) -> Result<Vec<(PathBuf, Result<ShardRead, PersistError>)>, PersistError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| PersistError::Io(format!("{}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("events-") && n.ends_with(".shard"))
+        })
+        .collect();
+    paths.sort();
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let read = read_shard_file(&p);
+            (p, read)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("p2auth_persist_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_spreads() {
+        for key in 0..1000_u64 {
+            let s = shard_of(key, 16);
+            assert!(s < 16);
+            assert_eq!(s, shard_of(key, 16));
+        }
+        let mut hit = [false; 16];
+        for key in 0..64_u64 {
+            hit[shard_of(key, 16)] = true;
+        }
+        assert!(hit.iter().filter(|&&h| h).count() >= 12);
+        assert_eq!(shard_of(7, 0), 0, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn write_read_round_trip_across_shards() {
+        let dir = tmp_dir("round_trip");
+        let store = ShardedEventStore::create(&dir, 4, 2).unwrap();
+        for key in 0..20_u64 {
+            store
+                .append(key, format!("payload-{key}").as_bytes())
+                .unwrap();
+        }
+        store.flush().unwrap();
+        assert_eq!(store.appended(), 20);
+
+        let mut seen = 0;
+        for (path, read) in read_store_dir(&dir).unwrap() {
+            let read = read.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(read.shard_count, 4);
+            assert_eq!(read.torn_bytes, 0);
+            for payload in &read.records {
+                let text = std::str::from_utf8(payload).unwrap();
+                let key: u64 = text.strip_prefix("payload-").unwrap().parse().unwrap();
+                assert_eq!(shard_of(key, 4), read.shard_idx as usize);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 20, "every record comes back from exactly one shard");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_earlier_records_survive() {
+        let dir = tmp_dir("torn_tail");
+        let store = ShardedEventStore::create(&dir, 1, 1).unwrap();
+        store.append(0, b"first-record").unwrap();
+        store.append(0, b"second-record").unwrap();
+        store.flush().unwrap();
+        drop(store);
+
+        let path = dir.join(shard_file_name(0));
+        let full = fs::read(&path).unwrap();
+        // Truncate mid-way through the second record's payload.
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let read = read_shard_file(&path).unwrap();
+        assert_eq!(read.records, vec![b"first-record".to_vec()]);
+        assert!(read.torn_bytes > 0, "the torn tail must be reported");
+
+        // Truncating into the 8-byte frame header is also just a tear.
+        fs::write(&path, &full[..HEADER_LEN + 3]).unwrap();
+        let read = read_shard_file(&path).unwrap();
+        assert!(read.records.is_empty());
+        assert_eq!(read.torn_bytes, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_fails_loudly() {
+        let dir = tmp_dir("corrupt");
+        let store = ShardedEventStore::create(&dir, 1, 1).unwrap();
+        store.append(0, b"aaaaaaaa").unwrap();
+        store.append(0, b"bbbbbbbb").unwrap();
+        store.flush().unwrap();
+        drop(store);
+
+        let path = dir.join(shard_file_name(0));
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte of the FIRST record (not the tail).
+        bytes[HEADER_LEN + 8] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        match read_shard_file(&path) {
+            Err(PersistError::Corrupt { record: 0, .. }) => {}
+            other => panic!("expected corruption at record 0, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_a_header_error() {
+        let dir = tmp_dir("magic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(shard_file_name(0));
+        fs::write(&path, b"NOTASHARDFILE-------").unwrap();
+        assert!(matches!(
+            read_shard_file(&path),
+            Err(PersistError::Header(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -22,7 +22,7 @@ use p2auth_sim::{
 };
 
 use crate::messages::{AuthRequest, AuthResponse, ServerConfig, SessionVerdict};
-use crate::scheduler::{serve, ServeReport};
+use crate::scheduler::{serve_obs, ServeObs, ServeReport};
 use crate::store::ShardedProfileStore;
 
 /// Shape of the simulated fleet.
@@ -228,27 +228,44 @@ pub fn run_fleet(
     scenario: &FleetScenario,
     server: &ServerConfig,
 ) -> (ServeReport, Vec<AuthResponse>) {
-    serve(&scenario.system, &scenario.store, server, |submitter| {
-        let mut shed = Vec::new();
-        for req in scenario.requests.iter().cloned() {
-            if let Err((req, why)) = submitter.submit_blocking(req) {
-                shed.push(AuthResponse {
-                    request_id: req.request_id,
-                    user_id: req.user_id,
-                    verdict: SessionVerdict::Shed(why),
-                    latency_ns: 0,
-                    worker: usize::MAX,
-                });
+    run_fleet_obs(scenario, server, ServeObs::default())
+}
+
+/// [`run_fleet`] with observability sinks: optional sharded event-log
+/// persistence and SLO tracking (see [`ServeObs`]).
+pub fn run_fleet_obs(
+    scenario: &FleetScenario,
+    server: &ServerConfig,
+    obs: ServeObs<'_>,
+) -> (ServeReport, Vec<AuthResponse>) {
+    serve_obs(
+        &scenario.system,
+        &scenario.store,
+        server,
+        obs,
+        |submitter| {
+            let mut shed = Vec::new();
+            for req in scenario.requests.iter().cloned() {
+                if let Err((req, why)) = submitter.submit_blocking(req) {
+                    shed.push(AuthResponse {
+                        request_id: req.request_id,
+                        user_id: req.user_id,
+                        verdict: SessionVerdict::Shed(why),
+                        latency_ns: 0,
+                        worker: usize::MAX,
+                    });
+                }
             }
-        }
-        shed
-    })
+            shed
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::messages::ShedReason;
+    use crate::scheduler::serve;
 
     fn tiny() -> FleetConfig {
         FleetConfig {

@@ -35,8 +35,8 @@ pub mod queue;
 pub mod scheduler;
 pub mod store;
 
-pub use fleet::{build_fleet, run_fleet, FleetConfig, FleetScenario};
+pub use fleet::{build_fleet, run_fleet, run_fleet_obs, FleetConfig, FleetScenario};
 pub use messages::{AuthRequest, AuthResponse, ServerConfig, SessionVerdict, ShedReason};
 pub use queue::AdmissionQueue;
-pub use scheduler::{serve, ServeReport, SessionRecord, Submitter};
+pub use scheduler::{serve, serve_obs, ServeObs, ServeReport, SessionRecord, Submitter};
 pub use store::{ShardedProfileStore, StoredProfile};

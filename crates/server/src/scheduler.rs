@@ -28,11 +28,35 @@ use std::time::Instant;
 use p2auth_core::{P2Auth, ProfileArena, SessionScratch};
 use p2auth_device::supervisor::{SessionSupervisor, SupervisorEvent, SupervisorState};
 use p2auth_device::SessionOutcome;
-use p2auth_obs::{EventLog, SessionEvent, SessionSeeds};
+use p2auth_obs::{
+    EventLog, MetricsLocal, SessionEvent, SessionSeeds, ShardedEventStore, SloTracker,
+};
 
 use crate::messages::{AuthRequest, AuthResponse, ServerConfig, SessionVerdict, ShedReason};
 use crate::queue::AdmissionQueue;
 use crate::store::ShardedProfileStore;
+
+/// Per-worker counters published (summed) into the global registry
+/// when a serve region drains, so pre-existing handles keep observing
+/// fleet totals. Dynamic names (per-shard breakdowns) intentionally
+/// stay report-local: publishing them would intern an unbounded name
+/// set in the leak-on-register global registry.
+const PUBLISHED_COUNTERS: &[&str] = &[
+    "server.persist.errors",
+    "server.session.accepts",
+    "server.session.aborts",
+    "server.session.non_accepts",
+    "server.shed_unknown_user",
+    "server.worker.ctx_leaks",
+];
+
+/// Per-worker histograms published (merged bucket-wise) into the
+/// global registry when a serve region drains.
+const PUBLISHED_HISTOGRAMS: &[&str] = &[
+    "server.session.latency_ns",
+    "server.session.latency.aborted_ns",
+    "server.session.latency.shed_ns",
+];
 
 /// One admitted session's full record: the response plus its event log.
 #[derive(Debug)]
@@ -51,6 +75,29 @@ pub struct ServeReport {
     /// Span-context leaks repaired at task boundaries (should be 0; a
     /// nonzero count means some session leaked an adopt guard).
     pub ctx_leaks_repaired: u64,
+    /// Each worker's private metrics registry, indexed by worker id —
+    /// the per-worker half of the snapshot/merge pattern.
+    pub worker_metrics: Vec<MetricsLocal>,
+    /// All worker registries merged (counters summed, histograms
+    /// merged bucket-wise): outcome-labelled latency histograms
+    /// (`server.session.latency_ns` / `.shed_ns` / `.aborted_ns`),
+    /// session counters, and per-shard breakdowns
+    /// (`server.shard.NN.*`).
+    pub metrics: MetricsLocal,
+}
+
+/// Observability sinks for one serve region, passed alongside the
+/// (`Copy`) [`ServerConfig`]: both are optional and default to off, so
+/// [`serve`] costs nothing extra.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeObs<'a> {
+    /// When set, every admitted session's event log is durably
+    /// appended to this sharded store (keyed by user id — the same
+    /// splitmix64 routing as the profile store).
+    pub persist: Option<&'a ShardedEventStore>,
+    /// When set, every admitted session feeds one `(latency, error?)`
+    /// sample to this SLO tracker (error = shed or aborted).
+    pub slo: Option<&'a SloTracker>,
 }
 
 /// Submission handle passed to the driver closure of [`serve`].
@@ -96,34 +143,80 @@ pub fn serve<T>(
     config: &ServerConfig,
     driver: impl FnOnce(Submitter<'_>) -> T,
 ) -> (ServeReport, T) {
+    serve_obs(system, store, config, ServeObs::default(), driver)
+}
+
+/// [`serve`] with observability sinks: optional durable event-log
+/// persistence and SLO tracking (see [`ServeObs`]). Each worker
+/// records into its own [`MetricsLocal`] — no shared atomics on the
+/// session hot path — and the locals are merged into
+/// [`ServeReport::metrics`] when the region drains, with the known
+/// fleet-total names also published into the global registry.
+pub fn serve_obs<T>(
+    system: &P2Auth,
+    store: &ShardedProfileStore,
+    config: &ServerConfig,
+    obs: ServeObs<'_>,
+    driver: impl FnOnce(Submitter<'_>) -> T,
+) -> (ServeReport, T) {
     let queue = AdmissionQueue::new(config.queue_capacity);
     let (tx, rx) = mpsc::channel::<SessionRecord>();
     let num_workers = config.num_workers.max(1);
     p2auth_obs::gauge!("server.workers").set(num_workers as f64);
-    let driver_out = std::thread::scope(|s| {
-        for worker_idx in 0..num_workers {
-            let queue = &queue;
-            let tx = tx.clone();
-            s.spawn(move || worker_loop(worker_idx, system, store, config, queue, &tx));
-        }
+    let (driver_out, worker_metrics) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..num_workers)
+            .map(|worker_idx| {
+                let queue = &queue;
+                let tx = tx.clone();
+                s.spawn(move || worker_loop(worker_idx, system, store, config, queue, &tx, obs))
+            })
+            .collect();
         drop(tx);
         let out = driver(Submitter { queue: &queue });
         // Graceful drain: no new admissions, queued work still runs.
         queue.close();
-        out
+        let locals: Vec<MetricsLocal> = handles
+            .into_iter()
+            .map(|h| h.join().expect("serve worker panicked"))
+            .collect();
+        (out, locals)
     });
     let sessions: Vec<SessionRecord> = rx.into_iter().collect();
     let ctx_leaks_repaired = sessions
         .iter()
         .filter(|r| r.log.meta_get("ctx_leak").is_some())
         .count() as u64;
+    let mut metrics = MetricsLocal::new();
+    for local in &worker_metrics {
+        metrics.merge(local);
+    }
+    publish_fleet_totals(&metrics);
     (
         ServeReport {
             sessions,
             ctx_leaks_repaired,
+            worker_metrics,
+            metrics,
         },
         driver_out,
     )
+}
+
+/// Publishes the merged per-worker registries into the global registry
+/// — only the fixed fleet-total name set, so repeated serve regions
+/// never grow the interned name table.
+fn publish_fleet_totals(merged: &MetricsLocal) {
+    for &name in PUBLISHED_COUNTERS {
+        let v = merged.counter(name);
+        if v > 0 {
+            p2auth_obs::metrics::counter_handle(name).add(v);
+        }
+    }
+    for &name in PUBLISHED_HISTOGRAMS {
+        if let Some(h) = merged.histogram(name) {
+            p2auth_obs::metrics::histogram_handle(name).merge_from(h);
+        }
+    }
 }
 
 fn worker_loop(
@@ -133,13 +226,16 @@ fn worker_loop(
     config: &ServerConfig,
     queue: &AdmissionQueue,
     tx: &mpsc::Sender<SessionRecord>,
-) {
+    obs: ServeObs<'_>,
+) -> MetricsLocal {
     let mut scratch = SessionScratch::new();
     let mut sup = SessionSupervisor::new(config.supervisor);
     // The worker's monotonic session clock: shared by every session
     // this worker runs, never rewound — the deployment scenario the
     // supervisor's deadline fixes exist for.
     let mut clock_s = 0.0_f64;
+    // The worker's private registry: plain integers, no contention.
+    let mut local = MetricsLocal::new();
     while let Some(req) = queue.pop() {
         let t0 = Instant::now();
         let mut log = EventLog::new(SessionSeeds::default());
@@ -150,7 +246,7 @@ fn worker_loop(
             let _span = p2auth_obs::span!("server.session");
             match store.get(req.user_id) {
                 None => {
-                    p2auth_obs::counter!("server.shed_unknown_user").incr();
+                    local.incr("server.shed_unknown_user");
                     SessionVerdict::Shed(ShedReason::UnknownUser)
                 }
                 Some(entry) => {
@@ -170,19 +266,56 @@ fn worker_loop(
         // Task-completion boundary (the session span is closed): a
         // context leaked by this session must not parent the next one.
         if p2auth_obs::reset_ctx() {
-            p2auth_obs::counter!("server.worker.ctx_leaks").incr();
+            local.incr("server.worker.ctx_leaks");
             log.meta_push("ctx_leak", "repaired");
         }
         let latency_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        p2auth_obs::histogram!("server.session.latency_ns").record(latency_ns);
+        // Outcome-labelled latency: completed, shed and aborted
+        // sessions go to separate histograms, so the completed-auth
+        // latency story is not diluted (and sheds don't vanish).
+        let shard = p2auth_obs::persist::shard_of(req.user_id, config.shard_count);
+        let mut error = false;
         match &verdict {
-            SessionVerdict::Completed { accepted: true, .. } => {
-                p2auth_obs::counter!("server.session.accepts").incr();
+            SessionVerdict::Shed(_) => {
+                error = true;
+                local.record("server.session.latency.shed_ns", latency_ns);
+                local.incr(&format!("server.shard.{shard:02}.sheds"));
             }
-            SessionVerdict::Completed { .. } => {
-                p2auth_obs::counter!("server.session.non_accepts").incr();
+            SessionVerdict::Completed {
+                state: SupervisorState::Abort,
+                ..
+            } => {
+                error = true;
+                local.incr("server.session.aborts");
+                local.incr("server.session.non_accepts");
+                local.record("server.session.latency.aborted_ns", latency_ns);
             }
-            SessionVerdict::Shed(_) => {}
+            SessionVerdict::Completed { accepted, .. } => {
+                local.incr(if *accepted {
+                    "server.session.accepts"
+                } else {
+                    "server.session.non_accepts"
+                });
+                if *accepted {
+                    local.incr(&format!("server.shard.{shard:02}.accepts"));
+                }
+                local.record("server.session.latency_ns", latency_ns);
+            }
+        }
+        local.incr(&format!("server.shard.{shard:02}.sessions"));
+        local.record(&format!("server.shard.{shard:02}.latency_ns"), latency_ns);
+        if let Some(slo) = obs.slo {
+            slo.record(latency_ns, error);
+        }
+        if let Some(persist) = obs.persist {
+            if persist
+                .append(req.user_id, log.encode().as_bytes())
+                .is_err()
+            {
+                // Persistence is best-effort on the hot path: a full
+                // disk must degrade observability, not availability.
+                local.incr("server.persist.errors");
+            }
         }
         let record = SessionRecord {
             response: AuthResponse {
@@ -196,9 +329,10 @@ fn worker_loop(
         };
         if tx.send(record).is_err() {
             // Receiver gone: the serve region is being torn down.
-            return;
+            return local;
         }
     }
+    local
 }
 
 /// Drives one session's supervisor from its pre-acquired attempts on

@@ -41,14 +41,13 @@ impl ShardedProfileStore {
         }
     }
 
-    /// `user_id → shard index`: splitmix64 finalizer, so adjacent ids
-    /// spread across shards instead of clustering in one.
+    /// `user_id → shard index`: the shared splitmix64 finalizer
+    /// ([`p2auth_obs::persist::shard_of`]), so adjacent ids spread
+    /// across shards instead of clustering in one — and so the event
+    /// persistence layer routes a user's session logs to the same
+    /// shard index that holds their profile.
     fn shard_of(&self, user_id: u64) -> usize {
-        let mut z = user_id.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        (z % self.shards.len() as u64) as usize
+        p2auth_obs::persist::shard_of(user_id, self.shards.len())
     }
 
     fn shard(&self, user_id: u64) -> &RwLock<HashMap<u64, Arc<StoredProfile>>> {

@@ -1,0 +1,189 @@
+//! Durable-persistence integration suite: a serve region run with a
+//! [`ShardedEventStore`] attached must leave a store that replays
+//! **bit-identically** — every persisted record decodes to an event
+//! log whose `first_divergence` against the worker's in-memory log is
+//! `None`, under chaos (seeds 1–3) no less. Alongside it, the merged
+//! per-worker metrics must agree exactly with the session outcomes
+//! they summarize: observability that disagrees with the ground truth
+//! is worse than none.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use p2auth_obs::{persist, EventLog, ShardedEventStore, SloConfig, SloTracker};
+use p2auth_server::{
+    build_fleet, run_fleet_obs, FleetConfig, ServeObs, ServerConfig, SessionVerdict,
+};
+
+fn fleet(seed: u64) -> FleetConfig {
+    FleetConfig {
+        num_devices: 4,
+        sessions_per_device: 2,
+        enrolled_users: 2,
+        seed,
+        chaos: true,
+        hang_every: 0,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "p2auth_server_persistence_{tag}_{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn persisted_logs_replay_bit_identically_under_chaos() {
+    for seed in 1..=3_u64 {
+        let scenario = build_fleet(&fleet(seed));
+        let server = ServerConfig {
+            num_workers: 3,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        };
+        let dir = scratch_dir(&format!("seed{seed}"));
+        let store = ShardedEventStore::create(&dir, server.shard_count, 2).expect("create store");
+        let (report, shed) = run_fleet_obs(
+            &scenario,
+            &server,
+            ServeObs {
+                persist: Some(&store),
+                slo: None,
+            },
+        );
+        assert!(shed.is_empty(), "blocking submission never sheds at submit");
+        store.flush().expect("flush");
+        assert_eq!(store.appended(), report.sessions.len() as u64);
+
+        let in_memory: BTreeMap<u64, &EventLog> = report
+            .sessions
+            .iter()
+            .map(|r| (r.response.request_id, &r.log))
+            .collect();
+        let mut replayed = 0_usize;
+        for (path, read) in persist::read_store_dir(&dir).expect("list store") {
+            let read = read.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(read.torn_bytes, 0, "flushed store has no torn tail");
+            for payload in &read.records {
+                let text = std::str::from_utf8(payload).expect("utf8 payload");
+                let log = EventLog::decode(text).expect("decodable payload");
+                let request_id: u64 = log
+                    .meta_get("request_id")
+                    .and_then(|v| v.parse().ok())
+                    .expect("request_id metadata");
+                let user_id: u64 = log
+                    .meta_get("user_id")
+                    .and_then(|v| v.parse().ok())
+                    .expect("user_id metadata");
+                assert_eq!(
+                    read.shard_idx as usize,
+                    persist::shard_of(user_id, server.shard_count),
+                    "seed {seed}: request {request_id} persisted outside its user's shard"
+                );
+                let original = in_memory
+                    .get(&request_id)
+                    .unwrap_or_else(|| panic!("request {request_id} was never served"));
+                assert!(
+                    original.first_divergence(&log).is_none(),
+                    "seed {seed}: request {request_id} diverged after persistence"
+                );
+                assert_eq!(
+                    original.encode().as_bytes(),
+                    payload.as_slice(),
+                    "seed {seed}: request {request_id} not byte-identical on disk"
+                );
+                replayed += 1;
+            }
+        }
+        assert_eq!(
+            replayed,
+            report.sessions.len(),
+            "seed {seed}: every served session must be persisted exactly once"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn merged_worker_metrics_agree_with_session_outcomes() {
+    let scenario = build_fleet(&fleet(2));
+    let server = ServerConfig {
+        num_workers: 3,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    };
+    let slo = SloTracker::new(SloConfig::default());
+    let (report, _) = run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            persist: None,
+            slo: Some(&slo),
+        },
+    );
+
+    let mut accepts = 0_u64;
+    let mut aborts = 0_u64;
+    let mut completed = 0_u64;
+    for r in &report.sessions {
+        match &r.response.verdict {
+            SessionVerdict::Completed {
+                accepted, state, ..
+            } => {
+                completed += 1;
+                if *accepted {
+                    accepts += 1;
+                }
+                if *state == p2auth_device::SupervisorState::Abort {
+                    aborts += 1;
+                }
+            }
+            SessionVerdict::Shed(_) => {}
+        }
+    }
+
+    // The merged registry is the sum of the per-worker locals...
+    let mut remerged = p2auth_obs::MetricsLocal::new();
+    for local in &report.worker_metrics {
+        remerged.merge(local);
+    }
+    assert_eq!(remerged, report.metrics, "merge must be associative");
+    assert_eq!(
+        report.worker_metrics.len(),
+        server.num_workers,
+        "one local registry per worker"
+    );
+
+    // ...and the sums agree exactly with the ground-truth outcomes.
+    let m = &report.metrics;
+    assert_eq!(m.counter("server.session.accepts"), accepts);
+    assert_eq!(m.counter("server.session.aborts"), aborts);
+    assert_eq!(
+        m.counter("server.session.non_accepts"),
+        completed - accepts,
+        "non-accepts = rejections + aborts"
+    );
+    let latency = m
+        .histogram("server.session.latency_ns")
+        .expect("completion latency histogram");
+    let aborted = m
+        .histogram("server.session.latency.aborted_ns")
+        .map_or(0, p2auth_obs::LocalHistogram::count);
+    assert_eq!(
+        latency.count() + aborted,
+        completed,
+        "every completed session lands in exactly one outcome histogram"
+    );
+    // Per-shard session counts roll up to the total.
+    let shard_total: u64 = (0..server.shard_count)
+        .map(|s| m.counter(&format!("server.shard.{s:02}.sessions")))
+        .sum();
+    assert_eq!(shard_total, report.sessions.len() as u64);
+    // The SLO tracker saw the same population.
+    let slo_report = slo.report();
+    assert_eq!(slo_report.total, report.sessions.len() as u64);
+    assert_eq!(slo_report.errors, aborts, "chaos errors = aborted sessions");
+}
