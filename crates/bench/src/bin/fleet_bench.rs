@@ -31,7 +31,15 @@
 //! the observability lane blows its overhead budget.
 //! `P2AUTH_FLEET_TIMEOUT_S` (default 120) bounds each level.
 //!
-//! Usage: `cargo run -p p2auth-bench --release --bin fleet_bench [devices]`
+//! With `--chaos`, the worker sweep is replaced by the fault-injection
+//! suite (see [`chaos_main`]): an injected-panic lane (supervision must
+//! contain every panic to exactly one `Crashed` verdict), a
+//! kill-restart cycle over the persisted store (recovery time and
+//! accounting digests), and a synthetic overload ramp through the
+//! brownout ladder (engage + release with hysteresis). The seed comes
+//! from `P2AUTH_CHAOS_SEED` (default 814).
+//!
+//! Usage: `cargo run -p p2auth-bench --release --bin fleet_bench [devices] [--chaos]`
 
 use std::path::Path;
 use std::sync::mpsc;
@@ -40,7 +48,8 @@ use std::time::{Duration, Instant};
 use p2auth_bench::harness::{print_header, print_row, users_arg};
 use p2auth_obs::{ShardedEventStore, SloConfig, SloTracker};
 use p2auth_server::{
-    build_fleet, run_fleet_obs, FleetConfig, FleetScenario, ServeObs, ServerConfig,
+    build_fleet, kill_restart_cycle, run_fleet_obs, BrownoutConfig, BrownoutLadder, BrownoutLevel,
+    ChaosPlan, FleetConfig, FleetScenario, ServeObs, ServerConfig,
 };
 
 /// Worker-pool sizes swept (the bench contract: at least three).
@@ -143,7 +152,225 @@ fn median(xs: &mut [f64]) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// The `--chaos` suite: injected worker panics, a kill-restart cycle,
+/// and a synthetic overload ramp through the brownout ladder. Writes
+/// its own `BENCH_fleet.json` (`"bench": "fleet_chaos"`); with
+/// `P2AUTH_FLEET_GATE` set, exits nonzero on any violated invariant
+/// (crash amplification ≠ 1, accounting mismatch across the restart,
+/// ladder failing to engage or release).
+#[allow(clippy::too_many_lines)]
+fn chaos_main() {
+    let devices = users_arg(12).max(2);
+    let seed = std::env::var("P2AUTH_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(814_u64);
+    let fleet = FleetConfig {
+        num_devices: devices,
+        sessions_per_device: 6,
+        enrolled_users: 4.min(devices),
+        seed,
+        chaos: true,
+        hang_every: 0,
+    };
+    println!(
+        "# fleet_bench --chaos — {} devices x {} sessions, seed {seed}",
+        fleet.num_devices, fleet.sessions_per_device
+    );
+    let scenario = build_fleet(&fleet);
+    let total = scenario.requests.len();
+    let server = ServerConfig {
+        num_workers: 4,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    };
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- lane 1: injected worker panics -------------------------------
+    // Every 9th request panics mid-session; supervision must convert
+    // each into exactly one Crashed verdict (zero crash amplification)
+    // and the respawned workers must finish everything else.
+    let panic_ids: Vec<u64> = scenario
+        .requests
+        .iter()
+        .map(|r| r.request_id)
+        .step_by(9)
+        .collect();
+    let plan = ChaosPlan::panics(panic_ids.iter().copied());
+    let t0 = Instant::now();
+    let (report, shed_at_submit) = run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            chaos: Some(&plan),
+            ..ServeObs::default()
+        },
+    );
+    let panic_wall_s = t0.elapsed().as_secs_f64();
+    let crashed = report
+        .sessions
+        .iter()
+        .filter(|r| r.response.verdict.crashed())
+        .count();
+    let injected = plan.injected_panics();
+    let amplification = crashed as f64 / injected.max(1) as f64;
+    let respawns = report.metrics.counter("server.worker.respawns");
+    let responses = report.sessions.len() + shed_at_submit.len();
+    println!(
+        "panic lane: {injected} injected -> {crashed} crashed verdicts \
+         (amplification {amplification:.2}), {respawns} respawns, \
+         {responses}/{total} responses in {panic_wall_s:.3}s"
+    );
+    if injected == 0 || crashed as u64 != injected {
+        violations.push(format!(
+            "crash amplification: {injected} injected panics but {crashed} crashed verdicts"
+        ));
+    }
+    if responses != total {
+        violations.push(format!("panic lane lost responses: {responses}/{total}"));
+    }
+
+    // ---- lane 2: kill-restart cycle -----------------------------------
+    let dir = Path::new("fleet-chaos-shards");
+    let _ = std::fs::remove_dir_all(dir);
+    let kr = kill_restart_cycle(&scenario, &server, dir, total / 2);
+    let accounting_ok = kr.final_completed == total as u64;
+    println!(
+        "kill-restart lane: {} served pre-crash, {} recovered from disk \
+         (digest {:016x}), {} in-flight re-admitted, {} re-served, \
+         final {}/{total} (digest {:016x}), recovery {:.4}s",
+        kr.served_before,
+        kr.completed_recovered,
+        kr.recovered_digest,
+        kr.in_flight,
+        kr.served_after,
+        kr.final_completed,
+        kr.final_digest,
+        kr.recovery_wall_s
+    );
+    if !accounting_ok {
+        violations.push(format!(
+            "kill-restart accounting: {}/{total} sessions in the final store",
+            kr.final_completed
+        ));
+    }
+    if kr.interrupted_journaled != kr.in_flight {
+        violations.push(format!(
+            "interruption journal: {} in-flight but {} markers",
+            kr.in_flight, kr.interrupted_journaled
+        ));
+    }
+
+    // ---- lane 3: brownout ladder under a synthetic overload ramp ------
+    // Errors ramp to 100% for 30 s, then recover: the ladder must
+    // engage (climb at least one rung), not flap, and release back to
+    // Normal once the burn clears the windows.
+    let ladder = BrownoutLadder::new(BrownoutConfig {
+        enabled: true,
+        eval_every: 1,
+        up_hold: 2,
+        down_hold: 3,
+        ..BrownoutConfig::default()
+    });
+    let slo = SloTracker::new(SloConfig {
+        error_budget: 0.05,
+        fast_burn_threshold: 4.0,
+        slow_burn_threshold: 1.0,
+        ..SloConfig::default()
+    });
+    let mut peak = BrownoutLevel::Normal;
+    for second in 0..240_u64 {
+        let overload = (20..50).contains(&second);
+        for _ in 0..20 {
+            slo.record_at(second, 2_000_000, overload);
+        }
+        if second % 2 == 0 {
+            let level = ladder.evaluate(&slo.report_at(second));
+            peak = peak.max(level);
+        }
+    }
+    let final_level = ladder.level();
+    let transitions = ladder.transitions();
+    let occupancy = ladder.occupancy();
+    println!(
+        "brownout lane: peak {peak}, final {final_level}, {} transitions, \
+         occupancy [normal {}, b1 {}, b2 {}, shed {}]",
+        transitions.len(),
+        occupancy[0],
+        occupancy[1],
+        occupancy[2],
+        occupancy[3]
+    );
+    if peak == BrownoutLevel::Normal {
+        violations.push("brownout ladder never engaged under the overload ramp".to_string());
+    }
+    if final_level != BrownoutLevel::Normal {
+        violations.push(format!(
+            "brownout ladder failed to release: final level {final_level}"
+        ));
+    }
+
+    let transitions_json = transitions
+        .iter()
+        .map(|t| {
+            format!(
+                "{{ \"from\": \"{}\", \"to\": \"{}\", \"eval\": {}, \
+                 \"fast_burn\": {:.2}, \"slow_burn\": {:.2} }}",
+                t.from, t.to, t.eval, t.fast_burn, t.slow_burn
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_chaos\",\n  \"devices\": {devices},\n  \
+         \"sessions_per_device\": {},\n  \"requests\": {total},\n  \"seed\": {seed},\n  \
+         \"panic_lane\": {{ \"injected\": {injected}, \"crashed\": {crashed}, \
+         \"amplification\": {amplification:.3}, \"respawns\": {respawns}, \
+         \"responses\": {responses}, \"wall_s\": {panic_wall_s:.4} }},\n  \
+         \"kill_restart\": {{ \"served_before\": {}, \"completed_recovered\": {}, \
+         \"recovered_digest\": \"{:016x}\", \"in_flight\": {}, \
+         \"interrupted_journaled\": {}, \"torn_repaired\": {}, \"served_after\": {}, \
+         \"final_completed\": {}, \"final_digest\": \"{:016x}\", \
+         \"recovery_wall_s\": {:.5}, \"accounting_ok\": {accounting_ok} }},\n  \
+         \"brownout\": {{ \"peak\": \"{peak}\", \"final\": \"{final_level}\", \
+         \"occupancy\": [{}, {}, {}, {}], \"transitions\": [{transitions_json}] }}\n}}\n",
+        fleet.sessions_per_device,
+        kr.served_before,
+        kr.completed_recovered,
+        kr.recovered_digest,
+        kr.in_flight,
+        kr.interrupted_journaled,
+        kr.torn_repaired,
+        kr.served_after,
+        kr.final_completed,
+        kr.final_digest,
+        kr.recovery_wall_s,
+        occupancy[0],
+        occupancy[1],
+        occupancy[2],
+        occupancy[3],
+    );
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+
+    if violations.is_empty() {
+        println!("CHAOS: ok (panics contained, restart accounted, ladder cycled)");
+    } else {
+        for v in &violations {
+            eprintln!("CHAOS_VIOLATION: {v}");
+        }
+        if gate_enabled("P2AUTH_FLEET_GATE") {
+            std::process::exit(1);
+        }
+        println!("(gate disabled; set P2AUTH_FLEET_GATE=1 to fail on violations)");
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--chaos") {
+        chaos_main();
+        return;
+    }
     let devices = users_arg(16).max(2);
     let fleet = FleetConfig {
         num_devices: devices,
@@ -246,6 +473,7 @@ fn main() {
             let obs = ServeObs {
                 persist: Some(&store),
                 slo: Some(&slo),
+                ..ServeObs::default()
             };
             let (report, _, wall_s) = timed_region(&scenario, &obs_server, obs, timeout);
             store.flush().expect("flush fleet-shards store");

@@ -17,7 +17,9 @@
 
 use p2auth_bench::alloc::CountingAllocator;
 use p2auth_ml::linalg::dot;
+use p2auth_obs::MetricsLocal;
 use p2auth_rocket::{ConvScratch, FusedScorer, MiniRocket, MiniRocketConfig, MultiSeries};
+use p2auth_server::ShardNameTable;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -99,6 +101,38 @@ fn main() {
         mat_delta, 0,
         "materialized transform+dot allocated {mat_delta} bytes over {CALLS} calls"
     );
+
+    // Scheduler metric-name path: the per-shard names used to be
+    // `format!`ed per session; the precomputed ShardNameTable plus a
+    // warmed MetricsLocal (BTreeMap keys allocate on first touch only)
+    // must make the steady-state recording loop allocation-free.
+    const SHARDS: usize = 16;
+    let names = ShardNameTable::new(SHARDS);
+    let mut local = MetricsLocal::new();
+    for shard in 0..SHARDS {
+        let n = names.get(shard);
+        local.incr(&n.sheds);
+        local.incr(&n.accepts);
+        local.incr(&n.sessions);
+        local.record(&n.latency_ns, 1);
+    }
+    let before = ALLOC.total_allocated();
+    for i in 0..CALLS * SHARDS {
+        let n = names.get(i);
+        local.incr(&n.sessions);
+        local.incr(&n.accepts);
+        local.record(&n.latency_ns, (i as u64 + 1) * 1000);
+    }
+    let shard_delta = ALLOC.total_allocated() - before;
+    println!(
+        "shard metric names: {shard_delta} bytes over {} calls",
+        CALLS * SHARDS
+    );
+    assert_eq!(
+        shard_delta, 0,
+        "per-shard metric recording allocated {shard_delta} bytes steady-state"
+    );
+    sink += local.counter(&names.get(0).sessions) as f64;
 
     assert!(sink.is_finite(), "checksum must be finite: {sink}");
     println!("zero-alloc audit: PASS");

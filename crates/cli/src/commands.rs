@@ -13,7 +13,8 @@ use p2auth_device::{
 use p2auth_obs::events::Fnv64;
 use p2auth_obs::{persist, ShardedEventStore, SloConfig, SloTracker};
 use p2auth_server::{
-    build_fleet, run_fleet_obs, FleetConfig, ServeObs, ServeReport, ServerConfig, SessionVerdict,
+    build_fleet, run_fleet_obs, FleetConfig, ServeObs, ServeRegion, ServeReport, ServerConfig,
+    SessionVerdict,
 };
 use p2auth_sim::{Population, PopulationConfig, SessionConfig};
 use std::fmt;
@@ -145,6 +146,10 @@ COMMANDS:
               `p2auth fleet top` renders only the introspection view:
               per-shard sessions/sheds/latency, per-worker load, the
               SQI-rejection mix, SLO burn rate and top-5 slow sessions
+              `p2auth fleet recover --persist DIR` replays a persisted
+              shard store after a crash: completed-session accounting,
+              its FNV-64 digest, and any in-flight (interrupted)
+              sessions the intent journal surfaced
     help      Show this message
 
 All data comes from the seeded simulator; the same seed always produces
@@ -934,9 +939,12 @@ fn verify_shard_dir(
 /// introspection view, and `p2auth fleet top` renders only that view.
 pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
     let top_only = args.arg.as_deref() == Some("top");
+    if args.arg.as_deref() == Some("recover") {
+        return fleet_recover(args);
+    }
     if let Some(other) = args.arg.as_deref().filter(|a| *a != "top") {
         return Err(CliError::Io(format!(
-            "unknown fleet view {other:?}; try `p2auth fleet top`"
+            "unknown fleet view {other:?}; try `p2auth fleet top` or `p2auth fleet recover`"
         )));
     }
     let devices = args.get_parsed("devices", 6_usize)?.max(1);
@@ -985,6 +993,7 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
         ServeObs {
             persist: store.as_ref(),
             slo: Some(&slo),
+            ..ServeObs::default()
         },
     );
     // Durable read-back verification: every persisted record must be
@@ -1002,6 +1011,7 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
     let mut accepts = 0_usize;
     let mut rejects = 0_usize;
     let mut aborts = 0_usize;
+    let mut crashes = 0_usize;
     let mut shed = shed_at_submit.len();
     let mut latencies: Vec<u64> = Vec::with_capacity(report.sessions.len());
     for r in &report.sessions {
@@ -1015,6 +1025,7 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
             }
             SessionVerdict::Completed { .. } => rejects += 1,
             SessionVerdict::Shed(_) => shed += 1,
+            SessionVerdict::Crashed { .. } => crashes += 1,
         }
     }
     latencies.sort_unstable();
@@ -1043,7 +1054,8 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
             "{{ \"devices\": {devices}, \"sessions_per_device\": {sessions}, \
              \"workers\": {workers}, \"seed\": {seed}, \"chaos\": {chaos}, \
              \"requests\": {total}, \"responses\": {}, \"accepts\": {accepts}, \
-             \"rejects\": {rejects}, \"aborts\": {aborts}, \"shed\": {shed}, \
+             \"rejects\": {rejects}, \"aborts\": {aborts}, \"crashes\": {crashes}, \
+             \"shed\": {shed}, \
              \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}, \
              \"slo_alert\": {}, \"persisted\": {}, \
              \"ctx_leaks_repaired\": {} }}",
@@ -1057,7 +1069,7 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
         "fleet: {devices} devices x {sessions} sessions, {workers} workers, \
          chaos {}, seed {seed}\n\
          responses: {}/{total} (accepted {accepts}, rejected {rejects}, \
-         aborted {aborts}, shed {shed})\n\
+         aborted {aborts}, crashed {crashes}, shed {shed})\n\
          latency: p50 {:.1} us, p95 {:.1} us, p99 {:.1} us\n\
          ctx leaks repaired: {}",
         if chaos { "on" } else { "off" },
@@ -1084,12 +1096,61 @@ pub fn fleet(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `p2auth fleet recover --persist DIR`: warm-restart view of a
+/// persisted shard store — replays every shard, rebuilds the
+/// completed-session accounting and its digest, and lists the
+/// in-flight sessions the intent journal says a crash interrupted.
+fn fleet_recover(args: &ParsedArgs) -> Result<String, CliError> {
+    let dir = args
+        .get("persist")
+        .ok_or_else(|| CliError::Io("fleet recover needs --persist DIR".to_string()))?;
+    let region =
+        ServeRegion::recover(Path::new(dir)).map_err(|e| CliError::Io(format!("{dir}: {e}")))?;
+    let acc = region.completed;
+    let mut out = format!(
+        "recovered {dir}: {} completed sessions (accepted {}, rejected {}, \
+         aborted {}, crashed {}, shed {})\n\
+         accounting digest: {:016x}\n\
+         torn bytes dropped: {}, undecodable records: {}, failed shards: {}",
+        acc.sessions,
+        acc.accepts,
+        acc.rejects,
+        acc.aborts,
+        acc.crashes,
+        acc.sheds,
+        region.accounting_digest(),
+        region.torn_bytes,
+        region.undecodable_records,
+        region.failed_shards.len(),
+    );
+    for (path, err) in &region.failed_shards {
+        let _ = write!(out, "\n  failed shard {}: {err}", path.display());
+    }
+    if region.in_flight.is_empty() {
+        out.push_str("\nin-flight: none (clean shutdown or no intent journal)");
+    } else {
+        let _ = write!(out, "\nin-flight ({} interrupted):", region.in_flight.len());
+        for s in &region.in_flight {
+            let _ = write!(out, "\n  request {} user {}", s.request_id, s.user_id);
+        }
+    }
+    if region.prior_interruptions > 0 {
+        let _ = write!(
+            out,
+            "\nprior restarts left {} interruption markers",
+            region.prior_interruptions
+        );
+    }
+    Ok(out)
+}
+
 /// Short human label for a session verdict.
 fn verdict_label(verdict: &SessionVerdict) -> String {
     match verdict {
         SessionVerdict::Completed { accepted: true, .. } => "accepted".to_string(),
         SessionVerdict::Completed { state, .. } => state.as_str().to_string(),
         SessionVerdict::Shed(why) => format!("shed:{why:?}"),
+        SessionVerdict::Crashed { .. } => "crashed".to_string(),
     }
 }
 

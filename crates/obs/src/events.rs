@@ -220,6 +220,18 @@ pub enum SessionEvent {
         /// Whether the session ended in `accept`.
         accepted: bool,
     },
+    /// A serving-layer fault observed during the session: a captured
+    /// worker panic (`kind = "crashed"`), a deadline-aware retry
+    /// (`"retry"`), an interrupted session re-admitted after a warm
+    /// restart (`"interrupted"`), or a brownout-tier decision
+    /// (`"brownout"`). `kind` is the machine-readable discriminator;
+    /// `detail` is free-form context.
+    Fault {
+        /// Machine-readable fault kind.
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl SessionEvent {
@@ -241,6 +253,7 @@ impl SessionEvent {
             SessionEvent::Vote { .. } => "vote",
             SessionEvent::Decision { .. } => "decision",
             SessionEvent::SessionEnd { .. } => "session_end",
+            SessionEvent::Fault { .. } => "fault",
         }
     }
 }
@@ -909,6 +922,12 @@ fn encode_event(ev: &LoggedEvent, out: &mut String) {
             push_str(state, out);
             let _ = write!(out, ",\"attempts\":{attempts},\"accepted\":{accepted}");
         }
+        SessionEvent::Fault { kind, detail } => {
+            out.push_str(",\"kind\":");
+            push_str(kind, out);
+            out.push_str(",\"detail\":");
+            push_str(detail, out);
+        }
     }
     out.push('}');
 }
@@ -1126,6 +1145,10 @@ fn decode_event(obj: &JsonValue, seq: Option<u64>) -> Result<SessionEvent, Event
             attempts: get_u32(obj, seq, "attempts")?,
             accepted: get_bool(obj, seq, "accepted")?,
         },
+        "fault" => SessionEvent::Fault {
+            kind: get_str(obj, seq, "kind")?,
+            detail: get_str(obj, seq, "detail")?,
+        },
         _ => {
             return Err(EventLogError::UnknownEventType {
                 seq: seq.unwrap_or(0),
@@ -1186,6 +1209,10 @@ mod tests {
             score: -0.25,
             coverage: Some(0.5),
             gap_blocks: Some(10),
+        });
+        log.push(SessionEvent::Fault {
+            kind: "retry".into(),
+            detail: "transient abort, backoff 1.25s".into(),
         });
         log.push(SessionEvent::SessionEnd {
             state: "reject".into(),
@@ -1302,7 +1329,7 @@ mod tests {
         let mut c = sample_log();
         c.events.pop();
         match a.first_divergence(&c) {
-            Some(LogDivergence::Length { seq: 5, .. }) => {}
+            Some(LogDivergence::Length { seq: 6, .. }) => {}
             other => panic!("expected length divergence, got {other:?}"),
         }
         // Header mismatches dominate.

@@ -79,6 +79,22 @@ pub fn shard_file_name(idx: usize) -> String {
     format!("events-{idx:03}.shard")
 }
 
+/// File name of the store-level manifest written by
+/// [`ShardedEventStore::write_manifest`].
+pub const STORE_MANIFEST: &str = "store.manifest.json";
+
+/// Schema tag of the store-level manifest.
+pub const STORE_MANIFEST_SCHEMA: &str = "p2auth.store-manifest.v1";
+
+/// FNV-1a 64 digest of a whole file's bytes (the store manifest's
+/// per-shard integrity pin).
+fn fnv64_file(path: &Path) -> std::io::Result<u64> {
+    let bytes = fs::read(path)?;
+    let mut d = crate::events::Fnv64::new();
+    d.update_bytes(&bytes);
+    Ok(d.finish())
+}
+
 /// One shard's buffered writer state.
 #[derive(Debug)]
 struct ShardWriter {
@@ -119,6 +135,73 @@ impl ShardedEventStore {
             header.extend_from_slice(&u32::try_from(idx).unwrap_or(u32::MAX).to_le_bytes());
             header.extend_from_slice(&u32::try_from(shard_count).unwrap_or(u32::MAX).to_le_bytes());
             file.write_all(&header)?;
+            shards.push(Mutex::new(ShardWriter {
+                file,
+                buf: Vec::new(),
+                pending: 0,
+            }));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            flush_every: flush_every.max(1),
+            shards,
+            appended: AtomicU64::new(0),
+        })
+    }
+
+    /// Re-opens an existing store directory for appending — the warm
+    /// restart path. Every `events-*.shard` file is header-validated
+    /// (magic + version) and opened in append mode, so records written
+    /// before the restart are preserved and new appends land after
+    /// them. The shard count is taken from the on-disk headers.
+    ///
+    /// A torn tail left by a crash is *not* repaired here: appends
+    /// after it produce records the reader will also treat as part of
+    /// the tear. Callers that recovered a torn store should truncate
+    /// the tear first (see [`read_shard_file`]'s `torn_bytes`) — or
+    /// accept losing the final record per shard, which is the
+    /// documented crash contract.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, a directory with no shard files, or a shard
+    /// file whose header does not validate.
+    pub fn open_append(dir: &Path, flush_every: usize) -> std::io::Result<Self> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("events-") && n.ends_with(".shard"))
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(bad(format!("{}: no shard files to re-open", dir.display())));
+        }
+        let mut shards = Vec::with_capacity(paths.len());
+        for (idx, path) in paths.iter().enumerate() {
+            let head = fs::read(path)?;
+            if head.len() < HEADER_LEN || &head[..8] != SHARD_MAGIC {
+                return Err(bad(format!("{}: not a shard file", path.display())));
+            }
+            let version = u32::from_le_bytes([head[8], head[9], head[10], head[11]]);
+            if version != SHARD_VERSION {
+                return Err(bad(format!(
+                    "{}: unsupported shard version {version}",
+                    path.display()
+                )));
+            }
+            if path.file_name().and_then(|n| n.to_str()) != Some(&shard_file_name(idx)) {
+                return Err(bad(format!(
+                    "{}: shard files are not contiguous (expected {})",
+                    path.display(),
+                    shard_file_name(idx)
+                )));
+            }
+            let file = fs::OpenOptions::new().append(true).open(path)?;
             shards.push(Mutex::new(ShardWriter {
                 file,
                 buf: Vec::new(),
@@ -214,6 +297,53 @@ impl ShardedEventStore {
             Some(e) => Err(e),
         }
     }
+
+    /// Simulates power loss: every shard's *buffered* (not yet
+    /// written-through) records are discarded, and the drop-time flush
+    /// is suppressed. Records already written through survive; buffered
+    /// ones are gone — exactly the store's documented crash model. Used
+    /// by the chaos harness's kill-restart cycles.
+    pub fn abandon(self) {
+        for shard in &self.shards {
+            let mut w = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            w.buf.clear();
+            w.pending = 0;
+        }
+        // Drop now flushes empty buffers: a no-op.
+    }
+
+    /// Seals the store with a manifest (`store.manifest.json`) listing
+    /// every shard file with its FNV-64 content digest, so a later
+    /// [`read_store_dir_verified`] can detect a missing or silently
+    /// rewritten shard. Flushes first — the digests pin the bytes a
+    /// reader will actually see.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the flush, the digest reads, or the
+    /// manifest write.
+    pub fn write_manifest(&self) -> std::io::Result<()> {
+        self.flush()?;
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(STORE_MANIFEST_SCHEMA);
+        out.push_str("\",\n  \"shards\": [\n");
+        for idx in 0..self.shards.len() {
+            let name = shard_file_name(idx);
+            let digest = fnv64_file(&self.dir.join(&name))?;
+            if idx > 0 {
+                out.push_str(",\n");
+            }
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!("    {{ \"file\": \"{name}\", \"fnv64\": \"{digest}\" }}"),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        fs::write(self.dir.join(STORE_MANIFEST), out)
+    }
 }
 
 impl Drop for ShardedEventStore {
@@ -252,6 +382,15 @@ pub enum PersistError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The store manifest disagrees with a shard file: the file is
+    /// missing, or its FNV-64 content digest does not match the sealed
+    /// value. Scoped to one shard — siblings still load.
+    Manifest {
+        /// Shard file name the manifest entry refers to.
+        file: String,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -261,6 +400,9 @@ impl std::fmt::Display for PersistError {
             PersistError::Header(e) => write!(f, "bad shard header: {e}"),
             PersistError::Corrupt { record, detail } => {
                 write!(f, "shard corrupt at record {record}: {detail}")
+            }
+            PersistError::Manifest { file, detail } => {
+                write!(f, "manifest mismatch for {file}: {detail}")
             }
         }
     }
@@ -379,6 +521,75 @@ pub fn read_store_dir(
         .collect())
 }
 
+/// [`read_store_dir`] against the sealed manifest
+/// (`store.manifest.json`): every shard the manifest lists is checked
+/// for presence and FNV-64 content digest *before* being read. A
+/// missing file or a digest mismatch yields a typed
+/// [`PersistError::Manifest`] entry for that shard only — siblings
+/// still load, the same blast-radius rule as mid-file corruption.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the manifest cannot be read and
+/// [`PersistError::Header`] when it does not parse or carries the
+/// wrong schema; per-shard failures are carried in the entries.
+#[allow(clippy::type_complexity)]
+pub fn read_store_dir_verified(
+    dir: &Path,
+) -> Result<Vec<(PathBuf, Result<ShardRead, PersistError>)>, PersistError> {
+    let manifest_path = dir.join(STORE_MANIFEST);
+    let text = fs::read_to_string(&manifest_path)
+        .map_err(|e| PersistError::Io(format!("{}: {e}", manifest_path.display())))?;
+    let doc = crate::json::parse(&text)
+        .map_err(|e| PersistError::Header(format!("{}: {e}", manifest_path.display())))?;
+    let schema = doc.get("schema").and_then(crate::json::JsonValue::as_str);
+    if schema != Some(STORE_MANIFEST_SCHEMA) {
+        return Err(PersistError::Header(format!(
+            "{}: schema {schema:?} (expected {STORE_MANIFEST_SCHEMA:?})",
+            manifest_path.display()
+        )));
+    }
+    let shards = doc
+        .get("shards")
+        .and_then(crate::json::JsonValue::as_array)
+        .ok_or_else(|| {
+            PersistError::Header(format!("{}: no \"shards\" array", manifest_path.display()))
+        })?;
+    let mut out = Vec::with_capacity(shards.len());
+    for entry in shards {
+        let (Some(file), Some(digest)) = (
+            entry.get("file").and_then(crate::json::JsonValue::as_str),
+            entry
+                .get("fnv64")
+                .and_then(crate::json::JsonValue::as_str)
+                .and_then(|s| s.parse::<u64>().ok()),
+        ) else {
+            return Err(PersistError::Header(format!(
+                "{}: malformed shard entry",
+                manifest_path.display()
+            )));
+        };
+        let path = dir.join(file);
+        let read = if !path.exists() {
+            Err(PersistError::Manifest {
+                file: file.to_string(),
+                detail: "listed in the manifest but missing on disk".to_string(),
+            })
+        } else {
+            match fnv64_file(&path) {
+                Err(e) => Err(PersistError::Io(format!("{}: {e}", path.display()))),
+                Ok(actual) if actual != digest => Err(PersistError::Manifest {
+                    file: file.to_string(),
+                    detail: format!("fnv64 {actual} does not match sealed {digest}"),
+                }),
+                Ok(_) => read_shard_file(&path),
+            }
+        };
+        out.push((path, read));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +694,153 @@ mod tests {
             Err(PersistError::Corrupt { record: 0, .. }) => {}
             other => panic!("expected corruption at record 0, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_append_preserves_and_extends() {
+        let dir = tmp_dir("open_append");
+        let store = ShardedEventStore::create(&dir, 2, 1).unwrap();
+        store.append(0, b"before-restart").unwrap();
+        store.append(1, b"also-before").unwrap();
+        store.flush().unwrap();
+        drop(store);
+
+        let reopened = ShardedEventStore::open_append(&dir, 1).unwrap();
+        assert_eq!(reopened.shard_count(), 2);
+        reopened.append(0, b"after-restart").unwrap();
+        reopened.flush().unwrap();
+        drop(reopened);
+
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        for (_, read) in read_store_dir(&dir).unwrap() {
+            payloads.extend(read.unwrap().records);
+        }
+        payloads.sort();
+        assert_eq!(
+            payloads,
+            vec![
+                b"after-restart".to_vec(),
+                b"also-before".to_vec(),
+                b"before-restart".to_vec()
+            ],
+            "records from before the restart survive, new ones append"
+        );
+        // An empty directory is not silently treated as a store.
+        let empty = tmp_dir("open_append_empty");
+        fs::create_dir_all(&empty).unwrap();
+        assert!(ShardedEventStore::open_append(&empty, 1).is_err());
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&empty);
+    }
+
+    #[test]
+    fn abandon_drops_buffered_records_keeps_flushed() {
+        let dir = tmp_dir("abandon");
+        let store = ShardedEventStore::create(&dir, 1, 100).unwrap();
+        store.append(0, b"flushed").unwrap();
+        store.flush().unwrap();
+        store.append(0, b"buffered-only").unwrap();
+        store.abandon();
+        let read = read_shard_file(&dir.join(shard_file_name(0))).unwrap();
+        assert_eq!(read.records, vec![b"flushed".to_vec()]);
+        assert_eq!(read.torn_bytes, 0, "abandon loses whole records, not bytes");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trip_verifies_clean_store() {
+        let dir = tmp_dir("manifest_ok");
+        let store = ShardedEventStore::create(&dir, 3, 1).unwrap();
+        for key in 0..9_u64 {
+            store.append(key, format!("r{key}").as_bytes()).unwrap();
+        }
+        store.write_manifest().unwrap();
+        drop(store);
+        let entries = read_store_dir_verified(&dir).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(entries.iter().all(|(_, r)| r.is_ok()));
+        let total: usize = entries
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().records.len())
+            .sum();
+        assert_eq!(total, 9);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_missing_shard_is_typed_and_scoped() {
+        let dir = tmp_dir("manifest_missing");
+        let store = ShardedEventStore::create(&dir, 3, 1).unwrap();
+        for key in 0..9_u64 {
+            store.append(key, format!("r{key}").as_bytes()).unwrap();
+        }
+        store.write_manifest().unwrap();
+        drop(store);
+        fs::remove_file(dir.join(shard_file_name(1))).unwrap();
+        let entries = read_store_dir_verified(&dir).unwrap();
+        assert_eq!(entries.len(), 3, "the missing shard still has an entry");
+        match &entries[1].1 {
+            Err(PersistError::Manifest { file, .. }) => {
+                assert_eq!(file, &shard_file_name(1));
+            }
+            other => panic!("expected a manifest error, got {other:?}"),
+        }
+        assert!(entries[0].1.is_ok(), "siblings still load");
+        assert!(entries[2].1.is_ok(), "siblings still load");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_digest_mismatch_is_typed_and_scoped() {
+        let dir = tmp_dir("manifest_digest");
+        let store = ShardedEventStore::create(&dir, 2, 1).unwrap();
+        store.append(0, b"sealed-payload").unwrap();
+        store.append(1, b"other-shard").unwrap();
+        store.write_manifest().unwrap();
+        drop(store);
+        // Rewrite one byte of shard 0 *with a valid CRC re-frame* not
+        // required: any byte change breaks the file digest, which is
+        // the point — the manifest catches rewrites CRC framing alone
+        // would accept (e.g. a whole-record replacement).
+        let p0 = dir.join(shard_file_name(0));
+        let mut bytes = fs::read(&p0).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&p0, &bytes).unwrap();
+        let entries = read_store_dir_verified(&dir).unwrap();
+        assert!(
+            matches!(&entries[0].1, Err(PersistError::Manifest { file, .. }) if file == &shard_file_name(0)),
+            "digest mismatch must be a typed manifest error: {:?}",
+            entries[0].1
+        );
+        assert!(entries[1].1.is_ok(), "the untouched sibling still loads");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_or_garbage_manifest_is_loud() {
+        let dir = tmp_dir("manifest_absent");
+        let store = ShardedEventStore::create(&dir, 1, 1).unwrap();
+        drop(store);
+        assert!(matches!(
+            read_store_dir_verified(&dir),
+            Err(PersistError::Io(_))
+        ));
+        fs::write(dir.join(STORE_MANIFEST), b"not json").unwrap();
+        assert!(matches!(
+            read_store_dir_verified(&dir),
+            Err(PersistError::Header(_))
+        ));
+        fs::write(
+            dir.join(STORE_MANIFEST),
+            b"{\"schema\":\"p2auth.store-manifest.v9\",\"shards\":[]}",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_store_dir_verified(&dir),
+            Err(PersistError::Header(_))
+        ));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -474,6 +474,110 @@ mod tests {
     }
 
     #[test]
+    fn empty_window_reports_zero_burn_and_no_alert() {
+        let t = SloTracker::new(cfg());
+        let r = t.report_at(0);
+        assert_eq!(
+            (r.total, r.errors, r.fast_total, r.fast_errors),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(r.error_rate, 0.0);
+        assert_eq!(r.fast_burn, 0.0);
+        assert_eq!(r.slow_burn, 0.0);
+        assert!(!r.alert, "an idle tracker must never page");
+        assert!(r.p99_ok, "no samples cannot violate the latency objective");
+        // report() with nothing recorded evaluates at second 0: same.
+        assert!(!t.report().alert);
+    }
+
+    #[test]
+    fn burn_exactly_at_both_thresholds_alerts() {
+        // cfg(): budget 0.1, fast threshold 5.0, slow threshold 1.0,
+        // window 10 s, fast window 2 s. Construct rates that land the
+        // burns *exactly* on the thresholds: fast rate 0.5 (burn 5.0),
+        // slow rate 0.1 (burn 1.0).
+        let t = SloTracker::new(cfg());
+        for s in 0..8_u64 {
+            for _ in 0..10 {
+                t.record_at(s, 100, false);
+            }
+        }
+        for s in 8..10_u64 {
+            for i in 0..10 {
+                t.record_at(s, 100, i < 5);
+            }
+        }
+        let r = t.report_at(9);
+        assert_eq!((r.total, r.errors), (100, 10));
+        assert_eq!((r.fast_total, r.fast_errors), (20, 10));
+        assert!((r.fast_burn - 5.0).abs() < 1e-12);
+        assert!((r.slow_burn - 1.0).abs() < 1e-12);
+        assert!(r.alert, "thresholds are inclusive: exactly-at must page");
+
+        // One error fewer in the fast window: fast burn 4.5 < 5.0 —
+        // the alert condition is a strict conjunction, so no page.
+        let t = SloTracker::new(cfg());
+        for s in 0..8_u64 {
+            for _ in 0..10 {
+                t.record_at(s, 100, false);
+            }
+        }
+        for s in 8..10_u64 {
+            for i in 0..10 {
+                t.record_at(s, 100, i < 5 && !(s == 9 && i == 4));
+            }
+        }
+        let r = t.report_at(9);
+        assert!(r.fast_burn < 5.0 && r.slow_burn < 1.0);
+        assert!(!r.alert);
+    }
+
+    #[test]
+    fn ring_wraps_at_the_default_sixty_seconds() {
+        let t = SloTracker::new(SloConfig::default());
+        assert_eq!(t.config().window_s, 60);
+        // Second 0 and second 60 share a ring slot; the wrap must
+        // invalidate, not accumulate.
+        for _ in 0..7 {
+            t.record_at(0, 100, true);
+        }
+        t.record_at(60, 100, false);
+        let r = t.report_at(60);
+        assert_eq!(r.total, 1, "second 0 is outside [1, 60] and evicted");
+        assert_eq!(r.errors, 0, "stale errors must not leak across the wrap");
+        // Fill a full window across the wrap boundary: every second
+        // counted exactly once.
+        let t = SloTracker::new(SloConfig::default());
+        for s in 30..120_u64 {
+            t.record_at(s, 100, false);
+        }
+        let r = t.report_at(119);
+        assert_eq!(r.total, 60, "exactly one window of seconds, despite wrap");
+    }
+
+    #[test]
+    fn clock_going_backwards_saturates_never_panics() {
+        let t = SloTracker::new(cfg());
+        t.record_at(100, 100, false);
+        // The clock jumps backwards: records must land without panic.
+        t.record_at(95, 100, true);
+        t.record_at(0, 100, true);
+        let r = t.report_at(100);
+        assert_eq!(r.total, 2, "second 95 is in [91,100]; second 0 is not");
+        assert_eq!(r.errors, 1);
+        // A report older than recorded data must not underflow the
+        // window arithmetic: buckets ahead of now_s are excluded.
+        let r = t.report_at(9);
+        assert_eq!(r.total, 1, "only second 0 is visible at now_s = 9");
+        assert_eq!(r.errors, 1);
+        let r = t.report_at(0);
+        assert_eq!(r.total, 1);
+        // last_second never rewinds, so report() stays at the high
+        //-water mark after the backwards jump.
+        assert_eq!(t.report().now_s, 100);
+    }
+
+    #[test]
     fn degenerate_windows_clamp() {
         let t = SloTracker::new(SloConfig {
             window_s: 0,

@@ -1,0 +1,279 @@
+//! Server-layer chaos harness: inject the faults the fault-tolerance
+//! layer exists for, then measure what it did about them.
+//!
+//! Four injection axes, all deterministic:
+//!
+//! * **worker panics** — [`ChaosPlan::panic_requests`] names request
+//!   ids whose session panics mid-run (inside the supervised region,
+//!   so [`crate::supervision`] must capture it);
+//! * **clock skew** — every `every`-th session on a worker rewinds the
+//!   worker's shared session clock by `backwards_s` (the supervisor's
+//!   deadline arithmetic must saturate, never hang);
+//! * **mid-serve shard corruption** — [`corrupt_shard_record`] flips a
+//!   payload byte inside an existing record (a CRC must catch it);
+//!   [`tear_shard_tail`] truncates trailing bytes (a torn final write);
+//! * **kill-restart** — [`kill_restart_cycle`] serves a prefix of a
+//!   fleet, abandons the store mid-flush (simulated power loss), tears
+//!   a shard tail, then recovers via [`crate::recover::ServeRegion`]
+//!   and re-serves only what the journal says never completed.
+//!
+//! `fleet_bench --chaos` drives all four into `BENCH_fleet.json`; the
+//! `chaos_fleet` test suite asserts the invariants (one injected panic
+//! ⇒ exactly one `Crashed` outcome, bit-identical recovered
+//! accounting).
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use p2auth_obs::persist::{shard_file_name, HEADER_LEN};
+use p2auth_obs::ShardedEventStore;
+
+use crate::fleet::FleetScenario;
+use crate::messages::{AuthResponse, ServerConfig, SessionVerdict};
+use crate::recover::{truncate_torn_tails, ServeRegion};
+use crate::scheduler::{serve_obs, ServeObs};
+
+/// Deterministic clock-skew injection: every `every`-th session a
+/// worker picks up has its shared clock rewound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSkew {
+    /// Period, in sessions per worker (0 disables).
+    pub every: u64,
+    /// Seconds the clock jumps backwards (clamped at zero).
+    pub backwards_s: f64,
+}
+
+/// A chaos injection plan, shared read-only by all workers of a serve
+/// region via [`ServeObs::chaos`].
+#[derive(Debug, Default)]
+pub struct ChaosPlan {
+    panic_requests: HashSet<u64>,
+    clock_skew: Option<ClockSkew>,
+    fired: AtomicU64,
+}
+
+impl ChaosPlan {
+    /// A plan that panics the sessions of the given request ids.
+    #[must_use]
+    pub fn panics(ids: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            panic_requests: ids.into_iter().collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds clock-skew injection to the plan.
+    #[must_use]
+    pub fn with_clock_skew(mut self, skew: ClockSkew) -> Self {
+        self.clock_skew = Some(skew);
+        self
+    }
+
+    /// Whether this request's session must panic (counted).
+    pub(crate) fn should_panic(&self, request_id: u64) -> bool {
+        if self.panic_requests.contains(&request_id) {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured clock skew, if any.
+    pub(crate) fn skew(&self) -> Option<ClockSkew> {
+        self.clock_skew
+    }
+
+    /// Panics actually injected so far.
+    #[must_use]
+    pub fn injected_panics(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+}
+
+/// Truncates up to `bytes` trailing bytes from shard `shard_idx`
+/// (never into the header): a torn final write. Returns the bytes
+/// actually removed.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn tear_shard_tail(dir: &Path, shard_idx: usize, bytes: usize) -> std::io::Result<usize> {
+    let path = dir.join(shard_file_name(shard_idx));
+    let len = std::fs::metadata(&path)?.len();
+    let body = len.saturating_sub(HEADER_LEN as u64);
+    let cut = (bytes as u64).min(body);
+    if cut > 0 {
+        let file = std::fs::OpenOptions::new().write(true).open(&path)?;
+        file.set_len(len - cut)?;
+    }
+    Ok(usize::try_from(cut).unwrap_or(0))
+}
+
+/// Flips one byte inside the *first* record's payload of shard
+/// `shard_idx` — mid-file corruption the CRC must catch. Returns
+/// false (and leaves the file alone) if the shard has no records.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn corrupt_shard_record(dir: &Path, shard_idx: usize) -> std::io::Result<bool> {
+    let path = dir.join(shard_file_name(shard_idx));
+    let mut bytes = std::fs::read(&path)?;
+    // Header, then `len | crc | payload`: flip the first payload byte.
+    let target = HEADER_LEN + 8;
+    if bytes.len() <= target {
+        return Ok(false);
+    }
+    bytes[target] ^= 0xff;
+    std::fs::write(&path, &bytes)?;
+    Ok(true)
+}
+
+/// What one [`kill_restart_cycle`] observed.
+#[derive(Debug)]
+pub struct KillRestartReport {
+    /// Requests served before the simulated crash.
+    pub served_before: usize,
+    /// Completed sessions the recovery found on disk.
+    pub completed_recovered: u64,
+    /// In-flight (admitted, never completed) sessions the journal
+    /// surfaced.
+    pub in_flight: usize,
+    /// Interruption markers appended on restart.
+    pub interrupted_journaled: usize,
+    /// Torn bytes truncated before re-opening the store.
+    pub torn_repaired: usize,
+    /// Requests re-served after restart (everything the journal did
+    /// not mark completed).
+    pub served_after: usize,
+    /// Responses from the post-restart region.
+    pub responses_after: Vec<AuthResponse>,
+    /// Digest of the recovered accounting ([`ServeRegion::accounting_digest`]).
+    pub recovered_digest: u64,
+    /// Digest of a *second* recovery over the final store — must equal
+    /// re-deriving it, proving recovery is deterministic.
+    pub final_digest: u64,
+    /// Completed sessions in the final store (pre-crash + re-served).
+    pub final_completed: u64,
+    /// Wall-clock seconds spent in recovery (replay + repair + journal).
+    pub recovery_wall_s: f64,
+}
+
+/// Runs a full crash/restart cycle against `dir`:
+///
+/// 1. serve the first `kill_after` requests of the scenario with intent
+///    journaling into a fresh store (small flush interval, so a
+///    buffered tail exists to lose);
+/// 2. *crash*: abandon the store — buffered appends are lost, exactly
+///    the documented power-loss model — and tear every shard's tail
+///    (the loss bound is "at most the final record per shard");
+/// 3. *restart*: recover the region from disk, repair torn tails,
+///    re-open the store for append, journal the interruptions;
+/// 4. re-serve every request the journal does not mark completed;
+/// 5. recover once more and return both digests.
+///
+/// # Panics
+///
+/// Panics on store I/O failure (this is a test/bench harness, not a
+/// serving path).
+#[must_use]
+#[allow(clippy::missing_panics_doc)]
+pub fn kill_restart_cycle(
+    scenario: &FleetScenario,
+    server: &ServerConfig,
+    dir: &Path,
+    kill_after: usize,
+) -> KillRestartReport {
+    let mut config = *server;
+    config.journal_intents = true;
+    let kill_after = kill_after.min(scenario.requests.len());
+
+    // Phase 1: serve a prefix, then "lose power" mid-flush. The flush
+    // interval is deliberately *odd*: each session appends an intent
+    // then a completion to its shard, so an odd batch boundary can
+    // fall between the two — abandoning the buffer then leaves an
+    // intent on disk without its completion, which is exactly the
+    // in-flight case warm restart exists for.
+    let store = ShardedEventStore::create(dir, config.shard_count, 3).expect("chaos store create");
+    let obs = ServeObs {
+        persist: Some(&store),
+        ..ServeObs::default()
+    };
+    serve_obs(&scenario.system, &scenario.store, &config, obs, |sub| {
+        for req in scenario.requests.iter().take(kill_after).cloned() {
+            let _ = sub.submit_blocking(req);
+        }
+    });
+    store.abandon();
+    // Tear every shard's tail — the documented loss bound is "at most
+    // the final record per shard", so the cycle exercises exactly
+    // that. A torn completion whose intent survives is an in-flight
+    // session the recovery must surface.
+    for shard_idx in 0..config.shard_count {
+        tear_shard_tail(dir, shard_idx, 5).expect("tear shard tail");
+    }
+
+    // Phase 2: warm restart.
+    let t0 = Instant::now();
+    let region = ServeRegion::recover(dir).expect("recover region");
+    let torn_repaired = truncate_torn_tails(dir).expect("repair torn tails");
+    let store = ShardedEventStore::open_append(dir, 4).expect("re-open store");
+    let interrupted_journaled = region
+        .journal_interruptions(&store)
+        .expect("journal interruptions");
+    let recovery_wall_s = t0.elapsed().as_secs_f64();
+    let recovered_digest = region.accounting_digest();
+    let completed_recovered = region.completed.sessions;
+    let in_flight = region.in_flight.len();
+
+    // Phase 3: re-serve exactly what never completed.
+    let remaining: Vec<_> = scenario
+        .requests
+        .iter()
+        .filter(|r| !region.is_completed(r.request_id))
+        .cloned()
+        .collect();
+    let served_after = remaining.len();
+    let obs = ServeObs {
+        persist: Some(&store),
+        ..ServeObs::default()
+    };
+    let (report, shed) = serve_obs(&scenario.system, &scenario.store, &config, obs, |sub| {
+        let mut shed = Vec::new();
+        for req in remaining.iter().cloned() {
+            if let Err((req, why)) = sub.submit_blocking(req) {
+                shed.push(AuthResponse {
+                    request_id: req.request_id,
+                    user_id: req.user_id,
+                    verdict: SessionVerdict::Shed(why),
+                    latency_ns: 0,
+                    worker: usize::MAX,
+                });
+            }
+        }
+        shed
+    });
+    let mut responses_after: Vec<AuthResponse> =
+        report.sessions.into_iter().map(|r| r.response).collect();
+    responses_after.extend(shed);
+    store.flush().expect("final flush");
+    drop(store);
+
+    let final_region = ServeRegion::recover(dir).expect("final recover");
+    KillRestartReport {
+        served_before: kill_after,
+        completed_recovered,
+        in_flight,
+        interrupted_journaled,
+        torn_repaired,
+        served_after,
+        responses_after,
+        recovered_digest,
+        final_digest: final_region.accounting_digest(),
+        final_completed: final_region.completed.sessions,
+        recovery_wall_s,
+    }
+}

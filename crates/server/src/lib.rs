@@ -19,24 +19,43 @@
 //!   across its sessions, and resets its span context at every task
 //!   boundary,
 //! * [`fleet`] — N virtual devices generating the arrival/fault mix
-//!   (sensor-fault presets + faulty-link transfers, all seeded).
+//!   (sensor-fault presets + faulty-link transfers, all seeded),
+//! * the **fault-tolerance layer** — [`supervision`] (panic capture,
+//!   in-place worker respawn, poison-profile quarantine), [`retry`]
+//!   (deadline-aware backoff for transient failures), [`brownout`]
+//!   (an SLO-burn-driven degradation ladder with hysteresis),
+//!   [`recover`] (crash-safe warm restart from the persisted
+//!   `P2SHARD` store), and [`chaos`] (the harness that injects the
+//!   faults the layer exists for).
 //!
 //! The overload contract is the headline: every submitted request gets
-//! exactly one [`AuthResponse`] — completed or typed-shed — and the
-//! server never hangs a session. Message shapes live in [`messages`]
-//! (`p2auth.server.v1`).
+//! exactly one [`AuthResponse`] — completed, typed-shed, or typed
+//! [`SessionVerdict::Crashed`] — and the server never hangs a session.
+//! Message shapes live in [`messages`] (`p2auth.server.v1`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod brownout;
+pub mod chaos;
 pub mod fleet;
 pub mod messages;
 pub mod queue;
+pub mod recover;
+pub mod retry;
 pub mod scheduler;
 pub mod store;
+pub mod supervision;
 
+pub use brownout::{BrownoutConfig, BrownoutLadder, BrownoutLevel, LadderTransition};
+pub use chaos::{kill_restart_cycle, ChaosPlan, ClockSkew, KillRestartReport};
 pub use fleet::{build_fleet, run_fleet, run_fleet_obs, FleetConfig, FleetScenario};
 pub use messages::{AuthRequest, AuthResponse, ServerConfig, SessionVerdict, ShedReason};
 pub use queue::AdmissionQueue;
-pub use scheduler::{serve, serve_obs, ServeObs, ServeReport, SessionRecord, Submitter};
+pub use recover::{InFlightSession, ServeRegion, SessionAccounting};
+pub use retry::{RetryPolicy, TransientFailure};
+pub use scheduler::{
+    serve, serve_obs, ServeObs, ServeReport, SessionRecord, ShardNameTable, Submitter,
+};
 pub use store::{ShardedProfileStore, StoredProfile};
+pub use supervision::{Supervision, SupervisionConfig};

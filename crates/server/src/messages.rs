@@ -60,6 +60,12 @@ pub enum ShedReason {
     Shutdown,
     /// No profile enrolled under the requested `user_id`.
     UnknownUser,
+    /// The profile is quarantined after repeated worker crashes
+    /// (poison-profile detection); operators must re-enroll it.
+    Quarantined,
+    /// The brownout ladder reached its bottom rung: the region is
+    /// shedding load to protect its error budget.
+    Brownout,
 }
 
 impl ShedReason {
@@ -70,6 +76,8 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::Shutdown => "shutdown",
             ShedReason::UnknownUser => "unknown_user",
+            ShedReason::Quarantined => "quarantined",
+            ShedReason::Brownout => "brownout",
         }
     }
 }
@@ -94,6 +102,14 @@ pub enum SessionVerdict {
     },
     /// The session never ran; the reason says why.
     Shed(ShedReason),
+    /// The session's worker panicked mid-run. The panic was captured by
+    /// supervision ([`crate::supervision`]), the worker state was
+    /// respawned, and the crash was event-logged and counted — a
+    /// crashed session is an error, never an accept.
+    Crashed {
+        /// The captured panic message.
+        reason: String,
+    },
 }
 
 impl SessionVerdict {
@@ -107,6 +123,24 @@ impl SessionVerdict {
     #[must_use]
     pub fn shed(&self) -> bool {
         matches!(self, SessionVerdict::Shed(_))
+    }
+
+    /// Whether the session's worker panicked mid-run.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        matches!(self, SessionVerdict::Crashed { .. })
+    }
+
+    /// Stable machine-readable tag for accounting and recovery:
+    /// `accept` / `reject` / `abort` for completed sessions,
+    /// `crashed`, or `shed_<reason>`.
+    #[must_use]
+    pub fn tag(&self) -> String {
+        match self {
+            SessionVerdict::Completed { state, .. } => state.as_str().to_string(),
+            SessionVerdict::Shed(reason) => format!("shed_{}", reason.as_str()),
+            SessionVerdict::Crashed { .. } => "crashed".to_string(),
+        }
     }
 }
 
@@ -138,6 +172,23 @@ pub struct ServerConfig {
     pub shard_count: usize,
     /// Deadline/re-prompt policy every session runs under.
     pub supervisor: p2auth_device::SupervisorConfig,
+    /// Worker supervision: panic capture and poison-profile
+    /// quarantine. Defaults on — capturing a panic that never happens
+    /// costs nothing.
+    pub supervision: crate::supervision::SupervisionConfig,
+    /// Per-session retry policy for transient failures. Defaults off
+    /// (`max_retries = 0`) so existing serve regions are bit-identical.
+    pub retry: crate::retry::RetryPolicy,
+    /// Brownout degradation ladder. Defaults off.
+    pub brownout: crate::brownout::BrownoutConfig,
+    /// When true (and [`crate::scheduler::ServeObs::persist`] is set),
+    /// each admitted session writes an intent record at worker pickup
+    /// and tags its completion log with `phase=done` / `verdict=<tag>`
+    /// meta, so [`crate::recover::ServeRegion::recover`] can rebuild
+    /// in-flight session ids after a crash. Defaults off: it roughly
+    /// doubles store appends, and plain observability persistence does
+    /// not need it.
+    pub journal_intents: bool,
 }
 
 impl Default for ServerConfig {
@@ -147,6 +198,10 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             shard_count: 16,
             supervisor: p2auth_device::SupervisorConfig::default(),
+            supervision: crate::supervision::SupervisionConfig::default(),
+            retry: crate::retry::RetryPolicy::default(),
+            brownout: crate::brownout::BrownoutConfig::default(),
+            journal_intents: false,
         }
     }
 }

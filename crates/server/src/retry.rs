@@ -1,0 +1,188 @@
+//! Per-session retry with deadline-aware exponential backoff + jitter.
+//!
+//! Not every failed session is a hard reject. Two failure shapes are
+//! *transient* — the paper's acquisition chain can simply be asked
+//! again:
+//!
+//! * a session that ended in `Abort` (the link never delivered a
+//!   usable acquisition before the watchdog fired), and
+//! * a `Reject` whose only reason was `PoorSignal` after the re-prompt
+//!   budget ran out (the sensor was noisy, not the user wrong).
+//!
+//! A hard `Reject` (wrong PIN, biometric mismatch) is **never**
+//! retried: retrying an adversary hands them extra guesses.
+//!
+//! The backoff schedule reuses the ARQ idiom from the reliable-transfer
+//! layer (`base * factor^attempt`, exponent capped) plus deterministic
+//! jitter derived from `(request_id, retry_index)` via the same
+//! splitmix64 finalizer the store uses for sharding — so two identical
+//! serve regions back off identically, and replay stays bit-exact.
+//! Retries are *deadline-aware*: a retry is attempted only if its
+//! backoff still fits inside the session's wall-clock budget.
+
+/// Retry policy, carried inside [`crate::ServerConfig`]. `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the first try (0 disables retry — the default, so
+    /// existing serve regions replay bit-identically).
+    pub max_retries: u32,
+    /// First backoff, seconds on the worker's session clock.
+    pub backoff_base_s: f64,
+    /// Multiplier per retry (exponent capped at 10, the ARQ idiom).
+    pub backoff_factor: f64,
+    /// Jitter as a fraction of the computed backoff: the actual wait is
+    /// `backoff * (1 + jitter_frac * u)` with `u ∈ [0, 1)` drawn
+    /// deterministically from `(request_id, retry_index)`.
+    pub jitter_frac: f64,
+    /// Total wall-clock budget for one session including all retries,
+    /// seconds. A retry whose backoff would land past this budget is
+    /// not attempted.
+    pub session_deadline_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            backoff_base_s: 0.5,
+            backoff_factor: 2.0,
+            jitter_frac: 0.25,
+            session_deadline_s: 120.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `retry_index` (0-based) of
+    /// `request_id`, in seconds: exponential with capped exponent plus
+    /// deterministic jitter.
+    #[must_use]
+    pub fn backoff_s(&self, retry_index: u32, request_id: u64) -> f64 {
+        let exp = i32::try_from(retry_index.min(10)).unwrap_or(10);
+        let base = self.backoff_base_s * self.backoff_factor.powi(exp);
+        base * (1.0 + self.jitter_frac * jitter_unit(request_id, retry_index))
+    }
+
+    /// Whether retry `retry_index` should run, given `elapsed_s`
+    /// seconds of session wall clock already spent. Returns the
+    /// backoff to apply, or `None` if the retry budget or the session
+    /// deadline is exhausted.
+    #[must_use]
+    pub fn next_backoff_s(&self, retry_index: u32, request_id: u64, elapsed_s: f64) -> Option<f64> {
+        if retry_index >= self.max_retries {
+            return None;
+        }
+        let backoff = self.backoff_s(retry_index, request_id);
+        if elapsed_s + backoff >= self.session_deadline_s {
+            return None;
+        }
+        Some(backoff)
+    }
+}
+
+/// Why a session outcome is considered transient (retryable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientFailure {
+    /// The session aborted: the link never delivered a usable
+    /// acquisition before the watchdog fired.
+    Abort,
+    /// The session rejected solely for poor signal quality after the
+    /// re-prompt budget ran out.
+    PoorSignal,
+}
+
+impl TransientFailure {
+    /// Stable machine-readable name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TransientFailure::Abort => "abort",
+            TransientFailure::PoorSignal => "poor_signal",
+        }
+    }
+}
+
+/// A uniform draw in `[0, 1)` from `(request_id, retry_index)` — the
+/// splitmix64 finalizer, the store's sharding mix.
+fn jitter_unit(request_id: u64, retry_index: u32) -> f64 {
+    let mut z = request_id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(retry_index));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 53 mantissa bits → exact double in [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_s: 1.0,
+            backoff_factor: 2.0,
+            jitter_frac: 0.25,
+            session_deadline_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_is_deterministic() {
+        let p = policy();
+        let b0 = p.backoff_s(0, 42);
+        let b1 = p.backoff_s(1, 42);
+        let b2 = p.backoff_s(2, 42);
+        // Exponential envelope: base * 2^i <= b_i < base * 2^i * 1.25.
+        for (i, b) in [b0, b1, b2].iter().enumerate() {
+            let floor = 2.0_f64.powi(i32::try_from(i).unwrap());
+            assert!(*b >= floor && *b < floor * 1.25, "b{i} = {b}");
+        }
+        assert_eq!(p.backoff_s(1, 42), b1, "same (id, try) → same backoff");
+        assert_ne!(
+            p.backoff_s(0, 42),
+            p.backoff_s(0, 43),
+            "different ids jitter differently"
+        );
+    }
+
+    #[test]
+    fn exponent_caps_at_ten_so_backoff_stays_finite() {
+        let p = policy();
+        let capped = p.backoff_s(10, 1);
+        let beyond = p.backoff_s(40, 1);
+        assert!(beyond.is_finite());
+        // Same exponent, only jitter differs.
+        assert!((beyond / capped - 1.0).abs() < 0.25);
+    }
+
+    #[test]
+    fn deadline_awareness_refuses_late_retries() {
+        let p = policy();
+        assert!(p.next_backoff_s(0, 7, 0.0).is_some());
+        assert!(
+            p.next_backoff_s(0, 7, 99.9).is_none(),
+            "no room left before the session deadline"
+        );
+        assert!(p.next_backoff_s(3, 7, 0.0).is_none(), "budget exhausted");
+    }
+
+    #[test]
+    fn zero_max_retries_disables_retry() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 0, "default is off");
+        assert!(p.next_backoff_s(0, 1, 0.0).is_none());
+    }
+
+    #[test]
+    fn jitter_unit_is_in_range() {
+        for id in 0..200_u64 {
+            for retry in 0..4_u32 {
+                let u = jitter_unit(id, retry);
+                assert!((0.0..1.0).contains(&u), "u = {u}");
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Worker supervision: panic capture and poison-profile quarantine.
+//!
+//! A fleet worker must not take the whole serve region down because one
+//! session panicked. The scheduler wraps session execution in
+//! [`std::panic::catch_unwind`] and converts an escaped panic into a
+//! typed [`crate::SessionVerdict::Crashed`] — event-logged, counted,
+//! and an SLO error — then rebuilds the worker's session state
+//! (supervisor + scratch) so serve capacity is restored immediately.
+//!
+//! The second half is **poison-profile detection**: if the *same*
+//! profile crashes its worker repeatedly (a corrupt arena, a pathologic
+//! template), retrying it would crash-loop the fleet. [`Supervision`]
+//! counts crashes per `user_id` and quarantines the profile after
+//! [`SupervisionConfig::quarantine_after`] crashes; subsequent requests
+//! for it shed with [`crate::ShedReason::Quarantined`] instead of
+//! running.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// Panic-capture and quarantine policy. `Copy`, carried inside
+/// [`crate::ServerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisionConfig {
+    /// Capture worker panics and convert them into
+    /// [`crate::SessionVerdict::Crashed`]. When false, a panicking
+    /// session kills its worker thread (the serve region still returns
+    /// — see the scheduler's join handling — but that worker's
+    /// capacity is lost for the rest of the region).
+    pub catch_panics: bool,
+    /// Crashes by the same profile before it is quarantined.
+    pub quarantine_after: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            catch_panics: true,
+            quarantine_after: 3,
+        }
+    }
+}
+
+/// What [`Supervision::record_crash`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashRecord {
+    /// Total crashes recorded against this profile, including this one.
+    pub crashes: u32,
+    /// Whether this crash tripped the quarantine threshold (reported
+    /// exactly once per profile).
+    pub quarantined_now: bool,
+}
+
+/// Region-wide crash bookkeeping, shared by all workers.
+///
+/// Lock discipline: both maps sit behind plain [`Mutex`]es and are
+/// touched only on the crash path and (for [`Supervision::is_quarantined`])
+/// once per session pickup — never inside the scoring hot loop.
+#[derive(Debug, Default)]
+pub struct Supervision {
+    crash_counts: Mutex<HashMap<u64, u32>>,
+    quarantined: Mutex<HashSet<u64>>,
+}
+
+impl Supervision {
+    /// Empty bookkeeping: no crashes, nothing quarantined.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a crash against `user_id` and quarantines the profile
+    /// once its count reaches `quarantine_after` (0 disables
+    /// quarantine entirely).
+    pub fn record_crash(&self, user_id: u64, quarantine_after: u32) -> CrashRecord {
+        #[allow(clippy::unwrap_used)] // INVARIANT: no panic while holding the lock.
+        let mut counts = self.crash_counts.lock().unwrap();
+        let count = counts.entry(user_id).or_insert(0);
+        *count += 1;
+        let crashes = *count;
+        drop(counts);
+        let quarantined_now = quarantine_after > 0 && crashes == quarantine_after;
+        if quarantined_now {
+            #[allow(clippy::unwrap_used)]
+            self.quarantined.lock().unwrap().insert(user_id);
+        }
+        CrashRecord {
+            crashes,
+            quarantined_now,
+        }
+    }
+
+    /// Whether requests for `user_id` should shed instead of running.
+    #[must_use]
+    pub fn is_quarantined(&self, user_id: u64) -> bool {
+        #[allow(clippy::unwrap_used)]
+        self.quarantined.lock().unwrap().contains(&user_id)
+    }
+
+    /// Profiles currently quarantined.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        #[allow(clippy::unwrap_used)]
+        self.quarantined.lock().unwrap().len()
+    }
+
+    /// Total crashes recorded across all profiles.
+    #[must_use]
+    pub fn total_crashes(&self) -> u64 {
+        #[allow(clippy::unwrap_used)]
+        self.crash_counts
+            .lock()
+            .unwrap()
+            .values()
+            .map(|&c| u64::from(c))
+            .sum()
+    }
+}
+
+/// Extracts a human-readable message from a captured panic payload
+/// (the `Box<dyn Any>` that [`std::panic::catch_unwind`] returns).
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_trips_exactly_once_at_threshold() {
+        let sup = Supervision::new();
+        assert!(!sup.is_quarantined(7));
+        let first = sup.record_crash(7, 3);
+        assert_eq!(first.crashes, 1);
+        assert!(!first.quarantined_now);
+        let second = sup.record_crash(7, 3);
+        assert!(!second.quarantined_now);
+        assert!(!sup.is_quarantined(7));
+        let third = sup.record_crash(7, 3);
+        assert_eq!(third.crashes, 3);
+        assert!(third.quarantined_now, "threshold crash quarantines");
+        assert!(sup.is_quarantined(7));
+        // Further crashes (e.g. raced by another worker) do not
+        // re-report the quarantine.
+        let fourth = sup.record_crash(7, 3);
+        assert_eq!(fourth.crashes, 4);
+        assert!(!fourth.quarantined_now);
+        assert_eq!(sup.quarantined_count(), 1);
+        assert_eq!(sup.total_crashes(), 4);
+    }
+
+    #[test]
+    fn zero_threshold_disables_quarantine() {
+        let sup = Supervision::new();
+        for _ in 0..10 {
+            let rec = sup.record_crash(1, 0);
+            assert!(!rec.quarantined_now);
+        }
+        assert!(!sup.is_quarantined(1));
+        assert_eq!(sup.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn crashes_are_counted_per_profile() {
+        let sup = Supervision::new();
+        sup.record_crash(1, 2);
+        sup.record_crash(2, 2);
+        assert!(!sup.is_quarantined(1));
+        assert!(!sup.is_quarantined(2));
+        sup.record_crash(1, 2);
+        assert!(sup.is_quarantined(1), "profile 1 hit its threshold");
+        assert!(!sup.is_quarantined(2), "profile 2 did not");
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 42)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "boom 42");
+        let caught = std::panic::catch_unwind(|| panic!("static boom")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "static boom");
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(17_u32)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "non-string panic payload");
+    }
+}

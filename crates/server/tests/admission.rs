@@ -225,6 +225,9 @@ fn shed_sessions_never_corrupt_admitted_logs_under_chaos() {
                     SessionVerdict::Shed(_) => {
                         panic!("seed {seed} req {id}: shed session wrote events")
                     }
+                    SessionVerdict::Crashed { reason } => {
+                        panic!("seed {seed} req {id}: no chaos plan is set: {reason}")
+                    }
                 },
                 other => panic!("seed {seed} req {id}: log must end in SessionEnd, got {other:?}"),
             }

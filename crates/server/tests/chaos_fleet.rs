@@ -1,0 +1,489 @@
+//! Chaos suite for the fault-tolerance layer: injected worker panics,
+//! poison-profile quarantine, transient-failure retry, clock skew, and
+//! full kill-restart cycles over the persisted store.
+//!
+//! The invariants under test are the PR's acceptance criteria: one
+//! injected panic yields exactly one `Crashed` verdict (zero crash
+//! amplification) and the worker keeps serving; a crash-looping
+//! profile is quarantined instead of taking the fleet down; a
+//! kill-restart cycle recovers completed-session accounting
+//! bit-identically from the shards (every persisted record re-encodes
+//! to its own bytes — the same check `replay --verify` runs); and no
+//! injection ever hangs a session.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use p2auth_obs::{persist, EventLog, SessionEvent};
+use p2auth_server::{
+    build_fleet, kill_restart_cycle, run_fleet_obs, ChaosPlan, ClockSkew, FleetConfig, RetryPolicy,
+    ServeObs, ServeRegion, ServerConfig, SessionVerdict, ShedReason, SupervisionConfig,
+};
+
+fn fleet(seed: u64) -> FleetConfig {
+    FleetConfig {
+        num_devices: 4,
+        sessions_per_device: 3,
+        enrolled_users: 2,
+        seed,
+        chaos: true,
+        hang_every: 0,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("p2auth_server_chaos_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn injected_panic_yields_exactly_one_crashed_outcome() {
+    for seed in 1..=3_u64 {
+        let scenario = build_fleet(&fleet(seed));
+        let total = scenario.requests.len();
+        let victim = scenario.requests[total / 2].request_id;
+        let plan = ChaosPlan::panics([victim]);
+        let server = ServerConfig {
+            num_workers: 2,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        };
+        let (report, shed) = run_fleet_obs(
+            &scenario,
+            &server,
+            ServeObs {
+                chaos: Some(&plan),
+                ..ServeObs::default()
+            },
+        );
+        assert_eq!(plan.injected_panics(), 1, "seed {seed}: one panic fired");
+        assert_eq!(
+            report.sessions.len() + shed.len(),
+            total,
+            "seed {seed}: every request still gets exactly one response"
+        );
+        let crashed: Vec<_> = report
+            .sessions
+            .iter()
+            .filter(|r| r.response.verdict.crashed())
+            .collect();
+        assert_eq!(
+            crashed.len(),
+            1,
+            "seed {seed}: zero crash amplification — one panic, one Crashed"
+        );
+        assert_eq!(crashed[0].response.request_id, victim);
+        assert!(
+            crashed[0].log.events.iter().any(|e| matches!(
+                &e.event,
+                SessionEvent::Fault { kind, .. } if kind == "crashed"
+            )),
+            "seed {seed}: the crash is event-logged"
+        );
+        assert_eq!(
+            report.metrics.counter("server.session.crashes"),
+            1,
+            "seed {seed}: crash counted"
+        );
+        assert_eq!(
+            report.metrics.counter("server.worker.respawns"),
+            1,
+            "seed {seed}: worker state respawned in place"
+        );
+        assert_eq!(
+            report.worker_panics, 0,
+            "seed {seed}: no worker thread died — the panic was captured"
+        );
+        // Throughput recovery: every other session completed or shed
+        // normally on the respawned worker state.
+        assert!(
+            report
+                .sessions
+                .iter()
+                .filter(|r| r.response.request_id != victim)
+                .all(|r| !r.response.verdict.crashed()),
+            "seed {seed}: no collateral crashes"
+        );
+    }
+}
+
+#[test]
+fn uncaptured_worker_panic_degrades_serve_instead_of_aborting() {
+    // Satellite regression: with panic capture off, the panicking
+    // session kills its worker thread — but `serve` must still drain,
+    // join, and return a report instead of propagating the panic.
+    let scenario = build_fleet(&fleet(1));
+    let total = scenario.requests.len();
+    let victim = scenario.requests[0].request_id;
+    let plan = ChaosPlan::panics([victim]);
+    let server = ServerConfig {
+        num_workers: 2,
+        queue_capacity: 4,
+        supervision: SupervisionConfig {
+            catch_panics: false,
+            ..SupervisionConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (report, shed) = run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            chaos: Some(&plan),
+            ..ServeObs::default()
+        },
+    );
+    assert_eq!(report.worker_panics, 1, "one worker died to the panic");
+    assert_eq!(
+        report.sessions.len() + shed.len(),
+        total - 1,
+        "only the dead worker's in-hand session is lost"
+    );
+    assert!(
+        report
+            .sessions
+            .iter()
+            .all(|r| !r.response.verdict.crashed()),
+        "without capture there is no Crashed verdict, just a dead worker"
+    );
+}
+
+#[test]
+fn repeated_crashes_quarantine_the_poison_profile() {
+    // All sessions of user 0 panic; after `quarantine_after` crashes
+    // the remaining ones must shed with Quarantined instead of
+    // crash-looping the worker.
+    let scenario = build_fleet(&FleetConfig {
+        num_devices: 2,
+        sessions_per_device: 5,
+        enrolled_users: 2,
+        seed: 3,
+        chaos: false,
+        hang_every: 0,
+    });
+    let poison: Vec<u64> = scenario
+        .requests
+        .iter()
+        .filter(|r| r.user_id == 0)
+        .map(|r| r.request_id)
+        .collect();
+    assert_eq!(poison.len(), 5);
+    let plan = ChaosPlan::panics(poison.iter().copied());
+    let server = ServerConfig {
+        num_workers: 1, // deterministic processing order
+        queue_capacity: 4,
+        supervision: SupervisionConfig {
+            catch_panics: true,
+            quarantine_after: 2,
+        },
+        ..ServerConfig::default()
+    };
+    let (report, _) = run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            chaos: Some(&plan),
+            ..ServeObs::default()
+        },
+    );
+    let crashed = report
+        .sessions
+        .iter()
+        .filter(|r| r.response.verdict.crashed())
+        .count();
+    let quarantined = report
+        .sessions
+        .iter()
+        .filter(|r| r.response.verdict == SessionVerdict::Shed(ShedReason::Quarantined))
+        .count();
+    assert_eq!(crashed, 2, "exactly quarantine_after crashes run");
+    assert_eq!(quarantined, 3, "the rest of the poison profile sheds");
+    assert_eq!(report.metrics.counter("server.profile.quarantines"), 1);
+    assert!(
+        report
+            .sessions
+            .iter()
+            .filter(|r| scenario
+                .requests
+                .iter()
+                .any(|q| q.request_id == r.response.request_id && q.user_id == 1))
+            .all(|r| !r.response.verdict.crashed() && !r.response.verdict.shed()),
+        "the healthy profile is untouched by its neighbour's quarantine"
+    );
+}
+
+#[test]
+fn transient_aborts_retry_with_backoff_and_hard_outcomes_do_not() {
+    // `hang_every: 1` makes every session deliver nothing: a transient
+    // Abort, which the retry layer must re-run (and event-log) before
+    // giving up.
+    let scenario = build_fleet(&FleetConfig {
+        num_devices: 2,
+        sessions_per_device: 2,
+        enrolled_users: 2,
+        seed: 5,
+        chaos: false,
+        hang_every: 1,
+    });
+    let server = ServerConfig {
+        num_workers: 1,
+        queue_capacity: 4,
+        retry: RetryPolicy {
+            max_retries: 2,
+            // A hang session burns its full watchdog budget (~90s of
+            // session clock) per run; leave room for both retries.
+            session_deadline_s: 1.0e6,
+            ..RetryPolicy::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (report, _) = run_fleet_obs(&scenario, &server, ServeObs::default());
+    let total = scenario.requests.len() as u64;
+    assert_eq!(
+        report.metrics.counter("server.session.retries"),
+        2 * total,
+        "every abort session burns its full retry budget"
+    );
+    for r in &report.sessions {
+        let retries = r
+            .log
+            .events
+            .iter()
+            .filter(|e| matches!(&e.event, SessionEvent::Fault { kind, .. } if kind == "retry"))
+            .count();
+        assert_eq!(retries, 2, "each retry is event-logged with its backoff");
+    }
+
+    // Deadline-awareness: a session budget too small for the first
+    // backoff means zero retries.
+    let tight = ServerConfig {
+        retry: RetryPolicy {
+            max_retries: 2,
+            session_deadline_s: 0.001,
+            ..RetryPolicy::default()
+        },
+        ..server
+    };
+    let (report, _) = run_fleet_obs(&scenario, &tight, ServeObs::default());
+    assert_eq!(
+        report.metrics.counter("server.session.retries"),
+        0,
+        "no retry fits inside the session deadline"
+    );
+}
+
+#[test]
+fn clock_skew_injection_never_hangs_or_crashes_sessions() {
+    let scenario = build_fleet(&fleet(2));
+    let total = scenario.requests.len();
+    let plan = ChaosPlan::default().with_clock_skew(ClockSkew {
+        every: 3,
+        backwards_s: 50.0,
+    });
+    let server = ServerConfig {
+        num_workers: 2,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    };
+    let (report, shed) = run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            chaos: Some(&plan),
+            ..ServeObs::default()
+        },
+    );
+    assert_eq!(report.sessions.len() + shed.len(), total);
+    assert!(report
+        .sessions
+        .iter()
+        .all(|r| !r.response.verdict.crashed()));
+    let skews = report.metrics.counter("server.chaos.clock_skews");
+    assert!(skews > 0, "the skew injector actually fired ({skews})");
+}
+
+#[test]
+fn kill_restart_recovers_accounting_bit_identically() {
+    for seed in 1..=3_u64 {
+        let scenario = build_fleet(&fleet(seed));
+        let total = scenario.requests.len();
+        let server = ServerConfig {
+            num_workers: 2,
+            queue_capacity: 4,
+            ..ServerConfig::default()
+        };
+        let dir = scratch_dir(&format!("kill_seed{seed}"));
+        let kr = kill_restart_cycle(&scenario, &server, &dir, total / 2);
+        assert_eq!(
+            kr.final_completed, total as u64,
+            "seed {seed}: every request completes exactly once across the crash"
+        );
+        assert_eq!(
+            kr.interrupted_journaled, kr.in_flight,
+            "seed {seed}: each interrupted session gets its marker"
+        );
+
+        // Bit-identical accounting: an independent recovery of the
+        // same shards reproduces the digest exactly.
+        let again = ServeRegion::recover(&dir).expect("re-recover");
+        assert_eq!(
+            again.accounting_digest(),
+            kr.final_digest,
+            "seed {seed}: recovery is deterministic"
+        );
+        let ids: BTreeSet<u64> = scenario.requests.iter().map(|r| r.request_id).collect();
+        let recovered: BTreeSet<u64> = again.completed_verdicts.keys().copied().collect();
+        assert_eq!(
+            recovered, ids,
+            "seed {seed}: accounting covers every request"
+        );
+        assert!(
+            again.in_flight.is_empty(),
+            "seed {seed}: nothing left in flight"
+        );
+        assert_eq!(
+            again.prior_interruptions as usize, kr.in_flight,
+            "seed {seed}: the restart itself is on the record"
+        );
+
+        // The same verification `replay --verify` runs: every record
+        // decodes and re-encodes to its own bytes.
+        for (path, read) in persist::read_store_dir(&dir).expect("list store") {
+            let read = read.unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert_eq!(read.torn_bytes, 0, "seed {seed}: tails were repaired");
+            for payload in &read.records {
+                let text = std::str::from_utf8(payload).expect("utf8 payload");
+                let log = EventLog::decode(text).expect("decodable record");
+                assert_eq!(
+                    log.encode().as_bytes(),
+                    payload.as_slice(),
+                    "seed {seed}: record re-encodes bit-identically"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn mid_file_corruption_is_contained_to_its_shard() {
+    let scenario = build_fleet(&fleet(1));
+    let server = ServerConfig {
+        num_workers: 2,
+        queue_capacity: 4,
+        journal_intents: true,
+        ..ServerConfig::default()
+    };
+    let dir = scratch_dir("corrupt");
+    let store =
+        p2auth_obs::ShardedEventStore::create(&dir, server.shard_count, 1).expect("create store");
+    run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            persist: Some(&store),
+            ..ServeObs::default()
+        },
+    );
+    store.flush().expect("flush");
+    drop(store);
+    // Find a shard with records and corrupt it mid-file.
+    let mut corrupted = None;
+    for idx in 0..server.shard_count {
+        if p2auth_server::chaos::corrupt_shard_record(&dir, idx).expect("corrupt") {
+            corrupted = Some(dir.join(persist::shard_file_name(idx)));
+            break;
+        }
+    }
+    let corrupted = corrupted.expect("some shard has records");
+    let region = ServeRegion::recover(&dir).expect("recover survives corruption");
+    assert_eq!(
+        region.failed_shards.len(),
+        1,
+        "exactly the corrupted shard fails"
+    );
+    assert_eq!(region.failed_shards[0].0, corrupted);
+    assert!(
+        region.completed.sessions > 0,
+        "healthy sibling shards still recover their sessions"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn brownout_ladder_degrades_and_sheds_under_burn() {
+    // Pre-burn the SLO tracker so the ladder sees a hot error window
+    // from the first session, with hair-trigger hysteresis: the region
+    // must climb Normal → … → Shed while serving.
+    let scenario = build_fleet(&FleetConfig {
+        num_devices: 3,
+        sessions_per_device: 4,
+        enrolled_users: 2,
+        seed: 7,
+        chaos: false,
+        hang_every: 0,
+    });
+    let server = ServerConfig {
+        num_workers: 1,
+        queue_capacity: 4,
+        brownout: p2auth_server::BrownoutConfig {
+            enabled: true,
+            eval_every: 1,
+            up_hold: 1,
+            down_hold: 1000,
+            pin_only_min_coverage: 0.5,
+        },
+        ..ServerConfig::default()
+    };
+    let slo = p2auth_obs::SloTracker::new(p2auth_obs::SloConfig {
+        error_budget: 0.01,
+        fast_burn_threshold: 2.0,
+        slow_burn_threshold: 0.1,
+        ..p2auth_obs::SloConfig::default()
+    });
+    for _ in 0..200 {
+        slo.record(1_000_000, true);
+    }
+    let (report, _) = run_fleet_obs(
+        &scenario,
+        &server,
+        ServeObs {
+            slo: Some(&slo),
+            ..ServeObs::default()
+        },
+    );
+    assert!(
+        !report.ladder_transitions.is_empty(),
+        "the ladder moved under sustained burn"
+    );
+    for w in report.ladder_transitions.windows(2) {
+        assert_eq!(w[0].to, w[1].from, "transitions are one rung at a time");
+    }
+    let occupancy: u64 = report.ladder_occupancy.iter().sum();
+    assert_eq!(
+        occupancy,
+        report.sessions.len() as u64,
+        "eval_every=1: one ladder evaluation per admitted session"
+    );
+    let shed_brownout = report
+        .sessions
+        .iter()
+        .filter(|r| r.response.verdict == SessionVerdict::Shed(ShedReason::Brownout))
+        .count();
+    let pin_only = report
+        .sessions
+        .iter()
+        .filter(|r| {
+            r.log
+                .events
+                .iter()
+                .any(|e| matches!(&e.event, SessionEvent::Fault { kind, .. } if kind == "brownout"))
+        })
+        .count();
+    assert!(
+        shed_brownout > 0 || pin_only > 0,
+        "degraded tiers actually served: {shed_brownout} shed, {pin_only} pin-only"
+    );
+}

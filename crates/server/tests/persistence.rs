@@ -51,7 +51,7 @@ fn persisted_logs_replay_bit_identically_under_chaos() {
             &server,
             ServeObs {
                 persist: Some(&store),
-                slo: None,
+                ..ServeObs::default()
             },
         );
         assert!(shed.is_empty(), "blocking submission never sheds at submit");
@@ -120,8 +120,8 @@ fn merged_worker_metrics_agree_with_session_outcomes() {
         &scenario,
         &server,
         ServeObs {
-            persist: None,
             slo: Some(&slo),
+            ..ServeObs::default()
         },
     );
 
@@ -142,6 +142,9 @@ fn merged_worker_metrics_agree_with_session_outcomes() {
                 }
             }
             SessionVerdict::Shed(_) => {}
+            SessionVerdict::Crashed { reason } => {
+                panic!("no chaos plan is set, nothing may crash: {reason}")
+            }
         }
     }
 
